@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build vet test race bench experiments cover fmt clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./...
+
+experiments:
+	$(GO) run ./cmd/fmexperiments -run all
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...

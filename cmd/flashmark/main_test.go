@@ -1,0 +1,267 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out bytes.Buffer
+	err := run(args, &out)
+	return out.String(), err
+}
+
+func chipPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "die.chip")
+}
+
+func TestUsageErrors(t *testing.T) {
+	if _, err := runCmd(t); err == nil {
+		t.Error("no args accepted")
+	}
+	if _, err := runCmd(t, "frobnicate"); err == nil {
+		t.Error("unknown command accepted")
+	}
+	for _, cmd := range []string{"new", "imprint", "extract", "verify", "characterize", "detect", "info", "age"} {
+		if _, err := runCmd(t, cmd); err == nil {
+			t.Errorf("%s without -chip accepted", cmd)
+		}
+	}
+}
+
+func TestNewAndInfo(t *testing.T) {
+	chip := chipPath(t)
+	out, err := runCmd(t, "new", "-chip", chip, "-seed", "7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fabricated FM-SIM16 die (seed 7)") {
+		t.Errorf("new output: %q", out)
+	}
+	if _, err := os.Stat(chip); err != nil {
+		t.Fatalf("chip file not written: %v", err)
+	}
+	out, err = runCmd(t, "info", "-chip", chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "part:     FM-SIM16") || !strings.Contains(out, "seed:     7") {
+		t.Errorf("info output: %q", out)
+	}
+}
+
+func TestNewBadPart(t *testing.T) {
+	if _, err := runCmd(t, "new", "-chip", chipPath(t), "-part", "Z80"); err == nil {
+		t.Error("unknown part accepted")
+	}
+}
+
+func TestImprintExtractVerifyFlow(t *testing.T) {
+	chip := chipPath(t)
+	if _, err := runCmd(t, "new", "-chip", chip, "-seed", "42"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCmd(t, "imprint", "-chip", chip, "-mfg", "TC", "-die", "1001",
+		"-status", "accept", "-npe", "80000", "-key", "secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "imprinted TC/ACCEPT die=1001") {
+		t.Errorf("imprint output: %q", out)
+	}
+
+	out, err = runCmd(t, "extract", "-chip", chip, "-key", "secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"manufacturer: TC", "die id:       1001", "status:       ACCEPT", "tampered=false"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("extract output missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = runCmd(t, "verify", "-chip", chip, "-mfg", "TC", "-key", "secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "verdict: GENUINE") || !strings.Contains(out, "decision: ACCEPT") {
+		t.Errorf("verify output: %q", out)
+	}
+}
+
+func TestImprintRejectThenVerifyRefuses(t *testing.T) {
+	chip := chipPath(t)
+	if _, err := runCmd(t, "new", "-chip", chip, "-seed", "43"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCmd(t, "imprint", "-chip", chip, "-status", "reject", "-key", "k"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCmd(t, "verify", "-chip", chip, "-key", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "verdict: REJECT-DIE") || !strings.Contains(out, "decision: REFUSE") {
+		t.Errorf("verify output: %q", out)
+	}
+}
+
+func TestImprintBadStatus(t *testing.T) {
+	chip := chipPath(t)
+	if _, err := runCmd(t, "new", "-chip", chip); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCmd(t, "imprint", "-chip", chip, "-status", "maybe"); err == nil {
+		t.Error("bad status accepted")
+	}
+}
+
+func TestCharacterizeAndDetect(t *testing.T) {
+	chip := chipPath(t)
+	if _, err := runCmd(t, "new", "-chip", chip, "-seed", "44"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCmd(t, "characterize", "-chip", chip, "-segment", "1", "-step", "5us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "all cells erased at t_PE >=") {
+		t.Errorf("characterize output: %q", out)
+	}
+	out, err = runCmd(t, "detect", "-chip", chip, "-segment", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "assessment: fresh") {
+		t.Errorf("detect on fresh chip: %q", out)
+	}
+}
+
+func TestAgePersistsAndIsMonotone(t *testing.T) {
+	chip := chipPath(t)
+	if _, err := runCmd(t, "new", "-chip", chip); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCmd(t, "age", "-chip", chip, "-years", "5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "aged to 5.0 years") {
+		t.Errorf("age output: %q", out)
+	}
+	if _, err := runCmd(t, "age", "-chip", chip, "-years", "2"); err == nil {
+		t.Error("rejuvenation accepted")
+	}
+}
+
+func TestCalibrateCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep is slow")
+	}
+	out, err := runCmd(t, "calibrate", "-npe", "60000", "-dice", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "publish: t_PEW window") {
+		t.Errorf("calibrate output: %q", out)
+	}
+	if _, err := runCmd(t, "calibrate", "-dice", "0"); err == nil {
+		t.Error("zero dice accepted")
+	}
+}
+
+func TestLoadMissingChip(t *testing.T) {
+	if _, err := runCmd(t, "info", "-chip", "/nonexistent/die.chip"); err == nil {
+		t.Error("missing chip file accepted")
+	}
+}
+
+func TestExtractWritesVCD(t *testing.T) {
+	chip := chipPath(t)
+	if _, err := runCmd(t, "new", "-chip", chip, "-seed", "50"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCmd(t, "imprint", "-chip", chip, "-npe", "1000", "-key", "k"); err != nil {
+		t.Fatal(err)
+	}
+	vcd := filepath.Join(t.TempDir(), "extract.vcd")
+	out, err := runCmd(t, "extract", "-chip", chip, "-key", "k", "-vcd", vcd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "waveform written") {
+		t.Errorf("output: %q", out)
+	}
+	data, err := os.ReadFile(vcd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"$timescale", "erase", "partial_erase", "$enddefinitions"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("VCD missing %q", want)
+		}
+	}
+}
+
+func TestMapCommand(t *testing.T) {
+	chip := chipPath(t)
+	if _, err := runCmd(t, "new", "-chip", chip, "-seed", "51"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCmd(t, "imprint", "-chip", chip, "-npe", "80000", "-key", "k"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCmd(t, "map", "-chip", chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "wear map") || !strings.Contains(out, "bank 0: [") {
+		t.Errorf("map output: %q", out)
+	}
+	// The imprinted segment should show visible wear while the rest is blank.
+	line := out[strings.Index(out, "["):]
+	if !strings.ContainsAny(line, ".:-=+*#%@") {
+		t.Errorf("no wear visible in map: %q", out)
+	}
+	if _, err := runCmd(t, "map"); err == nil {
+		t.Error("map without -chip accepted")
+	}
+}
+
+func TestBatchCommand(t *testing.T) {
+	dir := t.TempDir()
+	// Two genuine chips and one with a duplicated die ID (replay suspect).
+	mk := func(name string, seed, die string) {
+		t.Helper()
+		chip := filepath.Join(dir, name)
+		if _, err := runCmd(t, "new", "-chip", chip, "-seed", seed); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := runCmd(t, "imprint", "-chip", chip, "-die", die, "-npe", "80000", "-key", "k"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("a.chip", "100", "501")
+	mk("b.chip", "101", "502")
+	mk("c.chip", "102", "501") // duplicate die ID
+	out, err := runCmd(t, "batch", "-dir", dir, "-key", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"a.chip", "GENUINE", "DUPLICATE-ID", "accepted 2, refused 1", "duplicate die IDs in batch", "[501]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("batch output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := runCmd(t, "batch"); err == nil {
+		t.Error("batch without -dir accepted")
+	}
+	if _, err := runCmd(t, "batch", "-dir", t.TempDir()); err == nil {
+		t.Error("empty directory accepted")
+	}
+}

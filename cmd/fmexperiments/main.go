@@ -1,0 +1,111 @@
+// Command fmexperiments regenerates the paper's tables and figures
+// against the simulated substrate.
+//
+// Usage:
+//
+//	fmexperiments -run all                 # every experiment, text output
+//	fmexperiments -run fig9 -fast          # one experiment, reduced sweep
+//	fmexperiments -run all -csv out/       # also write each table as CSV
+//	fmexperiments -list                    # list experiment ids
+//
+// Experiment ids map to the paper's artifacts: fig4 fig5 fig6 fig9 fig10
+// fig11 timing supplychain (see DESIGN.md for the index).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/flashmark/flashmark/internal/experiment"
+	"github.com/flashmark/flashmark/internal/mcu"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fmexperiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("fmexperiments", flag.ContinueOnError)
+	var (
+		runIDs   = fs.String("run", "all", "comma-separated experiment ids, or 'all'")
+		fast     = fs.Bool("fast", false, "reduced sweep resolution (quick look)")
+		seed     = fs.Uint64("seed", 0, "base chip seed (0 = fixed default)")
+		partName = fs.String("part", "FM-SIM16", "simulated part (FM-SIM16, MSP430F5438, MSP430F5529)")
+		csvDir   = fs.String("csv", "", "directory to write per-table CSV files")
+		mdDir    = fs.String("md", "", "directory to write per-table Markdown files")
+		list     = fs.Bool("list", false, "list experiment ids and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range experiment.IDs() {
+			fmt.Fprintln(out, id)
+		}
+		return nil
+	}
+	part, err := mcu.PartByName(*partName)
+	if err != nil {
+		return err
+	}
+	cfg := experiment.Config{Part: part, Seed: *seed, Fast: *fast}
+
+	ids := experiment.IDs()
+	if *runIDs != "all" {
+		ids = strings.Split(*runIDs, ",")
+	}
+	for _, dir := range []string{*csvDir, *mdDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+		}
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		fmt.Fprintf(out, "running %s...\n", id)
+		artifact, err := experiment.Run(id, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if err := artifact.WriteText(out); err != nil {
+			return err
+		}
+		if *csvDir != "" {
+			for i := range artifact.Tables {
+				if err := writeTable(filepath.Join(*csvDir, fmt.Sprintf("%s_%d.csv", id, i)), artifact.Tables[i].WriteCSV); err != nil {
+					return err
+				}
+			}
+		}
+		if *mdDir != "" {
+			for i := range artifact.Tables {
+				if err := writeTable(filepath.Join(*mdDir, fmt.Sprintf("%s_%d.md", id, i)), artifact.Tables[i].WriteMarkdown); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// writeTable writes one table rendering to a file.
+func writeTable(path string, render func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := render(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runToFile executes the command with stdout captured into a temp file.
+func runToFile(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rerr := run(args, f)
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), rerr
+}
+
+func TestListExperiments(t *testing.T) {
+	out, err := runToFile(t, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig4", "fig5", "fig6", "fig9", "fig10", "fig11", "timing", "supplychain", "retention"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list missing %s", id)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	out, err := runToFile(t, "-run", "fig6", "-fast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Imprinting a watermark into a flash word") {
+		t.Errorf("fig6 output missing: %q", out)
+	}
+}
+
+func TestRunWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	csvDir := filepath.Join(dir, "csv")
+	if _, err := runToFile(t, "-run", "fig6", "-fast", "-csv", csvDir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(csvDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no CSV files written")
+	}
+	data, err := os.ReadFile(filepath.Join(csvDir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), ",") {
+		t.Errorf("CSV content: %q", string(data))
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := runToFile(t, "-run", "fig99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunBadPart(t *testing.T) {
+	if _, err := runToFile(t, "-part", "Z80", "-run", "fig6"); err == nil {
+		t.Error("unknown part accepted")
+	}
+}
+
+func TestRunWithMarkdown(t *testing.T) {
+	dir := t.TempDir()
+	mdDir := filepath.Join(dir, "md")
+	if _, err := runToFile(t, "-run", "fig6", "-fast", "-md", mdDir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(mdDir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no markdown files: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(mdDir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "| --- |") {
+		t.Errorf("markdown content: %q", string(data))
+	}
+}

@@ -1,0 +1,92 @@
+// Command fmsupplychain simulates a mixed chip population flowing through
+// a system integrator's incoming inspection: genuine dice, re-entered
+// rejects, recycled parts, metadata forgeries, digital clones, tampered
+// rejects, rebranded blanks — and prints the resulting verdicts and the
+// confusion matrix (experiment TAB-SUPPLY, driven by §I's threat list).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/flashmark/flashmark/internal/counterfeit"
+	"github.com/flashmark/flashmark/internal/mcu"
+	"github.com/flashmark/flashmark/internal/wmcode"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fmsupplychain:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fmsupplychain", flag.ContinueOnError)
+	var (
+		perClass = fs.Int("n", 3, "chips per counterfeit class")
+		genuine  = fs.Int("genuine", 6, "genuine ACCEPT chips")
+		seed     = fs.Uint64("seed", 0xBA5E, "population seed")
+		partName = fs.String("part", "FM-SIM16", "simulated part")
+		npe      = fs.Int("npe", 80_000, "manufacturer imprint cycles")
+		recycle  = fs.Bool("recycling-screen", true, "enable the data-segment wear screen")
+		workers  = fs.Int("workers", 4, "chips verified in parallel")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	part, err := mcu.PartByName(*partName)
+	if err != nil {
+		return err
+	}
+	key := []byte("trusted-chipmaker-signing-key")
+	factory := counterfeit.FactoryConfig{
+		Part:         part,
+		Codec:        wmcode.Codec{Key: key},
+		Manufacturer: "TC",
+		NPE:          *npe,
+	}
+	verifier := &counterfeit.Verifier{
+		Codec:          wmcode.Codec{Key: key},
+		Manufacturer:   "TC",
+		TPEW:           25 * time.Microsecond,
+		CheckRecycling: *recycle,
+	}
+	spec := counterfeit.PopulationSpec{
+		counterfeit.ClassGenuineAccept:   *genuine,
+		counterfeit.ClassGenuineReject:   *perClass,
+		counterfeit.ClassRecycled:        *perClass,
+		counterfeit.ClassMetadataForgery: *perClass,
+		counterfeit.ClassDigitalClone:    *perClass,
+		counterfeit.ClassTopUpTamper:     *perClass,
+		counterfeit.ClassUnmarked:        *perClass,
+	}
+	fmt.Fprintf(out, "fabricating and verifying %d chips (%d workers)...\n\n", total(spec), *workers)
+	matrix, outcomes, err := counterfeit.RunPopulationParallel(spec, factory, verifier, *seed, *workers)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%-20s %-16s %s\n", "ground truth", "verdict", "decision")
+	for _, o := range outcomes {
+		decision := "REFUSE"
+		if o.Verdict.Accepted() {
+			decision = "accept"
+		}
+		fmt.Fprintf(out, "%-20s %-16s %s\n", o.Class, o.Verdict, decision)
+	}
+	fmt.Fprintf(out, "\nconfusion matrix:\n%s\n", matrix)
+	fmt.Fprintf(out, "correct accept/refuse rate: %.1f%%\n", 100*matrix.CorrectAcceptRate())
+	fmt.Fprintf(out, "false accepts: %d   false rejects: %d\n", matrix.FalseAccepts(), matrix.FalseRejects())
+	return nil
+}
+
+func total(spec counterfeit.PopulationSpec) int {
+	n := 0
+	for _, c := range spec {
+		n += c
+	}
+	return n
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+type sink struct{ bytes.Buffer }
+
+func TestSupplyChainScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("population scenario is slow")
+	}
+	var out sink
+	err := run([]string{"-n", "1", "-genuine", "2", "-npe", "80000"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"fabricating and verifying 8 chips",
+		"genuine-accept",
+		"confusion matrix:",
+		"correct accept/refuse rate: 100.0%",
+		"false accepts: 0   false rejects: 0",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSupplyChainBadFlags(t *testing.T) {
+	var out sink
+	if err := run([]string{"-part", "Z80"}, &out); err == nil {
+		t.Error("unknown part accepted")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

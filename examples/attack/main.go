@@ -1,0 +1,127 @@
+// Attack: a counterfeiter's-eye view. Starting from a REJECT-marked
+// fall-out die (the paper's §I scenario), try every flash operation
+// available — erase/rewrite, digital cloning onto a fresh chip, stress
+// top-up — and watch each attempt fail at verification. Ends with the
+// one attack that physics cannot stop (full replay imprint) and why it
+// is still a bad business for the counterfeiter.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	flashmark "github.com/flashmark/flashmark"
+)
+
+func main() {
+	part := flashmark.PartSmallSim()
+	key := []byte("trusted-chipmaker-key")
+	factory := flashmark.FactoryConfig{
+		Part:         part,
+		Codec:        flashmark.Codec{Key: key},
+		Manufacturer: "TC",
+	}
+	verifier := &flashmark.Verifier{
+		Codec:        flashmark.Codec{Key: key},
+		Manufacturer: "TC",
+		TPEW:         25 * time.Microsecond,
+	}
+
+	verify := func(label string, dev *flashmark.Device) {
+		res, err := verifier.Verify(dev)
+		if err != nil {
+			log.Fatal(err)
+		}
+		outcome := "REFUSED"
+		if res.Verdict.Accepted() {
+			outcome = "ACCEPTED (!)"
+		}
+		fmt.Printf("  -> verdict %-15s %s\n\n", res.Verdict, outcome)
+		_ = label
+	}
+
+	// The counterfeiter holds a genuine die that was watermarked REJECT
+	// at die sort.
+	fmt.Println("attack 0: sell the REJECT die as-is")
+	dev, err := flashmark.Fabricate(flashmark.ClassGenuineReject, factory, 0xE001, 6001)
+	if err != nil {
+		log.Fatal(err)
+	}
+	verify("as-is", dev)
+
+	fmt.Println("attack 1: erase the watermark segment and program a forged ACCEPT record")
+	dev, err = flashmark.Fabricate(flashmark.ClassGenuineReject, factory, 0xE002, 6002)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctl := dev.Controller()
+	if err := ctl.Unlock(0xA5); err != nil {
+		log.Fatal(err)
+	}
+	if err := ctl.EraseSegment(0); err != nil {
+		log.Fatal(err)
+	}
+	codec := flashmark.Codec{Key: key} // suppose the key even leaked
+	forged, err := codec.Encode(flashmark.Payload{Manufacturer: "TC", DieID: 6002, Status: flashmark.StatusAccept})
+	if err != nil {
+		log.Fatal(err)
+	}
+	img, err := flashmark.Replicate(forged, 7, part.Geometry.WordsPerSegment())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ctl.ProgramBlock(0, img); err != nil {
+		log.Fatal(err)
+	}
+	ctl.Lock()
+	fmt.Println("  (digital content now reads as a perfect signed ACCEPT record)")
+	fmt.Println("  but extraction senses wear, not data: the REJECT cells are still slow")
+	verify("erase+rewrite", dev)
+
+	fmt.Println("attack 2: stress additional cells to morph REJECT toward ACCEPT")
+	dev, err = flashmark.Fabricate(flashmark.ClassTopUpTamper, factory, 0xE003, 6003)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  (stressing can only turn good cells bad — each data bit is stored")
+	fmt.Println("   with its complement, so one-way damage leaves a detectable tie)")
+	verify("top-up", dev)
+
+	fmt.Println("attack 3: digitally clone a genuine ACCEPT segment onto a fresh chip")
+	dev, err = flashmark.Fabricate(flashmark.ClassDigitalClone, factory, 0xE004, 6004)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  (plain programming leaves no wear; extraction reads a blank)")
+	verify("clone", dev)
+
+	fmt.Println("attack 4: replay the FULL imprint procedure on a fresh inferior chip")
+	dev, err = flashmark.Fabricate(flashmark.ClassReplayImprint, factory, 0xE005, 6005)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  (the residual risk: real stress is real stress; physics alone")
+	fmt.Println("   cannot tell this from a genuine imprint)")
+	verify("replay", dev)
+
+	fmt.Println("attack 4 revisited: batch audit of die identities")
+	fmt.Println("  (the replay necessarily duplicates its victim's die ID — the")
+	fmt.Println("   attacker cannot mint fresh signed IDs without the key)")
+	verifier.Audit = flashmark.NewAuditor()
+	victim, err := flashmark.Fabricate(flashmark.ClassGenuineAccept, factory, 0xE006, 7007)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clone, err := flashmark.Fabricate(flashmark.ClassReplayImprint, factory, 0xE007, 7007)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  victim chip (die 7007):")
+	verify("victim", victim)
+	fmt.Println("  replayed clone (same die 7007):")
+	verify("clone", clone)
+	fmt.Println("remaining exposure: the clone passes only until any other chip in")
+	fmt.Println("the batch carries the same die ID — plus hundreds of seconds of")
+	fmt.Println("tester time per chip and a leaked signing key as preconditions.")
+}

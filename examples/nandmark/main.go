@@ -1,0 +1,73 @@
+// Nandmark: Flashmark on NAND flash (paper §VI: "the proposed method is
+// applicable broadly to NOR and NAND flash memories"). Same cell physics,
+// different discipline: erases happen a block at a time and pages must be
+// programmed in order — the imprint and extraction procedures carry over
+// at block granularity.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	flashmark "github.com/flashmark/flashmark"
+)
+
+func main() {
+	geom := flashmark.SmallNAND()
+	dev, err := flashmark.NewNANDDevice(geom, flashmark.SLCTiming(), flashmark.DefaultCellParams(), 77)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("NAND chip: %d blocks x %d pages x %d B\n",
+		geom.Blocks, geom.PagesPerBlock, geom.PageBytes)
+
+	// Watermark covering the reserved block (block 0): SECDED-encoded
+	// metadata replicated 5x (the ECC study's lesson: the code corrects
+	// one bad cell per word, replication handles the rest), padded with
+	// 0xFF so the padding cells stay good.
+	const replicas = 5
+	meta := []byte("TC NAND DIE-7701 ACCEPT GRADE-1 WK27")
+	encoded := flashmark.ECCEncodeBytes(meta)
+	stored, err := flashmark.Replicate(encoded, replicas, geom.BlockBytes()/2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wm := make([]byte, geom.BlockBytes())
+	for i, w := range stored {
+		wm[2*i] = byte(w)
+		wm[2*i+1] = byte(w >> 8)
+	}
+
+	start := dev.Clock().Now()
+	if err := flashmark.NANDImprint(dev, 0, wm, flashmark.NANDImprintOptions{NPE: 80_000, Accelerated: true}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("imprinted block 0 in %v of device time (SLC timings)\n", dev.Clock().Now()-start)
+
+	// Counterfeiter wipes the block; the wear remains.
+	if err := dev.EraseBlock(0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("counterfeiter erased the block")
+
+	got, err := flashmark.NANDExtract(dev, 0, 25*time.Microsecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	words := make([]uint64, len(got)/2)
+	for i := range words {
+		words[i] = uint64(got[2*i]) | uint64(got[2*i+1])<<8
+	}
+	voted, err := flashmark.MajorityDecode(words, len(encoded), replicas, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recovered, stats, err := flashmark.ECCDecodeBytes(voted, len(meta))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered: %q\n", recovered)
+	fmt.Printf("ECC: %d words, %d corrected, %d double errors\n",
+		stats.Words, stats.Corrected, stats.DoubleErrors)
+}

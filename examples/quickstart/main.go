@@ -1,0 +1,94 @@
+// Quickstart: imprint a watermark into a simulated NOR flash segment by
+// repeated P/E stressing, wipe the chip the way a counterfeiter would,
+// and recover the watermark anyway through a timed partial erase.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	flashmark "github.com/flashmark/flashmark"
+)
+
+func main() {
+	// Fabricate a chip. The seed is the die's physical identity: a
+	// different seed is a different piece of silicon.
+	dev, err := flashmark.NewDevice(flashmark.PartMSP430F5438(), 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	geom := dev.Part().Geometry
+	fmt.Printf("chip: %s, %d KB flash, %d-byte segments\n",
+		dev.Part().Name, geom.TotalBytes()/1024, geom.SegmentBytes)
+
+	// Encode the die-sort metadata and replicate it 7 times across the
+	// reserved segment.
+	codec := flashmark.Codec{Key: []byte("trusted-chipmaker-key")}
+	payload, err := codec.Encode(flashmark.Payload{
+		Manufacturer: "TC",
+		DieID:        1001,
+		SpeedGrade:   2,
+		Status:       flashmark.StatusAccept,
+		YearWeek:     2627,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	img, err := flashmark.Replicate(payload, 7, geom.WordsPerSegment())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Imprint: 80,000 erase+program cycles. Watermark bits at logic 0
+	// become permanently slow-to-erase ("bad") cells.
+	start := dev.Clock().Now()
+	err = flashmark.Imprint(dev, 0, img, flashmark.ImprintOptions{NPE: 80_000, Accelerated: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("imprinted in %v of device time (accelerated procedure)\n", dev.Clock().Now()-start)
+
+	// A counterfeiter erases the segment and writes something else.
+	ctl := dev.Controller()
+	if err := ctl.Unlock(0xA5); err != nil {
+		log.Fatal(err)
+	}
+	if err := ctl.EraseSegment(0); err != nil {
+		log.Fatal(err)
+	}
+	if err := ctl.ProgramWord(0, 0xDEAD); err != nil {
+		log.Fatal(err)
+	}
+	ctl.Lock()
+	fmt.Println("counterfeiter wiped the segment and wrote cover data")
+
+	// Extraction ignores the digital content entirely: erase, program
+	// all cells, partial erase for t_PEW, read. Stressed cells resist
+	// the partial erase and read 0 — the watermark reappears.
+	start = dev.Clock().Now()
+	words, err := flashmark.Extract(dev, 0, flashmark.ExtractOptions{
+		TPEW:        25 * time.Microsecond,
+		Reads:       3,
+		HostReadout: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	views, err := flashmark.ReplicaViews(words, codec.PayloadWords(), 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, report, err := codec.DecodeReplicas(views)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("extracted in %v of device time\n", dev.Clock().Now()-start)
+	fmt.Printf("recovered watermark: mfg=%s die=%d grade=%d status=%s date=%d\n",
+		got.Manufacturer, got.DieID, got.SpeedGrade, got.Status, got.YearWeek)
+	fmt.Printf("integrity: crc=%v signature=%v tampered=%v\n",
+		report.CRCOK, report.SignatureOK, report.Tampered())
+	raw := flashmark.BER(words[:codec.PayloadWords()], payload, 16)
+	fmt.Printf("raw first-replica BER %.2f%%; fused replica decode: error-free=%v\n",
+		100*raw, !report.Tampered())
+}

@@ -1,0 +1,130 @@
+package flashmark_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	flashmark "github.com/flashmark/flashmark"
+)
+
+// TestFacadeEndToEnd drives the full public API surface the way the
+// package documentation advertises.
+func TestFacadeEndToEnd(t *testing.T) {
+	dev, err := flashmark.NewDevice(flashmark.PartSmallSim(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := flashmark.Codec{Key: []byte("manufacturer-key")}
+	payload, err := codec.Encode(flashmark.Payload{
+		Manufacturer: "TC",
+		DieID:        1001,
+		Status:       flashmark.StatusAccept,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segWords := dev.Part().Geometry.WordsPerSegment()
+	img, err := flashmark.Replicate(payload, 7, segWords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := flashmark.Imprint(dev, 0, img, flashmark.ImprintOptions{NPE: 80_000, Accelerated: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Persist and reload: the watermark must survive serialization.
+	var buf bytes.Buffer
+	if err := dev.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dev2, err := flashmark.LoadDevice(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	words, err := flashmark.Extract(dev2, 0, flashmark.ExtractOptions{TPEW: 25 * time.Microsecond, Reads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	views, err := flashmark.ReplicaViews(words, codec.PayloadWords(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, report, err := codec.DecodeReplicas(views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Tampered() {
+		t.Fatalf("pristine chip reported tampered: %+v", report)
+	}
+	if got.Manufacturer != "TC" || got.DieID != 1001 || got.Status != flashmark.StatusAccept {
+		t.Fatalf("payload = %+v", got)
+	}
+
+	// Verifier agrees.
+	v := &flashmark.Verifier{Codec: codec, Manufacturer: "TC"}
+	res, err := v.Verify(dev2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != flashmark.VerdictGenuine {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+}
+
+func TestFacadeFabricateAttackers(t *testing.T) {
+	cfg := flashmark.FactoryConfig{
+		Part:  flashmark.PartSmallSim(),
+		Codec: flashmark.Codec{Key: []byte("k")},
+	}
+	dev, err := flashmark.Fabricate(flashmark.ClassMetadataForgery, cfg, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &flashmark.Verifier{Codec: flashmark.Codec{Key: []byte("k")}, Manufacturer: "TC"}
+	res, err := v.Verify(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != flashmark.VerdictNoWatermark {
+		t.Fatalf("forgery verdict = %v", res.Verdict)
+	}
+}
+
+// TestAllPartsRoundTrip drives the imprint/extract round trip on every
+// catalog part: the algorithms are part-agnostic; only the published
+// window differs per family.
+func TestAllPartsRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-part round trip is slow")
+	}
+	windows := map[string]time.Duration{
+		"MSP430F5438": 25 * time.Microsecond,
+		"MSP430F5529": 25 * time.Microsecond,
+		"FM-SIM16":    25 * time.Microsecond,
+		"FAST-NOR":    25 * time.Microsecond,
+		"ALT-NOR":     39 * time.Microsecond, // per-family calibration (see the family experiment)
+	}
+	for name, tpew := range windows {
+		part, err := flashmark.PartByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev, err := flashmark.NewDevice(part, 0xFACE)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wm := flashmark.ReferenceWatermark(part.Geometry.WordsPerSegment())
+		if err := flashmark.Imprint(dev, 0, wm, flashmark.ImprintOptions{NPE: 80_000, Accelerated: true}); err != nil {
+			t.Fatalf("%s imprint: %v", name, err)
+		}
+		got, err := flashmark.Extract(dev, 0, flashmark.ExtractOptions{TPEW: tpew, Reads: 3})
+		if err != nil {
+			t.Fatalf("%s extract: %v", name, err)
+		}
+		if ber := flashmark.BER(got, wm, part.Geometry.WordBits()); ber > 0.12 {
+			t.Errorf("%s BER = %.3f at its family window", name, ber)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/flashmark/flashmark
+
+go 1.22

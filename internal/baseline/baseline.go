@@ -1,0 +1,203 @@
+// Package baseline implements the prior-work comparators the paper
+// positions Flashmark against (§I):
+//
+//   - MetadataCheck — the "current practice": read the manufacturer
+//     metadata programmed into the reserved segment and trust it. Easily
+//     erased/forged/fabricated by counterfeiters; included to demonstrate
+//     exactly that.
+//   - FFDDetector — a fake-flash/recycling detector in the spirit of
+//     Guo et al. [6]: sweep partial *program* operations and compare the
+//     segment's programming-speed profile against a golden (fresh)
+//     reference. Worn oxide programs faster.
+//   - EraseTimingDetector — a recycled-flash detector in the spirit of
+//     Sakib et al. [7]: one or more timed partial *erase* rounds; worn
+//     oxide erases slower.
+//
+// Both physical detectors flag recycled chips but carry no identity or
+// die-sort information, so they cannot catch rebranded, out-of-spec, or
+// cloned parts — the gap Flashmark fills. The supply-chain experiment
+// (experiment TAB-SUPPLY) measures this quantitatively.
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/flashmark/flashmark/internal/core"
+	"github.com/flashmark/flashmark/internal/flashctl"
+	"github.com/flashmark/flashmark/internal/mcu"
+	"github.com/flashmark/flashmark/internal/wmcode"
+)
+
+// Assessment is a physical detector's finding for one chip.
+type Assessment struct {
+	UsedFlash bool    // the detector believes the flash saw heavy prior use
+	Metric    float64 // the detector's raw decision metric
+	Threshold float64 // the decision threshold applied
+}
+
+// MetadataCheck is the current practice: decode whatever bytes sit in the
+// reserved metadata segment. It returns the claimed payload and whether a
+// structurally valid record was found. It has no defense against forgery:
+// anyone can erase the segment and program a fresh record.
+func MetadataCheck(dev *mcu.Device, segAddr int, codec wmcode.Codec, replicas int) (wmcode.Payload, bool, error) {
+	ctl := dev.Controller()
+	words, err := ctl.ReadSegment(segAddr)
+	if err != nil {
+		return wmcode.Payload{}, false, err
+	}
+	if replicas <= 0 {
+		replicas = 1
+	}
+	payloadWords := codec.PayloadWords()
+	if payloadWords*replicas > len(words) {
+		return wmcode.Payload{}, false, fmt.Errorf("baseline: segment too small for %d replicas", replicas)
+	}
+	voted, err := core.MajorityDecode(words, payloadWords, replicas, dev.Part().Geometry.WordBits())
+	if err != nil {
+		return wmcode.Payload{}, false, err
+	}
+	p, rep, err := codec.Decode(voted)
+	if err != nil || rep.Tampered() {
+		return p, false, nil
+	}
+	return p, true, nil
+}
+
+// FFDDetector detects prior flash use via partial-program sweeps [6].
+type FFDDetector struct {
+	// SweepLo/SweepHi/Step bound the partial program sweep. Zero values
+	// select 30–60 µs in 1 µs steps.
+	SweepLo, SweepHi, Step time.Duration
+	// FreshMedian is the golden median programming time for this device
+	// family, established on known-fresh parts (see CalibrateFFD).
+	FreshMedian time.Duration
+	// Tolerance is the fractional drop below FreshMedian that still
+	// counts as fresh (default 0.03: worn chips program >3% faster).
+	Tolerance float64
+}
+
+// medianProgramTime sweeps partial programs on a segment and returns the
+// pulse at which at least half the cells read programmed.
+func (d *FFDDetector) medianProgramTime(dev *mcu.Device, segAddr int) (time.Duration, error) {
+	lo, hi, step := d.SweepLo, d.SweepHi, d.Step
+	if lo == 0 {
+		lo = 30 * time.Microsecond
+	}
+	if hi == 0 {
+		hi = 60 * time.Microsecond
+	}
+	if step == 0 {
+		step = 500 * time.Nanosecond
+	}
+	ctl := dev.Controller()
+	geom := dev.Part().Geometry
+	half := geom.CellsPerSegment() / 2
+	if err := ctl.Unlock(flashctl.UnlockKey); err != nil {
+		return 0, err
+	}
+	defer ctl.Lock()
+	for pulse := lo; pulse <= hi; pulse += step {
+		if err := ctl.EraseSegment(segAddr); err != nil {
+			return 0, err
+		}
+		if err := ctl.PartialProgramSegment(segAddr, pulse); err != nil {
+			return 0, err
+		}
+		words, err := ctl.ReadSegment(segAddr)
+		if err != nil {
+			return 0, err
+		}
+		programmed := 0
+		for _, w := range words {
+			for b := 0; b < geom.WordBits(); b++ {
+				if w&(1<<uint(b)) == 0 {
+					programmed++
+				}
+			}
+		}
+		if programmed >= half {
+			return pulse, nil
+		}
+	}
+	return hi, nil
+}
+
+// Assess classifies one data segment of the chip.
+func (d *FFDDetector) Assess(dev *mcu.Device, segAddr int) (Assessment, error) {
+	if d.FreshMedian <= 0 {
+		return Assessment{}, fmt.Errorf("baseline: FFD detector has no golden reference; run CalibrateFFD")
+	}
+	tol := d.Tolerance
+	if tol == 0 {
+		tol = 0.03
+	}
+	median, err := d.medianProgramTime(dev, segAddr)
+	if err != nil {
+		return Assessment{}, err
+	}
+	threshold := float64(d.FreshMedian) * (1 - tol)
+	return Assessment{
+		UsedFlash: float64(median) < threshold,
+		Metric:    float64(median) / float64(time.Microsecond),
+		Threshold: threshold / float64(time.Microsecond),
+	}, nil
+}
+
+// CalibrateFFD establishes the golden fresh median on reference devices.
+func CalibrateFFD(part mcu.Part, seeds []uint64, d *FFDDetector) error {
+	if len(seeds) == 0 {
+		return fmt.Errorf("baseline: FFD calibration needs reference dice")
+	}
+	var total time.Duration
+	for _, seed := range seeds {
+		dev, err := mcu.NewDevice(part, seed)
+		if err != nil {
+			return err
+		}
+		m, err := d.medianProgramTime(dev, 0)
+		if err != nil {
+			return err
+		}
+		total += m
+	}
+	d.FreshMedian = total / time.Duration(len(seeds))
+	return nil
+}
+
+// EraseTimingDetector detects prior flash use via timed partial erases [7].
+type EraseTimingDetector struct {
+	// TPEW is the probe partial erase time (zero selects 25 µs).
+	TPEW time.Duration
+	// Threshold is the programmed-cell fraction above which the segment
+	// counts as worn (zero selects 0.04).
+	Threshold float64
+	// Reads is the majority read count (zero selects 3).
+	Reads int
+}
+
+// Assess classifies one data segment of the chip.
+func (d *EraseTimingDetector) Assess(dev *mcu.Device, segAddr int) (Assessment, error) {
+	tpew := d.TPEW
+	if tpew == 0 {
+		tpew = 25 * time.Microsecond
+	}
+	threshold := d.Threshold
+	if threshold == 0 {
+		threshold = 0.04
+	}
+	reads := d.Reads
+	if reads == 0 {
+		reads = 3
+	}
+	programmed, err := core.DetectStress(dev, segAddr, tpew, reads)
+	if err != nil {
+		return Assessment{}, err
+	}
+	frac := float64(programmed) / float64(dev.Part().Geometry.CellsPerSegment())
+	return Assessment{
+		UsedFlash: frac > threshold,
+		Metric:    frac,
+		Threshold: threshold,
+	}, nil
+}

@@ -1,0 +1,146 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"github.com/flashmark/flashmark/internal/counterfeit"
+	"github.com/flashmark/flashmark/internal/mcu"
+	"github.com/flashmark/flashmark/internal/wmcode"
+)
+
+var key = []byte("k")
+
+func factoryCfg() counterfeit.FactoryConfig {
+	return counterfeit.FactoryConfig{
+		Part:  mcu.PartSmallSim(),
+		Codec: wmcode.Codec{Key: key},
+	}
+}
+
+func fabricate(t *testing.T, class counterfeit.ChipClass, seed uint64) *mcu.Device {
+	t.Helper()
+	dev, err := counterfeit.Fabricate(class, factoryCfg(), seed, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+func TestMetadataCheckAcceptsCurrentPractice(t *testing.T) {
+	// The whole problem with the current practice: a plain metadata
+	// forgery reads back as a perfectly valid record.
+	dev := fabricate(t, counterfeit.ClassMetadataForgery, 1)
+	p, ok, err := MetadataCheck(dev, 0, wmcode.Codec{Key: key}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("forged metadata should pass the naive check")
+	}
+	if p.Status != wmcode.StatusAccept {
+		t.Errorf("forged status = %v", p.Status)
+	}
+}
+
+func TestMetadataCheckRejectsBlank(t *testing.T) {
+	dev := fabricate(t, counterfeit.ClassUnmarked, 2)
+	_, ok, err := MetadataCheck(dev, 0, wmcode.Codec{Key: key}, 7)
+	if err == nil && ok {
+		t.Fatal("blank chip passed metadata check")
+	}
+}
+
+func TestMetadataCheckValidation(t *testing.T) {
+	dev := fabricate(t, counterfeit.ClassUnmarked, 3)
+	if _, _, err := MetadataCheck(dev, 0, wmcode.Codec{Key: key}, 100); err == nil {
+		t.Error("oversized replica count accepted")
+	}
+}
+
+func TestEraseTimingDetectorSeparates(t *testing.T) {
+	fresh := fabricate(t, counterfeit.ClassGenuineAccept, 4)
+	recycled := fabricate(t, counterfeit.ClassRecycled, 5)
+	det := &EraseTimingDetector{}
+	segAddr := fresh.Part().Geometry.SegmentBytes // first data segment
+	af, err := det.Assess(fresh, segAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, err := det.Assess(recycled, segAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if af.UsedFlash {
+		t.Errorf("fresh chip flagged used (metric %.3f >= %.3f)", af.Metric, af.Threshold)
+	}
+	if !ar.UsedFlash {
+		t.Errorf("recycled chip not flagged (metric %.3f <= %.3f)", ar.Metric, ar.Threshold)
+	}
+}
+
+func TestEraseTimingDetectorBlindToForgery(t *testing.T) {
+	// The prior-work gap: a fresh forged chip looks pristine.
+	forged := fabricate(t, counterfeit.ClassMetadataForgery, 6)
+	det := &EraseTimingDetector{}
+	a, err := det.Assess(forged, forged.Part().Geometry.SegmentBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.UsedFlash {
+		t.Error("erase-timing detector cannot know about forgery, yet flagged the chip")
+	}
+}
+
+func TestFFDDetectorSeparates(t *testing.T) {
+	det := &FFDDetector{}
+	if err := CalibrateFFD(mcu.PartSmallSim(), []uint64{100, 101, 102}, det); err != nil {
+		t.Fatal(err)
+	}
+	if det.FreshMedian <= 0 {
+		t.Fatal("calibration produced no golden reference")
+	}
+	fresh := fabricate(t, counterfeit.ClassGenuineAccept, 7)
+	recycled := fabricate(t, counterfeit.ClassRecycled, 8)
+	segAddr := fresh.Part().Geometry.SegmentBytes
+	af, err := det.Assess(fresh, segAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, err := det.Assess(recycled, segAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if af.UsedFlash {
+		t.Errorf("fresh chip flagged used (median %.1fµs threshold %.1fµs)", af.Metric, af.Threshold)
+	}
+	if !ar.UsedFlash {
+		t.Errorf("recycled chip not flagged (median %.1fµs threshold %.1fµs)", ar.Metric, ar.Threshold)
+	}
+}
+
+func TestFFDRequiresCalibration(t *testing.T) {
+	det := &FFDDetector{}
+	dev := fabricate(t, counterfeit.ClassGenuineAccept, 9)
+	if _, err := det.Assess(dev, 512); err == nil {
+		t.Fatal("uncalibrated FFD accepted")
+	}
+}
+
+func TestCalibrateFFDValidation(t *testing.T) {
+	if err := CalibrateFFD(mcu.PartSmallSim(), nil, &FFDDetector{}); err == nil {
+		t.Fatal("calibration without seeds accepted")
+	}
+}
+
+func TestDetectorsCustomThresholds(t *testing.T) {
+	det := &EraseTimingDetector{TPEW: 30 * time.Microsecond, Threshold: 0.5, Reads: 1}
+	dev := fabricate(t, counterfeit.ClassRecycled, 10)
+	a, err := det.Assess(dev, dev.Part().Geometry.SegmentBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Threshold != 0.5 {
+		t.Errorf("threshold override ignored: %v", a.Threshold)
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/flashmark/flashmark/internal/flashctl"
+	"github.com/flashmark/flashmark/internal/mcu"
+)
+
+// CharacterizePoint is one row of a characterization sweep: the state of
+// a segment after a partial erase of duration TPE.
+type CharacterizePoint struct {
+	TPE    time.Duration
+	Cells0 int // cells reading programmed
+	Cells1 int // cells reading erased
+}
+
+// CharacterizeOptions controls CharacterizeSegment.
+type CharacterizeOptions struct {
+	// Step is the partial erase time increment Δt. Zero selects 2 µs.
+	Step time.Duration
+	// Max caps the sweep; zero sweeps until every cell reads erased
+	// (or the nominal erase time is reached, whichever is first).
+	Max time.Duration
+	// Reads is the majority read count N (odd). Zero selects 3,
+	// the paper's example.
+	Reads int
+}
+
+// CharacterizeSegment runs the paper's Fig. 3 procedure on the segment
+// containing segAddr: for each partial erase time t_PE it erases the
+// segment, programs every cell, applies a partial erase of t_PE, and
+// majority-reads the result. The returned curve is the paper's Fig. 4 for
+// this segment's wear state.
+//
+// Note that characterization itself wears the segment by roughly one P/E
+// cycle per point — on real silicon as in this simulation — which is
+// negligible against the 10^4-cycle stress levels being measured.
+func CharacterizeSegment(dev *mcu.Device, segAddr int, opts CharacterizeOptions) ([]CharacterizePoint, error) {
+	step := opts.Step
+	if step == 0 {
+		step = 2 * time.Microsecond
+	}
+	if step < 0 {
+		return nil, fmt.Errorf("core: negative characterization step %v", step)
+	}
+	reads := opts.Reads
+	if reads == 0 {
+		reads = 3
+	}
+	if reads < 0 || reads%2 == 0 {
+		return nil, fmt.Errorf("core: reads must be odd and positive, got %d", reads)
+	}
+	ctl := dev.Controller()
+	geom := ctl.Array().Geometry()
+	maxT := opts.Max
+	if maxT == 0 || maxT > ctl.Timing().SegmentErase {
+		maxT = ctl.Timing().SegmentErase
+	}
+	if err := ctl.Unlock(flashctl.UnlockKey); err != nil {
+		return nil, err
+	}
+	defer ctl.Lock()
+
+	allZeros := make([]uint64, geom.WordsPerSegment())
+	var points []CharacterizePoint
+	for tpe := time.Duration(0); tpe <= maxT; tpe += step {
+		if err := ctl.EraseSegment(segAddr); err != nil {
+			return nil, err
+		}
+		if err := ctl.ProgramBlock(segAddr, allZeros); err != nil {
+			return nil, err
+		}
+		if err := ctl.PartialEraseSegment(segAddr, tpe); err != nil {
+			return nil, err
+		}
+		_, c1, c0, err := AnalyzeSegment(dev, segAddr, reads)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, CharacterizePoint{TPE: tpe, Cells0: c0, Cells1: c1})
+		if opts.Max == 0 && c0 == 0 && tpe > 0 {
+			break
+		}
+	}
+	return points, nil
+}
+
+// AllErasedTime returns the smallest swept t_PE at which every cell read
+// erased, or ok=false if the sweep never got there. This is the per-wear
+// "minimum t_PE when all cells read as erased" statistic of Fig. 4.
+func AllErasedTime(points []CharacterizePoint) (time.Duration, bool) {
+	for _, p := range points {
+		if p.Cells0 == 0 && p.TPE > 0 {
+			return p.TPE, true
+		}
+	}
+	return 0, false
+}
+
+// DetectStress runs one partial-erase round (paper Fig. 5) on the segment
+// containing segAddr and reports how many cells still read programmed at
+// t_PEW. Fresh segments erase almost completely (small count); segments
+// that lived through heavy P/E cycling resist (large count). The segment
+// content is destroyed.
+func DetectStress(dev *mcu.Device, segAddr int, tPEW time.Duration, reads int) (programmed int, err error) {
+	if reads == 0 {
+		reads = 1
+	}
+	ctl := dev.Controller()
+	geom := ctl.Array().Geometry()
+	if tPEW <= 0 {
+		return 0, fmt.Errorf("core: non-positive t_PEW %v", tPEW)
+	}
+	if err := ctl.Unlock(flashctl.UnlockKey); err != nil {
+		return 0, err
+	}
+	defer ctl.Lock()
+	if err := ctl.EraseSegment(segAddr); err != nil {
+		return 0, err
+	}
+	allZeros := make([]uint64, geom.WordsPerSegment())
+	if err := ctl.ProgramBlock(segAddr, allZeros); err != nil {
+		return 0, err
+	}
+	if err := ctl.PartialEraseSegment(segAddr, tPEW); err != nil {
+		return 0, err
+	}
+	_, _, c0, err := AnalyzeSegment(dev, segAddr, reads)
+	if err != nil {
+		return 0, err
+	}
+	return c0, nil
+}

@@ -1,0 +1,232 @@
+// Package core implements Flashmark itself — the paper's contribution:
+// imprinting watermarks into NOR flash segments by repeated program/erase
+// stress (Fig. 7), extracting them through partial erase operations
+// (Fig. 8), characterizing cell wear through the digital interface
+// (Fig. 3), replication with majority voting, and the t_PEW calibration
+// the manufacturer publishes for each device family.
+//
+// All procedures drive a simulated microcontroller (package mcu) through
+// its flash controller using only operations real firmware has: erase,
+// program, read, and the emergency-exit command that aborts an erase.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/flashmark/flashmark/internal/flashctl"
+	"github.com/flashmark/flashmark/internal/mcu"
+)
+
+// DefaultNPE is the imprint cycle count used when options leave it zero.
+// The paper explores 20 K–100 K; 40 K is the paper's main design point
+// balancing imprint time against extraction error rate.
+const DefaultNPE = 40_000
+
+// ImprintOptions controls ImprintSegment.
+type ImprintOptions struct {
+	// NPE is the number of program/erase stress cycles (paper's N_PE).
+	// Zero selects DefaultNPE.
+	NPE int
+	// Accelerated terminates each erase early once the cells have
+	// physically erased (the paper's §V accelerated procedure, ~3.5x
+	// faster with identical physical outcome).
+	Accelerated bool
+	// Literal forces the cycle-by-cycle command loop instead of the
+	// simulator's closed-form fast-forward. The physical outcome is
+	// identical (covered by tests); the literal loop exists for fidelity
+	// demonstrations and is O(NPE) slower to simulate.
+	Literal bool
+}
+
+// ImprintSegment imprints the watermark into the segment containing
+// segAddr by N_PE repeated erase+program cycles (paper Fig. 7). The
+// watermark must cover the whole segment, one value per word; bits at
+// logic 0 become permanently stressed ("bad") cells, bits at logic 1
+// remain "good". The segment is left programmed with the watermark, as
+// the current practice would leave it; the information survives any
+// subsequent erase because it lives in the cells' physical wear.
+func ImprintSegment(dev *mcu.Device, segAddr int, watermark []uint64, opts ImprintOptions) error {
+	ctl := dev.Controller()
+	geom := ctl.Array().Geometry()
+	if len(watermark) != geom.WordsPerSegment() {
+		return fmt.Errorf("core: watermark has %d words, segment holds %d", len(watermark), geom.WordsPerSegment())
+	}
+	npe := opts.NPE
+	if npe == 0 {
+		npe = DefaultNPE
+	}
+	if npe < 0 {
+		return fmt.Errorf("core: negative N_PE %d", npe)
+	}
+	if err := ctl.Unlock(flashctl.UnlockKey); err != nil {
+		return err
+	}
+	defer ctl.Lock()
+
+	if !opts.Literal {
+		return ctl.StressSegmentWords(segAddr, watermark, npe, opts.Accelerated)
+	}
+	for cycle := 0; cycle < npe; cycle++ {
+		if opts.Accelerated {
+			if _, err := ctl.EraseSegmentAdaptive(segAddr); err != nil {
+				return err
+			}
+		} else {
+			if err := ctl.EraseSegment(segAddr); err != nil {
+				return err
+			}
+		}
+		if err := ctl.ProgramBlock(segAddr, watermark); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExtractOptions controls ExtractSegment.
+type ExtractOptions struct {
+	// TPEW is the partial erase time that separates good from bad cells.
+	// The manufacturer determines it per device family (see Calibrate).
+	TPEW time.Duration
+	// Reads is the number of reads per word; the per-bit value is the
+	// majority. Zero selects 1 (the paper's single-read extraction).
+	// Must be odd.
+	Reads int
+	// HostReadout charges the host serial link for transferring the read
+	// data to the verifier (included in the paper's 170 ms extract time).
+	HostReadout bool
+}
+
+// ExtractSegment retrieves the watermark imprinted in the segment
+// containing segAddr (paper Fig. 8): the segment is erased, fully
+// programmed, a partial erase of duration t_PEW is applied, and the cells
+// are read. Good (unstressed) cells erase within t_PEW and read 1; bad
+// (stressed) cells resist and read 0 — the read words are the watermark,
+// subject to the bit error rates the paper characterizes.
+//
+// Extraction destroys any data stored in the segment but not the
+// watermark, which is physical; extraction may be repeated.
+func ExtractSegment(dev *mcu.Device, segAddr int, opts ExtractOptions) ([]uint64, error) {
+	ctl := dev.Controller()
+	geom := ctl.Array().Geometry()
+	reads := opts.Reads
+	if reads == 0 {
+		reads = 1
+	}
+	if reads < 0 || reads%2 == 0 {
+		return nil, fmt.Errorf("core: reads must be odd and positive, got %d", reads)
+	}
+	if opts.TPEW <= 0 {
+		return nil, fmt.Errorf("core: non-positive t_PEW %v", opts.TPEW)
+	}
+	if err := ctl.Unlock(flashctl.UnlockKey); err != nil {
+		return nil, err
+	}
+	defer ctl.Lock()
+
+	if err := ctl.EraseSegment(segAddr); err != nil {
+		return nil, err
+	}
+	allZeros := make([]uint64, geom.WordsPerSegment())
+	if err := ctl.ProgramBlock(segAddr, allZeros); err != nil {
+		return nil, err
+	}
+	if err := ctl.PartialEraseSegment(segAddr, opts.TPEW); err != nil {
+		return nil, err
+	}
+	words, _, _, err := AnalyzeSegment(dev, segAddr, reads)
+	if err != nil {
+		return nil, err
+	}
+	if opts.HostReadout {
+		dev.ChargeHostTransfer(reads * geom.SegmentBytes)
+	}
+	return words, nil
+}
+
+// AnalyzeSegment reads every word of the segment `reads` times (odd) and
+// majority-votes each bit (paper Fig. 3, AnalyzeSegment). It returns the
+// voted words and the counts of cells reading 1 (erased) and 0
+// (programmed).
+func AnalyzeSegment(dev *mcu.Device, segAddr int, reads int) (words []uint64, cells1, cells0 int, err error) {
+	if reads <= 0 || reads%2 == 0 {
+		return nil, 0, 0, fmt.Errorf("core: reads must be odd and positive, got %d", reads)
+	}
+	ctl := dev.Controller()
+	geom := ctl.Array().Geometry()
+	seg, err := geom.SegmentOfAddr(segAddr)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	base := seg * geom.SegmentBytes
+	bits := geom.WordBits()
+	words = make([]uint64, geom.WordsPerSegment())
+	votes := make([]int, bits)
+	for w := range words {
+		for i := range votes {
+			votes[i] = 0
+		}
+		for r := 0; r < reads; r++ {
+			v, rerr := ctl.ReadWord(base + w*geom.WordBytes)
+			if rerr != nil {
+				return nil, 0, 0, rerr
+			}
+			for b := 0; b < bits; b++ {
+				if v&(1<<uint(b)) != 0 {
+					votes[b]++
+				}
+			}
+		}
+		var voted uint64
+		for b := 0; b < bits; b++ {
+			if votes[b] > reads/2 {
+				voted |= 1 << uint(b)
+				cells1++
+			} else {
+				cells0++
+			}
+		}
+		words[w] = voted
+	}
+	return words, cells1, cells0, nil
+}
+
+// BitErrors counts differing bits between got and want over `bits` bits
+// per word.
+func BitErrors(got, want []uint64, bits int) int {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	mask := uint64(1)<<uint(bits) - 1
+	errs := 0
+	for i := 0; i < n; i++ {
+		diff := (got[i] ^ want[i]) & mask
+		for diff != 0 {
+			errs++
+			diff &= diff - 1
+		}
+	}
+	// Length mismatch counts every missing word as fully wrong.
+	if len(got) != len(want) {
+		longer := len(got)
+		if len(want) > longer {
+			longer = len(want)
+		}
+		errs += (longer - n) * bits
+	}
+	return errs
+}
+
+// BER returns the bit error rate (fraction in [0,1]) between got and want.
+func BER(got, want []uint64, bits int) float64 {
+	n := len(got)
+	if len(want) > n {
+		n = len(want)
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(BitErrors(got, want, bits)) / float64(n*bits)
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/flashmark/flashmark/internal/mcu"
+)
+
+func newDev(t *testing.T, seed uint64) *mcu.Device {
+	t.Helper()
+	d, err := mcu.NewDevice(mcu.PartSmallSim(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func segWords(d *mcu.Device) int { return d.Part().Geometry.WordsPerSegment() }
+
+// tcWatermark fills a segment with the paper's "TC" = 0x5443 example.
+func tcWatermark(n int) []uint64 {
+	w := make([]uint64, n)
+	for i := range w {
+		w[i] = 0x5443
+	}
+	return w
+}
+
+func TestImprintValidation(t *testing.T) {
+	d := newDev(t, 1)
+	if err := ImprintSegment(d, 0, []uint64{1, 2}, ImprintOptions{NPE: 10}); err == nil {
+		t.Error("short watermark accepted")
+	}
+	if err := ImprintSegment(d, 0, tcWatermark(segWords(d)), ImprintOptions{NPE: -1}); err == nil {
+		t.Error("negative NPE accepted")
+	}
+}
+
+func TestImprintLeavesControllerLocked(t *testing.T) {
+	d := newDev(t, 1)
+	if err := ImprintSegment(d, 0, tcWatermark(segWords(d)), ImprintOptions{NPE: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Controller().Locked() {
+		t.Error("imprint left controller unlocked")
+	}
+}
+
+func TestImprintLeavesWatermarkReadable(t *testing.T) {
+	d := newDev(t, 1)
+	wm := tcWatermark(segWords(d))
+	if err := ImprintSegment(d, 0, wm, ImprintOptions{NPE: 100}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.Controller().ReadWord(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0x5443 {
+		t.Errorf("word after imprint = %#x, want 0x5443", v)
+	}
+}
+
+func TestImprintWearsZeroBitsOnly(t *testing.T) {
+	d := newDev(t, 2)
+	wm := tcWatermark(segWords(d))
+	const npe = 1000
+	if err := ImprintSegment(d, 0, wm, ImprintOptions{NPE: npe}); err != nil {
+		t.Fatal(err)
+	}
+	geom := d.Part().Geometry
+	arr := d.Controller().Array()
+	p := d.Part().Params
+	// 0x5443 = 0101 0100 0100 0011: bit0 and bit1 are 1 (good).
+	goodWear := arr.Wear(geom.CellIndex(0, 0, 0))
+	badWear := arr.Wear(geom.CellIndex(0, 0, 2)) // bit2 of 0x...43 is 0
+	if goodWear >= badWear {
+		t.Fatalf("good wear %v should be far below bad wear %v", goodWear, badWear)
+	}
+	// The first erase sees the fresh (erased) segment, so a zero bit
+	// accrues one erase-only exposure plus npe-1 full P/E cycles.
+	wantBad := (npe-1)*p.EraseFromProgrammedWear + p.EraseOnlyWear
+	if badWear != wantBad {
+		t.Errorf("bad wear = %v, want %v", badWear, wantBad)
+	}
+	if goodWear != npe*p.EraseOnlyWear {
+		t.Errorf("good wear = %v, want %v", goodWear, float64(npe)*p.EraseOnlyWear)
+	}
+}
+
+func TestExtractValidation(t *testing.T) {
+	d := newDev(t, 1)
+	if _, err := ExtractSegment(d, 0, ExtractOptions{TPEW: 0}); err == nil {
+		t.Error("zero TPEW accepted")
+	}
+	if _, err := ExtractSegment(d, 0, ExtractOptions{TPEW: time.Microsecond, Reads: 2}); err == nil {
+		t.Error("even read count accepted")
+	}
+	if _, err := ExtractSegment(d, 0, ExtractOptions{TPEW: time.Microsecond, Reads: -3}); err == nil {
+		t.Error("negative read count accepted")
+	}
+}
+
+func TestImprintExtractRoundTrip(t *testing.T) {
+	// The paper's headline flow: a heavily imprinted watermark survives
+	// extraction with a low bit error rate at a sensible t_PEW.
+	d := newDev(t, 3)
+	wm := ReferenceWatermark(segWords(d))
+	if err := ImprintSegment(d, 0, wm, ImprintOptions{NPE: 60_000, Accelerated: true}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExtractSegment(d, 0, ExtractOptions{TPEW: 24 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ber := BER(got, wm, 16)
+	if ber > 0.15 {
+		t.Fatalf("60K imprint BER = %.3f, want < 0.15", ber)
+	}
+	if ber == 0 {
+		t.Log("note: zero BER single-read extraction (possible but unusual)")
+	}
+}
+
+func TestExtractionSurvivesErase(t *testing.T) {
+	// The core security property: wiping the segment does not remove the
+	// watermark, because it is imprinted in physical wear.
+	d := newDev(t, 4)
+	wm := ReferenceWatermark(segWords(d))
+	if err := ImprintSegment(d, 0, wm, ImprintOptions{NPE: 60_000, Accelerated: true}); err != nil {
+		t.Fatal(err)
+	}
+	ctl := d.Controller()
+	if err := ctl.Unlock(0xA5); err != nil {
+		t.Fatal(err)
+	}
+	// The counterfeiter erases the segment and writes innocuous data.
+	if err := ctl.EraseSegment(0); err != nil {
+		t.Fatal(err)
+	}
+	cover := make([]uint64, segWords(d))
+	for i := range cover {
+		cover[i] = 0xBEEF
+	}
+	if err := ctl.ProgramBlock(0, cover); err != nil {
+		t.Fatal(err)
+	}
+	ctl.Lock()
+	got, err := ExtractSegment(d, 0, ExtractOptions{TPEW: 24 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ber := BER(got, wm, 16); ber > 0.15 {
+		t.Fatalf("watermark lost after erase+rewrite: BER = %.3f", ber)
+	}
+}
+
+func TestExtractFreshSegmentReadsWatermarkless(t *testing.T) {
+	// Fresh segment, small t_PEW: everything still programmed (reads 0);
+	// large t_PEW: everything erased (reads 1). Matches the 0K line of
+	// Fig. 9.
+	d := newDev(t, 5)
+	got, err := ExtractSegment(d, 0, ExtractOptions{TPEW: 5 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range got {
+		if w != 0 {
+			t.Fatalf("fresh segment at 5µs read %#x, want 0", w)
+		}
+	}
+	got, err = ExtractSegment(d, 0, ExtractOptions{TPEW: 60 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range got {
+		if w != 0xFFFF {
+			t.Fatalf("fresh segment at 60µs read %#x, want 0xFFFF", w)
+		}
+	}
+}
+
+func TestMajorityReadsReduceNoise(t *testing.T) {
+	// With the same imprint, 5-read extraction should not be worse than
+	// single-read on average (noise flips are filtered).
+	wmBER := func(reads int) float64 {
+		total := 0.0
+		for seed := uint64(10); seed < 14; seed++ {
+			d := newDev(t, seed)
+			wm := ReferenceWatermark(segWords(d))
+			if err := ImprintSegment(d, 0, wm, ImprintOptions{NPE: 40_000, Accelerated: true}); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ExtractSegment(d, 0, ExtractOptions{TPEW: 24 * time.Microsecond, Reads: reads})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += BER(got, wm, 16)
+		}
+		return total / 4
+	}
+	single := wmBER(1)
+	voted := wmBER(5)
+	if voted > single*1.1+0.005 {
+		t.Errorf("5-read BER %.4f should not exceed single-read %.4f", voted, single)
+	}
+}
+
+func TestExtractHostReadoutCharged(t *testing.T) {
+	d := newDev(t, 6)
+	before := d.Ledger().Of(mcu.OpHost)
+	if _, err := ExtractSegment(d, 0, ExtractOptions{TPEW: 20 * time.Microsecond, Reads: 3, HostReadout: true}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Ledger().Of(mcu.OpHost) <= before {
+		t.Error("host readout not charged")
+	}
+}
+
+func TestAnalyzeSegmentCounts(t *testing.T) {
+	d := newDev(t, 7)
+	ctl := d.Controller()
+	if err := ctl.Unlock(0xA5); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.ProgramWord(0, 0x00FF); err != nil { // 8 zeros, 8 ones
+		t.Fatal(err)
+	}
+	ctl.Lock()
+	words, c1, c0, err := AnalyzeSegment(d, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geom := d.Part().Geometry
+	wantCells := geom.CellsPerSegment()
+	if c1+c0 != wantCells {
+		t.Fatalf("c1+c0 = %d, want %d", c1+c0, wantCells)
+	}
+	if c0 != 8 {
+		t.Errorf("cells0 = %d, want 8", c0)
+	}
+	if words[0] != 0x00FF {
+		t.Errorf("word 0 = %#x", words[0])
+	}
+	if _, _, _, err := AnalyzeSegment(d, 0, 2); err == nil {
+		t.Error("even reads accepted")
+	}
+	if _, _, _, err := AnalyzeSegment(d, -1, 3); err == nil {
+		t.Error("bad address accepted")
+	}
+}
+
+func TestBitErrorsAndBER(t *testing.T) {
+	if n := BitErrors([]uint64{0xFF}, []uint64{0xFF}, 8); n != 0 {
+		t.Errorf("identical words: %d errors", n)
+	}
+	if n := BitErrors([]uint64{0xF0}, []uint64{0x0F}, 8); n != 8 {
+		t.Errorf("complementary nibbles: %d errors, want 8", n)
+	}
+	if n := BitErrors([]uint64{0xF0, 0x01}, []uint64{0xF0}, 8); n != 8 {
+		t.Errorf("length mismatch: %d errors, want 8", n)
+	}
+	// Mask: only low 4 bits counted.
+	if n := BitErrors([]uint64{0xF0}, []uint64{0x00}, 4); n != 0 {
+		t.Errorf("masked errors = %d, want 0", n)
+	}
+	if got := BER([]uint64{0x0F}, []uint64{0x00}, 8); got != 0.5 {
+		t.Errorf("BER = %v, want 0.5", got)
+	}
+	if got := BER(nil, nil, 8); got != 0 {
+		t.Errorf("empty BER = %v", got)
+	}
+}
+
+func TestImprintLiteralMatchesFastForward(t *testing.T) {
+	a := newDev(t, 8)
+	b := newDev(t, 8)
+	wm := tcWatermark(segWords(a))
+	if err := ImprintSegment(a, 0, wm, ImprintOptions{NPE: 20, Literal: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ImprintSegment(b, 0, wm, ImprintOptions{NPE: 20}); err != nil {
+		t.Fatal(err)
+	}
+	geomA := a.Part().Geometry
+	for i := 0; i < geomA.CellsPerSegment(); i++ {
+		if a.Controller().Array().Wear(i) != b.Controller().Array().Wear(i) {
+			t.Fatalf("wear diverged at cell %d", i)
+		}
+	}
+	if a.Clock().Now() != b.Clock().Now() {
+		t.Errorf("time diverged: literal %v vs fast %v", a.Clock().Now(), b.Clock().Now())
+	}
+}
+
+func TestAcceleratedImprintFasterSameOutcome(t *testing.T) {
+	slow := newDev(t, 9)
+	fast := newDev(t, 9)
+	wm := ReferenceWatermark(segWords(slow))
+	if err := ImprintSegment(slow, 0, wm, ImprintOptions{NPE: 5000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ImprintSegment(fast, 0, wm, ImprintOptions{NPE: 5000, Accelerated: true}); err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(slow.Clock().Now()) / float64(fast.Clock().Now())
+	if ratio < 2.5 {
+		t.Errorf("accelerated speedup %.2fx, want > 2.5x (paper ~3.5x)", ratio)
+	}
+	for i := 0; i < slow.Part().Geometry.CellsPerSegment(); i++ {
+		if slow.Controller().Array().Wear(i) != fast.Controller().Array().Wear(i) {
+			t.Fatalf("wear diverged at cell %d", i)
+		}
+	}
+}
+
+func TestDefaultNPEApplied(t *testing.T) {
+	d := newDev(t, 10)
+	wm := tcWatermark(segWords(d))
+	if err := ImprintSegment(d, 0, wm, ImprintOptions{Accelerated: true}); err != nil {
+		t.Fatal(err)
+	}
+	geom := d.Part().Geometry
+	badWear := d.Controller().Array().Wear(geom.CellIndex(0, 0, 2))
+	p := d.Part().Params
+	want := (DefaultNPE-1)*p.EraseFromProgrammedWear + p.EraseOnlyWear
+	if badWear != want {
+		t.Errorf("default NPE wear = %v, want %v", badWear, want)
+	}
+}

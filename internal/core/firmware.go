@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/flashmark/flashmark/internal/flashctl"
+	"github.com/flashmark/flashmark/internal/mcu"
+)
+
+// This file expresses the Flashmark procedures as FCTL register
+// sequences — exactly what the paper's firmware does on the MSP430
+// ("writing and reading watermarks can be done from the flash controller
+// with standard system commands", §I). The method-level procedures
+// (ImprintSegment, ExtractSegment) remain the primary API; these
+// register-level twins exist to demonstrate that no operation beyond the
+// documented register protocol is needed, and tests pin them to the
+// method-level results.
+
+// ImprintSegmentViaRegisters performs the Fig. 7 imprint by driving the
+// FCTL register protocol for every cycle: unlock, select ERASE, dummy
+// write, select WRT, program each word, re-lock. It is O(NPE) in
+// simulation and intended for modest cycle counts; production simulations
+// use ImprintSegment.
+func ImprintSegmentViaRegisters(dev *mcu.Device, segAddr int, watermark []uint64, npe int) error {
+	geom := dev.Part().Geometry
+	if len(watermark) != geom.WordsPerSegment() {
+		return fmt.Errorf("core: watermark has %d words, segment holds %d", len(watermark), geom.WordsPerSegment())
+	}
+	if npe <= 0 {
+		return fmt.Errorf("core: register imprint needs positive N_PE, got %d", npe)
+	}
+	seg, err := geom.SegmentOfAddr(segAddr)
+	if err != nil {
+		return err
+	}
+	base := seg * geom.SegmentBytes
+	r := dev.Controller().Registers()
+	if err := r.Write(flashctl.FCTL3, flashctl.FCTLPassword); err != nil {
+		return err
+	}
+	defer func() { _ = r.Write(flashctl.FCTL3, flashctl.FCTLPassword|flashctl.BitLOCK) }()
+	for cycle := 0; cycle < npe; cycle++ {
+		if err := r.Write(flashctl.FCTL1, flashctl.FCTLPassword|flashctl.BitERASE); err != nil {
+			return err
+		}
+		if err := r.DummyWrite(base, 0); err != nil {
+			return err
+		}
+		if err := r.Write(flashctl.FCTL1, flashctl.FCTLPassword|flashctl.BitWRT); err != nil {
+			return err
+		}
+		for w, value := range watermark {
+			if err := r.DummyWrite(base+w*geom.WordBytes, value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ExtractSegmentViaRegisters performs the Fig. 8 extraction through the
+// register protocol: erase, program all zeros, arm the emergency exit
+// for t_PEW, start the erase, then read every word.
+func ExtractSegmentViaRegisters(dev *mcu.Device, segAddr int, tPEW time.Duration) ([]uint64, error) {
+	if tPEW <= 0 {
+		return nil, fmt.Errorf("core: non-positive t_PEW %v", tPEW)
+	}
+	geom := dev.Part().Geometry
+	seg, err := geom.SegmentOfAddr(segAddr)
+	if err != nil {
+		return nil, err
+	}
+	base := seg * geom.SegmentBytes
+	r := dev.Controller().Registers()
+	if err := r.Write(flashctl.FCTL3, flashctl.FCTLPassword); err != nil {
+		return nil, err
+	}
+	defer func() { _ = r.Write(flashctl.FCTL3, flashctl.FCTLPassword|flashctl.BitLOCK) }()
+
+	// Erase the segment.
+	if err := r.Write(flashctl.FCTL1, flashctl.FCTLPassword|flashctl.BitERASE); err != nil {
+		return nil, err
+	}
+	if err := r.DummyWrite(base, 0); err != nil {
+		return nil, err
+	}
+	// Program every word to zero.
+	if err := r.Write(flashctl.FCTL1, flashctl.FCTLPassword|flashctl.BitWRT); err != nil {
+		return nil, err
+	}
+	for w := 0; w < geom.WordsPerSegment(); w++ {
+		if err := r.DummyWrite(base+w*geom.WordBytes, 0); err != nil {
+			return nil, err
+		}
+	}
+	// Partial erase: arm EMEX, start the erase.
+	if err := r.Write(flashctl.FCTL1, flashctl.FCTLPassword|flashctl.BitERASE); err != nil {
+		return nil, err
+	}
+	if err := r.ArmEmergencyExit(tPEW); err != nil {
+		return nil, err
+	}
+	if err := r.DummyWrite(base, 0); err != nil {
+		return nil, err
+	}
+	// Read the segment.
+	out := make([]uint64, geom.WordsPerSegment())
+	for w := range out {
+		v, err := r.ReadWord(base + w*geom.WordBytes)
+		if err != nil {
+			return nil, err
+		}
+		out[w] = v
+	}
+	return out, nil
+}

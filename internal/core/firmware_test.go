@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRegisterImprintMatchesMethodImprint(t *testing.T) {
+	viaMethod := newDev(t, 60)
+	viaRegs := newDev(t, 60)
+	wm := tcWatermark(segWords(viaMethod))
+	const npe = 20
+	// The method path must use single-word programming too for the time
+	// ledgers to agree; use the literal loop with ProgramBlock replaced —
+	// physical state is what we compare, so block vs word programming is
+	// fine for wear, and we compare wear only.
+	if err := ImprintSegment(viaMethod, 0, wm, ImprintOptions{NPE: npe, Literal: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ImprintSegmentViaRegisters(viaRegs, 0, wm, npe); err != nil {
+		t.Fatal(err)
+	}
+	geom := viaMethod.Part().Geometry
+	for i := 0; i < geom.CellsPerSegment(); i++ {
+		if viaMethod.Controller().Array().Wear(i) != viaRegs.Controller().Array().Wear(i) {
+			t.Fatalf("wear diverged at cell %d", i)
+		}
+		if viaMethod.Controller().Array().Programmed(i) != viaRegs.Controller().Array().Programmed(i) {
+			t.Fatalf("state diverged at cell %d", i)
+		}
+	}
+	if !viaRegs.Controller().Locked() {
+		t.Error("register imprint left the controller unlocked")
+	}
+}
+
+func TestRegisterExtractRecoversWatermark(t *testing.T) {
+	dev := newDev(t, 61)
+	wm := ReferenceWatermark(segWords(dev))
+	if err := ImprintSegment(dev, 0, wm, ImprintOptions{NPE: 80_000, Accelerated: true}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExtractSegmentViaRegisters(dev, 0, 25*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ber := BER(got, wm, 16); ber > 0.12 {
+		t.Fatalf("register extraction BER = %.3f", ber)
+	}
+	if !dev.Controller().Locked() {
+		t.Error("register extract left the controller unlocked")
+	}
+}
+
+func TestRegisterProcedureValidation(t *testing.T) {
+	dev := newDev(t, 62)
+	wm := tcWatermark(segWords(dev))
+	if err := ImprintSegmentViaRegisters(dev, 0, wm[:4], 5); err == nil {
+		t.Error("short watermark accepted")
+	}
+	if err := ImprintSegmentViaRegisters(dev, 0, wm, 0); err == nil {
+		t.Error("zero NPE accepted")
+	}
+	if err := ImprintSegmentViaRegisters(dev, 1<<30, wm, 5); err == nil {
+		t.Error("bad address accepted")
+	}
+	if _, err := ExtractSegmentViaRegisters(dev, 0, 0); err == nil {
+		t.Error("zero tPEW accepted")
+	}
+	if _, err := ExtractSegmentViaRegisters(dev, 1<<30, time.Microsecond); err == nil {
+		t.Error("bad address accepted")
+	}
+}

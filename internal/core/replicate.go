@@ -1,0 +1,85 @@
+package core
+
+import "fmt"
+
+// FillWord is the value imprinted into segment words not covered by
+// watermark replicas: all ones, so the padding cells stay "good" and
+// accumulate only erase-only wear.
+const FillWord = uint64(0xFFFF_FFFF_FFFF_FFFF)
+
+// Replicate lays out `copies` consecutive replicas of the payload words
+// across a segment of segWords words, padding the remainder with
+// FillWord. Majority voting over the replicas at extraction drives the
+// bit error rate down (paper §V, Figs. 10–11). copies must be odd so the
+// vote cannot tie.
+func Replicate(payload []uint64, copies, segWords int) ([]uint64, error) {
+	if copies <= 0 || copies%2 == 0 {
+		return nil, fmt.Errorf("core: replica count must be odd and positive, got %d", copies)
+	}
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("core: empty payload")
+	}
+	if len(payload)*copies > segWords {
+		return nil, fmt.Errorf("core: %d replicas of %d words exceed segment of %d words",
+			copies, len(payload), segWords)
+	}
+	out := make([]uint64, segWords)
+	pos := 0
+	for c := 0; c < copies; c++ {
+		pos += copy(out[pos:], payload)
+	}
+	for ; pos < segWords; pos++ {
+		out[pos] = FillWord
+	}
+	return out, nil
+}
+
+// MajorityDecode recovers the payload from an extracted segment image by
+// majority-voting each bit across the `copies` replicas laid out by
+// Replicate. bits is the word width in bits.
+func MajorityDecode(extracted []uint64, payloadWords, copies, bits int) ([]uint64, error) {
+	if copies <= 0 || copies%2 == 0 {
+		return nil, fmt.Errorf("core: replica count must be odd and positive, got %d", copies)
+	}
+	if payloadWords <= 0 {
+		return nil, fmt.Errorf("core: non-positive payload length %d", payloadWords)
+	}
+	if payloadWords*copies > len(extracted) {
+		return nil, fmt.Errorf("core: extracted image of %d words cannot hold %d replicas of %d words",
+			len(extracted), copies, payloadWords)
+	}
+	if bits <= 0 || bits > 64 {
+		return nil, fmt.Errorf("core: word width %d out of range", bits)
+	}
+	out := make([]uint64, payloadWords)
+	for w := 0; w < payloadWords; w++ {
+		for b := 0; b < bits; b++ {
+			votes := 0
+			for c := 0; c < copies; c++ {
+				if extracted[c*payloadWords+w]&(1<<uint(b)) != 0 {
+					votes++
+				}
+			}
+			if votes > copies/2 {
+				out[w] |= 1 << uint(b)
+			}
+		}
+	}
+	return out, nil
+}
+
+// ReplicaViews returns the individual replica images from an extracted
+// segment (for per-replica error analysis, paper Fig. 10).
+func ReplicaViews(extracted []uint64, payloadWords, copies int) ([][]uint64, error) {
+	if payloadWords <= 0 || copies <= 0 {
+		return nil, fmt.Errorf("core: invalid replica layout %d x %d", payloadWords, copies)
+	}
+	if payloadWords*copies > len(extracted) {
+		return nil, fmt.Errorf("core: extracted image too short for %d x %d", payloadWords, copies)
+	}
+	views := make([][]uint64, copies)
+	for c := 0; c < copies; c++ {
+		views[c] = extracted[c*payloadWords : (c+1)*payloadWords]
+	}
+	return views, nil
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestReplicateLayout(t *testing.T) {
+	payload := []uint64{0xAAAA, 0x5555}
+	out, err := Replicate(payload, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{0xAAAA, 0x5555, 0xAAAA, 0x5555, 0xAAAA, 0x5555, FillWord, FillWord, FillWord, FillWord}
+	for i, v := range want {
+		if out[i] != v {
+			t.Fatalf("out[%d] = %#x, want %#x", i, out[i], v)
+		}
+	}
+}
+
+func TestReplicateValidation(t *testing.T) {
+	if _, err := Replicate([]uint64{1}, 2, 10); err == nil {
+		t.Error("even copies accepted")
+	}
+	if _, err := Replicate([]uint64{1}, 0, 10); err == nil {
+		t.Error("zero copies accepted")
+	}
+	if _, err := Replicate(nil, 3, 10); err == nil {
+		t.Error("empty payload accepted")
+	}
+	if _, err := Replicate([]uint64{1, 2, 3, 4}, 3, 10); err == nil {
+		t.Error("overflow accepted")
+	}
+}
+
+func TestMajorityDecodeRecoversErrors(t *testing.T) {
+	payload := []uint64{0x5443}
+	img, err := Replicate(payload, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one replica completely: majority still wins.
+	img[1] = 0x0000
+	got, err := MajorityDecode(img, 1, 3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0x5443 {
+		t.Fatalf("decoded %#x, want 0x5443", got[0])
+	}
+	// Corrupt two replicas at the same bit: majority flips.
+	img2, _ := Replicate(payload, 3, 8)
+	img2[0] ^= 1
+	img2[1] ^= 1
+	got, err = MajorityDecode(img2, 1, 3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0x5443^1 {
+		t.Fatalf("decoded %#x, want flipped bit", got[0])
+	}
+}
+
+func TestMajorityDecodeValidation(t *testing.T) {
+	img := make([]uint64, 10)
+	if _, err := MajorityDecode(img, 1, 2, 16); err == nil {
+		t.Error("even copies accepted")
+	}
+	if _, err := MajorityDecode(img, 0, 3, 16); err == nil {
+		t.Error("zero payload accepted")
+	}
+	if _, err := MajorityDecode(img, 4, 3, 16); err == nil {
+		t.Error("overflow accepted")
+	}
+	if _, err := MajorityDecode(img, 1, 3, 0); err == nil {
+		t.Error("zero bits accepted")
+	}
+	if _, err := MajorityDecode(img, 1, 3, 65); err == nil {
+		t.Error("65 bits accepted")
+	}
+}
+
+func TestReplicaViews(t *testing.T) {
+	img, _ := Replicate([]uint64{1, 2}, 3, 8)
+	views, err := ReplicaViews(img, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 3 {
+		t.Fatalf("views = %d", len(views))
+	}
+	for _, v := range views {
+		if v[0] != 1 || v[1] != 2 {
+			t.Fatalf("replica = %v", v)
+		}
+	}
+	if _, err := ReplicaViews(img, 5, 3); err == nil {
+		t.Error("overflow accepted")
+	}
+	if _, err := ReplicaViews(img, 0, 3); err == nil {
+		t.Error("zero payload accepted")
+	}
+}
+
+// Property: without corruption, replicate -> decode is the identity.
+func TestQuickReplicateDecodeRoundTrip(t *testing.T) {
+	f := func(words []uint16, copiesRaw uint8) bool {
+		if len(words) == 0 {
+			return true
+		}
+		if len(words) > 20 {
+			words = words[:20]
+		}
+		copies := []int{1, 3, 5, 7}[copiesRaw%4]
+		payload := make([]uint64, len(words))
+		for i, w := range words {
+			payload[i] = uint64(w)
+		}
+		segW := len(payload)*copies + 5
+		img, err := Replicate(payload, copies, segW)
+		if err != nil {
+			return false
+		}
+		got, err := MajorityDecode(img, len(payload), copies, 16)
+		if err != nil {
+			return false
+		}
+		for i := range payload {
+			if got[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: majority decode is resilient to corrupting any minority
+// subset of replicas at a single bit position.
+func TestQuickMajorityResilience(t *testing.T) {
+	f := func(corruptMask uint8, bit uint8) bool {
+		const copies = 5
+		payload := []uint64{0x1234}
+		img, err := Replicate(payload, copies, copies)
+		if err != nil {
+			return false
+		}
+		b := uint(bit % 16)
+		corrupted := 0
+		for c := 0; c < copies; c++ {
+			if corruptMask&(1<<uint(c)) != 0 {
+				img[c] ^= 1 << b
+				corrupted++
+			}
+		}
+		got, err := MajorityDecode(img, 1, copies, 16)
+		if err != nil {
+			return false
+		}
+		if corrupted <= copies/2 {
+			return got[0] == 0x1234
+		}
+		return got[0] == 0x1234^(1<<b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicatedExtractionEndToEnd(t *testing.T) {
+	// Fig. 10 in miniature: a small payload replicated 7 times at 50K
+	// cycles is recovered exactly by majority voting.
+	d := newDev(t, 30)
+	payload := []uint64{0x5443, 0x4D4B, 0x2041, 0x4343} // "TC MK AC C"
+	img, err := Replicate(payload, 7, segWords(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ImprintSegment(d, 0, img, ImprintOptions{NPE: 50_000, Accelerated: true}); err != nil {
+		t.Fatal(err)
+	}
+	extracted, err := ExtractSegment(d, 0, ExtractOptions{TPEW: 26 * time.Microsecond, Reads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MajorityDecode(extracted, len(payload), 7, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := BitErrors(got, payload, 16)
+	views, _ := ReplicaViews(extracted, len(payload), 7)
+	worst, sum := 0, 0
+	for i, v := range views {
+		e := BitErrors(v, payload, 16)
+		t.Logf("replica %d: %d bit errors", i+1, e)
+		sum += e
+		if e > worst {
+			worst = e
+		}
+	}
+	// The vote must beat the typical replica decisively and leave the
+	// payload essentially intact (the paper's Fig. 10 reaches exactly 0;
+	// our calibrated substrate occasionally leaves a stray bit).
+	mean := float64(sum) / 7
+	if float64(errs) >= mean/2 && errs > 1 {
+		t.Fatalf("majority decode left %d errors vs mean replica %.1f", errs, mean)
+	}
+	if errs > 2 {
+		t.Fatalf("majority-decoded payload has %d bit errors, want <= 2", errs)
+	}
+}

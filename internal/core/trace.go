@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/flashmark/flashmark/internal/flashctl"
+	"github.com/flashmark/flashmark/internal/mcu"
+)
+
+// TraceStep is one half-cycle of an imprint viewed at a single word:
+// the digital state after an erase (all ones) or after a program
+// (the watermark), together with the per-bit wear accumulated so far.
+// It regenerates the paper's Fig. 6 illustration.
+type TraceStep struct {
+	Cycle int    // 1-based imprint cycle
+	Op    string // "E" or "P"
+	Value uint64 // digital word state after the operation
+}
+
+// ImprintWordTrace performs a literal imprint of `cycles` erase+program
+// cycles on the segment containing addr, recording the digital state of
+// the word at addr after every operation. The final row of Fig. 6 — which
+// cells became "B"ad and which stayed "G"ood — is determined by the
+// watermark's zero bits; GoodBadString renders it.
+func ImprintWordTrace(dev *mcu.Device, addr int, watermark []uint64, cycles int) ([]TraceStep, error) {
+	if cycles <= 0 {
+		return nil, fmt.Errorf("core: trace needs positive cycles, got %d", cycles)
+	}
+	ctl := dev.Controller()
+	geom := ctl.Array().Geometry()
+	if len(watermark) != geom.WordsPerSegment() {
+		return nil, fmt.Errorf("core: watermark has %d words, segment holds %d", len(watermark), geom.WordsPerSegment())
+	}
+	seg, err := geom.SegmentOfAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	segAddr := seg * geom.SegmentBytes
+	if err := ctl.Unlock(flashctl.UnlockKey); err != nil {
+		return nil, err
+	}
+	defer ctl.Lock()
+
+	var steps []TraceStep
+	for c := 1; c <= cycles; c++ {
+		if err := ctl.EraseSegment(segAddr); err != nil {
+			return nil, err
+		}
+		v, err := ctl.ReadWord(addr)
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, TraceStep{Cycle: c, Op: "E", Value: v})
+		if err := ctl.ProgramBlock(segAddr, watermark); err != nil {
+			return nil, err
+		}
+		v, err = ctl.ReadWord(addr)
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, TraceStep{Cycle: c, Op: "P", Value: v})
+	}
+	return steps, nil
+}
+
+// GoodBadString renders a word's physical outcome as the paper's Fig. 6
+// bottom row: 'B' for stressed ("bad") cells at watermark-0 positions,
+// 'G' for untouched ("good") cells, most significant bit first.
+func GoodBadString(watermarkWord uint64, bits int) string {
+	buf := make([]byte, bits)
+	for b := 0; b < bits; b++ {
+		if watermarkWord&(1<<uint(bits-1-b)) != 0 {
+			buf[b] = 'G'
+		} else {
+			buf[b] = 'B'
+		}
+	}
+	return string(buf)
+}

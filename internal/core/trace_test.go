@@ -1,0 +1,58 @@
+package core
+
+import "testing"
+
+func TestImprintWordTrace(t *testing.T) {
+	d := newDev(t, 40)
+	wm := tcWatermark(segWords(d))
+	steps, err := ImprintWordTrace(d, 0, wm, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 6 {
+		t.Fatalf("steps = %d, want 6 (E,P per cycle)", len(steps))
+	}
+	for i, s := range steps {
+		wantOp := "E"
+		wantVal := uint64(0xFFFF)
+		if i%2 == 1 {
+			wantOp = "P"
+			wantVal = 0x5443
+		}
+		if s.Op != wantOp || s.Value != wantVal {
+			t.Errorf("step %d = {%s %#x}, want {%s %#x}", i, s.Op, s.Value, wantOp, wantVal)
+		}
+		if s.Cycle != i/2+1 {
+			t.Errorf("step %d cycle = %d", i, s.Cycle)
+		}
+	}
+}
+
+func TestImprintWordTraceValidation(t *testing.T) {
+	d := newDev(t, 41)
+	wm := tcWatermark(segWords(d))
+	if _, err := ImprintWordTrace(d, 0, wm, 0); err == nil {
+		t.Error("zero cycles accepted")
+	}
+	if _, err := ImprintWordTrace(d, 0, wm[:3], 2); err == nil {
+		t.Error("short watermark accepted")
+	}
+	if _, err := ImprintWordTrace(d, 1<<30, wm, 2); err == nil {
+		t.Error("bad address accepted")
+	}
+}
+
+func TestGoodBadString(t *testing.T) {
+	// Paper Fig. 6: "TC" = 0x5443 = 0101010001000011b.
+	got := GoodBadString(0x5443, 16)
+	want := "BGBGBGBBBGBBBBGG"
+	if got != want {
+		t.Errorf("GoodBadString(0x5443) = %s, want %s", got, want)
+	}
+	if got := GoodBadString(0xF, 4); got != "GGGG" {
+		t.Errorf("all-ones = %s", got)
+	}
+	if got := GoodBadString(0, 4); got != "BBBB" {
+		t.Errorf("all-zeros = %s", got)
+	}
+}

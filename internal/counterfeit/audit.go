@@ -1,0 +1,77 @@
+package counterfeit
+
+import (
+	"sort"
+	"sync"
+)
+
+// Auditor is the integrator-side die-identity ledger that closes the
+// replay-imprint gap: a counterfeiter who re-runs the full imprint with a
+// copied watermark necessarily duplicates the victim's die ID, because
+// the signature binds the payload and the attacker cannot mint new valid
+// IDs without the signing key. Physics cannot catch the replay
+// (see ClassReplayImprint), but bookkeeping across a procurement batch
+// can: the second appearance of any (manufacturer, die ID) pair is
+// flagged, and the flag retroactively taints the first.
+//
+// Note this is batch-local bookkeeping by the verifier — not the
+// manufacturer-maintained global database the paper's PUF comparison
+// criticizes. The integrator needs no external contact.
+type Auditor struct {
+	mu   sync.Mutex
+	seen map[auditKey]int
+}
+
+type auditKey struct {
+	manufacturer string
+	dieID        uint64
+}
+
+// NewAuditor returns an empty ledger.
+func NewAuditor() *Auditor {
+	return &Auditor{seen: make(map[auditKey]int)}
+}
+
+// Record notes one verified chip identity and reports whether this
+// identity was already seen in the batch (a duplicate).
+func (a *Auditor) Record(manufacturer string, dieID uint64) (duplicate bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	k := auditKey{manufacturer, dieID}
+	a.seen[k]++
+	return a.seen[k] > 1
+}
+
+// Count returns how many times an identity has been recorded.
+func (a *Auditor) Count(manufacturer string, dieID uint64) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.seen[auditKey{manufacturer, dieID}]
+}
+
+// Duplicates returns every die ID recorded more than once, sorted. All
+// chips bearing these IDs — including the first-seen, which may be the
+// genuine victim — need manual disposition.
+func (a *Auditor) Duplicates() []uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []uint64
+	for k, n := range a.seen {
+		if n > 1 {
+			out = append(out, k.dieID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Total returns the number of identities recorded (including duplicates).
+func (a *Auditor) Total() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, c := range a.seen {
+		n += c
+	}
+	return n
+}

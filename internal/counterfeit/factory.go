@@ -1,0 +1,275 @@
+package counterfeit
+
+import (
+	"fmt"
+
+	"github.com/flashmark/flashmark/internal/core"
+	"github.com/flashmark/flashmark/internal/flashctl"
+	"github.com/flashmark/flashmark/internal/mcu"
+	"github.com/flashmark/flashmark/internal/rng"
+	"github.com/flashmark/flashmark/internal/wmcode"
+)
+
+// FactoryConfig describes how the trusted manufacturer watermarks its
+// dice, and how attackers derive their counterfeits.
+type FactoryConfig struct {
+	Part         mcu.Part
+	Codec        wmcode.Codec
+	Manufacturer string
+	// SegAddr is the byte address of the reserved watermark segment.
+	SegAddr int
+	// NPE is the imprint stress count (zero selects core.DefaultNPE).
+	NPE int
+	// Replicas is the watermark replica count (zero selects 7).
+	Replicas int
+	// FieldWearCycles is the P/E wear a recycled chip accumulated per
+	// data segment during its first life (zero selects 10 000).
+	FieldWearCycles int
+	// FieldWearSegments is how many data segments the first life used
+	// (zero selects 3, starting after the watermark segment).
+	FieldWearSegments int
+}
+
+func (c FactoryConfig) withDefaults() FactoryConfig {
+	if c.NPE == 0 {
+		// The production operating point: high enough stress that fused
+		// replica voting recovers the payload error-free (see the
+		// calibration experiments).
+		c.NPE = 80_000
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 7
+	}
+	if c.FieldWearCycles == 0 {
+		c.FieldWearCycles = 10_000
+	}
+	if c.FieldWearSegments == 0 {
+		c.FieldWearSegments = 3
+	}
+	if c.Manufacturer == "" {
+		c.Manufacturer = "TC"
+	}
+	return c
+}
+
+// payloadFor builds the die-specific payload.
+func (c FactoryConfig) payloadFor(dieID uint64, status wmcode.Status) wmcode.Payload {
+	return wmcode.Payload{
+		Manufacturer: c.Manufacturer,
+		DieID:        dieID,
+		SpeedGrade:   2,
+		Status:       status,
+		YearWeek:     2610,
+	}
+}
+
+// imprintWatermark performs the manufacturer-side die-sort imprint.
+func (c FactoryConfig) imprintWatermark(dev *mcu.Device, dieID uint64, status wmcode.Status) ([]uint64, error) {
+	payload, err := c.Codec.Encode(c.payloadFor(dieID, status))
+	if err != nil {
+		return nil, err
+	}
+	img, err := core.Replicate(payload, c.Replicas, c.Part.Geometry.WordsPerSegment())
+	if err != nil {
+		return nil, err
+	}
+	err = core.ImprintSegment(dev, c.SegAddr, img, core.ImprintOptions{NPE: c.NPE, Accelerated: true})
+	if err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+// applyFieldUse simulates a first product life: heavy P/E cycling on the
+// chip's data segments (logging, firmware updates, ...).
+func (c FactoryConfig) applyFieldUse(dev *mcu.Device, seed uint64) error {
+	ctl := dev.Controller()
+	geom := dev.Part().Geometry
+	r := rng.New(seed)
+	wmSeg, err := geom.SegmentOfAddr(c.SegAddr)
+	if err != nil {
+		return err
+	}
+	used := 0
+	for seg := 0; seg < geom.TotalSegments() && used < c.FieldWearSegments; seg++ {
+		if seg == wmSeg {
+			continue
+		}
+		addr, err := geom.AddrOfSegment(seg)
+		if err != nil {
+			return err
+		}
+		// A fixed random pattern per segment: roughly half the cells
+		// live through the full P/E count, the rest see erase-only
+		// stress — the nonuniform wear profile of real firmware/log
+		// storage, and the profile the wear screen must catch.
+		mask := uint64(1)<<uint(geom.WordBits()) - 1
+		data := make([]uint64, geom.WordsPerSegment())
+		for i := range data {
+			data[i] = r.Uint64() & mask
+		}
+		if err := ctl.Unlock(flashctl.UnlockKey); err != nil {
+			return err
+		}
+		err = ctl.StressSegmentWords(addr, data, c.FieldWearCycles, true)
+		ctl.Lock()
+		if err != nil {
+			return err
+		}
+		used++
+	}
+	return nil
+}
+
+// Fabricate manufactures one chip of the given ground-truth class. The
+// seed determines the die's physical identity; dieID goes into genuine
+// watermarks.
+func Fabricate(class ChipClass, cfg FactoryConfig, seed, dieID uint64) (*mcu.Device, error) {
+	cfg = cfg.withDefaults()
+	dev, err := mcu.NewDevice(cfg.Part, seed)
+	if err != nil {
+		return nil, err
+	}
+	switch class {
+	case ClassUnmarked:
+		return dev, nil
+
+	case ClassGenuineAccept:
+		_, err = cfg.imprintWatermark(dev, dieID, wmcode.StatusAccept)
+		return dev, err
+
+	case ClassGenuineReject:
+		_, err = cfg.imprintWatermark(dev, dieID, wmcode.StatusReject)
+		return dev, err
+
+	case ClassRecycled:
+		if _, err = cfg.imprintWatermark(dev, dieID, wmcode.StatusAccept); err != nil {
+			return nil, err
+		}
+		if err := cfg.applyFieldUse(dev, seed^0xFEED); err != nil {
+			return nil, err
+		}
+		// The recycler wipes the chip to look new.
+		ctl := dev.Controller()
+		if err := ctl.Unlock(flashctl.UnlockKey); err != nil {
+			return nil, err
+		}
+		defer ctl.Lock()
+		for bank := 0; bank < dev.Part().Geometry.Banks; bank++ {
+			addr := bank * dev.Part().Geometry.SegmentsPerBank * dev.Part().Geometry.SegmentBytes
+			if err := ctl.MassEraseBank(addr); err != nil {
+				return nil, err
+			}
+		}
+		return dev, nil
+
+	case ClassMetadataForgery:
+		return dev, MetadataForgery(dev, cfg)
+
+	case ClassDigitalClone:
+		return dev, DigitalCloneAttack(dev, cfg, dieID)
+
+	case ClassTopUpTamper:
+		if _, err = cfg.imprintWatermark(dev, dieID, wmcode.StatusReject); err != nil {
+			return nil, err
+		}
+		return dev, TopUpTamperAttack(dev, cfg)
+
+	case ClassReplayImprint:
+		return dev, ReplayImprintAttack(dev, cfg, dieID)
+	}
+	return nil, fmt.Errorf("counterfeit: unknown chip class %d", class)
+}
+
+// MetadataForgery is the current-practice attack the paper motivates
+// against: the counterfeiter simply programs plausible manufacturing
+// metadata into the reserved segment. No cells are stressed, so the
+// "watermark" is digital only.
+func MetadataForgery(dev *mcu.Device, cfg FactoryConfig) error {
+	cfg = cfg.withDefaults()
+	payload, err := cfg.Codec.Encode(cfg.payloadFor(0x7E57ED, wmcode.StatusAccept))
+	if err != nil {
+		return err
+	}
+	img, err := core.Replicate(payload, cfg.Replicas, cfg.Part.Geometry.WordsPerSegment())
+	if err != nil {
+		return err
+	}
+	ctl := dev.Controller()
+	if err := ctl.Unlock(flashctl.UnlockKey); err != nil {
+		return err
+	}
+	defer ctl.Lock()
+	if err := ctl.EraseSegment(cfg.SegAddr); err != nil {
+		return err
+	}
+	return ctl.ProgramBlock(cfg.SegAddr, img)
+}
+
+// DigitalCloneAttack copies a genuine chip's watermark segment content
+// bit-for-bit onto the target with ordinary program operations. The
+// digital image is perfect — and physically absent, because extraction
+// erases and reprograms the segment before sensing wear.
+func DigitalCloneAttack(dev *mcu.Device, cfg FactoryConfig, clonedDieID uint64) error {
+	cfg = cfg.withDefaults()
+	// The attacker reads a genuine chip; reconstruct that image.
+	payload, err := cfg.Codec.Encode(cfg.payloadFor(clonedDieID, wmcode.StatusAccept))
+	if err != nil {
+		return err
+	}
+	img, err := core.Replicate(payload, cfg.Replicas, cfg.Part.Geometry.WordsPerSegment())
+	if err != nil {
+		return err
+	}
+	ctl := dev.Controller()
+	if err := ctl.Unlock(flashctl.UnlockKey); err != nil {
+		return err
+	}
+	defer ctl.Lock()
+	if err := ctl.EraseSegment(cfg.SegAddr); err != nil {
+		return err
+	}
+	return ctl.ProgramBlock(cfg.SegAddr, img)
+}
+
+// TopUpTamperAttack models the §V tampering discussion: the counterfeiter
+// holds a REJECT-marked die and stresses additional cells, hoping to
+// morph the watermark into something acceptable. Stressing can only turn
+// "good" cells "bad" (1 -> 0 at extraction); here the attacker stresses
+// every cell that differs from a forged ACCEPT watermark in the hopeful
+// direction. The balanced code makes the result detectably illegitimate.
+func TopUpTamperAttack(dev *mcu.Device, cfg FactoryConfig) error {
+	cfg = cfg.withDefaults()
+	forged, err := cfg.Codec.Encode(cfg.payloadFor(0xFA4E, wmcode.StatusAccept))
+	if err != nil {
+		return err
+	}
+	img, err := core.Replicate(forged, cfg.Replicas, cfg.Part.Geometry.WordsPerSegment())
+	if err != nil {
+		return err
+	}
+	// Stress-imprint the forged pattern on top: cells that are 0 in the
+	// forged image accumulate wear; already-bad cells stay bad. The
+	// attacker cannot heal any cell.
+	return core.ImprintSegment(dev, cfg.SegAddr, img, core.ImprintOptions{NPE: cfg.NPE, Accelerated: true})
+}
+
+// ReplayImprintAttack is the determined counterfeiter who runs the full
+// die-sort imprint procedure on a fresh inferior chip using a bit-exact
+// copy of a genuine ACCEPT watermark. Flashmark's physics cannot
+// distinguish this from a genuine imprint — the paper's implicit residual
+// risk. It is bounded economically (hundreds of seconds of tester time
+// per chip) and operationally (duplicated die IDs are detectable
+// downstream); the population experiment reports it honestly.
+func ReplayImprintAttack(dev *mcu.Device, cfg FactoryConfig, copiedDieID uint64) error {
+	cfg = cfg.withDefaults()
+	payload, err := cfg.Codec.Encode(cfg.payloadFor(copiedDieID, wmcode.StatusAccept))
+	if err != nil {
+		return err
+	}
+	img, err := core.Replicate(payload, cfg.Replicas, cfg.Part.Geometry.WordsPerSegment())
+	if err != nil {
+		return err
+	}
+	return core.ImprintSegment(dev, cfg.SegAddr, img, core.ImprintOptions{NPE: cfg.NPE, Accelerated: true})
+}

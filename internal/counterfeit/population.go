@@ -1,0 +1,217 @@
+package counterfeit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// PopulationSpec says how many chips of each class flow through the
+// verifier in a supply-chain experiment.
+type PopulationSpec map[ChipClass]int
+
+// Outcome is one chip's ground truth and classification.
+type Outcome struct {
+	Class   ChipClass
+	Verdict Verdict
+	Result  Result
+}
+
+// ConfusionMatrix tallies verdicts per ground-truth class.
+type ConfusionMatrix struct {
+	Counts map[ChipClass]map[Verdict]int
+	Total  int
+}
+
+// Add records one outcome.
+func (m *ConfusionMatrix) Add(class ChipClass, verdict Verdict) {
+	if m.Counts == nil {
+		m.Counts = make(map[ChipClass]map[Verdict]int)
+	}
+	row := m.Counts[class]
+	if row == nil {
+		row = make(map[Verdict]int)
+		m.Counts[class] = row
+	}
+	row[verdict]++
+	m.Total++
+}
+
+// CorrectAcceptRate returns the fraction of chips whose accept/refuse
+// decision matched the ground truth (the headline supply-chain metric:
+// counterfeits refused, genuine chips accepted).
+func (m *ConfusionMatrix) CorrectAcceptRate() float64 {
+	if m.Total == 0 {
+		return 0
+	}
+	correct := 0
+	for class, row := range m.Counts {
+		for verdict, n := range row {
+			if verdict.Accepted() == class.ShouldAccept() {
+				correct += n
+			}
+		}
+	}
+	return float64(correct) / float64(m.Total)
+}
+
+// FalseAccepts counts counterfeit chips the verifier accepted.
+func (m *ConfusionMatrix) FalseAccepts() int {
+	n := 0
+	for class, row := range m.Counts {
+		if class.ShouldAccept() {
+			continue
+		}
+		for verdict, c := range row {
+			if verdict.Accepted() {
+				n += c
+			}
+		}
+	}
+	return n
+}
+
+// FalseRejects counts genuine chips the verifier refused.
+func (m *ConfusionMatrix) FalseRejects() int {
+	n := 0
+	for class, row := range m.Counts {
+		if !class.ShouldAccept() {
+			continue
+		}
+		for verdict, c := range row {
+			if !verdict.Accepted() {
+				n += c
+			}
+		}
+	}
+	return n
+}
+
+// String renders the matrix as an aligned table.
+func (m *ConfusionMatrix) String() string {
+	var classes []ChipClass
+	for c := range m.Counts {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	var b strings.Builder
+	for _, c := range classes {
+		row := m.Counts[c]
+		var verdicts []Verdict
+		for v := range row {
+			verdicts = append(verdicts, v)
+		}
+		sort.Slice(verdicts, func(i, j int) bool { return verdicts[i] < verdicts[j] })
+		fmt.Fprintf(&b, "%-18s", c)
+		for _, v := range verdicts {
+			fmt.Fprintf(&b, " %s=%d", v, row[v])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RunPopulation fabricates the specified population and verifies every
+// chip, returning the confusion matrix and per-chip outcomes. Chip seeds
+// derive deterministically from seedBase, so runs are reproducible.
+func RunPopulation(spec PopulationSpec, cfg FactoryConfig, verifier *Verifier, seedBase uint64) (*ConfusionMatrix, []Outcome, error) {
+	var matrix ConfusionMatrix
+	var outcomes []Outcome
+	// Deterministic class order.
+	var classes []ChipClass
+	for c := range spec {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	die := uint64(1000)
+	for _, class := range classes {
+		for i := 0; i < spec[class]; i++ {
+			seed := seedBase ^ (uint64(class) << 32) ^ uint64(i)*0x9E3779B97F4A7C15
+			die++
+			dev, err := Fabricate(class, cfg, seed, die)
+			if err != nil {
+				return nil, nil, fmt.Errorf("counterfeit: fabricating %s chip %d: %w", class, i, err)
+			}
+			res, err := verifier.Verify(dev)
+			if err != nil {
+				return nil, nil, fmt.Errorf("counterfeit: verifying %s chip %d: %w", class, i, err)
+			}
+			matrix.Add(class, res.Verdict)
+			outcomes = append(outcomes, Outcome{Class: class, Verdict: res.Verdict, Result: res})
+		}
+	}
+	return &matrix, outcomes, nil
+}
+
+// RunPopulationParallel fabricates and verifies the population with up to
+// `workers` chips in flight. Chips are independent, deterministically
+// seeded simulations, so the outcomes are identical to RunPopulation —
+// only wall-clock time improves. The verifier must not carry an Auditor:
+// duplicate detection is order-dependent and belongs in a serial pass.
+func RunPopulationParallel(spec PopulationSpec, cfg FactoryConfig, verifier *Verifier, seedBase uint64, workers int) (*ConfusionMatrix, []Outcome, error) {
+	if verifier.Audit != nil {
+		return nil, nil, fmt.Errorf("counterfeit: parallel population runs cannot use a die-ID auditor (order-dependent); run the audit pass serially")
+	}
+	if workers <= 1 {
+		return RunPopulation(spec, cfg, verifier, seedBase)
+	}
+	type job struct {
+		idx   int
+		class ChipClass
+		seed  uint64
+		die   uint64
+	}
+	var jobs []job
+	var classes []ChipClass
+	for c := range spec {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	die := uint64(1000)
+	for _, class := range classes {
+		for i := 0; i < spec[class]; i++ {
+			seed := seedBase ^ (uint64(class) << 32) ^ uint64(i)*0x9E3779B97F4A7C15
+			die++
+			jobs = append(jobs, job{idx: len(jobs), class: class, seed: seed, die: die})
+		}
+	}
+	outcomes := make([]Outcome, len(jobs))
+	errs := make([]error, len(jobs))
+	jobCh := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				dev, err := Fabricate(j.class, cfg, j.seed, j.die)
+				if err != nil {
+					errs[j.idx] = fmt.Errorf("counterfeit: fabricating %s: %w", j.class, err)
+					continue
+				}
+				res, err := verifier.Verify(dev)
+				if err != nil {
+					errs[j.idx] = fmt.Errorf("counterfeit: verifying %s: %w", j.class, err)
+					continue
+				}
+				outcomes[j.idx] = Outcome{Class: j.class, Verdict: res.Verdict, Result: res}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	var matrix ConfusionMatrix
+	for _, o := range outcomes {
+		matrix.Add(o.Class, o.Verdict)
+	}
+	return &matrix, outcomes, nil
+}

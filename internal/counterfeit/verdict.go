@@ -1,0 +1,123 @@
+// Package counterfeit implements the supply-chain side of Flashmark: the
+// system integrator's verifier, the counterfeiter threat models the paper
+// discusses (§I, §IV), and population experiments that measure how each
+// chip class is classified at incoming inspection.
+package counterfeit
+
+// Verdict is the verifier's classification of a chip.
+type Verdict int
+
+// Verifier outcomes.
+const (
+	// VerdictGenuine: a valid, signed ACCEPT watermark from the expected
+	// manufacturer, with no signs of recycling.
+	VerdictGenuine Verdict = iota
+	// VerdictNoWatermark: no physical watermark found — the chip was
+	// never die-sorted by the claimed manufacturer (rebranded inferior
+	// part, unmarked gray-market part, or a digital-copy clone whose
+	// data does not survive extraction).
+	VerdictNoWatermark
+	// VerdictRejectDie: the watermark decodes but records die-sort
+	// REJECT — a fall-out die that re-entered the supply chain.
+	VerdictRejectDie
+	// VerdictTampered: the watermark carries physical tampering evidence
+	// (balanced-code violations or a bad signature).
+	VerdictTampered
+	// VerdictWrongIdentity: a structurally valid watermark from a
+	// different manufacturer than expected.
+	VerdictWrongIdentity
+	// VerdictRecycled: the watermark is genuine but the chip's data
+	// segments carry heavy P/E wear — a used part sold as new.
+	VerdictRecycled
+	// VerdictDuplicateID: the watermark is physically genuine but its die
+	// identity already appeared in this procurement batch — the signature
+	// of a replay-imprinted clone (or its victim).
+	VerdictDuplicateID
+)
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictGenuine:
+		return "GENUINE"
+	case VerdictNoWatermark:
+		return "NO-WATERMARK"
+	case VerdictRejectDie:
+		return "REJECT-DIE"
+	case VerdictTampered:
+		return "TAMPERED"
+	case VerdictWrongIdentity:
+		return "WRONG-IDENTITY"
+	case VerdictRecycled:
+		return "RECYCLED"
+	case VerdictDuplicateID:
+		return "DUPLICATE-ID"
+	default:
+		return "INVALID"
+	}
+}
+
+// Accepted reports whether an integrator should accept the chip.
+func (v Verdict) Accepted() bool { return v == VerdictGenuine }
+
+// ChipClass is the ground-truth provenance of a fabricated chip in a
+// population experiment.
+type ChipClass int
+
+// Chip provenance classes, mirroring the counterfeiting pathways of §I.
+const (
+	// ClassGenuineAccept: die-sorted ACCEPT by the trusted manufacturer.
+	ClassGenuineAccept ChipClass = iota
+	// ClassGenuineReject: fall-out die watermarked REJECT at die sort,
+	// leaked into the supply chain by a packaging-site counterfeiter.
+	ClassGenuineReject
+	// ClassRecycled: a genuine ACCEPT chip recovered from end-of-life
+	// equipment after heavy field use and resold as new.
+	ClassRecycled
+	// ClassMetadataForgery: an unmarked chip on which the counterfeiter
+	// programmed fake manufacturing metadata the current-practice way
+	// (plain flash writes, no stress).
+	ClassMetadataForgery
+	// ClassDigitalClone: an unmarked chip on which the counterfeiter
+	// digitally copied a genuine chip's watermark segment content.
+	ClassDigitalClone
+	// ClassTopUpTamper: a genuine REJECT die whose watermark the
+	// counterfeiter tried to doctor by stressing additional cells
+	// (the only physical direction available).
+	ClassTopUpTamper
+	// ClassUnmarked: an inferior third-party chip rebranded with the
+	// trusted manufacturer's markings, flash untouched.
+	ClassUnmarked
+	// ClassReplayImprint: a fresh inferior chip on which a determined
+	// counterfeiter re-ran the full imprint procedure with a bit-exact
+	// copy of a genuine ACCEPT watermark (the paper's residual risk;
+	// see the package documentation on limitations).
+	ClassReplayImprint
+)
+
+// String renders the chip class.
+func (c ChipClass) String() string {
+	switch c {
+	case ClassGenuineAccept:
+		return "genuine-accept"
+	case ClassGenuineReject:
+		return "genuine-reject"
+	case ClassRecycled:
+		return "recycled"
+	case ClassMetadataForgery:
+		return "metadata-forgery"
+	case ClassDigitalClone:
+		return "digital-clone"
+	case ClassTopUpTamper:
+		return "topup-tamper"
+	case ClassUnmarked:
+		return "unmarked"
+	case ClassReplayImprint:
+		return "replay-imprint"
+	default:
+		return "invalid"
+	}
+}
+
+// ShouldAccept reports whether an ideal verifier would accept this class.
+func (c ChipClass) ShouldAccept() bool { return c == ClassGenuineAccept }

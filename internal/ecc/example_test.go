@@ -1,0 +1,20 @@
+package ecc_test
+
+import (
+	"fmt"
+
+	"github.com/flashmark/flashmark/internal/ecc"
+)
+
+// Example shows SECDED(16,11) surviving one bad cell per word.
+func Example() {
+	payload := []byte("DIE-1001")
+	words := ecc.EncodeBytes(payload)
+	words[0] ^= 1 << 9 // one flash cell failed
+	got, stats, err := ecc.DecodeBytes(words, len(payload))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s corrected=%d double=%d\n", got, stats.Corrected, stats.DoubleErrors)
+	// Output: DIE-1001 corrected=1 double=0
+}

@@ -1,0 +1,156 @@
+package ecc
+
+import (
+	"bytes"
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeAllValues(t *testing.T) {
+	for data := uint16(0); data < 1<<DataBitsPerWord; data++ {
+		w := Encode(data)
+		got, res := Decode(w)
+		if res != Clean || got != data {
+			t.Fatalf("Decode(Encode(%#x)) = %#x, %v", data, got, res)
+		}
+	}
+}
+
+func TestEncodePanicsOnOverflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("12-bit data accepted")
+		}
+	}()
+	Encode(1 << DataBitsPerWord)
+}
+
+func TestEveryCodewordEvenParity(t *testing.T) {
+	for data := uint16(0); data < 1<<DataBitsPerWord; data++ {
+		if bits.OnesCount16(Encode(data))%2 != 0 {
+			t.Fatalf("codeword for %#x has odd parity", data)
+		}
+	}
+}
+
+func TestSingleErrorCorrection(t *testing.T) {
+	for _, data := range []uint16{0, 1, 0x2AA, 0x555, 0x7FF} {
+		w := Encode(data)
+		for b := uint(0); b < 16; b++ {
+			got, res := Decode(w ^ (1 << b))
+			if res != Corrected {
+				t.Fatalf("data %#x, flip bit %d: result %v, want Corrected", data, b, res)
+			}
+			if got != data {
+				t.Fatalf("data %#x, flip bit %d: decoded %#x", data, b, got)
+			}
+		}
+	}
+}
+
+func TestDoubleErrorDetection(t *testing.T) {
+	for _, data := range []uint16{0, 0x3C3, 0x7FF} {
+		w := Encode(data)
+		for a := uint(0); a < 16; a++ {
+			for b := a + 1; b < 16; b++ {
+				_, res := Decode(w ^ (1 << a) ^ (1 << b))
+				if res != DoubleError {
+					t.Fatalf("data %#x, flips %d+%d: result %v, want DoubleError", data, a, b, res)
+				}
+			}
+		}
+	}
+}
+
+// Property: the code has minimum distance 4 (SECDED requirement): any two
+// distinct codewords differ in at least 4 bits.
+func TestQuickMinimumDistance(t *testing.T) {
+	f := func(a, b uint16) bool {
+		da, db := a&0x7FF, b&0x7FF
+		if da == db {
+			return true
+		}
+		return bits.OnesCount16(Encode(da)^Encode(db)) >= 4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeBytesRoundTrip(t *testing.T) {
+	payload := []byte("FLASHMARK TC DIE 1001 ACCEPT")
+	words := EncodeBytes(payload)
+	if len(words) != WordsForBytes(len(payload)) {
+		t.Fatalf("words = %d, want %d", len(words), WordsForBytes(len(payload)))
+	}
+	got, st, err := DecodeBytes(words, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("round trip: %q", got)
+	}
+	if st.Corrected != 0 || st.DoubleErrors != 0 {
+		t.Fatalf("clean decode stats = %+v", st)
+	}
+}
+
+func TestDecodeBytesCorrectsScatteredErrors(t *testing.T) {
+	payload := []byte("WATERMARK PAYLOAD BYTES")
+	words := EncodeBytes(payload)
+	// One bit error per word: all correctable.
+	for i := range words {
+		words[i] ^= 1 << uint(i%16)
+	}
+	got, st, err := DecodeBytes(words, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("corrected decode: %q", got)
+	}
+	if st.Corrected != len(words) {
+		t.Fatalf("corrected = %d, want %d", st.Corrected, len(words))
+	}
+}
+
+func TestDecodeBytesShortInput(t *testing.T) {
+	if _, _, err := DecodeBytes(make([]uint64, 2), 100); err == nil {
+		t.Fatal("short input accepted")
+	}
+}
+
+// Property: byte payload round trip for arbitrary content.
+func TestQuickBytesRoundTrip(t *testing.T) {
+	f := func(payload []byte) bool {
+		if len(payload) > 64 {
+			payload = payload[:64]
+		}
+		words := EncodeBytes(payload)
+		got, st, err := DecodeBytes(words, len(payload))
+		return err == nil && bytes.Equal(got, payload) && st.Corrected == 0 && st.DoubleErrors == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	if Overhead() <= 1 || Overhead() >= 2 {
+		t.Fatalf("Overhead = %v", Overhead())
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Encode(uint16(i) & 0x7FF)
+	}
+}
+
+func BenchmarkDecodeCorrected(b *testing.B) {
+	w := Encode(0x2AA) ^ 1<<7
+	for i := 0; i < b.N; i++ {
+		_, _ = Decode(w)
+	}
+}

@@ -1,0 +1,105 @@
+package experiment
+
+import (
+	"time"
+
+	"github.com/flashmark/flashmark/internal/core"
+	"github.com/flashmark/flashmark/internal/mathx"
+	"github.com/flashmark/flashmark/internal/report"
+)
+
+func init() { register("consistency", RunConsistency) }
+
+// ConsistencyResult is the structured outcome of the chip-consistency
+// study (paper §V: "Multiple chip samples are used and we find that flash
+// memories within the same family show consistent behavior when
+// subjected to proposed techniques").
+type ConsistencyResult struct {
+	Artifact *Artifact
+	// MinBERs holds the per-chip minimum single-read BER (%) at the
+	// reference imprint count.
+	MinBERs []float64
+	// BestTPEWs holds the per-chip optimal extraction times.
+	BestTPEWs []time.Duration
+	// Summary summarizes the per-chip minima.
+	Summary mathx.Summary
+}
+
+// Consistency imprints the reference watermark at 60 K cycles on several
+// distinct dice and compares their extraction BER curves: the family-wide
+// published t_PEW window only works if chips behave consistently.
+func Consistency(cfg Config) (*ConsistencyResult, error) {
+	cfg = cfg.withDefaults()
+	chips := 6
+	step := 500 * time.Nanosecond
+	if cfg.Fast {
+		chips = 3
+		step = time.Microsecond
+	}
+	const npe = 60_000
+	lo, hi := 20*time.Microsecond, 30*time.Microsecond
+	wm := core.ReferenceWatermark(cfg.Part.Geometry.WordsPerSegment())
+	bits := cfg.Part.Geometry.WordBits()
+
+	res := &ConsistencyResult{}
+	tbl := report.Table{
+		Title:   "§V — chip-to-chip consistency: per-die minimum BER at 60 K",
+		Columns: []string{"die", "min BER (%)", "optimal t_PEW (µs)", "BER at family t_PEW=24.5µs (%)"},
+	}
+	plot := report.Plot{
+		Title:  "§V — BER vs t_PE across dice (60 K imprint)",
+		XLabel: "t_PE (µs)",
+		YLabel: "BER (%)",
+	}
+	familyTPEW := 24*time.Microsecond + 500*time.Nanosecond
+	for chip := 0; chip < chips; chip++ {
+		dev, err := cfg.newDevice(0xC0 + uint64(chip)*1117)
+		if err != nil {
+			return nil, err
+		}
+		if err := core.ImprintSegment(dev, 0, wm, core.ImprintOptions{NPE: npe, Accelerated: true}); err != nil {
+			return nil, err
+		}
+		series := report.Series{Name: "die " + itoa(chip+1)}
+		minBER, bestT, atFamily := 101.0, time.Duration(0), -1.0
+		for t := lo; t <= hi; t += step {
+			got, err := core.ExtractSegment(dev, 0, core.ExtractOptions{TPEW: t})
+			if err != nil {
+				return nil, err
+			}
+			ber := 100 * core.BER(got, wm, bits)
+			series.X = append(series.X, us(t))
+			series.Y = append(series.Y, ber)
+			if ber < minBER {
+				minBER, bestT = ber, t
+			}
+			if t == familyTPEW {
+				atFamily = ber
+			}
+		}
+		res.MinBERs = append(res.MinBERs, minBER)
+		res.BestTPEWs = append(res.BestTPEWs, bestT)
+		tbl.AddRow("die "+itoa(chip+1), minBER, us(bestT), atFamily)
+		plot.Series = append(plot.Series, series)
+	}
+	res.Summary = mathx.Summarize(res.MinBERs)
+	tbl.AddNote("min BER across dice: mean %.2f%%, stddev %.2f%%, range [%.2f%%, %.2f%%]",
+		res.Summary.Mean, res.Summary.StdDev, res.Summary.Min, res.Summary.Max)
+	tbl.AddNote("paper: chips within a family show consistent behavior, enabling a published family-wide window")
+	res.Artifact = &Artifact{
+		ID:     "consistency",
+		Title:  "Chip-to-chip consistency of the extraction operating point",
+		Tables: []report.Table{tbl},
+		Plots:  []report.Plot{plot},
+	}
+	return res, nil
+}
+
+// RunConsistency adapts Consistency to the registry.
+func RunConsistency(cfg Config) (*Artifact, error) {
+	res, err := Consistency(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Artifact, nil
+}

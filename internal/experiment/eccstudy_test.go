@@ -1,0 +1,35 @@
+package experiment
+
+import "testing"
+
+func TestECCStudyTradeoffs(t *testing.T) {
+	res, err := ECCStudy(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.ByNPE[40_000]
+	if len(rows) != 5 {
+		t.Fatalf("schemes = %d", len(rows))
+	}
+	byName := map[string]ECCSchemeResult{}
+	for _, r := range rows {
+		byName[r.Scheme] = r
+	}
+	// Every protection scheme must beat no protection.
+	raw := byName["none"].ByteErrs
+	for _, name := range []string{"3-replica", "7-replica", "secded", "secded+3rep"} {
+		if byName[name].ByteErrs > raw {
+			t.Errorf("%s (%d byte errs) worse than unprotected (%d)", name, byName[name].ByteErrs, raw)
+		}
+	}
+	// SECDED must be cheaper than any replication.
+	if byName["secded"].Redundancy >= byName["3-replica"].Redundancy {
+		t.Errorf("secded redundancy %.2f not below 3-replica %.2f",
+			byName["secded"].Redundancy, byName["3-replica"].Redundancy)
+	}
+	// More redundancy within a family helps: 7-replica <= 3-replica.
+	if byName["7-replica"].ByteErrs > byName["3-replica"].ByteErrs {
+		t.Errorf("7-replica (%d) worse than 3-replica (%d)",
+			byName["7-replica"].ByteErrs, byName["3-replica"].ByteErrs)
+	}
+}

@@ -1,0 +1,24 @@
+package experiment
+
+import "testing"
+
+func TestEnduranceDiminishingReturns(t *testing.T) {
+	res, err := Endurance(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BER keeps improving (or holds) past endurance...
+	if res.MinBER[150_000] > res.MinBER[60_000] {
+		t.Errorf("BER rose past endurance: %v", res.MinBER)
+	}
+	// ...and extraction stability improves with it: fewer cells sit
+	// metastably near the threshold once the classes separate, even
+	// though individual worn cells read noisier (ReadSigmaUs grows).
+	if res.ReadInstability[150_000] > res.ReadInstability[60_000] {
+		t.Errorf("instability should fall with separation: %v", res.ReadInstability)
+	}
+	// And imprint time keeps climbing.
+	if res.ImprintTime[150_000] <= res.ImprintTime[60_000] {
+		t.Errorf("imprint time should grow: %v", res.ImprintTime)
+	}
+}

@@ -1,0 +1,110 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (§III and §V) against the simulated substrate. Each
+// experiment is a pure function of its Config (deterministic seeds), and
+// returns renderable tables/plots plus structured numbers that tests and
+// benchmarks assert on. The per-experiment index lives in DESIGN.md;
+// paper-vs-measured records live in EXPERIMENTS.md.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"github.com/flashmark/flashmark/internal/mcu"
+	"github.com/flashmark/flashmark/internal/report"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Part selects the simulated microcontroller (zero value selects the
+	// compact FM-SIM16 part; all parts share physics and timing).
+	Part mcu.Part
+	// Seed is the base chip seed; distinct experiments derive their own
+	// sub-seeds. Zero selects a fixed default so published numbers are
+	// reproducible.
+	Seed uint64
+	// Fast trades sweep resolution for speed (used by tests); the full
+	// configuration reproduces the paper's resolution.
+	Fast bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Part.Name == "" {
+		c.Part = mcu.PartSmallSim()
+	}
+	if c.Seed == 0 {
+		c.Seed = 0xF1A5_0001
+	}
+	return c
+}
+
+func (c Config) newDevice(sub uint64) (*mcu.Device, error) {
+	return mcu.NewDevice(c.Part, c.Seed^sub*0x9E3779B97F4A7C15)
+}
+
+// Artifact is the renderable output of one experiment.
+type Artifact struct {
+	ID     string // e.g. "fig4"
+	Title  string
+	Tables []report.Table
+	Plots  []report.Plot
+}
+
+// WriteText renders every table and plot of the artifact.
+func (a *Artifact) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "==== %s: %s ====\n\n", a.ID, a.Title); err != nil {
+		return err
+	}
+	for i := range a.Tables {
+		if err := a.Tables[i].WriteText(w); err != nil {
+			return err
+		}
+	}
+	for i := range a.Plots {
+		if err := a.Plots[i].WriteText(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Runner executes one experiment.
+type Runner func(Config) (*Artifact, error)
+
+// registry of experiments by id, populated by each experiment file.
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) {
+	registry[id] = r
+}
+
+// IDs returns the registered experiment ids in stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, cfg Config) (*Artifact, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown id %q (have %v)", id, IDs())
+	}
+	return r(cfg)
+}
+
+// us formats a duration in microseconds for tables.
+func us(d time.Duration) float64 {
+	return float64(d) / float64(time.Microsecond)
+}
+
+// usDur converts microseconds to a duration.
+func usDur(v float64) time.Duration {
+	return time.Duration(v * float64(time.Microsecond))
+}

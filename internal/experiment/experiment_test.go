@@ -1,0 +1,273 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func fastCfg() Config { return Config{Fast: true} }
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"consistency", "ecc", "endurance", "family", "fig10", "fig11", "fig4", "fig5", "fig6", "fig9", "nand", "retention", "roc", "supplychain", "temperature", "timing"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("nope", fastCfg()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	res, err := Fig4(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monotone all-erased times with stress.
+	if !(res.AllErased[0] < res.AllErased[20_000] && res.AllErased[20_000] < res.AllErased[50_000]) {
+		t.Errorf("all-erased times not monotone: %v", res.AllErased)
+	}
+	// Fresh completes within ~40µs; stressed takes much longer.
+	if res.AllErased[0] > 40*time.Microsecond {
+		t.Errorf("fresh all-erased at %v", res.AllErased[0])
+	}
+	if res.AllErased[50_000] < 100*time.Microsecond {
+		t.Errorf("50K all-erased at %v, want >100µs", res.AllErased[50_000])
+	}
+	// Transition is gradual for stressed, abrupt for fresh: compare the
+	// t_PE span between 90% and 10% programmed.
+	span := func(level int) time.Duration {
+		points := res.Curves[level]
+		cells := points[0].Cells0
+		var t90, t10 time.Duration
+		for _, p := range points {
+			if t90 == 0 && p.Cells0 <= cells*9/10 {
+				t90 = p.TPE
+			}
+			if t10 == 0 && p.Cells0 <= cells/10 {
+				t10 = p.TPE
+			}
+		}
+		return t10 - t90
+	}
+	if span(50_000) <= span(0) {
+		t.Errorf("stressed transition (%v) should be wider than fresh (%v)", span(50_000), span(0))
+	}
+	if res.Artifact == nil || len(res.Artifact.Tables) == 0 || len(res.Artifact.Plots) == 0 {
+		t.Fatal("artifact incomplete")
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	res, err := Fig5(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distinguishable < res.Cells*3/4 {
+		t.Errorf("distinguishable = %d of %d, want > 75%% (paper: 93.6%%)", res.Distinguishable, res.Cells)
+	}
+	if res.BestTPEW < 18*time.Microsecond || res.BestTPEW > 32*time.Microsecond {
+		t.Errorf("best t_PEW = %v outside plausible window", res.BestTPEW)
+	}
+}
+
+func TestFig6Trace(t *testing.T) {
+	a, err := Fig6(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := a.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"0101010001000011", "1111111111111111", "BGBGBGBBBGBBBBGG"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig6 output missing %q", want)
+		}
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	res, err := Fig9(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BER decreases with imprint count.
+	if !(res.MinBER[20_000] > res.MinBER[60_000]) {
+		t.Errorf("BER not decreasing: %v", res.MinBER)
+	}
+	// The 0K line has no usable minimum between the two bit-share bounds:
+	// its minimum is the smaller bit-share (the ASCII one-bit fraction,
+	// >30%), far above any imprinted line.
+	if res.MinBER[0] < 25 {
+		t.Errorf("0K min BER = %.1f%%, should be bounded by bit shares", res.MinBER[0])
+	}
+	// Optimal window shifts right (or stays) with stress.
+	if res.BestTPEW[60_000] < res.BestTPEW[20_000] {
+		t.Errorf("optimal t_PE moved left: %v", res.BestTPEW)
+	}
+	// Magnitudes in the paper's band (2x).
+	if res.MinBER[20_000] < 8 || res.MinBER[20_000] > 40 {
+		t.Errorf("20K min BER = %.1f%%, paper 19.9%%", res.MinBER[20_000])
+	}
+	if res.MinBER[60_000] < 2 || res.MinBER[60_000] > 16 {
+		t.Errorf("60K min BER = %.1f%%, paper 7.6%%", res.MinBER[60_000])
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	res, err := Fig10(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ReplicaErrors) != 7 {
+		t.Fatalf("replica count = %d", len(res.ReplicaErrors))
+	}
+	worst := 0
+	for _, e := range res.ReplicaErrors {
+		if e > worst {
+			worst = e
+		}
+	}
+	if res.MajorityErrors > 1 {
+		t.Errorf("majority errors = %d, want <= 1 (paper: 0)", res.MajorityErrors)
+	}
+	if worst > 0 && res.MajorityErrors >= worst {
+		t.Errorf("majority (%d) did not beat worst replica (%d)", res.MajorityErrors, worst)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	res, err := Fig11(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More replicas, lower BER at 40K.
+	if res.MinBER[40_000][7] > res.MinBER[40_000][3] {
+		t.Errorf("7 replicas worse than 3 at 40K: %v", res.MinBER[40_000])
+	}
+	// 70K with 3 replicas approaches zero (paper: exactly 0; the fast
+	// grid may sit slightly off the optimum).
+	if res.MinBER[70_000][3] > 1.5 {
+		t.Errorf("70K 3-replica min BER = %.2f%%, want <= 1.5%%", res.MinBER[70_000][3])
+	}
+	// Replication widens the usable window.
+	if res.WindowWidth[40_000][7] < res.WindowWidth[40_000][3] {
+		t.Errorf("window did not widen with replicas: %v", res.WindowWidth[40_000])
+	}
+}
+
+func TestTimingMatchesPaperBand(t *testing.T) {
+	res, err := Timing(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := res.ImprintBaseline[40_000]
+	acc := res.ImprintAccelerated[40_000]
+	if base < 1300*time.Second || base > 1450*time.Second {
+		t.Errorf("40K baseline imprint = %v, paper 1380 s", base)
+	}
+	if acc < 300*time.Second || acc > 500*time.Second {
+		t.Errorf("40K accelerated imprint = %v, paper 387 s", acc)
+	}
+	speedup := float64(base) / float64(acc)
+	if speedup < 2.8 || speedup > 4.5 {
+		t.Errorf("speedup = %.2fx, paper ~3.5x", speedup)
+	}
+	if res.Extract < 120*time.Millisecond || res.Extract > 230*time.Millisecond {
+		t.Errorf("extract = %v, paper ~170 ms", res.Extract)
+	}
+	if res.OverheadSegments != 1 {
+		t.Errorf("overhead segments = %d", res.OverheadSegments)
+	}
+}
+
+func TestSupplyChainSeparation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("population experiment is slow")
+	}
+	res, err := SupplyChain(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The current practice accepts forgeries; Flashmark does not (except
+	// the replay-imprint residual).
+	if res.MetadataFalseAccepts == 0 {
+		t.Error("metadata check should be fooled by forgeries")
+	}
+	if res.EraseTimingFalseAccepts == 0 {
+		t.Error("usage-only detector should miss identity counterfeits")
+	}
+	if res.FlashmarkFalseAccepts > 1 {
+		t.Errorf("Flashmark false accepts = %d, want <= 1 (replay residual)", res.FlashmarkFalseAccepts)
+	}
+	if res.FlashmarkFalseRejects != 0 {
+		t.Errorf("Flashmark false rejects = %d\n%s", res.FlashmarkFalseRejects, res.Matrix)
+	}
+}
+
+func TestConsistencyAcrossDice(t *testing.T) {
+	res, err := Consistency(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MinBERs) != 3 {
+		t.Fatalf("dice = %d", len(res.MinBERs))
+	}
+	// Family-wide consistency: per-die minima agree within a few points
+	// and optima within a couple of µs.
+	if res.Summary.StdDev > 3 {
+		t.Errorf("min-BER spread too wide: %+v", res.Summary)
+	}
+	var loT, hiT = res.BestTPEWs[0], res.BestTPEWs[0]
+	for _, t2 := range res.BestTPEWs {
+		if t2 < loT {
+			loT = t2
+		}
+		if t2 > hiT {
+			hiT = t2
+		}
+	}
+	if hiT-loT > 4*time.Microsecond {
+		t.Errorf("optimal t_PEW spread = %v, want a usable family window", hiT-loT)
+	}
+}
+
+func TestArtifactsRender(t *testing.T) {
+	for _, id := range []string{"fig6", "timing"} {
+		a, err := Run(id, fastCfg())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		var b strings.Builder
+		if err := a.WriteText(&b); err != nil {
+			t.Fatalf("%s render: %v", id, err)
+		}
+		if !strings.Contains(b.String(), a.Title) {
+			t.Errorf("%s output missing title", id)
+		}
+	}
+}
+
+func TestSupplyChainAuditEpilogue(t *testing.T) {
+	if testing.Short() {
+		t.Skip("population experiment is slow")
+	}
+	res, err := SupplyChain(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AuditCaughtClone {
+		t.Error("the batch audit should refuse the replay clone")
+	}
+}

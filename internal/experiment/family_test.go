@@ -1,0 +1,20 @@
+package experiment
+
+import "testing"
+
+func TestFamilyWindowDoesNotTransfer(t *testing.T) {
+	res, err := Family(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OwnBER > 12 {
+		t.Errorf("own-window BER = %.2f%%, should be a usable operating point", res.OwnBER)
+	}
+	if res.CrossBER < res.OwnBER*2 {
+		t.Errorf("cross-family window should be far worse: cross %.2f%% vs own %.2f%%",
+			res.CrossBER, res.OwnBER)
+	}
+	if res.AltWindow <= 28000 { // ns
+		t.Errorf("ALT-NOR window = %v, should sit well above the MSP430 window", res.AltWindow)
+	}
+}

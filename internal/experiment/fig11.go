@@ -1,0 +1,149 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/flashmark/flashmark/internal/core"
+	"github.com/flashmark/flashmark/internal/report"
+)
+
+func init() { register("fig11", RunFig11) }
+
+// Fig11Result is the structured outcome of the Fig. 11 reproduction.
+type Fig11Result struct {
+	Artifact *Artifact
+	// MinBER maps (N_PE, replicas) to the minimum BER (%) over the
+	// t_PE sweep.
+	MinBER map[int]map[int]float64
+	// WindowWidth maps (N_PE, replicas) to the width of the t_PE span
+	// with BER under a 5% budget, showing the paper's observation that
+	// replication widens the usable window.
+	WindowWidth map[int]map[int]time.Duration
+}
+
+// paperFig11MinBER40K holds the paper's reported 40 K minimums (%).
+var paperFig11MinBER40K = map[int]float64{3: 5.2, 5: 2.4, 7: 0.96}
+
+// Fig11 reproduces the replication study: BER vs t_PE for 3/5/7-way
+// replicated watermarks at 40/50/60/70 K imprint cycles (paper Fig. 11).
+func Fig11(cfg Config) (*Fig11Result, error) {
+	cfg = cfg.withDefaults()
+	levels := []int{40_000, 50_000, 60_000, 70_000}
+	replicaCounts := []int{3, 5, 7}
+	lo, hi := 20*time.Microsecond, 36*time.Microsecond
+	step := 500 * time.Nanosecond
+	if cfg.Fast {
+		levels = []int{40_000, 70_000}
+		replicaCounts = []int{3, 7}
+		step = time.Microsecond
+	}
+	segWords := cfg.Part.Geometry.WordsPerSegment()
+	bits := cfg.Part.Geometry.WordBits()
+
+	res := &Fig11Result{
+		MinBER:      map[int]map[int]float64{},
+		WindowWidth: map[int]map[int]time.Duration{},
+	}
+	tbl := report.Table{
+		Title:   "Fig. 11 — minimum BER with replicated watermarks",
+		Columns: []string{"N_PE", "replicas", "min BER (%)", "at t_PE (µs)", "window width (µs)", "paper (%)"},
+	}
+	var plots []report.Plot
+	for _, npe := range levels {
+		res.MinBER[npe] = map[int]float64{}
+		res.WindowWidth[npe] = map[int]time.Duration{}
+		plot := report.Plot{
+			Title:  "Fig. 11 — BER vs t_PE at " + levelName(npe),
+			XLabel: "t_PE (µs)",
+			YLabel: "BER (%)",
+		}
+		for _, reps := range replicaCounts {
+			// Payload sized so `reps` replicas fill the segment.
+			payloadWords := segWords / reps
+			payload := core.ReferenceWatermark(payloadWords)
+			img, err := core.Replicate(payload, reps, segWords)
+			if err != nil {
+				return nil, err
+			}
+			dev, err := cfg.newDevice(uint64(npe)*31 + uint64(reps))
+			if err != nil {
+				return nil, err
+			}
+			if err := core.ImprintSegment(dev, 0, img, core.ImprintOptions{NPE: npe, Accelerated: true}); err != nil {
+				return nil, err
+			}
+			series := report.Series{Name: itoa(reps) + " replicas"}
+			minBER, bestT := 101.0, time.Duration(0)
+			type pt struct {
+				t   time.Duration
+				ber float64
+			}
+			var pts []pt
+			for t := lo; t <= hi; t += step {
+				extracted, err := core.ExtractSegment(dev, 0, core.ExtractOptions{TPEW: t})
+				if err != nil {
+					return nil, err
+				}
+				voted, err := core.MajorityDecode(extracted, payloadWords, reps, bits)
+				if err != nil {
+					return nil, err
+				}
+				ber := 100 * core.BER(voted, payload, bits)
+				pts = append(pts, pt{t, ber})
+				series.X = append(series.X, us(t))
+				series.Y = append(series.Y, ber)
+				if ber < minBER {
+					minBER, bestT = ber, t
+				}
+			}
+			// Window: span of usable operating points (BER under an
+			// absolute 5% budget). A fixed budget makes widths
+			// comparable across replica counts — the paper's point is
+			// that replication widens this region.
+			const limit = 5.0
+			var winLo, winHi time.Duration
+			for _, p := range pts {
+				if p.ber <= limit {
+					if winLo == 0 {
+						winLo = p.t
+					}
+					winHi = p.t
+				}
+			}
+			width := winHi - winLo
+			res.MinBER[npe][reps] = minBER
+			res.WindowWidth[npe][reps] = width
+			paper := "-"
+			if npe == 40_000 {
+				if p, ok := paperFig11MinBER40K[reps]; ok {
+					paper = fmt.Sprintf("%.2f", p)
+				}
+			}
+			if npe == 70_000 && reps == 3 {
+				paper = "0"
+			}
+			tbl.AddRow(levelName(npe), reps, minBER, us(bestT), us(width), paper)
+			plot.Series = append(plot.Series, series)
+		}
+		plots = append(plots, plot)
+	}
+	tbl.AddNote("paper: 40 K minimums 5.2 / 2.4 / 0.96 %% for 3/5/7 replicas; 70 K fully recovered with 3 replicas")
+	tbl.AddNote("window = t_PE span with BER under an absolute 5%% budget")
+	res.Artifact = &Artifact{
+		ID:     "fig11",
+		Title:  "Impact of watermark replication on bit error rates",
+		Tables: []report.Table{tbl},
+		Plots:  plots,
+	}
+	return res, nil
+}
+
+// RunFig11 adapts Fig11 to the registry.
+func RunFig11(cfg Config) (*Artifact, error) {
+	res, err := Fig11(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Artifact, nil
+}

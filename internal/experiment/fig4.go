@@ -1,0 +1,122 @@
+package experiment
+
+import (
+	"time"
+
+	"github.com/flashmark/flashmark/internal/core"
+	"github.com/flashmark/flashmark/internal/report"
+)
+
+func init() { register("fig4", RunFig4) }
+
+// Fig4Result carries the structured outcome of the Fig. 4 reproduction.
+type Fig4Result struct {
+	Artifact *Artifact
+	// AllErased maps stress level (cycles) to the minimum t_PE at which
+	// every cell of the stressed segment reads erased.
+	AllErased map[int]time.Duration
+	// Curves holds cells_0 per stress level for shape assertions.
+	Curves map[int][]core.CharacterizePoint
+}
+
+// paperFig4AllErased are the paper's reported minimum all-erased times.
+var paperFig4AllErased = map[int]float64{
+	0: 35, 20_000: 115, 40_000: 203, 60_000: 226, 80_000: 687, 100_000: 811,
+}
+
+// Fig4 reproduces the characterization sweep: the state of flash cells in
+// a segment as a function of the partial erase time, per stress level
+// (paper Fig. 4), using the Fig. 3 procedure.
+func Fig4(cfg Config) (*Fig4Result, error) {
+	cfg = cfg.withDefaults()
+	levels := []int{0, 20_000, 40_000, 60_000, 80_000, 100_000}
+	step := 2 * time.Microsecond
+	if cfg.Fast {
+		levels = []int{0, 20_000, 50_000}
+		step = 5 * time.Microsecond
+	}
+	res := &Fig4Result{
+		AllErased: make(map[int]time.Duration),
+		Curves:    make(map[int][]core.CharacterizePoint),
+	}
+	tbl := report.Table{
+		Title:   "Fig. 4 — minimum t_PE at which all cells read erased, per stress level",
+		Columns: []string{"stress (P/E)", "all-erased t_PE (µs)", "paper (µs)"},
+	}
+	var plot report.Plot
+	plot.Title = "Fig. 4 — cells_0 (programmed cells) vs t_PE"
+	plot.XLabel = "t_PE (µs)"
+	plot.YLabel = "cells_0"
+
+	for _, level := range levels {
+		dev, err := cfg.newDevice(uint64(level) + 4)
+		if err != nil {
+			return nil, err
+		}
+		// Pre-condition the segment: level P/E cycles with every cell
+		// programmed each cycle (the paper's stress procedure).
+		if level > 0 {
+			zeros := make([]uint64, cfg.Part.Geometry.WordsPerSegment())
+			err = core.ImprintSegment(dev, 0, zeros, core.ImprintOptions{NPE: level, Accelerated: true})
+			if err != nil {
+				return nil, err
+			}
+		}
+		points, err := core.CharacterizeSegment(dev, 0, core.CharacterizeOptions{Step: step, Reads: 3})
+		if err != nil {
+			return nil, err
+		}
+		res.Curves[level] = points
+		at, ok := core.AllErasedTime(points)
+		if !ok {
+			at = dev.Part().Timing.SegmentErase
+		}
+		res.AllErased[level] = at
+		if p, ok := paperFig4AllErased[level]; ok {
+			tbl.AddRow(level, us(at), p)
+		} else {
+			tbl.AddRow(level, us(at), "-")
+		}
+		series := report.Series{Name: levelName(level)}
+		for _, pt := range points {
+			series.X = append(series.X, us(pt.TPE))
+			series.Y = append(series.Y, float64(pt.Cells0))
+		}
+		plot.Series = append(plot.Series, series)
+	}
+	tbl.AddNote("segment: %d cells; sweep step %v; N=3 majority reads", cfg.Part.Geometry.CellsPerSegment(), step)
+	res.Artifact = &Artifact{
+		ID:     "fig4",
+		Title:  "Characterizing flash cell physical properties via partial erase",
+		Tables: []report.Table{tbl},
+		Plots:  []report.Plot{plot},
+	}
+	return res, nil
+}
+
+func levelName(level int) string {
+	return itoa(level/1000) + " K"
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// RunFig4 adapts Fig4 to the registry.
+func RunFig4(cfg Config) (*Artifact, error) {
+	res, err := Fig4(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Artifact, nil
+}

@@ -1,0 +1,103 @@
+package experiment
+
+import (
+	"time"
+
+	"github.com/flashmark/flashmark/internal/core"
+	"github.com/flashmark/flashmark/internal/report"
+)
+
+func init() { register("fig9", RunFig9) }
+
+// Fig9Result is the structured outcome of the Fig. 9 reproduction.
+type Fig9Result struct {
+	Artifact *Artifact
+	// MinBER maps N_PE to the minimum single-read extraction BER (%)
+	// across the t_PE sweep.
+	MinBER map[int]float64
+	// BestTPEW maps N_PE to the t_PE achieving the minimum.
+	BestTPEW map[int]time.Duration
+}
+
+// paperFig9MinBER holds the paper's reported minimum bit error rates (%).
+var paperFig9MinBER = map[int]float64{
+	20_000: 19.9, 40_000: 11.8, 60_000: 7.6, 80_000: 2.3,
+}
+
+// Fig9 reproduces the single-read watermark extraction error study: the
+// bit error rate of a 512-byte ASCII watermark as a function of the
+// partial erase time, per imprint stress count (paper Fig. 9).
+func Fig9(cfg Config) (*Fig9Result, error) {
+	cfg = cfg.withDefaults()
+	levels := []int{0, 20_000, 40_000, 60_000, 80_000, 100_000}
+	lo, hi := 16*time.Microsecond, 45*time.Microsecond
+	step := 250 * time.Nanosecond
+	if cfg.Fast {
+		levels = []int{0, 20_000, 60_000}
+		step = 2 * time.Microsecond
+	}
+	wm := core.ReferenceWatermark(cfg.Part.Geometry.WordsPerSegment())
+	bits := cfg.Part.Geometry.WordBits()
+
+	res := &Fig9Result{MinBER: map[int]float64{}, BestTPEW: map[int]time.Duration{}}
+	plot := report.Plot{
+		Title:  "Fig. 9 — single-read extraction BER vs t_PE",
+		XLabel: "t_PE (µs)",
+		YLabel: "bit error rate (%)",
+	}
+	tbl := report.Table{
+		Title:   "Fig. 9 — minimum single-read extraction BER per imprint count",
+		Columns: []string{"N_PE", "min BER (%)", "at t_PE (µs)", "paper min BER (%)"},
+	}
+	for _, npe := range levels {
+		dev, err := cfg.newDevice(uint64(npe) + 9)
+		if err != nil {
+			return nil, err
+		}
+		if npe > 0 {
+			if err := core.ImprintSegment(dev, 0, wm, core.ImprintOptions{NPE: npe, Accelerated: true}); err != nil {
+				return nil, err
+			}
+		}
+		series := report.Series{Name: levelName(npe)}
+		minBER, bestT := 101.0, time.Duration(0)
+		for t := lo; t <= hi; t += step {
+			got, err := core.ExtractSegment(dev, 0, core.ExtractOptions{TPEW: t})
+			if err != nil {
+				return nil, err
+			}
+			ber := 100 * core.BER(got, wm, bits)
+			series.X = append(series.X, us(t))
+			series.Y = append(series.Y, ber)
+			if ber < minBER {
+				minBER, bestT = ber, t
+			}
+		}
+		plot.Series = append(plot.Series, series)
+		res.MinBER[npe] = minBER
+		res.BestTPEW[npe] = bestT
+		if paper, ok := paperFig9MinBER[npe]; ok {
+			tbl.AddRow(levelName(npe), minBER, us(bestT), paper)
+		} else {
+			tbl.AddRow(levelName(npe), minBER, us(bestT), "-")
+		}
+	}
+	tbl.AddNote("watermark: repeating upper-case ASCII text over the whole 512-byte segment")
+	tbl.AddNote("0 K line bounds: BER equals the watermark's one-bit share at small t_PE and its zero-bit share at large t_PE")
+	res.Artifact = &Artifact{
+		ID:     "fig9",
+		Title:  "Watermark extraction bit error rate vs partial erase time",
+		Tables: []report.Table{tbl},
+		Plots:  []report.Plot{plot},
+	}
+	return res, nil
+}
+
+// RunFig9 adapts Fig9 to the registry.
+func RunFig9(cfg Config) (*Artifact, error) {
+	res, err := Fig9(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Artifact, nil
+}

@@ -1,0 +1,38 @@
+package experiment
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// TestFig6Golden pins the fully deterministic Fig. 6 artifact byte-for-
+// byte; regenerate with `go test -run TestFig6Golden -update-golden`.
+func TestFig6Golden(t *testing.T) {
+	a, err := Fig6(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := a.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	path := filepath.Join("testdata", "fig6.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("fig6 output drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

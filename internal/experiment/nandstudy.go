@@ -1,0 +1,131 @@
+package experiment
+
+import (
+	"time"
+
+	"github.com/flashmark/flashmark/internal/core"
+	"github.com/flashmark/flashmark/internal/floatgate"
+	"github.com/flashmark/flashmark/internal/nand"
+	"github.com/flashmark/flashmark/internal/report"
+)
+
+func init() { register("nand", RunNANDStudy) }
+
+// NANDStudyResult is the structured outcome of the NAND applicability
+// study (paper §VI: "the proposed method is applicable broadly to NOR
+// and NAND flash memories").
+type NANDStudyResult struct {
+	Artifact *Artifact
+	// MinBER maps N_PE to the minimum extraction BER (%) on NAND.
+	MinBER map[int]float64
+	// ImprintTime maps N_PE to the accelerated imprint duration.
+	ImprintTime map[int]time.Duration
+	// NORMinBER holds the NOR comparison at the same N_PE values.
+	NORMinBER map[int]float64
+}
+
+// NANDStudy imprints and extracts watermarks on a simulated SLC NAND
+// part — block-granular erase, page-granular sequential programming —
+// using the same cell physics, and compares the operating points with
+// the NOR results.
+func NANDStudy(cfg Config) (*NANDStudyResult, error) {
+	cfg = cfg.withDefaults()
+	levels := []int{40_000, 80_000}
+	if cfg.Fast {
+		levels = []int{60_000}
+	}
+	lo, hi := 20*time.Microsecond, 32*time.Microsecond
+	step := 500 * time.Nanosecond
+	if cfg.Fast {
+		step = time.Microsecond
+	}
+	geom := nand.SmallNAND()
+	wm := make([]byte, geom.BlockBytes())
+	text := "TRUSTED CHIPMAKER NAND DIE-SORT ACCEPT "
+	for i := range wm {
+		wm[i] = text[i%len(text)]
+	}
+
+	res := &NANDStudyResult{
+		MinBER:      map[int]float64{},
+		ImprintTime: map[int]time.Duration{},
+		NORMinBER:   map[int]float64{},
+	}
+	tbl := report.Table{
+		Title:   "EXT-NAND — Flashmark on SLC NAND (paper §VI applicability claim)",
+		Columns: []string{"N_PE", "NAND min BER (%)", "at t_PE (µs)", "NOR min BER (%)", "NAND imprint (s)"},
+	}
+	plot := report.Plot{
+		Title:  "EXT-NAND — extraction BER vs t_PE on NAND",
+		XLabel: "t_PE (µs)",
+		YLabel: "BER (%)",
+	}
+	cells := geom.CellsPerBlock()
+	for _, npe := range levels {
+		dev, err := nand.NewDevice(geom, nand.SLCTiming(), floatgate.DefaultParams(), cfg.Seed^uint64(npe))
+		if err != nil {
+			return nil, err
+		}
+		start := dev.Clock().Now()
+		if err := nand.ImprintBlock(dev, 0, wm, nand.ImprintOptions{NPE: npe, Accelerated: true}); err != nil {
+			return nil, err
+		}
+		res.ImprintTime[npe] = dev.Clock().Now() - start
+
+		series := report.Series{Name: levelName(npe)}
+		minBER, bestT := 101.0, time.Duration(0)
+		for t := lo; t <= hi; t += step {
+			got, err := nand.ExtractBlock(dev, 0, t)
+			if err != nil {
+				return nil, err
+			}
+			ber := 100 * float64(nand.BitErrors(got, wm)) / float64(cells)
+			series.X = append(series.X, us(t))
+			series.Y = append(series.Y, ber)
+			if ber < minBER {
+				minBER, bestT = ber, t
+			}
+		}
+		res.MinBER[npe] = minBER
+		plot.Series = append(plot.Series, series)
+
+		// NOR comparison at the same stress, same sweep.
+		norDev, err := cfg.newDevice(uint64(npe) + 0x4E)
+		if err != nil {
+			return nil, err
+		}
+		norWM := core.ReferenceWatermark(cfg.Part.Geometry.WordsPerSegment())
+		if err := core.ImprintSegment(norDev, 0, norWM, core.ImprintOptions{NPE: npe, Accelerated: true}); err != nil {
+			return nil, err
+		}
+		norMin := 101.0
+		for t := lo; t <= hi; t += step {
+			got, err := core.ExtractSegment(norDev, 0, core.ExtractOptions{TPEW: t})
+			if err != nil {
+				return nil, err
+			}
+			if ber := 100 * core.BER(got, norWM, cfg.Part.Geometry.WordBits()); ber < norMin {
+				norMin = ber
+			}
+		}
+		res.NORMinBER[npe] = norMin
+		tbl.AddRow(levelName(npe), minBER, us(bestT), norMin, res.ImprintTime[npe].Seconds())
+	}
+	tbl.AddNote("same cell physics, block/page discipline instead of segment/word; the procedure carries over")
+	res.Artifact = &Artifact{
+		ID:     "nand",
+		Title:  "Flashmark on NAND flash",
+		Tables: []report.Table{tbl},
+		Plots:  []report.Plot{plot},
+	}
+	return res, nil
+}
+
+// RunNANDStudy adapts NANDStudy to the registry.
+func RunNANDStudy(cfg Config) (*Artifact, error) {
+	res, err := NANDStudy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Artifact, nil
+}

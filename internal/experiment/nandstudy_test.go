@@ -1,0 +1,26 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNANDStudyCarriesOver(t *testing.T) {
+	res, err := NANDStudy(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ber := res.MinBER[60_000]
+	if ber <= 0 || ber > 20 {
+		t.Errorf("NAND min BER at 60K = %.2f%%, want a usable operating point", ber)
+	}
+	// Same physics, same order of magnitude as NOR.
+	nor := res.NORMinBER[60_000]
+	if ber > nor*3+3 {
+		t.Errorf("NAND BER %.2f%% far above NOR %.2f%%", ber, nor)
+	}
+	// Imprint cost is real but bounded (SLC timings, 60K cycles).
+	if res.ImprintTime[60_000] <= 0 || res.ImprintTime[60_000] > 30*time.Minute {
+		t.Errorf("NAND imprint time = %v", res.ImprintTime[60_000])
+	}
+}

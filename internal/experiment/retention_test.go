@@ -1,0 +1,33 @@
+package experiment
+
+import "testing"
+
+func TestRetentionWatermarkSurvivesAging(t *testing.T) {
+	res, err := Retention(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for age, errs := range res.MajorityErrsByAge {
+		if errs != 0 {
+			t.Errorf("age %d: %d majority errors; the watermark should not fade", age, errs)
+		}
+	}
+	// Retention drift is asymmetric (damaged cells drift further), so the
+	// raw BER must not explode with age.
+	if res.BERByAge[10] > res.BERByAge[0]*1.5+1 {
+		t.Errorf("BER grew from %.2f%% to %.2f%% over 10 years", res.BERByAge[0], res.BERByAge[10])
+	}
+	if res.Artifact == nil || len(res.Artifact.Tables) == 0 {
+		t.Fatal("artifact incomplete")
+	}
+}
+
+func TestTimingFastNORExtension(t *testing.T) {
+	a, err := Run("timing", fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Tables) != 3 {
+		t.Fatalf("timing artifact has %d tables, want 3 (imprint, extract, fast-NOR)", len(a.Tables))
+	}
+}

@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"time"
+
+	"github.com/flashmark/flashmark/internal/core"
+	"github.com/flashmark/flashmark/internal/report"
+)
+
+func init() { register("temperature", RunTemperature) }
+
+// TemperatureResult is the structured outcome of the cross-temperature
+// verification study (extension: the paper lists thermal effects among
+// the physical processes bounding extraction accuracy).
+type TemperatureResult struct {
+	Artifact *Artifact
+	// FixedBER maps ambient °C to the BER when extracting with the
+	// 25 °C-calibrated t_PEW uncompensated.
+	FixedBER map[int]float64
+	// CompensatedBER maps ambient °C to the BER when t_PEW is scaled by
+	// the family's published temperature coefficient.
+	CompensatedBER map[int]float64
+}
+
+// Temperature imprints at 25 °C and extracts across the commercial
+// temperature range, with and without temperature-compensating the
+// partial erase time. Erase physics is thermally assisted, so an
+// uncompensated verifier drifts off the calibrated window; scaling t_PEW
+// by the published coefficient restores it.
+func Temperature(cfg Config) (*TemperatureResult, error) {
+	cfg = cfg.withDefaults()
+	temps := []int{0, 25, 50, 70}
+	if cfg.Fast {
+		temps = []int{0, 25, 70}
+	}
+	const npe = 80_000
+	baseTPEW := 25 * time.Microsecond
+	wm := core.ReferenceWatermark(cfg.Part.Geometry.WordsPerSegment())
+	bits := cfg.Part.Geometry.WordBits()
+	coeff := cfg.Part.Params.TempCoeffPerC
+
+	dev, err := cfg.newDevice(0x7E43)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.ImprintSegment(dev, 0, wm, core.ImprintOptions{NPE: npe, Accelerated: true}); err != nil {
+		return nil, err
+	}
+
+	res := &TemperatureResult{FixedBER: map[int]float64{}, CompensatedBER: map[int]float64{}}
+	tbl := report.Table{
+		Title:   "EXT-TEMP — verification across the commercial temperature range (80 K imprint, calibrated at 25 °C)",
+		Columns: []string{"ambient (°C)", "fixed t_PEW BER (%)", "compensated t_PEW (µs)", "compensated BER (%)"},
+	}
+	for _, temp := range temps {
+		if err := dev.SetAmbientTempC(float64(temp)); err != nil {
+			return nil, err
+		}
+		got, err := core.ExtractSegment(dev, 0, core.ExtractOptions{TPEW: baseTPEW})
+		if err != nil {
+			return nil, err
+		}
+		fixed := 100 * core.BER(got, wm, bits)
+		// Compensation: the erase slows by (1 + coeff*(25-T)); stretch the
+		// pulse by the same factor.
+		factor := 1 + coeff*(25-float64(temp))
+		compTPEW := time.Duration(float64(baseTPEW) * factor)
+		got, err = core.ExtractSegment(dev, 0, core.ExtractOptions{TPEW: compTPEW})
+		if err != nil {
+			return nil, err
+		}
+		comp := 100 * core.BER(got, wm, bits)
+		res.FixedBER[temp] = fixed
+		res.CompensatedBER[temp] = comp
+		tbl.AddRow(temp, fixed, us(compTPEW), comp)
+	}
+	tbl.AddNote("the published extraction window should carry the family's temperature coefficient (here %.3f per °C)", coeff)
+	res.Artifact = &Artifact{
+		ID:     "temperature",
+		Title:  "Temperature compensation of the extraction window",
+		Tables: []report.Table{tbl},
+	}
+	return res, nil
+}
+
+// RunTemperature adapts Temperature to the registry.
+func RunTemperature(cfg Config) (*Artifact, error) {
+	res, err := Temperature(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Artifact, nil
+}

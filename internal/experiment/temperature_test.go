@@ -1,0 +1,23 @@
+package experiment
+
+import "testing"
+
+func TestTemperatureCompensation(t *testing.T) {
+	res, err := Temperature(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uncompensated verification drifts at the hot end of the range.
+	if res.FixedBER[70] < res.FixedBER[25]+2 {
+		t.Errorf("fixed t_PEW should degrade at 70C: 25C=%.2f%% 70C=%.2f%%",
+			res.FixedBER[25], res.FixedBER[70])
+	}
+	// Compensation holds the BER near the calibrated point (single-read
+	// extraction noise allows a couple of points of slack).
+	for _, temp := range []int{0, 70} {
+		if res.CompensatedBER[temp] > res.CompensatedBER[25]+2.5 {
+			t.Errorf("compensated BER at %dC = %.2f%%, calibrated %.2f%%",
+				temp, res.CompensatedBER[temp], res.CompensatedBER[25])
+		}
+	}
+}

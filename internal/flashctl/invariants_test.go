@@ -1,0 +1,304 @@
+package flashctl
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/flashmark/flashmark/internal/floatgate"
+	"github.com/flashmark/flashmark/internal/nor"
+)
+
+// opcode drives the random-sequence invariant tests.
+type opcode struct {
+	Kind  uint8
+	Addr  uint16
+	Value uint16
+	Pulse uint8 // µs
+}
+
+// applyOp executes one randomized operation; invalid arguments are fine —
+// the controller must reject them without corrupting state.
+func applyOp(c *Controller, op opcode) {
+	geom := c.Array().Geometry()
+	addr := int(op.Addr) % geom.TotalBytes()
+	addr &^= 1 // word-align most of the time
+	switch op.Kind % 7 {
+	case 0:
+		_ = c.EraseSegment(addr)
+	case 1:
+		_ = c.ProgramWord(addr, uint64(op.Value))
+	case 2:
+		_ = c.PartialEraseSegment(addr, time.Duration(op.Pulse)*time.Microsecond)
+	case 3:
+		_, _ = c.ReadWord(addr)
+	case 4:
+		_, _ = c.EraseSegmentAdaptive(addr)
+	case 5:
+		_ = c.PartialProgramSegment(addr, time.Duration(op.Pulse)*time.Microsecond)
+	case 6:
+		_ = c.ProgramBlock(addr, []uint64{uint64(op.Value), uint64(^op.Value)})
+	}
+}
+
+// Property: no operation sequence ever decreases any cell's wear, and
+// virtual time never runs backward.
+func TestQuickWearMonotoneUnderAnySequence(t *testing.T) {
+	f := func(seed uint64, ops []opcode) bool {
+		c, err := newQuickController(seed)
+		if err != nil {
+			return false
+		}
+		if err := c.Unlock(UnlockKey); err != nil {
+			return false
+		}
+		if len(ops) > 40 {
+			ops = ops[:40]
+		}
+		geom := c.Array().Geometry()
+		prevWear := make([]float64, geom.TotalCells())
+		prevTime := c.Clock().Now()
+		for _, op := range ops {
+			applyOp(c, op)
+			if c.Clock().Now() < prevTime {
+				return false
+			}
+			prevTime = c.Clock().Now()
+			// Spot-check wear monotonicity on a sample of cells.
+			for cell := 0; cell < geom.TotalCells(); cell += 997 {
+				w := c.Array().Wear(cell)
+				if w < prevWear[cell] {
+					return false
+				}
+				prevWear[cell] = w
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after any sequence, a full erase then read gives all ones —
+// the digital contract of flash never breaks.
+func TestQuickEraseAlwaysRestoresOnes(t *testing.T) {
+	f := func(seed uint64, ops []opcode) bool {
+		c, err := newQuickController(seed)
+		if err != nil {
+			return false
+		}
+		if err := c.Unlock(UnlockKey); err != nil {
+			return false
+		}
+		if len(ops) > 20 {
+			ops = ops[:20]
+		}
+		for _, op := range ops {
+			applyOp(c, op)
+		}
+		if err := c.EraseSegment(0); err != nil {
+			return false
+		}
+		words, err := c.ReadSegment(0)
+		if err != nil {
+			return false
+		}
+		for _, w := range words {
+			if w != 0xFFFF {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the lock blocks every mutating command after any sequence.
+func TestQuickLockAlwaysEnforced(t *testing.T) {
+	f := func(seed uint64, ops []opcode) bool {
+		c, err := newQuickController(seed)
+		if err != nil {
+			return false
+		}
+		if err := c.Unlock(UnlockKey); err != nil {
+			return false
+		}
+		if len(ops) > 10 {
+			ops = ops[:10]
+		}
+		for _, op := range ops {
+			applyOp(c, op)
+		}
+		c.Lock()
+		before := c.Array().Wear(0)
+		if err := c.EraseSegment(0); err == nil {
+			return false
+		}
+		if err := c.ProgramWord(0, 0); err == nil {
+			return false
+		}
+		if err := c.PartialEraseSegment(0, time.Microsecond); err == nil {
+			return false
+		}
+		return c.Array().Wear(0) == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newQuickController(seed uint64) (*Controller, error) {
+	arr, err := nor.NewArray(nor.Geometry{Banks: 1, SegmentsPerBank: 2, SegmentBytes: 64, WordBytes: 2})
+	if err != nil {
+		return nil, err
+	}
+	model, err := newQuickModel(seed)
+	if err != nil {
+		return nil, err
+	}
+	return New(Config{Array: arr, Model: model, Timing: MSP430Timing()})
+}
+
+func TestAgeSlowsWornCellErase(t *testing.T) {
+	c := newSeededController(t, 5)
+	mustUnlock(t, c)
+	zeros := make([]uint64, c.Array().Geometry().WordsPerSegment())
+	if err := c.StressSegmentWords(0, zeros, 80_000, true); err != nil {
+		t.Fatal(err)
+	}
+	countErased := func() int {
+		if err := c.EraseSegment(0); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.ProgramBlock(0, zeros); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.PartialEraseSegment(0, 25*time.Microsecond); err != nil {
+			t.Fatal(err)
+		}
+		words, err := c.ReadSegment(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ones := 0
+		for _, w := range words {
+			for b := 0; b < 16; b++ {
+				if w&(1<<uint(b)) != 0 {
+					ones++
+				}
+			}
+		}
+		return ones
+	}
+	young := countErased()
+	if err := c.SetAgeYears(20); err != nil {
+		t.Fatal(err)
+	}
+	old := countErased()
+	if old >= young {
+		t.Errorf("retention drift should slow worn cells: erased %d young vs %d old", young, old)
+	}
+}
+
+func TestAgeMonotone(t *testing.T) {
+	c := newTestController(t)
+	if err := c.SetAgeYears(5); err != nil {
+		t.Fatal(err)
+	}
+	if c.AgeYears() != 5 {
+		t.Errorf("AgeYears = %v", c.AgeYears())
+	}
+	if err := c.SetAgeYears(3); err == nil {
+		t.Error("rejuvenation accepted")
+	}
+	if err := c.SetAgeYears(5); err != nil {
+		t.Error("same-age set should be allowed")
+	}
+}
+
+// newQuickModel builds a model for the invariant tests.
+func newQuickModel(seed uint64) (*floatgate.Model, error) {
+	return floatgate.NewModel(floatgate.DefaultParams(), seed)
+}
+
+func TestBeyondEnduranceReadsNoisier(t *testing.T) {
+	c := newSeededController(t, 13)
+	mustUnlock(t, c)
+	zeros := make([]uint64, c.Array().Geometry().WordsPerSegment())
+	// Stress far past the endurance budget.
+	if err := c.StressSegmentWords(0, zeros, 250_000, true); err != nil {
+		t.Fatal(err)
+	}
+	model := c.Model()
+	nominal := model.ReadSigmaUs(50_000)
+	worn := model.ReadSigmaUs(250_000)
+	if worn <= nominal {
+		t.Fatalf("read noise should grow past endurance: %v vs %v", worn, nominal)
+	}
+	count, err := c.WornCellCount(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != c.Array().Geometry().CellsPerSegment() {
+		t.Errorf("worn cells = %d, want whole segment", count)
+	}
+	fresh, err := c.WornCellCount(c.Array().Geometry().SegmentBytes)
+	if err != nil || fresh != 0 {
+		t.Errorf("fresh segment worn = %d, %v", fresh, err)
+	}
+	if _, err := c.WornCellCount(-1); err == nil {
+		t.Error("bad address accepted")
+	}
+}
+
+func TestAmbientTemperatureAffectsErase(t *testing.T) {
+	c := newSeededController(t, 21)
+	mustUnlock(t, c)
+	geom := c.Array().Geometry()
+	zeros := make([]uint64, geom.WordsPerSegment())
+	count := func(tempC float64) int {
+		if err := c.SetAmbientTempC(tempC); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.EraseSegment(0); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.ProgramBlock(0, zeros); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.PartialEraseSegment(0, 21*time.Microsecond); err != nil {
+			t.Fatal(err)
+		}
+		words, err := c.ReadSegment(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ones := 0
+		for _, w := range words {
+			for b := 0; b < 16; b++ {
+				if w&(1<<uint(b)) != 0 {
+					ones++
+				}
+			}
+		}
+		return ones
+	}
+	cold := count(0)
+	nominal := count(25)
+	hot := count(70)
+	if !(cold < nominal && nominal < hot) {
+		t.Errorf("erase speed should grow with temperature: 0C=%d 25C=%d 70C=%d erased", cold, nominal, hot)
+	}
+	if err := c.SetAmbientTempC(-40); err == nil {
+		t.Error("below-range temperature accepted")
+	}
+	if err := c.SetAmbientTempC(125); err == nil {
+		t.Error("above-range temperature accepted")
+	}
+	if c.AmbientTempC() != 70 {
+		t.Errorf("AmbientTempC = %v", c.AmbientTempC())
+	}
+}

@@ -1,0 +1,117 @@
+package flashctl
+
+import (
+	"testing"
+	"time"
+)
+
+func countProgrammed(t *testing.T, c *Controller, segAddr int) int {
+	t.Helper()
+	words, err := c.ReadSegment(segAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geom := c.Array().Geometry()
+	programmed := 0
+	for _, w := range words {
+		for b := 0; b < geom.WordBits(); b++ {
+			if w&(1<<uint(b)) == 0 {
+				programmed++
+			}
+		}
+	}
+	return programmed
+}
+
+func TestPartialProgramSweepFresh(t *testing.T) {
+	c := newTestController(t)
+	mustUnlock(t, c)
+	run := func(pulse time.Duration) int {
+		if err := c.EraseSegment(0); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.PartialProgramSegment(0, pulse); err != nil {
+			t.Fatal(err)
+		}
+		return countProgrammed(t, c, 0)
+	}
+	cells := c.Array().Geometry().CellsPerSegment()
+	if got := run(10 * time.Microsecond); got != 0 {
+		t.Errorf("10µs pulse programmed %d cells, want 0", got)
+	}
+	if got := run(80 * time.Microsecond); got != cells {
+		t.Errorf("80µs pulse programmed %d cells, want all %d", got, cells)
+	}
+	mid := run(45 * time.Microsecond)
+	if mid == 0 || mid == cells {
+		t.Errorf("45µs pulse should be mid-transition, got %d", mid)
+	}
+}
+
+func TestPartialProgramWornShiftsEarlier(t *testing.T) {
+	// A worn segment programs faster: at the same pulse, more cells flip.
+	fresh := newSeededController(t, 33)
+	worn := newSeededController(t, 33)
+	mustUnlock(t, fresh)
+	mustUnlock(t, worn)
+	geom := worn.Array().Geometry()
+	zeros := make([]uint64, geom.WordsPerSegment())
+	if err := worn.StressSegmentWords(0, zeros, 50_000, true); err != nil {
+		t.Fatal(err)
+	}
+	pulse := 42 * time.Microsecond
+	for _, c := range []*Controller{fresh, worn} {
+		if err := c.EraseSegment(0); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.PartialProgramSegment(0, pulse); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := countProgrammed(t, fresh, 0)
+	w := countProgrammed(t, worn, 0)
+	if w <= f {
+		t.Errorf("worn segment programmed %d cells vs fresh %d; wear should accelerate programming", w, f)
+	}
+}
+
+func TestPartialProgramPreservesProgrammedCells(t *testing.T) {
+	c := newTestController(t)
+	mustUnlock(t, c)
+	if err := c.ProgramWord(0, 0x0000); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PartialProgramSegment(0, time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := c.ReadWord(0)
+	if v != 0 {
+		t.Errorf("programmed word changed to %#x", v)
+	}
+}
+
+func TestPartialProgramValidation(t *testing.T) {
+	c := newTestController(t)
+	if err := c.PartialProgramSegment(0, time.Microsecond); err == nil {
+		t.Error("locked partial program accepted")
+	}
+	mustUnlock(t, c)
+	if err := c.PartialProgramSegment(0, -time.Microsecond); err == nil {
+		t.Error("negative pulse accepted")
+	}
+	if err := c.PartialProgramSegment(1<<30, time.Microsecond); err == nil {
+		t.Error("bad address accepted")
+	}
+}
+
+func TestPartialProgramChargesTime(t *testing.T) {
+	c := newTestController(t)
+	mustUnlock(t, c)
+	before := c.Clock().Now()
+	if err := c.PartialProgramSegment(0, 40*time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if c.Clock().Now() <= before {
+		t.Error("partial program did not advance time")
+	}
+}

@@ -1,0 +1,118 @@
+package floatgate
+
+// Calibration probes: measure the statistics the paper reports directly
+// against the cell model, without the controller stack. These tests log
+// measured-vs-paper values (go test -v -run Calibration) and assert only
+// the qualitative shape the reproduction must preserve; EXPERIMENTS.md
+// records the quantitative comparison.
+
+import (
+	"sort"
+	"testing"
+)
+
+const segCells = 4096 // 512-byte segment
+
+// tausAtWear returns the sorted erase crossing times of a full segment
+// whose cells all carry the given wear.
+func tausAtWear(m *Model, seg int, wear float64) []float64 {
+	taus := make([]float64, segCells)
+	for c := 0; c < segCells; c++ {
+		taus[c] = m.Tau(m.Base(seg, c), wear)
+	}
+	sort.Float64s(taus)
+	return taus
+}
+
+// TestCalibrationFig4Maxima probes the minimum t_PE at which every cell in
+// a stressed segment reads erased (the paper: 35, 115, 203, 226, 687,
+// 811 µs at 0..100K cycles).
+func TestCalibrationFig4Maxima(t *testing.T) {
+	m := newTestModel(t)
+	paper := map[float64]float64{0: 35, 20_000: 115, 40_000: 203, 60_000: 226, 80_000: 687, 100_000: 811}
+	wears := []float64{0, 20_000, 40_000, 60_000, 80_000, 100_000}
+	var prevMax float64
+	for _, w := range wears {
+		taus := tausAtWear(m, 0, w)
+		maxTau := taus[len(taus)-1]
+		t.Logf("wear %6.0fK: all-erased at t_PE >= %7.1f µs (paper: %v µs); onset %5.1f µs",
+			w/1000, maxTau, paper[w], taus[0])
+		if maxTau < prevMax {
+			t.Errorf("all-erased time not monotone in wear at %v", w)
+		}
+		prevMax = maxTau
+	}
+	// Shape anchors: fresh segment completes within ~40 µs; 100K-stressed
+	// takes several hundred µs.
+	fresh := tausAtWear(m, 0, 0)
+	if fresh[len(fresh)-1] > 40 {
+		t.Errorf("fresh segment max tau = %v, want < 40 µs", fresh[len(fresh)-1])
+	}
+	worn := tausAtWear(m, 0, 100_000)
+	if worn[len(worn)-1] < 300 {
+		t.Errorf("100K segment max tau = %v, want several hundred µs", worn[len(worn)-1])
+	}
+}
+
+// TestCalibrationFig5Detection probes single-round stress detection:
+// at the best t_PEW, how many of 4096 bits distinguish a 50 K-stressed
+// segment from a fresh one (paper: 3,833 at t_PEW = 23 µs).
+func TestCalibrationFig5Detection(t *testing.T) {
+	m := newTestModel(t)
+	freshTaus := tausAtWear(m, 0, 0)
+	wornTaus := tausAtWear(m, 1, 50_000)
+	best, bestT := 0, 0.0
+	for tpe := 18.0; tpe <= 40; tpe += 0.5 {
+		// Distinguishable = fresh cells already erased + worn cells still
+		// programmed, minus their complements miscounted: the count of
+		// positions where the two segments read differently. Since the
+		// segments are different cells, compare marginal counts.
+		freshErased := countBelow(freshTaus, tpe)
+		wornProgrammed := segCells - countBelow(wornTaus, tpe)
+		// A bit is distinguishable when fresh reads 1 and worn reads 0;
+		// expected count with independent cells:
+		d := int(float64(freshErased) / segCells * float64(wornProgrammed))
+		if d > best {
+			best, bestT = d, tpe
+		}
+	}
+	t.Logf("best t_PEW = %.1f µs distinguishes ~%d / %d bits (paper: 23 µs, 3833/4096)", bestT, best, segCells)
+	if best < 3200 {
+		t.Errorf("stress detection too weak: %d / 4096 distinguishable", best)
+	}
+}
+
+func countBelow(sorted []float64, x float64) int {
+	return sort.SearchFloat64s(sorted, x)
+}
+
+// TestCalibrationFig9BER probes the minimum single-read extraction BER per
+// imprint count (paper: 19.9 / 11.8 / 7.6 / 2.3 % at 20/40/60/80 K).
+// Good (logic-1) cells accumulate erase-only wear during imprinting;
+// bad (logic-0) cells accumulate full P/E wear.
+func TestCalibrationFig9BER(t *testing.T) {
+	m := newTestModel(t)
+	gamma := m.Params().EraseOnlyWear
+	paper := map[float64]float64{20_000: 19.9, 40_000: 11.8, 60_000: 7.6, 80_000: 2.3}
+	// Watermark composition: upper-case ASCII is roughly half zeros.
+	const f0 = 0.48
+	var prev float64 = 101
+	for _, npe := range []float64{20_000, 40_000, 60_000, 80_000} {
+		goodTaus := tausAtWear(m, 2, gamma*npe)
+		badTaus := tausAtWear(m, 3, npe)
+		bestBER, bestT := 101.0, 0.0
+		for tpe := 18.0; tpe <= 120; tpe += 0.25 {
+			goodAsBad := 1 - float64(countBelow(goodTaus, tpe))/segCells // still programmed
+			badAsGood := float64(countBelow(badTaus, tpe)) / segCells    // already erased
+			ber := 100 * ((1-f0)*goodAsBad + f0*badAsGood)
+			if ber < bestBER {
+				bestBER, bestT = ber, tpe
+			}
+		}
+		t.Logf("N_PE %3.0fK: min BER %5.2f%% at t_PE %.2f µs (paper: %.1f%%)", npe/1000, bestBER, bestT, paper[npe])
+		if bestBER >= prev {
+			t.Errorf("BER not decreasing with imprint count at %vK", npe/1000)
+		}
+		prev = bestBER
+	}
+}

@@ -1,0 +1,173 @@
+// Package floatgate models the analog physics of floating-gate NOR flash
+// cells as observed through the digital interface used by Flashmark.
+//
+// The model follows §II-III of the paper. Each cell is a floating-gate
+// MOSFET whose threshold voltage separates the programmed ('0') and erased
+// ('1') states. Program/erase (P/E) cycling damages the tunnel oxide
+// irreversibly; the damage is not visible to a plain digital read while the
+// cell is within its endurance budget, but it slows the cell's response to
+// an erase pulse. Flashmark senses this through a *partial erase*: a
+// segment erase aborted after t_PE microseconds. The single analog quantity
+// the model must get right is therefore the per-cell erase crossing time
+//
+//	tau_i(w) = tauBase_i + F(w) + G(w) * Q(k(w), u_i)
+//
+// where w is the cell's accumulated effective wear, tauBase_i is the
+// cell's fresh crossing time (manufacturing variation), F is a
+// deterministic wear-induced slowdown, G scales a per-cell wear
+// sensitivity, and Q(k, u) is the u_i-quantile of a unit-mean Gamma
+// distribution whose shape k rises with wear. The Gamma tail gives the
+// few extremely slow cells that dominate the paper's Fig. 4 maxima
+// (203–811 µs at 40–100 K cycles) while the thin-with-wear left tail
+// reproduces the falling-but-asymmetric bit error rates of Figs. 9–11.
+//
+// All constants live in Params; calibration tests in this package compare
+// the achieved statistics against every number the paper reports.
+package floatgate
+
+// Params holds every tunable constant of the cell physics model.
+// DefaultParams is calibrated against the paper's MSP430F5438/F5529
+// measurements; tests and ablation benches construct variants.
+type Params struct {
+	// Fresh erase crossing time distribution (Normal, clipped).
+	TauBaseMeanUs  float64 // mean fresh crossing time, µs
+	TauBaseSigmaUs float64 // manufacturing spread, µs
+	TauBaseMinUs   float64 // clip floor, µs
+	TauBaseMaxUs   float64 // clip ceiling, µs
+
+	// Deterministic wear slowdown F(w) = ShiftCoefUs * (w/1000)^ShiftPower.
+	ShiftCoefUs float64
+	ShiftPower  float64
+
+	// Wear sensitivity spread G(w) = SpreadCoefUs * (w/1000)^SpreadPower.
+	SpreadCoefUs float64
+	SpreadPower  float64
+
+	// Shape of the per-cell sensitivity distribution:
+	// k(w) = ShapeBase + ShapeSlope * min(w, ShapeSaturation)/ShapeSaturation.
+	// Larger k thins the fast-erasing tail of stressed cells, which is what
+	// drives the BER down at high imprint counts (Fig. 9).
+	ShapeBase       float64
+	ShapeSlope      float64
+	ShapeSaturation float64 // cycles at which the shape stops growing
+
+	// Wear accounting (effective cycles added per operation).
+	EraseFromProgrammedWear float64 // completing a P/E cycle
+	EraseOnlyWear           float64 // erasing an already-erased cell (γ)
+	ProgramWear             float64 // programming a cell
+
+	// Program-side physics (used by the prior-work FFD comparator [6],
+	// which characterizes chips with partial *program* sweeps): the time
+	// for a cell to cross into the programmed state during a program
+	// pulse. Wear accelerates programming (trap-assisted injection), so
+	// worn cells cross earlier.
+	ProgTauMeanUs   float64 // fresh program crossing time mean
+	ProgTauSigmaUs  float64 // manufacturing spread
+	ProgTauMinUs    float64 // clip floor
+	ProgSpeedupCoef float64 // fractional speedup coefficient per (w/1000)^ProgSpeedupPower
+	ProgSpeedupPow  float64
+	ProgSpeedupMax  float64 // cap on fractional speedup (< 1)
+
+	// Read noise: a cell left at analog margin m µs after an aborted erase
+	// reads '1' with probability Φ(m / ReadNoiseSigmaUs) per read.
+	ReadNoiseSigmaUs float64
+
+	// EnduranceCycles is the datasheet endurance; beyond it the cell is
+	// "unreliable" (still functional, used only for reporting).
+	EnduranceCycles float64
+
+	// Retention drift: erased-state margin loss per decade-year of aging,
+	// amplified by wear (extension hook, §VI).
+	RetentionDriftUsPerYear  float64
+	RetentionWearAmplifPer1K float64
+
+	// TempCoeffPerC scales erase crossing times with ambient temperature:
+	// tunneling is thermally assisted, so cells erase faster when hot and
+	// slower when cold. tau_eff = tau * (1 + TempCoeffPerC*(25 - T)).
+	TempCoeffPerC float64
+}
+
+// DefaultParams returns the model constants calibrated against the paper's
+// reported measurements (see the calibration tests and EXPERIMENTS.md).
+func DefaultParams() Params {
+	return Params{
+		TauBaseMeanUs:  21.5,
+		TauBaseSigmaUs: 1.4,
+		TauBaseMinUs:   17.0,
+		TauBaseMaxUs:   27.0,
+
+		// Calibration found no deterministic floor: the stressed
+		// distributions of Fig. 4 share their onset with the fresh curve,
+		// so all wear-induced slowdown is carried by the spread term.
+		ShiftCoefUs: 0.0,
+		ShiftPower:  1.0,
+
+		SpreadCoefUs: 0.0227,
+		SpreadPower:  1.81,
+
+		// Shape < 1 at low wear (many stressed cells barely slowed; defect
+		// generation is highly non-uniform) rising to 1 at the endurance
+		// limit; this reproduces both the Fig. 9 BER ladder and the
+		// Fig. 4 maxima.
+		ShapeBase:       0.5,
+		ShapeSlope:      0.5,
+		ShapeSaturation: 100_000,
+
+		EraseFromProgrammedWear: 1.0,
+		EraseOnlyWear:           0.0625, // dyadic: repeated accumulation is exact
+		ProgramWear:             0.0,
+
+		ProgTauMeanUs:   45.0,
+		ProgTauSigmaUs:  3.0,
+		ProgTauMinUs:    30.0,
+		ProgSpeedupCoef: 0.012,
+		ProgSpeedupPow:  1.0,
+		ProgSpeedupMax:  0.45,
+
+		ReadNoiseSigmaUs: 0.6,
+
+		EnduranceCycles: 100_000,
+
+		RetentionDriftUsPerYear:  0.02,
+		RetentionWearAmplifPer1K: 0.05,
+
+		TempCoeffPerC: 0.004,
+	}
+}
+
+// Validate reports whether the parameter set is physically meaningful.
+func (p Params) Validate() error {
+	switch {
+	case p.TauBaseSigmaUs <= 0:
+		return errParam("TauBaseSigmaUs must be positive")
+	case p.TauBaseMinUs >= p.TauBaseMaxUs:
+		return errParam("TauBase clip range is empty")
+	case p.TauBaseMeanUs <= p.TauBaseMinUs || p.TauBaseMeanUs >= p.TauBaseMaxUs:
+		return errParam("TauBaseMeanUs must lie inside the clip range")
+	case p.ShiftCoefUs < 0 || p.SpreadCoefUs < 0:
+		return errParam("wear coefficients must be non-negative")
+	case p.ShiftPower <= 0 || p.SpreadPower <= 0:
+		return errParam("wear powers must be positive")
+	case p.ShapeBase <= 0 || p.ShapeSlope < 0 || p.ShapeSaturation <= 0:
+		return errParam("shape parameters out of range")
+	case p.EraseFromProgrammedWear < 0 || p.EraseOnlyWear < 0 || p.ProgramWear < 0:
+		return errParam("wear increments must be non-negative")
+	case p.ProgTauSigmaUs <= 0 || p.ProgTauMeanUs <= p.ProgTauMinUs:
+		return errParam("program tau distribution out of range")
+	case p.ProgSpeedupCoef < 0 || p.ProgSpeedupPow <= 0 || p.ProgSpeedupMax < 0 || p.ProgSpeedupMax >= 1:
+		return errParam("program speedup parameters out of range")
+	case p.ReadNoiseSigmaUs <= 0:
+		return errParam("ReadNoiseSigmaUs must be positive")
+	case p.EnduranceCycles <= 0:
+		return errParam("EnduranceCycles must be positive")
+	case p.TempCoeffPerC < 0 || p.TempCoeffPerC > 0.02:
+		return errParam("TempCoeffPerC out of range [0, 0.02]")
+	}
+	return nil
+}
+
+type paramError string
+
+func (e paramError) Error() string { return "floatgate: " + string(e) }
+
+func errParam(msg string) error { return paramError(msg) }

@@ -1,0 +1,67 @@
+package floatgate
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestProgTauFresh(t *testing.T) {
+	m := newTestModel(t)
+	p := m.Params()
+	sum := 0.0
+	const n = 4096
+	for c := 0; c < n; c++ {
+		v := m.ProgTau(m.Base(0, c), 0)
+		if v < p.ProgTauMinUs {
+			t.Fatalf("prog tau %v below clip floor", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if mean < p.ProgTauMeanUs-1 || mean > p.ProgTauMeanUs+1 {
+		t.Errorf("fresh prog tau mean = %v, want ~%v", mean, p.ProgTauMeanUs)
+	}
+}
+
+// Property: programming gets monotonically faster with wear — the inverse
+// of the erase-side slowdown, and the signal FFD [6] uses.
+func TestQuickProgTauMonotoneDecreasing(t *testing.T) {
+	m := newTestModel(t)
+	wears := []float64{0, 1000, 10_000, 40_000, 100_000, 300_000}
+	f := func(cellIdx uint16) bool {
+		b := m.Base(1, int(cellIdx)%4096)
+		prev := 1e18
+		for _, w := range wears {
+			v := m.ProgTau(b, w)
+			if v > prev+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProgTauSpeedupCapped(t *testing.T) {
+	m := newTestModel(t)
+	p := m.Params()
+	b := m.Base(0, 0)
+	fresh := m.ProgTau(b, 0)
+	ancient := m.ProgTau(b, 1e9)
+	if ancient < fresh*(1-p.ProgSpeedupMax)-1e-9 && ancient < p.ProgTauMinUs-1e-9 {
+		t.Errorf("speedup exceeded cap: %v -> %v", fresh, ancient)
+	}
+	if ancient >= fresh {
+		t.Errorf("extreme wear should speed programming: %v -> %v", fresh, ancient)
+	}
+}
+
+func TestProgTauDeterministic(t *testing.T) {
+	m := newTestModel(t)
+	if m.ProgTauAt(2, 5, 1234) != m.ProgTauAt(2, 5, 1234) {
+		t.Fatal("ProgTauAt not deterministic")
+	}
+}

@@ -1,0 +1,223 @@
+// Package mathx supplies the numerical routines the physics model and the
+// evaluation harness need beyond the standard library: normal and gamma
+// distribution functions (CDFs, quantiles), the regularized incomplete
+// gamma function, and small statistics helpers (summaries, quantiles,
+// histograms). Everything is pure Go on top of package math.
+package mathx
+
+import (
+	"errors"
+	"math"
+)
+
+// NormalCDF returns Φ((x-mu)/sigma), the CDF of Normal(mu, sigma²) at x.
+func NormalCDF(x, mu, sigma float64) float64 {
+	return 0.5 * math.Erfc(-(x-mu)/(sigma*math.Sqrt2))
+}
+
+// StdNormalCDF returns Φ(z).
+func StdNormalCDF(z float64) float64 { return 0.5 * math.Erfc(-z/math.Sqrt2) }
+
+// StdNormalQuantile returns Φ⁻¹(p) for p in (0,1) using the
+// Beasley-Springer-Moro / Acklam rational approximation refined by one
+// Halley step, accurate to ~1e-15 over the full open interval.
+func StdNormalQuantile(p float64) float64 {
+	if math.IsNaN(p) || p <= 0 || p >= 1 {
+		switch {
+		case p == 0:
+			return math.Inf(-1)
+		case p == 1:
+			return math.Inf(1)
+		}
+		return math.NaN()
+	}
+	// Acklam's coefficients.
+	var (
+		a = [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+			-2.759285104469687e+02, 1.383577518672690e+02,
+			-3.066479806614716e+01, 2.506628277459239e+00}
+		b = [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+			-1.556989798598866e+02, 6.680131188771972e+01,
+			-1.328068155288572e+01}
+		c = [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+			-2.400758277161838e+00, -2.549732539343734e+00,
+			4.374664141464968e+00, 2.938163982698783e+00}
+		d = [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+			2.445134137142996e+00, 3.754408661907416e+00}
+	)
+	const pLow = 0.02425
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement step against the true CDF.
+	e := StdNormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}
+
+// ErrNoConverge reports that an iterative special-function evaluation
+// failed to converge; it indicates arguments far outside the supported
+// range rather than a recoverable condition.
+var ErrNoConverge = errors.New("mathx: iteration did not converge")
+
+// GammaRegP returns the regularized lower incomplete gamma function
+// P(a, x) = γ(a,x)/Γ(a) for a > 0, x >= 0.
+func GammaRegP(a, x float64) (float64, error) {
+	switch {
+	case a <= 0 || math.IsNaN(a) || math.IsNaN(x):
+		return math.NaN(), errors.New("mathx: GammaRegP requires a > 0")
+	case x < 0:
+		return math.NaN(), errors.New("mathx: GammaRegP requires x >= 0")
+	case x == 0:
+		return 0, nil
+	}
+	if x < a+1 {
+		p, err := gammaPSeries(a, x)
+		return p, err
+	}
+	q, err := gammaQContinuedFraction(a, x)
+	return 1 - q, err
+}
+
+// GammaRegQ returns the regularized upper incomplete gamma function
+// Q(a, x) = 1 - P(a, x).
+func GammaRegQ(a, x float64) (float64, error) {
+	p, err := GammaRegP(a, x)
+	return 1 - p, err
+}
+
+// gammaPSeries evaluates P(a,x) by its power series, best for x < a+1.
+func gammaPSeries(a, x float64) (float64, error) {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < 500; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-16 {
+			return sum * math.Exp(-x+a*math.Log(x)-lg), nil
+		}
+	}
+	return math.NaN(), ErrNoConverge
+}
+
+// gammaQContinuedFraction evaluates Q(a,x) by Lentz's continued fraction,
+// best for x >= a+1.
+func gammaQContinuedFraction(a, x float64) (float64, error) {
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-16 {
+			return math.Exp(-x+a*math.Log(x)-lg) * h, nil
+		}
+	}
+	return math.NaN(), ErrNoConverge
+}
+
+// GammaQuantile returns the x such that P(shape, x/scale) = p: the
+// quantile function of a Gamma(shape, scale) distribution. p must lie in
+// [0, 1); shape and scale must be positive.
+func GammaQuantile(p, shape, scale float64) (float64, error) {
+	switch {
+	case shape <= 0 || scale <= 0:
+		return math.NaN(), errors.New("mathx: GammaQuantile requires positive shape and scale")
+	case p < 0 || p >= 1 || math.IsNaN(p):
+		return math.NaN(), errors.New("mathx: GammaQuantile requires p in [0,1)")
+	case p == 0:
+		return 0, nil
+	}
+	// Wilson-Hilferty starting point: if X~Gamma(a,1) then (X/a)^(1/3)
+	// is approximately normal.
+	z := StdNormalQuantile(p)
+	a := shape
+	wh := a * math.Pow(1-1/(9*a)+z/(3*math.Sqrt(a)), 3)
+	x := wh
+	if x <= 0 || math.IsNaN(x) {
+		x = a * math.Exp((math.Log(p)+lgammaPlus1(a))/a)
+		if x <= 0 || math.IsNaN(x) {
+			x = 1e-8
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	// Newton iterations on P(a,x) - p = 0; the derivative is the pdf.
+	for i := 0; i < 60; i++ {
+		cur, err := GammaRegP(a, x)
+		if err != nil {
+			return math.NaN(), err
+		}
+		pdf := math.Exp(-x + (a-1)*math.Log(x) - lg)
+		if pdf <= 0 || math.IsInf(pdf, 0) {
+			break
+		}
+		step := (cur - p) / pdf
+		nx := x - step
+		if nx <= 0 {
+			nx = x / 2
+		}
+		if math.Abs(nx-x) < 1e-13*math.Max(1, x) {
+			x = nx
+			break
+		}
+		x = nx
+	}
+	return x * scale, nil
+}
+
+func lgammaPlus1(a float64) float64 {
+	lg, _ := math.Lgamma(a + 1)
+	return lg
+}
+
+// Logistic returns the standard logistic sigmoid 1/(1+e^{-x}).
+func Logistic(x float64) float64 {
+	if x >= 0 {
+		e := math.Exp(-x)
+		return 1 / (1 + e)
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+// Clamp limits v to the closed interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	switch {
+	case v < lo:
+		return lo
+	case v > hi:
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,157 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds order and moment statistics of a sample.
+type Summary struct {
+	N        int
+	Min      float64
+	Max      float64
+	Mean     float64
+	StdDev   float64 // sample standard deviation (n-1 denominator)
+	Median   float64
+	P05, P95 float64
+}
+
+// Summarize computes a Summary of xs. It returns a zero Summary for an
+// empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum, sumSq float64
+	for _, v := range sorted {
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	variance := 0.0
+	if len(sorted) > 1 {
+		variance = (sumSq - n*mean*mean) / (n - 1)
+		if variance < 0 {
+			variance = 0
+		}
+	}
+	return Summary{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Mean:   mean,
+		StdDev: math.Sqrt(variance),
+		Median: QuantileSorted(sorted, 0.5),
+		P05:    QuantileSorted(sorted, 0.05),
+		P95:    QuantileSorted(sorted, 0.95),
+	}
+}
+
+// QuantileSorted returns the q-quantile (0<=q<=1) of an ascending-sorted
+// sample using linear interpolation between order statistics.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Quantile sorts a copy of xs and returns its q-quantile.
+func Quantile(xs []float64, q float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return QuantileSorted(sorted, q)
+}
+
+// Mean returns the arithmetic mean of xs (NaN for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum / float64(len(xs))
+}
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi); values outside
+// the range are counted in Under/Over.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Under  int
+	Over   int
+	total  int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("mathx: histogram needs positive bin count, got %d", bins)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("mathx: histogram needs hi > lo, got [%v, %v)", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	h.total++
+	switch {
+	case v < h.Lo:
+		h.Under++
+	case v >= h.Hi:
+		h.Over++
+	default:
+		idx := int(float64(len(h.Counts)) * (v - h.Lo) / (h.Hi - h.Lo))
+		if idx == len(h.Counts) { // guard against rounding at the edge
+			idx--
+		}
+		h.Counts[idx]++
+	}
+}
+
+// Total returns the number of observations recorded, including out-of-range.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the center value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// CDFAt returns the empirical fraction of in-range observations <= v.
+func (h *Histogram) CDFAt(v float64) float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	cum := h.Under
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		upper := h.Lo + w*float64(i+1)
+		if upper > v {
+			break
+		}
+		cum += c
+	}
+	return float64(cum) / float64(h.total)
+}

@@ -1,0 +1,171 @@
+package mathx
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Errorf("N = %d", s.N)
+	}
+	almost(t, s.Mean, 5, 1e-12, "mean")
+	almost(t, s.Min, 2, 0, "min")
+	almost(t, s.Max, 9, 0, "max")
+	// Sample stddev of this classic set: sqrt(32/7).
+	almost(t, s.StdDev, math.Sqrt(32.0/7.0), 1e-12, "stddev")
+	almost(t, s.Median, 4.5, 1e-12, "median")
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Errorf("empty summary N = %d", s.N)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3.5})
+	if s.N != 1 || s.Mean != 3.5 || s.StdDev != 0 || s.Median != 3.5 {
+		t.Errorf("single summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Summarize mutated its input")
+	}
+}
+
+func TestQuantileSorted(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	almost(t, QuantileSorted(xs, 0), 10, 0, "q0")
+	almost(t, QuantileSorted(xs, 1), 50, 0, "q1")
+	almost(t, QuantileSorted(xs, 0.5), 30, 0, "q0.5")
+	almost(t, QuantileSorted(xs, 0.25), 20, 1e-12, "q0.25")
+	almost(t, QuantileSorted(xs, 0.125), 15, 1e-12, "interpolated")
+	if !math.IsNaN(QuantileSorted(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestQuantileUnsorted(t *testing.T) {
+	almost(t, Quantile([]float64{50, 10, 40, 20, 30}, 0.5), 30, 0, "median of shuffled")
+}
+
+func TestMean(t *testing.T) {
+	almost(t, Mean([]float64{1, 2, 3}), 2, 1e-15, "mean")
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("mean of empty should be NaN")
+	}
+}
+
+// Property: quantile is monotone in q and bounded by min/max.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(vals []float64, q1, q2 float64) bool {
+		clean := vals[:0]
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		sort.Float64s(clean)
+		a := math.Mod(math.Abs(q1), 1)
+		b := math.Mod(math.Abs(q2), 1)
+		if a > b {
+			a, b = b, a
+		}
+		qa := QuantileSorted(clean, a)
+		qb := QuantileSorted(clean, b)
+		return qa <= qb && qa >= clean[0] && qb <= clean[len(clean)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{-1, 0, 1.9, 2, 5, 9.99, 10, 42} {
+		h.Add(v)
+	}
+	if h.Under != 1 {
+		t.Errorf("Under = %d, want 1", h.Under)
+	}
+	if h.Over != 2 {
+		t.Errorf("Over = %d, want 2 (10 is excluded from [0,10))", h.Over)
+	}
+	if h.Counts[0] != 2 { // 0 and 1.9
+		t.Errorf("bin0 = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[1] != 1 { // 2
+		t.Errorf("bin1 = %d, want 1", h.Counts[1])
+	}
+	if h.Counts[4] != 1 { // 9.99
+		t.Errorf("bin4 = %d, want 1", h.Counts[4])
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d, want 8", h.Total())
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero bins should error")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("lo == hi should error")
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h, _ := NewHistogram(0, 10, 5)
+	almost(t, h.BinCenter(0), 1, 1e-12, "center 0")
+	almost(t, h.BinCenter(4), 9, 1e-12, "center 4")
+}
+
+func TestHistogramCDF(t *testing.T) {
+	h, _ := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	almost(t, h.CDFAt(5), 0.5, 1e-12, "CDF midpoint")
+	almost(t, h.CDFAt(10), 1, 1e-12, "CDF end")
+}
+
+// Property: histogram never loses observations.
+func TestQuickHistogramConservation(t *testing.T) {
+	f := func(vals []float64) bool {
+		h, err := NewHistogram(-100, 100, 7)
+		if err != nil {
+			return false
+		}
+		n := 0
+		for _, v := range vals {
+			if math.IsNaN(v) {
+				continue
+			}
+			h.Add(v)
+			n++
+		}
+		inBins := h.Under + h.Over
+		for _, c := range h.Counts {
+			inBins += c
+		}
+		return inBins == n && h.Total() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

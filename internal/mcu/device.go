@@ -1,0 +1,291 @@
+// Package mcu assembles the simulated microcontroller: a flash array with
+// its physics model, the flash controller, a virtual clock, and the host
+// serial link used to drive Flashmark procedures from outside the chip
+// (the paper demonstrates on TI MSP430F5438/F5529 parts). It also persists
+// chip state to a file format so the flashmark CLI can operate on a "chip"
+// across invocations, the way a bench setup operates on physical silicon.
+package mcu
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/flashmark/flashmark/internal/flashctl"
+	"github.com/flashmark/flashmark/internal/floatgate"
+	"github.com/flashmark/flashmark/internal/nor"
+	"github.com/flashmark/flashmark/internal/vclock"
+)
+
+// OpHost is the ledger class for host-link (serial) transfer time.
+const OpHost = vclock.OpClass("host-io")
+
+// Part describes a microcontroller model: flash geometry, controller
+// timings, cell physics, and the host link speed.
+type Part struct {
+	Name     string
+	Geometry nor.Geometry
+	Timing   flashctl.Timing
+	Params   floatgate.Params
+	// SerialBaud is the host link speed used when watermark data is read
+	// out to a verifier (the paper's 170 ms extract time is dominated by
+	// this link).
+	SerialBaud int
+}
+
+// Catalog returns the supported parts.
+func Catalog() []Part {
+	return []Part{PartMSP430F5438(), PartMSP430F5529(), PartSmallSim(), PartFastNOR(), PartAltNOR()}
+}
+
+// PartByName finds a catalog part by name.
+func PartByName(name string) (Part, error) {
+	for _, p := range Catalog() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Part{}, fmt.Errorf("mcu: unknown part %q", name)
+}
+
+// PartMSP430F5438 models the larger paper microcontroller (256 KB flash).
+func PartMSP430F5438() Part {
+	return Part{
+		Name:       "MSP430F5438",
+		Geometry:   nor.MSP430F5438(),
+		Timing:     flashctl.MSP430Timing(),
+		Params:     floatgate.DefaultParams(),
+		SerialBaud: 115200,
+	}
+}
+
+// PartMSP430F5529 models the smaller paper microcontroller (128 KB flash).
+func PartMSP430F5529() Part {
+	return Part{
+		Name:       "MSP430F5529",
+		Geometry:   nor.MSP430F5529(),
+		Timing:     flashctl.MSP430Timing(),
+		Params:     floatgate.DefaultParams(),
+		SerialBaud: 115200,
+	}
+}
+
+// PartSmallSim is a compact simulated part for tests, examples and fast
+// experiments: identical physics and timing, 16 segments of flash.
+func PartSmallSim() Part {
+	return Part{
+		Name:       "FM-SIM16",
+		Geometry:   nor.Small(),
+		Timing:     flashctl.MSP430Timing(),
+		Params:     floatgate.DefaultParams(),
+		SerialBaud: 115200,
+	}
+}
+
+// PartFastNOR models a stand-alone NOR flash chip with the significantly
+// faster erase/program operations the paper's §V anticipates ("a number
+// of stand-alone NOR flash memory chips have significantly faster erase
+// and program operations and we expect that their imprint time will be
+// significantly smaller"). Same cell physics; SPI-class host link.
+func PartFastNOR() Part {
+	return Part{
+		Name:     "FAST-NOR",
+		Geometry: nor.Geometry{Banks: 1, SegmentsPerBank: 16, SegmentBytes: 512, WordBytes: 2},
+		Timing: flashctl.Timing{
+			SegmentErase:        5 * time.Millisecond,
+			MassErase:           12 * time.Millisecond,
+			WordProgram:         12 * time.Microsecond,
+			BlockProgramFirst:   10 * time.Microsecond,
+			BlockProgramNext:    6 * time.Microsecond,
+			WordRead:            400 * time.Nanosecond,
+			OpSetup:             5 * time.Microsecond,
+			AdaptiveEraseSettle: 10 * time.Microsecond,
+		},
+		Params:     floatgate.DefaultParams(),
+		SerialBaud: 2_000_000, // SPI-class link
+	}
+}
+
+// PartAltNOR models a NOR family from a different process node: the
+// same qualitative physics with visibly different constants (slower,
+// wider fresh erase distribution). It exists to demonstrate the §IV
+// requirement that the extraction window is calibrated and published
+// *per device family* — one family's t_PEW reads garbage on another.
+func PartAltNOR() Part {
+	params := floatgate.DefaultParams()
+	params.TauBaseMeanUs = 34.0
+	params.TauBaseSigmaUs = 2.2
+	params.TauBaseMinUs = 27.0
+	params.TauBaseMaxUs = 42.0
+	params.SpreadCoefUs = 0.035
+	return Part{
+		Name:       "ALT-NOR",
+		Geometry:   nor.Small(),
+		Timing:     flashctl.MSP430Timing(),
+		Params:     params,
+		SerialBaud: 115200,
+	}
+}
+
+// Device is one simulated chip. A Device is not safe for concurrent use:
+// like the silicon it models, it executes one flash operation at a time.
+// Run independent devices on independent goroutines instead (see
+// counterfeit.RunPopulationParallel).
+type Device struct {
+	part Part
+	seed uint64
+	ctl  *flashctl.Controller
+}
+
+// NewDevice fabricates a fresh chip of the given part with the given chip
+// seed (the seed stands in for the die's physical identity: two devices
+// with different seeds have different manufacturing variation).
+func NewDevice(part Part, chipSeed uint64) (*Device, error) {
+	arr, err := nor.NewArray(part.Geometry)
+	if err != nil {
+		return nil, err
+	}
+	return newDeviceWithArray(part, chipSeed, arr)
+}
+
+func newDeviceWithArray(part Part, chipSeed uint64, arr *nor.Array) (*Device, error) {
+	if part.SerialBaud <= 0 {
+		return nil, fmt.Errorf("mcu: part %q has no serial baud", part.Name)
+	}
+	model, err := floatgate.NewModel(part.Params, chipSeed)
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := flashctl.New(flashctl.Config{
+		Array:  arr,
+		Model:  model,
+		Timing: part.Timing,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Device{part: part, seed: chipSeed, ctl: ctl}, nil
+}
+
+// Part returns the device's part description.
+func (d *Device) Part() Part { return d.part }
+
+// Seed returns the chip seed (die identity).
+func (d *Device) Seed() uint64 { return d.seed }
+
+// Controller returns the flash controller.
+func (d *Device) Controller() *flashctl.Controller { return d.ctl }
+
+// Clock returns the device's virtual clock.
+func (d *Device) Clock() *vclock.Clock { return d.ctl.Clock() }
+
+// Ledger returns the device's time ledger.
+func (d *Device) Ledger() *vclock.Ledger { return d.ctl.Ledger() }
+
+// ChargeHostTransfer accounts for moving n bytes over the host serial
+// link (10 bit times per byte: start + 8 data + stop).
+func (d *Device) ChargeHostTransfer(n int) {
+	if n <= 0 {
+		return
+	}
+	bits := 10 * n
+	dur := time.Duration(float64(bits) / float64(d.part.SerialBaud) * float64(time.Second))
+	d.Clock().Advance(d.Ledger().Charge(OpHost, dur))
+}
+
+// chipFile is the on-disk JSON envelope for a chip.
+type chipFile struct {
+	Format   string            `json:"format"`
+	Version  int               `json:"version"`
+	PartName string            `json:"part"`
+	Seed     uint64            `json:"seed"`
+	Params   *floatgate.Params `json:"params,omitempty"` // overrides catalog params
+	AgeYears float64           `json:"ageYears,omitempty"`
+	Array    string            `json:"array"` // base64 of nor binary encoding
+}
+
+const (
+	chipFormat  = "flashmark-chip"
+	chipVersion = 1
+)
+
+// Save writes the chip state (part, seed, cell margins and wear) to w.
+func (d *Device) Save(w io.Writer) error {
+	raw, err := d.ctl.Array().MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("mcu: serializing array: %w", err)
+	}
+	params := d.part.Params
+	cf := chipFile{
+		Format:   chipFormat,
+		Version:  chipVersion,
+		PartName: d.part.Name,
+		Seed:     d.seed,
+		Params:   &params,
+		AgeYears: d.ctl.AgeYears(),
+		Array:    base64.StdEncoding.EncodeToString(raw),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cf)
+}
+
+// Load reconstructs a chip from Save output. The part is looked up in the
+// catalog by name; the saved physics parameters override the catalog's so
+// chips fabricated with experimental parameters reload faithfully.
+func Load(r io.Reader) (*Device, error) {
+	var cf chipFile
+	if err := json.NewDecoder(r).Decode(&cf); err != nil {
+		return nil, fmt.Errorf("mcu: decoding chip file: %w", err)
+	}
+	if cf.Format != chipFormat {
+		return nil, fmt.Errorf("mcu: not a chip file (format %q)", cf.Format)
+	}
+	if cf.Version != chipVersion {
+		return nil, fmt.Errorf("mcu: unsupported chip file version %d", cf.Version)
+	}
+	part, err := PartByName(cf.PartName)
+	if err != nil {
+		return nil, err
+	}
+	if cf.Params != nil {
+		part.Params = *cf.Params
+	}
+	raw, err := base64.StdEncoding.DecodeString(cf.Array)
+	if err != nil {
+		return nil, fmt.Errorf("mcu: decoding array payload: %w", err)
+	}
+	arr, err := nor.UnmarshalArray(raw)
+	if err != nil {
+		return nil, err
+	}
+	if arr.Geometry() != part.Geometry {
+		return nil, fmt.Errorf("mcu: chip file geometry %+v does not match part %s", arr.Geometry(), part.Name)
+	}
+	dev, err := newDeviceWithArray(part, cf.Seed, arr)
+	if err != nil {
+		return nil, err
+	}
+	if cf.AgeYears > 0 {
+		if err := dev.ctl.SetAgeYears(cf.AgeYears); err != nil {
+			return nil, err
+		}
+	}
+	return dev, nil
+}
+
+// Age advances the chip's unpowered-storage age to the given total years
+// (monotone; used for watermark-longevity studies).
+func (d *Device) Age(years float64) error { return d.ctl.SetAgeYears(years) }
+
+// AgeYears returns the chip's storage age.
+func (d *Device) AgeYears() float64 { return d.ctl.AgeYears() }
+
+// SetAmbientTempC sets the chip's operating temperature (affects erase
+// physics; see the temperature experiment).
+func (d *Device) SetAmbientTempC(t float64) error { return d.ctl.SetAmbientTempC(t) }
+
+// AmbientTempC returns the chip's operating temperature.
+func (d *Device) AmbientTempC() float64 { return d.ctl.AmbientTempC() }

@@ -1,0 +1,93 @@
+package mcu
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Load never panics and never fabricates a device from random
+// bytes.
+func TestQuickLoadRandomBytes(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		dev, err := Load(bytes.NewReader(data))
+		// Random bytes must never parse into a device.
+		return err != nil && dev == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: corrupting a valid chip file at one byte either still loads a
+// device (harmless corruption, e.g. whitespace) or fails cleanly — never
+// panics.
+func TestQuickLoadCorruptedChipFile(t *testing.T) {
+	d, err := NewDevice(PartSmallSim(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	f := func(pos uint16, val byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		bad := append([]byte(nil), good...)
+		bad[int(pos)%len(bad)] = val
+		_, _ = Load(bytes.NewReader(bad))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadRejectsNegativeAge(t *testing.T) {
+	d, err := NewDevice(PartSmallSim(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := strings.Replace(buf.String(), `"array"`, `"ageYears": -4, "array"`, 1)
+	dev, err := Load(strings.NewReader(s))
+	// Negative age must not become device state.
+	if err == nil && dev.AgeYears() < 0 {
+		t.Fatal("negative age loaded")
+	}
+}
+
+func TestAgePersistsThroughSaveLoad(t *testing.T) {
+	d, err := NewDevice(PartSmallSim(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Age(7.5); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.AgeYears() != 7.5 {
+		t.Errorf("age after reload = %v", d2.AgeYears())
+	}
+}

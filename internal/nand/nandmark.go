@@ -1,0 +1,194 @@
+package nand
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/flashmark/flashmark/internal/nor"
+	"github.com/flashmark/flashmark/internal/vclock"
+)
+
+// ImprintOptions controls ImprintBlock.
+type ImprintOptions struct {
+	// NPE is the stress cycle count.
+	NPE int
+	// Accelerated exits each erase once the cells have crossed.
+	Accelerated bool
+}
+
+// ImprintBlock imprints a watermark into a NAND block by repeated
+// erase+program cycling (the Fig. 7 procedure at block granularity):
+// each cycle erases the block and programs every page with its slice of
+// the watermark. The watermark must cover the whole block.
+//
+// For large NPE the loop is fast-forwarded with the same closed-form
+// wear accounting the NOR path uses (the per-cycle physical increments
+// are state-independent after the first cycle); equivalence against the
+// literal loop is covered by tests.
+func ImprintBlock(d *Device, block int, watermark []byte, opts ImprintOptions) error {
+	geom := d.Geometry()
+	if len(watermark) != geom.BlockBytes() {
+		return fmt.Errorf("nand: watermark is %d bytes, block holds %d", len(watermark), geom.BlockBytes())
+	}
+	if opts.NPE <= 0 {
+		return fmt.Errorf("nand: imprint needs positive NPE, got %d", opts.NPE)
+	}
+	// Literal loop for small NPE keeps the command-level fidelity cheap;
+	// fast-forward above a threshold.
+	const literalLimit = 64
+	if opts.NPE <= literalLimit {
+		return imprintLiteral(d, block, watermark, opts)
+	}
+	return imprintFastForward(d, block, watermark, opts)
+}
+
+func imprintLiteral(d *Device, block int, watermark []byte, opts ImprintOptions) error {
+	geom := d.Geometry()
+	for cycle := 0; cycle < opts.NPE; cycle++ {
+		if opts.Accelerated {
+			if _, err := d.EraseBlockAdaptive(block); err != nil {
+				return err
+			}
+		} else {
+			if err := d.EraseBlock(block); err != nil {
+				return err
+			}
+		}
+		for page := 0; page < geom.PagesPerBlock; page++ {
+			slice := watermark[page*geom.PageBytes : (page+1)*geom.PageBytes]
+			if err := d.ProgramPage(block, page, slice); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func imprintFastForward(d *Device, block int, watermark []byte, opts ImprintOptions) error {
+	geom := d.Geometry()
+	n := opts.NPE
+	cells := geom.CellsPerBlock()
+	base := block * cells
+	fullWear := d.model.EraseWear(true)
+	eraseOnly := d.model.EraseWear(false)
+	progWear := d.model.ProgramWear()
+	// Wear in closed form (see flashctl.StressSegmentWords).
+	for i := 0; i < cells; i++ {
+		cell := base + i
+		one := watermark[i/8]&(1<<uint(i%8)) != 0
+		add := d.model.EraseWear(d.cells.Programmed(cell))
+		if n > 1 {
+			if one {
+				add += float64(n-1) * eraseOnly
+			} else {
+				add += float64(n-1) * fullWear
+			}
+		}
+		if !one {
+			add += float64(n) * progWear
+		}
+		d.cells.AddWear(cell, add)
+		if one {
+			d.cells.SetMargin(cell, float64(nor.MarginErased))
+		} else {
+			d.cells.SetMargin(cell, float64(nor.MarginProgrammed))
+		}
+	}
+	d.nextPage[block] = geom.PagesPerBlock
+	// Time accounting.
+	progPerCycle := time.Duration(geom.PagesPerBlock) * d.timing.PageProgram
+	d.charge(vclock.OpOverhead, time.Duration(n)*(d.timing.OpSetup*time.Duration(1+geom.PagesPerBlock)))
+	d.charge(vclock.OpProgram, time.Duration(n)*progPerCycle)
+	if !opts.Accelerated {
+		d.charge(vclock.OpErase, time.Duration(n)*d.timing.BlockErase)
+		return nil
+	}
+	// Adaptive pulses: integrate the max-tau growth over the cycles.
+	maxTauAt := func(cycles float64) float64 {
+		maxTau := 0.0
+		for i := 0; i < cells; i++ {
+			if watermark[i/8]&(1<<uint(i%8)) != 0 {
+				continue
+			}
+			wear := d.cells.Wear(base+i) - float64(n)*(fullWear+progWear) + cycles*(fullWear+progWear)
+			if wear < 0 {
+				wear = 0
+			}
+			tau := d.model.TauAt(block, i, wear)
+			if tau > maxTau {
+				maxTau = tau
+			}
+		}
+		return maxTau
+	}
+	const samples = 9
+	meanTau := 0.0
+	prev := maxTauAt(0)
+	for s := 1; s < samples; s++ {
+		cur := maxTauAt(float64(s) / float64(samples-1) * float64(n))
+		meanTau += (prev + cur) / 2
+		prev = cur
+	}
+	meanTau /= float64(samples - 1)
+	pulse := time.Duration(meanTau*float64(time.Microsecond)) + d.timing.AdaptiveEraseSettle
+	if pulse > d.timing.BlockErase {
+		pulse = d.timing.BlockErase
+	}
+	d.charge(vclock.OpErase, time.Duration(n)*pulse)
+	return nil
+}
+
+// ExtractBlock retrieves a watermark from a NAND block (the Fig. 8
+// procedure at block granularity): erase, program every page all-zeros,
+// partial block erase for tPEW, read all pages.
+func ExtractBlock(d *Device, block int, tPEW time.Duration) ([]byte, error) {
+	if tPEW <= 0 {
+		return nil, fmt.Errorf("nand: non-positive t_PEW %v", tPEW)
+	}
+	geom := d.Geometry()
+	if err := d.EraseBlock(block); err != nil {
+		return nil, err
+	}
+	zeros := make([]byte, geom.PageBytes)
+	for page := 0; page < geom.PagesPerBlock; page++ {
+		if err := d.ProgramPage(block, page, zeros); err != nil {
+			return nil, err
+		}
+	}
+	if err := d.PartialEraseBlock(block, tPEW); err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, geom.BlockBytes())
+	for page := 0; page < geom.PagesPerBlock; page++ {
+		data, err := d.ReadPage(block, page)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data...)
+	}
+	return out, nil
+}
+
+// BitErrors counts differing bits between two byte slices.
+func BitErrors(got, want []byte) int {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	errs := 0
+	for i := 0; i < n; i++ {
+		d := got[i] ^ want[i]
+		for d != 0 {
+			errs++
+			d &= d - 1
+		}
+	}
+	if len(got) != len(want) {
+		longer := len(got)
+		if len(want) > longer {
+			longer = len(want)
+		}
+		errs += (longer - n) * 8
+	}
+	return errs
+}

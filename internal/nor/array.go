@@ -1,0 +1,217 @@
+package nor
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Analog margin sentinels. A cell's margin is the analog distance (in µs
+// of applied erase time) between the cell's state and the read threshold:
+// deeply erased cells sit at MarginErased, deeply programmed cells at
+// MarginProgrammed, and cells interrupted mid-erase carry a finite margin
+// that makes their reads noisy.
+const (
+	MarginErased     = float32(math.MaxFloat32)
+	MarginProgrammed = float32(-math.MaxFloat32)
+)
+
+// Array is the mutable state of a NOR flash array: one analog margin and
+// one accumulated-wear value per bit cell. It enforces geometry bounds but
+// attaches no operation semantics; the flash controller does that.
+type Array struct {
+	geom   Geometry
+	margin []float32 // analog read margin, µs
+	wear   []float64 // effective P/E cycles experienced
+}
+
+// NewArray allocates a fresh (fully erased, zero-wear) array.
+func NewArray(geom Geometry) (*Array, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Array{
+		geom:   geom,
+		margin: make([]float32, geom.TotalCells()),
+		wear:   make([]float64, geom.TotalCells()),
+	}
+	for i := range a.margin {
+		a.margin[i] = MarginErased
+	}
+	return a, nil
+}
+
+// Geometry returns the array's shape.
+func (a *Array) Geometry() Geometry { return a.geom }
+
+func (a *Array) checkCell(cell int) {
+	if cell < 0 || cell >= len(a.margin) {
+		panic(fmt.Sprintf("nor: cell index %d outside array of %d cells", cell, len(a.margin)))
+	}
+}
+
+// Margin returns the analog margin of a cell.
+func (a *Array) Margin(cell int) float64 {
+	a.checkCell(cell)
+	return float64(a.margin[cell])
+}
+
+// SetMargin sets the analog margin of a cell.
+func (a *Array) SetMargin(cell int, v float64) {
+	a.checkCell(cell)
+	switch {
+	case v >= float64(MarginErased):
+		a.margin[cell] = MarginErased
+	case v <= float64(MarginProgrammed):
+		a.margin[cell] = MarginProgrammed
+	default:
+		a.margin[cell] = float32(v)
+	}
+}
+
+// Programmed reports whether the cell's stable digital state is '0'
+// (negative margin). Cells with small |margin| are metastable and read
+// noisily through the controller; this accessor reports the sign only.
+func (a *Array) Programmed(cell int) bool {
+	a.checkCell(cell)
+	return a.margin[cell] < 0
+}
+
+// Wear returns the accumulated effective wear of a cell.
+func (a *Array) Wear(cell int) float64 {
+	a.checkCell(cell)
+	return a.wear[cell]
+}
+
+// AddWear adds d effective cycles to a cell. Negative d panics: oxide
+// damage is irreversible (the property Flashmark rests on).
+func (a *Array) AddWear(cell int, d float64) {
+	a.checkCell(cell)
+	if d < 0 {
+		panic("nor: wear cannot decrease")
+	}
+	a.wear[cell] += d
+}
+
+// SegmentWearSummary returns the min, mean and max wear across a segment.
+func (a *Array) SegmentWearSummary(seg int) (minW, meanW, maxW float64, err error) {
+	if seg < 0 || seg >= a.geom.TotalSegments() {
+		return 0, 0, 0, fmt.Errorf("nor: segment %d outside array", seg)
+	}
+	cells := a.geom.CellsPerSegment()
+	base := seg * cells
+	minW = math.Inf(1)
+	for i := 0; i < cells; i++ {
+		w := a.wear[base+i]
+		if w < minW {
+			minW = w
+		}
+		if w > maxW {
+			maxW = w
+		}
+		meanW += w
+	}
+	meanW /= float64(cells)
+	return minW, meanW, maxW, nil
+}
+
+// Binary serialization format: a sparse encoding. Fresh cells (margin
+// erased, zero wear) dominate real chips, so only non-default cells are
+// stored. Layout (little endian):
+//
+//	magic "NORA", version u16, geometry (4×u32), cell count u64,
+//	then per stored cell: index u64, margin f32, wear f64.
+const (
+	arrayMagic   = "NORA"
+	arrayVersion = uint16(1)
+)
+
+// MarshalBinary serializes the array state.
+func (a *Array) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(arrayMagic)
+	write := func(v any) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	write(arrayVersion)
+	write(uint32(a.geom.Banks))
+	write(uint32(a.geom.SegmentsPerBank))
+	write(uint32(a.geom.SegmentBytes))
+	write(uint32(a.geom.WordBytes))
+	count := uint64(0)
+	for i := range a.margin {
+		if a.margin[i] != MarginErased || a.wear[i] != 0 {
+			count++
+		}
+	}
+	write(count)
+	for i := range a.margin {
+		if a.margin[i] != MarginErased || a.wear[i] != 0 {
+			write(uint64(i))
+			write(a.margin[i])
+			write(a.wear[i])
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalArray reconstructs an array from MarshalBinary output.
+func UnmarshalArray(data []byte) (*Array, error) {
+	r := bytes.NewReader(data)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != arrayMagic {
+		return nil, fmt.Errorf("nor: bad array magic")
+	}
+	read := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
+	var version uint16
+	if err := read(&version); err != nil {
+		return nil, fmt.Errorf("nor: truncated header: %w", err)
+	}
+	if version != arrayVersion {
+		return nil, fmt.Errorf("nor: unsupported array version %d", version)
+	}
+	var banks, segs, segBytes, wordBytes uint32
+	for _, v := range []*uint32{&banks, &segs, &segBytes, &wordBytes} {
+		if err := read(v); err != nil {
+			return nil, fmt.Errorf("nor: truncated geometry: %w", err)
+		}
+	}
+	geom := Geometry{
+		Banks: int(banks), SegmentsPerBank: int(segs),
+		SegmentBytes: int(segBytes), WordBytes: int(wordBytes),
+	}
+	a, err := NewArray(geom)
+	if err != nil {
+		return nil, err
+	}
+	var count uint64
+	if err := read(&count); err != nil {
+		return nil, fmt.Errorf("nor: truncated cell count: %w", err)
+	}
+	if count > uint64(geom.TotalCells()) {
+		return nil, fmt.Errorf("nor: cell count %d exceeds array size %d", count, geom.TotalCells())
+	}
+	for n := uint64(0); n < count; n++ {
+		var idx uint64
+		var m float32
+		var w float64
+		if err := read(&idx); err != nil {
+			return nil, fmt.Errorf("nor: truncated cell record: %w", err)
+		}
+		if idx >= uint64(geom.TotalCells()) {
+			return nil, fmt.Errorf("nor: cell index %d outside array", idx)
+		}
+		if err := read(&m); err != nil {
+			return nil, fmt.Errorf("nor: truncated margin: %w", err)
+		}
+		if err := read(&w); err != nil {
+			return nil, fmt.Errorf("nor: truncated wear: %w", err)
+		}
+		if w < 0 {
+			return nil, fmt.Errorf("nor: negative wear %v in serialized cell %d", w, idx)
+		}
+		a.margin[idx] = m
+		a.wear[idx] = w
+	}
+	return a, nil
+}

@@ -1,0 +1,112 @@
+// Package nor models the organization and state of a NOR flash memory
+// array: banks divided into segments, segments into words, words into
+// bit cells (paper §II). The package is deliberately physics-free — it
+// stores per-cell state (analog margin and accumulated wear) and resolves
+// addresses; the flash controller (package flashctl) applies operation
+// semantics using the floatgate physics model.
+package nor
+
+import "fmt"
+
+// Geometry describes the shape of a NOR flash array.
+type Geometry struct {
+	Banks           int // number of independently erasable banks
+	SegmentsPerBank int // segments per bank
+	SegmentBytes    int // bytes per segment (512 on the MSP430F5438)
+	WordBytes       int // bytes per word (2 on the MSP430)
+}
+
+// Validate reports whether the geometry is usable.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Banks <= 0:
+		return fmt.Errorf("nor: geometry needs at least one bank, got %d", g.Banks)
+	case g.SegmentsPerBank <= 0:
+		return fmt.Errorf("nor: geometry needs at least one segment per bank, got %d", g.SegmentsPerBank)
+	case g.SegmentBytes <= 0:
+		return fmt.Errorf("nor: geometry needs positive segment size, got %d", g.SegmentBytes)
+	case g.WordBytes <= 0 || g.WordBytes > 8:
+		return fmt.Errorf("nor: word size must be 1..8 bytes, got %d", g.WordBytes)
+	case g.SegmentBytes%g.WordBytes != 0:
+		return fmt.Errorf("nor: segment size %d not a multiple of word size %d", g.SegmentBytes, g.WordBytes)
+	}
+	// Bound the total size with overflow-safe arithmetic: untrusted
+	// serialized geometries must not be able to trigger huge or
+	// wrapped-negative allocations.
+	total := int64(g.Banks) * int64(g.SegmentsPerBank) * int64(g.SegmentBytes)
+	if int64(g.Banks)*int64(g.SegmentsPerBank) > 1<<24 || total > maxArrayBytes {
+		return fmt.Errorf("nor: geometry of %d bytes exceeds the supported maximum", total)
+	}
+	return nil
+}
+
+// maxArrayBytes caps a single array at 64 MB of flash (512 Mbit), well
+// beyond any embedded NOR part.
+const maxArrayBytes = 64 << 20
+
+// TotalSegments returns the number of segments in the array.
+func (g Geometry) TotalSegments() int { return g.Banks * g.SegmentsPerBank }
+
+// TotalBytes returns the array capacity in bytes.
+func (g Geometry) TotalBytes() int { return g.TotalSegments() * g.SegmentBytes }
+
+// TotalCells returns the number of bit cells in the array.
+func (g Geometry) TotalCells() int { return g.TotalBytes() * 8 }
+
+// CellsPerSegment returns the number of bit cells per segment
+// (4096 for a 512-byte segment).
+func (g Geometry) CellsPerSegment() int { return g.SegmentBytes * 8 }
+
+// WordsPerSegment returns the number of words per segment.
+func (g Geometry) WordsPerSegment() int { return g.SegmentBytes / g.WordBytes }
+
+// WordBits returns the number of bit cells per word.
+func (g Geometry) WordBits() int { return g.WordBytes * 8 }
+
+// SegmentOfAddr maps a byte address to its segment index.
+func (g Geometry) SegmentOfAddr(addr int) (int, error) {
+	if addr < 0 || addr >= g.TotalBytes() {
+		return 0, fmt.Errorf("nor: address %#x outside array of %d bytes", addr, g.TotalBytes())
+	}
+	return addr / g.SegmentBytes, nil
+}
+
+// BankOfSegment maps a segment index to its bank.
+func (g Geometry) BankOfSegment(seg int) (int, error) {
+	if seg < 0 || seg >= g.TotalSegments() {
+		return 0, fmt.Errorf("nor: segment %d outside array of %d segments", seg, g.TotalSegments())
+	}
+	return seg / g.SegmentsPerBank, nil
+}
+
+// AddrOfSegment returns the first byte address of a segment.
+func (g Geometry) AddrOfSegment(seg int) (int, error) {
+	if seg < 0 || seg >= g.TotalSegments() {
+		return 0, fmt.Errorf("nor: segment %d outside array of %d segments", seg, g.TotalSegments())
+	}
+	return seg * g.SegmentBytes, nil
+}
+
+// CellIndex returns the array-global cell index of bit `bit` of word
+// `word` in segment `seg`. Bit 0 is the least significant bit of the word.
+func (g Geometry) CellIndex(seg, word, bit int) int {
+	return seg*g.CellsPerSegment() + word*g.WordBits() + bit
+}
+
+// MSP430F5438 returns the geometry of the 256 KB flash of the larger
+// microcontroller used in the paper: 4 banks × 128 segments × 512 B.
+func MSP430F5438() Geometry {
+	return Geometry{Banks: 4, SegmentsPerBank: 128, SegmentBytes: 512, WordBytes: 2}
+}
+
+// MSP430F5529 returns the geometry of the 128 KB flash of the smaller
+// microcontroller used in the paper: 4 banks × 64 segments × 512 B.
+func MSP430F5529() Geometry {
+	return Geometry{Banks: 4, SegmentsPerBank: 64, SegmentBytes: 512, WordBytes: 2}
+}
+
+// Small returns a compact geometry convenient for tests and examples:
+// 1 bank × 16 segments × 512 B.
+func Small() Geometry {
+	return Geometry{Banks: 1, SegmentsPerBank: 16, SegmentBytes: 512, WordBytes: 2}
+}

@@ -1,0 +1,183 @@
+package nor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometryValidate(t *testing.T) {
+	good := []Geometry{MSP430F5438(), MSP430F5529(), Small(), {1, 1, 2, 2}}
+	for _, g := range good {
+		if err := g.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", g, err)
+		}
+	}
+	bad := []Geometry{
+		{0, 1, 512, 2},
+		{1, 0, 512, 2},
+		{1, 1, 0, 2},
+		{1, 1, 512, 0},
+		{1, 1, 512, 9},
+		{1, 1, 511, 2}, // segment not multiple of word
+	}
+	for _, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted invalid geometry", g)
+		}
+	}
+}
+
+func TestGeometryDerivedSizes(t *testing.T) {
+	g := MSP430F5438()
+	if got := g.TotalSegments(); got != 512 {
+		t.Errorf("TotalSegments = %d, want 512", got)
+	}
+	if got := g.TotalBytes(); got != 256*1024 {
+		t.Errorf("TotalBytes = %d, want 256K", got)
+	}
+	if got := g.CellsPerSegment(); got != 4096 {
+		t.Errorf("CellsPerSegment = %d, want 4096", got)
+	}
+	if got := g.WordsPerSegment(); got != 256 {
+		t.Errorf("WordsPerSegment = %d, want 256", got)
+	}
+	if got := g.WordBits(); got != 16 {
+		t.Errorf("WordBits = %d, want 16", got)
+	}
+	if got := g.TotalCells(); got != 256*1024*8 {
+		t.Errorf("TotalCells = %d", got)
+	}
+}
+
+func TestSegmentOfAddr(t *testing.T) {
+	g := Small()
+	cases := []struct {
+		addr, seg int
+	}{
+		{0, 0}, {511, 0}, {512, 1}, {1024, 2}, {g.TotalBytes() - 1, g.TotalSegments() - 1},
+	}
+	for _, c := range cases {
+		seg, err := g.SegmentOfAddr(c.addr)
+		if err != nil || seg != c.seg {
+			t.Errorf("SegmentOfAddr(%d) = %d, %v; want %d", c.addr, seg, err, c.seg)
+		}
+	}
+	for _, addr := range []int{-1, g.TotalBytes()} {
+		if _, err := g.SegmentOfAddr(addr); err == nil {
+			t.Errorf("SegmentOfAddr(%d) should fail", addr)
+		}
+	}
+}
+
+func TestBankOfSegment(t *testing.T) {
+	g := MSP430F5529() // 4 banks x 64 segments
+	if b, err := g.BankOfSegment(0); err != nil || b != 0 {
+		t.Errorf("BankOfSegment(0) = %d, %v", b, err)
+	}
+	if b, err := g.BankOfSegment(64); err != nil || b != 1 {
+		t.Errorf("BankOfSegment(64) = %d, %v", b, err)
+	}
+	if b, err := g.BankOfSegment(255); err != nil || b != 3 {
+		t.Errorf("BankOfSegment(255) = %d, %v", b, err)
+	}
+	if _, err := g.BankOfSegment(256); err == nil {
+		t.Error("BankOfSegment(256) should fail")
+	}
+	if _, err := g.BankOfSegment(-1); err == nil {
+		t.Error("BankOfSegment(-1) should fail")
+	}
+}
+
+func TestAddrOfSegmentRoundTrip(t *testing.T) {
+	g := Small()
+	for seg := 0; seg < g.TotalSegments(); seg++ {
+		addr, err := g.AddrOfSegment(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := g.SegmentOfAddr(addr)
+		if err != nil || back != seg {
+			t.Fatalf("round trip seg %d -> addr %d -> seg %d", seg, addr, back)
+		}
+	}
+	if _, err := g.AddrOfSegment(g.TotalSegments()); err == nil {
+		t.Error("AddrOfSegment out of range should fail")
+	}
+}
+
+func TestCellIndexLayout(t *testing.T) {
+	g := Small()
+	if got := g.CellIndex(0, 0, 0); got != 0 {
+		t.Errorf("first cell index = %d", got)
+	}
+	if got := g.CellIndex(0, 0, 15); got != 15 {
+		t.Errorf("last bit of first word = %d", got)
+	}
+	if got := g.CellIndex(0, 1, 0); got != 16 {
+		t.Errorf("first bit of second word = %d", got)
+	}
+	if got := g.CellIndex(1, 0, 0); got != g.CellsPerSegment() {
+		t.Errorf("first cell of second segment = %d", got)
+	}
+	last := g.CellIndex(g.TotalSegments()-1, g.WordsPerSegment()-1, g.WordBits()-1)
+	if last != g.TotalCells()-1 {
+		t.Errorf("last cell index = %d, want %d", last, g.TotalCells()-1)
+	}
+}
+
+// Property: cell indices are unique and dense across the whole array.
+func TestQuickCellIndexBijective(t *testing.T) {
+	g := Geometry{Banks: 2, SegmentsPerBank: 3, SegmentBytes: 8, WordBytes: 2}
+	seen := map[int]bool{}
+	for seg := 0; seg < g.TotalSegments(); seg++ {
+		for w := 0; w < g.WordsPerSegment(); w++ {
+			for b := 0; b < g.WordBits(); b++ {
+				idx := g.CellIndex(seg, w, b)
+				if idx < 0 || idx >= g.TotalCells() || seen[idx] {
+					t.Fatalf("CellIndex(%d,%d,%d) = %d invalid or duplicate", seg, w, b, idx)
+				}
+				seen[idx] = true
+			}
+		}
+	}
+	if len(seen) != g.TotalCells() {
+		t.Fatalf("indices not dense: %d of %d", len(seen), g.TotalCells())
+	}
+}
+
+// Property: SegmentOfAddr agrees with AddrOfSegment for arbitrary addresses.
+func TestQuickSegmentAddrConsistent(t *testing.T) {
+	g := MSP430F5438()
+	f := func(raw uint32) bool {
+		addr := int(raw) % g.TotalBytes()
+		seg, err := g.SegmentOfAddr(addr)
+		if err != nil {
+			return false
+		}
+		base, err := g.AddrOfSegment(seg)
+		if err != nil {
+			return false
+		}
+		return addr >= base && addr < base+g.SegmentBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsOversizedGeometry(t *testing.T) {
+	huge := []Geometry{
+		{Banks: 1 << 20, SegmentsPerBank: 1 << 20, SegmentBytes: 512, WordBytes: 2},
+		{Banks: 1, SegmentsPerBank: 1, SegmentBytes: 1 << 30, WordBytes: 2},
+		{Banks: 1 << 30, SegmentsPerBank: 1 << 30, SegmentBytes: 1 << 30, WordBytes: 2}, // would overflow int
+	}
+	for _, g := range huge {
+		if err := g.Validate(); err == nil {
+			t.Errorf("oversized geometry %+v accepted", g)
+		}
+	}
+	// The largest catalog part must still pass.
+	if err := MSP430F5438().Validate(); err != nil {
+		t.Errorf("catalog part rejected: %v", err)
+	}
+}

@@ -1,0 +1,142 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableText(t *testing.T) {
+	tbl := Table{Title: "Demo", Columns: []string{"name", "value"}}
+	tbl.AddRow("alpha", 1.0)
+	tbl.AddRow("beta-longer", 123.456)
+	tbl.AddNote("measured on %d chips", 3)
+	var b strings.Builder
+	if err := tbl.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"## Demo", "name", "value", "alpha", "beta-longer", "123.5", "note: measured on 3 chips"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	// Alignment: header and separator lines have the same width prefix.
+	lines := strings.Split(out, "\n")
+	var header, sep string
+	for i, l := range lines {
+		if strings.HasPrefix(l, "name") {
+			header, sep = l, lines[i+1]
+			break
+		}
+	}
+	if len(sep) < len("name") || !strings.HasPrefix(sep, "-") {
+		t.Errorf("separator malformed: %q after %q", sep, header)
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tbl := Table{Columns: []string{"v"}}
+	tbl.AddRow(2.0)
+	tbl.AddRow(0.1234567)
+	tbl.AddRow(1234.5678)
+	tbl.AddRow(12.345)
+	if tbl.Rows[0][0] != "2" {
+		t.Errorf("integral float = %q", tbl.Rows[0][0])
+	}
+	if tbl.Rows[1][0] != "0.1235" {
+		t.Errorf("small float = %q", tbl.Rows[1][0])
+	}
+	if tbl.Rows[2][0] != "1234.6" {
+		t.Errorf("large float = %q", tbl.Rows[2][0])
+	}
+	if tbl.Rows[3][0] != "12.35" {
+		t.Errorf("mid float = %q", tbl.Rows[3][0])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := Table{Columns: []string{"a", "b"}}
+	tbl.AddRow("plain", `with"quote`)
+	tbl.AddRow("comma,inside", "x")
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "a,b\n") {
+		t.Errorf("CSV header missing: %q", out)
+	}
+	if !strings.Contains(out, `"with""quote"`) {
+		t.Errorf("CSV quoting wrong: %q", out)
+	}
+	if !strings.Contains(out, `"comma,inside"`) {
+		t.Errorf("CSV comma quoting wrong: %q", out)
+	}
+}
+
+func TestPlotRendersSeries(t *testing.T) {
+	p := Plot{
+		Title:  "curve",
+		XLabel: "t",
+		YLabel: "n",
+		Series: []Series{
+			{Name: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+			{Name: "down", X: []float64{0, 1, 2, 3}, Y: []float64{3, 2, 1, 0}},
+		},
+		Width:  20,
+		Height: 10,
+	}
+	var b strings.Builder
+	if err := p.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"## curve", "*", "o", "up", "down", "x: t   y: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	p := Plot{Title: "empty"}
+	var b strings.Builder
+	if err := p.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "(no data)") {
+		t.Errorf("empty plot output: %q", b.String())
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	p := Plot{Series: []Series{{Name: "flat", X: []float64{1, 1}, Y: []float64{5, 5}}}}
+	var b strings.Builder
+	if err := p.WriteText(&b); err != nil {
+		t.Fatal(err) // must not divide by zero
+	}
+}
+
+func TestAddRowStringer(t *testing.T) {
+	tbl := Table{Columns: []string{"d"}}
+	tbl.AddRow(strings.NewReplacer()) // not a Stringer: falls to fmt.Sprint
+	if len(tbl.Rows) != 1 {
+		t.Fatal("row not added")
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tbl := Table{Title: "MD", Columns: []string{"a", "b"}}
+	tbl.AddRow("x|y", 2.0)
+	tbl.AddNote("a note")
+	var b strings.Builder
+	if err := tbl.WriteMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"## MD", "| a | b |", "| --- | --- |", `x\|y`, "| 2 |", "*a note*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package vclock
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TraceEvent is one recorded controller operation: what ran, where, when
+// (virtual time), and for how long.
+type TraceEvent struct {
+	Class Class
+	Addr  int // byte address or -1
+	Start time.Duration
+	Dur   time.Duration
+}
+
+// Class aliases OpClass for trace readability.
+type Class = OpClass
+
+// Trace records operation events in virtual-time order. The zero value
+// is ready to use. Controllers call Record; analysis and waveform export
+// read Events.
+type Trace struct {
+	events []TraceEvent
+	limit  int
+}
+
+// NewTrace returns a trace that keeps at most limit events (0 = unlimited).
+func NewTrace(limit int) *Trace { return &Trace{limit: limit} }
+
+// Record appends one event; when the limit is reached, further events
+// are dropped (Truncated reports it).
+func (t *Trace) Record(class Class, addr int, start, dur time.Duration) {
+	if t.limit > 0 && len(t.events) >= t.limit {
+		return
+	}
+	t.events = append(t.events, TraceEvent{Class: class, Addr: addr, Start: start, Dur: dur})
+}
+
+// Events returns the recorded events.
+func (t *Trace) Events() []TraceEvent { return t.events }
+
+// Truncated reports whether events were dropped at the limit.
+func (t *Trace) Truncated() bool { return t.limit > 0 && len(t.events) >= t.limit }
+
+// WriteText renders the trace as a tab-like op log.
+func (t *Trace) WriteText(w io.Writer) error {
+	for _, e := range t.events {
+		addr := "-"
+		if e.Addr >= 0 {
+			addr = fmt.Sprintf("%#06x", e.Addr)
+		}
+		if _, err := fmt.Fprintf(w, "%12v  %-14s %-8s %v\n", e.Start, e.Class, addr, e.Dur); err != nil {
+			return err
+		}
+	}
+	if t.Truncated() {
+		_, err := fmt.Fprintln(w, "... trace truncated at limit")
+		return err
+	}
+	return nil
+}
+
+// WriteVCD exports the trace as a Value Change Dump: one 1-bit signal
+// per operation class, asserted for the operation's duration — loadable
+// in GTKWave and friends to inspect the controller's activity timeline.
+// Timescale is 1 ns.
+func (t *Trace) WriteVCD(w io.Writer, module string) error {
+	if module == "" {
+		module = "flashctl"
+	}
+	// Stable class order and VCD identifier codes.
+	classSet := map[Class]bool{}
+	for _, e := range t.events {
+		classSet[e.Class] = true
+	}
+	classes := make([]string, 0, len(classSet))
+	for c := range classSet {
+		classes = append(classes, string(c))
+	}
+	sort.Strings(classes)
+	ids := map[string]byte{}
+	for i, c := range classes {
+		ids[c] = byte('!' + i)
+	}
+
+	var b strings.Builder
+	b.WriteString("$timescale 1ns $end\n")
+	fmt.Fprintf(&b, "$scope module %s $end\n", module)
+	for _, c := range classes {
+		fmt.Fprintf(&b, "$var wire 1 %c %s $end\n", ids[c], sanitizeVCDName(c))
+	}
+	b.WriteString("$upscope $end\n$enddefinitions $end\n")
+
+	// Edge list: rising at Start, falling at Start+Dur.
+	type edge struct {
+		at    time.Duration
+		id    byte
+		value byte
+	}
+	var edges []edge
+	for _, e := range t.events {
+		id := ids[string(e.Class)]
+		edges = append(edges, edge{e.Start, id, '1'})
+		end := e.Start + e.Dur
+		if e.Dur == 0 {
+			end = e.Start + time.Nanosecond
+		}
+		edges = append(edges, edge{end, id, '0'})
+	}
+	sort.SliceStable(edges, func(i, j int) bool { return edges[i].at < edges[j].at })
+	b.WriteString("#0\n")
+	for _, c := range classes {
+		fmt.Fprintf(&b, "0%c\n", ids[c])
+	}
+	last := time.Duration(-1)
+	for _, e := range edges {
+		if e.at != last {
+			fmt.Fprintf(&b, "#%d\n", e.at.Nanoseconds())
+			last = e.at
+		}
+		fmt.Fprintf(&b, "%c%c\n", e.value, e.id)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// sanitizeVCDName replaces characters VCD identifiers dislike.
+func sanitizeVCDName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

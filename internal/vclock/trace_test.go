@@ -1,0 +1,96 @@
+package vclock
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceRecordAndText(t *testing.T) {
+	tr := NewTrace(0)
+	tr.Record(OpErase, 0x200, 0, 25*time.Millisecond)
+	tr.Record(OpProgram, 0x200, 25*time.Millisecond, 70*time.Microsecond)
+	tr.Record(OpPartialErase, -1, 26*time.Millisecond, 23*time.Microsecond)
+	if len(tr.Events()) != 3 {
+		t.Fatalf("events = %d", len(tr.Events()))
+	}
+	var b strings.Builder
+	if err := tr.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"erase", "program", "partial-erase", "0x000200", "25ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceLimit(t *testing.T) {
+	tr := NewTrace(2)
+	for i := 0; i < 5; i++ {
+		tr.Record(OpRead, i, time.Duration(i), time.Microsecond)
+	}
+	if len(tr.Events()) != 2 {
+		t.Fatalf("events = %d, want limit 2", len(tr.Events()))
+	}
+	if !tr.Truncated() {
+		t.Error("Truncated should report drop")
+	}
+	var b strings.Builder
+	if err := tr.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "truncated") {
+		t.Error("text should mention truncation")
+	}
+}
+
+func TestTraceVCD(t *testing.T) {
+	tr := NewTrace(0)
+	tr.Record(OpErase, 0, 0, 2*time.Microsecond)
+	tr.Record(OpProgram, 0, 3*time.Microsecond, time.Microsecond)
+	var b strings.Builder
+	if err := tr.WriteVCD(&b, "flash"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$scope module flash $end",
+		"$var wire 1 ! erase $end",
+		"$enddefinitions $end",
+		"#0",
+		"1!",
+		"#2000",
+		"0!",
+		"#3000",
+		"#4000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceVCDZeroDuration(t *testing.T) {
+	tr := NewTrace(0)
+	tr.Record(OpRead, 0, time.Microsecond, 0)
+	var b strings.Builder
+	if err := tr.WriteVCD(&b, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Zero-duration events still produce a visible 1ns pulse.
+	if !strings.Contains(b.String(), "#1001") {
+		t.Errorf("zero-duration pulse missing:\n%s", b.String())
+	}
+}
+
+func TestSanitizeVCDName(t *testing.T) {
+	if got := sanitizeVCDName("partial-erase"); got != "partial_erase" {
+		t.Errorf("sanitize = %q", got)
+	}
+	if got := sanitizeVCDName("host-io"); got != "host_io" {
+		t.Errorf("sanitize = %q", got)
+	}
+}

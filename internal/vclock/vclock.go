@@ -1,0 +1,126 @@
+// Package vclock implements the simulated time substrate.
+//
+// The paper's §V reports imprint and extract times measured on real
+// hardware (segment erase ≈ 23–35 ms, word program ≈ 64–85 µs, a 40 K-cycle
+// imprint ≈ 1380 s baseline). In the simulator those numbers are integrals
+// of controller operation timings rather than wall-clock measurements, so
+// time is virtual: the flash controller advances a Clock, and a Ledger
+// attributes the elapsed virtual time to operation classes (erase, program,
+// read, overhead) so the timing experiments can report the same breakdowns
+// the paper does.
+package vclock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Clock is simulated time. The zero value is a clock at t=0, ready to use.
+type Clock struct {
+	now time.Duration
+}
+
+// Now returns the current virtual time since the clock's epoch.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves virtual time forward by d. Negative advances are a
+// programming error and panic: simulated hardware time never runs backward.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("vclock: negative advance %v", d))
+	}
+	c.now += d
+}
+
+// Reset rewinds the clock to zero (for reusing a device across experiments).
+func (c *Clock) Reset() { c.now = 0 }
+
+// OpClass labels the kind of flash operation consuming time, so timing
+// reports can be broken down the way the paper's §V discussion is.
+type OpClass string
+
+// Operation classes used by the flash controller.
+const (
+	OpErase        OpClass = "erase"         // full segment/mass erase
+	OpPartialErase OpClass = "partial-erase" // erase aborted by emergency exit
+	OpProgram      OpClass = "program"       // word/byte program
+	OpRead         OpClass = "read"          // array reads
+	OpOverhead     OpClass = "overhead"      // controller setup/teardown
+)
+
+// Ledger accumulates virtual time per operation class. The zero value is
+// an empty ledger ready to use.
+type Ledger struct {
+	byClass map[OpClass]time.Duration
+	byCount map[OpClass]int
+}
+
+// Charge attributes duration d to class c and returns d so callers can
+// charge and advance in one expression.
+func (l *Ledger) Charge(c OpClass, d time.Duration) time.Duration {
+	if l.byClass == nil {
+		l.byClass = make(map[OpClass]time.Duration)
+		l.byCount = make(map[OpClass]int)
+	}
+	l.byClass[c] += d
+	l.byCount[c]++
+	return d
+}
+
+// Of returns the accumulated time of class c.
+func (l *Ledger) Of(c OpClass) time.Duration { return l.byClass[c] }
+
+// CountOf returns how many operations of class c were charged.
+func (l *Ledger) CountOf(c OpClass) int { return l.byCount[c] }
+
+// Total returns the sum across all classes.
+func (l *Ledger) Total() time.Duration {
+	var t time.Duration
+	for _, d := range l.byClass {
+		t += d
+	}
+	return t
+}
+
+// Reset clears all accumulated charges.
+func (l *Ledger) Reset() {
+	l.byClass = nil
+	l.byCount = nil
+}
+
+// Snapshot returns a copy of the ledger's per-class totals.
+func (l *Ledger) Snapshot() map[OpClass]time.Duration {
+	out := make(map[OpClass]time.Duration, len(l.byClass))
+	for c, d := range l.byClass {
+		out[c] = d
+	}
+	return out
+}
+
+// Sub returns a ledger-like map holding the difference between the current
+// state and an earlier snapshot: the time spent since the snapshot.
+func (l *Ledger) Sub(earlier map[OpClass]time.Duration) map[OpClass]time.Duration {
+	out := make(map[OpClass]time.Duration)
+	for c, d := range l.byClass {
+		if diff := d - earlier[c]; diff != 0 {
+			out[c] = diff
+		}
+	}
+	return out
+}
+
+// String renders the ledger as "class=duration" pairs in stable order.
+func (l *Ledger) String() string {
+	classes := make([]string, 0, len(l.byClass))
+	for c := range l.byClass {
+		classes = append(classes, string(c))
+	}
+	sort.Strings(classes)
+	parts := make([]string, 0, len(classes))
+	for _, c := range classes {
+		parts = append(parts, fmt.Sprintf("%s=%v(n=%d)", c, l.byClass[OpClass(c)], l.byCount[OpClass(c)]))
+	}
+	return strings.Join(parts, " ")
+}

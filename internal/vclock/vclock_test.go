@@ -1,0 +1,142 @@
+package vclock
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatal("zero clock should start at 0")
+	}
+	c.Advance(25 * time.Millisecond)
+	c.Advance(64 * time.Microsecond)
+	want := 25*time.Millisecond + 64*time.Microsecond
+	if c.Now() != want {
+		t.Fatalf("Now = %v, want %v", c.Now(), want)
+	}
+}
+
+func TestClockReset(t *testing.T) {
+	var c Clock
+	c.Advance(time.Second)
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func TestClockNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative advance did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-time.Nanosecond)
+}
+
+func TestLedgerChargeAndTotals(t *testing.T) {
+	var l Ledger
+	l.Charge(OpErase, 25*time.Millisecond)
+	l.Charge(OpErase, 25*time.Millisecond)
+	l.Charge(OpProgram, 70*time.Microsecond)
+	if got := l.Of(OpErase); got != 50*time.Millisecond {
+		t.Errorf("erase total = %v", got)
+	}
+	if got := l.CountOf(OpErase); got != 2 {
+		t.Errorf("erase count = %d", got)
+	}
+	if got := l.Of(OpProgram); got != 70*time.Microsecond {
+		t.Errorf("program total = %v", got)
+	}
+	if got := l.Total(); got != 50*time.Millisecond+70*time.Microsecond {
+		t.Errorf("Total = %v", got)
+	}
+	if got := l.Of(OpRead); got != 0 {
+		t.Errorf("uncharged class should be 0, got %v", got)
+	}
+}
+
+func TestLedgerChargeReturnsDuration(t *testing.T) {
+	var l Ledger
+	if d := l.Charge(OpRead, 5*time.Microsecond); d != 5*time.Microsecond {
+		t.Fatalf("Charge returned %v", d)
+	}
+}
+
+func TestLedgerReset(t *testing.T) {
+	var l Ledger
+	l.Charge(OpRead, time.Second)
+	l.Reset()
+	if l.Total() != 0 || l.CountOf(OpRead) != 0 {
+		t.Fatal("Reset did not clear ledger")
+	}
+}
+
+func TestLedgerSnapshotSub(t *testing.T) {
+	var l Ledger
+	l.Charge(OpErase, 10*time.Millisecond)
+	snap := l.Snapshot()
+	l.Charge(OpErase, 5*time.Millisecond)
+	l.Charge(OpProgram, 1*time.Millisecond)
+	diff := l.Sub(snap)
+	if diff[OpErase] != 5*time.Millisecond {
+		t.Errorf("erase diff = %v", diff[OpErase])
+	}
+	if diff[OpProgram] != 1*time.Millisecond {
+		t.Errorf("program diff = %v", diff[OpProgram])
+	}
+	if _, ok := diff[OpRead]; ok {
+		t.Error("unchanged class should be absent from diff")
+	}
+	// Snapshot must be a copy, not a view.
+	snap[OpErase] = 0
+	if l.Of(OpErase) != 15*time.Millisecond {
+		t.Error("mutating snapshot affected ledger")
+	}
+}
+
+func TestLedgerString(t *testing.T) {
+	var l Ledger
+	l.Charge(OpProgram, time.Millisecond)
+	l.Charge(OpErase, time.Second)
+	s := l.String()
+	if !strings.Contains(s, "erase=1s(n=1)") || !strings.Contains(s, "program=1ms(n=1)") {
+		t.Errorf("String = %q", s)
+	}
+	// Stable order: erase before program.
+	if strings.Index(s, "erase") > strings.Index(s, "program") {
+		t.Errorf("String not sorted: %q", s)
+	}
+}
+
+// Property: Total equals the sum of individual charges.
+func TestQuickLedgerConservation(t *testing.T) {
+	f := func(eraseMs, progUs, readNs []uint16) bool {
+		var l Ledger
+		var want time.Duration
+		for _, v := range eraseMs {
+			d := time.Duration(v) * time.Millisecond
+			l.Charge(OpErase, d)
+			want += d
+		}
+		for _, v := range progUs {
+			d := time.Duration(v) * time.Microsecond
+			l.Charge(OpProgram, d)
+			want += d
+		}
+		for _, v := range readNs {
+			d := time.Duration(v) * time.Nanosecond
+			l.Charge(OpRead, d)
+			want += d
+		}
+		return l.Total() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,46 @@
+package wmcode_test
+
+import (
+	"fmt"
+
+	"github.com/flashmark/flashmark/internal/wmcode"
+)
+
+// ExampleCodec_Encode shows the manufacturer-side payload encoding: every
+// emitted word is a balanced codeword (8 ones), so any later one-way
+// tampering is visible.
+func ExampleCodec_Encode() {
+	c := wmcode.Codec{Key: []byte("signing-key")}
+	words, err := c.Encode(wmcode.Payload{
+		Manufacturer: "TC",
+		DieID:        1001,
+		Status:       wmcode.StatusAccept,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(words) == c.PayloadWords())
+	p, rep, err := c.Decode(words)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p.Manufacturer, p.DieID, p.Status, rep.Tampered())
+	// Output:
+	// true
+	// TC 1001 ACCEPT false
+}
+
+// ExampleCodec_DecodeReplicas shows fused decoding: a whole corrupted
+// replica is outvoted by the others.
+func ExampleCodec_DecodeReplicas() {
+	c := wmcode.Codec{}
+	words, _ := c.Encode(wmcode.Payload{Manufacturer: "TC", DieID: 7, Status: wmcode.StatusReject})
+	bad := make([]uint64, len(words)) // an all-zero (fully corrupted) view
+	views := [][]uint64{words, bad, words}
+	p, rep, err := c.DecodeReplicas(views)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p.Status, rep.Tampered())
+	// Output: REJECT false
+}

@@ -1,0 +1,77 @@
+package wmcode
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary word streams to the codec: it must never
+// panic, and anything it accepts as untampered must re-encode to the
+// same words under the same codec.
+func FuzzDecode(f *testing.F) {
+	c := Codec{Key: []byte("fuzz-key")}
+	words, err := c.Encode(Payload{Manufacturer: "TC", DieID: 1, Status: StatusAccept})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed := make([]byte, len(words)*2)
+	for i, w := range words {
+		binary.LittleEndian.PutUint16(seed[2*i:], uint16(w))
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(make([]byte, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ws := make([]uint64, len(data)/2)
+		for i := range ws {
+			ws[i] = uint64(binary.LittleEndian.Uint16(data[2*i:]))
+		}
+		p, rep, err := c.Decode(ws)
+		if err != nil || rep.Tampered() {
+			return
+		}
+		// Accepted clean: must round-trip.
+		reenc, eerr := c.Encode(p)
+		if eerr != nil {
+			t.Fatalf("clean decode of %v re-encode failed: %v", p, eerr)
+		}
+		for i := range reenc {
+			if reenc[i] != ws[i] {
+				t.Fatalf("clean decode not canonical at word %d: %#x vs %#x", i, reenc[i], ws[i])
+			}
+		}
+	})
+}
+
+// FuzzDecodeReplicas stresses the fused decoder with arbitrary replica
+// counts and contents.
+func FuzzDecodeReplicas(f *testing.F) {
+	c := Codec{}
+	words, err := c.Encode(Payload{Manufacturer: "AB", DieID: 2, Status: StatusReject})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed := make([]byte, len(words)*2)
+	for i, w := range words {
+		binary.LittleEndian.PutUint16(seed[2*i:], uint16(w))
+	}
+	f.Add(uint8(3), seed)
+	f.Add(uint8(1), []byte{1, 2, 3, 4})
+
+	f.Fuzz(func(t *testing.T, copies uint8, data []byte) {
+		r := int(copies%8) + 1
+		per := len(data) / 2 / r
+		if per == 0 {
+			return
+		}
+		views := make([][]uint64, r)
+		for v := range views {
+			views[v] = make([]uint64, per)
+			for i := range views[v] {
+				views[v][i] = uint64(binary.LittleEndian.Uint16(data[2*(v*per+i):]))
+			}
+		}
+		_, _, _ = c.DecodeReplicas(views) // must not panic
+	})
+}

@@ -1,0 +1,302 @@
+// Package wmcode defines the watermark payload format Flashmark imprints:
+// the manufacturing metadata the paper lists in §IV (manufacturer
+// identifier, die identifier, speed grade, die-sort test status, date),
+// an integrity CRC, and an HMAC-SHA-256 signature.
+//
+// Two properties make the encoding tamper-evident against the only
+// physical attack available to a counterfeiter — stressing additional
+// cells, which turns watermark bits from 1 ("good") to 0 ("bad"), never
+// the reverse:
+//
+//   - Every payload byte is expanded to a 16-bit balanced codeword
+//     (byte ‖ complement), which contains exactly eight 1-bits. Stressing
+//     any extra cell breaks the balance, so a doctored watermark is
+//     detectable without any key material.
+//   - The keyed signature binds the payload fields, so even a tamper that
+//     somehow preserved balance cannot produce a different valid payload.
+package wmcode
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Status is the die-sort outcome imprinted into the watermark.
+type Status uint8
+
+// Die-sort statuses (paper §I: watermarking "accept" or "reject"
+// prevents fall-out dice from re-entering the supply chain).
+const (
+	StatusUnknown Status = iota
+	StatusAccept
+	StatusReject
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case StatusAccept:
+		return "ACCEPT"
+	case StatusReject:
+		return "REJECT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Payload is the manufacturing metadata carried by a watermark.
+type Payload struct {
+	Manufacturer string // up to 8 ASCII characters, e.g. "TC" for Trusted Chipmaker
+	DieID        uint64 // die serial number
+	SpeedGrade   uint8  // speed bin
+	Status       Status // die-sort outcome
+	YearWeek     uint16 // date code, e.g. 2614 for week 14 of 2026
+}
+
+// Codec encodes and decodes payloads.
+type Codec struct {
+	// Key is the manufacturer's signing key. Empty disables signatures.
+	Key []byte
+	// SignatureBytes is the truncated HMAC length (0 selects 8; max 32).
+	SignatureBytes int
+}
+
+const (
+	magic0, magic1 = 'F', 'M'
+	version        = 1
+	mfgBytes       = 8
+	crcBytes       = 2
+	headerBytes    = 2 /*magic*/ + 1 /*version*/ + 1 /*status*/ + 1 /*speed*/ + 1 /*siglen*/ + mfgBytes + 8 /*die*/ + 2 /*yearweek*/
+)
+
+func (c Codec) sigBytes() int {
+	if len(c.Key) == 0 {
+		return 0
+	}
+	if c.SignatureBytes == 0 {
+		return 8
+	}
+	return c.SignatureBytes
+}
+
+// PayloadWords returns the number of 16-bit watermark words an encoded
+// payload occupies with this codec, for replica planning.
+func (c Codec) PayloadWords() int {
+	return headerBytes + crcBytes + c.sigBytes()
+}
+
+// Validate reports whether the codec configuration is usable.
+func (c Codec) Validate() error {
+	if c.SignatureBytes < 0 || c.SignatureBytes > sha256.Size {
+		return fmt.Errorf("wmcode: signature length %d out of range [0,%d]", c.SignatureBytes, sha256.Size)
+	}
+	if c.SignatureBytes > 0 && len(c.Key) == 0 {
+		return errors.New("wmcode: signature length set but no key")
+	}
+	return nil
+}
+
+// Encode packs the payload into balanced 16-bit watermark words.
+func (c Codec) Encode(p Payload) ([]uint64, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if len(p.Manufacturer) > mfgBytes {
+		return nil, fmt.Errorf("wmcode: manufacturer %q exceeds %d bytes", p.Manufacturer, mfgBytes)
+	}
+	for _, r := range p.Manufacturer {
+		if r < 0x20 || r > 0x7E {
+			return nil, fmt.Errorf("wmcode: manufacturer contains non-printable rune %q", r)
+		}
+	}
+	if p.Status != StatusAccept && p.Status != StatusReject && p.Status != StatusUnknown {
+		return nil, fmt.Errorf("wmcode: invalid status %d", p.Status)
+	}
+	sig := c.sigBytes()
+	buf := make([]byte, 0, headerBytes+crcBytes+sig)
+	buf = append(buf, magic0, magic1, version, byte(p.Status), p.SpeedGrade, byte(sig))
+	mfg := make([]byte, mfgBytes)
+	copy(mfg, p.Manufacturer)
+	for i := len(p.Manufacturer); i < mfgBytes; i++ {
+		mfg[i] = ' '
+	}
+	buf = append(buf, mfg...)
+	for shift := 56; shift >= 0; shift -= 8 {
+		buf = append(buf, byte(p.DieID>>uint(shift)))
+	}
+	buf = append(buf, byte(p.YearWeek>>8), byte(p.YearWeek))
+	crc := CRC16(buf)
+	buf = append(buf, byte(crc>>8), byte(crc))
+	if sig > 0 {
+		mac := hmac.New(sha256.New, c.Key)
+		mac.Write(buf[:headerBytes]) // sign the fields, not the CRC
+		buf = append(buf, mac.Sum(nil)[:sig]...)
+	}
+	words := make([]uint64, len(buf))
+	for i, b := range buf {
+		words[i] = BalanceByte(b)
+	}
+	return words, nil
+}
+
+// Report carries the integrity findings of a decode.
+type Report struct {
+	BalanceErrors int  // codewords violating the balanced-code invariant
+	CRCOK         bool // header CRC matched
+	SignatureOK   bool // HMAC matched (false when unsigned or no key)
+	Signed        bool // the watermark carried a signature
+	// InconsistentBits counts data bits whose fused replica vote was a
+	// near-tie (only set by DecodeReplicas). Physical tampering — which
+	// can clear a stored bit or its complement but never set one —
+	// produces exactly this systematic split, while extraction noise
+	// votes lopsidedly.
+	InconsistentBits int
+}
+
+// Tampered reports whether the decode found evidence of tampering: any
+// balance violation or fused-vote tie, a CRC failure, or a bad signature
+// on signed data.
+func (r Report) Tampered() bool {
+	return r.BalanceErrors > 0 || r.InconsistentBits > 0 || !r.CRCOK || (r.Signed && !r.SignatureOK)
+}
+
+// Decode unpacks watermark words produced by Encode. It is tolerant of
+// bit errors in the sense that it always returns its best-effort payload
+// along with the Report; err is non-nil only for structurally
+// undecodable input.
+func (c Codec) Decode(words []uint64) (Payload, Report, error) {
+	var rep Report
+	if len(words) < headerBytes+crcBytes {
+		return Payload{}, rep, fmt.Errorf("wmcode: %d words cannot hold a watermark", len(words))
+	}
+	buf := make([]byte, len(words))
+	for i, w := range words {
+		b, ok := UnbalanceWord(w)
+		if !ok {
+			rep.BalanceErrors++
+		}
+		buf[i] = b
+	}
+	return c.finishDecode(buf, rep)
+}
+
+// DecodeReplicas decodes R extracted replica views of one encoded payload
+// by fusing, per data bit, all 2R physical observations: the bit's cell in
+// each replica and its complement cell (the balanced code stores both).
+// Extraction noise votes lopsidedly and is outvoted; physical tampering —
+// stressing cells can clear a stored bit or its complement but never set
+// one — produces a systematic near-tie, reported as InconsistentBits.
+func (c Codec) DecodeReplicas(views [][]uint64) (Payload, Report, error) {
+	var rep Report
+	if len(views) == 0 {
+		return Payload{}, rep, errors.New("wmcode: no replica views")
+	}
+	n := len(views[0])
+	for _, v := range views {
+		if len(v) != n {
+			return Payload{}, rep, errors.New("wmcode: replica views have differing lengths")
+		}
+	}
+	if n < headerBytes+crcBytes {
+		return Payload{}, rep, fmt.Errorf("wmcode: %d words cannot hold a watermark", n)
+	}
+	r := len(views)
+	buf := make([]byte, n)
+	for i := 0; i < n; i++ {
+		var b byte
+		for bit := 0; bit < 8; bit++ {
+			votes := 0
+			for _, view := range views {
+				w := view[i]
+				if w>>(uint(bit)+8)&1 == 1 { // direct cell
+					votes++
+				}
+				if w>>uint(bit)&1 == 0 { // complement cell
+					votes++
+				}
+			}
+			switch {
+			case votes > r+1:
+				b |= 1 << uint(bit)
+			case votes < r-1:
+				// bit stays 0
+			default:
+				rep.InconsistentBits++
+				if votes > r {
+					b |= 1 << uint(bit)
+				}
+			}
+		}
+		buf[i] = b
+	}
+	return c.finishDecode(buf, rep)
+}
+
+// finishDecode parses recovered payload bytes and fills the integrity
+// report.
+func (c Codec) finishDecode(buf []byte, rep Report) (Payload, Report, error) {
+	if buf[0] != magic0 || buf[1] != magic1 {
+		return Payload{}, rep, fmt.Errorf("wmcode: bad magic %#x %#x", buf[0], buf[1])
+	}
+	if buf[2] != version {
+		return Payload{}, rep, fmt.Errorf("wmcode: unsupported version %d", buf[2])
+	}
+	var p Payload
+	p.Status = Status(buf[3])
+	p.SpeedGrade = buf[4]
+	sig := int(buf[5])
+	p.Manufacturer = strings.TrimRight(string(buf[6:6+mfgBytes]), " ")
+	for i := 0; i < 8; i++ {
+		p.DieID = p.DieID<<8 | uint64(buf[6+mfgBytes+i])
+	}
+	p.YearWeek = uint16(buf[headerBytes-2])<<8 | uint16(buf[headerBytes-1])
+	crcGot := uint16(buf[headerBytes])<<8 | uint16(buf[headerBytes+1])
+	rep.CRCOK = CRC16(buf[:headerBytes]) == crcGot
+	if sig > 0 {
+		rep.Signed = true
+		if sig > sha256.Size || headerBytes+crcBytes+sig > len(buf) {
+			return p, rep, fmt.Errorf("wmcode: signature length %d inconsistent with %d payload bytes", sig, len(buf))
+		}
+		if len(c.Key) > 0 {
+			mac := hmac.New(sha256.New, c.Key)
+			mac.Write(buf[:headerBytes])
+			want := mac.Sum(nil)[:sig]
+			rep.SignatureOK = hmac.Equal(want, buf[headerBytes+crcBytes:headerBytes+crcBytes+sig])
+		}
+	}
+	return p, rep, nil
+}
+
+// BalanceByte expands a byte into a 16-bit balanced codeword
+// (byte ‖ complement), which always has exactly eight 1-bits.
+func BalanceByte(b byte) uint64 {
+	return uint64(b)<<8 | uint64(^b)&0xFF
+}
+
+// UnbalanceWord recovers the byte from a balanced codeword and reports
+// whether the codeword was intact. On violation it returns the
+// bit-wise majority-less best effort (the data half).
+func UnbalanceWord(w uint64) (byte, bool) {
+	hi := byte(w >> 8)
+	lo := byte(w)
+	return hi, hi == ^lo && w>>16 == 0
+}
+
+// CRC16 computes the CCITT-FALSE CRC-16 of data.
+func CRC16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}

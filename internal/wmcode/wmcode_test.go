@@ -1,0 +1,310 @@
+package wmcode
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func samplePayload() Payload {
+	return Payload{
+		Manufacturer: "TC",
+		DieID:        0xDEADBEEF1234,
+		SpeedGrade:   3,
+		Status:       StatusAccept,
+		YearWeek:     2614,
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c := Codec{Key: []byte("manufacturer-secret")}
+	words, err := c.Encode(samplePayload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) != c.PayloadWords() {
+		t.Fatalf("encoded %d words, PayloadWords says %d", len(words), c.PayloadWords())
+	}
+	p, rep, err := c.Decode(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != samplePayload() {
+		t.Fatalf("round trip: %+v != %+v", p, samplePayload())
+	}
+	if rep.Tampered() {
+		t.Fatalf("pristine watermark reported tampered: %+v", rep)
+	}
+	if !rep.Signed || !rep.SignatureOK || !rep.CRCOK || rep.BalanceErrors != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestUnsignedRoundTrip(t *testing.T) {
+	c := Codec{}
+	words, err := c.Encode(samplePayload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, rep, err := c.Decode(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != samplePayload() {
+		t.Fatal("unsigned round trip failed")
+	}
+	if rep.Signed || rep.Tampered() {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestEveryCodewordBalanced(t *testing.T) {
+	c := Codec{Key: []byte("k")}
+	words, err := c.Encode(samplePayload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range words {
+		if bits.OnesCount64(w) != 8 {
+			t.Errorf("word %d = %#x has %d ones, want 8", i, w, bits.OnesCount64(w))
+		}
+	}
+}
+
+func TestOneToZeroTamperingDetected(t *testing.T) {
+	// The only physical attack: stress more cells, turning 1s into 0s.
+	// Every such flip must be detectable.
+	c := Codec{Key: []byte("k")}
+	words, err := c.Encode(samplePayload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for wi := range words {
+		for b := 0; b < 16; b++ {
+			mask := uint64(1) << uint(b)
+			if words[wi]&mask == 0 {
+				continue
+			}
+			tampered := append([]uint64(nil), words...)
+			tampered[wi] &^= mask
+			_, rep, derr := c.Decode(tampered)
+			if derr == nil && !rep.Tampered() {
+				t.Fatalf("1->0 flip at word %d bit %d undetected", wi, b)
+			}
+		}
+	}
+}
+
+func TestStatusForgeryDetected(t *testing.T) {
+	// A counterfeiter holding a REJECT die wants it to read ACCEPT.
+	// StatusReject=2 (binary 10), StatusAccept=1 (binary 01): moving
+	// between them requires setting a bit, which stressing cannot do;
+	// and any clearing attack breaks balance or signature.
+	c := Codec{Key: []byte("k")}
+	reject := samplePayload()
+	reject.Status = StatusReject
+	words, err := c.Encode(reject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute force: try every single- and double-bit 1->0 clearing on the
+	// status codeword (index 3) and verify none yields a clean ACCEPT.
+	statusIdx := 3
+	orig := words[statusIdx]
+	var ones []uint
+	for b := uint(0); b < 16; b++ {
+		if orig&(1<<b) != 0 {
+			ones = append(ones, b)
+		}
+	}
+	try := func(w uint64) {
+		t.Helper()
+		tampered := append([]uint64(nil), words...)
+		tampered[statusIdx] = w
+		p, rep, derr := c.Decode(tampered)
+		if derr == nil && !rep.Tampered() && p.Status == StatusAccept {
+			t.Fatalf("forged ACCEPT with codeword %#x", w)
+		}
+	}
+	for i, a := range ones {
+		try(orig &^ (1 << a))
+		for _, b := range ones[i+1:] {
+			try(orig &^ (1 << a) &^ (1 << b))
+		}
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	c := Codec{}
+	if _, _, err := c.Decode(nil); err == nil {
+		t.Error("nil words accepted")
+	}
+	if _, _, err := c.Decode(make([]uint64, 5)); err == nil {
+		t.Error("short words accepted")
+	}
+	// Wrong magic.
+	words, _ := c.Encode(samplePayload())
+	words[0] = BalanceByte('X')
+	if _, _, err := c.Decode(words); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Wrong version.
+	words, _ = c.Encode(samplePayload())
+	words[2] = BalanceByte(99)
+	if _, _, err := c.Decode(words); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestDecodeWrongKey(t *testing.T) {
+	enc := Codec{Key: []byte("right")}
+	words, err := enc.Encode(samplePayload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := Codec{Key: []byte("wrong")}
+	_, rep, err := dec.Decode(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SignatureOK {
+		t.Error("wrong key verified signature")
+	}
+	if !rep.Tampered() {
+		t.Error("bad signature not reported as tampering")
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	c := Codec{}
+	p := samplePayload()
+	p.Manufacturer = "TOOLONGNAME"
+	if _, err := c.Encode(p); err == nil {
+		t.Error("long manufacturer accepted")
+	}
+	p = samplePayload()
+	p.Manufacturer = "bad\x01"
+	if _, err := c.Encode(p); err == nil {
+		t.Error("non-printable manufacturer accepted")
+	}
+	p = samplePayload()
+	p.Status = Status(200)
+	if _, err := c.Encode(p); err == nil {
+		t.Error("invalid status accepted")
+	}
+	bad := Codec{SignatureBytes: 8}
+	if _, err := bad.Encode(samplePayload()); err == nil {
+		t.Error("signature without key accepted")
+	}
+	bad = Codec{Key: []byte("k"), SignatureBytes: 64}
+	if _, err := bad.Encode(samplePayload()); err == nil {
+		t.Error("oversized signature accepted")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if StatusAccept.String() != "ACCEPT" || StatusReject.String() != "REJECT" || StatusUnknown.String() != "UNKNOWN" {
+		t.Error("status strings wrong")
+	}
+	if Status(7).String() != "UNKNOWN" {
+		t.Error("unknown status should stringify as UNKNOWN")
+	}
+}
+
+func TestBalanceByte(t *testing.T) {
+	for b := 0; b < 256; b++ {
+		w := BalanceByte(byte(b))
+		if bits.OnesCount64(w) != 8 {
+			t.Fatalf("BalanceByte(%#x) = %#x not balanced", b, w)
+		}
+		got, ok := UnbalanceWord(w)
+		if !ok || got != byte(b) {
+			t.Fatalf("UnbalanceWord(BalanceByte(%#x)) = %#x, %v", b, got, ok)
+		}
+	}
+}
+
+func TestUnbalanceWordRejects(t *testing.T) {
+	if _, ok := UnbalanceWord(0x0000); ok {
+		t.Error("0x0000 accepted")
+	}
+	if _, ok := UnbalanceWord(0xFFFF); ok {
+		t.Error("0xFFFF accepted")
+	}
+	if _, ok := UnbalanceWord(0x1_54AB); ok {
+		t.Error("17-bit word accepted")
+	}
+	// Eight ones but not byte-complement structure.
+	if _, ok := UnbalanceWord(0x0F0F); ok {
+		t.Error("0x0F0F accepted: balanced but not byte‖complement")
+	}
+	// Valid structure must pass.
+	if b, ok := UnbalanceWord(0x00FF); !ok || b != 0 {
+		t.Error("0x00FF is the codeword of 0x00 and must decode")
+	}
+}
+
+func TestCRC16KnownVector(t *testing.T) {
+	// CCITT-FALSE of "123456789" is 0x29B1.
+	if got := CRC16([]byte("123456789")); got != 0x29B1 {
+		t.Fatalf("CRC16 = %#x, want 0x29b1", got)
+	}
+	if got := CRC16(nil); got != 0xFFFF {
+		t.Fatalf("CRC16(empty) = %#x, want init value", got)
+	}
+}
+
+// Property: encode/decode round-trips arbitrary payload field values.
+func TestQuickRoundTrip(t *testing.T) {
+	c := Codec{Key: []byte("quick-key"), SignatureBytes: 12}
+	f := func(die uint64, speed uint8, statusRaw uint8, yw uint16, mfgRaw uint8) bool {
+		p := Payload{
+			Manufacturer: "ACME" + string(rune('A'+mfgRaw%26)),
+			DieID:        die,
+			SpeedGrade:   speed,
+			Status:       []Status{StatusUnknown, StatusAccept, StatusReject}[statusRaw%3],
+			YearWeek:     yw,
+		}
+		words, err := c.Encode(p)
+		if err != nil {
+			return false
+		}
+		got, rep, err := c.Decode(words)
+		return err == nil && got == p && !rep.Tampered()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any number of 1->0 flips anywhere is detected.
+func TestQuickClearingAttackDetected(t *testing.T) {
+	c := Codec{Key: []byte("quick-key")}
+	words, err := c.Encode(samplePayload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(flips []uint16) bool {
+		if len(flips) == 0 {
+			return true
+		}
+		tampered := append([]uint64(nil), words...)
+		changed := false
+		for _, f := range flips {
+			wi := int(f>>4) % len(tampered)
+			mask := uint64(1) << uint(f%16)
+			if tampered[wi]&mask != 0 {
+				tampered[wi] &^= mask
+				changed = true
+			}
+		}
+		if !changed {
+			return true
+		}
+		_, rep, derr := c.Decode(tampered)
+		return derr != nil || rep.Tampered()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
