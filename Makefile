@@ -1,6 +1,7 @@
 GO ?= go
+BENCHTIME ?= 1x
 
-.PHONY: all build vet test race bench experiments cover fmt clean
+.PHONY: all build vet test race bench bench-json experiments cover cover-check fmt clean
 
 all: build vet test
 
@@ -22,11 +23,23 @@ race:
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./...
 
+# Runs the serial-vs-parallel experiment-suite benchmark and writes the
+# timings to BENCH_experiments.json (schema flashmark-bench-experiments/v1).
+# CI runs this at BENCHTIME=1x and uploads the JSON as an artifact.
+bench-json:
+	$(GO) test -run xxx -bench BenchmarkExperimentSuite -benchtime $(BENCHTIME) -benchjson BENCH_experiments.json .
+
 experiments:
 	$(GO) run ./cmd/fmexperiments -run all
 
 cover:
 	$(GO) test -cover ./...
+
+# Coverage gate: recompute total statement coverage and fail if it fell
+# below scripts/coverage_baseline.txt.
+cover-check:
+	$(GO) test -count=1 -coverprofile=coverage.out ./...
+	./scripts/check_coverage.sh coverage.out
 
 clean:
 	$(GO) clean ./...

@@ -6,10 +6,17 @@
 //	fmexperiments -run all                 # every experiment, text output
 //	fmexperiments -run fig9 -fast          # one experiment, reduced sweep
 //	fmexperiments -run all -csv out/       # also write each table as CSV
+//	fmexperiments -run all -parallel 8     # bound the device fan-out
+//	fmexperiments -run all -timing         # per-experiment wall-clock on stderr
 //	fmexperiments -list                    # list experiment ids
 //
 // Experiment ids map to the paper's artifacts: fig4 fig5 fig6 fig9 fig10
 // fig11 timing supplychain (see DESIGN.md for the index).
+//
+// Artifact output is byte-identical for every -parallel value (devices
+// are independent deterministic simulations assembled by index); the
+// knob only changes wall-clock time. -timing writes to stderr so timed
+// runs stay byte-comparable on stdout.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"github.com/flashmark/flashmark/internal/experiment"
 	"github.com/flashmark/flashmark/internal/mcu"
@@ -41,6 +49,8 @@ func run(args []string, out *os.File) error {
 		csvDir   = fs.String("csv", "", "directory to write per-table CSV files")
 		mdDir    = fs.String("md", "", "directory to write per-table Markdown files")
 		list     = fs.Bool("list", false, "list experiment ids and exit")
+		workers  = fs.Int("parallel", 0, "max devices simulated concurrently (0 = GOMAXPROCS, 1 = serial)")
+		timing   = fs.Bool("timing", false, "print per-experiment wall-clock to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,7 +65,7 @@ func run(args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
-	cfg := experiment.Config{Part: part, Seed: *seed, Fast: *fast}
+	cfg := experiment.Config{Part: part, Seed: *seed, Fast: *fast, Workers: *workers}
 
 	ids := experiment.IDs()
 	if *runIDs != "all" {
@@ -68,12 +78,17 @@ func run(args []string, out *os.File) error {
 			}
 		}
 	}
+	suiteStart := time.Now()
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		fmt.Fprintf(out, "running %s...\n", id)
+		expStart := time.Now()
 		artifact, err := experiment.Run(id, cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
+		}
+		if *timing {
+			fmt.Fprintf(os.Stderr, "timing: %-12s %10.3fs\n", id, time.Since(expStart).Seconds())
 		}
 		if err := artifact.WriteText(out); err != nil {
 			return err
@@ -92,6 +107,9 @@ func run(args []string, out *os.File) error {
 				}
 			}
 		}
+	}
+	if *timing {
+		fmt.Fprintf(os.Stderr, "timing: %-12s %10.3fs (parallel=%d)\n", "TOTAL", time.Since(suiteStart).Seconds(), *workers)
 	}
 	return nil
 }

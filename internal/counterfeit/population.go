@@ -4,7 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
+
+	"github.com/flashmark/flashmark/internal/parallel"
 )
 
 // PopulationSpec says how many chips of each class flow through the
@@ -112,102 +113,72 @@ func (m *ConfusionMatrix) String() string {
 	return b.String()
 }
 
+// populationJob is one chip's deterministic identity within a
+// population run: its class, derived seed and die number.
+type populationJob struct {
+	class ChipClass
+	seed  uint64
+	die   uint64
+}
+
+// populationJobs expands the spec into the flat, deterministically
+// ordered job list shared by the serial and parallel runners: classes
+// sort ascending, dies number sequentially from 1001, and chip seeds
+// derive from seedBase via the class tag and parallel.SubSeed.
+func populationJobs(spec PopulationSpec, seedBase uint64) []populationJob {
+	var classes []ChipClass
+	for c := range spec {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	var jobs []populationJob
+	die := uint64(1000)
+	for _, class := range classes {
+		for i := 0; i < spec[class]; i++ {
+			die++
+			jobs = append(jobs, populationJob{
+				class: class,
+				seed:  parallel.SubSeed(seedBase^(uint64(class)<<32), uint64(i)),
+				die:   die,
+			})
+		}
+	}
+	return jobs
+}
+
 // RunPopulation fabricates the specified population and verifies every
 // chip, returning the confusion matrix and per-chip outcomes. Chip seeds
 // derive deterministically from seedBase, so runs are reproducible.
 func RunPopulation(spec PopulationSpec, cfg FactoryConfig, verifier *Verifier, seedBase uint64) (*ConfusionMatrix, []Outcome, error) {
-	var matrix ConfusionMatrix
-	var outcomes []Outcome
-	// Deterministic class order.
-	var classes []ChipClass
-	for c := range spec {
-		classes = append(classes, c)
-	}
-	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
-	die := uint64(1000)
-	for _, class := range classes {
-		for i := 0; i < spec[class]; i++ {
-			seed := seedBase ^ (uint64(class) << 32) ^ uint64(i)*0x9E3779B97F4A7C15
-			die++
-			dev, err := Fabricate(class, cfg, seed, die)
-			if err != nil {
-				return nil, nil, fmt.Errorf("counterfeit: fabricating %s chip %d: %w", class, i, err)
-			}
-			res, err := verifier.Verify(dev)
-			if err != nil {
-				return nil, nil, fmt.Errorf("counterfeit: verifying %s chip %d: %w", class, i, err)
-			}
-			matrix.Add(class, res.Verdict)
-			outcomes = append(outcomes, Outcome{Class: class, Verdict: res.Verdict, Result: res})
-		}
-	}
-	return &matrix, outcomes, nil
+	return RunPopulationParallel(spec, cfg, verifier, seedBase, 1)
 }
 
 // RunPopulationParallel fabricates and verifies the population with up to
-// `workers` chips in flight. Chips are independent, deterministically
-// seeded simulations, so the outcomes are identical to RunPopulation —
-// only wall-clock time improves. The verifier must not carry an Auditor:
+// `workers` chips in flight (0 selects GOMAXPROCS) on the parallel
+// engine. Chips are independent, deterministically seeded simulations
+// and outcomes are collected by job index, so the matrix and outcome
+// list are identical for every worker count — only wall-clock time
+// improves. The verifier must not carry an Auditor when workers != 1:
 // duplicate detection is order-dependent and belongs in a serial pass.
 func RunPopulationParallel(spec PopulationSpec, cfg FactoryConfig, verifier *Verifier, seedBase uint64, workers int) (*ConfusionMatrix, []Outcome, error) {
-	if verifier.Audit != nil {
+	if verifier.Audit != nil && workers != 1 {
 		return nil, nil, fmt.Errorf("counterfeit: parallel population runs cannot use a die-ID auditor (order-dependent); run the audit pass serially")
 	}
-	if workers <= 1 {
-		return RunPopulation(spec, cfg, verifier, seedBase)
-	}
-	type job struct {
-		idx   int
-		class ChipClass
-		seed  uint64
-		die   uint64
-	}
-	var jobs []job
-	var classes []ChipClass
-	for c := range spec {
-		classes = append(classes, c)
-	}
-	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
-	die := uint64(1000)
-	for _, class := range classes {
-		for i := 0; i < spec[class]; i++ {
-			seed := seedBase ^ (uint64(class) << 32) ^ uint64(i)*0x9E3779B97F4A7C15
-			die++
-			jobs = append(jobs, job{idx: len(jobs), class: class, seed: seed, die: die})
-		}
-	}
-	outcomes := make([]Outcome, len(jobs))
-	errs := make([]error, len(jobs))
-	jobCh := make(chan job)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobCh {
-				dev, err := Fabricate(j.class, cfg, j.seed, j.die)
-				if err != nil {
-					errs[j.idx] = fmt.Errorf("counterfeit: fabricating %s: %w", j.class, err)
-					continue
-				}
-				res, err := verifier.Verify(dev)
-				if err != nil {
-					errs[j.idx] = fmt.Errorf("counterfeit: verifying %s: %w", j.class, err)
-					continue
-				}
-				outcomes[j.idx] = Outcome{Class: j.class, Verdict: res.Verdict, Result: res}
-			}
-		}()
-	}
-	for _, j := range jobs {
-		jobCh <- j
-	}
-	close(jobCh)
-	wg.Wait()
-	for _, err := range errs {
+	jobs := populationJobs(spec, seedBase)
+	outcomes, err := parallel.Map(parallel.Pool{Workers: workers}, len(jobs), func(i int) (Outcome, error) {
+		j := jobs[i]
+		dev, err := Fabricate(j.class, cfg, j.seed, j.die)
 		if err != nil {
-			return nil, nil, err
+			return Outcome{}, fmt.Errorf("counterfeit: fabricating %s chip (die %d): %w", j.class, j.die, err)
 		}
+		res, err := verifier.Verify(dev)
+		if err != nil {
+			return Outcome{}, fmt.Errorf("counterfeit: verifying %s chip (die %d): %w", j.class, j.die, err)
+		}
+		return Outcome{Class: j.class, Verdict: res.Verdict, Result: res}, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	var matrix ConfusionMatrix
 	for _, o := range outcomes {

@@ -5,6 +5,7 @@ import (
 
 	"github.com/flashmark/flashmark/internal/core"
 	"github.com/flashmark/flashmark/internal/mathx"
+	"github.com/flashmark/flashmark/internal/parallel"
 	"github.com/flashmark/flashmark/internal/report"
 )
 
@@ -52,35 +53,48 @@ func Consistency(cfg Config) (*ConsistencyResult, error) {
 		YLabel: "BER (%)",
 	}
 	familyTPEW := 24*time.Microsecond + 500*time.Nanosecond
-	for chip := 0; chip < chips; chip++ {
+	// One die per item — the very workload the paper's multi-chip claim
+	// is about; sweeps run concurrently, one goroutine per die.
+	type dieOut struct {
+		series   report.Series
+		minBER   float64
+		bestT    time.Duration
+		atFamily float64
+	}
+	outs, err := parallel.Map(cfg.pool(), chips, func(chip int) (dieOut, error) {
 		dev, err := cfg.newDevice(0xC0 + uint64(chip)*1117)
 		if err != nil {
-			return nil, err
+			return dieOut{}, err
 		}
 		if err := core.ImprintSegment(dev, 0, wm, core.ImprintOptions{NPE: npe, Accelerated: true}); err != nil {
-			return nil, err
+			return dieOut{}, err
 		}
-		series := report.Series{Name: "die " + itoa(chip+1)}
-		minBER, bestT, atFamily := 101.0, time.Duration(0), -1.0
+		out := dieOut{series: report.Series{Name: "die " + itoa(chip+1)}, minBER: 101.0, atFamily: -1.0}
 		for t := lo; t <= hi; t += step {
 			got, err := core.ExtractSegment(dev, 0, core.ExtractOptions{TPEW: t})
 			if err != nil {
-				return nil, err
+				return dieOut{}, err
 			}
 			ber := 100 * core.BER(got, wm, bits)
-			series.X = append(series.X, us(t))
-			series.Y = append(series.Y, ber)
-			if ber < minBER {
-				minBER, bestT = ber, t
+			out.series.X = append(out.series.X, us(t))
+			out.series.Y = append(out.series.Y, ber)
+			if ber < out.minBER {
+				out.minBER, out.bestT = ber, t
 			}
 			if t == familyTPEW {
-				atFamily = ber
+				out.atFamily = ber
 			}
 		}
-		res.MinBERs = append(res.MinBERs, minBER)
-		res.BestTPEWs = append(res.BestTPEWs, bestT)
-		tbl.AddRow("die "+itoa(chip+1), minBER, us(bestT), atFamily)
-		plot.Series = append(plot.Series, series)
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for chip, out := range outs {
+		res.MinBERs = append(res.MinBERs, out.minBER)
+		res.BestTPEWs = append(res.BestTPEWs, out.bestT)
+		tbl.AddRow("die "+itoa(chip+1), out.minBER, us(out.bestT), out.atFamily)
+		plot.Series = append(plot.Series, out.series)
 	}
 	res.Summary = mathx.Summarize(res.MinBERs)
 	tbl.AddNote("min BER across dice: mean %.2f%%, stddev %.2f%%, range [%.2f%%, %.2f%%]",

@@ -1,0 +1,104 @@
+package experiment
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"github.com/flashmark/flashmark/internal/parallel"
+)
+
+// renderAll renders every registered experiment artifact with the given
+// worker count into one string.
+func renderAll(t *testing.T, workers int) string {
+	t.Helper()
+	cfg := fastCfg()
+	cfg.Workers = workers
+	var b strings.Builder
+	for _, id := range IDs() {
+		a, err := Run(id, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d %s: %v", workers, id, err)
+		}
+		if err := a.WriteText(&b); err != nil {
+			t.Fatalf("workers=%d %s render: %v", workers, id, err)
+		}
+	}
+	return b.String()
+}
+
+// TestArtifactsIdenticalAcrossWorkerCounts is the engine's headline
+// guarantee: every experiment artifact is byte-identical for Workers =
+// 1, 4 and GOMAXPROCS, because each device is an independent
+// deterministic simulation and results assemble by index.
+func TestArtifactsIdenticalAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders the full registry three times")
+	}
+	want := renderAll(t, 1)
+	for _, w := range []int{4, runtime.GOMAXPROCS(0)} {
+		got := renderAll(t, w)
+		if got == want {
+			continue
+		}
+		// Locate the first divergent line for a readable failure.
+		wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+		for i := range wl {
+			if i >= len(gl) || wl[i] != gl[i] {
+				t.Fatalf("workers=%d drifted from serial at line %d:\nserial:   %q\nparallel: %q", w, i+1, wl[i], gl[i])
+			}
+		}
+		t.Fatalf("workers=%d output differs in length: %d vs %d bytes", w, len(got), len(want))
+	}
+}
+
+// TestSeedZeroSentinel pins the documented Config.Seed contract: zero is
+// a sentinel selecting the fixed default (an explicit zero seed is
+// unreachable by design).
+func TestSeedZeroSentinel(t *testing.T) {
+	got := Config{}.withDefaults()
+	if got.Seed != 0xF1A5_0001 {
+		t.Fatalf("zero seed resolved to %#x, want the fixed default 0xF1A5_0001", got.Seed)
+	}
+	kept := Config{Seed: 0xDEAD}.withDefaults()
+	if kept.Seed != 0xDEAD {
+		t.Fatalf("explicit seed overridden: %#x", kept.Seed)
+	}
+}
+
+// TestDerivedSubSeedsDifferAcrossExperiments guards the sub-seed
+// convention: the per-experiment sub values used across the registry
+// must map the shared base seed onto distinct chip identities, or two
+// experiments would silently characterize the same simulated die.
+func TestDerivedSubSeedsDifferAcrossExperiments(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	// The sub values in live use across the experiment files (fig4's
+	// level+4, fig5's probes, fig6/fig9/fig10 offsets, timing's chains,
+	// endurance, retention, temperature, consistency dice, ...).
+	subs := map[string]uint64{
+		"fig4 fresh":        0 + 4,
+		"fig4 20K":          20_000 + 4,
+		"fig5 fresh":        5,
+		"fig5 worn":         55,
+		"fig6":              6,
+		"fig9 20K":          20_000 + 9,
+		"fig10":             10,
+		"fig11 40K/3":       40_000*31 + 3,
+		"timing 40K":        40_000*7 + 1,
+		"timing extract":    99,
+		"endurance 60K":     60_000 + 0xE0D,
+		"retention":         0x0E7,
+		"temperature":       0x7E43,
+		"consistency die 1": 0xC0,
+		"ecc 40K none":      40_000*13 + 4,
+		"nand NOR 40K":      40_000 + 0x4E,
+	}
+	seen := map[uint64]string{}
+	for name, sub := range subs {
+		s := parallel.SubSeed(cfg.Seed, sub)
+		if prev, dup := seen[s]; dup {
+			t.Errorf("experiments %q and %q derive the same chip seed %#x", prev, name, s)
+		}
+		seen[s] = name
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/flashmark/flashmark/internal/core"
 	"github.com/flashmark/flashmark/internal/ecc"
+	"github.com/flashmark/flashmark/internal/parallel"
 	"github.com/flashmark/flashmark/internal/report"
 )
 
@@ -151,41 +152,57 @@ func ECCStudy(cfg Config) (*ECCStudyResult, error) {
 		Columns: []string{"N_PE", "scheme", "redundancy (x)", "raw bit errs", "payload byte errs (of " + itoa(len(eccPayload)) + ")"},
 	}
 	payloadBits := float64(len(eccPayload) * 8)
-	for _, npe := range levels {
-		for _, s := range schemes {
-			stored := s.encode()
-			if len(stored) > segWords {
+	// The (N_PE × scheme) grid fans out one imprint/extract/decode per
+	// cell (each on its own device); a scheme too large for the segment
+	// yields a nil cell and is skipped at assembly, exactly as the serial
+	// loop's `continue` did.
+	nSchemes := len(schemes)
+	outs, err := parallel.Map(cfg.pool(), len(levels)*nSchemes, func(idx int) (*ECCSchemeResult, error) {
+		npe, s := levels[idx/nSchemes], schemes[idx%nSchemes]
+		stored := s.encode()
+		if len(stored) > segWords {
+			return nil, nil
+		}
+		img, err := core.Replicate(stored, 1, segWords)
+		if err != nil {
+			return nil, err
+		}
+		dev, err := cfg.newDevice(uint64(npe)*13 + uint64(len(s.name)))
+		if err != nil {
+			return nil, err
+		}
+		if err := core.ImprintSegment(dev, 0, img, core.ImprintOptions{NPE: npe, Accelerated: true}); err != nil {
+			return nil, err
+		}
+		extracted, err := core.ExtractSegment(dev, 0, core.ExtractOptions{TPEW: tpew, Reads: 1})
+		if err != nil {
+			return nil, err
+		}
+		recovered, rawErrs, err := s.decode(extracted)
+		if err != nil {
+			return nil, err
+		}
+		r := &ECCSchemeResult{
+			Scheme:     s.name,
+			Redundancy: float64(len(stored)*bits) / payloadBits,
+			RawBitErrs: rawErrs,
+			ByteErrs:   byteErrs(recovered),
+		}
+		if bytes.Equal(recovered, eccPayload) && r.ByteErrs != 0 {
+			r.ByteErrs = 0
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for li, npe := range levels {
+		for si := range schemes {
+			r := outs[li*nSchemes+si]
+			if r == nil {
 				continue
 			}
-			img, err := core.Replicate(stored, 1, segWords)
-			if err != nil {
-				return nil, err
-			}
-			dev, err := cfg.newDevice(uint64(npe)*13 + uint64(len(s.name)))
-			if err != nil {
-				return nil, err
-			}
-			if err := core.ImprintSegment(dev, 0, img, core.ImprintOptions{NPE: npe, Accelerated: true}); err != nil {
-				return nil, err
-			}
-			extracted, err := core.ExtractSegment(dev, 0, core.ExtractOptions{TPEW: tpew, Reads: 1})
-			if err != nil {
-				return nil, err
-			}
-			recovered, rawErrs, err := s.decode(extracted)
-			if err != nil {
-				return nil, err
-			}
-			r := ECCSchemeResult{
-				Scheme:     s.name,
-				Redundancy: float64(len(stored)*bits) / payloadBits,
-				RawBitErrs: rawErrs,
-				ByteErrs:   byteErrs(recovered),
-			}
-			if bytes.Equal(recovered, eccPayload) && r.ByteErrs != 0 {
-				r.ByteErrs = 0
-			}
-			res.ByNPE[npe] = append(res.ByNPE[npe], r)
+			res.ByNPE[npe] = append(res.ByNPE[npe], *r)
 			tbl.AddRow(levelName(npe), r.Scheme, r.Redundancy, r.RawBitErrs, r.ByteErrs)
 		}
 	}

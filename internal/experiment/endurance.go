@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/flashmark/flashmark/internal/core"
+	"github.com/flashmark/flashmark/internal/parallel"
 	"github.com/flashmark/flashmark/internal/report"
 )
 
@@ -52,46 +53,60 @@ func Endurance(cfg Config) (*EnduranceResult, error) {
 		Title:   "EXT-END — imprinting beyond the endurance limit",
 		Columns: []string{"N_PE", "vs endurance", "min BER (%)", "read instability (%)", "imprint (s)"},
 	}
-	for _, npe := range levels {
+	// One device per stress level; the imprint, sweep and instability
+	// probes stay in their original per-device order inside each item.
+	type levelOut struct {
+		minBER      float64
+		instability float64
+		imprint     time.Duration
+	}
+	outs, err := parallel.Map(cfg.pool(), len(levels), func(i int) (levelOut, error) {
+		npe := levels[i]
 		dev, err := cfg.newDevice(uint64(npe) + 0xE0D)
 		if err != nil {
-			return nil, err
+			return levelOut{}, err
 		}
 		start := dev.Clock().Now()
 		if err := core.ImprintSegment(dev, 0, wm, core.ImprintOptions{NPE: npe, Accelerated: true}); err != nil {
-			return nil, err
+			return levelOut{}, err
 		}
-		res.ImprintTime[npe] = dev.Clock().Now() - start
-
-		minBER, bestT := 101.0, time.Duration(0)
+		out := levelOut{minBER: 101.0, imprint: dev.Clock().Now() - start}
+		bestT := time.Duration(0)
 		for t := lo; t <= hi; t += step {
 			got, err := core.ExtractSegment(dev, 0, core.ExtractOptions{TPEW: t})
 			if err != nil {
-				return nil, err
+				return levelOut{}, err
 			}
-			if ber := 100 * core.BER(got, wm, bits); ber < minBER {
-				minBER, bestT = ber, t
+			if ber := 100 * core.BER(got, wm, bits); ber < out.minBER {
+				out.minBER, bestT = ber, t
 			}
 		}
-		res.MinBER[npe] = minBER
 
 		// Read instability: two consecutive extractions at the optimum
 		// disagree on metastable (and, past endurance, noisy) bits.
 		first, err := core.ExtractSegment(dev, 0, core.ExtractOptions{TPEW: bestT})
 		if err != nil {
-			return nil, err
+			return levelOut{}, err
 		}
 		second, err := core.ExtractSegment(dev, 0, core.ExtractOptions{TPEW: bestT})
 		if err != nil {
-			return nil, err
+			return levelOut{}, err
 		}
-		res.ReadInstability[npe] = 100 * core.BER(second, first, bits)
-
+		out.instability = 100 * core.BER(second, first, bits)
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, npe := range levels {
+		res.ImprintTime[npe] = outs[i].imprint
+		res.MinBER[npe] = outs[i].minBER
+		res.ReadInstability[npe] = outs[i].instability
 		rel := "within"
 		if npe > endurance {
 			rel = "beyond"
 		}
-		tbl.AddRow(levelName(npe), rel, minBER, res.ReadInstability[npe], res.ImprintTime[npe].Seconds())
+		tbl.AddRow(levelName(npe), rel, outs[i].minBER, outs[i].instability, outs[i].imprint.Seconds())
 	}
 	tbl.AddNote("endurance budget of the part: %s cycles", levelName(endurance))
 	tbl.AddNote("extraction keeps improving past endurance (better class separation outweighs the noisier worn cells) at linearly growing imprint cost")

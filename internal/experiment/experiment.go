@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/flashmark/flashmark/internal/mcu"
+	"github.com/flashmark/flashmark/internal/parallel"
 	"github.com/flashmark/flashmark/internal/report"
 )
 
@@ -22,12 +23,20 @@ type Config struct {
 	// compact FM-SIM16 part; all parts share physics and timing).
 	Part mcu.Part
 	// Seed is the base chip seed; distinct experiments derive their own
-	// sub-seeds. Zero selects a fixed default so published numbers are
-	// reproducible.
+	// sub-seeds via parallel.SubSeed. Zero is a SENTINEL meaning "use the
+	// fixed default 0xF1A5_0001" so published numbers are reproducible —
+	// an explicit zero seed is therefore unreachable by design; callers
+	// who need a different chip population must pass a nonzero seed.
 	Seed uint64
 	// Fast trades sweep resolution for speed (used by tests); the full
 	// configuration reproduces the paper's resolution.
 	Fast bool
+	// Workers bounds how many independent devices an experiment simulates
+	// concurrently; zero selects GOMAXPROCS and 1 forces the exact serial
+	// execution. Artifacts are byte-identical for every worker count:
+	// each device is its own deterministically seeded simulation and
+	// results are assembled by index (see internal/parallel).
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -41,7 +50,12 @@ func (c Config) withDefaults() Config {
 }
 
 func (c Config) newDevice(sub uint64) (*mcu.Device, error) {
-	return mcu.NewDevice(c.Part, c.Seed^sub*0x9E3779B97F4A7C15)
+	return mcu.NewDevice(c.Part, parallel.SubSeed(c.Seed, sub))
+}
+
+// pool returns the fan-out engine bounded by the Workers knob.
+func (c Config) pool() parallel.Pool {
+	return parallel.Pool{Workers: c.Workers}
 }
 
 // Artifact is the renderable output of one experiment.

@@ -5,6 +5,7 @@ import (
 
 	"github.com/flashmark/flashmark/internal/core"
 	"github.com/flashmark/flashmark/internal/mcu"
+	"github.com/flashmark/flashmark/internal/parallel"
 	"github.com/flashmark/flashmark/internal/report"
 )
 
@@ -36,37 +37,54 @@ func Family(cfg Config) (*FamilyResult, error) {
 	alt := mcu.PartAltNOR()
 	wm := core.ReferenceWatermark(alt.Geometry.WordsPerSegment())
 	bits := alt.Geometry.WordBits()
-	dev, err := mcu.NewDevice(alt, cfg.Seed^0xFA11)
-	if err != nil {
-		return nil, err
-	}
-	if err := core.ImprintSegment(dev, 0, wm, core.ImprintOptions{NPE: npe, Accelerated: true}); err != nil {
-		return nil, err
-	}
 
 	res := &FamilyResult{}
-	// Wrong window: the MSP430 family's published t_PEW.
-	got, err := core.ExtractSegment(dev, 0, core.ExtractOptions{TPEW: msp430Window})
-	if err != nil {
-		return nil, err
-	}
-	res.CrossBER = 100 * core.BER(got, wm, bits)
-
-	// Right window: calibrate ALT-NOR as its manufacturer would.
-	seeds := []uint64{0xA17A, 0xA17B}
-	if cfg.Fast {
-		seeds = seeds[:1]
-	}
-	cal, err := core.Calibrate(alt, seeds, npe, core.CalibrateOptions{
-		SweepLo:   28 * time.Microsecond,
-		SweepHi:   48 * time.Microsecond,
-		SweepStep: 500 * time.Nanosecond,
+	// Two independent chains fan out: the device-under-test (imprint +
+	// wrong-window extraction) and the manufacturer's calibration sweep
+	// (its own fresh devices). The own-window extraction reuses the
+	// device under test AND the calibration result, so it runs serially
+	// after the join.
+	var dev *mcu.Device
+	var cal core.Calibration
+	err := parallel.ForEach(cfg.pool(), 2, func(i int) error {
+		if i == 0 {
+			d, err := mcu.NewDevice(alt, cfg.Seed^0xFA11)
+			if err != nil {
+				return err
+			}
+			if err := core.ImprintSegment(d, 0, wm, core.ImprintOptions{NPE: npe, Accelerated: true}); err != nil {
+				return err
+			}
+			// Wrong window: the MSP430 family's published t_PEW.
+			got, err := core.ExtractSegment(d, 0, core.ExtractOptions{TPEW: msp430Window})
+			if err != nil {
+				return err
+			}
+			dev = d
+			res.CrossBER = 100 * core.BER(got, wm, bits)
+			return nil
+		}
+		// Right window: calibrate ALT-NOR as its manufacturer would.
+		seeds := []uint64{0xA17A, 0xA17B}
+		if cfg.Fast {
+			seeds = seeds[:1]
+		}
+		c, err := core.Calibrate(alt, seeds, npe, core.CalibrateOptions{
+			SweepLo:   28 * time.Microsecond,
+			SweepHi:   48 * time.Microsecond,
+			SweepStep: 500 * time.Nanosecond,
+		})
+		if err != nil {
+			return err
+		}
+		cal = c
+		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	res.AltWindow = cal.Best
-	got, err = core.ExtractSegment(dev, 0, core.ExtractOptions{TPEW: cal.Best})
+	got, err := core.ExtractSegment(dev, 0, core.ExtractOptions{TPEW: cal.Best})
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/flashmark/flashmark/internal/core"
+	"github.com/flashmark/flashmark/internal/parallel"
 	"github.com/flashmark/flashmark/internal/report"
 )
 
@@ -49,8 +50,77 @@ func Fig11(cfg Config) (*Fig11Result, error) {
 		Title:   "Fig. 11 — minimum BER with replicated watermarks",
 		Columns: []string{"N_PE", "replicas", "min BER (%)", "at t_PE (µs)", "window width (µs)", "paper (%)"},
 	}
+	// The (N_PE × replica count) grid is flattened onto the engine — one
+	// independent device per cell — and the table rows, plot series and
+	// result maps are assembled serially in the original nested order.
+	type cellOut struct {
+		series report.Series
+		minBER float64
+		bestT  time.Duration
+		width  time.Duration
+	}
+	nReps := len(replicaCounts)
+	outs, err := parallel.Map(cfg.pool(), len(levels)*nReps, func(idx int) (cellOut, error) {
+		npe, reps := levels[idx/nReps], replicaCounts[idx%nReps]
+		// Payload sized so `reps` replicas fill the segment.
+		payloadWords := segWords / reps
+		payload := core.ReferenceWatermark(payloadWords)
+		img, err := core.Replicate(payload, reps, segWords)
+		if err != nil {
+			return cellOut{}, err
+		}
+		dev, err := cfg.newDevice(uint64(npe)*31 + uint64(reps))
+		if err != nil {
+			return cellOut{}, err
+		}
+		if err := core.ImprintSegment(dev, 0, img, core.ImprintOptions{NPE: npe, Accelerated: true}); err != nil {
+			return cellOut{}, err
+		}
+		out := cellOut{series: report.Series{Name: itoa(reps) + " replicas"}, minBER: 101.0}
+		type pt struct {
+			t   time.Duration
+			ber float64
+		}
+		var pts []pt
+		for t := lo; t <= hi; t += step {
+			extracted, err := core.ExtractSegment(dev, 0, core.ExtractOptions{TPEW: t})
+			if err != nil {
+				return cellOut{}, err
+			}
+			voted, err := core.MajorityDecode(extracted, payloadWords, reps, bits)
+			if err != nil {
+				return cellOut{}, err
+			}
+			ber := 100 * core.BER(voted, payload, bits)
+			pts = append(pts, pt{t, ber})
+			out.series.X = append(out.series.X, us(t))
+			out.series.Y = append(out.series.Y, ber)
+			if ber < out.minBER {
+				out.minBER, out.bestT = ber, t
+			}
+		}
+		// Window: span of usable operating points (BER under an
+		// absolute 5% budget). A fixed budget makes widths
+		// comparable across replica counts — the paper's point is
+		// that replication widens this region.
+		const limit = 5.0
+		var winLo, winHi time.Duration
+		for _, p := range pts {
+			if p.ber <= limit {
+				if winLo == 0 {
+					winLo = p.t
+				}
+				winHi = p.t
+			}
+		}
+		out.width = winHi - winLo
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var plots []report.Plot
-	for _, npe := range levels {
+	for li, npe := range levels {
 		res.MinBER[npe] = map[int]float64{}
 		res.WindowWidth[npe] = map[int]time.Duration{}
 		plot := report.Plot{
@@ -58,62 +128,10 @@ func Fig11(cfg Config) (*Fig11Result, error) {
 			XLabel: "t_PE (µs)",
 			YLabel: "BER (%)",
 		}
-		for _, reps := range replicaCounts {
-			// Payload sized so `reps` replicas fill the segment.
-			payloadWords := segWords / reps
-			payload := core.ReferenceWatermark(payloadWords)
-			img, err := core.Replicate(payload, reps, segWords)
-			if err != nil {
-				return nil, err
-			}
-			dev, err := cfg.newDevice(uint64(npe)*31 + uint64(reps))
-			if err != nil {
-				return nil, err
-			}
-			if err := core.ImprintSegment(dev, 0, img, core.ImprintOptions{NPE: npe, Accelerated: true}); err != nil {
-				return nil, err
-			}
-			series := report.Series{Name: itoa(reps) + " replicas"}
-			minBER, bestT := 101.0, time.Duration(0)
-			type pt struct {
-				t   time.Duration
-				ber float64
-			}
-			var pts []pt
-			for t := lo; t <= hi; t += step {
-				extracted, err := core.ExtractSegment(dev, 0, core.ExtractOptions{TPEW: t})
-				if err != nil {
-					return nil, err
-				}
-				voted, err := core.MajorityDecode(extracted, payloadWords, reps, bits)
-				if err != nil {
-					return nil, err
-				}
-				ber := 100 * core.BER(voted, payload, bits)
-				pts = append(pts, pt{t, ber})
-				series.X = append(series.X, us(t))
-				series.Y = append(series.Y, ber)
-				if ber < minBER {
-					minBER, bestT = ber, t
-				}
-			}
-			// Window: span of usable operating points (BER under an
-			// absolute 5% budget). A fixed budget makes widths
-			// comparable across replica counts — the paper's point is
-			// that replication widens this region.
-			const limit = 5.0
-			var winLo, winHi time.Duration
-			for _, p := range pts {
-				if p.ber <= limit {
-					if winLo == 0 {
-						winLo = p.t
-					}
-					winHi = p.t
-				}
-			}
-			width := winHi - winLo
-			res.MinBER[npe][reps] = minBER
-			res.WindowWidth[npe][reps] = width
+		for ri, reps := range replicaCounts {
+			out := outs[li*nReps+ri]
+			res.MinBER[npe][reps] = out.minBER
+			res.WindowWidth[npe][reps] = out.width
 			paper := "-"
 			if npe == 40_000 {
 				if p, ok := paperFig11MinBER40K[reps]; ok {
@@ -123,8 +141,8 @@ func Fig11(cfg Config) (*Fig11Result, error) {
 			if npe == 70_000 && reps == 3 {
 				paper = "0"
 			}
-			tbl.AddRow(levelName(npe), reps, minBER, us(bestT), us(width), paper)
-			plot.Series = append(plot.Series, series)
+			tbl.AddRow(levelName(npe), reps, out.minBER, us(out.bestT), us(out.width), paper)
+			plot.Series = append(plot.Series, out.series)
 		}
 		plots = append(plots, plot)
 	}

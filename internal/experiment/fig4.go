@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/flashmark/flashmark/internal/core"
+	"github.com/flashmark/flashmark/internal/parallel"
 	"github.com/flashmark/flashmark/internal/report"
 )
 
@@ -48,10 +49,19 @@ func Fig4(cfg Config) (*Fig4Result, error) {
 	plot.XLabel = "t_PE (µs)"
 	plot.YLabel = "cells_0"
 
-	for _, level := range levels {
+	// Each stress level is an independent device: fan the fabrication,
+	// pre-conditioning and characterization sweep out on the engine and
+	// assemble tables/plots serially, in level order, from the indexed
+	// results.
+	type levelOut struct {
+		points []core.CharacterizePoint
+		at     time.Duration
+	}
+	outs, err := parallel.Map(cfg.pool(), len(levels), func(i int) (levelOut, error) {
+		level := levels[i]
 		dev, err := cfg.newDevice(uint64(level) + 4)
 		if err != nil {
-			return nil, err
+			return levelOut{}, err
 		}
 		// Pre-condition the segment: level P/E cycles with every cell
 		// programmed each cycle (the paper's stress procedure).
@@ -59,18 +69,25 @@ func Fig4(cfg Config) (*Fig4Result, error) {
 			zeros := make([]uint64, cfg.Part.Geometry.WordsPerSegment())
 			err = core.ImprintSegment(dev, 0, zeros, core.ImprintOptions{NPE: level, Accelerated: true})
 			if err != nil {
-				return nil, err
+				return levelOut{}, err
 			}
 		}
 		points, err := core.CharacterizeSegment(dev, 0, core.CharacterizeOptions{Step: step, Reads: 3})
 		if err != nil {
-			return nil, err
+			return levelOut{}, err
 		}
-		res.Curves[level] = points
 		at, ok := core.AllErasedTime(points)
 		if !ok {
 			at = dev.Part().Timing.SegmentErase
 		}
+		return levelOut{points: points, at: at}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, level := range levels {
+		points, at := outs[i].points, outs[i].at
+		res.Curves[level] = points
 		res.AllErased[level] = at
 		if p, ok := paperFig4AllErased[level]; ok {
 			tbl.AddRow(level, us(at), p)

@@ -4,6 +4,8 @@ import (
 	"time"
 
 	"github.com/flashmark/flashmark/internal/core"
+	"github.com/flashmark/flashmark/internal/mcu"
+	"github.com/flashmark/flashmark/internal/parallel"
 	"github.com/flashmark/flashmark/internal/report"
 )
 
@@ -33,16 +35,38 @@ func Fig5(cfg Config) (*Fig5Result, error) {
 		step = 2 * time.Microsecond
 	}
 
-	fresh, err := cfg.newDevice(5)
+	// The two devices (fresh, 50 K-stressed) are independent chips; each
+	// item fabricates its device and runs the full t_PEW sweep on it, so
+	// both sweeps proceed concurrently with per-device operation order —
+	// and therefore per-device physics — unchanged.
+	sweeps, err := parallel.Map(cfg.pool(), 2, func(i int) ([]int, error) {
+		var dev *mcu.Device
+		var err error
+		if i == 0 {
+			dev, err = cfg.newDevice(5)
+		} else {
+			dev, err = cfg.newDevice(55)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if i == 1 {
+			zeros := make([]uint64, cfg.Part.Geometry.WordsPerSegment())
+			if err := core.ImprintSegment(dev, 0, zeros, core.ImprintOptions{NPE: stress, Accelerated: true}); err != nil {
+				return nil, err
+			}
+		}
+		var counts []int
+		for t := lo; t <= hi; t += step {
+			n, err := core.DetectStress(dev, 0, t, 1)
+			if err != nil {
+				return nil, err
+			}
+			counts = append(counts, n)
+		}
+		return counts, nil
+	})
 	if err != nil {
-		return nil, err
-	}
-	worn, err := cfg.newDevice(55)
-	if err != nil {
-		return nil, err
-	}
-	zeros := make([]uint64, cfg.Part.Geometry.WordsPerSegment())
-	if err := core.ImprintSegment(worn, 0, zeros, core.ImprintOptions{NPE: stress, Accelerated: true}); err != nil {
 		return nil, err
 	}
 
@@ -55,15 +79,8 @@ func Fig5(cfg Config) (*Fig5Result, error) {
 		Title:   "Fig. 5 — one-round stress detection: programmed cells after partial erase at t_PEW",
 		Columns: []string{"t_PEW (µs)", "fresh cells_0", "50K cells_0", "distinguishable bits"},
 	}
-	for t := lo; t <= hi; t += step {
-		fCount, err := core.DetectStress(fresh, 0, t, 1)
-		if err != nil {
-			return nil, err
-		}
-		wCount, err := core.DetectStress(worn, 0, t, 1)
-		if err != nil {
-			return nil, err
-		}
+	for i, t := 0, lo; t <= hi; i, t = i+1, t+step {
+		fCount, wCount := sweeps[0][i], sweeps[1][i]
 		// A bit distinguishes the two when the fresh cell reads erased
 		// and the stressed cell reads programmed; with independent cells
 		// the expected count is the product of the marginal fractions.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/flashmark/flashmark/internal/core"
+	"github.com/flashmark/flashmark/internal/parallel"
 	"github.com/flashmark/flashmark/internal/report"
 )
 
@@ -15,20 +16,26 @@ func init() { register("fig6", RunFig6) }
 // physical pattern (paper Fig. 6).
 func Fig6(cfg Config) (*Artifact, error) {
 	cfg = cfg.withDefaults()
-	dev, err := cfg.newDevice(6)
-	if err != nil {
-		return nil, err
-	}
 	const word = 0x5443 // "TC"
-	wm := make([]uint64, cfg.Part.Geometry.WordsPerSegment())
-	for i := range wm {
-		wm[i] = word
-	}
 	cycles := 4
-	steps, err := core.ImprintWordTrace(dev, 0, wm, cycles)
+	// The trace follows one word on one device cycle by cycle — an
+	// inherently serial experiment; it rides the engine as a single item
+	// so the Workers knob is honored uniformly across the registry.
+	traces, err := parallel.Map(cfg.pool(), 1, func(int) ([]core.TraceStep, error) {
+		dev, err := cfg.newDevice(6)
+		if err != nil {
+			return nil, err
+		}
+		wm := make([]uint64, cfg.Part.Geometry.WordsPerSegment())
+		for i := range wm {
+			wm[i] = word
+		}
+		return core.ImprintWordTrace(dev, 0, wm, cycles)
+	})
 	if err != nil {
 		return nil, err
 	}
+	steps := traces[0]
 	bits := cfg.Part.Geometry.WordBits()
 	tbl := report.Table{
 		Title:   `Fig. 6 — imprinting "TC" = 5443h into one flash word`,

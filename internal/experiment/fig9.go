@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/flashmark/flashmark/internal/core"
+	"github.com/flashmark/flashmark/internal/parallel"
 	"github.com/flashmark/flashmark/internal/report"
 )
 
@@ -49,31 +50,46 @@ func Fig9(cfg Config) (*Fig9Result, error) {
 		Title:   "Fig. 9 — minimum single-read extraction BER per imprint count",
 		Columns: []string{"N_PE", "min BER (%)", "at t_PE (µs)", "paper min BER (%)"},
 	}
-	for _, npe := range levels {
+	// One device per stress level; each item imprints and runs the full
+	// extraction sweep, and the indexed results are folded into the plot
+	// and table serially in level order.
+	type levelOut struct {
+		series report.Series
+		minBER float64
+		bestT  time.Duration
+	}
+	outs, err := parallel.Map(cfg.pool(), len(levels), func(i int) (levelOut, error) {
+		npe := levels[i]
 		dev, err := cfg.newDevice(uint64(npe) + 9)
 		if err != nil {
-			return nil, err
+			return levelOut{}, err
 		}
 		if npe > 0 {
 			if err := core.ImprintSegment(dev, 0, wm, core.ImprintOptions{NPE: npe, Accelerated: true}); err != nil {
-				return nil, err
+				return levelOut{}, err
 			}
 		}
-		series := report.Series{Name: levelName(npe)}
-		minBER, bestT := 101.0, time.Duration(0)
+		out := levelOut{series: report.Series{Name: levelName(npe)}, minBER: 101.0}
 		for t := lo; t <= hi; t += step {
 			got, err := core.ExtractSegment(dev, 0, core.ExtractOptions{TPEW: t})
 			if err != nil {
-				return nil, err
+				return levelOut{}, err
 			}
 			ber := 100 * core.BER(got, wm, bits)
-			series.X = append(series.X, us(t))
-			series.Y = append(series.Y, ber)
-			if ber < minBER {
-				minBER, bestT = ber, t
+			out.series.X = append(out.series.X, us(t))
+			out.series.Y = append(out.series.Y, ber)
+			if ber < out.minBER {
+				out.minBER, out.bestT = ber, t
 			}
 		}
-		plot.Series = append(plot.Series, series)
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, npe := range levels {
+		minBER, bestT := outs[i].minBER, outs[i].bestT
+		plot.Series = append(plot.Series, outs[i].series)
 		res.MinBER[npe] = minBER
 		res.BestTPEW[npe] = bestT
 		if paper, ok := paperFig9MinBER[npe]; ok {

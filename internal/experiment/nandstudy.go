@@ -6,6 +6,7 @@ import (
 	"github.com/flashmark/flashmark/internal/core"
 	"github.com/flashmark/flashmark/internal/floatgate"
 	"github.com/flashmark/flashmark/internal/nand"
+	"github.com/flashmark/flashmark/internal/parallel"
 	"github.com/flashmark/flashmark/internal/report"
 )
 
@@ -61,55 +62,72 @@ func NANDStudy(cfg Config) (*NANDStudyResult, error) {
 		YLabel: "BER (%)",
 	}
 	cells := geom.CellsPerBlock()
-	for _, npe := range levels {
-		dev, err := nand.NewDevice(geom, nand.SLCTiming(), floatgate.DefaultParams(), cfg.Seed^uint64(npe))
-		if err != nil {
-			return nil, err
-		}
-		start := dev.Clock().Now()
-		if err := nand.ImprintBlock(dev, 0, wm, nand.ImprintOptions{NPE: npe, Accelerated: true}); err != nil {
-			return nil, err
-		}
-		res.ImprintTime[npe] = dev.Clock().Now() - start
-
-		series := report.Series{Name: levelName(npe)}
-		minBER, bestT := 101.0, time.Duration(0)
-		for t := lo; t <= hi; t += step {
-			got, err := nand.ExtractBlock(dev, 0, t)
+	// Per level there are TWO independent devices — the NAND block under
+	// test and the NOR comparison chip — so the grid fans out as
+	// levels × {nand, nor} with per-device operation order untouched.
+	type sweepOut struct {
+		series  report.Series
+		minBER  float64
+		bestT   time.Duration
+		imprint time.Duration
+	}
+	outs, err := parallel.Map(cfg.pool(), 2*len(levels), func(idx int) (sweepOut, error) {
+		npe := levels[idx/2]
+		if idx%2 == 0 {
+			dev, err := nand.NewDevice(geom, nand.SLCTiming(), floatgate.DefaultParams(), cfg.Seed^uint64(npe))
 			if err != nil {
-				return nil, err
+				return sweepOut{}, err
 			}
-			ber := 100 * float64(nand.BitErrors(got, wm)) / float64(cells)
-			series.X = append(series.X, us(t))
-			series.Y = append(series.Y, ber)
-			if ber < minBER {
-				minBER, bestT = ber, t
+			start := dev.Clock().Now()
+			if err := nand.ImprintBlock(dev, 0, wm, nand.ImprintOptions{NPE: npe, Accelerated: true}); err != nil {
+				return sweepOut{}, err
 			}
+			out := sweepOut{series: report.Series{Name: levelName(npe)}, minBER: 101.0, imprint: dev.Clock().Now() - start}
+			for t := lo; t <= hi; t += step {
+				got, err := nand.ExtractBlock(dev, 0, t)
+				if err != nil {
+					return sweepOut{}, err
+				}
+				ber := 100 * float64(nand.BitErrors(got, wm)) / float64(cells)
+				out.series.X = append(out.series.X, us(t))
+				out.series.Y = append(out.series.Y, ber)
+				if ber < out.minBER {
+					out.minBER, out.bestT = ber, t
+				}
+			}
+			return out, nil
 		}
-		res.MinBER[npe] = minBER
-		plot.Series = append(plot.Series, series)
-
 		// NOR comparison at the same stress, same sweep.
 		norDev, err := cfg.newDevice(uint64(npe) + 0x4E)
 		if err != nil {
-			return nil, err
+			return sweepOut{}, err
 		}
 		norWM := core.ReferenceWatermark(cfg.Part.Geometry.WordsPerSegment())
 		if err := core.ImprintSegment(norDev, 0, norWM, core.ImprintOptions{NPE: npe, Accelerated: true}); err != nil {
-			return nil, err
+			return sweepOut{}, err
 		}
-		norMin := 101.0
+		out := sweepOut{minBER: 101.0}
 		for t := lo; t <= hi; t += step {
 			got, err := core.ExtractSegment(norDev, 0, core.ExtractOptions{TPEW: t})
 			if err != nil {
-				return nil, err
+				return sweepOut{}, err
 			}
-			if ber := 100 * core.BER(got, norWM, cfg.Part.Geometry.WordBits()); ber < norMin {
-				norMin = ber
+			if ber := 100 * core.BER(got, norWM, cfg.Part.Geometry.WordBits()); ber < out.minBER {
+				out.minBER = ber
 			}
 		}
-		res.NORMinBER[npe] = norMin
-		tbl.AddRow(levelName(npe), minBER, us(bestT), norMin, res.ImprintTime[npe].Seconds())
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for li, npe := range levels {
+		nandOut, norOut := outs[2*li], outs[2*li+1]
+		res.ImprintTime[npe] = nandOut.imprint
+		res.MinBER[npe] = nandOut.minBER
+		res.NORMinBER[npe] = norOut.minBER
+		plot.Series = append(plot.Series, nandOut.series)
+		tbl.AddRow(levelName(npe), nandOut.minBER, us(nandOut.bestT), norOut.minBER, nandOut.imprint.Seconds())
 	}
 	tbl.AddNote("same cell physics, block/page discipline instead of segment/word; the procedure carries over")
 	res.Artifact = &Artifact{

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/flashmark/flashmark/internal/core"
+	"github.com/flashmark/flashmark/internal/parallel"
 	"github.com/flashmark/flashmark/internal/report"
 )
 
@@ -54,32 +55,49 @@ func Retention(cfg Config) (*RetentionResult, error) {
 	}
 	series := report.Series{Name: "single-read BER"}
 
-	dev, err := cfg.newDevice(0x0E7)
+	// The ages accumulate on ONE device (each extraction also wears it),
+	// so the chain is inherently serial: it rides the engine as a single
+	// item so the Workers knob is honored uniformly across the registry.
+	type ageOut struct {
+		raw     float64
+		majErrs int
+	}
+	chains, err := parallel.Map(cfg.pool(), 1, func(int) ([]ageOut, error) {
+		dev, err := cfg.newDevice(0x0E7)
+		if err != nil {
+			return nil, err
+		}
+		if err := core.ImprintSegment(dev, 0, img, core.ImprintOptions{NPE: npe, Accelerated: true}); err != nil {
+			return nil, err
+		}
+		var outs []ageOut
+		for _, age := range ages {
+			if err := dev.Age(float64(age)); err != nil {
+				return nil, err
+			}
+			extracted, err := core.ExtractSegment(dev, 0, core.ExtractOptions{TPEW: tpew})
+			if err != nil {
+				return nil, err
+			}
+			raw := 100 * core.BER(extracted[:len(payload)], payload, bits)
+			voted, err := core.MajorityDecode(extracted, len(payload), replicas, bits)
+			if err != nil {
+				return nil, err
+			}
+			outs = append(outs, ageOut{raw: raw, majErrs: core.BitErrors(voted, payload, bits)})
+		}
+		return outs, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	if err := core.ImprintSegment(dev, 0, img, core.ImprintOptions{NPE: npe, Accelerated: true}); err != nil {
-		return nil, err
-	}
-	for _, age := range ages {
-		if err := dev.Age(float64(age)); err != nil {
-			return nil, err
-		}
-		extracted, err := core.ExtractSegment(dev, 0, core.ExtractOptions{TPEW: tpew})
-		if err != nil {
-			return nil, err
-		}
-		raw := 100 * core.BER(extracted[:len(payload)], payload, bits)
-		voted, err := core.MajorityDecode(extracted, len(payload), replicas, bits)
-		if err != nil {
-			return nil, err
-		}
-		majErrs := core.BitErrors(voted, payload, bits)
-		res.BERByAge[age] = raw
-		res.MajorityErrsByAge[age] = majErrs
-		tbl.AddRow(age, raw, majErrs)
+	for i, age := range ages {
+		out := chains[0][i]
+		res.BERByAge[age] = out.raw
+		res.MajorityErrsByAge[age] = out.majErrs
+		tbl.AddRow(age, out.raw, out.majErrs)
 		series.X = append(series.X, float64(age))
-		series.Y = append(series.Y, raw)
+		series.Y = append(series.Y, out.raw)
 	}
 	tbl.AddNote("retention drift slows damaged cells further, so aging does not erase the watermark")
 	res.Artifact = &Artifact{

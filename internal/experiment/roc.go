@@ -6,6 +6,7 @@ import (
 
 	"github.com/flashmark/flashmark/internal/core"
 	"github.com/flashmark/flashmark/internal/counterfeit"
+	"github.com/flashmark/flashmark/internal/parallel"
 	"github.com/flashmark/flashmark/internal/report"
 	"github.com/flashmark/flashmark/internal/wmcode"
 )
@@ -64,21 +65,33 @@ func ROC(cfg Config) (*ROCResult, error) {
 		return float64(programmed) / float64(cells), nil
 	}
 
+	// Every chip is an independent fabricate-and-probe: flatten fresh and
+	// recycled chips into one job list and fan it out; fractions land by
+	// index so the population ordering (and output) never changes.
+	type chipJob struct {
+		class counterfeit.ChipClass
+		wear  int
+		seed  uint64
+	}
+	var chips []chipJob
 	for i := 0; i < freshChips; i++ {
-		frac, err := measure(counterfeit.ClassGenuineAccept, 10_000, 0xF0C0+uint64(i))
-		if err != nil {
-			return nil, err
-		}
-		res.FreshFractions = append(res.FreshFractions, frac)
+		chips = append(chips, chipJob{counterfeit.ClassGenuineAccept, 10_000, 0xF0C0 + uint64(i)})
 	}
 	for _, life := range lives {
 		for i := 0; i < recycledPerLevel; i++ {
-			frac, err := measure(counterfeit.ClassRecycled, life, 0xF1C0+uint64(life)+uint64(i))
-			if err != nil {
-				return nil, err
-			}
-			res.RecycledFractions[life] = append(res.RecycledFractions[life], frac)
+			chips = append(chips, chipJob{counterfeit.ClassRecycled, life, 0xF1C0 + uint64(life) + uint64(i)})
 		}
+	}
+	fracs, err := parallel.Map(cfg.pool(), len(chips), func(i int) (float64, error) {
+		return measure(chips[i].class, chips[i].wear, chips[i].seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.FreshFractions = fracs[:freshChips]
+	for li, life := range lives {
+		start := freshChips + li*recycledPerLevel
+		res.RecycledFractions[life] = fracs[start : start+recycledPerLevel]
 	}
 
 	dist := report.Table{

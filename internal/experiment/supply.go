@@ -5,6 +5,7 @@ import (
 
 	"github.com/flashmark/flashmark/internal/baseline"
 	"github.com/flashmark/flashmark/internal/counterfeit"
+	"github.com/flashmark/flashmark/internal/parallel"
 	"github.com/flashmark/flashmark/internal/report"
 	"github.com/flashmark/flashmark/internal/wmcode"
 )
@@ -85,7 +86,7 @@ func SupplyChain(cfg Config) (*SupplyResult, error) {
 	for _, o := range outcomes {
 		i := reIndex[o.Class]
 		reIndex[o.Class] = i + 1
-		seed := cfg.Seed ^ (uint64(o.Class) << 32) ^ uint64(i)*0x9E3779B97F4A7C15
+		seed := parallel.SubSeed(cfg.Seed^(uint64(o.Class)<<32), uint64(i))
 		die++
 		dev, err := counterfeit.Fabricate(o.Class, factory, seed, die)
 		if err != nil {

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/flashmark/flashmark/internal/core"
+	"github.com/flashmark/flashmark/internal/parallel"
 	"github.com/flashmark/flashmark/internal/report"
 )
 
@@ -39,40 +40,60 @@ func Temperature(cfg Config) (*TemperatureResult, error) {
 	bits := cfg.Part.Geometry.WordBits()
 	coeff := cfg.Part.Params.TempCoeffPerC
 
-	dev, err := cfg.newDevice(0x7E43)
-	if err != nil {
-		return nil, err
-	}
-	if err := core.ImprintSegment(dev, 0, wm, core.ImprintOptions{NPE: npe, Accelerated: true}); err != nil {
-		return nil, err
-	}
-
 	res := &TemperatureResult{FixedBER: map[int]float64{}, CompensatedBER: map[int]float64{}}
 	tbl := report.Table{
 		Title:   "EXT-TEMP — verification across the commercial temperature range (80 K imprint, calibrated at 25 °C)",
 		Columns: []string{"ambient (°C)", "fixed t_PEW BER (%)", "compensated t_PEW (µs)", "compensated BER (%)"},
 	}
-	for _, temp := range temps {
-		if err := dev.SetAmbientTempC(float64(temp)); err != nil {
-			return nil, err
-		}
-		got, err := core.ExtractSegment(dev, 0, core.ExtractOptions{TPEW: baseTPEW})
+	// The temperature ladder reuses ONE imprinted device — every
+	// extraction also wears it, so the sweep order is load-bearing and
+	// the chain rides the engine as a single serial item.
+	type tempOut struct {
+		fixed, comp float64
+		compTPEW    time.Duration
+	}
+	chains, err := parallel.Map(cfg.pool(), 1, func(int) ([]tempOut, error) {
+		dev, err := cfg.newDevice(0x7E43)
 		if err != nil {
 			return nil, err
 		}
-		fixed := 100 * core.BER(got, wm, bits)
-		// Compensation: the erase slows by (1 + coeff*(25-T)); stretch the
-		// pulse by the same factor.
-		factor := 1 + coeff*(25-float64(temp))
-		compTPEW := time.Duration(float64(baseTPEW) * factor)
-		got, err = core.ExtractSegment(dev, 0, core.ExtractOptions{TPEW: compTPEW})
-		if err != nil {
+		if err := core.ImprintSegment(dev, 0, wm, core.ImprintOptions{NPE: npe, Accelerated: true}); err != nil {
 			return nil, err
 		}
-		comp := 100 * core.BER(got, wm, bits)
-		res.FixedBER[temp] = fixed
-		res.CompensatedBER[temp] = comp
-		tbl.AddRow(temp, fixed, us(compTPEW), comp)
+		var outs []tempOut
+		for _, temp := range temps {
+			if err := dev.SetAmbientTempC(float64(temp)); err != nil {
+				return nil, err
+			}
+			got, err := core.ExtractSegment(dev, 0, core.ExtractOptions{TPEW: baseTPEW})
+			if err != nil {
+				return nil, err
+			}
+			fixed := 100 * core.BER(got, wm, bits)
+			// Compensation: the erase slows by (1 + coeff*(25-T)); stretch
+			// the pulse by the same factor.
+			factor := 1 + coeff*(25-float64(temp))
+			compTPEW := time.Duration(float64(baseTPEW) * factor)
+			got, err = core.ExtractSegment(dev, 0, core.ExtractOptions{TPEW: compTPEW})
+			if err != nil {
+				return nil, err
+			}
+			outs = append(outs, tempOut{
+				fixed:    fixed,
+				comp:     100 * core.BER(got, wm, bits),
+				compTPEW: compTPEW,
+			})
+		}
+		return outs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, temp := range temps {
+		out := chains[0][i]
+		res.FixedBER[temp] = out.fixed
+		res.CompensatedBER[temp] = out.comp
+		tbl.AddRow(temp, out.fixed, us(out.compTPEW), out.comp)
 	}
 	tbl.AddNote("the published extraction window should carry the family's temperature coefficient (here %.3f per °C)", coeff)
 	res.Artifact = &Artifact{

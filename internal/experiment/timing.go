@@ -5,6 +5,7 @@ import (
 
 	"github.com/flashmark/flashmark/internal/core"
 	"github.com/flashmark/flashmark/internal/mcu"
+	"github.com/flashmark/flashmark/internal/parallel"
 	"github.com/flashmark/flashmark/internal/report"
 	"github.com/flashmark/flashmark/internal/vclock"
 )
@@ -48,24 +49,82 @@ func Timing(cfg Config) (*TimingResult, error) {
 		Title:   "§V — imprint time per procedure and stress count",
 		Columns: []string{"N_PE", "procedure", "time (s)", "paper (s)", "speedup"},
 	}
+	// Every timing measurement below runs on its own device (baseline vs
+	// accelerated imprints per level, the extraction breakdown, and the
+	// fast-NOR projections), so the whole study is one fan-out: a flat
+	// item list with a union result, assembled serially afterwards.
+	type item struct {
+		kind string // "imprint" | "extract" | "fastnor"
+		npe  int
+		acc  bool
+	}
+	var items []item
 	for _, npe := range levels {
-		var baseline, accelerated time.Duration
 		for _, acc := range []bool{false, true} {
-			dev, err := cfg.newDevice(uint64(npe)*7 + 1)
+			items = append(items, item{kind: "imprint", npe: npe, acc: acc})
+		}
+	}
+	extractIdx := len(items)
+	items = append(items, item{kind: "extract"})
+	fastIdx := len(items)
+	items = append(items, item{kind: "fastnor", acc: false}, item{kind: "fastnor", acc: true})
+
+	type itemOut struct {
+		elapsed time.Duration
+		ledger  map[vclock.OpClass]time.Duration
+	}
+	outs, err := parallel.Map(cfg.pool(), len(items), func(i int) (itemOut, error) {
+		switch it := items[i]; it.kind {
+		case "imprint":
+			dev, err := cfg.newDevice(uint64(it.npe)*7 + 1)
 			if err != nil {
-				return nil, err
+				return itemOut{}, err
 			}
 			start := dev.Clock().Now()
-			if err := core.ImprintSegment(dev, 0, wm, core.ImprintOptions{NPE: npe, Accelerated: acc}); err != nil {
-				return nil, err
+			if err := core.ImprintSegment(dev, 0, wm, core.ImprintOptions{NPE: it.npe, Accelerated: it.acc}); err != nil {
+				return itemOut{}, err
 			}
-			elapsed := dev.Clock().Now() - start
-			if acc {
-				accelerated = elapsed
-			} else {
-				baseline = elapsed
+			return itemOut{elapsed: dev.Clock().Now() - start}, nil
+		case "extract":
+			// Extraction time: one extraction of a 7-replica watermark
+			// with 3 majority reads, including the serial host readout of
+			// the raw data.
+			dev, err := cfg.newDevice(99)
+			if err != nil {
+				return itemOut{}, err
 			}
+			if err := core.ImprintSegment(dev, 0, wm, core.ImprintOptions{NPE: 1000, Accelerated: true}); err != nil {
+				return itemOut{}, err
+			}
+			start := dev.Clock().Now()
+			startLedger := dev.Ledger().Snapshot()
+			if _, err := core.ExtractSegment(dev, 0, core.ExtractOptions{
+				TPEW:        25 * time.Microsecond,
+				Reads:       3,
+				HostReadout: true,
+			}); err != nil {
+				return itemOut{}, err
+			}
+			return itemOut{elapsed: dev.Clock().Now() - start, ledger: dev.Ledger().Sub(startLedger)}, nil
+		default: // "fastnor"
+			fdev, err := mcu.NewDevice(mcu.PartFastNOR(), cfg.Seed^0xFA57)
+			if err != nil {
+				return itemOut{}, err
+			}
+			fwm := core.ReferenceWatermark(mcu.PartFastNOR().Geometry.WordsPerSegment())
+			start := fdev.Clock().Now()
+			if err := core.ImprintSegment(fdev, 0, fwm, core.ImprintOptions{NPE: 40_000, Accelerated: it.acc}); err != nil {
+				return itemOut{}, err
+			}
+			return itemOut{elapsed: fdev.Clock().Now() - start}, nil
 		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for li, npe := range levels {
+		baseline := outs[2*li].elapsed
+		accelerated := outs[2*li+1].elapsed
 		res.ImprintBaseline[npe] = baseline
 		res.ImprintAccelerated[npe] = accelerated
 		speedup := float64(baseline) / float64(accelerated)
@@ -75,26 +134,8 @@ func Timing(cfg Config) (*TimingResult, error) {
 	}
 	tbl.AddNote("paper reports a ~3.5x reduction from the premature erase exit")
 
-	// Extraction time: one extraction of a 7-replica watermark with 3
-	// majority reads, including the serial host readout of the raw data.
-	dev, err := cfg.newDevice(99)
-	if err != nil {
-		return nil, err
-	}
-	if err := core.ImprintSegment(dev, 0, wm, core.ImprintOptions{NPE: 1000, Accelerated: true}); err != nil {
-		return nil, err
-	}
-	start := dev.Clock().Now()
-	startLedger := dev.Ledger().Snapshot()
-	if _, err := core.ExtractSegment(dev, 0, core.ExtractOptions{
-		TPEW:        25 * time.Microsecond,
-		Reads:       3,
-		HostReadout: true,
-	}); err != nil {
-		return nil, err
-	}
-	res.Extract = dev.Clock().Now() - start
-	diff := dev.Ledger().Sub(startLedger)
+	res.Extract = outs[extractIdx].elapsed
+	diff := outs[extractIdx].ledger
 
 	etbl := report.Table{
 		Title:   "§V — extraction time breakdown (3-read, replicated watermark)",
@@ -115,21 +156,8 @@ func Timing(cfg Config) (*TimingResult, error) {
 		Title:   "EXT — imprint time on a stand-alone fast NOR part (paper §V projection)",
 		Columns: []string{"part", "procedure", "40K imprint (s)"},
 	}
-	for _, acc := range []bool{false, true} {
-		fdev, err := mcu.NewDevice(mcu.PartFastNOR(), cfg.Seed^0xFA57)
-		if err != nil {
-			return nil, err
-		}
-		fwm := core.ReferenceWatermark(mcu.PartFastNOR().Geometry.WordsPerSegment())
-		start := fdev.Clock().Now()
-		if err := core.ImprintSegment(fdev, 0, fwm, core.ImprintOptions{NPE: 40_000, Accelerated: acc}); err != nil {
-			return nil, err
-		}
-		name := "baseline"
-		if acc {
-			name = "accelerated"
-		}
-		ftbl.AddRow("FAST-NOR", name, (fdev.Clock().Now() - start).Seconds())
+	for j, name := range []string{"baseline", "accelerated"} {
+		ftbl.AddRow("FAST-NOR", name, outs[fastIdx+j].elapsed.Seconds())
 	}
 	ftbl.AddNote("MSP430-class part needs 1381 s / 386 s for the same imprint")
 

@@ -1,0 +1,133 @@
+// Package parallel is the repo's deterministic fan-out engine: a bounded
+// worker pool that runs independent, index-addressed work items and
+// collects their results by index, so output is byte-identical for any
+// worker count (including 1). Experiments and population runs are
+// embarrassingly parallel — every item owns its own deterministically
+// seeded mcu.Device — which is exactly the contract this package
+// enforces: items must not share mutable state, and per-item sub-seeds
+// derive from the same golden-ratio convention the experiment layer has
+// always used (see SubSeed).
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// seedMix is the 64-bit golden-ratio constant used throughout the repo
+// to split a base seed into per-item sub-seeds (splitmix64's increment).
+const seedMix = 0x9E3779B97F4A7C15
+
+// SubSeed derives the deterministic sub-seed of item `sub` from a base
+// seed, matching the experiment layer's historical convention
+// (seed ^ sub*seedMix); two items with distinct sub values get
+// decorrelated device identities.
+func SubSeed(seed, sub uint64) uint64 {
+	return seed ^ sub*seedMix
+}
+
+// Pool bounds the fan-out of Map and ForEach.
+type Pool struct {
+	// Workers is the maximum number of items in flight; zero or negative
+	// selects GOMAXPROCS. Workers == 1 runs items inline on the calling
+	// goroutine in index order (the exact serial execution).
+	Workers int
+}
+
+// workers resolves the effective worker count.
+func (p Pool) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// PanicError wraps a panic that escaped a work item so it propagates as
+// an ordinary error with the item index attached.
+type PanicError struct {
+	Index int
+	Value any
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: item %d panicked: %v", e.Index, e.Value)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to p.Workers
+// goroutines. All items are attempted regardless of failures (they are
+// independent, and deterministic output requires never racing a
+// cancellation); the returned error is the lowest-index failure, so the
+// error, like the results, is independent of the worker count. A panic
+// inside fn surfaces as a *PanicError rather than killing the process.
+func ForEach(p Pool, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := p.workers()
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := runItem(i, fn); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = runItem(i, fn)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runItem invokes fn(i) converting a panic into a *PanicError.
+func runItem(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r}
+		}
+	}()
+	return fn(i)
+}
+
+// Map runs fn(i) for every i in [0, n) on up to p.Workers goroutines and
+// returns the results indexed by item, so the output order never depends
+// on scheduling. Error and panic semantics match ForEach; on error the
+// partial results are discarded.
+func Map[T any](p Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(p, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

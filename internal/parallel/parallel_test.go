@@ -1,0 +1,164 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSubSeedConvention(t *testing.T) {
+	// The derivation must match the experiment layer's historical
+	// convention exactly: seed ^ sub*0x9E3779B97F4A7C15.
+	const seed = 0xF1A5_0001
+	for _, sub := range []uint64{0, 1, 4, 55, 100_000} {
+		want := uint64(seed) ^ sub*0x9E3779B97F4A7C15
+		if got := SubSeed(seed, sub); got != want {
+			t.Errorf("SubSeed(%#x, %d) = %#x, want %#x", uint64(seed), sub, got, want)
+		}
+	}
+}
+
+func TestSubSeedDistinct(t *testing.T) {
+	seen := map[uint64]uint64{}
+	for sub := uint64(0); sub < 10_000; sub++ {
+		s := SubSeed(0xF1A5_0001, sub)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("SubSeed collision: subs %d and %d both map to %#x", prev, sub, s)
+		}
+		seen[s] = sub
+	}
+}
+
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	fn := func(i int) (uint64, error) { return SubSeed(42, uint64(i)), nil }
+	want, err := Map(Pool{Workers: 1}, 257, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 7, runtime.GOMAXPROCS(0), 64} {
+		got, err := Map(Pool{Workers: w}, 257, fn)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result[%d] = %#x, want %#x", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndDefaults(t *testing.T) {
+	if err := ForEach(Pool{}, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+	var n atomic.Int64
+	if err := ForEach(Pool{Workers: -3}, 100, func(int) error { n.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 100 {
+		t.Fatalf("ran %d of 100 items", n.Load())
+	}
+}
+
+func TestFirstErrorIsLowestIndex(t *testing.T) {
+	// Whatever the scheduling, the reported error must be item 3's (the
+	// lowest failing index), so errors are as deterministic as results.
+	for _, w := range []int{1, 2, 8} {
+		err := ForEach(Pool{Workers: w}, 64, func(i int) error {
+			if i >= 3 && i%5 == 3 {
+				return fmt.Errorf("item %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 3 failed" {
+			t.Errorf("workers=%d: err = %v, want item 3 failed", w, err)
+		}
+	}
+}
+
+func TestAllItemsRunDespiteFailures(t *testing.T) {
+	var n atomic.Int64
+	err := ForEach(Pool{Workers: 4}, 50, func(i int) error {
+		n.Add(1)
+		if i%2 == 0 {
+			return errors.New("even item")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n.Load() != 50 {
+		t.Fatalf("ran %d of 50 items; failures must not cancel siblings", n.Load())
+	}
+}
+
+func TestPanicBecomesError(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		err := ForEach(Pool{Workers: w}, 10, func(i int) error {
+			if i == 6 {
+				panic("boom")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", w, err)
+		}
+		if pe.Index != 6 {
+			t.Errorf("workers=%d: panic index = %d, want 6", w, pe.Index)
+		}
+	}
+}
+
+func TestMapDiscardsResultsOnError(t *testing.T) {
+	got, err := Map(Pool{Workers: 4}, 10, func(i int) (int, error) {
+		if i == 9 {
+			return 0, errors.New("late failure")
+		}
+		return i, nil
+	})
+	if err == nil || got != nil {
+		t.Fatalf("got (%v, %v), want (nil, error)", got, err)
+	}
+}
+
+// TestMapRaceHammer drives the pool hard with a mix of succeeding,
+// failing and panicking items; run under -race it checks the engine
+// itself is data-race free while every slot is written concurrently.
+func TestMapRaceHammer(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		const n = 200
+		got, err := Map(Pool{Workers: 16}, n, func(i int) (uint64, error) {
+			switch {
+			case i%17 == 13:
+				return 0, fmt.Errorf("fail %d", i)
+			case i%31 == 29:
+				panic(i)
+			}
+			return SubSeed(uint64(round), uint64(i)), nil
+		})
+		if err == nil || got != nil {
+			t.Fatalf("round %d: got (%v, %v), want failure", round, got, err)
+		}
+		// Lowest failing index overall: min(13, 29) = 13.
+		if err.Error() != "fail 13" {
+			t.Fatalf("round %d: err = %q, want fail 13", round, err)
+		}
+	}
+}
+
+func TestForEachSingleItemInline(t *testing.T) {
+	// n == 1 must run inline regardless of the worker knob (no goroutine
+	// churn for the serial experiments that ride the engine).
+	var ran bool
+	if err := ForEach(Pool{Workers: 8}, 1, func(i int) error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("item did not run")
+	}
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Coverage gate: fails when total statement coverage drops below the
+# recorded baseline (scripts/coverage_baseline.txt). Raise the baseline
+# when coverage durably improves; never lower it to make CI pass.
+#
+# Usage: scripts/check_coverage.sh [coverprofile]
+set -eu
+
+profile=${1:-coverage.out}
+baseline=$(cat "$(dirname "$0")/coverage_baseline.txt")
+total=$(go tool cover -func="$profile" | awk '/^total:/ {gsub(/%/, "", $NF); print $NF}')
+
+echo "total coverage: ${total}% (baseline: ${baseline}%)"
+if ! awk -v t="$total" -v b="$baseline" 'BEGIN { exit (t + 0 >= b + 0) ? 0 : 1 }'; then
+    echo "FAIL: coverage ${total}% fell below the recorded baseline ${baseline}%" >&2
+    exit 1
+fi
