@@ -23,7 +23,7 @@ import (
 	"github.com/flashmark/flashmark/internal/wmcode"
 )
 
-func mustDevice(b *testing.B, seed uint64) *flashmark.Device {
+func mustDevice(b *testing.B, seed uint64) flashmark.Device {
 	b.Helper()
 	dev, err := flashmark.NewDevice(flashmark.PartSmallSim(), seed)
 	if err != nil {
@@ -32,7 +32,7 @@ func mustDevice(b *testing.B, seed uint64) *flashmark.Device {
 	return dev
 }
 
-func mustImprint(b *testing.B, dev *flashmark.Device, wm []uint64, npe int) {
+func mustImprint(b *testing.B, dev flashmark.Device, wm []uint64, npe int) {
 	b.Helper()
 	if err := flashmark.Imprint(dev, 0, wm, flashmark.ImprintOptions{NPE: npe, Accelerated: true}); err != nil {
 		b.Fatal(err)
@@ -43,7 +43,7 @@ func mustImprint(b *testing.B, dev *flashmark.Device, wm []uint64, npe int) {
 // (paper Fig. 3 procedure producing one Fig. 4 curve) on a 20 K segment.
 func BenchmarkFig4Characterize(b *testing.B) {
 	dev := mustDevice(b, 0xB401)
-	zeros := make([]uint64, dev.Part().Geometry.WordsPerSegment())
+	zeros := make([]uint64, dev.Geometry().WordsPerSegment())
 	mustImprint(b, dev, zeros, 20_000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -60,9 +60,9 @@ func BenchmarkFig4Characterize(b *testing.B) {
 // BenchmarkFig5Detect measures the one-round stress detection (Fig. 5).
 func BenchmarkFig5Detect(b *testing.B) {
 	dev := mustDevice(b, 0xB501)
-	zeros := make([]uint64, dev.Part().Geometry.WordsPerSegment())
+	zeros := make([]uint64, dev.Geometry().WordsPerSegment())
 	mustImprint(b, dev, zeros, 50_000)
-	cells := dev.Part().Geometry.CellsPerSegment()
+	cells := dev.Geometry().CellsPerSegment()
 	b.ResetTimer()
 	var programmed int
 	for i := 0; i < b.N; i++ {
@@ -90,7 +90,7 @@ func BenchmarkFig6Trace(b *testing.B) {
 // Fig. 9 primitive) and reports its BER at the calibrated operating point.
 func BenchmarkFig9BER(b *testing.B) {
 	dev := mustDevice(b, 0xB901)
-	wm := flashmark.ReferenceWatermark(dev.Part().Geometry.WordsPerSegment())
+	wm := flashmark.ReferenceWatermark(dev.Geometry().WordsPerSegment())
 	mustImprint(b, dev, wm, 60_000)
 	b.ResetTimer()
 	var ber float64
@@ -108,7 +108,7 @@ func BenchmarkFig9BER(b *testing.B) {
 // of a replicated watermark (Fig. 10).
 func BenchmarkFig10Replicas(b *testing.B) {
 	dev := mustDevice(b, 0xBA01)
-	segWords := dev.Part().Geometry.WordsPerSegment()
+	segWords := dev.Geometry().WordsPerSegment()
 	payload := flashmark.ReferenceWatermark(segWords / 7)
 	img, err := flashmark.Replicate(payload, 7, segWords)
 	if err != nil {
@@ -137,7 +137,7 @@ func BenchmarkFig11Replication(b *testing.B) {
 	for _, reps := range []int{3, 5, 7} {
 		b.Run(itoa(reps)+"replicas", func(b *testing.B) {
 			dev := mustDevice(b, 0xBB00+uint64(reps))
-			segWords := dev.Part().Geometry.WordsPerSegment()
+			segWords := dev.Geometry().WordsPerSegment()
 			payload := flashmark.ReferenceWatermark(segWords / reps)
 			img, err := flashmark.Replicate(payload, reps, segWords)
 			if err != nil {
@@ -196,7 +196,7 @@ func benchImprintTime(b *testing.B, accelerated bool, paperSec float64) {
 // (3 reads, host readout) and reports virtual time (paper §V: ~170 ms).
 func BenchmarkExtractTime(b *testing.B) {
 	dev := mustDevice(b, 0xBD01)
-	wm := flashmark.ReferenceWatermark(dev.Part().Geometry.WordsPerSegment())
+	wm := flashmark.ReferenceWatermark(dev.Geometry().WordsPerSegment())
 	mustImprint(b, dev, wm, 40_000)
 	b.ResetTimer()
 	var virtual time.Duration
@@ -217,7 +217,7 @@ func BenchmarkExtractTime(b *testing.B) {
 // verification (TAB-SUPPLY's per-chip cost).
 func BenchmarkSupplyChainVerify(b *testing.B) {
 	key := []byte("k")
-	factory := flashmark.FactoryConfig{Part: flashmark.PartSmallSim(), Codec: flashmark.Codec{Key: key}}
+	factory := flashmark.FactoryConfig{Fab: flashmark.NORFab(flashmark.PartSmallSim()), Codec: flashmark.Codec{Key: key}}
 	dev, err := flashmark.Fabricate(flashmark.ClassGenuineAccept, factory, 0xBE01, 42)
 	if err != nil {
 		b.Fatal(err)
@@ -244,7 +244,7 @@ func BenchmarkAblateMajorityReads(b *testing.B) {
 	for _, reads := range []int{1, 3, 5, 7} {
 		b.Run(itoa(reads)+"reads", func(b *testing.B) {
 			dev := mustDevice(b, 0xBF01)
-			wm := flashmark.ReferenceWatermark(dev.Part().Geometry.WordsPerSegment())
+			wm := flashmark.ReferenceWatermark(dev.Geometry().WordsPerSegment())
 			mustImprint(b, dev, wm, 60_000)
 			b.ResetTimer()
 			var ber float64
@@ -270,7 +270,7 @@ func BenchmarkAblateFusedDecode(b *testing.B) {
 		b.Fatal(err)
 	}
 	dev := mustDevice(b, 0xC001)
-	segWords := dev.Part().Geometry.WordsPerSegment()
+	segWords := dev.Geometry().WordsPerSegment()
 	img, err := flashmark.Replicate(payload, 7, segWords)
 	if err != nil {
 		b.Fatal(err)
@@ -393,26 +393,26 @@ func itoa(v int) string {
 // BenchmarkNANDImprintExtract measures the Flashmark round trip on the
 // NAND substrate (experiment EXT-NAND) and reports the achieved BER.
 func BenchmarkNANDImprintExtract(b *testing.B) {
-	geom := nand.SmallNAND()
-	wm := make([]byte, geom.BlockBytes())
-	for i := range wm {
-		wm[i] = byte(i * 3)
-	}
-	dev, err := nand.NewDevice(geom, nand.SLCTiming(), floatgate.DefaultParams(), 0xD001)
+	dev, err := nand.Open(nand.SmallNAND(), nand.SLCTiming(), floatgate.DefaultParams(), 0xD001)
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := nand.ImprintBlock(dev, 0, wm, nand.ImprintOptions{NPE: 60_000, Accelerated: true}); err != nil {
+	geom := dev.Geometry()
+	wm := make([]uint64, geom.WordsPerSegment())
+	for i := range wm {
+		wm[i] = uint64(byte(2*i*3)) | uint64(byte((2*i+1)*3))<<8
+	}
+	if err := flashmark.Imprint(dev, 0, wm, flashmark.ImprintOptions{NPE: 60_000, Accelerated: true}); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	var ber float64
 	for i := 0; i < b.N; i++ {
-		got, err := nand.ExtractBlock(dev, 0, 24*time.Microsecond)
+		got, err := flashmark.Extract(dev, 0, flashmark.ExtractOptions{TPEW: 24 * time.Microsecond})
 		if err != nil {
 			b.Fatal(err)
 		}
-		ber = float64(nand.BitErrors(got, wm)) / float64(geom.CellsPerBlock())
+		ber = flashmark.BER(got, wm, geom.WordBits())
 	}
 	b.ReportMetric(100*ber, "BER%")
 }

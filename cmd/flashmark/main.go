@@ -5,6 +5,7 @@
 // Usage:
 //
 //	flashmark new -chip die1.chip -part MSP430F5438 -seed 42
+//	flashmark new -chip nand1.chip -backend nand -seed 7
 //	flashmark imprint -chip die1.chip -mfg TC -die 1001 -status accept -npe 80000 -key secret
 //	flashmark extract -chip die1.chip -tpew 25us
 //	flashmark verify -chip die1.chip -mfg TC -key secret
@@ -14,10 +15,16 @@
 //
 // The chip file carries the die's physical identity (seed), per-cell wear
 // and analog state, so repeated invocations behave like repeated bench
-// sessions with one physical chip.
+// sessions with one physical chip. Chip files self-describe their
+// backend ("flashmark-chip" for NOR parts, "flashmark-nand-chip" for the
+// NAND adapter), so every command after `new` works on either substrate
+// unchanged; capabilities a backend lacks (wear maps, aging, VCD traces)
+// fail with an explicit message instead of silently degrading.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -28,7 +35,10 @@ import (
 
 	"github.com/flashmark/flashmark/internal/core"
 	"github.com/flashmark/flashmark/internal/counterfeit"
+	"github.com/flashmark/flashmark/internal/device"
+	"github.com/flashmark/flashmark/internal/floatgate"
 	"github.com/flashmark/flashmark/internal/mcu"
+	"github.com/flashmark/flashmark/internal/nand"
 	"github.com/flashmark/flashmark/internal/vclock"
 	"github.com/flashmark/flashmark/internal/wmcode"
 )
@@ -154,15 +164,19 @@ func cmdMap(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	geom := dev.Part().Geometry
+	geom := dev.Geometry()
+	insp, ok := device.As[device.WearInspector](dev)
+	if !ok {
+		return fmt.Errorf("map: %s does not expose wear inspection", dev.PartName())
+	}
 	ramp := []byte(" .:-=+*#%@")
-	endurance := dev.Part().Params.EnduranceCycles
+	endurance := insp.EnduranceCycles()
 	fmt.Fprintf(out, "wear map (%d segments, @ = >= endurance %d cycles):\n", geom.TotalSegments(), int(endurance))
 	for bank := 0; bank < geom.Banks; bank++ {
 		fmt.Fprintf(out, "bank %d: [", bank)
 		for s := 0; s < geom.SegmentsPerBank; s++ {
 			seg := bank*geom.SegmentsPerBank + s
-			_, meanW, _, err := dev.Controller().Array().SegmentWearSummary(seg)
+			_, meanW, _, err := insp.SegmentWearSummary(seg)
 			if err != nil {
 				return err
 			}
@@ -201,7 +215,7 @@ func cmdCalibrate(args []string, out io.Writer) error {
 		seeds[i] = *seed + uint64(i)
 	}
 	fmt.Fprintf(out, "calibrating %s at N_PE=%d on %d reference dice...\n", part.Name, *npe, *dice)
-	cal, err := core.Calibrate(part, seeds, *npe, core.CalibrateOptions{})
+	cal, err := core.Calibrate(mcu.Fab(part), seeds, *npe, core.CalibrateOptions{})
 	if err != nil {
 		return err
 	}
@@ -228,26 +242,39 @@ func cmdAge(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if err := dev.Age(*years); err != nil {
+	if err := device.Age(dev, *years); err != nil {
 		return err
 	}
 	if err := saveChip(dev, *chip); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "chip aged to %.1f years of unpowered storage\n", dev.AgeYears())
+	ager, _ := device.As[device.Ager](dev)
+	fmt.Fprintf(out, "chip aged to %.1f years of unpowered storage\n", ager.AgeYears())
 	return nil
 }
 
-func loadChip(path string) (*mcu.Device, error) {
-	f, err := os.Open(path)
+// loadChip sniffs the chip file's format field and dispatches to the
+// matching backend loader.
+func loadChip(path string) (device.Device, error) {
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return mcu.Load(f)
+	var head struct {
+		Format string `json:"format"`
+	}
+	if err := json.Unmarshal(raw, &head); err != nil {
+		return nil, fmt.Errorf("%s: not a chip file: %w", path, err)
+	}
+	switch head.Format {
+	case "flashmark-nand-chip":
+		return nand.LoadAdapter(bytes.NewReader(raw))
+	default:
+		return mcu.LoadDevice(bytes.NewReader(raw))
+	}
 }
 
-func saveChip(dev *mcu.Device, path string) error {
+func saveChip(dev device.Device, path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -262,7 +289,8 @@ func saveChip(dev *mcu.Device, path string) error {
 func cmdNew(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("new", flag.ContinueOnError)
 	chip := fs.String("chip", "", "chip file to create (required)")
-	partName := fs.String("part", "FM-SIM16", "part name")
+	backend := fs.String("backend", "nor", "flash substrate: nor or nand")
+	partName := fs.String("part", "FM-SIM16", "part name (NOR backend)")
 	seed := fs.Uint64("seed", 1, "die physical identity seed")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -270,18 +298,30 @@ func cmdNew(args []string, out io.Writer) error {
 	if *chip == "" {
 		return fmt.Errorf("new: -chip is required")
 	}
-	part, err := mcu.PartByName(*partName)
-	if err != nil {
-		return err
-	}
-	dev, err := mcu.NewDevice(part, *seed)
-	if err != nil {
-		return err
+	var dev device.Device
+	switch *backend {
+	case "nor":
+		part, err := mcu.PartByName(*partName)
+		if err != nil {
+			return err
+		}
+		dev, err = mcu.Open(part, *seed)
+		if err != nil {
+			return err
+		}
+	case "nand":
+		var err error
+		dev, err = nand.Open(nand.SmallNAND(), nand.SLCTiming(), floatgate.DefaultParams(), *seed)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("new: unknown backend %q (have nor, nand)", *backend)
 	}
 	if err := saveChip(dev, *chip); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "fabricated %s die (seed %d) -> %s\n", part.Name, *seed, *chip)
+	fmt.Fprintf(out, "fabricated %s die (seed %d) -> %s\n", dev.PartName(), *seed, *chip)
 	return nil
 }
 
@@ -327,7 +367,7 @@ func cmdImprint(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	geom := dev.Part().Geometry
+	geom := dev.Geometry()
 	img, err := core.Replicate(payload, *replicas, geom.WordsPerSegment())
 	if err != nil {
 		return err
@@ -368,15 +408,19 @@ func cmdExtract(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	geom := dev.Part().Geometry
+	geom := dev.Geometry()
 	addr, err := geom.AddrOfSegment(*seg)
 	if err != nil {
 		return err
 	}
 	var trace *vclock.Trace
 	if *vcd != "" {
+		tr, ok := device.As[device.Tracer](dev)
+		if !ok {
+			return fmt.Errorf("extract: %s does not support operation traces", dev.PartName())
+		}
 		trace = vclock.NewTrace(0)
-		dev.Controller().SetTrace(trace)
+		tr.SetTrace(trace)
 	}
 	words, err := core.ExtractSegment(dev, addr, core.ExtractOptions{TPEW: *tpew, Reads: *reads, HostReadout: true})
 	if err != nil {
@@ -436,7 +480,7 @@ func cmdVerify(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	geom := dev.Part().Geometry
+	geom := dev.Geometry()
 	addr, err := geom.AddrOfSegment(*seg)
 	if err != nil {
 		return err
@@ -487,7 +531,7 @@ func cmdCharacterize(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	geom := dev.Part().Geometry
+	geom := dev.Geometry()
 	addr, err := geom.AddrOfSegment(*seg)
 	if err != nil {
 		return err
@@ -525,7 +569,7 @@ func cmdDetect(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	geom := dev.Part().Geometry
+	geom := dev.Geometry()
 	addr, err := geom.AddrOfSegment(*seg)
 	if err != nil {
 		return err
@@ -561,15 +605,19 @@ func cmdInfo(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	geom := dev.Part().Geometry
+	geom := dev.Geometry()
 	fmt.Fprintf(out, "part:     %s\nseed:     %d\nflash:    %d banks x %d segments x %d B (%d KB)\n",
-		dev.Part().Name, dev.Seed(), geom.Banks, geom.SegmentsPerBank, geom.SegmentBytes, geom.TotalBytes()/1024)
-	if dev.AgeYears() > 0 {
-		fmt.Fprintf(out, "age:      %.1f years of unpowered storage\n", dev.AgeYears())
+		dev.PartName(), dev.Seed(), geom.Banks, geom.SegmentsPerBank, geom.SegmentBytes, geom.TotalBytes()/1024)
+	if ager, ok := device.As[device.Ager](dev); ok && ager.AgeYears() > 0 {
+		fmt.Fprintf(out, "age:      %.1f years of unpowered storage\n", ager.AgeYears())
+	}
+	insp, ok := device.As[device.WearInspector](dev)
+	if !ok {
+		return fmt.Errorf("info: %s does not expose wear inspection", dev.PartName())
 	}
 	fmt.Fprintf(out, "%-8s %-12s %-12s %-12s %s\n", "segment", "min wear", "mean wear", "max wear", "worn cells")
 	for seg := 0; seg < geom.TotalSegments(); seg++ {
-		minW, meanW, maxW, err := dev.Controller().Array().SegmentWearSummary(seg)
+		minW, meanW, maxW, err := insp.SegmentWearSummary(seg)
 		if err != nil {
 			return err
 		}
@@ -580,7 +628,7 @@ func cmdInfo(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		worn, err := dev.Controller().WornCellCount(addr)
+		worn, err := insp.WornCellCount(addr)
 		if err != nil {
 			return err
 		}

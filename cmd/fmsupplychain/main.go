@@ -44,7 +44,7 @@ func run(args []string, out io.Writer) error {
 	}
 	key := []byte("trusted-chipmaker-signing-key")
 	factory := counterfeit.FactoryConfig{
-		Part:         part,
+		Fab:          mcu.Fab(part),
 		Codec:        wmcode.Codec{Key: key},
 		Manufacturer: "TC",
 		NPE:          *npe,

@@ -22,7 +22,7 @@ func Example_imprintAndExtract() {
 	if err != nil {
 		panic(err)
 	}
-	img, err := flashmark.Replicate(payload, 7, dev.Part().Geometry.WordsPerSegment())
+	img, err := flashmark.Replicate(payload, 7, dev.Geometry().WordsPerSegment())
 	if err != nil {
 		panic(err)
 	}
@@ -49,7 +49,7 @@ func Example_imprintAndExtract() {
 // Example_verifier shows the one-call incoming-inspection flow.
 func Example_verifier() {
 	cfg := flashmark.FactoryConfig{
-		Part:  flashmark.PartSmallSim(),
+		Fab:   flashmark.NORFab(flashmark.PartSmallSim()),
 		Codec: flashmark.Codec{Key: []byte("k")},
 	}
 	genuine, err := flashmark.Fabricate(flashmark.ClassGenuineAccept, cfg, 1, 500)
@@ -61,7 +61,7 @@ func Example_verifier() {
 		panic(err)
 	}
 	v := &flashmark.Verifier{Codec: flashmark.Codec{Key: []byte("k")}, Manufacturer: "TC"}
-	for _, dev := range []*flashmark.Device{genuine, forged} {
+	for _, dev := range []flashmark.Device{genuine, forged} {
 		res, err := v.Verify(dev)
 		if err != nil {
 			panic(err)
@@ -82,7 +82,7 @@ func Example_detectStress() {
 		panic(err)
 	}
 	// Cycle segment 1 heavily; leave segment 2 fresh.
-	zeros := make([]uint64, dev.Part().Geometry.WordsPerSegment())
+	zeros := make([]uint64, dev.Geometry().WordsPerSegment())
 	if err := flashmark.Imprint(dev, 512, zeros, flashmark.ImprintOptions{NPE: 50_000, Accelerated: true}); err != nil {
 		panic(err)
 	}
@@ -94,7 +94,7 @@ func Example_detectStress() {
 	if err != nil {
 		panic(err)
 	}
-	cells := dev.Part().Geometry.CellsPerSegment()
+	cells := dev.Geometry().CellsPerSegment()
 	fmt.Println(worn > cells/2, fresh < cells/10)
 	// Output: true true
 }

@@ -18,7 +18,7 @@ func main() {
 	part := flashmark.PartSmallSim()
 	key := []byte("trusted-chipmaker-key")
 	factory := flashmark.FactoryConfig{
-		Part:         part,
+		Fab:          flashmark.NORFab(part),
 		Codec:        flashmark.Codec{Key: key},
 		Manufacturer: "TC",
 	}
@@ -28,7 +28,7 @@ func main() {
 		TPEW:         25 * time.Microsecond,
 	}
 
-	verify := func(label string, dev *flashmark.Device) {
+	verify := func(label string, dev flashmark.Device) {
 		res, err := verifier.Verify(dev)
 		if err != nil {
 			log.Fatal(err)
@@ -55,11 +55,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ctl := dev.Controller()
-	if err := ctl.Unlock(0xA5); err != nil {
+	if err := dev.Unlock(); err != nil {
 		log.Fatal(err)
 	}
-	if err := ctl.EraseSegment(0); err != nil {
+	if err := dev.EraseSegment(0); err != nil {
 		log.Fatal(err)
 	}
 	codec := flashmark.Codec{Key: key} // suppose the key even leaked
@@ -71,10 +70,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := ctl.ProgramBlock(0, img); err != nil {
+	if err := dev.ProgramBlock(0, img); err != nil {
 		log.Fatal(err)
 	}
-	ctl.Lock()
+	dev.Lock()
 	fmt.Println("  (digital content now reads as a perfect signed ACCEPT record)")
 	fmt.Println("  but extraction senses wear, not data: the REJECT cells are still slow")
 	verify("erase+rewrite", dev)

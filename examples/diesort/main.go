@@ -20,7 +20,7 @@ func main() {
 	// window that minimizes extraction errors at the production N_PE.
 	const npe = 80_000
 	fmt.Println("calibrating extraction window on 3 reference dice...")
-	cal, err := flashmark.Calibrate(part, []uint64{9001, 9002, 9003}, npe, flashmark.CalibrateOptions{
+	cal, err := flashmark.Calibrate(flashmark.NORFab(part), []uint64{9001, 9002, 9003}, npe, flashmark.CalibrateOptions{
 		SweepLo:   20 * time.Microsecond,
 		SweepHi:   32 * time.Microsecond,
 		SweepStep: time.Microsecond,

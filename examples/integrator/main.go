@@ -17,7 +17,7 @@ func main() {
 	part := flashmark.PartSmallSim()
 	key := []byte("trusted-chipmaker-key")
 	factory := flashmark.FactoryConfig{
-		Part:         part,
+		Fab:          flashmark.NORFab(part),
 		Codec:        flashmark.Codec{Key: key},
 		Manufacturer: "TC",
 	}

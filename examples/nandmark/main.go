@@ -33,31 +33,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	wm := make([]byte, geom.BlockBytes())
-	for i, w := range stored {
-		wm[2*i] = byte(w)
-		wm[2*i+1] = byte(w >> 8)
-	}
-
+	// The NAND chip satisfies the same Device interface as NOR parts, so
+	// the standard Imprint/Extract procedures drive it directly.
 	start := dev.Clock().Now()
-	if err := flashmark.NANDImprint(dev, 0, wm, flashmark.NANDImprintOptions{NPE: 80_000, Accelerated: true}); err != nil {
+	if err := flashmark.Imprint(dev, 0, stored, flashmark.ImprintOptions{NPE: 80_000, Accelerated: true}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("imprinted block 0 in %v of device time (SLC timings)\n", dev.Clock().Now()-start)
 
 	// Counterfeiter wipes the block; the wear remains.
-	if err := dev.EraseBlock(0); err != nil {
+	if err := dev.EraseSegment(0); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("counterfeiter erased the block")
 
-	got, err := flashmark.NANDExtract(dev, 0, 25*time.Microsecond)
+	words, err := flashmark.Extract(dev, 0, flashmark.ExtractOptions{TPEW: 25 * time.Microsecond})
 	if err != nil {
 		log.Fatal(err)
-	}
-	words := make([]uint64, len(got)/2)
-	for i := range words {
-		words[i] = uint64(got[2*i]) | uint64(got[2*i+1])<<8
 	}
 	voted, err := flashmark.MajorityDecode(words, len(encoded), replicas, 16)
 	if err != nil {

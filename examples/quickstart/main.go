@@ -18,9 +18,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	geom := dev.Part().Geometry
+	geom := dev.Geometry()
 	fmt.Printf("chip: %s, %d KB flash, %d-byte segments\n",
-		dev.Part().Name, geom.TotalBytes()/1024, geom.SegmentBytes)
+		dev.PartName(), geom.TotalBytes()/1024, geom.SegmentBytes)
 
 	// Encode the die-sort metadata and replicate it 7 times across the
 	// reserved segment.
@@ -50,17 +50,16 @@ func main() {
 	fmt.Printf("imprinted in %v of device time (accelerated procedure)\n", dev.Clock().Now()-start)
 
 	// A counterfeiter erases the segment and writes something else.
-	ctl := dev.Controller()
-	if err := ctl.Unlock(0xA5); err != nil {
+	if err := dev.Unlock(); err != nil {
 		log.Fatal(err)
 	}
-	if err := ctl.EraseSegment(0); err != nil {
+	if err := dev.EraseSegment(0); err != nil {
 		log.Fatal(err)
 	}
-	if err := ctl.ProgramWord(0, 0xDEAD); err != nil {
+	if err := dev.ProgramBlock(0, []uint64{0xDEAD}); err != nil {
 		log.Fatal(err)
 	}
-	ctl.Lock()
+	dev.Lock()
 	fmt.Println("counterfeiter wiped the segment and wrote cover data")
 
 	// Extraction ignores the digital content entirely: erase, program

@@ -9,8 +9,13 @@
 //   - a floating-gate cell physics model (internal/floatgate),
 //   - a NOR array and MSP430-style flash controller (internal/nor,
 //     internal/flashctl) with virtual-time accounting (internal/vclock),
+//   - a substrate-neutral device interface (internal/device) that both
+//     the NOR microcontroller (internal/mcu) and the NAND adapter
+//     (internal/nand) satisfy, plus fault-injecting and op-counting
+//     decorators,
 //   - the Flashmark procedures — characterize, imprint, extract,
-//     replicate, calibrate (internal/core),
+//     replicate, calibrate (internal/core) — written once against that
+//     interface,
 //   - the watermark payload codec with tamper-evident balanced coding and
 //     signatures (internal/wmcode),
 //   - the supply-chain verifier and attacker models (internal/counterfeit)
@@ -39,6 +44,7 @@ import (
 
 	"github.com/flashmark/flashmark/internal/core"
 	"github.com/flashmark/flashmark/internal/counterfeit"
+	"github.com/flashmark/flashmark/internal/device"
 	"github.com/flashmark/flashmark/internal/ecc"
 	"github.com/flashmark/flashmark/internal/floatgate"
 	"github.com/flashmark/flashmark/internal/mcu"
@@ -46,8 +52,13 @@ import (
 	"github.com/flashmark/flashmark/internal/wmcode"
 )
 
-// Device is one simulated microcontroller with embedded NOR flash.
-type Device = mcu.Device
+// Device is the substrate-neutral handle every Flashmark procedure
+// accepts: geometry, erase/program/read, the abortable erase, virtual
+// clock accounting and persistence. Both backends satisfy it.
+type Device = device.Device
+
+// Fab fabricates fresh dice of one product family from chip seeds.
+type Fab = device.Fab
 
 // Part describes a microcontroller model.
 type Part = mcu.Part
@@ -61,13 +72,36 @@ var (
 	PartByName      = mcu.PartByName
 )
 
-// NewDevice fabricates a fresh chip; the seed is the die's physical
+// NewDevice fabricates a fresh NOR chip; the seed is the die's physical
 // identity (its manufacturing variation).
-func NewDevice(part Part, seed uint64) (*Device, error) { return mcu.NewDevice(part, seed) }
+func NewDevice(part Part, seed uint64) (Device, error) { return mcu.Open(part, seed) }
 
-// LoadDevice reconstructs a chip from a chip file written by
-// (*Device).Save.
-func LoadDevice(r io.Reader) (*Device, error) { return mcu.Load(r) }
+// NORFab returns a fabricator for a NOR part.
+func NORFab(part Part) Fab { return mcu.Fab(part) }
+
+// LoadDevice reconstructs a NOR chip from a chip file written by
+// Device.Save.
+func LoadDevice(r io.Reader) (Device, error) { return mcu.LoadDevice(r) }
+
+// Decorators and capability access.
+var (
+	// InjectFaults wraps a device with a seeded fault injector.
+	InjectFaults = device.InjectFaults
+	// Record wraps a device with an op-counting recorder.
+	Record = device.Record
+	// AgeDevice advances a device's storage age when the backend models
+	// retention (the mcu NOR backend does).
+	AgeDevice = device.Age
+	// SetDeviceTempC sets the ambient temperature when the backend
+	// models it.
+	SetDeviceTempC = device.SetAmbientTempC
+)
+
+// FaultConfig configures the fault-injecting decorator.
+type FaultConfig = device.FaultConfig
+
+// ErrInjected is the sentinel wrapped by every injected fault.
+var ErrInjected = device.ErrInjected
 
 // Core Flashmark procedures (paper Figs. 3, 7, 8).
 type (
@@ -149,6 +183,7 @@ const (
 	VerdictWrongIdentity = counterfeit.VerdictWrongIdentity
 	VerdictRecycled      = counterfeit.VerdictRecycled
 	VerdictDuplicateID   = counterfeit.VerdictDuplicateID
+	VerdictInconclusive  = counterfeit.VerdictInconclusive
 )
 
 // Auditor is the batch-local die-identity ledger that catches
@@ -176,23 +211,27 @@ var Fabricate = counterfeit.Fabricate
 // RunPopulation fabricates and verifies a chip population.
 var RunPopulation = counterfeit.RunPopulation
 
-// NAND substrate (paper §VI: the method applies to NAND as well).
+// NAND substrate (paper §VI: the method applies to NAND as well). A
+// NAND chip opened through NewNANDDevice satisfies the same Device
+// interface, so Imprint/Extract/Characterize work on it unchanged —
+// there is no NAND-specific watermark API anymore.
 type (
-	// NANDDevice is one simulated NAND chip.
-	NANDDevice = nand.Device
 	// NANDGeometry describes a NAND array.
 	NANDGeometry = nand.Geometry
-	// NANDImprintOptions controls NANDImprint.
-	NANDImprintOptions = nand.ImprintOptions
+	// NANDTiming holds NAND operation durations.
+	NANDTiming = nand.Timing
 )
 
 // NAND entry points.
 var (
-	NewNANDDevice = nand.NewDevice
-	SmallNAND     = nand.SmallNAND
-	SLCTiming     = nand.SLCTiming
-	NANDImprint   = nand.ImprintBlock
-	NANDExtract   = nand.ExtractBlock
+	// NewNANDDevice fabricates a NAND chip behind the Device interface.
+	NewNANDDevice = nand.Open
+	// NANDFab returns a fabricator for a NAND family.
+	NANDFab = nand.Fab
+	// LoadNANDDevice reconstructs a NAND chip from its Save output.
+	LoadNANDDevice = nand.LoadAdapter
+	SmallNAND      = nand.SmallNAND
+	SLCTiming      = nand.SLCTiming
 )
 
 // DefaultCellParams returns the calibrated floating-gate physics

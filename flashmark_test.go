@@ -24,7 +24,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	segWords := dev.Part().Geometry.WordsPerSegment()
+	segWords := dev.Geometry().WordsPerSegment()
 	img, err := flashmark.Replicate(payload, 7, segWords)
 	if err != nil {
 		t.Fatal(err)
@@ -75,7 +75,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 
 func TestFacadeFabricateAttackers(t *testing.T) {
 	cfg := flashmark.FactoryConfig{
-		Part:  flashmark.PartSmallSim(),
+		Fab:   flashmark.NORFab(flashmark.PartSmallSim()),
 		Codec: flashmark.Codec{Key: []byte("k")},
 	}
 	dev, err := flashmark.Fabricate(flashmark.ClassMetadataForgery, cfg, 1, 7)

@@ -24,8 +24,7 @@ import (
 	"time"
 
 	"github.com/flashmark/flashmark/internal/core"
-	"github.com/flashmark/flashmark/internal/flashctl"
-	"github.com/flashmark/flashmark/internal/mcu"
+	"github.com/flashmark/flashmark/internal/device"
 	"github.com/flashmark/flashmark/internal/wmcode"
 )
 
@@ -40,9 +39,8 @@ type Assessment struct {
 // reserved metadata segment. It returns the claimed payload and whether a
 // structurally valid record was found. It has no defense against forgery:
 // anyone can erase the segment and program a fresh record.
-func MetadataCheck(dev *mcu.Device, segAddr int, codec wmcode.Codec, replicas int) (wmcode.Payload, bool, error) {
-	ctl := dev.Controller()
-	words, err := ctl.ReadSegment(segAddr)
+func MetadataCheck(dev device.Device, segAddr int, codec wmcode.Codec, replicas int) (wmcode.Payload, bool, error) {
+	words, err := dev.ReadSegment(segAddr)
 	if err != nil {
 		return wmcode.Payload{}, false, err
 	}
@@ -53,7 +51,7 @@ func MetadataCheck(dev *mcu.Device, segAddr int, codec wmcode.Codec, replicas in
 	if payloadWords*replicas > len(words) {
 		return wmcode.Payload{}, false, fmt.Errorf("baseline: segment too small for %d replicas", replicas)
 	}
-	voted, err := core.MajorityDecode(words, payloadWords, replicas, dev.Part().Geometry.WordBits())
+	voted, err := core.MajorityDecode(words, payloadWords, replicas, dev.Geometry().WordBits())
 	if err != nil {
 		return wmcode.Payload{}, false, err
 	}
@@ -79,7 +77,7 @@ type FFDDetector struct {
 
 // medianProgramTime sweeps partial programs on a segment and returns the
 // pulse at which at least half the cells read programmed.
-func (d *FFDDetector) medianProgramTime(dev *mcu.Device, segAddr int) (time.Duration, error) {
+func (d *FFDDetector) medianProgramTime(dev device.Device, segAddr int) (time.Duration, error) {
 	lo, hi, step := d.SweepLo, d.SweepHi, d.Step
 	if lo == 0 {
 		lo = 30 * time.Microsecond
@@ -90,21 +88,24 @@ func (d *FFDDetector) medianProgramTime(dev *mcu.Device, segAddr int) (time.Dura
 	if step == 0 {
 		step = 500 * time.Nanosecond
 	}
-	ctl := dev.Controller()
-	geom := dev.Part().Geometry
+	pp, ok := device.As[device.PartialProgrammer](dev)
+	if !ok {
+		return 0, fmt.Errorf("baseline: %s does not support partial program sweeps", dev.PartName())
+	}
+	geom := dev.Geometry()
 	half := geom.CellsPerSegment() / 2
-	if err := ctl.Unlock(flashctl.UnlockKey); err != nil {
+	if err := dev.Unlock(); err != nil {
 		return 0, err
 	}
-	defer ctl.Lock()
+	defer dev.Lock()
 	for pulse := lo; pulse <= hi; pulse += step {
-		if err := ctl.EraseSegment(segAddr); err != nil {
+		if err := dev.EraseSegment(segAddr); err != nil {
 			return 0, err
 		}
-		if err := ctl.PartialProgramSegment(segAddr, pulse); err != nil {
+		if err := pp.PartialProgramSegment(segAddr, pulse); err != nil {
 			return 0, err
 		}
-		words, err := ctl.ReadSegment(segAddr)
+		words, err := dev.ReadSegment(segAddr)
 		if err != nil {
 			return 0, err
 		}
@@ -124,7 +125,7 @@ func (d *FFDDetector) medianProgramTime(dev *mcu.Device, segAddr int) (time.Dura
 }
 
 // Assess classifies one data segment of the chip.
-func (d *FFDDetector) Assess(dev *mcu.Device, segAddr int) (Assessment, error) {
+func (d *FFDDetector) Assess(dev device.Device, segAddr int) (Assessment, error) {
 	if d.FreshMedian <= 0 {
 		return Assessment{}, fmt.Errorf("baseline: FFD detector has no golden reference; run CalibrateFFD")
 	}
@@ -145,13 +146,13 @@ func (d *FFDDetector) Assess(dev *mcu.Device, segAddr int) (Assessment, error) {
 }
 
 // CalibrateFFD establishes the golden fresh median on reference devices.
-func CalibrateFFD(part mcu.Part, seeds []uint64, d *FFDDetector) error {
+func CalibrateFFD(fab device.Fab, seeds []uint64, d *FFDDetector) error {
 	if len(seeds) == 0 {
 		return fmt.Errorf("baseline: FFD calibration needs reference dice")
 	}
 	var total time.Duration
 	for _, seed := range seeds {
-		dev, err := mcu.NewDevice(part, seed)
+		dev, err := fab(seed)
 		if err != nil {
 			return err
 		}
@@ -177,7 +178,7 @@ type EraseTimingDetector struct {
 }
 
 // Assess classifies one data segment of the chip.
-func (d *EraseTimingDetector) Assess(dev *mcu.Device, segAddr int) (Assessment, error) {
+func (d *EraseTimingDetector) Assess(dev device.Device, segAddr int) (Assessment, error) {
 	tpew := d.TPEW
 	if tpew == 0 {
 		tpew = 25 * time.Microsecond
@@ -194,7 +195,7 @@ func (d *EraseTimingDetector) Assess(dev *mcu.Device, segAddr int) (Assessment, 
 	if err != nil {
 		return Assessment{}, err
 	}
-	frac := float64(programmed) / float64(dev.Part().Geometry.CellsPerSegment())
+	frac := float64(programmed) / float64(dev.Geometry().CellsPerSegment())
 	return Assessment{
 		UsedFlash: frac > threshold,
 		Metric:    frac,

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/flashmark/flashmark/internal/counterfeit"
+	"github.com/flashmark/flashmark/internal/device"
 	"github.com/flashmark/flashmark/internal/mcu"
 	"github.com/flashmark/flashmark/internal/wmcode"
 )
@@ -13,12 +14,12 @@ var key = []byte("k")
 
 func factoryCfg() counterfeit.FactoryConfig {
 	return counterfeit.FactoryConfig{
-		Part:  mcu.PartSmallSim(),
+		Fab:   mcu.Fab(mcu.PartSmallSim()),
 		Codec: wmcode.Codec{Key: key},
 	}
 }
 
-func fabricate(t *testing.T, class counterfeit.ChipClass, seed uint64) *mcu.Device {
+func fabricate(t *testing.T, class counterfeit.ChipClass, seed uint64) device.Device {
 	t.Helper()
 	dev, err := counterfeit.Fabricate(class, factoryCfg(), seed, 7)
 	if err != nil {
@@ -62,7 +63,7 @@ func TestEraseTimingDetectorSeparates(t *testing.T) {
 	fresh := fabricate(t, counterfeit.ClassGenuineAccept, 4)
 	recycled := fabricate(t, counterfeit.ClassRecycled, 5)
 	det := &EraseTimingDetector{}
-	segAddr := fresh.Part().Geometry.SegmentBytes // first data segment
+	segAddr := fresh.Geometry().SegmentBytes // first data segment
 	af, err := det.Assess(fresh, segAddr)
 	if err != nil {
 		t.Fatal(err)
@@ -83,7 +84,7 @@ func TestEraseTimingDetectorBlindToForgery(t *testing.T) {
 	// The prior-work gap: a fresh forged chip looks pristine.
 	forged := fabricate(t, counterfeit.ClassMetadataForgery, 6)
 	det := &EraseTimingDetector{}
-	a, err := det.Assess(forged, forged.Part().Geometry.SegmentBytes)
+	a, err := det.Assess(forged, forged.Geometry().SegmentBytes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestEraseTimingDetectorBlindToForgery(t *testing.T) {
 
 func TestFFDDetectorSeparates(t *testing.T) {
 	det := &FFDDetector{}
-	if err := CalibrateFFD(mcu.PartSmallSim(), []uint64{100, 101, 102}, det); err != nil {
+	if err := CalibrateFFD(mcu.Fab(mcu.PartSmallSim()), []uint64{100, 101, 102}, det); err != nil {
 		t.Fatal(err)
 	}
 	if det.FreshMedian <= 0 {
@@ -102,7 +103,7 @@ func TestFFDDetectorSeparates(t *testing.T) {
 	}
 	fresh := fabricate(t, counterfeit.ClassGenuineAccept, 7)
 	recycled := fabricate(t, counterfeit.ClassRecycled, 8)
-	segAddr := fresh.Part().Geometry.SegmentBytes
+	segAddr := fresh.Geometry().SegmentBytes
 	af, err := det.Assess(fresh, segAddr)
 	if err != nil {
 		t.Fatal(err)
@@ -128,7 +129,7 @@ func TestFFDRequiresCalibration(t *testing.T) {
 }
 
 func TestCalibrateFFDValidation(t *testing.T) {
-	if err := CalibrateFFD(mcu.PartSmallSim(), nil, &FFDDetector{}); err == nil {
+	if err := CalibrateFFD(mcu.Fab(mcu.PartSmallSim()), nil, &FFDDetector{}); err == nil {
 		t.Fatal("calibration without seeds accepted")
 	}
 }
@@ -136,7 +137,7 @@ func TestCalibrateFFDValidation(t *testing.T) {
 func TestDetectorsCustomThresholds(t *testing.T) {
 	det := &EraseTimingDetector{TPEW: 30 * time.Microsecond, Threshold: 0.5, Reads: 1}
 	dev := fabricate(t, counterfeit.ClassRecycled, 10)
-	a, err := det.Assess(dev, dev.Part().Geometry.SegmentBytes)
+	a, err := det.Assess(dev, dev.Geometry().SegmentBytes)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"time"
 
-	"github.com/flashmark/flashmark/internal/mcu"
+	"github.com/flashmark/flashmark/internal/device"
 )
 
 // CalibrationPoint is one swept extraction operating point.
@@ -55,10 +55,12 @@ func ReferenceWatermark(segWords int) []uint64 {
 }
 
 // Calibrate determines the extraction window for a device family at a
-// given imprint cycle count by imprinting reference dice (one per seed)
-// and sweeping the extraction partial erase time. The returned Points
-// trace the Fig. 9 BER-vs-t_PE curve averaged over the dice.
-func Calibrate(part mcu.Part, seeds []uint64, npe int, opts CalibrateOptions) (Calibration, error) {
+// given imprint cycle count by imprinting reference dice (one fabricated
+// per seed) and sweeping the extraction partial erase time. The returned
+// Points trace the Fig. 9 BER-vs-t_PE curve averaged over the dice. The
+// fabricator abstracts the family: pass mcu.Fab(part) for a NOR family
+// or nand.Fab(...) for a NAND one.
+func Calibrate(fab device.Fab, seeds []uint64, npe int, opts CalibrateOptions) (Calibration, error) {
 	if len(seeds) == 0 {
 		return Calibration{}, fmt.Errorf("core: calibration needs at least one reference die")
 	}
@@ -92,18 +94,21 @@ func Calibrate(part mcu.Part, seeds []uint64, npe int, opts CalibrateOptions) (C
 	}
 	sums := make([]float64, len(grid))
 
+	wordBits := 0
 	for _, seed := range seeds {
-		dev, err := mcu.NewDevice(part, seed)
+		dev, err := fab(seed)
 		if err != nil {
 			return Calibration{}, err
 		}
+		geom := dev.Geometry()
+		wordBits = geom.WordBits()
 		pattern := opts.Pattern
 		if pattern == nil {
-			pattern = ReferenceWatermark(part.Geometry.WordsPerSegment())
+			pattern = ReferenceWatermark(geom.WordsPerSegment())
 		}
-		if len(pattern) != part.Geometry.WordsPerSegment() {
+		if len(pattern) != geom.WordsPerSegment() {
 			return Calibration{}, fmt.Errorf("core: calibration pattern has %d words, segment holds %d",
-				len(pattern), part.Geometry.WordsPerSegment())
+				len(pattern), geom.WordsPerSegment())
 		}
 		if err := ImprintSegment(dev, 0, pattern, ImprintOptions{NPE: npe, Accelerated: true}); err != nil {
 			return Calibration{}, err
@@ -113,7 +118,7 @@ func Calibrate(part mcu.Part, seeds []uint64, npe int, opts CalibrateOptions) (C
 			if err != nil {
 				return Calibration{}, err
 			}
-			sums[i] += BER(got, pattern, part.Geometry.WordBits())
+			sums[i] += BER(got, pattern, wordBits)
 		}
 	}
 

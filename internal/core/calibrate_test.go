@@ -32,7 +32,7 @@ func TestReferenceWatermarkShape(t *testing.T) {
 }
 
 func TestCalibrateValidation(t *testing.T) {
-	part := mcu.PartSmallSim()
+	part := mcu.Fab(mcu.PartSmallSim())
 	if _, err := Calibrate(part, nil, 1000, CalibrateOptions{}); err == nil {
 		t.Error("no seeds accepted")
 	}
@@ -51,7 +51,7 @@ func TestCalibrateValidation(t *testing.T) {
 }
 
 func TestCalibrateFindsWindow(t *testing.T) {
-	part := mcu.PartSmallSim()
+	part := mcu.Fab(mcu.PartSmallSim())
 	cal, err := Calibrate(part, []uint64{101, 102}, 60_000, CalibrateOptions{
 		SweepLo:   20 * time.Microsecond,
 		SweepHi:   32 * time.Microsecond,
@@ -88,7 +88,7 @@ func TestCalibrateFindsWindow(t *testing.T) {
 func TestCalibrateWindowShiftsRightWithNPE(t *testing.T) {
 	// Paper: "This time window slightly shifts to the right as we
 	// increase the number of stresses."
-	part := mcu.PartSmallSim()
+	part := mcu.Fab(mcu.PartSmallSim())
 	opts := CalibrateOptions{
 		SweepLo:   19 * time.Microsecond,
 		SweepHi:   34 * time.Microsecond,

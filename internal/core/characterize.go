@@ -4,8 +4,7 @@ import (
 	"fmt"
 	"time"
 
-	"github.com/flashmark/flashmark/internal/flashctl"
-	"github.com/flashmark/flashmark/internal/mcu"
+	"github.com/flashmark/flashmark/internal/device"
 )
 
 // CharacterizePoint is one row of a characterization sweep: the state of
@@ -37,7 +36,7 @@ type CharacterizeOptions struct {
 // Note that characterization itself wears the segment by roughly one P/E
 // cycle per point — on real silicon as in this simulation — which is
 // negligible against the 10^4-cycle stress levels being measured.
-func CharacterizeSegment(dev *mcu.Device, segAddr int, opts CharacterizeOptions) ([]CharacterizePoint, error) {
+func CharacterizeSegment(dev device.Device, segAddr int, opts CharacterizeOptions) ([]CharacterizePoint, error) {
 	step := opts.Step
 	if step == 0 {
 		step = 2 * time.Microsecond
@@ -52,27 +51,26 @@ func CharacterizeSegment(dev *mcu.Device, segAddr int, opts CharacterizeOptions)
 	if reads < 0 || reads%2 == 0 {
 		return nil, fmt.Errorf("core: reads must be odd and positive, got %d", reads)
 	}
-	ctl := dev.Controller()
-	geom := ctl.Array().Geometry()
+	geom := dev.Geometry()
 	maxT := opts.Max
-	if maxT == 0 || maxT > ctl.Timing().SegmentErase {
-		maxT = ctl.Timing().SegmentErase
+	if maxT == 0 || maxT > dev.NominalEraseTime() {
+		maxT = dev.NominalEraseTime()
 	}
-	if err := ctl.Unlock(flashctl.UnlockKey); err != nil {
+	if err := dev.Unlock(); err != nil {
 		return nil, err
 	}
-	defer ctl.Lock()
+	defer dev.Lock()
 
 	allZeros := make([]uint64, geom.WordsPerSegment())
 	var points []CharacterizePoint
 	for tpe := time.Duration(0); tpe <= maxT; tpe += step {
-		if err := ctl.EraseSegment(segAddr); err != nil {
+		if err := dev.EraseSegment(segAddr); err != nil {
 			return nil, err
 		}
-		if err := ctl.ProgramBlock(segAddr, allZeros); err != nil {
+		if err := dev.ProgramBlock(segAddr, allZeros); err != nil {
 			return nil, err
 		}
-		if err := ctl.PartialEraseSegment(segAddr, tpe); err != nil {
+		if err := dev.PartialEraseSegment(segAddr, tpe); err != nil {
 			return nil, err
 		}
 		_, c1, c0, err := AnalyzeSegment(dev, segAddr, reads)
@@ -104,27 +102,26 @@ func AllErasedTime(points []CharacterizePoint) (time.Duration, bool) {
 // t_PEW. Fresh segments erase almost completely (small count); segments
 // that lived through heavy P/E cycling resist (large count). The segment
 // content is destroyed.
-func DetectStress(dev *mcu.Device, segAddr int, tPEW time.Duration, reads int) (programmed int, err error) {
+func DetectStress(dev device.Device, segAddr int, tPEW time.Duration, reads int) (programmed int, err error) {
 	if reads == 0 {
 		reads = 1
 	}
-	ctl := dev.Controller()
-	geom := ctl.Array().Geometry()
+	geom := dev.Geometry()
 	if tPEW <= 0 {
 		return 0, fmt.Errorf("core: non-positive t_PEW %v", tPEW)
 	}
-	if err := ctl.Unlock(flashctl.UnlockKey); err != nil {
+	if err := dev.Unlock(); err != nil {
 		return 0, err
 	}
-	defer ctl.Lock()
-	if err := ctl.EraseSegment(segAddr); err != nil {
+	defer dev.Lock()
+	if err := dev.EraseSegment(segAddr); err != nil {
 		return 0, err
 	}
 	allZeros := make([]uint64, geom.WordsPerSegment())
-	if err := ctl.ProgramBlock(segAddr, allZeros); err != nil {
+	if err := dev.ProgramBlock(segAddr, allZeros); err != nil {
 		return 0, err
 	}
-	if err := ctl.PartialEraseSegment(segAddr, tPEW); err != nil {
+	if err := dev.PartialEraseSegment(segAddr, tPEW); err != nil {
 		return 0, err
 	}
 	_, _, c0, err := AnalyzeSegment(dev, segAddr, reads)

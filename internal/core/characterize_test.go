@@ -14,7 +14,7 @@ func TestCharacterizeFreshSegment(t *testing.T) {
 	if len(points) < 5 {
 		t.Fatalf("sweep produced only %d points", len(points))
 	}
-	cells := d.Part().Geometry.CellsPerSegment()
+	cells := d.Geometry().CellsPerSegment()
 	// t_PE = 0: all programmed.
 	if points[0].Cells0 != cells || points[0].Cells1 != 0 {
 		t.Errorf("at t=0: cells0=%d cells1=%d", points[0].Cells0, points[0].Cells1)
@@ -113,7 +113,7 @@ func TestDetectStressSeparatesFreshFromWorn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cells := fresh.Part().Geometry.CellsPerSegment()
+	cells := fresh.Geometry().CellsPerSegment()
 	if freshCount > cells/4 {
 		t.Errorf("fresh segment: %d/%d still programmed at %v", freshCount, cells, tPEW)
 	}

@@ -5,17 +5,18 @@
 // (Fig. 3), replication with majority voting, and the t_PEW calibration
 // the manufacturer publishes for each device family.
 //
-// All procedures drive a simulated microcontroller (package mcu) through
-// its flash controller using only operations real firmware has: erase,
-// program, read, and the emergency-exit command that aborts an erase.
+// All procedures drive any backend satisfying the substrate-neutral
+// device interface (package device) using only operations real firmware
+// has: erase, program, read, and the emergency-exit command that aborts
+// an erase. The same code path covers the NOR microcontroller backend
+// (package mcu) and the NAND adapter (package nand).
 package core
 
 import (
 	"fmt"
 	"time"
 
-	"github.com/flashmark/flashmark/internal/flashctl"
-	"github.com/flashmark/flashmark/internal/mcu"
+	"github.com/flashmark/flashmark/internal/device"
 )
 
 // DefaultNPE is the imprint cycle count used when options leave it zero.
@@ -46,9 +47,8 @@ type ImprintOptions struct {
 // remain "good". The segment is left programmed with the watermark, as
 // the current practice would leave it; the information survives any
 // subsequent erase because it lives in the cells' physical wear.
-func ImprintSegment(dev *mcu.Device, segAddr int, watermark []uint64, opts ImprintOptions) error {
-	ctl := dev.Controller()
-	geom := ctl.Array().Geometry()
+func ImprintSegment(dev device.Device, segAddr int, watermark []uint64, opts ImprintOptions) error {
+	geom := dev.Geometry()
 	if len(watermark) != geom.WordsPerSegment() {
 		return fmt.Errorf("core: watermark has %d words, segment holds %d", len(watermark), geom.WordsPerSegment())
 	}
@@ -59,25 +59,25 @@ func ImprintSegment(dev *mcu.Device, segAddr int, watermark []uint64, opts Impri
 	if npe < 0 {
 		return fmt.Errorf("core: negative N_PE %d", npe)
 	}
-	if err := ctl.Unlock(flashctl.UnlockKey); err != nil {
+	if err := dev.Unlock(); err != nil {
 		return err
 	}
-	defer ctl.Lock()
+	defer dev.Lock()
 
 	if !opts.Literal {
-		return ctl.StressSegmentWords(segAddr, watermark, npe, opts.Accelerated)
+		return dev.StressSegmentWords(segAddr, watermark, npe, opts.Accelerated)
 	}
 	for cycle := 0; cycle < npe; cycle++ {
 		if opts.Accelerated {
-			if _, err := ctl.EraseSegmentAdaptive(segAddr); err != nil {
+			if _, err := dev.EraseSegmentAdaptive(segAddr); err != nil {
 				return err
 			}
 		} else {
-			if err := ctl.EraseSegment(segAddr); err != nil {
+			if err := dev.EraseSegment(segAddr); err != nil {
 				return err
 			}
 		}
-		if err := ctl.ProgramBlock(segAddr, watermark); err != nil {
+		if err := dev.ProgramBlock(segAddr, watermark); err != nil {
 			return err
 		}
 	}
@@ -107,9 +107,8 @@ type ExtractOptions struct {
 //
 // Extraction destroys any data stored in the segment but not the
 // watermark, which is physical; extraction may be repeated.
-func ExtractSegment(dev *mcu.Device, segAddr int, opts ExtractOptions) ([]uint64, error) {
-	ctl := dev.Controller()
-	geom := ctl.Array().Geometry()
+func ExtractSegment(dev device.Device, segAddr int, opts ExtractOptions) ([]uint64, error) {
+	geom := dev.Geometry()
 	reads := opts.Reads
 	if reads == 0 {
 		reads = 1
@@ -120,19 +119,19 @@ func ExtractSegment(dev *mcu.Device, segAddr int, opts ExtractOptions) ([]uint64
 	if opts.TPEW <= 0 {
 		return nil, fmt.Errorf("core: non-positive t_PEW %v", opts.TPEW)
 	}
-	if err := ctl.Unlock(flashctl.UnlockKey); err != nil {
+	if err := dev.Unlock(); err != nil {
 		return nil, err
 	}
-	defer ctl.Lock()
+	defer dev.Lock()
 
-	if err := ctl.EraseSegment(segAddr); err != nil {
+	if err := dev.EraseSegment(segAddr); err != nil {
 		return nil, err
 	}
 	allZeros := make([]uint64, geom.WordsPerSegment())
-	if err := ctl.ProgramBlock(segAddr, allZeros); err != nil {
+	if err := dev.ProgramBlock(segAddr, allZeros); err != nil {
 		return nil, err
 	}
-	if err := ctl.PartialEraseSegment(segAddr, opts.TPEW); err != nil {
+	if err := dev.PartialEraseSegment(segAddr, opts.TPEW); err != nil {
 		return nil, err
 	}
 	words, _, _, err := AnalyzeSegment(dev, segAddr, reads)
@@ -149,12 +148,11 @@ func ExtractSegment(dev *mcu.Device, segAddr int, opts ExtractOptions) ([]uint64
 // majority-votes each bit (paper Fig. 3, AnalyzeSegment). It returns the
 // voted words and the counts of cells reading 1 (erased) and 0
 // (programmed).
-func AnalyzeSegment(dev *mcu.Device, segAddr int, reads int) (words []uint64, cells1, cells0 int, err error) {
+func AnalyzeSegment(dev device.Device, segAddr int, reads int) (words []uint64, cells1, cells0 int, err error) {
 	if reads <= 0 || reads%2 == 0 {
 		return nil, 0, 0, fmt.Errorf("core: reads must be odd and positive, got %d", reads)
 	}
-	ctl := dev.Controller()
-	geom := ctl.Array().Geometry()
+	geom := dev.Geometry()
 	seg, err := geom.SegmentOfAddr(segAddr)
 	if err != nil {
 		return nil, 0, 0, err
@@ -168,7 +166,7 @@ func AnalyzeSegment(dev *mcu.Device, segAddr int, reads int) (words []uint64, ce
 			votes[i] = 0
 		}
 		for r := 0; r < reads; r++ {
-			v, rerr := ctl.ReadWord(base + w*geom.WordBytes)
+			v, rerr := dev.ReadWord(base + w*geom.WordBytes)
 			if rerr != nil {
 				return nil, 0, 0, rerr
 			}

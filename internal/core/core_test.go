@@ -4,19 +4,52 @@ import (
 	"testing"
 	"time"
 
+	"github.com/flashmark/flashmark/internal/device"
+	"github.com/flashmark/flashmark/internal/flashctl"
+	"github.com/flashmark/flashmark/internal/floatgate"
 	"github.com/flashmark/flashmark/internal/mcu"
+	"github.com/flashmark/flashmark/internal/nor"
 )
 
-func newDev(t *testing.T, seed uint64) *mcu.Device {
+func newDev(t *testing.T, seed uint64) device.Device {
 	t.Helper()
-	d, err := mcu.NewDevice(mcu.PartSmallSim(), seed)
+	d, err := mcu.Open(mcu.PartSmallSim(), seed)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return d
 }
 
-func segWords(d *mcu.Device) int { return d.Part().Geometry.WordsPerSegment() }
+func segWords(d device.Device) int { return d.Geometry().WordsPerSegment() }
+
+// ctlOf unwraps the backend's flash controller — white-box access the
+// physics-pinning tests below need.
+func ctlOf(t *testing.T, d device.Device) *flashctl.Controller {
+	t.Helper()
+	c, ok := device.As[interface {
+		Controller() *flashctl.Controller
+	}](d)
+	if !ok {
+		t.Fatal("backend does not expose a flash controller")
+	}
+	return c.Controller()
+}
+
+// wearOf reads per-cell wear through the backend's controller.
+func wearOf(t *testing.T, d device.Device) *nor.Array {
+	t.Helper()
+	return ctlOf(t, d).Array()
+}
+
+// paramsOf fetches the floating-gate model constants of an mcu-backed die.
+func paramsOf(t *testing.T, d device.Device) floatgate.Params {
+	t.Helper()
+	c, ok := device.As[interface{ Part() mcu.Part }](d)
+	if !ok {
+		t.Fatal("backend has no part descriptor")
+	}
+	return c.Part().Params
+}
 
 // tcWatermark fills a segment with the paper's "TC" = 0x5443 example.
 func tcWatermark(n int) []uint64 {
@@ -42,7 +75,7 @@ func TestImprintLeavesControllerLocked(t *testing.T) {
 	if err := ImprintSegment(d, 0, tcWatermark(segWords(d)), ImprintOptions{NPE: 10}); err != nil {
 		t.Fatal(err)
 	}
-	if !d.Controller().Locked() {
+	if !ctlOf(t, d).Locked() {
 		t.Error("imprint left controller unlocked")
 	}
 }
@@ -53,7 +86,7 @@ func TestImprintLeavesWatermarkReadable(t *testing.T) {
 	if err := ImprintSegment(d, 0, wm, ImprintOptions{NPE: 100}); err != nil {
 		t.Fatal(err)
 	}
-	v, err := d.Controller().ReadWord(0)
+	v, err := ctlOf(t, d).ReadWord(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,9 +102,9 @@ func TestImprintWearsZeroBitsOnly(t *testing.T) {
 	if err := ImprintSegment(d, 0, wm, ImprintOptions{NPE: npe}); err != nil {
 		t.Fatal(err)
 	}
-	geom := d.Part().Geometry
-	arr := d.Controller().Array()
-	p := d.Part().Params
+	geom := d.Geometry()
+	arr := wearOf(t, d)
+	p := paramsOf(t, d)
 	// 0x5443 = 0101 0100 0100 0011: bit0 and bit1 are 1 (good).
 	goodWear := arr.Wear(geom.CellIndex(0, 0, 0))
 	badWear := arr.Wear(geom.CellIndex(0, 0, 2)) // bit2 of 0x...43 is 0
@@ -131,7 +164,7 @@ func TestExtractionSurvivesErase(t *testing.T) {
 	if err := ImprintSegment(d, 0, wm, ImprintOptions{NPE: 60_000, Accelerated: true}); err != nil {
 		t.Fatal(err)
 	}
-	ctl := d.Controller()
+	ctl := ctlOf(t, d)
 	if err := ctl.Unlock(0xA5); err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +253,7 @@ func TestExtractHostReadoutCharged(t *testing.T) {
 
 func TestAnalyzeSegmentCounts(t *testing.T) {
 	d := newDev(t, 7)
-	ctl := d.Controller()
+	ctl := ctlOf(t, d)
 	if err := ctl.Unlock(0xA5); err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +265,7 @@ func TestAnalyzeSegmentCounts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	geom := d.Part().Geometry
+	geom := d.Geometry()
 	wantCells := geom.CellsPerSegment()
 	if c1+c0 != wantCells {
 		t.Fatalf("c1+c0 = %d, want %d", c1+c0, wantCells)
@@ -283,9 +316,9 @@ func TestImprintLiteralMatchesFastForward(t *testing.T) {
 	if err := ImprintSegment(b, 0, wm, ImprintOptions{NPE: 20}); err != nil {
 		t.Fatal(err)
 	}
-	geomA := a.Part().Geometry
+	geomA := a.Geometry()
 	for i := 0; i < geomA.CellsPerSegment(); i++ {
-		if a.Controller().Array().Wear(i) != b.Controller().Array().Wear(i) {
+		if wearOf(t, a).Wear(i) != wearOf(t, b).Wear(i) {
 			t.Fatalf("wear diverged at cell %d", i)
 		}
 	}
@@ -308,8 +341,8 @@ func TestAcceleratedImprintFasterSameOutcome(t *testing.T) {
 	if ratio < 2.5 {
 		t.Errorf("accelerated speedup %.2fx, want > 2.5x (paper ~3.5x)", ratio)
 	}
-	for i := 0; i < slow.Part().Geometry.CellsPerSegment(); i++ {
-		if slow.Controller().Array().Wear(i) != fast.Controller().Array().Wear(i) {
+	for i := 0; i < slow.Geometry().CellsPerSegment(); i++ {
+		if wearOf(t, slow).Wear(i) != wearOf(t, fast).Wear(i) {
 			t.Fatalf("wear diverged at cell %d", i)
 		}
 	}
@@ -321,9 +354,9 @@ func TestDefaultNPEApplied(t *testing.T) {
 	if err := ImprintSegment(d, 0, wm, ImprintOptions{Accelerated: true}); err != nil {
 		t.Fatal(err)
 	}
-	geom := d.Part().Geometry
-	badWear := d.Controller().Array().Wear(geom.CellIndex(0, 0, 2))
-	p := d.Part().Params
+	geom := d.Geometry()
+	badWear := wearOf(t, d).Wear(geom.CellIndex(0, 0, 2))
+	p := paramsOf(t, d)
 	want := (DefaultNPE-1)*p.EraseFromProgrammedWear + p.EraseOnlyWear
 	if badWear != want {
 		t.Errorf("default NPE wear = %v, want %v", badWear, want)

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/flashmark/flashmark/internal/device"
 	"github.com/flashmark/flashmark/internal/flashctl"
-	"github.com/flashmark/flashmark/internal/mcu"
 )
 
 // This file expresses the Flashmark procedures as FCTL register
@@ -17,13 +17,21 @@ import (
 // documented register protocol is needed, and tests pin them to the
 // method-level results.
 
+// RegisterDevice is a backend that additionally exposes the FCTL
+// register protocol. Only register-capable backends (the mcu NOR
+// device) satisfy it; NAND parts have no FCTL and stay method-level.
+type RegisterDevice interface {
+	device.Device
+	Registers() *flashctl.RegisterFile
+}
+
 // ImprintSegmentViaRegisters performs the Fig. 7 imprint by driving the
 // FCTL register protocol for every cycle: unlock, select ERASE, dummy
 // write, select WRT, program each word, re-lock. It is O(NPE) in
 // simulation and intended for modest cycle counts; production simulations
 // use ImprintSegment.
-func ImprintSegmentViaRegisters(dev *mcu.Device, segAddr int, watermark []uint64, npe int) error {
-	geom := dev.Part().Geometry
+func ImprintSegmentViaRegisters(dev RegisterDevice, segAddr int, watermark []uint64, npe int) error {
+	geom := dev.Geometry()
 	if len(watermark) != geom.WordsPerSegment() {
 		return fmt.Errorf("core: watermark has %d words, segment holds %d", len(watermark), geom.WordsPerSegment())
 	}
@@ -35,7 +43,7 @@ func ImprintSegmentViaRegisters(dev *mcu.Device, segAddr int, watermark []uint64
 		return err
 	}
 	base := seg * geom.SegmentBytes
-	r := dev.Controller().Registers()
+	r := dev.Registers()
 	if err := r.Write(flashctl.FCTL3, flashctl.FCTLPassword); err != nil {
 		return err
 	}
@@ -62,17 +70,17 @@ func ImprintSegmentViaRegisters(dev *mcu.Device, segAddr int, watermark []uint64
 // ExtractSegmentViaRegisters performs the Fig. 8 extraction through the
 // register protocol: erase, program all zeros, arm the emergency exit
 // for t_PEW, start the erase, then read every word.
-func ExtractSegmentViaRegisters(dev *mcu.Device, segAddr int, tPEW time.Duration) ([]uint64, error) {
+func ExtractSegmentViaRegisters(dev RegisterDevice, segAddr int, tPEW time.Duration) ([]uint64, error) {
 	if tPEW <= 0 {
 		return nil, fmt.Errorf("core: non-positive t_PEW %v", tPEW)
 	}
-	geom := dev.Part().Geometry
+	geom := dev.Geometry()
 	seg, err := geom.SegmentOfAddr(segAddr)
 	if err != nil {
 		return nil, err
 	}
 	base := seg * geom.SegmentBytes
-	r := dev.Controller().Registers()
+	r := dev.Registers()
 	if err := r.Write(flashctl.FCTL3, flashctl.FCTLPassword); err != nil {
 		return nil, err
 	}

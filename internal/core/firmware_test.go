@@ -3,11 +3,24 @@ package core
 import (
 	"testing"
 	"time"
+
+	"github.com/flashmark/flashmark/internal/device"
 )
 
+// regDev fabricates a die and asserts the register capability.
+func regDev(t *testing.T, seed uint64) RegisterDevice {
+	t.Helper()
+	d := newDev(t, seed)
+	r, ok := device.As[RegisterDevice](d)
+	if !ok {
+		t.Fatal("mcu backend lost its FCTL register file")
+	}
+	return r
+}
+
 func TestRegisterImprintMatchesMethodImprint(t *testing.T) {
-	viaMethod := newDev(t, 60)
-	viaRegs := newDev(t, 60)
+	viaMethod := regDev(t, 60)
+	viaRegs := regDev(t, 60)
 	wm := tcWatermark(segWords(viaMethod))
 	const npe = 20
 	// The method path must use single-word programming too for the time
@@ -20,22 +33,22 @@ func TestRegisterImprintMatchesMethodImprint(t *testing.T) {
 	if err := ImprintSegmentViaRegisters(viaRegs, 0, wm, npe); err != nil {
 		t.Fatal(err)
 	}
-	geom := viaMethod.Part().Geometry
+	geom := viaMethod.Geometry()
 	for i := 0; i < geom.CellsPerSegment(); i++ {
-		if viaMethod.Controller().Array().Wear(i) != viaRegs.Controller().Array().Wear(i) {
+		if wearOf(t, viaMethod).Wear(i) != wearOf(t, viaRegs).Wear(i) {
 			t.Fatalf("wear diverged at cell %d", i)
 		}
-		if viaMethod.Controller().Array().Programmed(i) != viaRegs.Controller().Array().Programmed(i) {
+		if wearOf(t, viaMethod).Programmed(i) != wearOf(t, viaRegs).Programmed(i) {
 			t.Fatalf("state diverged at cell %d", i)
 		}
 	}
-	if !viaRegs.Controller().Locked() {
+	if !ctlOf(t, viaRegs).Locked() {
 		t.Error("register imprint left the controller unlocked")
 	}
 }
 
 func TestRegisterExtractRecoversWatermark(t *testing.T) {
-	dev := newDev(t, 61)
+	dev := regDev(t, 61)
 	wm := ReferenceWatermark(segWords(dev))
 	if err := ImprintSegment(dev, 0, wm, ImprintOptions{NPE: 80_000, Accelerated: true}); err != nil {
 		t.Fatal(err)
@@ -47,13 +60,13 @@ func TestRegisterExtractRecoversWatermark(t *testing.T) {
 	if ber := BER(got, wm, 16); ber > 0.12 {
 		t.Fatalf("register extraction BER = %.3f", ber)
 	}
-	if !dev.Controller().Locked() {
+	if !ctlOf(t, dev).Locked() {
 		t.Error("register extract left the controller unlocked")
 	}
 }
 
 func TestRegisterProcedureValidation(t *testing.T) {
-	dev := newDev(t, 62)
+	dev := regDev(t, 62)
 	wm := tcWatermark(segWords(dev))
 	if err := ImprintSegmentViaRegisters(dev, 0, wm[:4], 5); err == nil {
 		t.Error("short watermark accepted")

@@ -3,8 +3,7 @@ package core
 import (
 	"fmt"
 
-	"github.com/flashmark/flashmark/internal/flashctl"
-	"github.com/flashmark/flashmark/internal/mcu"
+	"github.com/flashmark/flashmark/internal/device"
 )
 
 // TraceStep is one half-cycle of an imprint viewed at a single word:
@@ -22,12 +21,11 @@ type TraceStep struct {
 // the word at addr after every operation. The final row of Fig. 6 — which
 // cells became "B"ad and which stayed "G"ood — is determined by the
 // watermark's zero bits; GoodBadString renders it.
-func ImprintWordTrace(dev *mcu.Device, addr int, watermark []uint64, cycles int) ([]TraceStep, error) {
+func ImprintWordTrace(dev device.Device, addr int, watermark []uint64, cycles int) ([]TraceStep, error) {
 	if cycles <= 0 {
 		return nil, fmt.Errorf("core: trace needs positive cycles, got %d", cycles)
 	}
-	ctl := dev.Controller()
-	geom := ctl.Array().Geometry()
+	geom := dev.Geometry()
 	if len(watermark) != geom.WordsPerSegment() {
 		return nil, fmt.Errorf("core: watermark has %d words, segment holds %d", len(watermark), geom.WordsPerSegment())
 	}
@@ -36,25 +34,25 @@ func ImprintWordTrace(dev *mcu.Device, addr int, watermark []uint64, cycles int)
 		return nil, err
 	}
 	segAddr := seg * geom.SegmentBytes
-	if err := ctl.Unlock(flashctl.UnlockKey); err != nil {
+	if err := dev.Unlock(); err != nil {
 		return nil, err
 	}
-	defer ctl.Lock()
+	defer dev.Lock()
 
 	var steps []TraceStep
 	for c := 1; c <= cycles; c++ {
-		if err := ctl.EraseSegment(segAddr); err != nil {
+		if err := dev.EraseSegment(segAddr); err != nil {
 			return nil, err
 		}
-		v, err := ctl.ReadWord(addr)
+		v, err := dev.ReadWord(addr)
 		if err != nil {
 			return nil, err
 		}
 		steps = append(steps, TraceStep{Cycle: c, Op: "E", Value: v})
-		if err := ctl.ProgramBlock(segAddr, watermark); err != nil {
+		if err := dev.ProgramBlock(segAddr, watermark); err != nil {
 			return nil, err
 		}
-		v, err = ctl.ReadWord(addr)
+		v, err = dev.ReadWord(addr)
 		if err != nil {
 			return nil, err
 		}

@@ -12,7 +12,7 @@ var testKey = []byte("trusted-chipmaker-key")
 
 func testConfig() FactoryConfig {
 	return FactoryConfig{
-		Part:         mcu.PartSmallSim(),
+		Fab:          mcu.Fab(mcu.PartSmallSim()),
 		Codec:        wmcode.Codec{Key: testKey},
 		Manufacturer: "TC",
 		SegAddr:      0,

@@ -4,8 +4,7 @@ import (
 	"fmt"
 
 	"github.com/flashmark/flashmark/internal/core"
-	"github.com/flashmark/flashmark/internal/flashctl"
-	"github.com/flashmark/flashmark/internal/mcu"
+	"github.com/flashmark/flashmark/internal/device"
 	"github.com/flashmark/flashmark/internal/rng"
 	"github.com/flashmark/flashmark/internal/wmcode"
 )
@@ -13,7 +12,9 @@ import (
 // FactoryConfig describes how the trusted manufacturer watermarks its
 // dice, and how attackers derive their counterfeits.
 type FactoryConfig struct {
-	Part         mcu.Part
+	// Fab fabricates fresh dice of the product family (any backend:
+	// mcu.Fab for NOR parts, nand.Fab for NAND).
+	Fab          device.Fab
 	Codec        wmcode.Codec
 	Manufacturer string
 	// SegAddr is the byte address of the reserved watermark segment.
@@ -64,12 +65,12 @@ func (c FactoryConfig) payloadFor(dieID uint64, status wmcode.Status) wmcode.Pay
 }
 
 // imprintWatermark performs the manufacturer-side die-sort imprint.
-func (c FactoryConfig) imprintWatermark(dev *mcu.Device, dieID uint64, status wmcode.Status) ([]uint64, error) {
+func (c FactoryConfig) imprintWatermark(dev device.Device, dieID uint64, status wmcode.Status) ([]uint64, error) {
 	payload, err := c.Codec.Encode(c.payloadFor(dieID, status))
 	if err != nil {
 		return nil, err
 	}
-	img, err := core.Replicate(payload, c.Replicas, c.Part.Geometry.WordsPerSegment())
+	img, err := core.Replicate(payload, c.Replicas, dev.Geometry().WordsPerSegment())
 	if err != nil {
 		return nil, err
 	}
@@ -82,9 +83,8 @@ func (c FactoryConfig) imprintWatermark(dev *mcu.Device, dieID uint64, status wm
 
 // applyFieldUse simulates a first product life: heavy P/E cycling on the
 // chip's data segments (logging, firmware updates, ...).
-func (c FactoryConfig) applyFieldUse(dev *mcu.Device, seed uint64) error {
-	ctl := dev.Controller()
-	geom := dev.Part().Geometry
+func (c FactoryConfig) applyFieldUse(dev device.Device, seed uint64) error {
+	geom := dev.Geometry()
 	r := rng.New(seed)
 	wmSeg, err := geom.SegmentOfAddr(c.SegAddr)
 	if err != nil {
@@ -108,11 +108,11 @@ func (c FactoryConfig) applyFieldUse(dev *mcu.Device, seed uint64) error {
 		for i := range data {
 			data[i] = r.Uint64() & mask
 		}
-		if err := ctl.Unlock(flashctl.UnlockKey); err != nil {
+		if err := dev.Unlock(); err != nil {
 			return err
 		}
-		err = ctl.StressSegmentWords(addr, data, c.FieldWearCycles, true)
-		ctl.Lock()
+		err = dev.StressSegmentWords(addr, data, c.FieldWearCycles, true)
+		dev.Lock()
 		if err != nil {
 			return err
 		}
@@ -124,9 +124,12 @@ func (c FactoryConfig) applyFieldUse(dev *mcu.Device, seed uint64) error {
 // Fabricate manufactures one chip of the given ground-truth class. The
 // seed determines the die's physical identity; dieID goes into genuine
 // watermarks.
-func Fabricate(class ChipClass, cfg FactoryConfig, seed, dieID uint64) (*mcu.Device, error) {
+func Fabricate(class ChipClass, cfg FactoryConfig, seed, dieID uint64) (device.Device, error) {
 	cfg = cfg.withDefaults()
-	dev, err := mcu.NewDevice(cfg.Part, seed)
+	if cfg.Fab == nil {
+		return nil, fmt.Errorf("counterfeit: FactoryConfig.Fab is nil")
+	}
+	dev, err := cfg.Fab(seed)
 	if err != nil {
 		return nil, err
 	}
@@ -150,14 +153,14 @@ func Fabricate(class ChipClass, cfg FactoryConfig, seed, dieID uint64) (*mcu.Dev
 			return nil, err
 		}
 		// The recycler wipes the chip to look new.
-		ctl := dev.Controller()
-		if err := ctl.Unlock(flashctl.UnlockKey); err != nil {
+		geom := dev.Geometry()
+		if err := dev.Unlock(); err != nil {
 			return nil, err
 		}
-		defer ctl.Lock()
-		for bank := 0; bank < dev.Part().Geometry.Banks; bank++ {
-			addr := bank * dev.Part().Geometry.SegmentsPerBank * dev.Part().Geometry.SegmentBytes
-			if err := ctl.MassEraseBank(addr); err != nil {
+		defer dev.Lock()
+		for bank := 0; bank < geom.Banks; bank++ {
+			addr := bank * geom.SegmentsPerBank * geom.SegmentBytes
+			if err := dev.MassEraseBank(addr); err != nil {
 				return nil, err
 			}
 		}
@@ -185,51 +188,49 @@ func Fabricate(class ChipClass, cfg FactoryConfig, seed, dieID uint64) (*mcu.Dev
 // against: the counterfeiter simply programs plausible manufacturing
 // metadata into the reserved segment. No cells are stressed, so the
 // "watermark" is digital only.
-func MetadataForgery(dev *mcu.Device, cfg FactoryConfig) error {
+func MetadataForgery(dev device.Device, cfg FactoryConfig) error {
 	cfg = cfg.withDefaults()
 	payload, err := cfg.Codec.Encode(cfg.payloadFor(0x7E57ED, wmcode.StatusAccept))
 	if err != nil {
 		return err
 	}
-	img, err := core.Replicate(payload, cfg.Replicas, cfg.Part.Geometry.WordsPerSegment())
+	img, err := core.Replicate(payload, cfg.Replicas, dev.Geometry().WordsPerSegment())
 	if err != nil {
 		return err
 	}
-	ctl := dev.Controller()
-	if err := ctl.Unlock(flashctl.UnlockKey); err != nil {
+	if err := dev.Unlock(); err != nil {
 		return err
 	}
-	defer ctl.Lock()
-	if err := ctl.EraseSegment(cfg.SegAddr); err != nil {
+	defer dev.Lock()
+	if err := dev.EraseSegment(cfg.SegAddr); err != nil {
 		return err
 	}
-	return ctl.ProgramBlock(cfg.SegAddr, img)
+	return dev.ProgramBlock(cfg.SegAddr, img)
 }
 
 // DigitalCloneAttack copies a genuine chip's watermark segment content
 // bit-for-bit onto the target with ordinary program operations. The
 // digital image is perfect — and physically absent, because extraction
 // erases and reprograms the segment before sensing wear.
-func DigitalCloneAttack(dev *mcu.Device, cfg FactoryConfig, clonedDieID uint64) error {
+func DigitalCloneAttack(dev device.Device, cfg FactoryConfig, clonedDieID uint64) error {
 	cfg = cfg.withDefaults()
 	// The attacker reads a genuine chip; reconstruct that image.
 	payload, err := cfg.Codec.Encode(cfg.payloadFor(clonedDieID, wmcode.StatusAccept))
 	if err != nil {
 		return err
 	}
-	img, err := core.Replicate(payload, cfg.Replicas, cfg.Part.Geometry.WordsPerSegment())
+	img, err := core.Replicate(payload, cfg.Replicas, dev.Geometry().WordsPerSegment())
 	if err != nil {
 		return err
 	}
-	ctl := dev.Controller()
-	if err := ctl.Unlock(flashctl.UnlockKey); err != nil {
+	if err := dev.Unlock(); err != nil {
 		return err
 	}
-	defer ctl.Lock()
-	if err := ctl.EraseSegment(cfg.SegAddr); err != nil {
+	defer dev.Lock()
+	if err := dev.EraseSegment(cfg.SegAddr); err != nil {
 		return err
 	}
-	return ctl.ProgramBlock(cfg.SegAddr, img)
+	return dev.ProgramBlock(cfg.SegAddr, img)
 }
 
 // TopUpTamperAttack models the §V tampering discussion: the counterfeiter
@@ -238,13 +239,13 @@ func DigitalCloneAttack(dev *mcu.Device, cfg FactoryConfig, clonedDieID uint64) 
 // "good" cells "bad" (1 -> 0 at extraction); here the attacker stresses
 // every cell that differs from a forged ACCEPT watermark in the hopeful
 // direction. The balanced code makes the result detectably illegitimate.
-func TopUpTamperAttack(dev *mcu.Device, cfg FactoryConfig) error {
+func TopUpTamperAttack(dev device.Device, cfg FactoryConfig) error {
 	cfg = cfg.withDefaults()
 	forged, err := cfg.Codec.Encode(cfg.payloadFor(0xFA4E, wmcode.StatusAccept))
 	if err != nil {
 		return err
 	}
-	img, err := core.Replicate(forged, cfg.Replicas, cfg.Part.Geometry.WordsPerSegment())
+	img, err := core.Replicate(forged, cfg.Replicas, dev.Geometry().WordsPerSegment())
 	if err != nil {
 		return err
 	}
@@ -261,13 +262,13 @@ func TopUpTamperAttack(dev *mcu.Device, cfg FactoryConfig) error {
 // risk. It is bounded economically (hundreds of seconds of tester time
 // per chip) and operationally (duplicated die IDs are detectable
 // downstream); the population experiment reports it honestly.
-func ReplayImprintAttack(dev *mcu.Device, cfg FactoryConfig, copiedDieID uint64) error {
+func ReplayImprintAttack(dev device.Device, cfg FactoryConfig, copiedDieID uint64) error {
 	cfg = cfg.withDefaults()
 	payload, err := cfg.Codec.Encode(cfg.payloadFor(copiedDieID, wmcode.StatusAccept))
 	if err != nil {
 		return err
 	}
-	img, err := core.Replicate(payload, cfg.Replicas, cfg.Part.Geometry.WordsPerSegment())
+	img, err := core.Replicate(payload, cfg.Replicas, dev.Geometry().WordsPerSegment())
 	if err != nil {
 		return err
 	}

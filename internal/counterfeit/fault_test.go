@@ -1,0 +1,129 @@
+package counterfeit
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/flashmark/flashmark/internal/device"
+)
+
+// These tests pin the verifier's behavior on misbehaving silicon: device
+// faults must surface as explicit degraded verdicts, never as panics and
+// never as silent accepts.
+
+func faultyGenuine(t *testing.T, seed uint64, cfg device.FaultConfig) device.Device {
+	t.Helper()
+	dev, err := Fabricate(ClassGenuineAccept, testConfig(), seed, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return device.InjectFaults(dev, cfg)
+}
+
+func TestVerifyEraseTimeoutIsInconclusive(t *testing.T) {
+	dev := faultyGenuine(t, 300, device.FaultConfig{Seed: 300, EraseTimeoutProb: 1})
+	res, err := testVerifier().Verify(dev)
+	if err != nil {
+		t.Fatalf("a device fault must not be a verifier error: %v", err)
+	}
+	if res.Verdict != VerdictInconclusive {
+		t.Fatalf("verdict = %s, want INCONCLUSIVE", res.Verdict)
+	}
+	if !errors.Is(res.FaultErr, device.ErrInjected) {
+		t.Errorf("FaultErr = %v, want ErrInjected", res.FaultErr)
+	}
+	if res.Verdict.Accepted() {
+		t.Error("an inconclusive inspection must not accept the chip")
+	}
+}
+
+func TestVerifyRecycledScreenTimeoutIsInconclusive(t *testing.T) {
+	// Let the extraction succeed, then fail an erase during the recycling
+	// screen: still an explicit inconclusive, not a hard error. The fault
+	// seed is fixed so the deterministic fault stream spares the
+	// extraction's erases and fires in the screen.
+	dev := faultyGenuine(t, 301, device.FaultConfig{Seed: 1, EraseTimeoutProb: 0.12})
+	v := testVerifier()
+	v.CheckRecycling = true
+	res, err := v.Verify(dev)
+	if err != nil {
+		t.Fatalf("a device fault must not be a verifier error: %v", err)
+	}
+	if res.Verdict != VerdictInconclusive {
+		t.Fatalf("verdict = %s, want INCONCLUSIVE (FaultErr=%v)", res.Verdict, res.FaultErr)
+	}
+	if !errors.Is(res.FaultErr, device.ErrInjected) {
+		t.Errorf("FaultErr = %v, want ErrInjected", res.FaultErr)
+	}
+	if res.Payload.Manufacturer != "TC" {
+		t.Errorf("fault fired before the screen: payload %+v", res.Payload)
+	}
+}
+
+func TestVerifySurvivesReadBitFlips(t *testing.T) {
+	// Transient sense-amp bit flips on ~2% of reads: the replica majority
+	// plus per-word read voting must still classify the chip, and the
+	// flow must never panic. With heavier corruption any explicit verdict
+	// is acceptable — the invariant is no panic and no error.
+	for _, prob := range []float64{0.02, 0.5} {
+		dev := faultyGenuine(t, 302, device.FaultConfig{Seed: 302, ReadBitFlipProb: prob})
+		res, err := testVerifier().Verify(dev)
+		if err != nil {
+			t.Fatalf("p=%v: verify errored: %v", prob, err)
+		}
+		if prob <= 0.02 && res.Verdict != VerdictGenuine {
+			t.Errorf("p=%v: verdict = %s, want GENUINE (disagreement %.3f)", prob, res.Verdict, res.ReplicaDisagreement)
+		}
+	}
+}
+
+func TestVerifyProgramErrorIsInconclusive(t *testing.T) {
+	dev := faultyGenuine(t, 303, device.FaultConfig{Seed: 303, ProgramErrorProb: 1})
+	res, err := testVerifier().Verify(dev)
+	if err != nil {
+		t.Fatalf("a device fault must not be a verifier error: %v", err)
+	}
+	if res.Verdict != VerdictInconclusive {
+		t.Fatalf("verdict = %s, want INCONCLUSIVE", res.Verdict)
+	}
+}
+
+func TestPopulationToleratesFaultyChips(t *testing.T) {
+	// A population study over a fault-injecting fab completes and reports
+	// inconclusive chips separately instead of crashing or miscounting.
+	base := testConfig()
+	faultyFab := func(seed uint64) (device.Device, error) {
+		d, err := base.Fab(seed)
+		if err != nil {
+			return nil, err
+		}
+		return device.InjectFaults(d, device.FaultConfig{Seed: seed, EraseTimeoutProb: 0.3}), nil
+	}
+	cfg := base
+	cfg.Fab = faultyFab
+	inconclusive, genuine := 0, 0
+	for i := 0; i < 12; i++ {
+		dev, err := Fabricate(ClassGenuineAccept, cfg, uint64(412+i), uint64(1412+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := testVerifier().Verify(dev)
+		if err != nil {
+			t.Fatalf("chip %d: %v", i, err)
+		}
+		switch res.Verdict {
+		case VerdictInconclusive:
+			inconclusive++
+		case VerdictGenuine:
+			genuine++
+		default:
+			t.Errorf("chip %d: unexpected verdict %s", i, res.Verdict)
+		}
+	}
+	if inconclusive == 0 {
+		t.Error("p=0.3 erase timeouts never produced an inconclusive chip")
+	}
+	if genuine == 0 {
+		t.Error("every chip came back inconclusive; retry path untested")
+	}
+}

@@ -33,6 +33,11 @@ const (
 	// identity already appeared in this procurement batch — the signature
 	// of a replay-imprinted clone (or its victim).
 	VerdictDuplicateID
+	// VerdictInconclusive: a device fault (erase timeout, program
+	// failure) interrupted the inspection before any classification could
+	// be made. Not an accept — the chip goes back for a retry on
+	// different equipment.
+	VerdictInconclusive
 )
 
 // String renders the verdict.
@@ -52,6 +57,8 @@ func (v Verdict) String() string {
 		return "RECYCLED"
 	case VerdictDuplicateID:
 		return "DUPLICATE-ID"
+	case VerdictInconclusive:
+		return "INCONCLUSIVE"
 	default:
 		return "INVALID"
 	}

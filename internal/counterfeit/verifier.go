@@ -1,11 +1,12 @@
 package counterfeit
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"github.com/flashmark/flashmark/internal/core"
-	"github.com/flashmark/flashmark/internal/mcu"
+	"github.com/flashmark/flashmark/internal/device"
 	"github.com/flashmark/flashmark/internal/wmcode"
 )
 
@@ -53,6 +54,9 @@ type Result struct {
 	WornDataSegments int
 	// SampledDataSegments is how many data segments were screened.
 	SampledDataSegments int
+	// FaultErr is set with VerdictInconclusive: the device fault that
+	// prevented the inspection from completing.
+	FaultErr error
 }
 
 func (v *Verifier) withDefaults() Verifier {
@@ -84,7 +88,7 @@ func (v *Verifier) withDefaults() Verifier {
 // extraction (destructive to the segment's digital content, not to the
 // watermark), replica majority decode, integrity checks, and optionally
 // the recycling screen on data segments.
-func (v *Verifier) Verify(dev *mcu.Device) (Result, error) {
+func (v *Verifier) Verify(dev device.Device) (Result, error) {
 	cfg := v.withDefaults()
 	var res Result
 
@@ -94,10 +98,15 @@ func (v *Verifier) Verify(dev *mcu.Device) (Result, error) {
 		HostReadout: true,
 	})
 	if err != nil {
+		if errors.Is(err, device.ErrInjected) {
+			res.Verdict = VerdictInconclusive
+			res.FaultErr = err
+			return res, nil
+		}
 		return res, fmt.Errorf("counterfeit: extraction failed: %w", err)
 	}
 	payloadWords := cfg.Codec.PayloadWords()
-	bits := dev.Part().Geometry.WordBits()
+	bits := dev.Geometry().WordBits()
 	views, err := core.ReplicaViews(extracted, payloadWords, cfg.Replicas)
 	if err != nil {
 		return res, fmt.Errorf("counterfeit: replica decode failed: %w", err)
@@ -126,6 +135,11 @@ func (v *Verifier) Verify(dev *mcu.Device) (Result, error) {
 	if cfg.CheckRecycling {
 		worn, sampled, err := v.recycledScreen(dev, cfg)
 		if err != nil {
+			if errors.Is(err, device.ErrInjected) {
+				res.Verdict = VerdictInconclusive
+				res.FaultErr = err
+				return res, nil
+			}
 			return res, err
 		}
 		res.WornDataSegments = worn
@@ -147,8 +161,8 @@ func (v *Verifier) Verify(dev *mcu.Device) (Result, error) {
 
 // recycledScreen samples data segments with the one-round partial-erase
 // stress detector.
-func (v *Verifier) recycledScreen(dev *mcu.Device, cfg Verifier) (worn, sampled int, err error) {
-	geom := dev.Part().Geometry
+func (v *Verifier) recycledScreen(dev device.Device, cfg Verifier) (worn, sampled int, err error) {
+	geom := dev.Geometry()
 	wmSeg, err := geom.SegmentOfAddr(cfg.SegAddr)
 	if err != nil {
 		return 0, 0, err

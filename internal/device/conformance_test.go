@@ -1,0 +1,52 @@
+package device_test
+
+import (
+	"testing"
+
+	"github.com/flashmark/flashmark/internal/device"
+	"github.com/flashmark/flashmark/internal/device/devicetest"
+	"github.com/flashmark/flashmark/internal/floatgate"
+	"github.com/flashmark/flashmark/internal/mcu"
+	"github.com/flashmark/flashmark/internal/nand"
+)
+
+// TestConformance runs the backend contract suite over every shipped
+// implementation: all catalog NOR parts, the NAND adapter, and both
+// decorators (which must be fully transparent at their zero
+// configuration).
+func TestConformance(t *testing.T) {
+	for _, part := range []mcu.Part{
+		mcu.PartMSP430F5438(),
+		mcu.PartMSP430F5529(),
+		mcu.PartSmallSim(),
+		mcu.PartFastNOR(),
+		mcu.PartAltNOR(),
+	} {
+		devicetest.Run(t, part.Name, mcu.Fab(part))
+	}
+
+	devicetest.Run(t, "NAND-SIM", nand.Fab(nand.SmallNAND(), nand.SLCTiming(), floatgate.DefaultParams()))
+
+	base := mcu.Fab(mcu.PartSmallSim())
+	devicetest.Run(t, "FM-SIM16+faults-off", func(seed uint64) (device.Device, error) {
+		d, err := base(seed)
+		if err != nil {
+			return nil, err
+		}
+		return device.InjectFaults(d, device.FaultConfig{Seed: seed}), nil
+	})
+	devicetest.Run(t, "FM-SIM16+recorder", func(seed uint64) (device.Device, error) {
+		d, err := base(seed)
+		if err != nil {
+			return nil, err
+		}
+		return device.Record(d), nil
+	})
+	devicetest.Run(t, "NAND-SIM+recorder+faults-off", func(seed uint64) (device.Device, error) {
+		d, err := nand.Open(nand.SmallNAND(), nand.SLCTiming(), floatgate.DefaultParams(), seed)
+		if err != nil {
+			return nil, err
+		}
+		return device.Record(device.InjectFaults(d, device.FaultConfig{Seed: seed})), nil
+	})
+}

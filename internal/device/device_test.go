@@ -1,0 +1,291 @@
+package device_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/flashmark/flashmark/internal/device"
+	"github.com/flashmark/flashmark/internal/floatgate"
+	"github.com/flashmark/flashmark/internal/mcu"
+	"github.com/flashmark/flashmark/internal/nand"
+)
+
+func smallSim(t *testing.T, seed uint64) device.Device {
+	t.Helper()
+	d, err := mcu.Open(mcu.PartSmallSim(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestAsReachesThroughDecorators(t *testing.T) {
+	d := smallSim(t, 1)
+	wrapped := device.Record(device.InjectFaults(d, device.FaultConfig{}))
+	if _, ok := device.As[device.WearInspector](wrapped); !ok {
+		t.Error("WearInspector not found through two decorators")
+	}
+	if _, ok := device.As[device.Ager](wrapped); !ok {
+		t.Error("Ager not found through two decorators")
+	}
+	if _, ok := device.As[device.Thermal](wrapped); !ok {
+		t.Error("Thermal not found through two decorators")
+	}
+	if _, ok := device.As[device.Tracer](wrapped); !ok {
+		t.Error("Tracer not found through two decorators")
+	}
+	if _, ok := device.As[device.PartialProgrammer](wrapped); !ok {
+		t.Error("PartialProgrammer not found through two decorators")
+	}
+}
+
+func TestAsAbsentOnBareBackend(t *testing.T) {
+	d, err := nand.Open(nand.SmallNAND(), nand.SLCTiming(), floatgate.DefaultParams(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The NAND adapter has no FCTL registers, no aging model, and no
+	// partial-program primitive.
+	if _, ok := device.As[device.Ager](d); ok {
+		t.Error("NAND adapter claims to model storage age")
+	}
+	if _, ok := device.As[device.PartialProgrammer](d); ok {
+		t.Error("NAND adapter claims partial program")
+	}
+	if err := device.Age(d, 1); err == nil {
+		t.Error("Age succeeded on an age-less backend")
+	}
+	if err := device.SetAmbientTempC(d, 85); err == nil {
+		t.Error("SetAmbientTempC succeeded on a temperature-less backend")
+	}
+}
+
+func TestAgeAndTempHelpers(t *testing.T) {
+	d := smallSim(t, 3)
+	wrapped := device.InjectFaults(d, device.FaultConfig{})
+	if err := device.Age(wrapped, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := device.As[device.Ager](wrapped)
+	if got := a.AgeYears(); got != 2.5 {
+		t.Errorf("AgeYears = %v, want 2.5", got)
+	}
+	if err := device.SetAmbientTempC(wrapped, 60); err != nil {
+		t.Fatal(err)
+	}
+	th, _ := device.As[device.Thermal](wrapped)
+	if got := th.AmbientTempC(); got != 60 {
+		t.Errorf("AmbientTempC = %v, want 60", got)
+	}
+}
+
+func TestFaultInjectorEraseTimeout(t *testing.T) {
+	d := smallSim(t, 4)
+	f := device.InjectFaults(d, device.FaultConfig{Seed: 4, EraseTimeoutProb: 1})
+	if err := f.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	defer f.Lock()
+	before := f.Clock().Now()
+	err := f.EraseSegment(0)
+	if !errors.Is(err, device.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if f.Clock().Now()-before != f.NominalEraseTime() {
+		t.Errorf("timeout burned %v, want the nominal erase time %v", f.Clock().Now()-before, f.NominalEraseTime())
+	}
+	// The array is untouched: the segment still reads erased.
+	v, err := f.ReadWord(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xFFFF {
+		t.Errorf("timed-out erase changed the array: %#x", v)
+	}
+	if _, err := f.EraseSegmentAdaptive(0); !errors.Is(err, device.ErrInjected) {
+		t.Error("adaptive erase not injected")
+	}
+	if err := f.MassEraseBank(0); !errors.Is(err, device.ErrInjected) {
+		t.Error("mass erase not injected")
+	}
+	if err := f.PartialEraseSegment(0, time.Microsecond); !errors.Is(err, device.ErrInjected) {
+		t.Error("partial erase not injected")
+	}
+	if got := f.Stats().EraseTimeouts; got != 4 {
+		t.Errorf("EraseTimeouts = %d, want 4", got)
+	}
+}
+
+func TestFaultInjectorProgramError(t *testing.T) {
+	d := smallSim(t, 5)
+	f := device.InjectFaults(d, device.FaultConfig{Seed: 5, ProgramErrorProb: 1})
+	if err := f.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	defer f.Lock()
+	if err := f.ProgramBlock(0, []uint64{0}); !errors.Is(err, device.ErrInjected) {
+		t.Fatalf("program err = %v, want ErrInjected", err)
+	}
+	wm := make([]uint64, f.Geometry().WordsPerSegment())
+	if err := f.StressSegmentWords(0, wm, 10, false); !errors.Is(err, device.ErrInjected) {
+		t.Fatalf("stress err = %v, want ErrInjected", err)
+	}
+	if got := f.Stats().ProgramErrors; got != 2 {
+		t.Errorf("ProgramErrors = %d, want 2", got)
+	}
+}
+
+func TestFaultInjectorReadBitFlips(t *testing.T) {
+	d := smallSim(t, 6)
+	f := device.InjectFaults(d, device.FaultConfig{Seed: 6, ReadBitFlipProb: 1})
+	// Every read returns with exactly one bit flipped, never an error.
+	v, err := f.ReadWord(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flips := popcount(v ^ 0xFFFF); flips != 1 {
+		t.Errorf("read flipped %d bits, want exactly 1", flips)
+	}
+	words, err := f.ReadSegment(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range words {
+		if flips := popcount(w ^ 0xFFFF); flips != 1 {
+			t.Fatalf("segment word %d flipped %d bits", i, flips)
+		}
+	}
+	if got := f.Stats().ReadBitFlips; got != 1+len(words) {
+		t.Errorf("ReadBitFlips = %d, want %d", got, 1+len(words))
+	}
+}
+
+func TestFaultInjectorDeterministicPattern(t *testing.T) {
+	script := func(seed uint64) []bool {
+		d := smallSim(t, 100) // same die every time; only the fault seed varies
+		f := device.InjectFaults(d, device.FaultConfig{Seed: seed, EraseTimeoutProb: 0.3})
+		if err := f.Unlock(); err != nil {
+			t.Fatal(err)
+		}
+		defer f.Lock()
+		fired := make([]bool, 40)
+		for i := range fired {
+			fired[i] = f.EraseSegment(0) != nil
+		}
+		return fired
+	}
+	a, b, c := script(7), script(7), script(8)
+	anyFired, allFired := false, true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same fault seed diverged at op %d", i)
+		}
+		anyFired = anyFired || a[i]
+		allFired = allFired && a[i]
+	}
+	if !anyFired || allFired {
+		t.Errorf("p=0.3 over 40 ops fired unexpectedly (any=%v all=%v)", anyFired, allFired)
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different fault seeds produced the same pattern")
+	}
+}
+
+func TestFaultInjectorZeroConfigTransparent(t *testing.T) {
+	plain := smallSim(t, 9)
+	faulty := device.InjectFaults(smallSim(t, 9), device.FaultConfig{Seed: 9})
+	wm := make([]uint64, plain.Geometry().WordsPerSegment())
+	for _, dev := range []device.Device{plain, faulty} {
+		if err := dev.Unlock(); err != nil {
+			t.Fatal(err)
+		}
+		if err := dev.StressSegmentWords(0, wm, 1000, true); err != nil {
+			t.Fatal(err)
+		}
+		dev.Lock()
+	}
+	if plain.Clock().Now() != faulty.Clock().Now() {
+		t.Errorf("zero-config injector perturbed the clock: %v vs %v", plain.Clock().Now(), faulty.Clock().Now())
+	}
+	pw, _ := plain.ReadSegment(0)
+	fw, _ := faulty.ReadSegment(0)
+	for i := range pw {
+		if pw[i] != fw[i] {
+			t.Fatalf("zero-config injector perturbed word %d", i)
+		}
+	}
+}
+
+func TestRecorderCounts(t *testing.T) {
+	d := smallSim(t, 10)
+	r := device.Record(d)
+	if err := r.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.EraseSegment(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ProgramBlock(0, []uint64{0x5443}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadWord(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadSegment(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.EraseSegmentAdaptive(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.PartialEraseSegment(0, time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.MassEraseBank(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.StressSegmentWords(0, make([]uint64, r.Geometry().WordsPerSegment()), 5, false); err != nil {
+		t.Fatal(err)
+	}
+	r.ChargeHostTransfer(16)
+	r.Lock()
+	want := map[string]int{
+		"unlock": 1, "erase-segment": 1, "program-block": 1, "read-word": 1,
+		"read-segment": 1, "erase-segment-adaptive": 1, "partial-erase-segment": 1,
+		"mass-erase-bank": 1, "stress-segment-words": 1, "host-transfer": 1, "lock": 1,
+	}
+	got := r.Counts()
+	for op, n := range want {
+		if got[op] != n {
+			t.Errorf("count[%s] = %d, want %d", op, got[op], n)
+		}
+	}
+	if len(r.ErrorCounts()) != 0 {
+		t.Errorf("spurious errors recorded: %v", r.ErrorCounts())
+	}
+	// Errors are tallied separately.
+	if err := r.ProgramBlock(1<<30, []uint64{0}); err == nil {
+		t.Fatal("bad program accepted")
+	}
+	if r.ErrorCounts()["program-block"] != 1 {
+		t.Errorf("program error not recorded: %v", r.ErrorCounts())
+	}
+	if r.CountOf("program-block") != 2 {
+		t.Errorf("CountOf(program-block) = %d, want 2", r.CountOf("program-block"))
+	}
+}
+
+func popcount(v uint64) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,382 @@
+// Package devicetest is the conformance suite every device.Device
+// backend must pass: the mcu NOR parts, the NAND adapter, and any
+// decorator that claims to be transparent. Run exercises the full
+// interface contract — geometry sanity, erased-state reads,
+// program/read round trips, erase and partial-erase semantics, the
+// stress fast-forward, virtual-clock monotonicity — and pins the
+// determinism guarantee the whole experiment engine rests on: the same
+// seed must reproduce byte-identical chip state.
+//
+// A new backend earns its place by adding one devicetest.Run line to
+// internal/device/conformance_test.go (see DESIGN.md, "Adding a
+// backend").
+package devicetest
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/flashmark/flashmark/internal/device"
+)
+
+// Run executes the conformance suite against a backend family. fab must
+// return a fresh, independent chip for every seed; name labels the
+// subtests.
+func Run(t *testing.T, name string, fab device.Fab) {
+	t.Helper()
+	t.Run(name+"/geometry", func(t *testing.T) { testGeometry(t, fab) })
+	t.Run(name+"/fresh-reads-erased", func(t *testing.T) { testFreshReadsErased(t, fab) })
+	t.Run(name+"/program-read-roundtrip", func(t *testing.T) { testProgramReadRoundTrip(t, fab) })
+	t.Run(name+"/erase-resets", func(t *testing.T) { testEraseResets(t, fab) })
+	t.Run(name+"/partial-erase", func(t *testing.T) { testPartialErase(t, fab) })
+	t.Run(name+"/stress", func(t *testing.T) { testStress(t, fab) })
+	t.Run(name+"/clock", func(t *testing.T) { testClock(t, fab) })
+	t.Run(name+"/determinism", func(t *testing.T) { testDeterminism(t, fab) })
+}
+
+func fabricate(t *testing.T, fab device.Fab, seed uint64) device.Device {
+	t.Helper()
+	dev, err := fab(seed)
+	if err != nil {
+		t.Fatalf("fab(%#x): %v", seed, err)
+	}
+	return dev
+}
+
+// pattern fills a segment image with a mixed-bit test pattern.
+func pattern(geom interface{ WordsPerSegment() int }, mask uint64) []uint64 {
+	out := make([]uint64, geom.WordsPerSegment())
+	for i := range out {
+		out[i] = (uint64(i)*0x9E37 + 0x5443) & mask
+	}
+	return out
+}
+
+func testGeometry(t *testing.T, fab device.Fab) {
+	dev := fabricate(t, fab, 0xC0F1)
+	geom := dev.Geometry()
+	if err := geom.Validate(); err != nil {
+		t.Fatalf("invalid geometry: %v", err)
+	}
+	if dev.PartName() == "" {
+		t.Error("empty part name")
+	}
+	if dev.Seed() != 0xC0F1 {
+		t.Errorf("Seed() = %#x, want 0xC0F1", dev.Seed())
+	}
+	if dev.NominalEraseTime() <= 0 {
+		t.Errorf("NominalEraseTime() = %v", dev.NominalEraseTime())
+	}
+	if dev.Clock() == nil || dev.Ledger() == nil {
+		t.Fatal("nil clock or ledger")
+	}
+}
+
+func testFreshReadsErased(t *testing.T, fab device.Fab) {
+	dev := fabricate(t, fab, 0xC0F2)
+	geom := dev.Geometry()
+	erased := uint64(1)<<geom.WordBits() - 1
+	words, err := dev.ReadSegment(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) != geom.WordsPerSegment() {
+		t.Fatalf("ReadSegment returned %d words, segment holds %d", len(words), geom.WordsPerSegment())
+	}
+	for i, w := range words {
+		if w != erased {
+			t.Fatalf("fresh word %d = %#x, want erased %#x", i, w, erased)
+		}
+	}
+	// Word-granular reads agree with the segment read.
+	v, err := dev.ReadWord(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != erased {
+		t.Errorf("fresh ReadWord(0) = %#x, want %#x", v, erased)
+	}
+}
+
+func testProgramReadRoundTrip(t *testing.T, fab device.Fab) {
+	dev := fabricate(t, fab, 0xC0F3)
+	geom := dev.Geometry()
+	mask := uint64(1)<<geom.WordBits() - 1
+	img := pattern(geom, mask)
+	if err := dev.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Lock()
+	if err := dev.EraseSegment(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.ProgramBlock(0, img); err != nil {
+		t.Fatal(err)
+	}
+	words, err := dev.ReadSegment(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range words {
+		if w != img[i] {
+			t.Fatalf("word %d = %#x, want %#x", i, w, img[i])
+		}
+	}
+	// ReadWord sees the same values.
+	for _, i := range []int{0, len(img) / 2, len(img) - 1} {
+		v, err := dev.ReadWord(i * geom.WordBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != img[i] {
+			t.Errorf("ReadWord(word %d) = %#x, want %#x", i, v, img[i])
+		}
+	}
+	// Out-of-range addresses are rejected, not wrapped.
+	if err := dev.ProgramBlock(geom.TotalBytes(), img[:1]); err == nil {
+		t.Error("program past end of array accepted")
+	}
+	if _, err := dev.ReadWord(geom.TotalBytes()); err == nil {
+		t.Error("read past end of array accepted")
+	}
+}
+
+func testEraseResets(t *testing.T, fab device.Fab) {
+	dev := fabricate(t, fab, 0xC0F4)
+	geom := dev.Geometry()
+	mask := uint64(1)<<geom.WordBits() - 1
+	if err := dev.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Lock()
+	if err := dev.EraseSegment(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.ProgramBlock(0, make([]uint64, geom.WordsPerSegment())); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.EraseSegment(0); err != nil {
+		t.Fatal(err)
+	}
+	words, err := dev.ReadSegment(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range words {
+		if w != mask {
+			t.Fatalf("word %d = %#x after erase, want %#x", i, w, mask)
+		}
+	}
+	// Mass erase covers every segment of the bank.
+	if err := dev.ProgramBlock(0, make([]uint64, geom.WordsPerSegment())); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.MassEraseBank(0); err != nil {
+		t.Fatal(err)
+	}
+	last := geom.SegmentsPerBank - 1
+	addr, err := geom.AddrOfSegment(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := dev.ReadWord(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != mask {
+		t.Errorf("last segment of bank reads %#x after mass erase", v)
+	}
+}
+
+func testPartialErase(t *testing.T, fab device.Fab) {
+	dev := fabricate(t, fab, 0xC0F5)
+	geom := dev.Geometry()
+	cells := geom.CellsPerSegment()
+	if err := dev.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Lock()
+	if err := dev.EraseSegment(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.ProgramBlock(0, make([]uint64, geom.WordsPerSegment())); err != nil {
+		t.Fatal(err)
+	}
+	// A pulse far below any cell's erase time moves nothing observable.
+	if err := dev.PartialEraseSegment(0, 100*time.Nanosecond); err != nil {
+		t.Fatal(err)
+	}
+	if n := countOnes(t, dev, geom.WordBits()); n > cells/10 {
+		t.Errorf("%d/%d cells erased by a 100ns pulse", n, cells)
+	}
+	// A pulse of the full nominal time is a complete erase on fresh cells.
+	if err := dev.PartialEraseSegment(0, dev.NominalEraseTime()); err != nil {
+		t.Fatal(err)
+	}
+	if n := countOnes(t, dev, geom.WordBits()); n < cells-cells/100 {
+		t.Errorf("only %d/%d cells erased by a nominal-length pulse", n, cells)
+	}
+	if err := dev.PartialEraseSegment(0, -time.Microsecond); err == nil {
+		t.Error("negative pulse accepted")
+	}
+}
+
+func testStress(t *testing.T, fab device.Fab) {
+	dev := fabricate(t, fab, 0xC0F6)
+	geom := dev.Geometry()
+	mask := uint64(1)<<geom.WordBits() - 1
+	img := pattern(geom, mask)
+	if err := dev.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Lock()
+	const n = 500
+	before := dev.Clock().Now()
+	if err := dev.StressSegmentWords(0, img, n, false); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Clock().Now() <= before {
+		t.Error("stress did not advance the clock")
+	}
+	// The final program cycle leaves the pattern readable.
+	words, err := dev.ReadSegment(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range words {
+		if w != img[i] {
+			t.Fatalf("word %d = %#x after stress, want %#x", i, w, img[i])
+		}
+	}
+	// Backends with wear diagnostics must show the cycles.
+	if wi, ok := device.As[device.WearInspector](dev); ok {
+		_, mean, maxW, err := wi.SegmentWearSummary(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mean <= 0 || maxW < n-1 {
+			t.Errorf("wear after %d cycles: mean %.1f max %.1f", n, mean, maxW)
+		}
+	}
+	// The adaptive variant runs too and is cheaper or equal in time.
+	dev2 := fabricate(t, fab, 0xC0F6+1)
+	if err := dev2.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	defer dev2.Lock()
+	if err := dev2.StressSegmentWords(0, pattern(dev2.Geometry(), mask), n, true); err != nil {
+		t.Fatal(err)
+	}
+	if dev2.Clock().Now() > dev.Clock().Now() {
+		t.Errorf("adaptive stress slower than nominal: %v > %v", dev2.Clock().Now(), dev.Clock().Now())
+	}
+}
+
+func testClock(t *testing.T, fab device.Fab) {
+	dev := fabricate(t, fab, 0xC0F7)
+	geom := dev.Geometry()
+	last := dev.Clock().Now()
+	step := func(op string, f func() error) {
+		t.Helper()
+		if err := f(); err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		now := dev.Clock().Now()
+		if now < last {
+			t.Fatalf("%s moved the clock backwards: %v -> %v", op, last, now)
+		}
+		last = now
+	}
+	step("unlock", dev.Unlock)
+	step("erase", func() error { return dev.EraseSegment(0) })
+	step("program", func() error { return dev.ProgramBlock(0, make([]uint64, geom.WordsPerSegment())) })
+	step("read", func() error { _, err := dev.ReadSegment(0); return err })
+	step("partial-erase", func() error { return dev.PartialEraseSegment(0, time.Microsecond) })
+	step("adaptive-erase", func() error { _, err := dev.EraseSegmentAdaptive(0); return err })
+	dev.Lock()
+	// Host transfers are charged to the ledger's host class.
+	before := dev.Ledger().Of(device.OpHost)
+	dev.ChargeHostTransfer(1024)
+	if dev.Ledger().Of(device.OpHost) <= before {
+		t.Error("host transfer not charged")
+	}
+}
+
+// testDeterminism runs an identical op script on two same-seed chips and
+// demands bit-identical observations, clocks, and persisted state.
+func testDeterminism(t *testing.T, fab device.Fab) {
+	run := func(dev device.Device) ([]uint64, time.Duration, []byte) {
+		t.Helper()
+		geom := dev.Geometry()
+		mask := uint64(1)<<geom.WordBits() - 1
+		img := pattern(geom, mask)
+		if err := dev.Unlock(); err != nil {
+			t.Fatal(err)
+		}
+		if err := dev.StressSegmentWords(0, img, 2000, true); err != nil {
+			t.Fatal(err)
+		}
+		if err := dev.EraseSegment(0); err != nil {
+			t.Fatal(err)
+		}
+		if err := dev.ProgramBlock(0, make([]uint64, geom.WordsPerSegment())); err != nil {
+			t.Fatal(err)
+		}
+		// A mid-scale pulse lands cells in the metastable band, so this
+		// read exercises the noise stream too — it must still replay.
+		if err := dev.PartialEraseSegment(0, dev.NominalEraseTime()/2); err != nil {
+			t.Fatal(err)
+		}
+		words, err := dev.ReadSegment(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev.Lock()
+		var buf bytes.Buffer
+		if err := dev.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return words, dev.Clock().Now(), buf.Bytes()
+	}
+	a := fabricate(t, fab, 0xC0F8)
+	b := fabricate(t, fab, 0xC0F8)
+	aw, at, ab := run(a)
+	bw, bt, bb := run(b)
+	for i := range aw {
+		if aw[i] != bw[i] {
+			t.Fatalf("same-seed chips diverged at word %d: %#x vs %#x", i, aw[i], bw[i])
+		}
+	}
+	if at != bt {
+		t.Errorf("same-seed clocks diverged: %v vs %v", at, bt)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Error("same-seed chips persisted different state")
+	}
+	// A different seed is a different die: process variation shifts every
+	// cell's erase time, so the adaptive-stress portion of the script
+	// takes a measurably different amount of device time.
+	c := fabricate(t, fab, 0xC0F9)
+	_, ct, cb := run(c)
+	if ct == at && bytes.Equal(cb, ab) {
+		t.Error("different seeds produced an identical die")
+	}
+}
+
+func countOnes(t *testing.T, dev device.Device, wordBits int) int {
+	t.Helper()
+	words, err := dev.ReadSegment(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, w := range words {
+		for b := 0; b < wordBits; b++ {
+			if w>>uint(b)&1 == 1 {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,14 @@
+package devicetest_test
+
+import (
+	"testing"
+
+	"github.com/flashmark/flashmark/internal/device/devicetest"
+	"github.com/flashmark/flashmark/internal/mcu"
+)
+
+// The suite must itself pass against a known-good backend; this also
+// keeps the contract checks honest when they are edited.
+func TestSuiteAgainstReferenceBackend(t *testing.T) {
+	devicetest.Run(t, "FM-SIM16", mcu.Fab(mcu.PartSmallSim()))
+}

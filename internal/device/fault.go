@@ -1,0 +1,195 @@
+package device
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/flashmark/flashmark/internal/nor"
+	"github.com/flashmark/flashmark/internal/parallel"
+	"github.com/flashmark/flashmark/internal/rng"
+	"github.com/flashmark/flashmark/internal/vclock"
+)
+
+// FaultConfig configures a FaultInjector. Probabilities are per
+// operation in [0,1]; zero disables that fault class, so the zero value
+// is a fully transparent wrapper.
+type FaultConfig struct {
+	// Seed derives the injector's private decision stream (via
+	// parallel.SubSeed), so fault patterns are deterministic per chip
+	// and independent of the chip's own physics RNG.
+	Seed uint64
+	// EraseTimeoutProb is the chance an erase-class command (full,
+	// adaptive, mass, partial) times out: the nominal erase time is
+	// burned on the clock but the array state is untouched and the
+	// command reports an ErrInjected failure.
+	EraseTimeoutProb float64
+	// ReadBitFlipProb is the chance a ReadWord returns with one random
+	// bit flipped (a transient sense error; no state change, no error).
+	ReadBitFlipProb float64
+	// ProgramErrorProb is the chance a program-class command (word,
+	// block, stress) fails with ErrInjected before touching the array.
+	ProgramErrorProb float64
+}
+
+// FaultStats counts the faults an injector actually fired.
+type FaultStats struct {
+	EraseTimeouts int
+	ReadBitFlips  int
+	ProgramErrors int
+}
+
+// FaultInjector wraps a Device and injects configurable per-operation
+// faults — erase timeouts, read bit-flips, program errors — so
+// verification flows can be exercised against misbehaving silicon.
+// Injection decisions come from a private deterministic stream: the
+// same seed produces the same fault pattern for the same op sequence.
+type FaultInjector struct {
+	dev   Device
+	cfg   FaultConfig
+	r     *rng.Stream
+	stats FaultStats
+}
+
+// InjectFaults wraps dev with a fault injector.
+func InjectFaults(dev Device, cfg FaultConfig) *FaultInjector {
+	return &FaultInjector{
+		dev: dev,
+		cfg: cfg,
+		r:   rng.New(parallel.SubSeed(cfg.Seed, 0xFA17)),
+	}
+}
+
+// Unwrap returns the wrapped device.
+func (f *FaultInjector) Unwrap() Device { return f.dev }
+
+// Stats returns the counts of faults fired so far.
+func (f *FaultInjector) Stats() FaultStats { return f.stats }
+
+func (f *FaultInjector) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return f.r.Float64() < p
+}
+
+// eraseTimeout burns the nominal erase duration without touching the
+// array — the observable behavior of an erase that never verified.
+func (f *FaultInjector) eraseTimeout(op string, addr int) error {
+	f.stats.EraseTimeouts++
+	f.dev.Clock().Advance(f.dev.Ledger().Charge(vclock.OpErase, f.dev.NominalEraseTime()))
+	return fmt.Errorf("device: %s at %#x timed out: %w", op, addr, ErrInjected)
+}
+
+// PartName identifies the wrapped part with a fault-injection tag.
+func (f *FaultInjector) PartName() string { return f.dev.PartName() + "+faults" }
+
+// Seed returns the wrapped device's seed.
+func (f *FaultInjector) Seed() uint64 { return f.dev.Seed() }
+
+// Geometry returns the wrapped device's geometry.
+func (f *FaultInjector) Geometry() nor.Geometry { return f.dev.Geometry() }
+
+// Unlock forwards to the wrapped device.
+func (f *FaultInjector) Unlock() error { return f.dev.Unlock() }
+
+// Lock forwards to the wrapped device.
+func (f *FaultInjector) Lock() { f.dev.Lock() }
+
+// EraseSegment forwards, possibly injecting a timeout.
+func (f *FaultInjector) EraseSegment(addr int) error {
+	if f.roll(f.cfg.EraseTimeoutProb) {
+		return f.eraseTimeout("erase", addr)
+	}
+	return f.dev.EraseSegment(addr)
+}
+
+// EraseSegmentAdaptive forwards, possibly injecting a timeout.
+func (f *FaultInjector) EraseSegmentAdaptive(addr int) (time.Duration, error) {
+	if f.roll(f.cfg.EraseTimeoutProb) {
+		return 0, f.eraseTimeout("erase-adaptive", addr)
+	}
+	return f.dev.EraseSegmentAdaptive(addr)
+}
+
+// MassEraseBank forwards, possibly injecting a timeout.
+func (f *FaultInjector) MassEraseBank(addr int) error {
+	if f.roll(f.cfg.EraseTimeoutProb) {
+		return f.eraseTimeout("mass-erase", addr)
+	}
+	return f.dev.MassEraseBank(addr)
+}
+
+// PartialEraseSegment forwards, possibly injecting a timeout.
+func (f *FaultInjector) PartialEraseSegment(addr int, pulse time.Duration) error {
+	if f.roll(f.cfg.EraseTimeoutProb) {
+		return f.eraseTimeout("partial-erase", addr)
+	}
+	return f.dev.PartialEraseSegment(addr, pulse)
+}
+
+// ProgramBlock forwards, possibly injecting a program error.
+func (f *FaultInjector) ProgramBlock(addr int, values []uint64) error {
+	if f.roll(f.cfg.ProgramErrorProb) {
+		f.stats.ProgramErrors++
+		return fmt.Errorf("device: program-block at %#x failed: %w", addr, ErrInjected)
+	}
+	return f.dev.ProgramBlock(addr, values)
+}
+
+// ReadWord forwards, possibly flipping one bit of the result.
+func (f *FaultInjector) ReadWord(addr int) (uint64, error) {
+	v, err := f.dev.ReadWord(addr)
+	if err != nil {
+		return v, err
+	}
+	if f.roll(f.cfg.ReadBitFlipProb) {
+		f.stats.ReadBitFlips++
+		v ^= 1 << uint(f.r.Intn(f.dev.Geometry().WordBits()))
+	}
+	return v, nil
+}
+
+// ReadSegment reads word by word so per-read bit-flips apply.
+func (f *FaultInjector) ReadSegment(addr int) ([]uint64, error) {
+	geom := f.dev.Geometry()
+	seg, err := geom.SegmentOfAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	base := seg * geom.SegmentBytes
+	out := make([]uint64, geom.WordsPerSegment())
+	for w := range out {
+		v, err := f.ReadWord(base + w*geom.WordBytes)
+		if err != nil {
+			return nil, err
+		}
+		out[w] = v
+	}
+	return out, nil
+}
+
+// StressSegmentWords forwards, possibly injecting a program error.
+func (f *FaultInjector) StressSegmentWords(addr int, values []uint64, n int, adaptive bool) error {
+	if f.roll(f.cfg.ProgramErrorProb) {
+		f.stats.ProgramErrors++
+		return fmt.Errorf("device: stress at %#x failed: %w", addr, ErrInjected)
+	}
+	return f.dev.StressSegmentWords(addr, values, n, adaptive)
+}
+
+// NominalEraseTime forwards to the wrapped device.
+func (f *FaultInjector) NominalEraseTime() time.Duration { return f.dev.NominalEraseTime() }
+
+// Clock forwards to the wrapped device.
+func (f *FaultInjector) Clock() *vclock.Clock { return f.dev.Clock() }
+
+// Ledger forwards to the wrapped device.
+func (f *FaultInjector) Ledger() *vclock.Ledger { return f.dev.Ledger() }
+
+// ChargeHostTransfer forwards to the wrapped device.
+func (f *FaultInjector) ChargeHostTransfer(n int) { f.dev.ChargeHostTransfer(n) }
+
+// Save persists the wrapped device's state (fault configuration is a
+// harness concern, not chip state).
+func (f *FaultInjector) Save(w io.Writer) error { return f.dev.Save(w) }

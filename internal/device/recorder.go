@@ -1,0 +1,156 @@
+package device
+
+import (
+	"io"
+	"time"
+
+	"github.com/flashmark/flashmark/internal/nor"
+	"github.com/flashmark/flashmark/internal/vclock"
+)
+
+// Recorder wraps a Device and counts every operation and error passing
+// through it — the seam where a future observability layer (metrics,
+// structured op logs) attaches without touching the backends or the
+// procedures. Like the devices it wraps, a Recorder is not safe for
+// concurrent use.
+type Recorder struct {
+	dev    Device
+	counts map[string]int
+	errs   map[string]int
+}
+
+// Record wraps dev with an op-counting recorder.
+func Record(dev Device) *Recorder {
+	return &Recorder{dev: dev, counts: make(map[string]int), errs: make(map[string]int)}
+}
+
+// Unwrap returns the wrapped device.
+func (r *Recorder) Unwrap() Device { return r.dev }
+
+// Counts returns a copy of the per-operation call counts.
+func (r *Recorder) Counts() map[string]int {
+	out := make(map[string]int, len(r.counts))
+	for k, v := range r.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// ErrorCounts returns a copy of the per-operation error counts.
+func (r *Recorder) ErrorCounts() map[string]int {
+	out := make(map[string]int, len(r.errs))
+	for k, v := range r.errs {
+		out[k] = v
+	}
+	return out
+}
+
+// CountOf returns how many times op was invoked.
+func (r *Recorder) CountOf(op string) int { return r.counts[op] }
+
+func (r *Recorder) note(op string, err error) {
+	r.counts[op]++
+	if err != nil {
+		r.errs[op]++
+	}
+}
+
+// PartName forwards to the wrapped device.
+func (r *Recorder) PartName() string { return r.dev.PartName() }
+
+// Seed forwards to the wrapped device.
+func (r *Recorder) Seed() uint64 { return r.dev.Seed() }
+
+// Geometry forwards to the wrapped device.
+func (r *Recorder) Geometry() nor.Geometry { return r.dev.Geometry() }
+
+// Unlock forwards and counts.
+func (r *Recorder) Unlock() error {
+	err := r.dev.Unlock()
+	r.note("unlock", err)
+	return err
+}
+
+// Lock forwards and counts.
+func (r *Recorder) Lock() {
+	r.dev.Lock()
+	r.note("lock", nil)
+}
+
+// EraseSegment forwards and counts.
+func (r *Recorder) EraseSegment(addr int) error {
+	err := r.dev.EraseSegment(addr)
+	r.note("erase-segment", err)
+	return err
+}
+
+// EraseSegmentAdaptive forwards and counts.
+func (r *Recorder) EraseSegmentAdaptive(addr int) (time.Duration, error) {
+	d, err := r.dev.EraseSegmentAdaptive(addr)
+	r.note("erase-segment-adaptive", err)
+	return d, err
+}
+
+// MassEraseBank forwards and counts.
+func (r *Recorder) MassEraseBank(addr int) error {
+	err := r.dev.MassEraseBank(addr)
+	r.note("mass-erase-bank", err)
+	return err
+}
+
+// PartialEraseSegment forwards and counts.
+func (r *Recorder) PartialEraseSegment(addr int, pulse time.Duration) error {
+	err := r.dev.PartialEraseSegment(addr, pulse)
+	r.note("partial-erase-segment", err)
+	return err
+}
+
+// ProgramBlock forwards and counts.
+func (r *Recorder) ProgramBlock(addr int, values []uint64) error {
+	err := r.dev.ProgramBlock(addr, values)
+	r.note("program-block", err)
+	return err
+}
+
+// ReadWord forwards and counts.
+func (r *Recorder) ReadWord(addr int) (uint64, error) {
+	v, err := r.dev.ReadWord(addr)
+	r.note("read-word", err)
+	return v, err
+}
+
+// ReadSegment forwards and counts.
+func (r *Recorder) ReadSegment(addr int) ([]uint64, error) {
+	v, err := r.dev.ReadSegment(addr)
+	r.note("read-segment", err)
+	return v, err
+}
+
+// StressSegmentWords forwards and counts.
+func (r *Recorder) StressSegmentWords(addr int, values []uint64, n int, adaptive bool) error {
+	err := r.dev.StressSegmentWords(addr, values, n, adaptive)
+	r.note("stress-segment-words", err)
+	return err
+}
+
+// NominalEraseTime forwards to the wrapped device.
+func (r *Recorder) NominalEraseTime() time.Duration { return r.dev.NominalEraseTime() }
+
+// Clock forwards to the wrapped device.
+func (r *Recorder) Clock() *vclock.Clock { return r.dev.Clock() }
+
+// Ledger forwards to the wrapped device.
+func (r *Recorder) Ledger() *vclock.Ledger { return r.dev.Ledger() }
+
+// ChargeHostTransfer forwards and counts.
+func (r *Recorder) ChargeHostTransfer(n int) {
+	r.dev.ChargeHostTransfer(n)
+	r.note("host-transfer", nil)
+}
+
+// Save forwards and counts.
+func (r *Recorder) Save(w io.Writer) error {
+	err := r.dev.Save(w)
+	r.note("save", err)
+	return err
+}

@@ -1,0 +1,122 @@
+package device
+
+// The closed-form stress kernel shared by every backend. Fast-forwarding
+// n imprint cycles (erase whole unit + program the watermark) is pure
+// cell-state arithmetic: wear per cycle is state-independent after the
+// first cycle, so the final wear and margins are computed in O(cells)
+// instead of O(cells·n). The NOR controller and the NAND adapter both
+// ride this kernel and keep only their own time/stats charging, so the
+// equivalence argument (fast-forward == literal loop, covered by tests)
+// lives in exactly one place.
+//
+// The arithmetic below preserves the operation order of the original
+// per-backend implementations bit for bit — experiment artifacts are
+// pinned byte-identical across the refactor.
+
+// StressSubstrate is the minimal cell-state view the kernel needs: one
+// erase unit (NOR segment or NAND block) of `Cells` cells, indexed from
+// zero within the unit.
+type StressSubstrate interface {
+	Cells() int
+	// Programmed reports whether cell i currently reads programmed.
+	Programmed(i int) bool
+	// Wear returns cell i's accumulated wear.
+	Wear(i int) float64
+	// AddWear adds w to cell i's wear.
+	AddWear(i int, w float64)
+	// SetErased / SetProgrammed drive cell i to a deep stable state.
+	SetErased(i int)
+	SetProgrammed(i int)
+	// TauAt returns cell i's effective erase crossing time (µs) at the
+	// given wear, including any age/temperature adjustment the backend
+	// applies.
+	TauAt(i int, wear float64) float64
+}
+
+// StressWear holds the per-cycle wear increments of the physics model.
+type StressWear struct {
+	FullWear  float64 // erase of a programmed cell
+	EraseOnly float64 // erase of an already-erased cell
+	Program   float64 // one program exposure
+}
+
+// ApplyStress applies the physical outcome of n erase+program cycles to
+// the substrate: wear bookkeeping in closed form per cell — cycle 1's
+// erase sees the current state; cycles 2..n see the state left by the
+// previous cycle's program, which is determined by the watermark bit —
+// then the final state (erased, then programmed with the watermark).
+// one(i) reports whether cell i's watermark bit is logic 1.
+func ApplyStress(s StressSubstrate, one func(i int) bool, n int, wear StressWear) {
+	cells := s.Cells()
+	for i := 0; i < cells; i++ {
+		watermarkOne := one(i)
+
+		// First erase: depends on current state.
+		w := wear.EraseOnly
+		if s.Programmed(i) {
+			w = wear.FullWear
+		}
+		// Remaining n-1 erases: depend on the watermark bit.
+		if n > 1 {
+			if watermarkOne {
+				w += float64(n-1) * wear.EraseOnly
+			} else {
+				w += float64(n-1) * wear.FullWear
+			}
+		}
+		// n program exposures for watermark-zero cells.
+		if !watermarkOne {
+			w += float64(n) * wear.Program
+		}
+		s.AddWear(i, w)
+		// Final state: erased, then programmed with the watermark.
+		if watermarkOne {
+			s.SetErased(i)
+		} else {
+			s.SetProgrammed(i)
+		}
+	}
+}
+
+// MeanAdaptiveTauUs integrates the adaptive erase pulse series over the
+// n cycles of a stress that ApplyStress has already applied, returning
+// the mean max-tau in microseconds. Cycle k's erase must outlast the
+// slowest watermark-zero cell at its wear after k-1 cycles
+// (watermark-one cells are already erased and impose no wait); the
+// series is integrated by sampling the max-tau curve at a few wear
+// points and trapezoid-averaging, since tau grows smoothly with wear.
+func MeanAdaptiveTauUs(s StressSubstrate, one func(i int) bool, n int, wear StressWear) float64 {
+	cells := s.Cells()
+	maxTauAt := func(cycles float64) float64 {
+		maxTau := 0.0
+		for i := 0; i < cells; i++ {
+			if one(i) {
+				continue
+			}
+			// Wear of a zero cell after `cycles` cycles, relative to its
+			// wear before the stress began (ApplyStress already added
+			// the full n cycles).
+			w := s.Wear(i) - float64(n)*(wear.FullWear+wear.Program) + cycles*(wear.FullWear+wear.Program)
+			if w < 0 {
+				w = 0
+			}
+			tau := s.TauAt(i, w)
+			if tau > maxTau {
+				maxTau = tau
+			}
+		}
+		return maxTau
+	}
+	const samples = 9
+	taus := make([]float64, samples)
+	for s := 0; s < samples; s++ {
+		frac := float64(s) / float64(samples-1)
+		taus[s] = maxTauAt(frac * float64(n))
+	}
+	meanTau := 0.0
+	for s := 0; s < samples-1; s++ {
+		meanTau += (taus[s] + taus[s+1]) / 2
+	}
+	meanTau /= float64(samples - 1)
+	return meanTau
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/flashmark/flashmark/internal/device"
 	"github.com/flashmark/flashmark/internal/mcu"
 	"github.com/flashmark/flashmark/internal/parallel"
 	"github.com/flashmark/flashmark/internal/report"
@@ -49,8 +50,8 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-func (c Config) newDevice(sub uint64) (*mcu.Device, error) {
-	return mcu.NewDevice(c.Part, parallel.SubSeed(c.Seed, sub))
+func (c Config) newDevice(sub uint64) (device.Device, error) {
+	return mcu.Open(c.Part, parallel.SubSeed(c.Seed, sub))
 }
 
 // pool returns the fan-out engine bounded by the Workers knob.

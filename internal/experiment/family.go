@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/flashmark/flashmark/internal/core"
+	"github.com/flashmark/flashmark/internal/device"
 	"github.com/flashmark/flashmark/internal/mcu"
 	"github.com/flashmark/flashmark/internal/parallel"
 	"github.com/flashmark/flashmark/internal/report"
@@ -44,11 +45,11 @@ func Family(cfg Config) (*FamilyResult, error) {
 	// (its own fresh devices). The own-window extraction reuses the
 	// device under test AND the calibration result, so it runs serially
 	// after the join.
-	var dev *mcu.Device
+	var dev device.Device
 	var cal core.Calibration
 	err := parallel.ForEach(cfg.pool(), 2, func(i int) error {
 		if i == 0 {
-			d, err := mcu.NewDevice(alt, cfg.Seed^0xFA11)
+			d, err := mcu.Open(alt, cfg.Seed^0xFA11)
 			if err != nil {
 				return err
 			}
@@ -69,7 +70,7 @@ func Family(cfg Config) (*FamilyResult, error) {
 		if cfg.Fast {
 			seeds = seeds[:1]
 		}
-		c, err := core.Calibrate(alt, seeds, npe, core.CalibrateOptions{
+		c, err := core.Calibrate(mcu.Fab(alt), seeds, npe, core.CalibrateOptions{
 			SweepLo:   28 * time.Microsecond,
 			SweepHi:   48 * time.Microsecond,
 			SweepStep: 500 * time.Nanosecond,

@@ -78,7 +78,7 @@ func Fig4(cfg Config) (*Fig4Result, error) {
 		}
 		at, ok := core.AllErasedTime(points)
 		if !ok {
-			at = dev.Part().Timing.SegmentErase
+			at = dev.NominalEraseTime()
 		}
 		return levelOut{points: points, at: at}, nil
 	})

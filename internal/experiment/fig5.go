@@ -4,7 +4,7 @@ import (
 	"time"
 
 	"github.com/flashmark/flashmark/internal/core"
-	"github.com/flashmark/flashmark/internal/mcu"
+	"github.com/flashmark/flashmark/internal/device"
 	"github.com/flashmark/flashmark/internal/parallel"
 	"github.com/flashmark/flashmark/internal/report"
 )
@@ -40,7 +40,7 @@ func Fig5(cfg Config) (*Fig5Result, error) {
 	// both sweeps proceed concurrently with per-device operation order —
 	// and therefore per-device physics — unchanged.
 	sweeps, err := parallel.Map(cfg.pool(), 2, func(i int) ([]int, error) {
-		var dev *mcu.Device
+		var dev device.Device
 		var err error
 		if i == 0 {
 			dev, err = cfg.newDevice(5)

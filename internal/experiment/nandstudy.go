@@ -41,10 +41,15 @@ func NANDStudy(cfg Config) (*NANDStudyResult, error) {
 		step = time.Microsecond
 	}
 	geom := nand.SmallNAND()
-	wm := make([]byte, geom.BlockBytes())
+	wmBytes := make([]byte, geom.BlockBytes())
 	text := "TRUSTED CHIPMAKER NAND DIE-SORT ACCEPT "
-	for i := range wm {
-		wm[i] = text[i%len(text)]
+	for i := range wmBytes {
+		wmBytes[i] = text[i%len(text)]
+	}
+	// The adapter views the block as 16-bit words (little-endian bytes).
+	wm := make([]uint64, len(wmBytes)/2)
+	for w := range wm {
+		wm[w] = uint64(wmBytes[2*w]) | uint64(wmBytes[2*w+1])<<8
 	}
 
 	res := &NANDStudyResult{
@@ -74,21 +79,23 @@ func NANDStudy(cfg Config) (*NANDStudyResult, error) {
 	outs, err := parallel.Map(cfg.pool(), 2*len(levels), func(idx int) (sweepOut, error) {
 		npe := levels[idx/2]
 		if idx%2 == 0 {
-			dev, err := nand.NewDevice(geom, nand.SLCTiming(), floatgate.DefaultParams(), cfg.Seed^uint64(npe))
+			// The NAND chip rides the very same core procedures as the
+			// NOR comparison below — only the fabricator differs.
+			dev, err := nand.Open(geom, nand.SLCTiming(), floatgate.DefaultParams(), cfg.Seed^uint64(npe))
 			if err != nil {
 				return sweepOut{}, err
 			}
 			start := dev.Clock().Now()
-			if err := nand.ImprintBlock(dev, 0, wm, nand.ImprintOptions{NPE: npe, Accelerated: true}); err != nil {
+			if err := core.ImprintSegment(dev, 0, wm, core.ImprintOptions{NPE: npe, Accelerated: true}); err != nil {
 				return sweepOut{}, err
 			}
 			out := sweepOut{series: report.Series{Name: levelName(npe)}, minBER: 101.0, imprint: dev.Clock().Now() - start}
 			for t := lo; t <= hi; t += step {
-				got, err := nand.ExtractBlock(dev, 0, t)
+				got, err := core.ExtractSegment(dev, 0, core.ExtractOptions{TPEW: t})
 				if err != nil {
 					return sweepOut{}, err
 				}
-				ber := 100 * float64(nand.BitErrors(got, wm)) / float64(cells)
+				ber := 100 * float64(core.BitErrors(got, wm, dev.Geometry().WordBits())) / float64(cells)
 				out.series.X = append(out.series.X, us(t))
 				out.series.Y = append(out.series.Y, ber)
 				if ber < out.minBER {

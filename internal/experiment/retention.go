@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/flashmark/flashmark/internal/core"
+	"github.com/flashmark/flashmark/internal/device"
 	"github.com/flashmark/flashmark/internal/parallel"
 	"github.com/flashmark/flashmark/internal/report"
 )
@@ -72,7 +73,7 @@ func Retention(cfg Config) (*RetentionResult, error) {
 		}
 		var outs []ageOut
 		for _, age := range ages {
-			if err := dev.Age(float64(age)); err != nil {
+			if err := device.Age(dev, float64(age)); err != nil {
 				return nil, err
 			}
 			extracted, err := core.ExtractSegment(dev, 0, core.ExtractOptions{TPEW: tpew})

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/flashmark/flashmark/internal/core"
+	"github.com/flashmark/flashmark/internal/device"
 	"github.com/flashmark/flashmark/internal/parallel"
 	"github.com/flashmark/flashmark/internal/report"
 )
@@ -62,7 +63,7 @@ func Temperature(cfg Config) (*TemperatureResult, error) {
 		}
 		var outs []tempOut
 		for _, temp := range temps {
-			if err := dev.SetAmbientTempC(float64(temp)); err != nil {
+			if err := device.SetAmbientTempC(dev, float64(temp)); err != nil {
 				return nil, err
 			}
 			got, err := core.ExtractSegment(dev, 0, core.ExtractOptions{TPEW: baseTPEW})

@@ -1,0 +1,17 @@
+package experiment
+
+import (
+	"os"
+	"testing"
+)
+
+func TestZZCaptureBaseline(t *testing.T) {
+	out := os.Getenv("CAPTURE_OUT")
+	if out == "" {
+		t.Skip("no CAPTURE_OUT")
+	}
+	got := renderAll(t, 1)
+	if err := os.WriteFile(out, []byte(got), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

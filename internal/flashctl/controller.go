@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"github.com/flashmark/flashmark/internal/device"
 	"github.com/flashmark/flashmark/internal/floatgate"
 	"github.com/flashmark/flashmark/internal/nor"
 	"github.com/flashmark/flashmark/internal/rng"
@@ -581,44 +582,16 @@ func (c *Controller) StressSegmentWords(addr int, values []uint64, n int, adapti
 		c.stats.AccessErrors++
 		return &Error{Op: "stress", Addr: addr, Msg: "values must cover the whole segment"}
 	}
-	cells := geom.CellsPerSegment()
-	base := seg * cells
-
-	fullWear := c.model.EraseWear(true)
-	eraseOnly := c.model.EraseWear(false)
-	progWear := c.model.ProgramWear()
-
-	// Wear bookkeeping in closed form per cell: cycle 1's erase sees the
-	// segment's current state; cycles 2..n see the state left by the
-	// previous cycle's program, which is determined by the watermark bit.
-	for i := 0; i < cells; i++ {
-		cell := base + i
-		word := i / geom.WordBits()
-		bit := i % geom.WordBits()
-		watermarkOne := values[word]&(1<<uint(bit)) != 0
-
-		// First erase: depends on current state.
-		w := c.model.EraseWear(c.array.Programmed(cell))
-		// Remaining n-1 erases: depend on the watermark bit.
-		if n > 1 {
-			if watermarkOne {
-				w += float64(n-1) * eraseOnly
-			} else {
-				w += float64(n-1) * fullWear
-			}
-		}
-		// n program exposures for watermark-zero cells.
-		if !watermarkOne {
-			w += float64(n) * progWear
-		}
-		c.array.AddWear(cell, w)
-		// Final state: erased, then programmed with the watermark.
-		if watermarkOne {
-			c.array.SetMargin(cell, float64(nor.MarginErased))
-		} else {
-			c.array.SetMargin(cell, float64(nor.MarginProgrammed))
-		}
+	sub := segmentCells{c: c, seg: seg, base: seg * geom.CellsPerSegment(), cells: geom.CellsPerSegment()}
+	one := func(i int) bool {
+		return values[i/geom.WordBits()]&(1<<uint(i%geom.WordBits())) != 0
 	}
+	wear := device.StressWear{
+		FullWear:  c.model.EraseWear(true),
+		EraseOnly: c.model.EraseWear(false),
+		Program:   c.model.ProgramWear(),
+	}
+	device.ApplyStress(sub, one, n, wear)
 
 	// Time accounting.
 	c.stats.ProgramWords += n * len(values)
@@ -632,53 +605,33 @@ func (c *Controller) StressSegmentWords(addr int, values []uint64, n int, adapti
 	}
 	c.stats.AdaptiveErases += n
 	c.stats.EmergencyExits += n
-	// Adaptive pulses: cycle k's erase must outlast the slowest
-	// watermark-zero cell at its wear after k-1 cycles (watermark-one
-	// cells are already erased and impose no wait). Integrate the pulse
-	// series by sampling the max-tau curve at a few wear points and
-	// interpolating: tau grows smoothly with wear.
-	var total time.Duration
-	maxTauAt := func(cycles float64) float64 {
-		maxTau := 0.0
-		for i := 0; i < cells; i++ {
-			word := i / geom.WordBits()
-			bit := i % geom.WordBits()
-			if values[word]&(1<<uint(bit)) != 0 {
-				continue
-			}
-			// Wear of a zero cell after `cycles` cycles, relative to its
-			// wear before the stress began.
-			wear := c.array.Wear(base+i) - float64(n)*(fullWear+progWear) + cycles*(fullWear+progWear)
-			if wear < 0 {
-				wear = 0
-			}
-			tau := c.cellTau(seg, i, wear)
-			if tau > maxTau {
-				maxTau = tau
-			}
-		}
-		return maxTau
-	}
-	// Simpson-style sampling over the cycle range.
-	const samples = 9
-	taus := make([]float64, samples)
-	for s := 0; s < samples; s++ {
-		frac := float64(s) / float64(samples-1)
-		taus[s] = maxTauAt(frac * float64(n))
-	}
-	meanTau := 0.0
-	for s := 0; s < samples-1; s++ {
-		meanTau += (taus[s] + taus[s+1]) / 2
-	}
-	meanTau /= float64(samples - 1)
+	meanTau := device.MeanAdaptiveTauUs(sub, one, n, wear)
 	pulse := time.Duration(meanTau*float64(time.Microsecond)) + c.timing.AdaptiveEraseSettle
 	if pulse > c.timing.SegmentErase {
 		pulse = c.timing.SegmentErase
 	}
-	total = time.Duration(n) * pulse
-	c.charge(vclock.OpErase, total)
+	c.charge(vclock.OpErase, time.Duration(n)*pulse)
 	return nil
 }
+
+// segmentCells adapts one segment of the controller's array to the
+// shared closed-form stress kernel (package device).
+type segmentCells struct {
+	c     *Controller
+	seg   int
+	base  int
+	cells int
+}
+
+func (s segmentCells) Cells() int               { return s.cells }
+func (s segmentCells) Programmed(i int) bool    { return s.c.array.Programmed(s.base + i) }
+func (s segmentCells) Wear(i int) float64       { return s.c.array.Wear(s.base + i) }
+func (s segmentCells) AddWear(i int, w float64) { s.c.array.AddWear(s.base+i, w) }
+func (s segmentCells) SetErased(i int)          { s.c.array.SetMargin(s.base+i, float64(nor.MarginErased)) }
+func (s segmentCells) SetProgrammed(i int) {
+	s.c.array.SetMargin(s.base+i, float64(nor.MarginProgrammed))
+}
+func (s segmentCells) TauAt(i int, wear float64) float64 { return s.c.cellTau(s.seg, i, wear) }
 
 // WornCellCount returns how many cells of the segment containing addr
 // have exceeded the datasheet endurance — the reliability flag a

@@ -1,0 +1,19 @@
+package mcu_test
+
+import (
+	"testing"
+
+	"github.com/flashmark/flashmark/internal/device/devicetest"
+	"github.com/flashmark/flashmark/internal/mcu"
+)
+
+// The NOR backend honors the device contract for every catalog part.
+func TestDeviceConformance(t *testing.T) {
+	for _, part := range []mcu.Part{
+		mcu.PartMSP430F5438(),
+		mcu.PartSmallSim(),
+		mcu.PartFastNOR(),
+	} {
+		devicetest.Run(t, part.Name, mcu.Fab(part))
+	}
+}

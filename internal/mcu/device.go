@@ -11,8 +11,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
+	"github.com/flashmark/flashmark/internal/device"
 	"github.com/flashmark/flashmark/internal/flashctl"
 	"github.com/flashmark/flashmark/internal/floatgate"
 	"github.com/flashmark/flashmark/internal/nor"
@@ -20,7 +22,7 @@ import (
 )
 
 // OpHost is the ledger class for host-link (serial) transfer time.
-const OpHost = vclock.OpClass("host-io")
+const OpHost = device.OpHost
 
 // Part describes a microcontroller model: flash geometry, controller
 // timings, cell physics, and the host link speed.
@@ -47,7 +49,11 @@ func PartByName(name string) (Part, error) {
 			return p, nil
 		}
 	}
-	return Part{}, fmt.Errorf("mcu: unknown part %q", name)
+	names := make([]string, 0, len(Catalog()))
+	for _, p := range Catalog() {
+		names = append(names, p.Name)
+	}
+	return Part{}, fmt.Errorf("mcu: unknown part %q (available: %s)", name, strings.Join(names, ", "))
 }
 
 // PartMSP430F5438 models the larger paper microcontroller (256 KB flash).
@@ -289,3 +295,112 @@ func (d *Device) SetAmbientTempC(t float64) error { return d.ctl.SetAmbientTempC
 
 // AmbientTempC returns the chip's operating temperature.
 func (d *Device) AmbientTempC() float64 { return d.ctl.AmbientTempC() }
+
+// The methods below complete the device.Device interface (plus the
+// optional capabilities) by forwarding to the flash controller, so
+// every consumer above this package drives the chip through the
+// substrate-neutral surface instead of the concrete controller.
+
+// Open fabricates a fresh chip and returns it behind the
+// substrate-neutral device interface.
+func Open(part Part, chipSeed uint64) (device.Device, error) {
+	return NewDevice(part, chipSeed)
+}
+
+// Fab returns a device fabricator for the part, for procedures that
+// consume whole device families (calibration, populations).
+func Fab(part Part) device.Fab {
+	return func(seed uint64) (device.Device, error) { return NewDevice(part, seed) }
+}
+
+// LoadDevice reconstructs a chip from Save output behind the
+// substrate-neutral device interface.
+func LoadDevice(r io.Reader) (device.Device, error) {
+	return Load(r)
+}
+
+// PartName returns the catalog name of the device's part.
+func (d *Device) PartName() string { return d.part.Name }
+
+// Geometry returns the flash array geometry.
+func (d *Device) Geometry() nor.Geometry { return d.part.Geometry }
+
+// Unlock enables erase/program commands (the FCTL password handshake).
+func (d *Device) Unlock() error { return d.ctl.Unlock(flashctl.UnlockKey) }
+
+// Lock re-enables write protection.
+func (d *Device) Lock() { d.ctl.Lock() }
+
+// EraseSegment erases the segment containing addr.
+func (d *Device) EraseSegment(addr int) error { return d.ctl.EraseSegment(addr) }
+
+// EraseSegmentAdaptive erases the segment containing addr, exiting as
+// soon as every cell has crossed; it returns the pulse actually spent.
+func (d *Device) EraseSegmentAdaptive(addr int) (time.Duration, error) {
+	return d.ctl.EraseSegmentAdaptive(addr)
+}
+
+// MassEraseBank erases every segment of the bank containing addr.
+func (d *Device) MassEraseBank(addr int) error { return d.ctl.MassEraseBank(addr) }
+
+// PartialEraseSegment starts an erase and aborts it after pulse.
+func (d *Device) PartialEraseSegment(addr int, pulse time.Duration) error {
+	return d.ctl.PartialEraseSegment(addr, pulse)
+}
+
+// PartialProgramSegment starts programming the whole segment and aborts
+// after pulse (the FFD comparator primitive).
+func (d *Device) PartialProgramSegment(addr int, pulse time.Duration) error {
+	return d.ctl.PartialProgramSegment(addr, pulse)
+}
+
+// ProgramBlock programs consecutive words starting at addr.
+func (d *Device) ProgramBlock(addr int, values []uint64) error {
+	return d.ctl.ProgramBlock(addr, values)
+}
+
+// ReadWord reads the word at addr.
+func (d *Device) ReadWord(addr int) (uint64, error) { return d.ctl.ReadWord(addr) }
+
+// ReadSegment reads every word of the segment containing addr.
+func (d *Device) ReadSegment(addr int) ([]uint64, error) { return d.ctl.ReadSegment(addr) }
+
+// StressSegmentWords fast-forwards n imprint cycles over one segment.
+func (d *Device) StressSegmentWords(addr int, values []uint64, n int, adaptive bool) error {
+	return d.ctl.StressSegmentWords(addr, values, n, adaptive)
+}
+
+// NominalEraseTime returns the datasheet segment erase duration.
+func (d *Device) NominalEraseTime() time.Duration { return d.part.Timing.SegmentErase }
+
+// SegmentWearSummary returns min/mean/max wear across segment seg.
+func (d *Device) SegmentWearSummary(seg int) (minW, meanW, maxW float64, err error) {
+	return d.ctl.Array().SegmentWearSummary(seg)
+}
+
+// WornCellCount counts cells of the segment containing addr beyond the
+// datasheet endurance.
+func (d *Device) WornCellCount(addr int) (int, error) { return d.ctl.WornCellCount(addr) }
+
+// EnduranceCycles returns the part's datasheet endurance.
+func (d *Device) EnduranceCycles() float64 { return d.part.Params.EnduranceCycles }
+
+// SetTrace attaches an operation trace; nil detaches.
+func (d *Device) SetTrace(t *vclock.Trace) { d.ctl.SetTrace(t) }
+
+// Trace returns the attached trace, if any.
+func (d *Device) Trace() *vclock.Trace { return d.ctl.Trace() }
+
+// Registers exposes the FCTL register file (the firmware-level protocol
+// surface; see core's register-sequence procedures).
+func (d *Device) Registers() *flashctl.RegisterFile { return d.ctl.Registers() }
+
+// Interface conformance (device.Device plus every optional capability).
+var (
+	_ device.Device            = (*Device)(nil)
+	_ device.Ager              = (*Device)(nil)
+	_ device.Thermal           = (*Device)(nil)
+	_ device.Tracer            = (*Device)(nil)
+	_ device.PartialProgrammer = (*Device)(nil)
+	_ device.WearInspector     = (*Device)(nil)
+)

@@ -1,0 +1,433 @@
+package nand
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/flashmark/flashmark/internal/device"
+	"github.com/flashmark/flashmark/internal/floatgate"
+	"github.com/flashmark/flashmark/internal/nor"
+	"github.com/flashmark/flashmark/internal/vclock"
+)
+
+// Adapter presents a NAND chip behind the substrate-neutral
+// device.Device interface, mapping one geometry "segment" onto one NAND
+// block: erases become block erases, block programs become in-order
+// page programs, and word reads are served from whole-page fetches.
+// With this adapter the Flashmark procedures in package core run
+// unchanged against NAND — the paper's §VI claim — and the former
+// NAND-only imprint/extract twins are gone.
+//
+// Word-read semantics: NAND reads at page granularity, so ReadWord
+// fetches the word's page and caches it. Each cached word is served at
+// most once per fetch — a sequential single-read pass over a block (the
+// extraction access pattern) costs exactly one page read per page,
+// while re-reading a word fetches the page again so repeated reads of a
+// metastable cell remain independent samples.
+type Adapter struct {
+	d    *Device
+	baud int
+
+	cacheBlock int
+	cachePage  int
+	cache      []byte
+	served     []bool
+}
+
+// AdapterName is the part name the adapter reports.
+const AdapterName = "NAND-SIM"
+
+// DefaultAdapterBaud is the SPI-class host link speed used for
+// host-readout accounting when no other speed is configured.
+const DefaultAdapterBaud = 2_000_000
+
+// Adapt wraps an existing NAND device.
+func Adapt(d *Device) *Adapter {
+	return &Adapter{d: d, baud: DefaultAdapterBaud, cacheBlock: -1, cachePage: -1}
+}
+
+// Open fabricates a NAND chip and returns it behind the
+// substrate-neutral device interface.
+func Open(geom Geometry, timing Timing, params floatgate.Params, seed uint64) (device.Device, error) {
+	d, err := NewDevice(geom, timing, params, seed)
+	if err != nil {
+		return nil, err
+	}
+	return Adapt(d), nil
+}
+
+// Fab returns a device fabricator for the NAND geometry and timing.
+func Fab(geom Geometry, timing Timing, params floatgate.Params) device.Fab {
+	return func(seed uint64) (device.Device, error) { return Open(geom, timing, params, seed) }
+}
+
+// Device returns the adapted NAND chip.
+func (a *Adapter) Device() *Device { return a.d }
+
+// PartName identifies the adapter.
+func (a *Adapter) PartName() string { return AdapterName }
+
+// Seed returns the chip seed (die identity).
+func (a *Adapter) Seed() uint64 { return a.d.seed }
+
+// Geometry returns the word-granular view of the NAND array: one
+// segment per block, 16-bit words.
+func (a *Adapter) Geometry() nor.Geometry { return a.d.cells.Geometry() }
+
+// Unlock is a no-op: NAND command sets have no FCTL-style lock.
+func (a *Adapter) Unlock() error { return nil }
+
+// Lock is a no-op (see Unlock).
+func (a *Adapter) Lock() {}
+
+func (a *Adapter) invalidate() {
+	a.cacheBlock, a.cachePage = -1, -1
+}
+
+func (a *Adapter) blockOf(addr int) (int, error) {
+	return a.Geometry().SegmentOfAddr(addr)
+}
+
+// EraseSegment erases the block containing addr.
+func (a *Adapter) EraseSegment(addr int) error {
+	block, err := a.blockOf(addr)
+	if err != nil {
+		return err
+	}
+	a.invalidate()
+	return a.d.EraseBlock(block)
+}
+
+// EraseSegmentAdaptive erases the block containing addr, exiting as
+// soon as every cell has crossed.
+func (a *Adapter) EraseSegmentAdaptive(addr int) (time.Duration, error) {
+	block, err := a.blockOf(addr)
+	if err != nil {
+		return 0, err
+	}
+	a.invalidate()
+	return a.d.EraseBlockAdaptive(block)
+}
+
+// MassEraseBank erases every block of the device (NAND has no mass
+// erase command; the adapter issues per-block erases).
+func (a *Adapter) MassEraseBank(addr int) error {
+	if _, err := a.blockOf(addr); err != nil {
+		return err
+	}
+	a.invalidate()
+	for block := 0; block < a.d.geom.Blocks; block++ {
+		if err := a.d.EraseBlock(block); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PartialEraseSegment starts a block erase and aborts it after pulse.
+func (a *Adapter) PartialEraseSegment(addr int, pulse time.Duration) error {
+	block, err := a.blockOf(addr)
+	if err != nil {
+		return err
+	}
+	a.invalidate()
+	return a.d.PartialEraseBlock(block, pulse)
+}
+
+// ProgramBlock programs consecutive words starting at addr through the
+// page-program discipline: the write must start on a page boundary and
+// cover whole pages, programmed in order.
+func (a *Adapter) ProgramBlock(addr int, values []uint64) error {
+	if len(values) == 0 {
+		return nil
+	}
+	geom := a.Geometry()
+	block, err := a.blockOf(addr)
+	if err != nil {
+		return err
+	}
+	if addr%geom.WordBytes != 0 {
+		return fmt.Errorf("nand: unaligned word address %#x", addr)
+	}
+	word := (addr - block*geom.SegmentBytes) / geom.WordBytes
+	if word+len(values) > geom.WordsPerSegment() {
+		return fmt.Errorf("nand: program of %d words at %#x crosses the block boundary", len(values), addr)
+	}
+	wordsPerPage := a.d.geom.PageBytes / geom.WordBytes
+	if word%wordsPerPage != 0 || len(values)%wordsPerPage != 0 {
+		return fmt.Errorf("nand: block program must cover whole pages (%d words each)", wordsPerPage)
+	}
+	a.invalidate()
+	firstPage := word / wordsPerPage
+	data := make([]byte, a.d.geom.PageBytes)
+	for p := 0; p < len(values)/wordsPerPage; p++ {
+		slice := values[p*wordsPerPage : (p+1)*wordsPerPage]
+		for i, v := range slice {
+			data[2*i] = byte(v)
+			data[2*i+1] = byte(v >> 8)
+		}
+		if err := a.d.ProgramPage(block, firstPage+p, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadWord reads one 16-bit word, fetching its page on a cache miss
+// (see the type comment for the served-once cache semantics).
+func (a *Adapter) ReadWord(addr int) (uint64, error) {
+	geom := a.Geometry()
+	if addr%geom.WordBytes != 0 {
+		return 0, fmt.Errorf("nand: unaligned word address %#x", addr)
+	}
+	block, err := a.blockOf(addr)
+	if err != nil {
+		return 0, err
+	}
+	word := (addr - block*geom.SegmentBytes) / geom.WordBytes
+	wordsPerPage := a.d.geom.PageBytes / geom.WordBytes
+	page := word / wordsPerPage
+	inPage := word % wordsPerPage
+	if a.cacheBlock != block || a.cachePage != page || a.served[inPage] {
+		data, err := a.d.ReadPage(block, page)
+		if err != nil {
+			a.invalidate()
+			return 0, err
+		}
+		a.cacheBlock, a.cachePage, a.cache = block, page, data
+		if len(a.served) != wordsPerPage {
+			a.served = make([]bool, wordsPerPage)
+		} else {
+			for i := range a.served {
+				a.served[i] = false
+			}
+		}
+	}
+	a.served[inPage] = true
+	return uint64(a.cache[2*inPage]) | uint64(a.cache[2*inPage+1])<<8, nil
+}
+
+// ReadSegment reads every word of the block containing addr, in order
+// (one page fetch per page).
+func (a *Adapter) ReadSegment(addr int) ([]uint64, error) {
+	geom := a.Geometry()
+	block, err := a.blockOf(addr)
+	if err != nil {
+		return nil, err
+	}
+	base := block * geom.SegmentBytes
+	out := make([]uint64, geom.WordsPerSegment())
+	for w := range out {
+		v, err := a.ReadWord(base + w*geom.WordBytes)
+		if err != nil {
+			return nil, err
+		}
+		out[w] = v
+	}
+	return out, nil
+}
+
+// StressSegmentWords fast-forwards n imprint cycles (block erase + page
+// programs of the watermark) over the block containing addr, riding the
+// shared closed-form stress kernel. Time is charged exactly as n
+// literal cycles would be: per cycle one erase setup plus one program
+// setup per page, the page program times, and the (nominal or
+// integrated adaptive) erase pulse.
+func (a *Adapter) StressSegmentWords(addr int, values []uint64, n int, adaptive bool) error {
+	if n < 0 {
+		return fmt.Errorf("nand: negative cycle count %d", n)
+	}
+	if n == 0 {
+		return nil
+	}
+	geom := a.Geometry()
+	block, err := a.blockOf(addr)
+	if err != nil {
+		return err
+	}
+	if len(values) != geom.WordsPerSegment() {
+		return fmt.Errorf("nand: values must cover the whole block")
+	}
+	a.invalidate()
+	d := a.d
+	sub := blockCells{d: d, block: block, base: block * geom.CellsPerSegment(), cells: geom.CellsPerSegment()}
+	one := func(i int) bool {
+		return values[i/geom.WordBits()]&(1<<uint(i%geom.WordBits())) != 0
+	}
+	wear := device.StressWear{
+		FullWear:  d.model.EraseWear(true),
+		EraseOnly: d.model.EraseWear(false),
+		Program:   d.model.ProgramWear(),
+	}
+	device.ApplyStress(sub, one, n, wear)
+	d.nextPage[block] = d.geom.PagesPerBlock
+
+	// Time accounting.
+	progPerCycle := time.Duration(d.geom.PagesPerBlock) * d.timing.PageProgram
+	d.charge(vclock.OpOverhead, time.Duration(n)*(d.timing.OpSetup*time.Duration(1+d.geom.PagesPerBlock)))
+	d.charge(vclock.OpProgram, time.Duration(n)*progPerCycle)
+	if !adaptive {
+		d.charge(vclock.OpErase, time.Duration(n)*d.timing.BlockErase)
+		return nil
+	}
+	meanTau := device.MeanAdaptiveTauUs(sub, one, n, wear)
+	pulse := time.Duration(meanTau*float64(time.Microsecond)) + d.timing.AdaptiveEraseSettle
+	if pulse > d.timing.BlockErase {
+		pulse = d.timing.BlockErase
+	}
+	d.charge(vclock.OpErase, time.Duration(n)*pulse)
+	return nil
+}
+
+// NominalEraseTime returns the datasheet block erase duration.
+func (a *Adapter) NominalEraseTime() time.Duration { return a.d.timing.BlockErase }
+
+// Clock returns the device's virtual clock.
+func (a *Adapter) Clock() *vclock.Clock { return a.d.clock }
+
+// Ledger returns the device's time ledger.
+func (a *Adapter) Ledger() *vclock.Ledger { return a.d.ledger }
+
+// ChargeHostTransfer accounts for moving n bytes over the SPI-class
+// host link (10 bit times per byte).
+func (a *Adapter) ChargeHostTransfer(n int) {
+	if n <= 0 {
+		return
+	}
+	bits := 10 * n
+	dur := time.Duration(float64(bits) / float64(a.baud) * float64(time.Second))
+	a.d.clock.Advance(a.d.ledger.Charge(device.OpHost, dur))
+}
+
+// SegmentWearSummary returns min/mean/max wear across block seg.
+func (a *Adapter) SegmentWearSummary(seg int) (minW, meanW, maxW float64, err error) {
+	return a.d.cells.SegmentWearSummary(seg)
+}
+
+// WornCellCount counts cells of the block containing addr beyond the
+// datasheet endurance.
+func (a *Adapter) WornCellCount(addr int) (int, error) {
+	block, err := a.blockOf(addr)
+	if err != nil {
+		return 0, err
+	}
+	cells := a.Geometry().CellsPerSegment()
+	base := block * cells
+	worn := 0
+	for i := 0; i < cells; i++ {
+		if a.d.model.Worn(a.d.cells.Wear(base + i)) {
+			worn++
+		}
+	}
+	return worn, nil
+}
+
+// EnduranceCycles returns the datasheet endurance.
+func (a *Adapter) EnduranceCycles() float64 { return a.d.params.EnduranceCycles }
+
+// blockCells adapts one NAND block to the shared stress kernel.
+type blockCells struct {
+	d     *Device
+	block int
+	base  int
+	cells int
+}
+
+func (b blockCells) Cells() int               { return b.cells }
+func (b blockCells) Programmed(i int) bool    { return b.d.cells.Programmed(b.base + i) }
+func (b blockCells) Wear(i int) float64       { return b.d.cells.Wear(b.base + i) }
+func (b blockCells) AddWear(i int, w float64) { b.d.cells.AddWear(b.base+i, w) }
+func (b blockCells) SetErased(i int)          { b.d.cells.SetMargin(b.base+i, float64(nor.MarginErased)) }
+func (b blockCells) SetProgrammed(i int) {
+	b.d.cells.SetMargin(b.base+i, float64(nor.MarginProgrammed))
+}
+func (b blockCells) TauAt(i int, wear float64) float64 { return b.d.model.TauAt(b.block, i, wear) }
+
+// nandChipFile is the on-disk JSON envelope for a NAND chip.
+type nandChipFile struct {
+	Format   string           `json:"format"`
+	Version  int              `json:"version"`
+	Geometry Geometry         `json:"geometry"`
+	Timing   Timing           `json:"timing"`
+	Params   floatgate.Params `json:"params"`
+	Seed     uint64           `json:"seed"`
+	NextPage []int            `json:"nextPage"`
+	Array    string           `json:"array"` // base64 of nor binary encoding
+}
+
+const (
+	nandChipFormat  = "flashmark-nand-chip"
+	nandChipVersion = 1
+)
+
+// Save writes the chip state (geometry, timing, physics, seed, cell
+// margins and wear) to w.
+func (a *Adapter) Save(w io.Writer) error {
+	raw, err := a.d.cells.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("nand: serializing array: %w", err)
+	}
+	cf := nandChipFile{
+		Format:   nandChipFormat,
+		Version:  nandChipVersion,
+		Geometry: a.d.geom,
+		Timing:   a.d.timing,
+		Params:   a.d.params,
+		Seed:     a.d.seed,
+		NextPage: append([]int(nil), a.d.nextPage...),
+		Array:    base64.StdEncoding.EncodeToString(raw),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cf)
+}
+
+// LoadAdapter reconstructs a NAND chip from Save output.
+func LoadAdapter(r io.Reader) (*Adapter, error) {
+	var cf nandChipFile
+	if err := json.NewDecoder(r).Decode(&cf); err != nil {
+		return nil, fmt.Errorf("nand: decoding chip file: %w", err)
+	}
+	if cf.Format != nandChipFormat {
+		return nil, fmt.Errorf("nand: not a NAND chip file (format %q)", cf.Format)
+	}
+	if cf.Version != nandChipVersion {
+		return nil, fmt.Errorf("nand: unsupported chip file version %d", cf.Version)
+	}
+	d, err := NewDevice(cf.Geometry, cf.Timing, cf.Params, cf.Seed)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := base64.StdEncoding.DecodeString(cf.Array)
+	if err != nil {
+		return nil, fmt.Errorf("nand: decoding array payload: %w", err)
+	}
+	arr, err := nor.UnmarshalArray(raw)
+	if err != nil {
+		return nil, err
+	}
+	if arr.Geometry() != d.cells.Geometry() {
+		return nil, fmt.Errorf("nand: chip file array geometry %+v does not match %+v", arr.Geometry(), d.cells.Geometry())
+	}
+	d.cells = arr
+	if len(cf.NextPage) != cf.Geometry.Blocks {
+		return nil, fmt.Errorf("nand: chip file has %d page cursors for %d blocks", len(cf.NextPage), cf.Geometry.Blocks)
+	}
+	for block, p := range cf.NextPage {
+		if p < 0 || p > cf.Geometry.PagesPerBlock {
+			return nil, fmt.Errorf("nand: chip file page cursor %d of block %d out of range", p, block)
+		}
+	}
+	copy(d.nextPage, cf.NextPage)
+	return Adapt(d), nil
+}
+
+// Interface conformance (device.Device plus the wear capability; NAND
+// models neither aging, temperature, traces, nor partial programs yet).
+var (
+	_ device.Device        = (*Adapter)(nil)
+	_ device.WearInspector = (*Adapter)(nil)
+)

@@ -1,0 +1,15 @@
+package nand_test
+
+import (
+	"testing"
+
+	"github.com/flashmark/flashmark/internal/device/devicetest"
+	"github.com/flashmark/flashmark/internal/floatgate"
+	"github.com/flashmark/flashmark/internal/nand"
+)
+
+// The block-granularity adapter honors the same device contract as the
+// NOR backend.
+func TestDeviceConformance(t *testing.T) {
+	devicetest.Run(t, "NAND-SIM", nand.Fab(nand.SmallNAND(), nand.SLCTiming(), floatgate.DefaultParams()))
+}

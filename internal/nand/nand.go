@@ -92,6 +92,8 @@ func (t Timing) Validate() error {
 type Device struct {
 	geom   Geometry
 	timing Timing
+	params floatgate.Params
+	seed   uint64
 	model  *floatgate.Model
 	cells  *nor.Array
 	clock  *vclock.Clock
@@ -127,6 +129,8 @@ func NewDevice(geom Geometry, timing Timing, params floatgate.Params, seed uint6
 	return &Device{
 		geom:     geom,
 		timing:   timing,
+		params:   params,
+		seed:     seed,
 		model:    model,
 		cells:    arr,
 		clock:    &vclock.Clock{},
@@ -138,6 +142,12 @@ func NewDevice(geom Geometry, timing Timing, params floatgate.Params, seed uint6
 
 // Geometry returns the device geometry.
 func (d *Device) Geometry() Geometry { return d.geom }
+
+// Timing returns the device's operation timings.
+func (d *Device) Timing() Timing { return d.timing }
+
+// Seed returns the chip seed (die identity).
+func (d *Device) Seed() uint64 { return d.seed }
 
 // Clock returns the device's virtual clock.
 func (d *Device) Clock() *vclock.Clock { return d.clock }

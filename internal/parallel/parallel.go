@@ -3,7 +3,7 @@
 // collects their results by index, so output is byte-identical for any
 // worker count (including 1). Experiments and population runs are
 // embarrassingly parallel — every item owns its own deterministically
-// seeded mcu.Device — which is exactly the contract this package
+// seeded device.Device — which is exactly the contract this package
 // enforces: items must not share mutable state, and per-item sub-seeds
 // derive from the same golden-ratio convention the experiment layer has
 // always used (see SubSeed).
