@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 1x
 
-.PHONY: all build vet test race bench bench-json experiments cover cover-check fmt clean
+.PHONY: all build vet test race bench bench-json experiments smoke cover cover-check fmt clean
 
 all: build vet test
 
@@ -31,6 +31,11 @@ bench-json:
 
 experiments:
 	$(GO) run ./cmd/fmexperiments -run all
+
+# End-to-end smoke of fmverifyd: build, fabricate chips, verify over
+# HTTP, assert verdicts and metrics, check the SIGTERM drain.
+smoke:
+	./scripts/service_smoke.sh smoke-out
 
 cover:
 	$(GO) test -cover ./...

@@ -33,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/flashmark/flashmark/internal/buildinfo"
 	"github.com/flashmark/flashmark/internal/core"
 	"github.com/flashmark/flashmark/internal/counterfeit"
 	"github.com/flashmark/flashmark/internal/device"
@@ -56,6 +57,9 @@ func run(args []string, out io.Writer) error {
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
+	case "version", "-version", "--version":
+		fmt.Fprintln(out, buildinfo.String("flashmark"))
+		return nil
 	case "new":
 		return cmdNew(rest, out)
 	case "imprint":

@@ -28,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/flashmark/flashmark/internal/buildinfo"
 	"github.com/flashmark/flashmark/internal/experiment"
 	"github.com/flashmark/flashmark/internal/mcu"
 )
@@ -51,9 +52,14 @@ func run(args []string, out *os.File) error {
 		list     = fs.Bool("list", false, "list experiment ids and exit")
 		workers  = fs.Int("parallel", 0, "max devices simulated concurrently (0 = GOMAXPROCS, 1 = serial)")
 		timing   = fs.Bool("timing", false, "print per-experiment wall-clock to stderr")
+		version  = fs.Bool("version", false, "print build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(out, buildinfo.String("fmexperiments"))
+		return nil
 	}
 	if *list {
 		for _, id := range experiment.IDs() {

@@ -12,6 +12,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/flashmark/flashmark/internal/buildinfo"
 	"github.com/flashmark/flashmark/internal/counterfeit"
 	"github.com/flashmark/flashmark/internal/mcu"
 	"github.com/flashmark/flashmark/internal/wmcode"
@@ -34,9 +35,14 @@ func run(args []string, out io.Writer) error {
 		npe      = fs.Int("npe", 80_000, "manufacturer imprint cycles")
 		recycle  = fs.Bool("recycling-screen", true, "enable the data-segment wear screen")
 		workers  = fs.Int("workers", 4, "chips verified in parallel")
+		version  = fs.Bool("version", false, "print build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(out, buildinfo.String("fmsupplychain"))
+		return nil
 	}
 	part, err := mcu.PartByName(*partName)
 	if err != nil {

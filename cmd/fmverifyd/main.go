@@ -1,0 +1,130 @@
+// Command fmverifyd serves watermark verification over HTTP: clients
+// POST serialized chip files (either backend's format) and receive
+// authenticity verdicts as JSON. The daemon is the service-mode
+// counterpart to `flashmark verify` — same verifier policy, but with
+// the production concerns a procurement line needs: bounded admission
+// (429 + Retry-After under overload), per-request deadlines, a
+// chip-registry cache keyed by content hash, Prometheus-style metrics,
+// and graceful drain on SIGTERM.
+//
+// Usage:
+//
+//	fmverifyd -addr :8900 -key secret -mfg TC
+//	fmverifyd -addr :8900 -key secret -workers 8 -queue 128 -timeout 10s
+//	fmverifyd -version
+//
+// Endpoints: POST /v1/verify, POST /v1/verify/batch, GET /healthz,
+// GET /readyz, GET /metrics, GET /debug/vars.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/flashmark/flashmark/internal/buildinfo"
+	"github.com/flashmark/flashmark/internal/counterfeit"
+	"github.com/flashmark/flashmark/internal/service"
+	"github.com/flashmark/flashmark/internal/wmcode"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fmverifyd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fmverifyd", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", ":8900", "listen address")
+		key      = fs.String("key", "", "watermark HMAC key (required)")
+		mfg      = fs.String("mfg", "", "expected manufacturer string (empty skips the identity check)")
+		tpew     = fs.Duration("tpew", 0, "partial-erase pulse width (0 selects the verifier default)")
+		replicas = fs.Int("replicas", 0, "watermark replica count (0 selects the verifier default)")
+		segment  = fs.Int("segment", 0, "watermark segment byte address")
+		recycle  = fs.Bool("recycling-screen", true, "enable the data-segment wear screen")
+		workers  = fs.Int("workers", 0, "concurrent verifications (0 selects GOMAXPROCS)")
+		queue    = fs.Int("queue", 0, "admission queue depth beyond workers (0 selects 64)")
+		timeout  = fs.Duration("timeout", 0, "per-request verification deadline (0 selects 30s)")
+		cache    = fs.Int("cache", 0, "chip-registry cache entries (0 selects 4096, negative disables)")
+		maxBody  = fs.Int64("max-body", 0, "request body cap in bytes (0 selects 16 MiB)")
+		drainFor = fs.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight work on shutdown")
+		version  = fs.Bool("version", false, "print build version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(out, buildinfo.String("fmverifyd"))
+		return nil
+	}
+	if *key == "" {
+		return errors.New("-key is required (the watermark HMAC key)")
+	}
+
+	logger := log.New(os.Stderr, "fmverifyd: ", log.LstdFlags)
+	srv, err := service.New(service.Config{
+		Verifier: counterfeit.Verifier{
+			Codec:          wmcode.Codec{Key: []byte(*key)},
+			Manufacturer:   *mfg,
+			SegAddr:        *segment,
+			TPEW:           *tpew,
+			Replicas:       *replicas,
+			CheckRecycling: *recycle,
+		},
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		CacheEntries:   *cache,
+		Logf:           logger.Printf,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		logger.Printf("%s received, draining (up to %v)", s, *drainFor)
+	}
+
+	// Drain first so readiness flips and in-flight verifications finish,
+	// then shut the listener down; both share the drain budget.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	drainErr := srv.Drain(ctx)
+	shutErr := httpSrv.Shutdown(ctx)
+	if drainErr != nil {
+		return drainErr
+	}
+	if shutErr != nil && !errors.Is(shutErr, http.ErrServerClosed) {
+		return shutErr
+	}
+	logger.Printf("drained cleanly")
+	return nil
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunVersion(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "fmverifyd ") {
+		t.Fatalf("banner %q", out.String())
+	}
+}
+
+func TestRunRequiresKey(t *testing.T) {
+	var out bytes.Buffer
+	err := run(nil, &out)
+	if err == nil || !strings.Contains(err.Error(), "-key") {
+		t.Fatalf("missing key must fail with a -key hint, got %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("unknown flag must fail")
+	}
+}

@@ -40,6 +40,7 @@
 package flashmark
 
 import (
+	"context"
 	"io"
 
 	"github.com/flashmark/flashmark/internal/core"
@@ -210,6 +211,20 @@ var Fabricate = counterfeit.Fabricate
 
 // RunPopulation fabricates and verifies a chip population.
 var RunPopulation = counterfeit.RunPopulation
+
+// RunPopulationContext fabricates and verifies a chip population with
+// bounded parallelism and cooperative cancellation; outcomes are
+// byte-identical to RunPopulation when the context is never canceled.
+var RunPopulationContext = counterfeit.RunPopulationContext
+
+// Verify runs the full incoming-inspection flow on one chip under a
+// context deadline — the entry point long-running services (see
+// internal/service / cmd/fmverifyd) call so a slow or wedged inspection
+// respects the caller's request budget. A nil-deadline context makes
+// this identical to v.Verify(dev).
+func Verify(ctx context.Context, v *Verifier, dev Device) (VerifyResult, error) {
+	return v.VerifyContext(ctx, dev)
+}
 
 // NAND substrate (paper §VI: the method applies to NAND as well). A
 // NAND chip opened through NewNANDDevice satisfies the same Device

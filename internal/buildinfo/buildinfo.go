@@ -1,0 +1,47 @@
+// Package buildinfo renders the build identity every flashmark binary
+// reports under -version: the module version and the VCS revision the
+// Go toolchain stamped into the binary. No build-time ldflags are
+// needed; everything comes from runtime/debug.ReadBuildInfo, so plain
+// `go build ./cmd/...` produces fully identified binaries.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// read is swapped out by tests.
+var read = debug.ReadBuildInfo
+
+// String renders the one-line version banner for the named binary,
+// e.g. "fmverifyd (devel) commit 1a2b3c4d (modified) go1.22.5".
+func String(binary string) string {
+	info, ok := read()
+	if !ok {
+		return fmt.Sprintf("%s (unknown build) %s", binary, runtime.Version())
+	}
+	version := info.Main.Version
+	if version == "" {
+		version = "(devel)"
+	}
+	var revision, modified string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = " (modified)"
+			}
+		}
+	}
+	out := fmt.Sprintf("%s %s", binary, version)
+	if revision != "" {
+		if len(revision) > 12 {
+			revision = revision[:12]
+		}
+		out += fmt.Sprintf(" commit %s%s", revision, modified)
+	}
+	return out + " " + runtime.Version()
+}

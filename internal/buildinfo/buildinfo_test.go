@@ -1,0 +1,49 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func withInfo(t *testing.T, info *debug.BuildInfo, ok bool) {
+	t.Helper()
+	orig := read
+	read = func() (*debug.BuildInfo, bool) { return info, ok }
+	t.Cleanup(func() { read = orig })
+}
+
+func TestStringWithFullInfo(t *testing.T) {
+	withInfo(t, &debug.BuildInfo{
+		Main: debug.Module{Version: "v1.2.3"},
+		Settings: []debug.BuildSetting{
+			{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+			{Key: "vcs.modified", Value: "true"},
+		},
+	}, true)
+	got := String("fmverifyd")
+	for _, want := range []string{"fmverifyd v1.2.3", "commit 0123456789ab", "(modified)", "go1."} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("banner %q missing %q", got, want)
+		}
+	}
+}
+
+func TestStringDevelFallbacks(t *testing.T) {
+	withInfo(t, &debug.BuildInfo{}, true)
+	if got := String("flashmark"); !strings.HasPrefix(got, "flashmark (devel)") {
+		t.Fatalf("empty module version must render (devel), got %q", got)
+	}
+	withInfo(t, nil, false)
+	if got := String("flashmark"); !strings.Contains(got, "(unknown build)") {
+		t.Fatalf("missing build info must degrade gracefully, got %q", got)
+	}
+}
+
+func TestStringRealBinary(t *testing.T) {
+	// Against the real toolchain data: must never panic, always names
+	// the binary.
+	if got := String("fmexperiments"); !strings.HasPrefix(got, "fmexperiments ") {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -1,6 +1,7 @@
 package counterfeit
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -161,17 +162,26 @@ func RunPopulation(spec PopulationSpec, cfg FactoryConfig, verifier *Verifier, s
 // improves. The verifier must not carry an Auditor when workers != 1:
 // duplicate detection is order-dependent and belongs in a serial pass.
 func RunPopulationParallel(spec PopulationSpec, cfg FactoryConfig, verifier *Verifier, seedBase uint64, workers int) (*ConfusionMatrix, []Outcome, error) {
+	return RunPopulationContext(context.Background(), spec, cfg, verifier, seedBase, workers)
+}
+
+// RunPopulationContext is RunPopulationParallel with cooperative
+// cancellation: once ctx is done no further chips are fabricated or
+// verified, in-flight chips finish, and the run returns the
+// cancellation error. When ctx is never canceled the matrix and
+// outcomes are byte-identical to RunPopulationParallel.
+func RunPopulationContext(ctx context.Context, spec PopulationSpec, cfg FactoryConfig, verifier *Verifier, seedBase uint64, workers int) (*ConfusionMatrix, []Outcome, error) {
 	if verifier.Audit != nil && workers != 1 {
 		return nil, nil, fmt.Errorf("counterfeit: parallel population runs cannot use a die-ID auditor (order-dependent); run the audit pass serially")
 	}
 	jobs := populationJobs(spec, seedBase)
-	outcomes, err := parallel.Map(parallel.Pool{Workers: workers}, len(jobs), func(i int) (Outcome, error) {
+	outcomes, err := parallel.MapContext(ctx, parallel.Pool{Workers: workers}, len(jobs), func(i int) (Outcome, error) {
 		j := jobs[i]
 		dev, err := Fabricate(j.class, cfg, j.seed, j.die)
 		if err != nil {
 			return Outcome{}, fmt.Errorf("counterfeit: fabricating %s chip (die %d): %w", j.class, j.die, err)
 		}
-		res, err := verifier.Verify(dev)
+		res, err := verifier.VerifyContext(ctx, dev)
 		if err != nil {
 			return Outcome{}, fmt.Errorf("counterfeit: verifying %s chip (die %d): %w", j.class, j.die, err)
 		}

@@ -4,6 +4,8 @@
 // chip class is classified at incoming inspection.
 package counterfeit
 
+import "fmt"
+
 // Verdict is the verifier's classification of a chip.
 type Verdict int
 
@@ -66,6 +68,34 @@ func (v Verdict) String() string {
 
 // Accepted reports whether an integrator should accept the chip.
 func (v Verdict) Accepted() bool { return v == VerdictGenuine }
+
+// verdictNames enumerates every valid verdict for text round-tripping.
+var verdictNames = []Verdict{
+	VerdictGenuine, VerdictNoWatermark, VerdictRejectDie, VerdictTampered,
+	VerdictWrongIdentity, VerdictRecycled, VerdictDuplicateID, VerdictInconclusive,
+}
+
+// MarshalText renders the verdict as its canonical string (the String
+// form), so verdicts serialize stably in JSON wire formats instead of as
+// bare enum integers that would silently renumber.
+func (v Verdict) MarshalText() ([]byte, error) {
+	if v < VerdictGenuine || v > VerdictInconclusive {
+		return nil, fmt.Errorf("counterfeit: cannot marshal invalid verdict %d", int(v))
+	}
+	return []byte(v.String()), nil
+}
+
+// UnmarshalText parses the canonical verdict string.
+func (v *Verdict) UnmarshalText(text []byte) error {
+	s := string(text)
+	for _, cand := range verdictNames {
+		if cand.String() == s {
+			*v = cand
+			return nil
+		}
+	}
+	return fmt.Errorf("counterfeit: unknown verdict %q", s)
+}
 
 // ChipClass is the ground-truth provenance of a fabricated chip in a
 // population experiment.

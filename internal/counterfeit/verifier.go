@@ -1,6 +1,7 @@
 package counterfeit
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -89,9 +90,24 @@ func (v *Verifier) withDefaults() Verifier {
 // watermark), replica majority decode, integrity checks, and optionally
 // the recycling screen on data segments.
 func (v *Verifier) Verify(dev device.Device) (Result, error) {
+	return v.VerifyContext(context.Background(), dev)
+}
+
+// VerifyContext is Verify with a deadline/cancellation hook: the context
+// is consulted between inspection stages (before extraction, before the
+// recycling screen, and between sampled data segments), never inside a
+// simulated flash operation, so a canceled verification stops promptly
+// without leaving an operation half-accounted. When ctx is never
+// canceled the flow — and therefore every artifact — is byte-identical
+// to Verify. A cancellation surfaces as a hard error wrapping ctx.Err(),
+// not as a verdict: the chip was not classified.
+func (v *Verifier) VerifyContext(ctx context.Context, dev device.Device) (Result, error) {
 	cfg := v.withDefaults()
 	var res Result
 
+	if err := ctx.Err(); err != nil {
+		return res, fmt.Errorf("counterfeit: verification aborted: %w", err)
+	}
 	extracted, err := core.ExtractSegment(dev, cfg.SegAddr, core.ExtractOptions{
 		TPEW:        cfg.TPEW,
 		Reads:       cfg.Reads,
@@ -133,8 +149,11 @@ func (v *Verifier) Verify(dev device.Device) (Result, error) {
 	}
 
 	if cfg.CheckRecycling {
-		worn, sampled, err := v.recycledScreen(dev, cfg)
+		worn, sampled, err := v.recycledScreen(ctx, dev, cfg)
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return res, fmt.Errorf("counterfeit: verification aborted: %w", err)
+			}
 			if errors.Is(err, device.ErrInjected) {
 				res.Verdict = VerdictInconclusive
 				res.FaultErr = err
@@ -161,7 +180,7 @@ func (v *Verifier) Verify(dev device.Device) (Result, error) {
 
 // recycledScreen samples data segments with the one-round partial-erase
 // stress detector.
-func (v *Verifier) recycledScreen(dev device.Device, cfg Verifier) (worn, sampled int, err error) {
+func (v *Verifier) recycledScreen(ctx context.Context, dev device.Device, cfg Verifier) (worn, sampled int, err error) {
 	geom := dev.Geometry()
 	wmSeg, err := geom.SegmentOfAddr(cfg.SegAddr)
 	if err != nil {
@@ -169,6 +188,9 @@ func (v *Verifier) recycledScreen(dev device.Device, cfg Verifier) (worn, sample
 	}
 	cells := geom.CellsPerSegment()
 	for seg := 0; seg < geom.TotalSegments() && sampled < cfg.RecycledSegments; seg++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return 0, 0, cerr
+		}
 		if seg == wmSeg {
 			continue
 		}

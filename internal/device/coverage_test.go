@@ -1,0 +1,90 @@
+package device_test
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/flashmark/flashmark/internal/device"
+	"github.com/flashmark/flashmark/internal/mcu"
+)
+
+// failingReads vetoes every word read, exercising the injector's
+// error-propagation path through ReadSegment.
+type failingReads struct {
+	device.Device
+}
+
+var errSenseAmp = errors.New("sense amplifier dead")
+
+func (f failingReads) ReadWord(addr int) (uint64, error) { return 0, errSenseAmp }
+
+func TestFaultInjectorReadSegmentBadAddress(t *testing.T) {
+	d, err := mcu.Open(mcu.PartSmallSim(), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := device.InjectFaults(d, device.FaultConfig{Seed: 1})
+	if _, err := f.ReadSegment(-1); err == nil {
+		t.Fatal("negative address must be rejected")
+	}
+	if _, err := f.ReadSegment(d.Geometry().TotalBytes()); err == nil {
+		t.Fatal("address past the array must be rejected")
+	}
+}
+
+func TestFaultInjectorReadSegmentPropagatesReadError(t *testing.T) {
+	d, err := mcu.Open(mcu.PartSmallSim(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := device.InjectFaults(failingReads{d}, device.FaultConfig{Seed: 2})
+	if _, err := f.ReadSegment(0); !errors.Is(err, errSenseAmp) {
+		t.Fatalf("underlying read error must surface, got %v", err)
+	}
+}
+
+// wearCell is a one-cell StressSubstrate for pinning the kernel's wear
+// arithmetic per starting state.
+type wearCell struct {
+	programmed bool
+	wear       float64
+	finalProg  bool
+}
+
+func (c *wearCell) Cells() int                     { return 1 }
+func (c *wearCell) Programmed(i int) bool          { return c.programmed }
+func (c *wearCell) Wear(i int) float64             { return c.wear }
+func (c *wearCell) AddWear(i int, w float64)       { c.wear += w }
+func (c *wearCell) SetErased(i int)                { c.finalProg = false }
+func (c *wearCell) SetProgrammed(i int)            { c.finalProg = true }
+func (c *wearCell) TauAt(i int, w float64) float64 { return 25 + w }
+
+func TestApplyStressFirstEraseSeesCurrentState(t *testing.T) {
+	wear := device.StressWear{FullWear: 2, EraseOnly: 1, Program: 0.5}
+	const n = 3
+	cases := []struct {
+		name       string
+		programmed bool
+		one        bool
+		want       float64
+	}{
+		// Erased start, watermark 1: n cheap erases, no programs.
+		{"erased-one", false, true, 1 + 2*1},
+		// Erased start, watermark 0: first erase cheap, then full, plus programs.
+		{"erased-zero", false, false, 1 + 2*2 + 3*0.5},
+		// Programmed start, watermark 1: first erase is full-cost.
+		{"programmed-one", true, true, 2 + 2*1},
+		// Programmed start, watermark 0: every erase full-cost.
+		{"programmed-zero", true, false, 2 + 2*2 + 3*0.5},
+	}
+	for _, tc := range cases {
+		c := &wearCell{programmed: tc.programmed}
+		device.ApplyStress(c, func(i int) bool { return tc.one }, n, wear)
+		if c.wear != tc.want {
+			t.Errorf("%s: wear %v, want %v", tc.name, c.wear, tc.want)
+		}
+		if c.finalProg != !tc.one {
+			t.Errorf("%s: final state programmed=%v, want %v", tc.name, c.finalProg, !tc.one)
+		}
+	}
+}

@@ -263,12 +263,20 @@ func Load(r io.Reader) (*Device, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mcu: decoding array payload: %w", err)
 	}
-	arr, err := nor.UnmarshalArray(raw)
+	// Check the serialized geometry against the named part before
+	// UnmarshalArray commits the per-cell allocation: chip files are
+	// untrusted input, and a forged header must not be able to command
+	// an allocation larger than the part it claims to be.
+	headGeom, err := nor.ArrayGeometry(raw)
 	if err != nil {
 		return nil, err
 	}
-	if arr.Geometry() != part.Geometry {
-		return nil, fmt.Errorf("mcu: chip file geometry %+v does not match part %s", arr.Geometry(), part.Name)
+	if headGeom != part.Geometry {
+		return nil, fmt.Errorf("mcu: chip file geometry %+v does not match part %s", headGeom, part.Name)
+	}
+	arr, err := nor.UnmarshalArray(raw)
+	if err != nil {
+		return nil, err
 	}
 	dev, err := newDeviceWithArray(part, cf.Seed, arr)
 	if err != nil {

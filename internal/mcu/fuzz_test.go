@@ -1,0 +1,100 @@
+package mcu
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// bombChipFile builds the allocation-bomb regression input the fuzzer
+// originally found: a tiny chip file naming a small catalog part whose
+// array header declares a huge geometry with zero cell records. Loading
+// it must fail on the geometry check without committing the multi-GB
+// per-cell allocation the header implies.
+func bombChipFile(banks, segs, segBytes uint32) []byte {
+	var arr bytes.Buffer
+	arr.WriteString("NORA")
+	for _, v := range []any{uint16(1), banks, segs, segBytes, uint32(2), uint64(0)} {
+		_ = binary.Write(&arr, binary.LittleEndian, v)
+	}
+	return []byte(fmt.Sprintf(
+		`{"format":"flashmark-chip","version":1,"part":"FM-SIM16","seed":1,"array":%q}`,
+		base64.StdEncoding.EncodeToString(arr.Bytes())))
+}
+
+func TestLoadRejectsForgedGeometry(t *testing.T) {
+	for name, raw := range map[string][]byte{
+		// 64 MB declared: ~6 GB of host state if allocated eagerly.
+		"oversized": bombChipFile(4, 1<<15, 512),
+		// Valid size for another part, but not FM-SIM16's shape.
+		"mismatched": bombChipFile(4, 128, 512),
+	} {
+		if _, err := Load(bytes.NewReader(raw)); err == nil {
+			t.Errorf("%s forged-geometry chip file accepted: %s", name, raw[:60])
+		}
+	}
+}
+
+// FuzzLoadDevice feeds arbitrary bytes to the chip-file parser — the
+// exact surface fmverifyd exposes to untrusted uploads. It must never
+// panic, and any file it accepts must survive a Save/Load round trip
+// with identity intact.
+func FuzzLoadDevice(f *testing.F) {
+	dev, err := NewDevice(PartSmallSim(), 42)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var good bytes.Buffer
+	if err := dev.Save(&good); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	// Aged chip: exercises the SetAgeYears path on reload.
+	if err := dev.Age(3.5); err != nil {
+		f.Fatal(err)
+	}
+	var aged bytes.Buffer
+	if err := dev.Save(&aged); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(aged.Bytes())
+	// Structured near-misses: valid JSON shapes that each trip one
+	// validation branch.
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"format":"flashmark-chip","version":1}`))
+	f.Add([]byte(`{"format":"flashmark-chip","version":99,"part":"FM-SIM16"}`))
+	f.Add([]byte(`{"format":"flashmark-chip","version":1,"part":"NO-SUCH-PART"}`))
+	f.Add([]byte(`{"format":"flashmark-chip","version":1,"part":"FM-SIM16","array":"!!not-base64!!"}`))
+	f.Add([]byte(`{"format":"flashmark-chip","version":1,"part":"FM-SIM16","ageYears":-2,"array":""}`))
+	f.Add([]byte(strings.Replace(good.String(), `"seed"`, `"params":{"EnduranceCycles":0},"seed"`, 1)))
+	f.Add([]byte("not json at all"))
+	f.Add([]byte{})
+	// Regression: the allocation bomb (forged oversized array header).
+	f.Add(bombChipFile(4, 1<<15, 512))
+	f.Add(bombChipFile(1<<20, 1<<20, 512))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dev, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := dev.Save(&buf); err != nil {
+			t.Fatalf("accepted chip failed to re-save: %v", err)
+		}
+		back, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("re-saved chip failed to reload: %v", err)
+		}
+		if back.Seed() != dev.Seed() || back.PartName() != dev.PartName() {
+			t.Fatalf("identity drifted through round trip: %d/%s vs %d/%s",
+				dev.Seed(), dev.PartName(), back.Seed(), back.PartName())
+		}
+		if back.AgeYears() != dev.AgeYears() {
+			t.Fatalf("age drifted through round trip: %v vs %v", dev.AgeYears(), back.AgeYears())
+		}
+	})
+}

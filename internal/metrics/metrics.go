@@ -1,0 +1,283 @@
+// Package metrics is the repo's lightweight observability layer: atomic
+// counters, gauges, and fixed-bucket latency histograms collected in a
+// named registry and exposed in two standard wire formats — Prometheus
+// text exposition on /metrics and expvar-style JSON on /debug/vars.
+// It is stdlib-only and deliberately tiny: the verification service
+// (internal/service) is the first consumer, but the registry is generic
+// so the CLIs and the experiment engine can adopt the same instruments
+// without a client-library dependency.
+//
+// Unlike the stdlib expvar package, registries here are instances, not
+// process-global state: tests and multiple servers in one process each
+// get their own namespace and nothing panics on duplicate registration
+// across instances.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing count. The zero value is ready
+// to use; all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous level (queue depth, cache size). The zero
+// value is ready to use; all methods are safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the level.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the level by delta (either sign).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefaultLatencyBuckets are the histogram upper bounds used for request
+// latencies, in seconds: 1ms to ~16s in powers of two, plus +Inf.
+func DefaultLatencyBuckets() []float64 {
+	return []float64{0.001, 0.002, 0.004, 0.008, 0.016, 0.032, 0.064,
+		0.128, 0.256, 0.512, 1.024, 2.048, 4.096, 8.192, 16.384}
+}
+
+// Histogram is a fixed-bucket cumulative histogram (Prometheus
+// semantics: each bucket counts observations <= its upper bound, with an
+// implicit +Inf bucket). Safe for concurrent use.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	count  atomic.Int64
+	sum    atomic.Int64 // micro-units, to keep the hot path lock-free
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(v * 1e6))
+}
+
+// ObserveDuration records a duration sample in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return float64(h.sum.Load()) / 1e6 }
+
+// Quantile returns an upper-bound estimate of the q-quantile (the bucket
+// boundary at or above it); q outside (0,1] returns 0. With no
+// observations it returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || q <= 0 || q > 1 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			break
+		}
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// metric is one registered instrument with its render hooks.
+type metric struct {
+	name string
+	help string
+	prom func(w io.Writer, name string)
+	json func() string
+}
+
+// Registry is an ordered namespace of instruments. Registration is
+// typically done at construction time; rendering and instrument updates
+// are safe concurrently afterwards.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	byName  map[string]struct{}
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]struct{})}
+}
+
+func (r *Registry) register(m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[m.name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate registration of %q", m.name))
+	}
+	r.byName[m.name] = struct{}{}
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers and returns a named counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(metric{
+		name: name,
+		help: help,
+		prom: func(w io.Writer, n string) {
+			fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, c.Value())
+		},
+		json: func() string { return fmt.Sprintf("%d", c.Value()) },
+	})
+	return c
+}
+
+// Gauge registers and returns a named gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(metric{
+		name: name,
+		help: help,
+		prom: func(w io.Writer, n string) {
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, g.Value())
+		},
+		json: func() string { return fmt.Sprintf("%d", g.Value()) },
+	})
+	return g
+}
+
+// GaugeFunc registers a gauge whose level is sampled from fn at render
+// time (for levels owned elsewhere, like a cache's current size).
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	r.register(metric{
+		name: name,
+		help: help,
+		prom: func(w io.Writer, n string) {
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, fn())
+		},
+		json: func() string { return fmt.Sprintf("%d", fn()) },
+	})
+}
+
+// Histogram registers and returns a named histogram over the bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := NewHistogram(bounds)
+	r.register(metric{
+		name: name,
+		help: help,
+		prom: func(w io.Writer, n string) {
+			fmt.Fprintf(w, "# TYPE %s histogram\n", n)
+			var cum int64
+			for i, b := range h.bounds {
+				cum += h.counts[i].Load()
+				fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", n, b, cum)
+			}
+			cum += h.counts[len(h.bounds)].Load()
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, cum)
+			fmt.Fprintf(w, "%s_sum %g\n", n, h.Sum())
+			fmt.Fprintf(w, "%s_count %d\n", n, h.Count())
+		},
+		json: func() string {
+			return fmt.Sprintf(`{"count":%d,"sum":%g,"p50":%g,"p99":%g}`,
+				h.Count(), h.Sum(), h.Quantile(0.5), h.Quantile(0.99))
+		},
+	})
+	return h
+}
+
+// WritePrometheus renders every instrument in registration order in the
+// Prometheus text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	ms := make([]metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+	var b strings.Builder
+	for _, m := range ms {
+		if m.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", m.name, m.help)
+		}
+		m.prom(&b, m.name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteJSON renders every instrument as one flat JSON object, the
+// /debug/vars (expvar) convention.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	r.mu.Lock()
+	ms := make([]metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, m := range ms {
+		if i > 0 {
+			b.WriteString(",\n")
+		}
+		fmt.Fprintf(&b, "%q: %s", m.name, m.json())
+	}
+	b.WriteString("\n}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler serves the Prometheus text format (mount at /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// VarsHandler serves the expvar-style JSON snapshot (mount at
+// /debug/vars).
+func (r *Registry) VarsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+}

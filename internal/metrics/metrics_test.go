@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "total requests")
+	g := r.Gauge("queue_depth", "waiting requests")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotone
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005) // first bucket
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(0.05) // second bucket
+	}
+	h.Observe(5) // +Inf bucket
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	if got := h.Quantile(0.5); got != 0.01 {
+		t.Fatalf("p50 = %g, want 0.01", got)
+	}
+	if got := h.Quantile(0.99); got != 0.1 {
+		t.Fatalf("p99 = %g, want 0.1", got)
+	}
+	// The +Inf observation clamps to the top finite bound.
+	if got := h.Quantile(1); got != 1 {
+		t.Fatalf("p100 = %g, want clamp to top bound 1", got)
+	}
+	if h.Quantile(0) != 0 || h.Quantile(1.5) != 0 {
+		t.Fatal("out-of-range quantiles must return 0")
+	}
+	h.ObserveDuration(20 * time.Millisecond)
+	if h.Count() != 101 {
+		t.Fatal("ObserveDuration must count")
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("verify_total", "verifications")
+	h := r.Histogram("latency_seconds", "request latency", []float64{0.1, 1})
+	r.GaugeFunc("cache_size", "entries", func() int64 { return 3 })
+	c.Add(2)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE verify_total counter",
+		"verify_total 2",
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.1"} 1`,
+		`latency_seconds_bucket{le="1"} 2`,
+		`latency_seconds_bucket{le="+Inf"} 2`,
+		"latency_seconds_count 2",
+		"# TYPE cache_size gauge",
+		"cache_size 3",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestVarsHandlerValidJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "").Inc()
+	r.Gauge("b_level", "").Set(-4)
+	r.Histogram("c_seconds", "", DefaultLatencyBuckets()).Observe(0.01)
+	rec := httptest.NewRecorder()
+	r.VarsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
+	var out map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("vars output is not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if out["a_total"].(float64) != 1 || out["b_level"].(float64) != -4 {
+		t.Fatalf("unexpected vars snapshot: %v", out)
+	}
+	hist := out["c_seconds"].(map[string]any)
+	if hist["count"].(float64) != 1 {
+		t.Fatalf("histogram snapshot wrong: %v", hist)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration must panic")
+		}
+	}()
+	r.Gauge("dup", "")
+}
+
+func TestConcurrentInstrumentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total", "")
+	h := r.Histogram("lat", "", DefaultLatencyBuckets())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(0.002)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("lost updates: counter=%d hist=%d", c.Value(), h.Count())
+	}
+}

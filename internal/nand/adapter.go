@@ -405,12 +405,18 @@ func LoadAdapter(r io.Reader) (*Adapter, error) {
 	if err != nil {
 		return nil, fmt.Errorf("nand: decoding array payload: %w", err)
 	}
-	arr, err := nor.UnmarshalArray(raw)
+	// As in mcu.Load: reject a mismatched array header before the
+	// per-cell allocation, since chip files are untrusted input.
+	headGeom, err := nor.ArrayGeometry(raw)
 	if err != nil {
 		return nil, err
 	}
-	if arr.Geometry() != d.cells.Geometry() {
-		return nil, fmt.Errorf("nand: chip file array geometry %+v does not match %+v", arr.Geometry(), d.cells.Geometry())
+	if headGeom != d.cells.Geometry() {
+		return nil, fmt.Errorf("nand: chip file array geometry %+v does not match %+v", headGeom, d.cells.Geometry())
+	}
+	arr, err := nor.UnmarshalArray(raw)
+	if err != nil {
+		return nil, err
 	}
 	d.cells = arr
 	if len(cf.NextPage) != cf.Geometry.Blocks {

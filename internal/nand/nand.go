@@ -35,8 +35,10 @@ func (g Geometry) Validate() error {
 	case g.PageBytes%2 != 0:
 		return fmt.Errorf("nand: page size %d must be even", g.PageBytes)
 	}
+	// Same cap as nor.Geometry: host state is ~100x the flash size, and
+	// serialized geometries arrive from untrusted chip files.
 	total := int64(g.Blocks) * int64(g.PagesPerBlock) * int64(g.PageBytes)
-	if total > 64<<20 {
+	if total > 4<<20 {
 		return fmt.Errorf("nand: geometry of %d bytes exceeds the supported maximum", total)
 	}
 	return nil

@@ -155,31 +155,57 @@ func (a *Array) MarshalBinary() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// UnmarshalArray reconstructs an array from MarshalBinary output.
-func UnmarshalArray(data []byte) (*Array, error) {
-	r := bytes.NewReader(data)
+// readArrayHeader consumes the magic, version and geometry fields from r.
+func readArrayHeader(r *bytes.Reader) (Geometry, error) {
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != arrayMagic {
-		return nil, fmt.Errorf("nor: bad array magic")
+		return Geometry{}, fmt.Errorf("nor: bad array magic")
 	}
 	read := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
 	var version uint16
 	if err := read(&version); err != nil {
-		return nil, fmt.Errorf("nor: truncated header: %w", err)
+		return Geometry{}, fmt.Errorf("nor: truncated header: %w", err)
 	}
 	if version != arrayVersion {
-		return nil, fmt.Errorf("nor: unsupported array version %d", version)
+		return Geometry{}, fmt.Errorf("nor: unsupported array version %d", version)
 	}
 	var banks, segs, segBytes, wordBytes uint32
 	for _, v := range []*uint32{&banks, &segs, &segBytes, &wordBytes} {
 		if err := read(v); err != nil {
-			return nil, fmt.Errorf("nor: truncated geometry: %w", err)
+			return Geometry{}, fmt.Errorf("nor: truncated geometry: %w", err)
 		}
 	}
-	geom := Geometry{
+	return Geometry{
 		Banks: int(banks), SegmentsPerBank: int(segs),
 		SegmentBytes: int(segBytes), WordBytes: int(wordBytes),
+	}, nil
+}
+
+// ArrayGeometry reads just the serialized array's geometry header without
+// building the array. Loaders that know the geometry they expect (e.g. a
+// chip file naming a catalog part) use it to reject mismatched or
+// oversized arrays before UnmarshalArray commits the full per-cell
+// allocation — untrusted input must not command allocations the header
+// alone can rule out.
+func ArrayGeometry(data []byte) (Geometry, error) {
+	geom, err := readArrayHeader(bytes.NewReader(data))
+	if err != nil {
+		return Geometry{}, err
 	}
+	if err := geom.Validate(); err != nil {
+		return Geometry{}, err
+	}
+	return geom, nil
+}
+
+// UnmarshalArray reconstructs an array from MarshalBinary output.
+func UnmarshalArray(data []byte) (*Array, error) {
+	r := bytes.NewReader(data)
+	geom, err := readArrayHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	read := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
 	a, err := NewArray(geom)
 	if err != nil {
 		return nil, err

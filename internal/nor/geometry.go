@@ -40,9 +40,12 @@ func (g Geometry) Validate() error {
 	return nil
 }
 
-// maxArrayBytes caps a single array at 64 MB of flash (512 Mbit), well
-// beyond any embedded NOR part.
-const maxArrayBytes = 64 << 20
+// maxArrayBytes caps a single array at 4 MB of flash (32 Mbit), 16x the
+// largest catalog part. The cap must stay small because the simulation
+// holds 12 bytes of host state per flash bit (~100x amplification): an
+// untrusted serialized geometry of 64 MB would command a ~6 GB host
+// allocation before any content is read.
+const maxArrayBytes = 4 << 20
 
 // TotalSegments returns the number of segments in the array.
 func (g Geometry) TotalSegments() int { return g.Banks * g.SegmentsPerBank }

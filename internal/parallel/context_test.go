@@ -1,0 +1,119 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachContextNeverCanceled pins the satellite contract: with a
+// background context the context-aware entry points behave exactly like
+// the originals, including lowest-index error selection (and the serial
+// path's early exit on first error).
+func TestForEachContextNeverCanceled(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		var ran atomic.Int64
+		err := ForEachContext(context.Background(), Pool{Workers: workers}, 20, func(i int) error {
+			ran.Add(1)
+			if i == 3 || i == 11 {
+				return errors.New("boom")
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "boom" {
+			t.Fatalf("workers=%d: want lowest-index boom error, got %v", workers, err)
+		}
+		if workers == 1 {
+			if got := ran.Load(); got != 4 {
+				t.Fatalf("serial path stops at first error, ran %d", got)
+			}
+		} else if got := ran.Load(); got != 20 {
+			t.Fatalf("workers=%d: all items must be attempted, ran %d", workers, got)
+		}
+	}
+}
+
+// TestForEachContextStopsScheduling cancels mid-run and checks that no
+// new items start afterwards while in-flight items complete.
+func TestForEachContextStopsScheduling(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		const n = 1000
+		err := ForEachContext(ctx, Pool{Workers: workers}, n, func(i int) error {
+			if ran.Add(1) == 5 {
+				cancel()
+			}
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: want context.Canceled, got %v", workers, err)
+		}
+		// In-flight items finish, so up to `workers` extra items may have
+		// started before every worker observed the cancellation.
+		if got := ran.Load(); got >= n {
+			t.Fatalf("workers=%d: cancellation did not stop scheduling (%d of %d ran)", workers, got, n)
+		}
+		cancel()
+	}
+}
+
+// TestForEachContextItemErrorBeatsCancel keeps the error contract under
+// cancellation: a real item failure outranks the context error.
+func TestForEachContextItemErrorBeatsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("item failed")
+	err := ForEachContext(ctx, Pool{Workers: 1}, 10, func(i int) error {
+		if i == 2 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want item error to win over cancellation, got %v", err)
+	}
+}
+
+// TestMapContextCanceledBeforeStart never schedules anything when the
+// context is already dead.
+func TestMapContextCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	_, err := MapContext(ctx, Pool{Workers: 4}, 50, func(i int) (int, error) {
+		ran.Add(1)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("dead context must schedule nothing, ran %d", ran.Load())
+	}
+}
+
+// TestMapContextDeterministicResults pins byte-identical output across
+// worker counts on the context path.
+func TestMapContextDeterministicResults(t *testing.T) {
+	want, err := MapContext(context.Background(), Pool{Workers: 1}, 32, func(i int) (uint64, error) {
+		return SubSeed(0xBEEF, uint64(i)), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := MapContext(context.Background(), Pool{Workers: workers}, 32, func(i int) (uint64, error) {
+			return SubSeed(0xBEEF, uint64(i)), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result %d differs", workers, i)
+			}
+		}
+	}
+}

@@ -10,6 +10,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -62,8 +63,20 @@ func (e *PanicError) Error() string {
 // error, like the results, is independent of the worker count. A panic
 // inside fn surfaces as a *PanicError rather than killing the process.
 func ForEach(p Pool, n int, fn func(i int) error) error {
+	return ForEachContext(context.Background(), p, n, fn)
+}
+
+// ForEachContext is ForEach with cooperative cancellation: once ctx is
+// done, no new items are scheduled; items already in flight run to
+// completion (work items are never interrupted mid-flight, so a
+// canceled run leaves no half-mutated state behind). When ctx is never
+// canceled the behavior — including which error is returned — is
+// byte-identical to ForEach. On cancellation the lowest-index item
+// failure still wins; if every attempted item succeeded, ctx.Err() is
+// returned because the iteration is incomplete.
+func ForEachContext(ctx context.Context, p Pool, n int, fn func(i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	w := p.workers()
 	if w > n {
@@ -71,6 +84,9 @@ func ForEach(p Pool, n int, fn func(i int) error) error {
 	}
 	if w == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := runItem(i, fn); err != nil {
 				return err
 			}
@@ -79,12 +95,17 @@ func ForEach(p Pool, n int, fn func(i int) error) error {
 	}
 	errs := make([]error, n)
 	var next atomic.Int64
+	var canceled atomic.Bool
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for g := 0; g < w; g++ {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					canceled.Store(true)
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -98,6 +119,9 @@ func ForEach(p Pool, n int, fn func(i int) error) error {
 		if err != nil {
 			return err
 		}
+	}
+	if canceled.Load() {
+		return ctx.Err()
 	}
 	return nil
 }
@@ -117,8 +141,15 @@ func runItem(i int, fn func(i int) error) (err error) {
 // on scheduling. Error and panic semantics match ForEach; on error the
 // partial results are discarded.
 func Map[T any](p Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapContext(context.Background(), p, n, fn)
+}
+
+// MapContext is Map with cooperative cancellation (see ForEachContext):
+// once ctx is done no new items are scheduled, in-flight items finish,
+// and the partial results are discarded with the cancellation error.
+func MapContext[T any](ctx context.Context, p Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForEach(p, n, func(i int) error {
+	err := ForEachContext(ctx, p, n, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err

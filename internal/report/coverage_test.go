@@ -1,0 +1,31 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAddRowStringerBranch(t *testing.T) {
+	tbl := Table{Columns: []string{"d"}}
+	tbl.AddRow(25 * time.Microsecond) // time.Duration implements fmt.Stringer
+	if tbl.Rows[0][0] != "25µs" {
+		t.Fatalf("Stringer cell rendered %q", tbl.Rows[0][0])
+	}
+}
+
+func TestFormatFloatNaN(t *testing.T) {
+	tbl := Table{Columns: []string{"v"}}
+	tbl.AddRow(math.NaN())
+	if tbl.Rows[0][0] != "NaN" {
+		t.Fatalf("NaN rendered %q", tbl.Rows[0][0])
+	}
+	var b strings.Builder
+	if err := tbl.WriteText(&b); err != nil {
+		t.Fatalf("NaN cell must still render a table: %v", err)
+	}
+	if !strings.Contains(b.String(), "NaN") {
+		t.Fatalf("table output lost the NaN cell:\n%s", b.String())
+	}
+}

@@ -1,0 +1,77 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/flashmark/flashmark/internal/counterfeit"
+)
+
+// verdictCache is the chip-registry cache: a thread-safe LRU from chip
+// content hash to the serialized verdict response. Verification of a
+// chip file is a pure function of its bytes and the server's fixed
+// verifier policy (the simulation is deterministic and the service never
+// persists the mutated device), so a repeat screening of the same lot
+// can skip parsing and re-verification entirely and return the cached
+// response byte-for-byte.
+type verdictCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key     string
+	body    []byte
+	verdict counterfeit.Verdict
+}
+
+// newVerdictCache builds a cache bounded to max entries; max <= 0
+// disables caching (every lookup misses, puts are dropped).
+func newVerdictCache(max int) *verdictCache {
+	return &verdictCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached response body and verdict for key and marks
+// the entry most recently used.
+func (c *verdictCache) Get(key string) ([]byte, counterfeit.Verdict, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, 0, false
+	}
+	c.ll.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return e.body, e.verdict, true
+}
+
+// Put stores the response for key, evicting the least recently used
+// entry when full.
+func (c *verdictCache) Put(key string, body []byte, verdict counterfeit.Verdict) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		e.body, e.verdict = body, verdict
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body, verdict: verdict})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the current entry count.
+func (c *verdictCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

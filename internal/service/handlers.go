@@ -1,0 +1,427 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/flashmark/flashmark/internal/counterfeit"
+	"github.com/flashmark/flashmark/internal/device"
+	"github.com/flashmark/flashmark/internal/mcu"
+	"github.com/flashmark/flashmark/internal/nand"
+	"github.com/flashmark/flashmark/internal/parallel"
+)
+
+// ChipReport is the verdict JSON for one screened chip. Fields are
+// derived only from the chip bytes and the server's verifier policy, so
+// the report for a given chip file is byte-stable across requests and
+// cacheable by content hash.
+type ChipReport struct {
+	SHA256              string         `json:"sha256"`
+	Part                string         `json:"part,omitempty"`
+	Seed                uint64         `json:"seed,omitempty"`
+	Verdict             string         `json:"verdict"`
+	Accepted            bool           `json:"accepted"`
+	Payload             *PayloadReport `json:"payload,omitempty"`
+	ReplicaDisagreement float64        `json:"replicaDisagreement"`
+	WornDataSegments    int            `json:"wornDataSegments"`
+	SampledDataSegments int            `json:"sampledDataSegments"`
+	Fault               string         `json:"fault,omitempty"`
+	DeviceTimeUs        int64          `json:"deviceTimeUs"`
+	Error               string         `json:"error,omitempty"`
+}
+
+// PayloadReport is the decoded watermark payload, present when the chip
+// carried a structurally valid watermark.
+type PayloadReport struct {
+	Manufacturer string `json:"manufacturer"`
+	DieID        uint64 `json:"dieId"`
+	SpeedGrade   uint8  `json:"speedGrade"`
+	Status       string `json:"status"`
+	YearWeek     uint16 `json:"yearWeek"`
+}
+
+// BatchRequest is the body of POST /v1/verify/batch: each element of
+// Chips is one complete chip file (the same JSON either backend's Save
+// writes).
+type BatchRequest struct {
+	Chips []json.RawMessage `json:"chips"`
+}
+
+// BatchSummary aggregates a batch's verdicts.
+type BatchSummary struct {
+	Chips    int            `json:"chips"`
+	Accepted int            `json:"accepted"`
+	Refused  int            `json:"refused"`
+	Failed   int            `json:"failed"`
+	Verdicts map[string]int `json:"verdicts"`
+}
+
+// BatchResponse is the body answered by POST /v1/verify/batch. Results
+// are indexed by input position regardless of completion order.
+type BatchResponse struct {
+	Results []json.RawMessage `json:"results"`
+	Summary BatchSummary      `json:"summary"`
+}
+
+// httpError carries a status code through the screening path.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, "{\"error\":%q}\n", msg)
+}
+
+func writeJSONBody(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+	if len(body) == 0 || body[len(body)-1] != '\n' {
+		_, _ = io.WriteString(w, "\n")
+	}
+}
+
+// beginRequest registers an in-flight verification unless the server is
+// draining; the caller must invoke the returned done func.
+func (s *Server) beginRequest() (done func(), ok bool) {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.Draining() {
+		return nil, false
+	}
+	s.inflight.Add(1)
+	return func() { s.inflight.Done() }, true
+}
+
+// readBody drains the request body under the configured cap.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, *httpError) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, &httpError{http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)}
+		}
+		return nil, &httpError{http.StatusBadRequest, "reading request body: " + err.Error()}
+	}
+	return raw, nil
+}
+
+// parseChip sniffs the chip file's self-describing format field and
+// dispatches to the matching backend loader, mirroring the flashmark
+// CLI's loader so the service accepts exactly the files the CLI writes.
+func parseChip(raw []byte) (device.Device, error) {
+	var head struct {
+		Format string `json:"format"`
+	}
+	if err := json.Unmarshal(raw, &head); err != nil {
+		return nil, fmt.Errorf("not a chip file: %w", err)
+	}
+	switch head.Format {
+	case "flashmark-nand-chip":
+		return nand.LoadAdapter(bytes.NewReader(raw))
+	default:
+		return mcu.LoadDevice(bytes.NewReader(raw))
+	}
+}
+
+// screenChip runs one chip's bytes through parse -> decorate -> verify
+// and renders the ChipReport. The report bytes plus verdict come back
+// for caching; failures come back as *httpError.
+func (s *Server) screenChip(ctx context.Context, raw []byte, sum string) ([]byte, counterfeit.Verdict, *httpError) {
+	dev, err := parseChip(raw)
+	if err != nil {
+		return nil, 0, &httpError{http.StatusBadRequest, err.Error()}
+	}
+	if s.cfg.Decorate != nil {
+		dev = s.cfg.Decorate(dev)
+	}
+	res, err := s.cfg.Verifier.VerifyContext(ctx, dev)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.met.deadlines.Inc()
+			return nil, 0, &httpError{http.StatusGatewayTimeout, "verification deadline exceeded"}
+		}
+		if errors.Is(err, context.Canceled) {
+			return nil, 0, &httpError{statusClientClosedRequest, "client canceled the request"}
+		}
+		return nil, 0, &httpError{http.StatusUnprocessableEntity, "verification failed: " + err.Error()}
+	}
+	rep := ChipReport{
+		SHA256:              sum,
+		Part:                dev.PartName(),
+		Seed:                dev.Seed(),
+		Verdict:             res.Verdict.String(),
+		Accepted:            res.Verdict.Accepted(),
+		ReplicaDisagreement: res.ReplicaDisagreement,
+		WornDataSegments:    res.WornDataSegments,
+		SampledDataSegments: res.SampledDataSegments,
+		DeviceTimeUs:        dev.Clock().Now().Microseconds(),
+	}
+	if res.DecodeErr == nil && res.Verdict != counterfeit.VerdictInconclusive {
+		rep.Payload = &PayloadReport{
+			Manufacturer: res.Payload.Manufacturer,
+			DieID:        res.Payload.DieID,
+			SpeedGrade:   res.Payload.SpeedGrade,
+			Status:       res.Payload.Status.String(),
+			YearWeek:     res.Payload.YearWeek,
+		}
+	}
+	if res.FaultErr != nil {
+		rep.Fault = res.FaultErr.Error()
+	}
+	body, err := json.Marshal(rep)
+	if err != nil {
+		return nil, 0, &httpError{http.StatusInternalServerError, "encoding report: " + err.Error()}
+	}
+	return body, res.Verdict, nil
+}
+
+// statusClientClosedRequest is nginx's conventional code for a request
+// the client abandoned; no RFC status fits better.
+const statusClientClosedRequest = 499
+
+// chipKey is the registry-cache key: the content hash of the chip bytes.
+// The verifier policy is fixed per server, so the hash alone identifies
+// the verdict.
+func chipKey(raw []byte) string {
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// screenCached serves one chip through the registry cache: a hit skips
+// parsing and verification entirely, a miss computes and populates.
+func (s *Server) screenCached(ctx context.Context, raw []byte) ([]byte, counterfeit.Verdict, bool, *httpError) {
+	key := chipKey(raw)
+	if body, verdict, ok := s.cache.Get(key); ok {
+		s.met.cacheHit.Inc()
+		s.countChip(verdict)
+		return body, verdict, true, nil
+	}
+	s.met.cacheMiss.Inc()
+	body, verdict, herr := s.screenChip(ctx, raw, key)
+	if herr != nil {
+		return nil, 0, false, herr
+	}
+	s.cache.Put(key, body, verdict)
+	s.countChip(verdict)
+	return body, verdict, false, nil
+}
+
+func (s *Server) countChip(v counterfeit.Verdict) {
+	s.met.chips.Inc()
+	if c, ok := s.met.verdicts[v]; ok {
+		c.Inc()
+	}
+	if v == counterfeit.VerdictInconclusive {
+		s.met.faults.Inc()
+	}
+}
+
+// handleVerify answers POST /v1/verify: one chip file in, one
+// ChipReport out.
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.met.requests.Inc()
+	defer func() { s.met.latency.ObserveDuration(time.Since(start)) }()
+	if r.Method != http.MethodPost {
+		s.met.errors.Inc()
+		writeError(w, http.StatusMethodNotAllowed, "use POST with a chip file body")
+		return
+	}
+	done, ok := s.beginRequest()
+	if !ok {
+		s.met.errors.Inc()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	defer done()
+	raw, herr := s.readBody(w, r)
+	if herr != nil {
+		s.met.errors.Inc()
+		writeError(w, herr.status, herr.msg)
+		return
+	}
+	// A cache hit bypasses admission: it consumes no verification worker.
+	key := chipKey(raw)
+	if body, verdict, ok := s.cache.Get(key); ok {
+		s.met.cacheHit.Inc()
+		s.countChip(verdict)
+		w.Header().Set("X-Cache", "hit")
+		writeJSONBody(w, http.StatusOK, body)
+		return
+	}
+	release, err := s.gate.acquire(r.Context())
+	if err != nil {
+		if errors.Is(err, errOverloaded) {
+			s.met.rejected.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "verification queue is full; retry later")
+			return
+		}
+		s.met.errors.Inc()
+		writeError(w, statusClientClosedRequest, "client canceled while queued")
+		return
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	body, verdict, cached, herr := s.screenCached(ctx, raw)
+	if herr != nil {
+		s.met.errors.Inc()
+		writeError(w, herr.status, herr.msg)
+		return
+	}
+	if cached {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	s.logf("verify %s -> %s in %v", key[:12], verdict, time.Since(start).Round(time.Millisecond))
+	writeJSONBody(w, http.StatusOK, body)
+}
+
+// handleVerifyBatch answers POST /v1/verify/batch: a population of chip
+// files fans out over the deterministic parallel engine; results are
+// indexed by input order, so two identical batch requests produce
+// byte-identical response bodies no matter how the fan-out is scheduled.
+func (s *Server) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.met.requests.Inc()
+	defer func() { s.met.latency.ObserveDuration(time.Since(start)) }()
+	if r.Method != http.MethodPost {
+		s.met.errors.Inc()
+		writeError(w, http.StatusMethodNotAllowed, "use POST with a JSON batch body")
+		return
+	}
+	done, ok := s.beginRequest()
+	if !ok {
+		s.met.errors.Inc()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	defer done()
+	raw, herr := s.readBody(w, r)
+	if herr != nil {
+		s.met.errors.Inc()
+		writeError(w, herr.status, herr.msg)
+		return
+	}
+	var req BatchRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		s.met.errors.Inc()
+		writeError(w, http.StatusBadRequest, "batch body must be {\"chips\":[...]}: "+err.Error())
+		return
+	}
+	if len(req.Chips) == 0 {
+		s.met.errors.Inc()
+		writeError(w, http.StatusBadRequest, "batch contains no chips")
+		return
+	}
+	// The whole batch occupies one admission slot; its internal fan-out
+	// is bounded separately by BatchWorkers on the parallel engine.
+	release, err := s.gate.acquire(r.Context())
+	if err != nil {
+		if errors.Is(err, errOverloaded) {
+			s.met.rejected.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "verification queue is full; retry later")
+			return
+		}
+		s.met.errors.Inc()
+		writeError(w, statusClientClosedRequest, "client canceled while queued")
+		return
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	type chipOutcome struct {
+		body    []byte
+		verdict counterfeit.Verdict
+		failed  bool
+	}
+	pool := parallel.Pool{Workers: s.cfg.BatchWorkers}
+	outcomes, err := parallel.MapContext(ctx, pool, len(req.Chips), func(i int) (chipOutcome, error) {
+		body, verdict, _, herr := s.screenCached(ctx, req.Chips[i])
+		if herr != nil {
+			if herr.status == http.StatusGatewayTimeout || herr.status == statusClientClosedRequest {
+				// A dead context ends the whole batch, not just this chip.
+				return chipOutcome{}, ctx.Err()
+			}
+			rep := ChipReport{SHA256: chipKey(req.Chips[i]), Verdict: "ERROR", Error: herr.msg}
+			eb, merr := json.Marshal(rep)
+			if merr != nil {
+				return chipOutcome{}, merr
+			}
+			return chipOutcome{body: eb, failed: true}, nil
+		}
+		return chipOutcome{body: body, verdict: verdict}, nil
+	})
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.met.deadlines.Inc()
+			s.met.errors.Inc()
+			writeError(w, http.StatusGatewayTimeout, "batch verification deadline exceeded")
+			return
+		}
+		s.met.errors.Inc()
+		writeError(w, http.StatusInternalServerError, "batch verification failed: "+err.Error())
+		return
+	}
+	resp := BatchResponse{
+		Results: make([]json.RawMessage, len(outcomes)),
+		Summary: BatchSummary{Chips: len(outcomes), Verdicts: make(map[string]int)},
+	}
+	for i, o := range outcomes {
+		resp.Results[i] = o.body
+		if o.failed {
+			resp.Summary.Failed++
+			continue
+		}
+		resp.Summary.Verdicts[o.verdict.String()]++
+		if o.verdict.Accepted() {
+			resp.Summary.Accepted++
+		} else {
+			resp.Summary.Refused++
+		}
+	}
+	body, merr := json.Marshal(resp)
+	if merr != nil {
+		s.met.errors.Inc()
+		writeError(w, http.StatusInternalServerError, "encoding batch response: "+merr.Error())
+		return
+	}
+	s.logf("batch of %d -> %d accepted, %d refused, %d failed in %v",
+		resp.Summary.Chips, resp.Summary.Accepted, resp.Summary.Refused,
+		resp.Summary.Failed, time.Since(start).Round(time.Millisecond))
+	writeJSONBody(w, http.StatusOK, body)
+}
+
+// handleHealthz answers liveness: 200 as long as the process serves.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSONBody(w, http.StatusOK, []byte(`{"status":"ok"}`))
+}
+
+// handleReadyz answers readiness: 503 once draining so load balancers
+// stop routing new work here.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		writeJSONBody(w, http.StatusServiceUnavailable, []byte(`{"status":"draining"}`))
+		return
+	}
+	writeJSONBody(w, http.StatusOK, []byte(`{"status":"ready"}`))
+}

@@ -1,0 +1,241 @@
+// Package service implements fmverifyd's HTTP layer: a stdlib-only
+// watermark-verification service that accepts serialized chip files
+// (either backend's format) and returns authenticity verdicts. The
+// production concerns live here, not in the binary, so they are testable
+// with httptest: admission control with a bounded queue (429 +
+// Retry-After on overload), per-request deadlines threaded through
+// context into the verify path, panic-to-500 recovery, graceful drain,
+// an LRU chip-registry cache keyed by content hash, and first-class
+// metrics on /metrics and /debug/vars.
+//
+// Endpoints:
+//
+//	POST /v1/verify        one chip file -> one verdict JSON
+//	POST /v1/verify/batch  {"chips":[...]} -> per-chip verdicts + summary
+//	GET  /healthz          liveness (200 while the process serves)
+//	GET  /readyz           readiness (503 once draining)
+//	GET  /metrics          Prometheus text exposition
+//	GET  /debug/vars       expvar-style JSON snapshot
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/flashmark/flashmark/internal/counterfeit"
+	"github.com/flashmark/flashmark/internal/device"
+	"github.com/flashmark/flashmark/internal/metrics"
+)
+
+// Config assembles a Server. The zero value of every field selects a
+// production-sane default.
+type Config struct {
+	// Verifier is the incoming-inspection policy applied to every chip.
+	// It must not carry an Auditor: requests are stateless and
+	// concurrent, and batch-local replay audits belong to the client
+	// (see cmd/flashmark batch).
+	Verifier counterfeit.Verifier
+
+	// Workers bounds concurrent verifications (0 selects GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker beyond Workers
+	// (0 selects 64; negative means no queue — refuse unless a worker
+	// slot is free).
+	QueueDepth int
+	// RequestTimeout is the per-request verification deadline
+	// (0 selects 30s).
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps an accepted request body (0 selects 16 MiB).
+	MaxBodyBytes int64
+	// CacheEntries bounds the chip-registry LRU (0 selects 4096;
+	// negative disables caching).
+	CacheEntries int
+	// BatchWorkers bounds the per-batch fan-out on the parallel engine
+	// (0 selects Workers).
+	BatchWorkers int
+
+	// Decorate, when set, wraps every loaded device before verification
+	// — the chaos/testing seam for fault injectors and recorders.
+	Decorate func(device.Device) device.Device
+
+	// Registry receives the service metrics (nil creates a private one).
+	Registry *metrics.Registry
+
+	// Logf, when set, receives one line per completed request.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.QueueDepth == 0:
+		c.QueueDepth = 64
+	case c.QueueDepth < 0:
+		c.QueueDepth = 0
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	switch {
+	case c.CacheEntries == 0:
+		c.CacheEntries = 4096
+	case c.CacheEntries < 0:
+		c.CacheEntries = 0
+	}
+	if c.BatchWorkers <= 0 {
+		c.BatchWorkers = c.Workers
+	}
+	if c.Registry == nil {
+		c.Registry = metrics.NewRegistry()
+	}
+	return c
+}
+
+// serviceMetrics is every instrument the server exports.
+type serviceMetrics struct {
+	requests  *metrics.Counter
+	rejected  *metrics.Counter
+	errors    *metrics.Counter
+	deadlines *metrics.Counter
+	panics    *metrics.Counter
+	faults    *metrics.Counter
+	cacheHit  *metrics.Counter
+	cacheMiss *metrics.Counter
+	chips     *metrics.Counter
+	verdicts  map[counterfeit.Verdict]*metrics.Counter
+	latency   *metrics.Histogram
+}
+
+func newServiceMetrics(reg *metrics.Registry, g *gate, cache *verdictCache) *serviceMetrics {
+	m := &serviceMetrics{
+		requests:  reg.Counter("fmverifyd_requests_total", "verification requests accepted for processing"),
+		rejected:  reg.Counter("fmverifyd_rejected_total", "requests refused with 429 by admission control"),
+		errors:    reg.Counter("fmverifyd_errors_total", "requests answered with a 4xx/5xx other than 429"),
+		deadlines: reg.Counter("fmverifyd_deadline_exceeded_total", "verifications aborted by the per-request deadline"),
+		panics:    reg.Counter("fmverifyd_panics_total", "handler panics converted to 500"),
+		faults:    reg.Counter("fmverifyd_device_faults_total", "chips answered INCONCLUSIVE on an injected device fault"),
+		cacheHit:  reg.Counter("fmverifyd_cache_hits_total", "chip verdicts served from the registry cache"),
+		cacheMiss: reg.Counter("fmverifyd_cache_misses_total", "chip verdicts computed fresh"),
+		chips:     reg.Counter("fmverifyd_chips_total", "chips screened (batch requests count each chip)"),
+		verdicts:  make(map[counterfeit.Verdict]*metrics.Counter),
+		latency: reg.Histogram("fmverifyd_request_seconds", "wall-clock request latency",
+			metrics.DefaultLatencyBuckets()),
+	}
+	for v := counterfeit.VerdictGenuine; v <= counterfeit.VerdictInconclusive; v++ {
+		name := "fmverifyd_verdict_" + strings.ToLower(strings.ReplaceAll(v.String(), "-", "_")) + "_total"
+		m.verdicts[v] = reg.Counter(name, "chips classified "+v.String())
+	}
+	reg.GaugeFunc("fmverifyd_queue_depth", "admitted requests waiting for a worker", g.queued)
+	reg.GaugeFunc("fmverifyd_inflight", "requests holding a worker slot", g.running)
+	reg.GaugeFunc("fmverifyd_cache_entries", "chip verdicts resident in the registry cache",
+		func() int64 { return int64(cache.Len()) })
+	return m
+}
+
+// Server is the verification service. Create with New, mount via
+// Handler, stop with Drain.
+type Server struct {
+	cfg      Config
+	gate     *gate
+	cache    *verdictCache
+	met      *serviceMetrics
+	mux      *http.ServeMux
+	draining chan struct{}
+	drainMu  sync.Mutex
+	inflight sync.WaitGroup
+}
+
+// New validates the config and assembles a Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Verifier.Audit != nil {
+		return nil, fmt.Errorf("service: verifier must not carry an Auditor (requests are stateless and concurrent)")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		gate:     newGate(cfg.Workers, cfg.QueueDepth),
+		cache:    newVerdictCache(cfg.CacheEntries),
+		draining: make(chan struct{}),
+	}
+	s.met = newServiceMetrics(cfg.Registry, s.gate, s.cache)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/verify", s.handleVerify)
+	s.mux.HandleFunc("/v1/verify/batch", s.handleVerifyBatch)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.Handle("/metrics", cfg.Registry.Handler())
+	s.mux.Handle("/debug/vars", cfg.Registry.VarsHandler())
+	return s, nil
+}
+
+// Registry returns the metrics registry the server reports into.
+func (s *Server) Registry() *metrics.Registry { return s.cfg.Registry }
+
+// Handler returns the service's root handler with panic recovery
+// applied; mount it on an http.Server (or httptest.Server).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.met.panics.Inc()
+				s.logf("panic serving %s %s: %v", r.Method, r.URL.Path, rec)
+				// Best effort: if the handler already wrote, this is a no-op.
+				writeError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// Drain begins a graceful shutdown: readiness flips to 503 so load
+// balancers stop sending traffic, new verification requests are refused
+// with 503, and the call blocks until every in-flight verification has
+// completed or ctx expires (in which case the number still in flight is
+// reported in the error). Liveness, metrics and debug endpoints keep
+// serving throughout so the drain itself is observable.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	select {
+	case <-s.draining:
+	default:
+		close(s.draining)
+	}
+	s.drainMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain aborted with requests still in flight: %w", ctx.Err())
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}

@@ -1,0 +1,94 @@
+#!/usr/bin/env sh
+# End-to-end smoke of the verification service: build fmverifyd and the
+# flashmark CLI, fabricate a genuine and a counterfeit chip file, start
+# the daemon, screen both chips over HTTP (single and batch), assert the
+# verdicts, snapshot /metrics, and check the SIGTERM drain exits cleanly.
+#
+# Usage: scripts/service_smoke.sh [workdir]
+# Artifacts (chip files, responses, metrics snapshot, daemon log) are
+# left in the workdir (default: ./smoke-out) for CI upload.
+set -eu
+
+workdir=${1:-smoke-out}
+addr=127.0.0.1:8931
+base="http://$addr"
+key=smoke-test-key
+mfg=TC
+
+mkdir -p "$workdir"
+go build -o "$workdir/fmverifyd" ./cmd/fmverifyd
+go build -o "$workdir/flashmark" ./cmd/flashmark
+
+"$workdir/fmverifyd" -version
+
+# A genuine chip: fabricated, then watermarked the manufacturer way.
+"$workdir/flashmark" new -chip "$workdir/genuine.chip" -part FM-SIM16 -seed 42
+"$workdir/flashmark" imprint -chip "$workdir/genuine.chip" -mfg "$mfg" -die 1001 -status accept -key "$key"
+# A counterfeit: a rebranded blank (no watermark imprinted).
+"$workdir/flashmark" new -chip "$workdir/counterfeit.chip" -part FM-SIM16 -seed 77
+
+"$workdir/fmverifyd" -addr "$addr" -key "$key" -mfg "$mfg" >"$workdir/fmverifyd.log" 2>&1 &
+daemon=$!
+trap 'kill "$daemon" 2>/dev/null || true' EXIT
+
+# Wait for readiness.
+i=0
+until curl -sf "$base/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "FAIL: daemon did not become healthy" >&2
+        cat "$workdir/fmverifyd.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+assert_contains() {
+    if ! grep -q "$2" "$1"; then
+        echo "FAIL: $1 does not contain $2" >&2
+        cat "$1" >&2
+        exit 1
+    fi
+}
+
+curl -sf -X POST --data-binary @"$workdir/genuine.chip" "$base/v1/verify" \
+    >"$workdir/verify_genuine.json"
+assert_contains "$workdir/verify_genuine.json" '"verdict":"GENUINE"'
+assert_contains "$workdir/verify_genuine.json" '"accepted":true'
+assert_contains "$workdir/verify_genuine.json" '"dieId":1001'
+
+curl -sf -X POST --data-binary @"$workdir/counterfeit.chip" "$base/v1/verify" \
+    >"$workdir/verify_counterfeit.json"
+assert_contains "$workdir/verify_counterfeit.json" '"verdict":"NO-WATERMARK"'
+assert_contains "$workdir/verify_counterfeit.json" '"accepted":false'
+
+# Batch: both chips in one request, indexed results plus a summary.
+{
+    printf '{"chips":['
+    cat "$workdir/genuine.chip"
+    printf ','
+    cat "$workdir/counterfeit.chip"
+    printf ']}'
+} >"$workdir/batch.json"
+curl -sf -X POST --data-binary @"$workdir/batch.json" "$base/v1/verify/batch" \
+    >"$workdir/verify_batch.json"
+assert_contains "$workdir/verify_batch.json" '"accepted":1'
+assert_contains "$workdir/verify_batch.json" '"refused":1'
+assert_contains "$workdir/verify_batch.json" '"GENUINE":1'
+assert_contains "$workdir/verify_batch.json" '"NO-WATERMARK":1'
+
+curl -sf "$base/metrics" >"$workdir/metrics.txt"
+assert_contains "$workdir/metrics.txt" 'fmverifyd_requests_total 3'
+assert_contains "$workdir/metrics.txt" 'fmverifyd_chips_total 4'
+assert_contains "$workdir/metrics.txt" 'fmverifyd_verdict_genuine_total 2'
+
+# Graceful drain: SIGTERM must exit 0 after in-flight work completes.
+kill -TERM "$daemon"
+if ! wait "$daemon"; then
+    echo "FAIL: daemon did not drain cleanly on SIGTERM" >&2
+    cat "$workdir/fmverifyd.log" >&2
+    exit 1
+fi
+trap - EXIT
+
+echo "service smoke OK (artifacts in $workdir)"
