@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 1x
 
-.PHONY: all build vet test race bench bench-json experiments smoke cover cover-check fmt clean
+.PHONY: all build vet test race bench bench-json bench-physics bench-physics-check experiments smoke cover cover-check fmt clean
 
 all: build vet test
 
@@ -28,6 +28,18 @@ bench:
 # CI runs this at BENCHTIME=1x and uploads the JSON as an artifact.
 bench-json:
 	$(GO) test -run xxx -bench BenchmarkExperimentSuite -benchtime $(BENCHTIME) -benchjson BENCH_experiments.json .
+
+# Physics fast-path benchmarks: batched vs per-cell reference physics
+# on segment erase, verification extraction and the Fig. 4
+# characterization sweep, plus the 0-alloc steady-state read check.
+# Writes BENCH_physics.json (schema flashmark-bench-physics/v1).
+bench-physics:
+	$(GO) test -run xxx -bench 'BenchmarkSegmentErase|BenchmarkVerify|BenchmarkSegmentCharacterize|BenchmarkSteadyStateRead' -benchtime $(BENCHTIME) -physjson BENCH_physics.json .
+
+# Bench-regression gate: re-measure and compare the speedup ratios and
+# read-path allocs against scripts/bench_physics_baseline.json (±20%).
+bench-physics-check: bench-physics
+	./scripts/check_bench.sh BENCH_physics.json
 
 experiments:
 	$(GO) run ./cmd/fmexperiments -run all

@@ -1,0 +1,252 @@
+// Physics fast-path benchmarks: the batched segment-granularity cell
+// physics (device.PhysicsFast) against the per-cell reference
+// evaluation (device.PhysicsReference) on the three operations the
+// paper's procedures spend their time in — segment erase cycles,
+// verification extraction, and the Fig. 3/4 characterization sweep —
+// plus an allocation check on the steady-state read path. With
+// -physjson the results are also written as BENCH_physics.json (schema
+// flashmark-bench-physics/v1), which CI gates against the checked-in
+// baseline (scripts/bench_physics_baseline.json, ±20% on the ratios).
+//
+// Run: make bench-physics
+// (equivalently: go test -run xxx -bench 'SegmentErase|Verify|SegmentCharacterize|SteadyStateRead' -benchtime 1x -physjson BENCH_physics.json .)
+package flashmark_test
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	flashmark "github.com/flashmark/flashmark"
+	"github.com/flashmark/flashmark/internal/device"
+)
+
+var physJSON = flag.String("physjson", "", "write physics fast-path benchmark results to this JSON file")
+
+// physPair holds one benchmark measured on both physics paths. Speedup
+// is reference time over fast time, so >1 means the fast path wins; the
+// CI gate compares these ratios (not raw ns, which track the runner).
+type physPair struct {
+	FastNsOp      int64   `json:"fast_ns_op"`
+	ReferenceNsOp int64   `json:"reference_ns_op"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// physRead is the steady-state read-path measurement. AllocsOp must be
+// zero: the read path reuses the controller's decision cache and the
+// pooled scratch buffers and never touches the heap once warm.
+type physRead struct {
+	NsOp     int64   `json:"ns_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+// physReport is the BENCH_physics.json payload.
+type physReport struct {
+	Schema     string               `json:"schema"`
+	GoMaxProcs int                  `json:"go_max_procs"`
+	GoVersion  string               `json:"go_version"`
+	Benches    map[string]*physPair `json:"benches"`
+	Read       *physRead            `json:"read_steady_state,omitempty"`
+}
+
+var (
+	physMu  sync.Mutex
+	physOut = physReport{
+		Schema:     "flashmark-bench-physics/v1",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Benches:    map[string]*physPair{},
+	}
+)
+
+// recordPhysPath stores one (bench, path) timing; the speedup ratio is
+// filled in once both paths of a pair have reported.
+func recordPhysPath(name string, p device.PhysicsPath, nsOp int64) {
+	physMu.Lock()
+	defer physMu.Unlock()
+	pair := physOut.Benches[name]
+	if pair == nil {
+		pair = &physPair{}
+		physOut.Benches[name] = pair
+	}
+	if p == device.PhysicsFast {
+		pair.FastNsOp = nsOp
+	} else {
+		pair.ReferenceNsOp = nsOp
+	}
+	if pair.FastNsOp > 0 && pair.ReferenceNsOp > 0 {
+		pair.Speedup = float64(pair.ReferenceNsOp) / float64(pair.FastNsOp)
+	}
+}
+
+func recordPhysRead(nsOp int64, allocs float64) {
+	physMu.Lock()
+	defer physMu.Unlock()
+	physOut.Read = &physRead{NsOp: nsOp, AllocsOp: allocs}
+}
+
+// writePhysReport emits BENCH_physics.json when -physjson was given and
+// at least one physics benchmark actually ran.
+func writePhysReport() error {
+	physMu.Lock()
+	defer physMu.Unlock()
+	if *physJSON == "" || (len(physOut.Benches) == 0 && physOut.Read == nil) {
+		return nil
+	}
+	data, err := json.MarshalIndent(physOut, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(*physJSON, append(data, '\n'), 0o644)
+}
+
+// TestMain exists only to flush the physics bench report after all
+// benchmarks (which may record from several top-level functions) have
+// finished; it is a no-op for plain test runs.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if err := writePhysReport(); err != nil {
+		os.Stderr.WriteString("physjson: " + err.Error() + "\n")
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+var physPaths = []device.PhysicsPath{device.PhysicsFast, device.PhysicsReference}
+
+// physDevice opens a small-sim device pinned to the given physics path.
+func physDevice(b *testing.B, seed uint64, p device.PhysicsPath) flashmark.Device {
+	b.Helper()
+	dev := mustDevice(b, seed)
+	if err := device.SetPhysicsPath(dev, p); err != nil {
+		b.Fatal(err)
+	}
+	return dev
+}
+
+// physNsOp converts the benchmark's own measurement into ns/op for the
+// JSON report, so the numbers match what `go test -bench` prints.
+func physNsOp(b *testing.B) int64 {
+	if b.N == 0 {
+		return 0
+	}
+	return b.Elapsed().Nanoseconds() / int64(b.N)
+}
+
+// BenchmarkSegmentErase measures one program + adaptive-erase cycle of
+// a worn 4,096-cell segment — the inner loop of imprinting, where the
+// fast path batches tau evaluation over the whole contiguous span.
+func BenchmarkSegmentErase(b *testing.B) {
+	for _, p := range physPaths {
+		b.Run(string(p), func(b *testing.B) {
+			dev := physDevice(b, 0xE5E1, p)
+			zeros := make([]uint64, dev.Geometry().WordsPerSegment())
+			mustImprint(b, dev, zeros, 20_000)
+			if err := dev.Unlock(); err != nil {
+				b.Fatal(err)
+			}
+			// One warmup cycle so the timed iterations measure the
+			// steady state, not the one-time base/tau cache build.
+			if err := dev.ProgramBlock(0, zeros); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := dev.EraseSegmentAdaptive(0); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := dev.ProgramBlock(0, zeros); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := dev.EraseSegmentAdaptive(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			recordPhysPath("segment_erase", p, physNsOp(b))
+		})
+	}
+}
+
+// BenchmarkVerify measures one full verification extraction (partial
+// erase + 3 majority reads) of an imprinted segment.
+func BenchmarkVerify(b *testing.B) {
+	for _, p := range physPaths {
+		b.Run(string(p), func(b *testing.B) {
+			dev := physDevice(b, 0xE5E2, p)
+			wm := flashmark.ReferenceWatermark(dev.Geometry().WordsPerSegment())
+			mustImprint(b, dev, wm, 40_000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := flashmark.Extract(dev, 0, flashmark.ExtractOptions{
+					TPEW: 25 * time.Microsecond, Reads: 3,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			recordPhysPath("verify", p, physNsOp(b))
+		})
+	}
+}
+
+// BenchmarkSegmentCharacterize measures one full Fig. 3/4
+// characterization sweep of a 20 K-cycle segment on each physics path —
+// the headline number for the batched physics (acceptance: fast is at
+// least 3x reference; the deferred-margin engine measures ~5x here).
+func BenchmarkSegmentCharacterize(b *testing.B) {
+	for _, p := range physPaths {
+		b.Run(string(p), func(b *testing.B) {
+			dev := physDevice(b, 0xB401, p)
+			zeros := make([]uint64, dev.Geometry().WordsPerSegment())
+			mustImprint(b, dev, zeros, 20_000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				points, err := flashmark.Characterize(dev, 0, flashmark.CharacterizeOptions{Step: 4 * time.Microsecond})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, ok := flashmark.AllErasedTime(points); !ok {
+					b.Fatal("sweep did not complete")
+				}
+			}
+			recordPhysPath("characterize", p, physNsOp(b))
+		})
+	}
+}
+
+// BenchmarkSteadyStateRead measures repeated whole-segment word reads
+// on the fast path once every cache is warm. The acceptance criterion
+// is 0 allocs/op: reads hit the controller's conclusive-decision cache
+// and the pooled scratch buffers, never the heap.
+func BenchmarkSteadyStateRead(b *testing.B) {
+	dev := physDevice(b, 0xE5E4, device.PhysicsFast)
+	geom := dev.Geometry()
+	wm := flashmark.ReferenceWatermark(geom.WordsPerSegment())
+	mustImprint(b, dev, wm, 40_000)
+	readSegment := func() {
+		for addr := 0; addr < geom.SegmentBytes; addr += geom.WordBytes {
+			if _, err := dev.ReadWord(addr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	readSegment() // warm the margin materialization and decision cache
+	allocs := testing.AllocsPerRun(10, readSegment)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		readSegment()
+	}
+	nsOp := physNsOp(b)
+	if b.N > 0 {
+		nsOp /= int64(geom.WordsPerSegment()) // per word, the unit that must stay alloc-free
+	}
+	b.ReportMetric(allocs, "allocs/segment")
+	recordPhysRead(nsOp, allocs)
+}

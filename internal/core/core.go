@@ -14,9 +14,19 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/flashmark/flashmark/internal/device"
+)
+
+// Scratch pools for the extraction hot loop: repeated extractions (ROC
+// sweeps run thousands) reuse the all-zeros program image and the
+// per-word vote counters instead of reallocating them. Only the voted
+// words — the caller-owned result — are freshly allocated.
+var (
+	zeroWordsScratch = sync.Pool{New: func() any { w := []uint64(nil); return &w }}
+	votesScratch     = sync.Pool{New: func() any { v := []int(nil); return &v }}
 )
 
 // DefaultNPE is the imprint cycle count used when options leave it zero.
@@ -127,8 +137,19 @@ func ExtractSegment(dev device.Device, segAddr int, opts ExtractOptions) ([]uint
 	if err := dev.EraseSegment(segAddr); err != nil {
 		return nil, err
 	}
-	allZeros := make([]uint64, geom.WordsPerSegment())
-	if err := dev.ProgramBlock(segAddr, allZeros); err != nil {
+	zp := zeroWordsScratch.Get().(*[]uint64)
+	allZeros := *zp
+	if cap(allZeros) < geom.WordsPerSegment() {
+		allZeros = make([]uint64, geom.WordsPerSegment())
+	}
+	allZeros = allZeros[:geom.WordsPerSegment()]
+	for i := range allZeros {
+		allZeros[i] = 0
+	}
+	err := dev.ProgramBlock(segAddr, allZeros)
+	*zp = allZeros
+	zeroWordsScratch.Put(zp)
+	if err != nil {
 		return nil, err
 	}
 	if err := dev.PartialEraseSegment(segAddr, opts.TPEW); err != nil {
@@ -160,7 +181,14 @@ func AnalyzeSegment(dev device.Device, segAddr int, reads int) (words []uint64, 
 	base := seg * geom.SegmentBytes
 	bits := geom.WordBits()
 	words = make([]uint64, geom.WordsPerSegment())
-	votes := make([]int, bits)
+	vp := votesScratch.Get().(*[]int)
+	defer votesScratch.Put(vp)
+	votes := *vp
+	if cap(votes) < bits {
+		votes = make([]int, bits)
+		*vp = votes
+	}
+	votes = votes[:bits]
 	for w := range words {
 		for i := range votes {
 			votes[i] = 0

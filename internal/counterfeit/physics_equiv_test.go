@@ -1,0 +1,55 @@
+package counterfeit
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/flashmark/flashmark/internal/device"
+)
+
+// TestRunPopulationIdenticalAcrossPhysicsPaths pins the whole
+// counterfeit pipeline — fabrication (imprint, field wear, tampering),
+// verification (extraction, decode, wear screen) and the batch audit —
+// to identical outcomes under the batched fast physics and the per-cell
+// reference physics: same confusion matrix, same per-chip verdicts and
+// reports, chip for chip.
+func TestRunPopulationIdenticalAcrossPhysicsPaths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fabricates the population twice")
+	}
+	spec := PopulationSpec{
+		ClassGenuineAccept:   2,
+		ClassGenuineReject:   1,
+		ClassRecycled:        2,
+		ClassMetadataForgery: 1,
+		ClassDigitalClone:    1,
+		ClassTopUpTamper:     1,
+		ClassUnmarked:        1,
+		ClassReplayImprint:   1,
+	}
+	run := func(p device.PhysicsPath) (*ConfusionMatrix, []Outcome) {
+		t.Helper()
+		cfg := testConfig()
+		cfg.Fab = device.WithPhysicsPath(cfg.Fab, p)
+		v := testVerifier()
+		v.Audit = NewAuditor()
+		matrix, outcomes, err := RunPopulation(spec, cfg, v, 0xB10C)
+		if err != nil {
+			t.Fatalf("physics=%s: %v", p, err)
+		}
+		return matrix, outcomes
+	}
+	refMatrix, refOutcomes := run(device.PhysicsReference)
+	fastMatrix, fastOutcomes := run(device.PhysicsFast)
+	if !reflect.DeepEqual(refMatrix, fastMatrix) {
+		t.Errorf("confusion matrices diverged:\nreference:\n%s\nfast:\n%s", refMatrix, fastMatrix)
+	}
+	if len(refOutcomes) != len(fastOutcomes) {
+		t.Fatalf("outcome counts diverged: %d vs %d", len(refOutcomes), len(fastOutcomes))
+	}
+	for i := range refOutcomes {
+		if !reflect.DeepEqual(refOutcomes[i], fastOutcomes[i]) {
+			t.Errorf("chip %d diverged:\nreference: %+v\nfast:      %+v", i, refOutcomes[i], fastOutcomes[i])
+		}
+	}
+}

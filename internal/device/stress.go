@@ -78,6 +78,16 @@ func ApplyStress(s StressSubstrate, one func(i int) bool, n int, wear StressWear
 	}
 }
 
+// AdaptiveMaxer is the optional capability of substrates whose backend
+// can compute the maximum crossing time over a cell subset in one
+// batched, pruned pass. The returned value must be bit-identical to the
+// sequential TauAt scan (the equivalence tests pin this); ok=false falls
+// back to the scan, so substrates can decline per call (e.g. when the
+// backend runs its reference physics path).
+type AdaptiveMaxer interface {
+	MaxTauOver(include func(i int) bool, wearOf func(i int) float64) (maxTau float64, ok bool)
+}
+
 // MeanAdaptiveTauUs integrates the adaptive erase pulse series over the
 // n cycles of a stress that ApplyStress has already applied, returning
 // the mean max-tau in microseconds. Cycle k's erase must outlast the
@@ -87,12 +97,9 @@ func ApplyStress(s StressSubstrate, one func(i int) bool, n int, wear StressWear
 // points and trapezoid-averaging, since tau grows smoothly with wear.
 func MeanAdaptiveTauUs(s StressSubstrate, one func(i int) bool, n int, wear StressWear) float64 {
 	cells := s.Cells()
+	am, hasAM := s.(AdaptiveMaxer)
 	maxTauAt := func(cycles float64) float64 {
-		maxTau := 0.0
-		for i := 0; i < cells; i++ {
-			if one(i) {
-				continue
-			}
+		wearOf := func(i int) float64 {
 			// Wear of a zero cell after `cycles` cycles, relative to its
 			// wear before the stress began (ApplyStress already added
 			// the full n cycles).
@@ -100,7 +107,20 @@ func MeanAdaptiveTauUs(s StressSubstrate, one func(i int) bool, n int, wear Stre
 			if w < 0 {
 				w = 0
 			}
-			tau := s.TauAt(i, w)
+			return w
+		}
+		include := func(i int) bool { return !one(i) }
+		if hasAM {
+			if maxTau, ok := am.MaxTauOver(include, wearOf); ok {
+				return maxTau
+			}
+		}
+		maxTau := 0.0
+		for i := 0; i < cells; i++ {
+			if !include(i) {
+				continue
+			}
+			tau := s.TauAt(i, wearOf(i))
 			if tau > maxTau {
 				maxTau = tau
 			}

@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/flashmark/flashmark/internal/device"
+)
+
+// renderAllPhysics renders every registered experiment artifact with the
+// devices pinned to the given physics path.
+func renderAllPhysics(t *testing.T, p device.PhysicsPath) string {
+	t.Helper()
+	cfg := fastCfg()
+	cfg.Physics = p
+	var b strings.Builder
+	for _, id := range IDs() {
+		a, err := Run(id, cfg)
+		if err != nil {
+			t.Fatalf("physics=%s %s: %v", p, id, err)
+		}
+		if err := a.WriteText(&b); err != nil {
+			t.Fatalf("physics=%s %s render: %v", p, id, err)
+		}
+	}
+	return b.String()
+}
+
+// TestPhysicsPathsRenderIdenticalArtifacts is the golden-equivalence
+// guarantee of the batched physics fast path: every experiment in the
+// registry — imprints, extractions, characterization sweeps, the NAND
+// study, the counterfeit population of the supply-chain experiment —
+// renders byte-identical artifacts whether the devices run the batched
+// fast path or the per-cell reference physics.
+func TestPhysicsPathsRenderIdenticalArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders the full registry twice")
+	}
+	want := renderAllPhysics(t, device.PhysicsReference)
+	got := renderAllPhysics(t, device.PhysicsFast)
+	if got == want {
+		return
+	}
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := range wl {
+		if i >= len(gl) || wl[i] != gl[i] {
+			t.Fatalf("fast path drifted from reference at line %d:\nreference: %q\nfast:      %q", i+1, wl[i], gl[i])
+		}
+	}
+	t.Fatalf("fast path output differs in length: %d vs %d bytes", len(got), len(want))
+}

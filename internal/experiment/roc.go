@@ -6,7 +6,6 @@ import (
 
 	"github.com/flashmark/flashmark/internal/core"
 	"github.com/flashmark/flashmark/internal/counterfeit"
-	"github.com/flashmark/flashmark/internal/mcu"
 	"github.com/flashmark/flashmark/internal/parallel"
 	"github.com/flashmark/flashmark/internal/report"
 	"github.com/flashmark/flashmark/internal/wmcode"
@@ -45,7 +44,7 @@ func ROC(cfg Config) (*ROCResult, error) {
 	}
 	const tpew = 25 * time.Microsecond
 	factory := counterfeit.FactoryConfig{
-		Fab:   mcu.Fab(cfg.Part),
+		Fab:   cfg.fab(cfg.Part),
 		Codec: wmcode.Codec{Key: []byte("k")},
 	}
 	cells := cfg.Part.Geometry.CellsPerSegment()

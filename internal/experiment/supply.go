@@ -5,7 +5,6 @@ import (
 
 	"github.com/flashmark/flashmark/internal/baseline"
 	"github.com/flashmark/flashmark/internal/counterfeit"
-	"github.com/flashmark/flashmark/internal/mcu"
 	"github.com/flashmark/flashmark/internal/parallel"
 	"github.com/flashmark/flashmark/internal/report"
 	"github.com/flashmark/flashmark/internal/wmcode"
@@ -42,7 +41,7 @@ func SupplyChain(cfg Config) (*SupplyResult, error) {
 	}
 	key := []byte("trusted-chipmaker-signing-key")
 	factory := counterfeit.FactoryConfig{
-		Fab:          mcu.Fab(cfg.Part),
+		Fab:          cfg.fab(cfg.Part),
 		Codec:        wmcode.Codec{Key: key},
 		Manufacturer: "TC",
 	}

@@ -38,6 +38,15 @@ type Controller struct {
 	// seed, so caching is bit-exact; it removes the per-cell RNG work
 	// from every partial erase and tau sweep (~10x on those paths).
 	baseCache map[int][]floatgate.CellBase
+
+	// Fast-path state (see fastphys.go). physRef selects the reference
+	// per-cell path; phys holds per-segment deferral state; the rest is
+	// reusable scratch so steady-state operations allocate nothing.
+	physRef    bool
+	phys       map[int]*fastSeg
+	maxScratch floatgate.MaxTauScratch
+	gidScratch []int32
+	wearGroups []wearGroup
 }
 
 // Stats counts controller activity, like the diagnostic counters of a
@@ -97,8 +106,13 @@ func New(cfg Config) (*Controller, error) {
 }
 
 // Array exposes the underlying array (read-mostly; mutate through the
-// controller to keep physics and timing consistent).
-func (c *Controller) Array() *nor.Array { return c.array }
+// controller to keep physics and timing consistent). Any lazily deferred
+// fast-path margins are materialized first, so external observers always
+// see fully concrete state.
+func (c *Controller) Array() *nor.Array {
+	c.flushPhysics()
+	return c.array
+}
 
 // Model returns the physics model in use.
 func (c *Controller) Model() *floatgate.Model { return c.model }
@@ -148,21 +162,24 @@ func (c *Controller) SetAmbientTempC(t float64) error {
 	return nil
 }
 
-// cellBase returns the memoized immutable parameters of cell i of seg.
-func (c *Controller) cellBase(seg, i int) floatgate.CellBase {
+// segBases returns the memoized immutable parameters of every cell of
+// seg.
+func (c *Controller) segBases(seg int) []floatgate.CellBase {
 	bases, ok := c.baseCache[seg]
 	if !ok {
 		cells := c.array.Geometry().CellsPerSegment()
-		bases = make([]floatgate.CellBase, cells)
-		for j := 0; j < cells; j++ {
-			bases[j] = c.model.Base(seg, j)
-		}
+		bases = c.model.BasesInto(seg, cells, nil)
 		if c.baseCache == nil {
 			c.baseCache = make(map[int][]floatgate.CellBase)
 		}
 		c.baseCache[seg] = bases
 	}
-	return bases[i]
+	return bases
+}
+
+// cellBase returns the memoized immutable parameters of cell i of seg.
+func (c *Controller) cellBase(seg, i int) floatgate.CellBase {
+	return c.segBases(seg)[i]
 }
 
 // cellTau returns the effective erase crossing time of cell i of seg,
@@ -234,6 +251,10 @@ func (c *Controller) segmentOf(op string, addr int) (int, error) {
 // cell of a segment: wear accrues per the cell's prior state and the cell
 // ends deeply erased.
 func (c *Controller) eraseCells(seg int) {
+	if !c.physRef {
+		c.eraseCellsFast(seg)
+		return
+	}
 	geom := c.array.Geometry()
 	cells := geom.CellsPerSegment()
 	base := seg * cells
@@ -304,14 +325,18 @@ func (c *Controller) EraseSegmentAdaptive(addr int) (time.Duration, error) {
 	// The erase must run until the slowest currently-programmed cell
 	// crosses; erased cells impose no wait.
 	maxTau := 0.0
-	for i := 0; i < cells; i++ {
-		cell := base + i
-		if !c.array.Programmed(cell) {
-			continue
-		}
-		tau := c.cellTau(seg, i, c.array.Wear(cell))
-		if tau > maxTau {
-			maxTau = tau
+	if !c.physRef {
+		maxTau = c.adaptiveMaxTau(seg)
+	} else {
+		for i := 0; i < cells; i++ {
+			cell := base + i
+			if !c.array.Programmed(cell) {
+				continue
+			}
+			tau := c.cellTau(seg, i, c.array.Wear(cell))
+			if tau > maxTau {
+				maxTau = tau
+			}
 		}
 	}
 	c.eraseCells(seg)
@@ -354,24 +379,28 @@ func (c *Controller) PartialEraseSegment(addr int, pulse time.Duration) error {
 	cells := geom.CellsPerSegment()
 	base := seg * cells
 	pulseUs := float64(pulse) / float64(time.Microsecond)
-	for i := 0; i < cells; i++ {
-		cell := base + i
-		margin := c.array.Margin(cell)
-		wasProgrammed := margin < 0
-		switch {
-		case margin <= float64(nor.MarginProgrammed):
-			// Fully programmed: the erase ran for pulseUs against a
-			// crossing time evaluated at the cell's pre-pulse wear.
-			tau := c.cellTau(seg, i, c.array.Wear(cell))
-			c.array.SetMargin(cell, pulseUs-tau)
-		case margin >= float64(nor.MarginErased):
-			// Already erased: stays erased.
-		default:
-			// Metastable from an earlier partial erase: the new pulse
-			// continues the interrupted charge transfer.
-			c.array.SetMargin(cell, margin+pulseUs)
+	if !c.physRef {
+		c.partialEraseFast(seg, pulseUs)
+	} else {
+		for i := 0; i < cells; i++ {
+			cell := base + i
+			margin := c.array.Margin(cell)
+			wasProgrammed := margin < 0
+			switch {
+			case margin <= float64(nor.MarginProgrammed):
+				// Fully programmed: the erase ran for pulseUs against a
+				// crossing time evaluated at the cell's pre-pulse wear.
+				tau := c.cellTau(seg, i, c.array.Wear(cell))
+				c.array.SetMargin(cell, pulseUs-tau)
+			case margin >= float64(nor.MarginErased):
+				// Already erased: stays erased.
+			default:
+				// Metastable from an earlier partial erase: the new pulse
+				// continues the interrupted charge transfer.
+				c.array.SetMargin(cell, margin+pulseUs)
+			}
+			c.array.AddWear(cell, c.model.EraseWear(wasProgrammed))
 		}
-		c.array.AddWear(cell, c.model.EraseWear(wasProgrammed))
 	}
 	c.stats.PartialErases++
 	c.stats.EmergencyExits++
@@ -397,6 +426,12 @@ func (c *Controller) PartialProgramSegment(addr int, pulse time.Duration) error 
 	seg, err := c.segmentOf("partial-program", addr)
 	if err != nil {
 		return err
+	}
+	// Partial programming inspects every margin at full precision, so any
+	// deferred fast-path margins are materialized up front (the primitive
+	// is a prior-work comparator, not on the watermark hot path).
+	if fs := c.fastSegIfLive(seg); fs != nil {
+		fs.flush(c)
 	}
 	geom := c.array.Geometry()
 	cells := geom.CellsPerSegment()
@@ -445,11 +480,18 @@ func (c *Controller) wordAddr(op string, addr int) (seg, word int, err error) {
 func (c *Controller) programWordCells(seg, word int, value uint64) {
 	geom := c.array.Geometry()
 	bits := geom.WordBits()
+	fs := c.fastSegIfLive(seg)
 	for b := 0; b < bits; b++ {
 		if value&(1<<uint(b)) != 0 {
 			continue
 		}
 		cell := geom.CellIndex(seg, word, b)
+		if fs != nil {
+			if local := int32(cell - fs.seg*fs.cells); fs.group[local] >= 0 {
+				// Programming overwrites the pending margin unread.
+				fs.clearDeferred(local)
+			}
+		}
 		c.array.AddWear(cell, c.model.ProgramWear())
 		c.array.SetMargin(cell, float64(nor.MarginProgrammed))
 	}
@@ -509,18 +551,24 @@ func (c *Controller) ReadWord(addr int) (uint64, error) {
 	}
 	geom := c.array.Geometry()
 	bits := geom.WordBits()
+	fs := c.fastSegIfLive(seg)
+	cellBase := seg * geom.CellsPerSegment()
 	var v uint64
 	for b := 0; b < bits; b++ {
 		cell := geom.CellIndex(seg, word, b)
-		margin := c.array.Margin(cell)
 		var one bool
-		switch {
-		case margin >= float64(nor.MarginErased):
-			one = true
-		case margin <= float64(nor.MarginProgrammed):
-			one = false
-		default:
-			one = c.model.SampleReadAt(margin, c.array.Wear(cell), c.noise)
+		if fs != nil && fs.group[cell-cellBase] >= 0 {
+			one = c.readDeferred(fs, int32(cell-cellBase))
+		} else {
+			margin := c.array.Margin(cell)
+			switch {
+			case margin >= float64(nor.MarginErased):
+				one = true
+			case margin <= float64(nor.MarginProgrammed):
+				one = false
+			default:
+				one = c.model.SampleReadAt(margin, c.array.Wear(cell), c.noise)
+			}
 		}
 		if one {
 			v |= 1 << uint(b)
@@ -533,21 +581,32 @@ func (c *Controller) ReadWord(addr int) (uint64, error) {
 
 // ReadSegment reads every word of the segment containing addr, in order.
 func (c *Controller) ReadSegment(addr int) ([]uint64, error) {
+	return c.ReadSegmentInto(addr, nil)
+}
+
+// ReadSegmentInto reads every word of the segment containing addr into
+// dst, reusing its capacity — the allocation-free form for callers that
+// read segments in a loop.
+func (c *Controller) ReadSegmentInto(addr int, dst []uint64) ([]uint64, error) {
 	seg, err := c.segmentOf("read-segment", addr)
 	if err != nil {
 		return nil, err
 	}
 	geom := c.array.Geometry()
 	base := seg * geom.SegmentBytes
-	out := make([]uint64, geom.WordsPerSegment())
-	for w := range out {
+	words := geom.WordsPerSegment()
+	if cap(dst) < words {
+		dst = make([]uint64, words)
+	}
+	dst = dst[:words]
+	for w := range dst {
 		v, err := c.ReadWord(base + w*geom.WordBytes)
 		if err != nil {
 			return nil, err
 		}
-		out[w] = v
+		dst[w] = v
 	}
-	return out, nil
+	return dst, nil
 }
 
 // StressSegmentWords fast-forwards n imprint cycles over one segment:
@@ -624,12 +683,14 @@ type segmentCells struct {
 }
 
 func (s segmentCells) Cells() int               { return s.cells }
-func (s segmentCells) Programmed(i int) bool    { return s.c.array.Programmed(s.base + i) }
+func (s segmentCells) Programmed(i int) bool    { return s.c.cellProgrammed(s.seg, s.base+i) }
 func (s segmentCells) Wear(i int) float64       { return s.c.array.Wear(s.base + i) }
 func (s segmentCells) AddWear(i int, w float64) { s.c.array.AddWear(s.base+i, w) }
-func (s segmentCells) SetErased(i int)          { s.c.array.SetMargin(s.base+i, float64(nor.MarginErased)) }
+func (s segmentCells) SetErased(i int) {
+	s.c.setCellMargin(s.seg, s.base+i, float64(nor.MarginErased))
+}
 func (s segmentCells) SetProgrammed(i int) {
-	s.c.array.SetMargin(s.base+i, float64(nor.MarginProgrammed))
+	s.c.setCellMargin(s.seg, s.base+i, float64(nor.MarginProgrammed))
 }
 func (s segmentCells) TauAt(i int, wear float64) float64 { return s.c.cellTau(s.seg, i, wear) }
 

@@ -1,0 +1,160 @@
+package floatgate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The fast path's correctness argument rests on these differential
+// tests: every batched kernel must reproduce the per-cell reference
+// arithmetic bit for bit, across wear regimes (zero, fractional, deep)
+// and cell populations.
+
+func testModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := NewModel(DefaultParams(), 0xBA7C4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTauEnvBitIdentical(t *testing.T) {
+	m := testModel(t)
+	wears := []float64{0, 0.0625, 1, 17.5, 1000, 20000, 40000, 99999, 100000, 250000}
+	for _, wear := range wears {
+		env := m.TauEnvAt(wear)
+		for cell := 0; cell < 512; cell++ {
+			base := m.Base(3, cell)
+			want := m.Tau(base, wear)
+			got := env.Tau(base)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("wear %v cell %d: TauEnv.Tau = %x, Model.Tau = %x",
+					wear, cell, math.Float64bits(got), math.Float64bits(want))
+			}
+		}
+	}
+}
+
+func TestTauEnvHoistedTermsMatch(t *testing.T) {
+	m := testModel(t)
+	for _, wear := range []float64{0.5, 123, 40000} {
+		env := m.TauEnvAt(wear)
+		if env.Shift != m.ShiftUs(wear) || env.Spread != m.SpreadUs(wear) || env.K != m.Shape(wear) {
+			t.Fatalf("wear %v: hoisted terms diverge from per-call values", wear)
+		}
+	}
+}
+
+func TestBasesIntoMatchesBase(t *testing.T) {
+	m := testModel(t)
+	dst := m.BasesInto(7, 256, nil)
+	if len(dst) != 256 {
+		t.Fatalf("len = %d", len(dst))
+	}
+	for i, b := range dst {
+		if b != m.Base(7, i) {
+			t.Fatalf("cell %d: BasesInto diverges from Base", i)
+		}
+	}
+	// Reuse must not reallocate.
+	again := m.BasesInto(7, 128, dst)
+	if &again[0] != &dst[0] {
+		t.Fatal("BasesInto reallocated despite sufficient capacity")
+	}
+}
+
+func TestSortIndexByU(t *testing.T) {
+	m := testModel(t)
+	bases := m.BasesInto(1, 300, nil)
+	idx := make([]int32, len(bases))
+	for i := range idx {
+		idx[i] = int32(len(idx) - 1 - i)
+	}
+	SortIndexByU(bases, idx)
+	for i := 1; i < len(idx); i++ {
+		if bases[idx[i-1]].U > bases[idx[i]].U {
+			t.Fatalf("idx not U-sorted at %d", i)
+		}
+	}
+}
+
+// TestMaxTauGroupBitIdentical drives the pruned max against the full
+// sequential scan across group sizes, wear regimes, and random member
+// subsets. The returned max must match bit for bit every time: pruning
+// may only skip cells it proved cannot win.
+func TestMaxTauGroupBitIdentical(t *testing.T) {
+	m := testModel(t)
+	bases := m.BasesInto(0, 4096, nil)
+	rnd := rand.New(rand.NewSource(99))
+	var scratch MaxTauScratch
+	for _, wear := range []float64{0, 3, 800, 20000, 100000, 180000} {
+		env := m.TauEnvAt(wear)
+		for _, n := range []int{0, 1, 2, 7, 8, 9, 17, 64, 1000, 4096} {
+			idx := make([]int32, 0, n)
+			for _, p := range rnd.Perm(4096)[:n] {
+				idx = append(idx, int32(p))
+			}
+			SortIndexByU(bases, idx)
+			got, ok := MaxTauGroup(&env, bases, idx, &scratch)
+			want := 0.0
+			for _, ci := range idx {
+				if tau := m.Tau(bases[ci], wear); tau > want {
+					want = tau
+				}
+			}
+			if n == 0 {
+				if ok {
+					t.Fatal("empty group reported ok")
+				}
+				continue
+			}
+			if !ok || math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("wear %v n %d: MaxTauGroup = %x (ok=%v), scan = %x",
+					wear, n, math.Float64bits(got), ok, math.Float64bits(want))
+			}
+		}
+	}
+}
+
+// TestMaxTauGroupZeroSpread covers the SpreadCoefUs=0 parameter variant,
+// where tau must shortcut past the quantile entirely.
+func TestMaxTauGroupZeroSpread(t *testing.T) {
+	p := DefaultParams()
+	p.SpreadCoefUs = 0
+	m, err := NewModel(p, 0xBA7C5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bases := m.BasesInto(0, 512, nil)
+	idx := make([]int32, len(bases))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	SortIndexByU(bases, idx)
+	env := m.TauEnvAt(5000)
+	if env.Spread != 0 {
+		t.Fatalf("spread = %v, want 0", env.Spread)
+	}
+	var scratch MaxTauScratch
+	got, ok := MaxTauGroup(&env, bases, idx, &scratch)
+	want := 0.0
+	for _, ci := range idx {
+		if tau := m.Tau(bases[ci], 5000); tau > want {
+			want = tau
+		}
+	}
+	if !ok || got != want {
+		t.Fatalf("zero-spread max = %v, want %v", got, want)
+	}
+}
+
+func TestQuantilePadBrackets(t *testing.T) {
+	m := testModel(t)
+	env := m.TauEnvAt(40000)
+	q := env.QuantileU(0.5)
+	if !(PadQLow(q) < q && q < PadQHigh(q)) {
+		t.Fatalf("pads do not bracket: %v %v %v", PadQLow(q), q, PadQHigh(q))
+	}
+}

@@ -1,0 +1,164 @@
+package floatgate
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/flashmark/flashmark/internal/rng"
+)
+
+// Edge-case coverage of the model boundaries the fast path leans on:
+// zero wear short-circuits, the Worn boundary, degenerate noise sigma,
+// and the noise-consumption contract of the sampling switch (the fast
+// path's read-decision cache is only sound because deterministic
+// branches consume no noise).
+
+func edgeModel(t *testing.T, params Params, seed uint64) *Model {
+	t.Helper()
+	m, err := NewModel(params, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestZeroWearShortCircuits(t *testing.T) {
+	m := edgeModel(t, DefaultParams(), 0xE1)
+	base := m.Base(0, 0)
+	for _, w := range []float64{0, -1, -1e300, math.Inf(-1)} {
+		if tau := m.Tau(base, w); tau != base.TauBaseUs {
+			t.Errorf("Tau at wear %v = %v, want the fresh base %v", w, tau, base.TauBaseUs)
+		}
+		if s := m.ShiftUs(w); s != 0 {
+			t.Errorf("ShiftUs(%v) = %v, want 0", w, s)
+		}
+		if s := m.SpreadUs(w); s != 0 {
+			t.Errorf("SpreadUs(%v) = %v, want 0", w, s)
+		}
+		env := m.TauEnvAt(w)
+		if tau := env.Tau(base); tau != base.TauBaseUs {
+			t.Errorf("TauEnvAt(%v).Tau = %v, want the fresh base %v", w, tau, base.TauBaseUs)
+		}
+	}
+}
+
+func TestWornBoundary(t *testing.T) {
+	params := DefaultParams()
+	m := edgeModel(t, params, 0xE2)
+	e := params.EnduranceCycles
+	if m.Worn(e) {
+		t.Error("a cell exactly at the endurance budget counts as worn")
+	}
+	if !m.Worn(math.Nextafter(e, math.Inf(1))) {
+		t.Error("a cell one ulp past the endurance budget does not count as worn")
+	}
+	if m.Worn(0) || m.Worn(-1) {
+		t.Error("fresh cells count as worn")
+	}
+	// ReadSigmaUs shares the boundary: exactly-at-endurance is nominal.
+	if s := m.ReadSigmaUs(e); s != params.ReadNoiseSigmaUs {
+		t.Errorf("ReadSigmaUs at the endurance boundary = %v, want nominal %v", s, params.ReadNoiseSigmaUs)
+	}
+	if s := m.ReadSigmaUs(2 * e); s != 2*params.ReadNoiseSigmaUs {
+		t.Errorf("ReadSigmaUs at twice the endurance = %v, want doubled %v", s, 2*params.ReadNoiseSigmaUs)
+	}
+}
+
+func TestDegenerateSigmaStaysProbability(t *testing.T) {
+	params := DefaultParams()
+	params.ReadNoiseSigmaUs = 5e-324 // smallest positive denormal
+	m := edgeModel(t, params, 0xE3)
+	for _, margin := range []float64{-1, -1e-300, 0, 1e-300, 1} {
+		p := m.ReadOneProbability(margin)
+		if !(p >= 0 && p <= 1) {
+			t.Errorf("degenerate sigma: ReadOneProbability(%v) = %v outside [0,1]", margin, p)
+		}
+	}
+	if p := m.ReadOneProbability(1); p != 1 {
+		t.Errorf("degenerate sigma: positive margin reads 1 with p=%v, want 1", p)
+	}
+	if p := m.ReadOneProbability(-1); p != 0 {
+		t.Errorf("degenerate sigma: negative margin reads 1 with p=%v, want 0", p)
+	}
+}
+
+// TestSampleNoiseConsumption pins the noise-stream contract: reads
+// outside the metastable band are deterministic AND draw nothing from
+// the stream; reads inside the band draw exactly one sample. Twin
+// streams measure consumption by comparing positions afterwards.
+func TestSampleNoiseConsumption(t *testing.T) {
+	params := DefaultParams()
+	m := edgeModel(t, params, 0xE4)
+	band := 6 * params.ReadNoiseSigmaUs
+
+	check := func(name string, sample func(noise *rng.Stream) bool, wantOne bool, wantDraws int) {
+		t.Helper()
+		a, b := rng.New(0xAB), rng.New(0xAB)
+		got := sample(a)
+		if got != wantOne {
+			t.Errorf("%s: read %v, want %v", name, got, wantOne)
+		}
+		for i := 0; i < wantDraws; i++ {
+			b.Float64()
+		}
+		if av, bv := a.Float64(), b.Float64(); av != bv {
+			t.Errorf("%s: consumed a different number of noise draws than %d", name, wantDraws)
+		}
+	}
+
+	check("deep erased", func(n *rng.Stream) bool { return m.SampleRead(band*2, n) }, true, 0)
+	check("deep programmed", func(n *rng.Stream) bool { return m.SampleRead(-band*2, n) }, false, 0)
+	check("metastable", func(n *rng.Stream) bool { _ = m.SampleRead(0, n); return true }, true, 1)
+	// SampleReadAt widens the band with wear: a margin deterministic at
+	// zero wear becomes metastable (one draw) on a worn-out cell.
+	margin := band * 1.5
+	check("worn widens band", func(n *rng.Stream) bool {
+		_ = m.SampleReadAt(margin, 2*params.EnduranceCycles, n)
+		return true
+	}, true, 1)
+	check("fresh same margin", func(n *rng.Stream) bool { return m.SampleReadAt(margin, 0, n) }, true, 0)
+}
+
+func TestAccessors(t *testing.T) {
+	params := DefaultParams()
+	m := edgeModel(t, params, 0xCAFE)
+	if m.Seed() != 0xCAFE {
+		t.Errorf("Seed = %#x", m.Seed())
+	}
+	if m.ProgramWear() != params.ProgramWear {
+		t.Errorf("ProgramWear = %v", m.ProgramWear())
+	}
+	if got := m.Params(); got != params {
+		t.Errorf("Params roundtrip = %+v", got)
+	}
+}
+
+func TestParamErrorPrefix(t *testing.T) {
+	p := DefaultParams()
+	p.ReadNoiseSigmaUs = 0
+	err := p.Validate()
+	if err == nil {
+		t.Fatal("degenerate sigma accepted")
+	}
+	if !strings.HasPrefix(err.Error(), "floatgate: ") {
+		t.Errorf("error %q lacks the package prefix", err)
+	}
+}
+
+// TestRetentionShiftEdges: no aging, no shift; shift grows with both
+// age and wear.
+func TestRetentionShiftEdges(t *testing.T) {
+	m := edgeModel(t, DefaultParams(), 0xE5)
+	if s := m.RetentionShiftUs(50_000, 0); s != 0 {
+		t.Errorf("zero years shift = %v, want 0", s)
+	}
+	fresh := m.RetentionShiftUs(0, 5)
+	worn := m.RetentionShiftUs(50_000, 5)
+	if !(worn > fresh) {
+		t.Errorf("wear does not amplify retention: fresh %v, worn %v", fresh, worn)
+	}
+	if aged := m.RetentionShiftUs(50_000, 10); !(aged > worn) {
+		t.Errorf("age does not grow retention: 5y %v, 10y %v", worn, aged)
+	}
+}

@@ -160,6 +160,8 @@ func (p Params) Validate() error {
 		return errParam("ReadNoiseSigmaUs must be positive")
 	case p.EnduranceCycles <= 0:
 		return errParam("EnduranceCycles must be positive")
+	case p.RetentionDriftUsPerYear < 0 || p.RetentionWearAmplifPer1K < 0:
+		return errParam("retention parameters must be non-negative")
 	case p.TempCoeffPerC < 0 || p.TempCoeffPerC > 0.02:
 		return errParam("TempCoeffPerC out of range [0, 0.02]")
 	}

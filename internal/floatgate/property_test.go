@@ -1,0 +1,208 @@
+package floatgate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Property-based tests of the model invariants the rest of the system
+// leans on. Each property is checked over many seeded-random cells,
+// wear trajectories and parameter variants — not just hand-picked
+// points — because the batched physics fast path *assumes* these
+// invariants (monotone tau lets it carry bounds; probabilities in [0,1]
+// keep the noise stream well-defined).
+
+// propParams returns the parameter variants the properties are checked
+// under: the calibrated defaults plus variants that switch on the terms
+// DefaultParams leaves at zero (deterministic shift, program wear), so
+// monotonicity is not an artifact of a degenerate coefficient.
+func propParams(t *testing.T) map[string]Params {
+	t.Helper()
+	withShift := DefaultParams()
+	withShift.ShiftCoefUs = 0.5
+	withShift.ShiftPower = 1.3
+	steepSpread := DefaultParams()
+	steepSpread.SpreadCoefUs = 0.08
+	steepSpread.SpreadPower = 2.2
+	flatShape := DefaultParams()
+	flatShape.ShapeSlope = 0
+	for name, p := range map[string]Params{
+		"default": DefaultParams(), "withShift": withShift,
+		"steepSpread": steepSpread, "flatShape": flatShape,
+	} {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("variant %s invalid: %v", name, err)
+		}
+	}
+	return map[string]Params{
+		"default": DefaultParams(), "withShift": withShift,
+		"steepSpread": steepSpread, "flatShape": flatShape,
+	}
+}
+
+// TestTauMonotoneInWear: more wear never erases faster. This is the
+// physical axiom Flashmark rests on (oxide damage is irreversible and
+// only slows erasure) and the pruning assumption of the batched max.
+// The quantile term makes it non-obvious: the Gamma shape k(w) rises
+// with wear, which *shrinks* high-u quantiles — the property asserts the
+// growing spread G(w) always wins.
+func TestTauMonotoneInWear(t *testing.T) {
+	for name, params := range propParams(t) {
+		t.Run(name, func(t *testing.T) {
+			m, err := NewModel(params, 0x70A0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rnd := rand.New(rand.NewSource(41))
+			for cell := 0; cell < 512; cell++ {
+				base := m.Base(cell%7, cell)
+				// A random increasing wear trajectory from 0 past the
+				// endurance limit, with dense early steps.
+				wear := 0.0
+				prev := m.Tau(base, wear)
+				for step := 0; step < 200; step++ {
+					wear += rnd.Float64() * 1500
+					tau := m.Tau(base, wear)
+					if tau < prev {
+						t.Fatalf("cell %d (u=%v): tau dropped %v -> %v at wear %v",
+							cell, base.U, prev, tau, wear)
+					}
+					prev = tau
+				}
+			}
+		})
+	}
+}
+
+// TestReadOneProbabilityProperties: the per-read '1' probability is a
+// valid probability everywhere and monotone in margin — deeper-erased
+// cells never read '1' less often.
+func TestReadOneProbabilityProperties(t *testing.T) {
+	m, err := NewModel(DefaultParams(), 0x70A1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	margins := []float64{
+		math.Inf(-1), -math.MaxFloat64, -1e12, -500, -6, -0.6, -1e-9,
+		0, 1e-9, 0.6, 6, 500, 1e12, math.MaxFloat64, math.Inf(1),
+	}
+	rnd := rand.New(rand.NewSource(43))
+	for i := 0; i < 2000; i++ {
+		margins = append(margins, (rnd.Float64()-0.5)*20)
+	}
+	for _, margin := range margins {
+		p := m.ReadOneProbability(margin)
+		if !(p >= 0 && p <= 1) {
+			t.Fatalf("ReadOneProbability(%v) = %v outside [0,1]", margin, p)
+		}
+	}
+	// Monotone over a sorted sweep.
+	prev := -1.0
+	for mg := -10.0; mg <= 10.0; mg += 0.01 {
+		p := m.ReadOneProbability(mg)
+		if p < prev {
+			t.Fatalf("ReadOneProbability not monotone at margin %v: %v < %v", mg, p, prev)
+		}
+		prev = p
+	}
+	// Endpoints are deterministic.
+	if p := m.ReadOneProbability(math.Inf(1)); p != 1 {
+		t.Errorf("deeply erased cell reads 1 with p=%v, want 1", p)
+	}
+	if p := m.ReadOneProbability(math.Inf(-1)); p != 0 {
+		t.Errorf("deeply programmed cell reads 1 with p=%v, want 0", p)
+	}
+}
+
+// TestReadSigmaMonotone: effective read noise never shrinks with wear,
+// and equals the nominal sigma inside the endurance budget.
+func TestReadSigmaMonotone(t *testing.T) {
+	params := DefaultParams()
+	m, err := NewModel(params, 0x70A2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for w := 0.0; w <= 4*params.EnduranceCycles; w += 250 {
+		sigma := m.ReadSigmaUs(w)
+		if sigma < prev {
+			t.Fatalf("ReadSigmaUs dropped at wear %v: %v < %v", w, sigma, prev)
+		}
+		if w <= params.EnduranceCycles && sigma != params.ReadNoiseSigmaUs {
+			t.Fatalf("ReadSigmaUs(%v) = %v inside endurance, want nominal %v",
+				w, sigma, params.ReadNoiseSigmaUs)
+		}
+		prev = sigma
+	}
+}
+
+// TestValidateRejectsSingleFieldCorruptions: for every field of Params
+// there is a corruption Validate catches — no field is dead weight the
+// validator silently accepts garbage in. DefaultParams itself must
+// validate, and each corruption must flip exactly that verdict.
+func TestValidateRejectsSingleFieldCorruptions(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("DefaultParams invalid: %v", err)
+	}
+	corruptions := map[string]func(*Params){
+		"TauBaseMeanUs":           func(p *Params) { p.TauBaseMeanUs = p.TauBaseMaxUs + 1 },
+		"TauBaseSigmaUs":          func(p *Params) { p.TauBaseSigmaUs = 0 },
+		"TauBaseMinUs":            func(p *Params) { p.TauBaseMinUs = p.TauBaseMaxUs },
+		"TauBaseMaxUs":            func(p *Params) { p.TauBaseMaxUs = p.TauBaseMinUs - 1 },
+		"ShiftCoefUs":             func(p *Params) { p.ShiftCoefUs = -0.1 },
+		"ShiftPower":              func(p *Params) { p.ShiftPower = 0 },
+		"SpreadCoefUs":            func(p *Params) { p.SpreadCoefUs = -0.1 },
+		"SpreadPower":             func(p *Params) { p.SpreadPower = -1 },
+		"ShapeBase":               func(p *Params) { p.ShapeBase = 0 },
+		"ShapeSlope":              func(p *Params) { p.ShapeSlope = -0.5 },
+		"ShapeSaturation":         func(p *Params) { p.ShapeSaturation = 0 },
+		"EraseFromProgrammedWear": func(p *Params) { p.EraseFromProgrammedWear = -1 },
+		"EraseOnlyWear":           func(p *Params) { p.EraseOnlyWear = -0.01 },
+		"ProgramWear":             func(p *Params) { p.ProgramWear = -0.01 },
+		"ProgTauMeanUs":           func(p *Params) { p.ProgTauMeanUs = p.ProgTauMinUs },
+		"ProgTauSigmaUs":          func(p *Params) { p.ProgTauSigmaUs = -3 },
+		"ProgTauMinUs":            func(p *Params) { p.ProgTauMinUs = p.ProgTauMeanUs + 1 },
+		"ProgSpeedupCoef":         func(p *Params) { p.ProgSpeedupCoef = -1 },
+		"ProgSpeedupPow":          func(p *Params) { p.ProgSpeedupPow = 0 },
+		"ProgSpeedupMax":          func(p *Params) { p.ProgSpeedupMax = 1 },
+		"ReadNoiseSigmaUs":        func(p *Params) { p.ReadNoiseSigmaUs = 0 },
+		"EnduranceCycles":         func(p *Params) { p.EnduranceCycles = -100000 },
+		"RetentionDriftUsPerYear": func(p *Params) { p.RetentionDriftUsPerYear = -0.02 },
+		"RetentionWearAmplifPer1K": func(p *Params) {
+			p.RetentionWearAmplifPer1K = -0.05
+		},
+		"TempCoeffPerC": func(p *Params) { p.TempCoeffPerC = 0.03 },
+	}
+	for field, corrupt := range corruptions {
+		p := DefaultParams()
+		corrupt(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("corrupting %s was accepted by Validate", field)
+		}
+	}
+}
+
+// TestTempFactorBounds: the thermal scaling stays inside its documented
+// clamp for any temperature, including absurd ones, and is monotone
+// non-increasing in temperature (hot chips erase faster).
+func TestTempFactorBounds(t *testing.T) {
+	m, err := NewModel(DefaultParams(), 0x70A3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for _, temp := range []float64{-1e6, -273.15, -40, 0, 24.999, 25, 25.001, 85, 125, 1e6} {
+		f := m.TempFactor(temp)
+		if f < 0.5 || f > 2 {
+			t.Fatalf("TempFactor(%v) = %v outside [0.5, 2]", temp, f)
+		}
+		if f > prev {
+			t.Fatalf("TempFactor not non-increasing at %v: %v > %v", temp, f, prev)
+		}
+		prev = f
+	}
+	if f := m.TempFactor(25); f != 1 {
+		t.Errorf("TempFactor(25) = %v, want exactly 1", f)
+	}
+}

@@ -1,0 +1,124 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+// Edge-case coverage of the hoisted Gamma core (GammaDist) and the
+// function boundaries the physics model can reach.
+
+func TestNewGammaDistRejectsBadShape(t *testing.T) {
+	for _, shape := range []float64{0, -1, math.Inf(-1), math.NaN()} {
+		if _, err := NewGammaDist(shape); err == nil {
+			t.Errorf("shape %v accepted", shape)
+		}
+	}
+	if _, err := NewGammaDist(0.5); err != nil {
+		t.Errorf("valid shape rejected: %v", err)
+	}
+}
+
+func TestGammaDistShapeAccessor(t *testing.T) {
+	g, err := NewGammaDist(0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Shape() != 0.75 {
+		t.Errorf("Shape = %v", g.Shape())
+	}
+}
+
+// TestGammaDistRegPMatchesReference: the hoisted-lgamma RegP is
+// bit-identical to GammaRegP across both evaluation regimes (series for
+// x < a+1, continued fraction above) and the x=0 / invalid edges.
+func TestGammaDistRegPMatchesReference(t *testing.T) {
+	for _, shape := range []float64{0.3, 0.5, 1, 2.7, 15} {
+		g, err := NewGammaDist(shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := 0.0; x <= 4*shape+8; x += 0.173 {
+			want, werr := GammaRegP(shape, x)
+			got, gerr := g.RegP(x)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("shape %v x %v: error mismatch %v vs %v", shape, x, werr, gerr)
+			}
+			if math.Float64bits(want) != math.Float64bits(got) {
+				t.Fatalf("shape %v x %v: RegP %v != GammaRegP %v", shape, x, got, want)
+			}
+		}
+		for _, x := range []float64{-1, math.NaN()} {
+			if _, err := g.RegP(x); err == nil {
+				t.Errorf("shape %v: RegP(%v) accepted", shape, x)
+			}
+		}
+	}
+}
+
+func TestQuantileScaledEdges(t *testing.T) {
+	g, err := NewGammaDist(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q, err := g.QuantileScaled(0, 1); err != nil || q != 0 {
+		t.Errorf("p=0 quantile = %v, %v; want 0, nil", q, err)
+	}
+	for _, p := range []float64{-0.1, 1, 1.5, math.NaN()} {
+		if _, err := g.QuantileScaled(p, 1); err == nil {
+			t.Errorf("p=%v accepted", p)
+		}
+	}
+	for _, scale := range []float64{0, -2} {
+		if _, err := g.QuantileScaled(0.5, scale); err == nil {
+			t.Errorf("scale=%v accepted", scale)
+		}
+	}
+	// The same edges through the package-level reference function.
+	if q, err := GammaQuantile(0, 0.8, 1.25); err != nil || q != 0 {
+		t.Errorf("GammaQuantile(0) = %v, %v; want 0, nil", q, err)
+	}
+	if _, err := GammaQuantile(0.5, -1, 1); err == nil {
+		t.Error("negative shape accepted by GammaQuantile")
+	}
+}
+
+// TestQuantileScaledExtremeTails: quantiles stay finite, positive and
+// monotone deep into both tails for the shapes the wear model produces
+// (k in [0.5, 1]) over the p range a 53-bit uniform can reach. (Below
+// ~1e-16 the Newton/bisection iteration bottoms out; such p values are
+// unreachable from Float64Open-driven cell parameters.)
+func TestQuantileScaledExtremeTails(t *testing.T) {
+	for _, shape := range []float64{0.5, 0.75, 1.0} {
+		g, err := NewGammaDist(shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := -1.0
+		for _, p := range []float64{1e-16, 1e-12, 1e-6, 0.5, 1 - 1e-6, 1 - 1e-12} {
+			q, err := g.QuantileScaled(p, 1/shape)
+			if err != nil {
+				t.Fatalf("shape %v p %v: %v", shape, p, err)
+			}
+			if math.IsNaN(q) || math.IsInf(q, 0) || q < 0 {
+				t.Fatalf("shape %v p %v: quantile %v", shape, p, q)
+			}
+			if q < prev {
+				t.Fatalf("shape %v: quantile not monotone at p=%v (%v < %v)", shape, p, q, prev)
+			}
+			prev = q
+		}
+	}
+}
+
+func TestClampEdges(t *testing.T) {
+	if got := Clamp(5, 1, 3); got != 3 {
+		t.Errorf("Clamp above = %v", got)
+	}
+	if got := Clamp(-5, 1, 3); got != 1 {
+		t.Errorf("Clamp below = %v", got)
+	}
+	if got := Clamp(2, 1, 3); got != 2 {
+		t.Errorf("Clamp inside = %v", got)
+	}
+}

@@ -103,6 +103,13 @@ func GammaRegQ(a, x float64) (float64, error) {
 // gammaPSeries evaluates P(a,x) by its power series, best for x < a+1.
 func gammaPSeries(a, x float64) (float64, error) {
 	lg, _ := math.Lgamma(a)
+	return gammaPSeriesLg(a, x, math.Log(x), lg)
+}
+
+// gammaPSeriesLg is gammaPSeries with lgamma(a) and log(x) hoisted by the
+// caller; both are pure functions of their inputs, so the result is
+// bit-identical to gammaPSeries.
+func gammaPSeriesLg(a, x, lx, lg float64) (float64, error) {
 	ap := a
 	sum := 1 / a
 	del := sum
@@ -111,7 +118,7 @@ func gammaPSeries(a, x float64) (float64, error) {
 		del *= x / ap
 		sum += del
 		if math.Abs(del) < math.Abs(sum)*1e-16 {
-			return sum * math.Exp(-x+a*math.Log(x)-lg), nil
+			return sum * math.Exp(-x+a*lx-lg), nil
 		}
 	}
 	return math.NaN(), ErrNoConverge
@@ -120,8 +127,14 @@ func gammaPSeries(a, x float64) (float64, error) {
 // gammaQContinuedFraction evaluates Q(a,x) by Lentz's continued fraction,
 // best for x >= a+1.
 func gammaQContinuedFraction(a, x float64) (float64, error) {
-	const tiny = 1e-300
 	lg, _ := math.Lgamma(a)
+	return gammaQContinuedFractionLg(a, x, math.Log(x), lg)
+}
+
+// gammaQContinuedFractionLg is gammaQContinuedFraction with lgamma(a) and
+// log(x) hoisted by the caller (bit-identical results).
+func gammaQContinuedFractionLg(a, x, lx, lg float64) (float64, error) {
+	const tiny = 1e-300
 	b := x + 1 - a
 	c := 1 / tiny
 	d := 1 / b
@@ -141,7 +154,7 @@ func gammaQContinuedFraction(a, x float64) (float64, error) {
 		del := d * c
 		h *= del
 		if math.Abs(del-1) < 1e-16 {
-			return math.Exp(-x+a*math.Log(x)-lg) * h, nil
+			return math.Exp(-x+a*lx-lg) * h, nil
 		}
 	}
 	return math.NaN(), ErrNoConverge
@@ -151,8 +164,63 @@ func gammaQContinuedFraction(a, x float64) (float64, error) {
 // quantile function of a Gamma(shape, scale) distribution. p must lie in
 // [0, 1); shape and scale must be positive.
 func GammaQuantile(p, shape, scale float64) (float64, error) {
+	if shape <= 0 || scale <= 0 || math.IsNaN(shape) {
+		return math.NaN(), errors.New("mathx: GammaQuantile requires positive shape and scale")
+	}
+	g, err := NewGammaDist(shape)
+	if err != nil {
+		return math.NaN(), err
+	}
+	return g.QuantileScaled(p, scale)
+}
+
+// GammaDist is a Gamma distribution of fixed shape with the
+// shape-dependent transcendental constants (lgamma) hoisted, so repeated
+// evaluations at the same shape — the inner loop of every batched tau
+// sweep, where all cells of a wear group share one shape — skip the
+// per-call Lgamma. Results are bit-identical to the package-level
+// functions: the hoisted values are pure functions of the shape, and
+// every expression is evaluated in the same operation order.
+type GammaDist struct {
+	shape float64
+	lg    float64 // lgamma(shape)
+}
+
+// NewGammaDist builds a fixed-shape evaluator; shape must be positive.
+func NewGammaDist(shape float64) (GammaDist, error) {
+	if shape <= 0 || math.IsNaN(shape) {
+		return GammaDist{}, errors.New("mathx: NewGammaDist requires shape > 0")
+	}
+	lg, _ := math.Lgamma(shape)
+	return GammaDist{shape: shape, lg: lg}, nil
+}
+
+// Shape returns the distribution's shape parameter.
+func (g GammaDist) Shape() float64 { return g.shape }
+
+// RegP returns P(shape, x), bit-identical to GammaRegP(shape, x).
+func (g GammaDist) RegP(x float64) (float64, error) {
 	switch {
-	case shape <= 0 || scale <= 0:
+	case math.IsNaN(x):
+		return math.NaN(), errors.New("mathx: GammaRegP requires x >= 0")
+	case x < 0:
+		return math.NaN(), errors.New("mathx: GammaRegP requires x >= 0")
+	case x == 0:
+		return 0, nil
+	}
+	lx := math.Log(x)
+	if x < g.shape+1 {
+		return gammaPSeriesLg(g.shape, x, lx, g.lg)
+	}
+	q, err := gammaQContinuedFractionLg(g.shape, x, lx, g.lg)
+	return 1 - q, err
+}
+
+// QuantileScaled returns the p-quantile of Gamma(shape, scale),
+// bit-identical to GammaQuantile(p, shape, scale).
+func (g GammaDist) QuantileScaled(p, scale float64) (float64, error) {
+	switch {
+	case scale <= 0:
 		return math.NaN(), errors.New("mathx: GammaQuantile requires positive shape and scale")
 	case p < 0 || p >= 1 || math.IsNaN(p):
 		return math.NaN(), errors.New("mathx: GammaQuantile requires p in [0,1)")
@@ -162,7 +230,7 @@ func GammaQuantile(p, shape, scale float64) (float64, error) {
 	// Wilson-Hilferty starting point: if X~Gamma(a,1) then (X/a)^(1/3)
 	// is approximately normal.
 	z := StdNormalQuantile(p)
-	a := shape
+	a := g.shape
 	wh := a * math.Pow(1-1/(9*a)+z/(3*math.Sqrt(a)), 3)
 	x := wh
 	if x <= 0 || math.IsNaN(x) {
@@ -171,14 +239,26 @@ func GammaQuantile(p, shape, scale float64) (float64, error) {
 			x = 1e-8
 		}
 	}
-	lg, _ := math.Lgamma(a)
+	lg := g.lg
 	// Newton iterations on P(a,x) - p = 0; the derivative is the pdf.
+	// log(x) is shared between the incomplete-gamma evaluation and the
+	// pdf of each iteration (it is the same value the unhoisted code
+	// computed twice), so the iterates are bit-identical.
 	for i := 0; i < 60; i++ {
-		cur, err := GammaRegP(a, x)
+		lx := math.Log(x)
+		var cur float64
+		var err error
+		if x < a+1 {
+			cur, err = gammaPSeriesLg(a, x, lx, lg)
+		} else {
+			var q float64
+			q, err = gammaQContinuedFractionLg(a, x, lx, lg)
+			cur = 1 - q
+		}
 		if err != nil {
 			return math.NaN(), err
 		}
-		pdf := math.Exp(-x + (a-1)*math.Log(x) - lg)
+		pdf := math.Exp(-x + (a-1)*lx - lg)
 		if pdf <= 0 || math.IsInf(pdf, 0) {
 			break
 		}

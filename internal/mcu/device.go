@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/flashmark/flashmark/internal/device"
@@ -217,9 +218,17 @@ const (
 	chipVersion = 1
 )
 
+// saveScratch recycles the array-encoding buffer across Save calls
+// (fmverifyd snapshots registries in a loop; the raw encoding of a big
+// part is the dominant transient).
+var saveScratch = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
 // Save writes the chip state (part, seed, cell margins and wear) to w.
 func (d *Device) Save(w io.Writer) error {
-	raw, err := d.ctl.Array().MarshalBinary()
+	bp := saveScratch.Get().(*[]byte)
+	raw, err := d.ctl.Array().AppendBinary((*bp)[:0])
+	*bp = raw[:0]
+	defer saveScratch.Put(bp)
 	if err != nil {
 		return fmt.Errorf("mcu: serializing array: %w", err)
 	}
@@ -403,6 +412,13 @@ func (d *Device) Trace() *vclock.Trace { return d.ctl.Trace() }
 // surface; see core's register-sequence procedures).
 func (d *Device) Registers() *flashctl.RegisterFile { return d.ctl.Registers() }
 
+// PhysicsPath reports which physics path the controller runs.
+func (d *Device) PhysicsPath() device.PhysicsPath { return d.ctl.PhysicsPath() }
+
+// SetPhysicsPath selects the physics path (fast by default; reference
+// for equivalence runs).
+func (d *Device) SetPhysicsPath(p device.PhysicsPath) error { return d.ctl.SetPhysicsPath(p) }
+
 // Interface conformance (device.Device plus every optional capability).
 var (
 	_ device.Device            = (*Device)(nil)
@@ -411,4 +427,5 @@ var (
 	_ device.Tracer            = (*Device)(nil)
 	_ device.PartialProgrammer = (*Device)(nil)
 	_ device.WearInspector     = (*Device)(nil)
+	_ device.PhysicsSelector   = (*Device)(nil)
 )

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"github.com/flashmark/flashmark/internal/device"
@@ -162,7 +163,13 @@ func (a *Adapter) ProgramBlock(addr int, values []uint64) error {
 	}
 	a.invalidate()
 	firstPage := word / wordsPerPage
-	data := make([]byte, a.d.geom.PageBytes)
+	bp := pageScratch.Get().(*[]byte)
+	data := *bp
+	if cap(data) < a.d.geom.PageBytes {
+		data = make([]byte, a.d.geom.PageBytes)
+	}
+	data = data[:a.d.geom.PageBytes]
+	defer func() { *bp = data; pageScratch.Put(bp) }()
 	for p := 0; p < len(values)/wordsPerPage; p++ {
 		slice := values[p*wordsPerPage : (p+1)*wordsPerPage]
 		for i, v := range slice {
@@ -175,6 +182,10 @@ func (a *Adapter) ProgramBlock(addr int, values []uint64) error {
 	}
 	return nil
 }
+
+// pageScratch recycles the page-sized staging buffer ProgramBlock packs
+// words into before each page program.
+var pageScratch = sync.Pool{New: func() any { b := []byte(nil); return &b }}
 
 // ReadWord reads one 16-bit word, fetching its page on a cache miss
 // (see the type comment for the served-once cache semantics).
@@ -192,7 +203,9 @@ func (a *Adapter) ReadWord(addr int) (uint64, error) {
 	page := word / wordsPerPage
 	inPage := word % wordsPerPage
 	if a.cacheBlock != block || a.cachePage != page || a.served[inPage] {
-		data, err := a.d.ReadPage(block, page)
+		// Refill the cache buffer in place: a steady-state read pass over
+		// a block allocates nothing.
+		data, err := a.d.ReadPageInto(block, page, a.cache[:0])
 		if err != nil {
 			a.invalidate()
 			return 0, err
@@ -302,6 +315,12 @@ func (a *Adapter) ChargeHostTransfer(n int) {
 	a.d.clock.Advance(a.d.ledger.Charge(device.OpHost, dur))
 }
 
+// PhysicsPath reports the adapted device's physics implementation.
+func (a *Adapter) PhysicsPath() device.PhysicsPath { return a.d.PhysicsPath() }
+
+// SetPhysicsPath selects the adapted device's physics implementation.
+func (a *Adapter) SetPhysicsPath(p device.PhysicsPath) error { return a.d.SetPhysicsPath(p) }
+
 // SegmentWearSummary returns min/mean/max wear across block seg.
 func (a *Adapter) SegmentWearSummary(seg int) (minW, meanW, maxW float64, err error) {
 	return a.d.cells.SegmentWearSummary(seg)
@@ -345,6 +364,13 @@ func (b blockCells) SetProgrammed(i int) {
 	b.d.cells.SetMargin(b.base+i, float64(nor.MarginProgrammed))
 }
 func (b blockCells) TauAt(i int, wear float64) float64 { return b.d.model.TauAt(b.block, i, wear) }
+
+// MaxTauOver rides the device's batched pruned max (device.AdaptiveMaxer);
+// it declines when the reference physics path is selected, which sends
+// MeanAdaptiveTauUs back to the sequential TauAt scan.
+func (b blockCells) MaxTauOver(include func(i int) bool, wearOf func(i int) float64) (float64, bool) {
+	return b.d.maxTauOver(b.block, include, wearOf)
+}
 
 // nandChipFile is the on-disk JSON envelope for a NAND chip.
 type nandChipFile struct {
@@ -434,6 +460,8 @@ func LoadAdapter(r io.Reader) (*Adapter, error) {
 // Interface conformance (device.Device plus the wear capability; NAND
 // models neither aging, temperature, traces, nor partial programs yet).
 var (
-	_ device.Device        = (*Adapter)(nil)
-	_ device.WearInspector = (*Adapter)(nil)
+	_ device.Device          = (*Adapter)(nil)
+	_ device.WearInspector   = (*Adapter)(nil)
+	_ device.PhysicsSelector = (*Adapter)(nil)
+	_ device.AdaptiveMaxer   = blockCells{}
 )

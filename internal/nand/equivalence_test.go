@@ -1,0 +1,111 @@
+package nand
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/flashmark/flashmark/internal/device"
+	"github.com/flashmark/flashmark/internal/floatgate"
+)
+
+// Differential fuzz of the NAND batched physics (per-block base cache,
+// wear-grouped TauEnv, pruned adaptive max) against the per-cell
+// reference loops: twin devices run one seeded-random op sequence and
+// every observable — adaptive pulses, page reads, final margins and
+// wear to the bit, virtual time — must match.
+
+func twinNANDs(t *testing.T, seed uint64) (fast, ref *Device) {
+	t.Helper()
+	build := func() *Device {
+		d, err := NewDevice(SmallNAND(), SLCTiming(), floatgate.DefaultParams(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	fast, ref = build(), build()
+	if fast.PhysicsPath() != device.PhysicsFast {
+		t.Fatalf("fast path is not the default: %v", fast.PhysicsPath())
+	}
+	if err := ref.SetPhysicsPath(device.PhysicsReference); err != nil {
+		t.Fatal(err)
+	}
+	return fast, ref
+}
+
+func TestNANDFastPathMatchesReference(t *testing.T) {
+	for _, seed := range []uint64{0x4E1, 0x4E2, 0x4E3} {
+		fast, ref := twinNANDs(t, seed)
+		geom := fast.Geometry()
+		rnd := rand.New(rand.NewSource(int64(seed)))
+
+		page := make([]byte, geom.PageBytes)
+		const ops = 250
+		for op := 0; op < ops; op++ {
+			block := rnd.Intn(geom.Blocks)
+			switch rnd.Intn(6) {
+			case 0:
+				if e1, e2 := fast.EraseBlock(block), ref.EraseBlock(block); e1 != nil || e2 != nil {
+					t.Fatal(e1, e2)
+				}
+			case 1:
+				d1, e1 := fast.EraseBlockAdaptive(block)
+				d2, e2 := ref.EraseBlockAdaptive(block)
+				if e1 != nil || e2 != nil {
+					t.Fatal(e1, e2)
+				}
+				if d1 != d2 {
+					t.Fatalf("op %d: adaptive pulse fast=%v ref=%v", op, d1, d2)
+				}
+			case 2, 3:
+				pulse := time.Duration(5+rnd.Float64()*35) * time.Microsecond
+				if e1, e2 := fast.PartialEraseBlock(block, pulse), ref.PartialEraseBlock(block, pulse); e1 != nil || e2 != nil {
+					t.Fatal(e1, e2)
+				}
+			case 4:
+				// Fill in-order pages after a fresh erase (NAND discipline).
+				if e1, e2 := fast.EraseBlock(block), ref.EraseBlock(block); e1 != nil || e2 != nil {
+					t.Fatal(e1, e2)
+				}
+				pages := 1 + rnd.Intn(geom.PagesPerBlock)
+				for p := 0; p < pages; p++ {
+					for i := range page {
+						page[i] = byte(rnd.Intn(256))
+					}
+					if e1, e2 := fast.ProgramPage(block, p, page), ref.ProgramPage(block, p, page); e1 != nil || e2 != nil {
+						t.Fatal(e1, e2)
+					}
+				}
+			case 5:
+				p := rnd.Intn(geom.PagesPerBlock)
+				d1, e1 := fast.ReadPage(block, p)
+				d2, e2 := ref.ReadPage(block, p)
+				if e1 != nil || e2 != nil {
+					t.Fatal(e1, e2)
+				}
+				for i := range d1 {
+					if d1[i] != d2[i] {
+						t.Fatalf("op %d: page byte %d fast=%#x ref=%#x", op, i, d1[i], d2[i])
+					}
+				}
+			}
+		}
+		// Final state to the bit.
+		cells := geom.Blocks * geom.CellsPerBlock()
+		for i := 0; i < cells; i++ {
+			fm, rm := fast.cells.Margin(i), ref.cells.Margin(i)
+			if math.Float64bits(fm) != math.Float64bits(rm) {
+				t.Fatalf("cell %d margin fast=%v ref=%v", i, fm, rm)
+			}
+			fw, rw := fast.cells.Wear(i), ref.cells.Wear(i)
+			if math.Float64bits(fw) != math.Float64bits(rw) {
+				t.Fatalf("cell %d wear fast=%v ref=%v", i, fw, rw)
+			}
+		}
+		if fast.Clock().Now() != ref.Clock().Now() {
+			t.Fatalf("virtual time diverged: fast=%v ref=%v", fast.Clock().Now(), ref.Clock().Now())
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package nand
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/flashmark/flashmark/internal/device"
+	"github.com/flashmark/flashmark/internal/floatgate"
+	"github.com/flashmark/flashmark/internal/nor"
+)
+
+// The NAND batched physics path. NAND shares the floating-gate physics
+// with NOR but applies no retention/temperature transform, so the fast
+// path here is simpler than the NOR controller's: per-block CellBase
+// caches kill the dominant per-cell Base recomputation (the reference
+// TauAt re-derives the die RNG per call), wear-grouped TauEnv hoisting
+// shares the transcendental work of one erase across every cell at the
+// same wear, and the adaptive-erase max rides the pruned
+// floatgate.MaxTauGroup kernel. All of it is a reorganization of the
+// reference arithmetic — results are bit-identical, pinned by the
+// equivalence tests — and the reference per-cell loops remain selectable
+// through device.PhysicsSelector.
+
+// PhysicsPath reports which physics implementation the device runs.
+func (d *Device) PhysicsPath() device.PhysicsPath {
+	if d.physRef {
+		return device.PhysicsReference
+	}
+	return device.PhysicsFast
+}
+
+// SetPhysicsPath selects the physics implementation. Both paths are
+// bit-identical; the reference path exists as the equivalence oracle.
+func (d *Device) SetPhysicsPath(p device.PhysicsPath) error {
+	switch p {
+	case device.PhysicsFast:
+		d.physRef = false
+	case device.PhysicsReference:
+		d.physRef = true
+	default:
+		return fmt.Errorf("nand: unknown physics path %q", p)
+	}
+	return nil
+}
+
+// blockPhys returns the lazily-built immutable cell parameters of one
+// block: the CellBase cache and the U-ascending index order MaxTauGroup
+// requires. Bases depend only on the die seed and the cell address —
+// never on wear or margins — so the cache is never invalidated.
+func (d *Device) blockPhys(block int) ([]floatgate.CellBase, []int32) {
+	if d.bases == nil {
+		d.bases = make([][]floatgate.CellBase, d.geom.Blocks)
+		d.uorder = make([][]int32, d.geom.Blocks)
+	}
+	if d.bases[block] == nil {
+		cells := d.geom.CellsPerBlock()
+		bases := d.model.BasesInto(block, cells, nil)
+		idx := make([]int32, cells)
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		floatgate.SortIndexByU(bases, idx)
+		d.bases[block], d.uorder[block] = bases, idx
+	}
+	return d.bases[block], d.uorder[block]
+}
+
+// nandWearGroup collects the cells of one op that share a wear value, so
+// the wear-dependent tau terms are hoisted once per group.
+type nandWearGroup struct {
+	key     uint64 // math.Float64bits of the wear
+	env     floatgate.TauEnv
+	members []int32 // ascending U (uorder walk)
+}
+
+// appendWearGroup grows groups by one entry for (key, env), recycling a
+// spare slot's member slice when capacity allows.
+func appendWearGroup(groups []nandWearGroup, key uint64, env floatgate.TauEnv) []nandWearGroup {
+	if len(groups) < cap(groups) {
+		groups = groups[:len(groups)+1]
+		g := &groups[len(groups)-1]
+		g.key, g.env, g.members = key, env, g.members[:0]
+		return groups
+	}
+	return append(groups, nandWearGroup{key: key, env: env})
+}
+
+// envFor returns the hoisted tau environment for wear w, reusing this
+// op's already-built group when the wear value repeats (the common case:
+// a stress leaves two wear classes, one per watermark polarity).
+func (d *Device) envFor(w float64) *floatgate.TauEnv {
+	key := math.Float64bits(w)
+	for j := range d.envScratch {
+		if d.envScratch[j].key == key {
+			return &d.envScratch[j].env
+		}
+	}
+	d.envScratch = appendWearGroup(d.envScratch, key, d.model.TauEnvAt(w))
+	return &d.envScratch[len(d.envScratch)-1].env
+}
+
+// maxTauOver computes max TauAt(block, i, wearOf(i)) over the included
+// cells in one batched pass: cells are grouped by exact wear value, each
+// group's max rides the pruned MaxTauGroup kernel, and the group maxima
+// combine with the same > comparison the reference scan uses — the
+// result is bit-identical to the sequential loop. Declines (ok=false)
+// when the reference physics path is selected.
+func (d *Device) maxTauOver(block int, include func(i int) bool, wearOf func(i int) float64) (float64, bool) {
+	if d.physRef {
+		return 0, false
+	}
+	bases, uorder := d.blockPhys(block)
+	cells := len(bases)
+	if cap(d.gidScratch) < cells {
+		d.gidScratch = make([]int32, cells)
+	}
+	gid := d.gidScratch[:cells]
+
+	groups := d.wgScratch[:0]
+	lastKey, lastGid := uint64(0), int32(-1)
+	for i := 0; i < cells; i++ {
+		if !include(i) {
+			gid[i] = -1
+			continue
+		}
+		key := math.Float64bits(wearOf(i))
+		if lastGid >= 0 && key == lastKey {
+			gid[i] = lastGid
+			continue
+		}
+		g := int32(-1)
+		for j := range groups {
+			if groups[j].key == key {
+				g = int32(j)
+				break
+			}
+		}
+		if g < 0 {
+			groups = appendWearGroup(groups, key, d.model.TauEnvAt(wearOf(i)))
+			g = int32(len(groups) - 1)
+		}
+		gid[i], lastKey, lastGid = g, key, g
+	}
+	// Walking the immutable U-order keeps every group's member list
+	// ascending in U, which MaxTauGroup requires.
+	for _, i := range uorder {
+		if g := gid[i]; g >= 0 {
+			groups[g].members = append(groups[g].members, i)
+		}
+	}
+	best := 0.0
+	for j := range groups {
+		if tau, ok := floatgate.MaxTauGroup(&groups[j].env, bases, groups[j].members, &d.maxScratch); ok && tau > best {
+			best = tau
+		}
+	}
+	d.wgScratch = groups
+	return best, true
+}
+
+// partialEraseBlockFast is the batched body of PartialEraseBlock: one
+// pass over the block's contiguous cell span, with the wear-dependent
+// tau terms hoisted per wear group. Margin stores go through
+// nor.ClampMargin (the exact SetMargin semantics) and wear updates add
+// the same EraseWear increments in the same order as the reference loop.
+func (d *Device) partialEraseBlockFast(block int, pulseUs float64) {
+	d.blockPhys(block)
+	bases := d.bases[block]
+	margins, wear := d.cells.CellSpan(block)
+	fullWear := d.model.EraseWear(true)
+	eraseOnly := d.model.EraseWear(false)
+	d.envScratch = d.envScratch[:0]
+	for i := range margins {
+		m := margins[i]
+		switch {
+		case m <= nor.MarginProgrammed:
+			tau := d.envFor(wear[i]).Tau(bases[i])
+			margins[i] = nor.ClampMargin(pulseUs - tau)
+			wear[i] += fullWear
+		case m >= nor.MarginErased:
+			wear[i] += eraseOnly
+		default:
+			wasProgrammed := m < 0
+			margins[i] = nor.ClampMargin(float64(m) + pulseUs)
+			if wasProgrammed {
+				wear[i] += fullWear
+			} else {
+				wear[i] += eraseOnly
+			}
+		}
+	}
+}
+
+// Interface conformance: the device itself is physics-selectable.
+var _ device.PhysicsSelector = (*Device)(nil)

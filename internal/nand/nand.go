@@ -104,6 +104,18 @@ type Device struct {
 	// nextPage tracks the sequential-programming cursor per block;
 	// a value of PagesPerBlock means the block is full.
 	nextPage []int
+
+	// Batched physics state (fastphys.go). bases/uorder cache the
+	// immutable per-cell parameters per block; the scratch slices keep
+	// steady-state batched ops allocation-free. physRef selects the
+	// per-cell reference loops instead (device.PhysicsSelector).
+	physRef    bool
+	bases      [][]floatgate.CellBase
+	uorder     [][]int32
+	maxScratch floatgate.MaxTauScratch
+	gidScratch []int32
+	wgScratch  []nandWearGroup
+	envScratch []nandWearGroup
 }
 
 // NewDevice fabricates a NAND chip with the given physics and seed.
@@ -185,11 +197,18 @@ func (d *Device) EraseBlock(block int) error {
 }
 
 func (d *Device) eraseBlockCells(block int) {
-	cells := d.geom.CellsPerBlock()
-	base := block * cells
-	for i := 0; i < cells; i++ {
-		d.cells.AddWear(base+i, d.model.EraseWear(d.cells.Programmed(base+i)))
-		d.cells.SetMargin(base+i, float64(nor.MarginErased))
+	// One pass over the contiguous span; same EraseWear increments and
+	// margin stores as the per-cell accessor loop.
+	margins, wear := d.cells.CellSpan(block)
+	fullWear := d.model.EraseWear(true)
+	eraseOnly := d.model.EraseWear(false)
+	for i := range margins {
+		if margins[i] < 0 {
+			wear[i] += fullWear
+		} else {
+			wear[i] += eraseOnly
+		}
+		margins[i] = nor.MarginErased
 	}
 }
 
@@ -199,16 +218,23 @@ func (d *Device) EraseBlockAdaptive(block int) (time.Duration, error) {
 	if err := d.checkBlock(block); err != nil {
 		return 0, err
 	}
-	cells := d.geom.CellsPerBlock()
-	base := block * cells
 	maxTau := 0.0
-	for i := 0; i < cells; i++ {
-		if !d.cells.Programmed(base + i) {
-			continue
-		}
-		tau := d.model.TauAt(block, i, d.cells.Wear(base+i))
-		if tau > maxTau {
-			maxTau = tau
+	if !d.physRef {
+		margins, wear := d.cells.CellSpan(block)
+		maxTau, _ = d.maxTauOver(block,
+			func(i int) bool { return margins[i] < 0 },
+			func(i int) float64 { return wear[i] })
+	} else {
+		cells := d.geom.CellsPerBlock()
+		base := block * cells
+		for i := 0; i < cells; i++ {
+			if !d.cells.Programmed(base + i) {
+				continue
+			}
+			tau := d.model.TauAt(block, i, d.cells.Wear(base+i))
+			if tau > maxTau {
+				maxTau = tau
+			}
 		}
 	}
 	d.eraseBlockCells(block)
@@ -235,23 +261,27 @@ func (d *Device) PartialEraseBlock(block int, pulse time.Duration) error {
 	if pulse >= d.timing.BlockErase {
 		return d.EraseBlock(block)
 	}
-	cells := d.geom.CellsPerBlock()
-	base := block * cells
 	pulseUs := float64(pulse) / float64(time.Microsecond)
-	for i := 0; i < cells; i++ {
-		cell := base + i
-		margin := d.cells.Margin(cell)
-		wasProgrammed := margin < 0
-		switch {
-		case margin <= float64(nor.MarginProgrammed):
-			tau := d.model.TauAt(block, i, d.cells.Wear(cell))
-			d.cells.SetMargin(cell, pulseUs-tau)
-		case margin >= float64(nor.MarginErased):
-			// stays erased
-		default:
-			d.cells.SetMargin(cell, margin+pulseUs)
+	if !d.physRef {
+		d.partialEraseBlockFast(block, pulseUs)
+	} else {
+		cells := d.geom.CellsPerBlock()
+		base := block * cells
+		for i := 0; i < cells; i++ {
+			cell := base + i
+			margin := d.cells.Margin(cell)
+			wasProgrammed := margin < 0
+			switch {
+			case margin <= float64(nor.MarginProgrammed):
+				tau := d.model.TauAt(block, i, d.cells.Wear(cell))
+				d.cells.SetMargin(cell, pulseUs-tau)
+			case margin >= float64(nor.MarginErased):
+				// stays erased
+			default:
+				d.cells.SetMargin(cell, margin+pulseUs)
+			}
+			d.cells.AddWear(cell, d.model.EraseWear(wasProgrammed))
 		}
-		d.cells.AddWear(cell, d.model.EraseWear(wasProgrammed))
 	}
 	// The aborted erase leaves the block logically dirty; require an
 	// erase before further page programming.
@@ -297,35 +327,48 @@ func (d *Device) ProgramPage(block, page int, data []byte) error {
 // ReadPage reads one page; metastable cells (after a partial erase)
 // sample noisily per read.
 func (d *Device) ReadPage(block, page int) ([]byte, error) {
+	return d.ReadPageInto(block, page, nil)
+}
+
+// ReadPageInto reads one page into dst (reusing its capacity) and
+// returns the filled slice — the allocation-free form of ReadPage.
+// Cell decisions and noise-stream consumption are identical to ReadPage:
+// only the output buffer management differs.
+func (d *Device) ReadPageInto(block, page int, dst []byte) ([]byte, error) {
 	if err := d.checkBlock(block); err != nil {
 		return nil, err
 	}
 	if page < 0 || page >= d.geom.PagesPerBlock {
 		return nil, fmt.Errorf("nand: page %d outside block of %d pages", page, d.geom.PagesPerBlock)
 	}
-	out := make([]byte, d.geom.PageBytes)
-	for byteIdx := range out {
+	n := d.geom.PageBytes
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	}
+	dst = dst[:n]
+	margins, _ := d.cells.CellSpan(block)
+	pageBase := page * d.geom.CellsPerPage()
+	for byteIdx := range dst {
 		var b byte
 		for bit := 0; bit < 8; bit++ {
-			cell := d.cellIndex(block, page, byteIdx*8+bit)
-			margin := d.cells.Margin(cell)
+			margin := margins[pageBase+byteIdx*8+bit]
 			var one bool
 			switch {
-			case margin >= float64(nor.MarginErased):
+			case margin >= nor.MarginErased:
 				one = true
-			case margin <= float64(nor.MarginProgrammed):
+			case margin <= nor.MarginProgrammed:
 				one = false
 			default:
-				one = d.model.SampleRead(margin, d.noise)
+				one = d.model.SampleRead(float64(margin), d.noise)
 			}
 			if one {
 				b |= 1 << uint(bit)
 			}
 		}
-		out[byteIdx] = b
+		dst[byteIdx] = b
 	}
 	d.charge(vclock.OpRead, d.timing.PageRead)
-	return out, nil
+	return dst, nil
 }
 
 // BlockWear returns min/mean/max wear across a block.

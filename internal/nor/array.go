@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 )
 
 // Analog margin sentinels. A cell's margin is the analog distance (in µs
@@ -58,17 +59,26 @@ func (a *Array) Margin(cell int) float64 {
 	return float64(a.margin[cell])
 }
 
+// ClampMargin converts an analog margin to its stored float32 form,
+// saturating at the sentinels — the exact store semantics of SetMargin,
+// exposed so batched writers through CellSpan stay bit-identical to
+// per-cell SetMargin calls. The mapping is monotone non-decreasing,
+// which is what lets the controller's fast path carry margin *bounds*
+// through it.
+func ClampMargin(v float64) float32 {
+	switch {
+	case v >= float64(MarginErased):
+		return MarginErased
+	case v <= float64(MarginProgrammed):
+		return MarginProgrammed
+	}
+	return float32(v)
+}
+
 // SetMargin sets the analog margin of a cell.
 func (a *Array) SetMargin(cell int, v float64) {
 	a.checkCell(cell)
-	switch {
-	case v >= float64(MarginErased):
-		a.margin[cell] = MarginErased
-	case v <= float64(MarginProgrammed):
-		a.margin[cell] = MarginProgrammed
-	default:
-		a.margin[cell] = float32(v)
-	}
+	a.margin[cell] = ClampMargin(v)
 }
 
 // Programmed reports whether the cell's stable digital state is '0'
@@ -93,6 +103,21 @@ func (a *Array) AddWear(cell int, d float64) {
 		panic("nor: wear cannot decrease")
 	}
 	a.wear[cell] += d
+}
+
+// CellSpan returns the raw margin and wear storage of one segment as
+// contiguous full-capacity slices — the batched physics path iterates a
+// whole segment without per-cell bounds checks. Writers must store
+// margins through ClampMargin and must never decrease wear; the slices
+// alias the array, so per-cell accessors observe writes immediately.
+// An out-of-range segment panics (programmer error, like checkCell).
+func (a *Array) CellSpan(seg int) (margins []float32, wear []float64) {
+	if seg < 0 || seg >= a.geom.TotalSegments() {
+		panic(fmt.Sprintf("nor: segment %d outside array of %d segments", seg, a.geom.TotalSegments()))
+	}
+	cells := a.geom.CellsPerSegment()
+	base := seg * cells
+	return a.margin[base : base+cells : base+cells], a.wear[base : base+cells : base+cells]
 }
 
 // SegmentWearSummary returns the min, mean and max wear across a segment.
@@ -128,31 +153,51 @@ const (
 	arrayVersion = uint16(1)
 )
 
-// MarshalBinary serializes the array state.
-func (a *Array) MarshalBinary() ([]byte, error) {
-	var buf bytes.Buffer
-	buf.WriteString(arrayMagic)
-	write := func(v any) { _ = binary.Write(&buf, binary.LittleEndian, v) }
-	write(arrayVersion)
-	write(uint32(a.geom.Banks))
-	write(uint32(a.geom.SegmentsPerBank))
-	write(uint32(a.geom.SegmentBytes))
-	write(uint32(a.geom.WordBytes))
+// AppendBinary serializes the array state into dst (reusing its
+// capacity) and returns the extended slice. The encoding is the exact
+// MarshalBinary layout; callers that serialize in a loop pass a recycled
+// buffer so the steady state allocates nothing.
+func (a *Array) AppendBinary(dst []byte) ([]byte, error) {
+	dst = append(dst, arrayMagic...)
+	dst = binary.LittleEndian.AppendUint16(dst, arrayVersion)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(a.geom.Banks))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(a.geom.SegmentsPerBank))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(a.geom.SegmentBytes))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(a.geom.WordBytes))
 	count := uint64(0)
 	for i := range a.margin {
 		if a.margin[i] != MarginErased || a.wear[i] != 0 {
 			count++
 		}
 	}
-	write(count)
+	dst = binary.LittleEndian.AppendUint64(dst, count)
 	for i := range a.margin {
 		if a.margin[i] != MarginErased || a.wear[i] != 0 {
-			write(uint64(i))
-			write(a.margin[i])
-			write(a.wear[i])
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(i))
+			dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(a.margin[i]))
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(a.wear[i]))
 		}
 	}
-	return buf.Bytes(), nil
+	return dst, nil
+}
+
+// marshalScratch recycles the variable-size encode buffer across
+// MarshalBinary calls; only the exact-size result is freshly allocated.
+var marshalScratch = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// MarshalBinary serializes the array state.
+func (a *Array) MarshalBinary() ([]byte, error) {
+	sp := marshalScratch.Get().(*[]byte)
+	scratch, err := a.AppendBinary((*sp)[:0])
+	*sp = scratch[:0]
+	if err != nil {
+		marshalScratch.Put(sp)
+		return nil, err
+	}
+	out := make([]byte, len(scratch))
+	copy(out, scratch)
+	marshalScratch.Put(sp)
+	return out, nil
 }
 
 // readArrayHeader consumes the magic, version and geometry fields from r.

@@ -1,0 +1,74 @@
+#!/usr/bin/env sh
+# Physics bench-regression gate: compares a fresh BENCH_physics.json
+# (schema flashmark-bench-physics/v1, written by `make bench-physics`)
+# against the checked-in baseline scripts/bench_physics_baseline.json.
+#
+# Only machine-independent quantities are gated:
+#   - per-bench speedup (reference ns over fast ns) must stay within
+#     ±20% of the baseline ratio: below -20% fails as a fast-path
+#     regression; above +20% only prints a hint to refresh the
+#     baseline (conservative round numbers, not a raw snapshot).
+#   - the characterization sweep must additionally stay >= 3.0x, the
+#     paper-reproduction acceptance floor for the batched physics.
+#   - allocs/op on the steady-state read path must not exceed the
+#     baseline (0: the warm read path never touches the heap).
+# Raw ns/op values are recorded for context but never compared — they
+# track the runner, not the code.
+#
+# Usage: scripts/check_bench.sh [measured.json] [baseline.json]
+set -eu
+
+measured=${1:-BENCH_physics.json}
+baseline=${2:-$(dirname "$0")/bench_physics_baseline.json}
+floor_characterize=3.0
+
+# speedups FILE -> lines of "<bench> <speedup>", keyed off the 4-space
+# indentation json.MarshalIndent gives the per-bench objects.
+speedups() {
+    awk '
+        /^    "[a-z_]+": \{/ { name = $1; gsub(/[":{]/, "", name) }
+        /"speedup":/ { v = $2; gsub(/,/, "", v); print name, v }
+    ' "$1"
+}
+
+allocs() {
+    awk '/"allocs_op":/ { v = $2; gsub(/,/, "", v); print v; exit }' "$1"
+}
+
+fail=0
+speedups "$baseline" | while read -r bench base; do
+    got=$(speedups "$measured" | awk -v b="$bench" '$1 == b { print $2 }')
+    if [ -z "$got" ]; then
+        echo "FAIL: $measured has no speedup for '$bench'" >&2
+        exit 1
+    fi
+    echo "$bench: speedup ${got}x (baseline ${base}x)"
+    if awk -v g="$got" -v b="$base" 'BEGIN { exit (g + 0 >= 0.8 * b) ? 1 : 0 }'; then
+        echo "FAIL: $bench speedup ${got}x fell more than 20% below the baseline ${base}x" >&2
+        exit 1
+    fi
+    if awk -v g="$got" -v b="$base" 'BEGIN { exit (g + 0 <= 1.2 * b) ? 1 : 0 }'; then
+        echo "note: $bench speedup ${got}x is >20% above the baseline ${base}x -- consider raising scripts/bench_physics_baseline.json"
+    fi
+    if [ "$bench" = characterize ] &&
+        awk -v g="$got" -v f="$floor_characterize" 'BEGIN { exit (g + 0 >= f) ? 1 : 0 }'; then
+        echo "FAIL: characterization speedup ${got}x is below the ${floor_characterize}x acceptance floor" >&2
+        exit 1
+    fi
+done || fail=1
+
+got_allocs=$(allocs "$measured")
+base_allocs=$(allocs "$baseline")
+if [ -z "$got_allocs" ]; then
+    echo "FAIL: $measured has no read_steady_state allocs_op" >&2
+    fail=1
+else
+    echo "steady-state read: ${got_allocs} allocs/op (baseline ${base_allocs})"
+    if awk -v g="$got_allocs" -v b="$base_allocs" 'BEGIN { exit (g + 0 <= b + 0) ? 1 : 0 }'; then
+        echo "FAIL: steady-state read allocates (${got_allocs} allocs/op > baseline ${base_allocs})" >&2
+        fail=1
+    fi
+fi
+
+[ "$fail" -eq 0 ] && echo "bench gate OK"
+exit "$fail"
