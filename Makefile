@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 1x
 
-.PHONY: all build vet test race bench bench-json bench-physics bench-physics-check experiments smoke cover cover-check fmt clean
+.PHONY: all build vet test race bench bench-json bench-physics bench-physics-check bench-registry bench-registry-check experiments smoke cover cover-check fmt clean
 
 all: build vet test
 
@@ -40,6 +40,19 @@ bench-physics:
 # read-path allocs against scripts/bench_physics_baseline.json (±20%).
 bench-physics-check: bench-physics
 	./scripts/check_bench.sh BENCH_physics.json
+
+# Registry benchmarks: fleet-scale lookup against 1M enrolled ids
+# (acceptance: sub-microsecond, zero allocations) and durable
+# group-commit enrollment. Writes BENCH_registry.json (schema
+# flashmark-bench-registry/v1). The package path must precede the
+# -regjson flag or `go test` stops parsing the package list.
+bench-registry:
+	$(GO) test ./internal/registry/ -run xxx -bench 'BenchmarkRegistryLookup|BenchmarkRegistryEnroll' -benchtime 10000x -regjson $(CURDIR)/BENCH_registry.json
+
+# Registry acceptance gate: lookup must stay allocation-free and under
+# the scripts/bench_registry_baseline.json ns ceiling at 1M keys.
+bench-registry-check: bench-registry
+	./scripts/check_bench.sh BENCH_registry.json
 
 experiments:
 	$(GO) run ./cmd/fmexperiments -run all

@@ -3,6 +3,11 @@
 // rejects, recycled parts, metadata forgeries, digital clones, tampered
 // rejects, rebranded blanks — and prints the resulting verdicts and the
 // confusion matrix (experiment TAB-SUPPLY, driven by §I's threat list).
+//
+// With -crossbatch it instead runs the cross-batch replay-clone demo: a
+// clone shipped in a different batch than its victim slips past the
+// batch-local audit but is caught (with its victim retroactively
+// tainted) by the fleet-scale registry (internal/registry).
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"github.com/flashmark/flashmark/internal/buildinfo"
 	"github.com/flashmark/flashmark/internal/counterfeit"
 	"github.com/flashmark/flashmark/internal/mcu"
+	"github.com/flashmark/flashmark/internal/registry"
 	"github.com/flashmark/flashmark/internal/wmcode"
 )
 
@@ -35,6 +41,7 @@ func run(args []string, out io.Writer) error {
 		npe      = fs.Int("npe", 80_000, "manufacturer imprint cycles")
 		recycle  = fs.Bool("recycling-screen", true, "enable the data-segment wear screen")
 		workers  = fs.Int("workers", 4, "chips verified in parallel")
+		cross    = fs.Bool("crossbatch", false, "run the cross-batch replay-clone demo instead: batch-local audit vs fleet registry")
 		version  = fs.Bool("version", false, "print build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -60,6 +67,9 @@ func run(args []string, out io.Writer) error {
 		Manufacturer:   "TC",
 		TPEW:           25 * time.Microsecond,
 		CheckRecycling: *recycle,
+	}
+	if *cross {
+		return runCrossBatch(out, factory, verifier)
 	}
 	spec := counterfeit.PopulationSpec{
 		counterfeit.ClassGenuineAccept:   *genuine,
@@ -95,4 +105,84 @@ func total(spec counterfeit.PopulationSpec) int {
 		n += c
 	}
 	return n
+}
+
+// runCrossBatch demonstrates the attack the fleet registry exists for: a
+// replay-imprinted clone shipped in a different procurement batch than
+// its victim. Physics calls both GENUINE; the batch-local audit sees
+// each batch clean because the duplicate ids never meet; the fleet
+// registry — the same dedup kernel spanning both batches — catches the
+// collision and retroactively taints the victim.
+func runCrossBatch(out io.Writer, factory counterfeit.FactoryConfig, verifier *counterfeit.Verifier) error {
+	type shipment struct {
+		label string
+		class counterfeit.ChipClass
+		seed  uint64
+		die   uint64
+	}
+	batches := [][]shipment{
+		{{"victim", counterfeit.ClassGenuineAccept, 0xB1A, 101},
+			{"clean", counterfeit.ClassGenuineAccept, 0xB1B, 102}},
+		{{"clone", counterfeit.ClassReplayImprint, 0xB2A, 101},
+			{"clean", counterfeit.ClassGenuineAccept, 0xB2B, 103}},
+	}
+	type row struct {
+		batch    int
+		label    string
+		physics  counterfeit.Verdict
+		batchDup bool
+		key      registry.Key
+	}
+	fleet := registry.NewMemory(0)
+	var rows []row
+	fmt.Fprintf(out, "two procurement batches, verified independently:\n\n")
+	for bi, batch := range batches {
+		audit := counterfeit.NewAuditor() // batch-local scope, as before
+		for _, sh := range batch {
+			dev, err := counterfeit.Fabricate(sh.class, factory, sh.seed, sh.die)
+			if err != nil {
+				return err
+			}
+			res, err := verifier.Verify(dev)
+			if err != nil {
+				return err
+			}
+			r := row{batch: bi + 1, label: sh.label, physics: res.Verdict}
+			if res.Verdict.Accepted() {
+				r.key = registry.Key{Manufacturer: res.Payload.Manufacturer, DieID: res.Payload.DieID}
+				r.batchDup = audit.Record(r.key.Manufacturer, r.key.DieID)
+				if _, err := fleet.Enroll(registry.Enrollment{
+					Key:         r.key,
+					Fingerprint: registry.DeviceFingerprint(dev.PartName(), dev.Seed()),
+					Source:      fmt.Sprintf("batch-%d", bi+1),
+				}); err != nil {
+					return err
+				}
+			}
+			rows = append(rows, r)
+		}
+	}
+	fmt.Fprintf(out, "%-6s %-8s %-10s %-12s %s\n", "batch", "chip", "physics", "batch-audit", "fleet registry")
+	batchFlagged, fleetFlagged := 0, 0
+	for _, r := range rows {
+		batchVerdict, fleetVerdict := "unique", "unique"
+		if r.batchDup {
+			batchVerdict = "DUPLICATE-ID"
+			batchFlagged++
+		}
+		if lr, ok := fleet.Lookup(r.key); ok && lr.Conflict {
+			fleetVerdict = "DUPLICATE-ID"
+			fleetFlagged++
+		}
+		if r.physics != counterfeit.VerdictGenuine {
+			batchVerdict, fleetVerdict = "-", "-"
+		}
+		fmt.Fprintf(out, "%-6d %-8s %-10s %-12s %s\n", r.batch, r.label, r.physics, batchVerdict, fleetVerdict)
+	}
+	fmt.Fprintf(out, "\nbatch-local audit flagged %d chips; fleet registry flagged %d (clone and its victim)\n",
+		batchFlagged, fleetFlagged)
+	if fleetFlagged < 2 {
+		return fmt.Errorf("cross-batch demo expected the fleet registry to flag clone and victim, flagged %d", fleetFlagged)
+	}
+	return nil
 }

@@ -31,6 +31,27 @@ func TestSupplyChainScenario(t *testing.T) {
 	}
 }
 
+func TestSupplyChainCrossBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crossbatch demo imprints four chips")
+	}
+	var out sink
+	if err := run([]string{"-crossbatch"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"batch-local audit flagged 0 chips; fleet registry flagged 2",
+		"clone",
+		"victim",
+		"DUPLICATE-ID",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
 func TestSupplyChainBadFlags(t *testing.T) {
 	var out sink
 	if err := run([]string{"-part", "Z80"}, &out); err == nil {

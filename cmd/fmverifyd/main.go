@@ -11,10 +11,17 @@
 //
 //	fmverifyd -addr :8900 -key secret -mfg TC
 //	fmverifyd -addr :8900 -key secret -workers 8 -queue 128 -timeout 10s
+//	fmverifyd -addr :8900 -key secret -registry-dir /var/lib/fmverifyd/registry
 //	fmverifyd -version
 //
-// Endpoints: POST /v1/verify, POST /v1/verify/batch, GET /healthz,
-// GET /readyz, GET /metrics, GET /debug/vars.
+// With -registry-dir the daemon keeps a durable fleet-scale provenance
+// registry (internal/registry): POST /v1/enroll records verified die
+// identities, and the verify endpoints escalate a physics-GENUINE chip
+// to DUPLICATE-ID when its die id is already enrolled by a different
+// physical chip — across batches and across restarts.
+//
+// Endpoints: POST /v1/verify, POST /v1/verify/batch, POST /v1/enroll,
+// GET /healthz, GET /readyz, GET /metrics, GET /debug/vars.
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 
 	"github.com/flashmark/flashmark/internal/buildinfo"
 	"github.com/flashmark/flashmark/internal/counterfeit"
+	"github.com/flashmark/flashmark/internal/registry"
 	"github.com/flashmark/flashmark/internal/service"
 	"github.com/flashmark/flashmark/internal/wmcode"
 )
@@ -59,6 +67,8 @@ func run(args []string, out io.Writer) error {
 		cache    = fs.Int("cache", 0, "chip-registry cache entries (0 selects 4096, negative disables)")
 		maxBody  = fs.Int64("max-body", 0, "request body cap in bytes (0 selects 16 MiB)")
 		drainFor = fs.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight work on shutdown")
+		regDir   = fs.String("registry-dir", "", "directory for the durable provenance registry (empty disables /v1/enroll and DUPLICATE-ID escalation)")
+		regShard = fs.Int("registry-shards", 0, "registry index lock stripes (0 selects the default)")
 		version  = fs.Bool("version", false, "print build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -73,7 +83,19 @@ func run(args []string, out io.Writer) error {
 	}
 
 	logger := log.New(os.Stderr, "fmverifyd: ", log.LstdFlags)
-	srv, err := service.New(service.Config{
+	var store *registry.Durable
+	if *regDir != "" {
+		var err error
+		store, err = registry.Open(*regDir, registry.Options{Shards: *regShard})
+		if err != nil {
+			return fmt.Errorf("opening registry %s: %w", *regDir, err)
+		}
+		defer store.Close()
+		st := store.Stats()
+		logger.Printf("registry %s: %d identities (%d conflicted) recovered in %v",
+			*regDir, st.Keys, st.Conflicts, st.Recovery.Round(time.Millisecond))
+	}
+	cfg := service.Config{
 		Verifier: counterfeit.Verifier{
 			Codec:          wmcode.Codec{Key: []byte(*key)},
 			Manufacturer:   *mfg,
@@ -88,7 +110,13 @@ func run(args []string, out io.Writer) error {
 		MaxBodyBytes:   *maxBody,
 		CacheEntries:   *cache,
 		Logf:           logger.Printf,
-	})
+	}
+	// The nil check matters: assigning a nil *Durable directly would
+	// make the interface non-nil and turn every lookup into a panic.
+	if store != nil {
+		cfg.Provenance = store
+	}
+	srv, err := service.New(cfg)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -28,5 +30,34 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-no-such-flag"}, &out); err == nil {
 		t.Fatal("unknown flag must fail")
+	}
+}
+
+func TestRunRejectsUnopenableRegistry(t *testing.T) {
+	// A file where the registry directory should be: Open must fail and
+	// run must surface it instead of serving without durability.
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "registry")
+	if err := os.WriteFile(blocker, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-key", "k", "-registry-dir", blocker}, &out)
+	if err == nil || !strings.Contains(err.Error(), "registry") {
+		t.Fatalf("unopenable registry dir must fail with context, got %v", err)
+	}
+}
+
+func TestRunRejectsCorruptRegistry(t *testing.T) {
+	dir := t.TempDir()
+	// A snapshot that was "atomically renamed" but is garbage: the
+	// store must refuse to open rather than serve partial state.
+	if err := os.WriteFile(filepath.Join(dir, "snap-0000000000000001.snap"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-key", "k", "-registry-dir", dir}, &out)
+	if err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupt registry must fail loudly, got %v", err)
 	}
 }

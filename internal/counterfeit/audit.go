@@ -2,7 +2,8 @@ package counterfeit
 
 import (
 	"sort"
-	"sync"
+
+	"github.com/flashmark/flashmark/internal/registry"
 )
 
 // Auditor is the integrator-side die-identity ledger that closes the
@@ -17,49 +18,46 @@ import (
 // Note this is batch-local bookkeeping by the verifier — not the
 // manufacturer-maintained global database the paper's PUF comparison
 // criticizes. The integrator needs no external contact.
+//
+// The ledger itself is registry.Memory scoped to one batch: the same
+// dedup kernel that backs the fleet-scale durable registry (see package
+// registry), so batch-local and fleet-scope duplicate detection agree
+// on semantics by construction.
 type Auditor struct {
-	mu   sync.Mutex
-	seen map[auditKey]int
-}
-
-type auditKey struct {
-	manufacturer string
-	dieID        uint64
+	store *registry.Memory
 }
 
 // NewAuditor returns an empty ledger.
 func NewAuditor() *Auditor {
-	return &Auditor{seen: make(map[auditKey]int)}
+	return &Auditor{store: registry.NewMemory(0)}
 }
 
 // Record notes one verified chip identity and reports whether this
 // identity was already seen in the batch (a duplicate).
 func (a *Auditor) Record(manufacturer string, dieID uint64) (duplicate bool) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	k := auditKey{manufacturer, dieID}
-	a.seen[k]++
-	return a.seen[k] > 1
+	res, _ := a.store.Enroll(registry.Enrollment{
+		Key: registry.Key{Manufacturer: manufacturer, DieID: dieID},
+	})
+	return res.Duplicate
 }
 
 // Count returns how many times an identity has been recorded.
 func (a *Auditor) Count(manufacturer string, dieID uint64) int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.seen[auditKey{manufacturer, dieID}]
+	r, ok := a.store.Lookup(registry.Key{Manufacturer: manufacturer, DieID: dieID})
+	if !ok {
+		return 0
+	}
+	return r.Count
 }
 
 // Duplicates returns every die ID recorded more than once, sorted. All
 // chips bearing these IDs — including the first-seen, which may be the
 // genuine victim — need manual disposition.
 func (a *Auditor) Duplicates() []uint64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	var out []uint64
-	for k, n := range a.seen {
-		if n > 1 {
-			out = append(out, k.dieID)
-		}
+	keys := a.store.Duplicates()
+	out := make([]uint64, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, k.DieID)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -67,11 +65,5 @@ func (a *Auditor) Duplicates() []uint64 {
 
 // Total returns the number of identities recorded (including duplicates).
 func (a *Auditor) Total() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	n := 0
-	for _, c := range a.seen {
-		n += c
-	}
-	return n
+	return int(a.store.Stats().Enrollments)
 }

@@ -1,0 +1,184 @@
+package registry
+
+// Registry benchmarks: hot-path lookup latency against a fleet-sized
+// index (1M enrolled ids; acceptance: sub-microsecond and zero
+// allocations), plus durable group-commit enrollment throughput. With
+// -regjson the results are written as BENCH_registry.json (schema
+// flashmark-bench-registry/v1), which CI gates via
+// scripts/check_bench.sh against the acceptance thresholds.
+//
+// Run: make bench-registry
+// (equivalently: go test -run xxx -bench 'RegistryLookup|RegistryEnroll' -benchtime 10000x -regjson BENCH_registry.json ./internal/registry)
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+var regJSON = flag.String("regjson", "", "write registry benchmark results to this JSON file")
+
+// regLookup is the fleet-scale read-path measurement. AllocsOp must be
+// zero and NsOp sub-microsecond: the lookup path is one atomic bump,
+// one striped RLock, one map probe.
+type regLookup struct {
+	NsOp     int64   `json:"ns_op"`
+	AllocsOp float64 `json:"allocs_op"`
+	Keys     int     `json:"keys"`
+}
+
+// regEnroll is the durable write-path measurement; AppendsPerFsync > 1
+// is group commit working (concurrent enrollers sharing fsyncs).
+type regEnroll struct {
+	NsOp            int64   `json:"ns_op"`
+	AppendsPerFsync float64 `json:"appends_per_fsync"`
+}
+
+type regReport struct {
+	Schema     string     `json:"schema"`
+	GoMaxProcs int        `json:"go_max_procs"`
+	GoVersion  string     `json:"go_version"`
+	Lookup     *regLookup `json:"lookup,omitempty"`
+	Enroll     *regEnroll `json:"enroll_durable,omitempty"`
+}
+
+var (
+	regMu  sync.Mutex
+	regOut = regReport{
+		Schema:     "flashmark-bench-registry/v1",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+)
+
+func writeRegReport() error {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if *regJSON == "" || (regOut.Lookup == nil && regOut.Enroll == nil) {
+		return nil
+	}
+	data, err := json.MarshalIndent(regOut, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(*regJSON, append(data, '\n'), 0o644)
+}
+
+// TestMain flushes the bench report after all benchmarks have finished;
+// it is a no-op for plain test runs.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if err := writeRegReport(); err != nil {
+		os.Stderr.WriteString("regjson: " + err.Error() + "\n")
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func benchNsOp(b *testing.B) int64 {
+	if b.N == 0 {
+		return 0
+	}
+	return b.Elapsed().Nanoseconds() / int64(b.N)
+}
+
+// benchFleetKeys is the enrolled-identity count for the lookup
+// benchmark — the "1M ids on file" acceptance scale.
+const benchFleetKeys = 1_000_000
+
+var (
+	benchFleetOnce sync.Once
+	benchFleet     *Memory
+)
+
+// fleetIndex builds the 1M-key index once across all b.N escalations.
+func fleetIndex() *Memory {
+	benchFleetOnce.Do(func() {
+		benchFleet = NewMemory(0)
+		var fp Fingerprint
+		for i := uint64(0); i < benchFleetKeys; i++ {
+			fp[0], fp[1], fp[2] = byte(i), byte(i>>8), byte(i>>16)
+			benchFleet.apply(Enrollment{
+				Key:         Key{Manufacturer: "acme", DieID: i},
+				Fingerprint: fp,
+				Source:      "bench",
+			})
+		}
+	})
+	return benchFleet
+}
+
+// BenchmarkRegistryLookup measures the hot read path against 1M
+// enrolled ids. Acceptance (gated in CI): 0 allocs/op, < 1 µs/op.
+func BenchmarkRegistryLookup(b *testing.B) {
+	m := fleetIndex()
+	k := Key{Manufacturer: "acme"}
+	allocs := testing.AllocsPerRun(100, func() {
+		k.DieID = 12345
+		if _, ok := m.Lookup(k); !ok {
+			b.Fatal("lookup miss")
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Stride through the id space so the probe pattern spans shards
+		// and defeats any single-line cache residency.
+		k.DieID = uint64(i*2654435761) % benchFleetKeys
+		if _, ok := m.Lookup(k); !ok {
+			b.Fatal("lookup miss")
+		}
+	}
+	b.StopTimer()
+	regMu.Lock()
+	regOut.Lookup = &regLookup{NsOp: benchNsOp(b), AllocsOp: allocs, Keys: benchFleetKeys}
+	regMu.Unlock()
+}
+
+// BenchmarkRegistryEnroll measures durable enrollment throughput with
+// real fsyncs under parallel load — the group-commit path. The
+// appends-per-fsync metric shows how many acknowledgements each fsync
+// amortizes.
+func BenchmarkRegistryEnroll(b *testing.B) {
+	dir := b.TempDir()
+	d, err := Open(dir, Options{CompactEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	var next uint64
+	var nextMu sync.Mutex
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var fp Fingerprint
+		for pb.Next() {
+			nextMu.Lock()
+			id := next
+			next++
+			nextMu.Unlock()
+			fp[0], fp[1], fp[2], fp[3] = byte(id), byte(id>>8), byte(id>>16), byte(id>>24)
+			if _, err := d.Enroll(Enrollment{
+				Key:         Key{Manufacturer: "acme", DieID: id},
+				Fingerprint: fp,
+				Source:      "bench",
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	st := d.Stats()
+	perFsync := 0.0
+	if st.WALFsyncs > 0 {
+		perFsync = float64(st.WALAppends) / float64(st.WALFsyncs)
+	}
+	b.ReportMetric(perFsync, "appends/fsync")
+	regMu.Lock()
+	regOut.Enroll = &regEnroll{NsOp: benchNsOp(b), AppendsPerFsync: perFsync}
+	regMu.Unlock()
+}

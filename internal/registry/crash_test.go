@@ -1,0 +1,351 @@
+package registry
+
+// Crash-recovery matrix: every file state a kill can leave behind —
+// torn final WAL record (killed between append and fsync), leftover
+// compaction .tmp (killed mid-snapshot-write), plus the states that
+// power loss cannot produce and recovery must therefore refuse —
+// corruption inside a sealed generation, a damaged renamed snapshot,
+// and forged length headers.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// seedStore opens a store in dir, enrolls n ids, and closes it.
+func seedStore(t *testing.T, dir string, n int) {
+	t.Helper()
+	d, err := Open(dir, Options{CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := d.Enroll(enr("acme", uint64(i), fpByte(byte(i+1)), "seed")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func appendBytes(t *testing.T, path string, b []byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+// TestRecoverTornTail simulates a kill between the WAL append and its
+// fsync: the final record is half-written. Recovery must keep every
+// earlier record, truncate the torn tail, and accept new enrollments.
+func TestRecoverTornTail(t *testing.T) {
+	frame := func(e Enrollment) []byte {
+		payload, err := appendEnrollment(nil, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return appendFrame(nil, payload)
+	}
+	full := frame(enr("acme", 1000, fpByte(9), "torn"))
+	for name, tail := range map[string][]byte{
+		"half_header":  full[:3],
+		"half_payload": full[:frameHeadBytes+5],
+		"bad_crc": func() []byte {
+			b := bytes.Clone(full)
+			b[frameHeadBytes] ^= 0xFF
+			return b
+		}(),
+		"oversized_length": func() []byte {
+			b := bytes.Clone(full)
+			binary.LittleEndian.PutUint32(b, maxRecordBytes+1)
+			return b
+		}(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			seedStore(t, dir, 5)
+			wal := filepath.Join(dir, walName(1))
+			goodSize := fileSize(t, wal)
+			appendBytes(t, wal, tail)
+
+			d, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatalf("recovery failed on torn tail: %v", err)
+			}
+			defer d.Close()
+			if got := d.Stats().Keys; got != 5 {
+				t.Fatalf("recovered %d keys, want 5", got)
+			}
+			if got := fileSize(t, wal); got != goodSize {
+				t.Fatalf("torn tail not truncated: size %d, want %d", got, goodSize)
+			}
+			// The torn record was never acknowledged; its id must be absent.
+			if d.SeenBefore(Key{Manufacturer: "acme", DieID: 1000}) {
+				t.Fatal("unacknowledged torn record resurrected")
+			}
+			// Appends continue cleanly from the truncation point.
+			if _, err := d.Enroll(enr("acme", 2000, fpByte(1), "post")); err != nil {
+				t.Fatal(err)
+			}
+			d.Close()
+			d2, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d2.Close()
+			if got := d2.Stats().Keys; got != 6 {
+				t.Fatalf("second recovery: %d keys, want 6", got)
+			}
+		})
+	}
+}
+
+// TestRecoverTornSealedGeneration plants torn bytes in a non-final WAL
+// generation — a state a crash cannot produce (generations are sealed
+// with an fsync before the next one opens). Recovery must refuse.
+func TestRecoverTornSealedGeneration(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir, 3)
+	appendBytes(t, filepath.Join(dir, walName(1)), []byte{1, 2, 3})
+	// A later generation makes generation 1 sealed.
+	f, err := os.Create(filepath.Join(dir, walName(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("torn sealed generation: err=%v, want ErrCorrupt", err)
+	}
+}
+
+// TestRecoverChecksummedGarbage plants a frame whose checksum is valid
+// but whose payload is not an enrollment — bit rot or tampering, not a
+// torn write. Recovery must refuse rather than truncate silently.
+func TestRecoverChecksummedGarbage(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir, 3)
+	garbage := []byte{recVersion + 40, 0xAA, 0xBB}
+	appendBytes(t, filepath.Join(dir, walName(1)), appendFrame(nil, garbage))
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("checksummed garbage: err=%v, want ErrCorrupt", err)
+	}
+}
+
+// TestRecoverMidCompactionTmp simulates a kill during the snapshot
+// write: a .tmp file exists alongside intact WALs. Recovery must ignore
+// and remove the .tmp and rebuild from the WALs alone.
+func TestRecoverMidCompactionTmp(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir, 7)
+	tmp := filepath.Join(dir, snapName(1)+".tmp")
+	if err := os.WriteFile(tmp, []byte("half-written snapsho"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if got := d.Stats().Keys; got != 7 {
+		t.Fatalf("recovered %d keys, want 7", got)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("leftover .tmp not removed: %v", err)
+	}
+}
+
+// compactedStore builds a store whose state lives in a snapshot.
+func compactedStore(t *testing.T, dir string, n int) {
+	t.Helper()
+	d, err := Open(dir, Options{CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := d.Enroll(enr("acme", uint64(i), fpByte(byte(i+1)), "seed")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverCorruptSnapshot damages a renamed snapshot in several ways.
+// A renamed snapshot is complete by construction, so any damage means
+// the disk lied — recovery must refuse, never load a partial state.
+func TestRecoverCorruptSnapshot(t *testing.T) {
+	for name, mutate := range map[string]func(t *testing.T, path string){
+		"truncated": func(t *testing.T, path string) {
+			if err := os.Truncate(path, fileSize(t, path)-10); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"bad_magic": func(t *testing.T, path string) {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b[0] ^= 0xFF
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"flipped_body_bit": func(t *testing.T, path string) {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b[len(snapMagic)+16+frameHeadBytes+2] ^= 0x01
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"trailing_bytes": func(t *testing.T, path string) {
+			appendBytes(t, path, []byte("x"))
+		},
+		"overstated_count": func(t *testing.T, path string) {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			binary.LittleEndian.PutUint64(b[len(snapMagic)+8:], 1<<40)
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			compactedStore(t, dir, 4)
+			mutate(t, filepath.Join(dir, snapName(1)))
+			if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("corrupt snapshot: err=%v, want ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+// TestForgedLengthHeaderAllocation proves a forged frame length cannot
+// commit a large allocation: readFrame rejects anything over the record
+// cap before allocating, even when the header claims gigabytes.
+func TestForgedLengthHeaderAllocation(t *testing.T) {
+	var head [frameHeadBytes]byte
+	binary.LittleEndian.PutUint32(head[:4], 1<<31)
+	r := bytes.NewReader(nil)
+	allocs := testing.AllocsPerRun(10, func() {
+		r.Reset(head[:])
+		if _, err := readFrame(r, nil); err != errTorn {
+			t.Fatalf("forged length: %v", err)
+		}
+	})
+	// The 8-byte header buffer may escape through the io.Reader
+	// interface call; what must never happen is a payload-sized
+	// allocation driven by the forged length.
+	if allocs > 1 {
+		t.Fatalf("forged length header caused %.0f allocs", allocs)
+	}
+}
+
+// TestReplayLogOffsets pins the byte-offset accounting replayLog feeds
+// the truncation path.
+func TestReplayLogOffsets(t *testing.T) {
+	var log []byte
+	var want int64
+	for i := 0; i < 3; i++ {
+		payload, err := appendEnrollment(nil, enr("acme", uint64(i), Fingerprint{}, "s"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame := appendFrame(nil, payload)
+		log = append(log, frame...)
+		want += int64(len(frame))
+	}
+	log = append(log, 0xDE, 0xAD) // torn tail
+	var n int
+	good, torn, err := replayLog(bytes.NewReader(log), func(Enrollment) { n++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !torn || n != 3 || good != want {
+		t.Fatalf("torn=%v n=%d good=%d want=%d", torn, n, good, want)
+	}
+	// Clean log: no tear, full offset.
+	good, torn, err = replayLog(bytes.NewReader(log[:want]), func(Enrollment) {})
+	if err != nil || torn || good != want {
+		t.Fatalf("clean replay: good=%d torn=%v err=%v", good, torn, err)
+	}
+}
+
+// TestWALRoundTrip pins the record encoding against itself for edge
+// shapes: empty fields, max-length fields, extreme ids and timestamps.
+func TestWALRoundTrip(t *testing.T) {
+	long := make([]byte, 255)
+	for i := range long {
+		long[i] = byte('a' + i%26)
+	}
+	cases := []Enrollment{
+		{},
+		enr("", 0, Fingerprint{}, ""),
+		enr(string(long), 1<<63, fpByte(0xFF), string(long)),
+		{Key: Key{Manufacturer: "m", DieID: ^uint64(0)}, Source: "s", UnixMicro: -1},
+	}
+	for i, e := range cases {
+		payload, err := appendEnrollment(nil, e)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		got, n, err := decodeEnrollment(payload)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if n != len(payload) || got != e {
+			t.Fatalf("case %d: round trip %+v -> %+v (n=%d/%d)", i, e, got, n, len(payload))
+		}
+	}
+}
+
+// TestFrameCRCIsCastagnoli pins the checksum polynomial: a different
+// table would silently orphan every existing store.
+func TestFrameCRCIsCastagnoli(t *testing.T) {
+	payload := []byte("flashmark")
+	frame := appendFrame(nil, payload)
+	got := binary.LittleEndian.Uint32(frame[4:])
+	want := crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli))
+	if got != want {
+		t.Fatalf("frame crc %08x, want castagnoli %08x", got, want)
+	}
+	r, err := readFrame(bytes.NewReader(frame), nil)
+	if err != nil || !bytes.Equal(r, payload) {
+		t.Fatalf("readFrame: %q %v", r, err)
+	}
+	if _, err := readFrame(bytes.NewReader(nil), nil); err != io.EOF {
+		t.Fatalf("empty reader: %v, want io.EOF", err)
+	}
+}

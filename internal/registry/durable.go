@@ -1,0 +1,350 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options tunes a durable store. The zero value selects production-sane
+// defaults.
+type Options struct {
+	// Shards is the in-memory index stripe count (0 selects
+	// DefaultShards).
+	Shards int
+	// CompactEvery triggers snapshot compaction once the live WAL
+	// generation holds this many records (0 selects 65536; negative
+	// disables auto-compaction — Compact can still be called manually).
+	CompactEvery int
+	// NoSync skips the per-enrollment fsync barrier. Acknowledged
+	// enrollments are then only as durable as the OS page cache —
+	// useful for bulk loads and tests, never for production.
+	NoSync bool
+}
+
+func (o Options) withDefaults() Options {
+	switch {
+	case o.CompactEvery == 0:
+		o.CompactEvery = 65536
+	case o.CompactEvery < 0:
+		o.CompactEvery = 0
+	}
+	return o
+}
+
+// ErrClosed reports use of a closed durable store.
+var ErrClosed = errors.New("registry: store is closed")
+
+// Durable is the crash-safe fleet-scope Store: the sharded Memory index
+// for reads, fronted by a write-ahead log for durability and compacted
+// into snapshots to bound recovery time.
+//
+// Write path: Enroll serializes on one mutex to append the WAL record
+// and apply the shared dedup kernel in the same order (so recovery
+// replay reproduces results exactly), then releases the mutex and waits
+// on the group-commit barrier — concurrent enrollers share fsyncs. Read
+// path: Lookup goes straight to the lock-striped index and never touches
+// the log.
+//
+// On-disk layout (inside Dir): wal-<gen>.log generations plus
+// snap-<gen>.snap snapshots, where snap-G covers every WAL generation
+// <= G. Compaction opens generation G+1, snapshots the state as snap-G,
+// then deletes obsolete files; recovery loads the newest valid snapshot
+// and replays every newer WAL generation in order, truncating a torn
+// tail on the live generation.
+type Durable struct {
+	dir  string
+	opts Options
+	mem  *Memory
+
+	mu         sync.Mutex // orders WAL appends with index application
+	wal        *walFile
+	gen        uint64 // live WAL generation
+	walRecords int64  // records in the live generation (guarded by mu)
+	closed     atomic.Bool
+
+	compactMu   sync.Mutex // one compaction at a time
+	compacting  atomic.Bool
+	walStats    walStats
+	compactions atomic.Int64
+	recovery    time.Duration
+}
+
+// Open creates or recovers a durable store in dir.
+func Open(dir string, opts Options) (*Durable, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	d := &Durable{dir: dir, opts: opts, mem: NewMemory(opts.Shards)}
+	start := time.Now()
+	if err := d.recover(); err != nil {
+		return nil, err
+	}
+	d.recovery = time.Since(start)
+	return d, nil
+}
+
+// scanDir inventories the store directory, removing leftover .tmp files
+// from interrupted compactions.
+func (d *Durable) scanDir() (walGens, snapGens []uint64, err error) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			// A crash mid-compaction: the snapshot never reached its
+			// final name, so it holds nothing the WALs don't.
+			if err := os.Remove(filepath.Join(d.dir, name)); err != nil {
+				return nil, nil, err
+			}
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+			if gen, ok := parseGen(name, "wal-", ".log"); ok {
+				walGens = append(walGens, gen)
+			}
+		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap"):
+			if gen, ok := parseGen(name, "snap-", ".snap"); ok {
+				snapGens = append(snapGens, gen)
+			}
+		}
+	}
+	sort.Slice(walGens, func(i, j int) bool { return walGens[i] < walGens[j] })
+	sort.Slice(snapGens, func(i, j int) bool { return snapGens[i] < snapGens[j] })
+	return walGens, snapGens, nil
+}
+
+func parseGen(name, prefix, suffix string) (uint64, bool) {
+	body := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+	gen, err := strconv.ParseUint(body, 10, 64)
+	return gen, err == nil
+}
+
+// recover rebuilds the index: newest valid snapshot, then every newer
+// WAL generation in ascending order.
+func (d *Durable) recover() error {
+	walGens, snapGens, err := d.scanDir()
+	if err != nil {
+		return err
+	}
+	var snapGen uint64
+	if len(snapGens) > 0 {
+		best := snapGens[len(snapGens)-1]
+		_, err := loadSnapshotFile(filepath.Join(d.dir, snapName(best)), func(ent snapEntry) {
+			d.mem.restore(ent.first.Key, ent.first, ent.fp, ent.count, ent.taint)
+		})
+		if err != nil {
+			// An atomically renamed snapshot is complete by construction;
+			// an invalid one means the disk lied. Refuse to guess.
+			return fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		snapGen = best
+	}
+	live := snapGen + 1
+	for _, gen := range walGens {
+		if gen <= snapGen {
+			continue // already folded into the snapshot
+		}
+		if gen > live {
+			live = gen
+		}
+		path := filepath.Join(d.dir, walName(gen))
+		records, err := d.replayWALFile(path, gen == walGens[len(walGens)-1])
+		if err != nil {
+			return err
+		}
+		if gen == walGens[len(walGens)-1] {
+			d.walRecords = records
+		}
+	}
+	wal, err := createWAL(filepath.Join(d.dir, walName(live)), &d.mu, &d.walStats)
+	if err != nil {
+		return err
+	}
+	d.wal = wal
+	d.gen = live
+	// Everything replayed is on disk already; start the durability
+	// cursor at the replayed record count.
+	d.wal.writeSeq = d.walRecords
+	d.wal.synced.Store(d.walRecords)
+	return nil
+}
+
+// replayWALFile applies one WAL generation to the index. A torn tail is
+// tolerated — and truncated — only on the final (live) generation;
+// earlier generations were sealed by a compaction switchover and must
+// read back whole.
+func (d *Durable) replayWALFile(path string, isLast bool) (records int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	good, torn, replayErr := replayLog(f, func(e Enrollment) {
+		d.mem.apply(e)
+		records++
+	})
+	f.Close()
+	if replayErr != nil {
+		return 0, replayErr
+	}
+	if torn {
+		if !isLast {
+			return 0, fmt.Errorf("%w: torn record inside sealed generation %s", ErrCorrupt, filepath.Base(path))
+		}
+		// Power loss mid-append: the tail record was never acknowledged.
+		// Truncate to the last good frame so the next append starts clean.
+		if err := os.Truncate(path, good); err != nil {
+			return 0, err
+		}
+		if err := syncDir(d.dir); err != nil {
+			return 0, err
+		}
+	}
+	return records, nil
+}
+
+// Enroll records one sighting, returning after the record is durable
+// (unless Options.NoSync). Result semantics are identical to Memory's:
+// the shared dedup kernel runs in WAL order.
+func (d *Durable) Enroll(e Enrollment) (EnrollResult, error) {
+	if d.closed.Load() {
+		return EnrollResult{}, ErrClosed
+	}
+	d.mu.Lock()
+	w := d.wal
+	seq, err := w.appendLocked(e)
+	if err != nil {
+		d.mu.Unlock()
+		return EnrollResult{}, err
+	}
+	res := d.mem.apply(e)
+	d.walRecords++
+	needCompact := d.opts.CompactEvery > 0 && d.walRecords >= int64(d.opts.CompactEvery)
+	d.mu.Unlock()
+	if !d.opts.NoSync {
+		if err := w.syncTo(seq); err != nil {
+			return EnrollResult{}, fmt.Errorf("registry: enrollment not durable: %w", err)
+		}
+	}
+	if needCompact && d.compacting.CompareAndSwap(false, true) {
+		err := d.Compact()
+		d.compacting.Store(false)
+		if err != nil {
+			// The enrollment itself is durable; compaction can retry on
+			// the next threshold crossing.
+			return res, fmt.Errorf("registry: compaction failed (enrollment is durable): %w", err)
+		}
+	}
+	return res, nil
+}
+
+// Lookup reads the in-memory index; it never touches the log.
+func (d *Durable) Lookup(k Key) (LookupResult, bool) { return d.mem.Lookup(k) }
+
+// SeenBefore reads the in-memory index; it never touches the log.
+func (d *Durable) SeenBefore(k Key) bool { return d.mem.SeenBefore(k) }
+
+// Stats merges the index counters with the durability counters.
+func (d *Durable) Stats() Stats {
+	s := d.mem.Stats()
+	s.WALAppends = d.walStats.appends.Load()
+	s.WALFsyncs = d.walStats.fsyncs.Load()
+	s.WALBytes = d.walStats.bytes.Load()
+	d.mu.Lock()
+	s.WALRecords = d.walRecords
+	d.mu.Unlock()
+	s.Compactions = d.compactions.Load()
+	s.Recovery = d.recovery
+	return s
+}
+
+// Compact seals the live WAL generation behind a snapshot: flush and
+// sync the old generation, switch appends to generation G+1, persist
+// the frozen state as snap-G (tmp + fsync + atomic rename + dir fsync),
+// then delete the files the snapshot covers. Lookups proceed throughout;
+// enrollments stall only for the switchover and state capture, not the
+// snapshot write.
+func (d *Durable) Compact() error {
+	if d.closed.Load() {
+		return ErrClosed
+	}
+	d.compactMu.Lock()
+	defer d.compactMu.Unlock()
+
+	d.mu.Lock()
+	if err := d.wal.flushAndSyncLocked(); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	oldGen := d.gen
+	oldWal := d.wal
+	newWal, err := createWAL(filepath.Join(d.dir, walName(oldGen+1)), &d.mu, &d.walStats)
+	if err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	d.wal = newWal
+	d.gen = oldGen + 1
+	d.walRecords = 0
+	state := make([]snapEntry, 0, d.mem.Len())
+	d.mem.Range(func(k Key, r LookupResult) bool {
+		state = append(state, snapEntry{first: r.First, fp: r.Fingerprint, count: r.Count, taint: r.Conflict})
+		return true
+	})
+	d.mu.Unlock()
+	oldWal.f.Close()
+
+	if err := writeSnapshot(d.dir, oldGen, state); err != nil {
+		// The old WAL files remain; recovery still has everything.
+		return err
+	}
+	d.compactions.Add(1)
+	d.removeObsolete(oldGen)
+	return nil
+}
+
+// removeObsolete best-effort deletes WAL generations <= gen and
+// snapshots < gen: everything snap-<gen> covers.
+func (d *Durable) removeObsolete(gen uint64) {
+	walGens, snapGens, err := d.scanDir()
+	if err != nil {
+		return
+	}
+	for _, g := range walGens {
+		if g <= gen {
+			os.Remove(filepath.Join(d.dir, walName(g)))
+		}
+	}
+	for _, g := range snapGens {
+		if g < gen {
+			os.Remove(filepath.Join(d.dir, snapName(g)))
+		}
+	}
+}
+
+// Close flushes and syncs the live WAL generation and releases the
+// store. Enrollments after Close fail with ErrClosed; Close is
+// idempotent.
+func (d *Durable) Close() error {
+	if !d.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	d.compactMu.Lock()
+	defer d.compactMu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.wal.flushAndSyncLocked(); err != nil {
+		d.wal.f.Close()
+		return err
+	}
+	return d.wal.f.Close()
+}

@@ -1,0 +1,276 @@
+package registry
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func openTest(t *testing.T, dir string, opts Options) *Durable {
+	t.Helper()
+	d, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func TestDurableEnrollAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	d := openTest(t, dir, Options{})
+	res, err := d.Enroll(enr("acme", 7, fpByte(1), "line-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 1 || res.Duplicate {
+		t.Fatalf("first enrollment: %+v", res)
+	}
+	if _, err := d.Enroll(enr("acme", 8, fpByte(2), "line-a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Enroll(enr("acme", 7, fpByte(3), "clone")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the acknowledged-enrollment guarantee — everything above
+	// must be back, including the sticky conflict on id 7.
+	d2 := openTest(t, dir, Options{})
+	lr, ok := d2.Lookup(Key{Manufacturer: "acme", DieID: 7})
+	if !ok || lr.Count != 2 || !lr.Conflict || lr.Fingerprint != fpByte(1) {
+		t.Fatalf("recovered id 7: ok=%v %+v", ok, lr)
+	}
+	if lr.First.Source != "line-a" {
+		t.Fatalf("recovered first source %q", lr.First.Source)
+	}
+	if !d2.SeenBefore(Key{Manufacturer: "acme", DieID: 8}) {
+		t.Fatal("id 8 lost across restart")
+	}
+	st := d2.Stats()
+	if st.Keys != 2 || st.Enrollments != 3 || st.Conflicts != 1 {
+		t.Fatalf("recovered stats %+v", st)
+	}
+	if st.Recovery <= 0 {
+		t.Fatal("recovery duration not recorded")
+	}
+}
+
+func TestDurableEnrollResultMatchesMemory(t *testing.T) {
+	// The two backends share one dedup kernel; feed an identical
+	// enrollment sequence to both and require identical results.
+	seq := []Enrollment{
+		enr("acme", 1, Fingerprint{}, "a"),
+		enr("acme", 1, fpByte(1), "b"),
+		enr("acme", 1, fpByte(2), "c"),
+		enr("acme", 2, fpByte(1), "d"),
+		enr("acme", 1, fpByte(1), "e"),
+	}
+	m := NewMemory(0)
+	d := openTest(t, t.TempDir(), Options{})
+	for i, e := range seq {
+		mr, _ := m.Enroll(e)
+		dr, err := d.Enroll(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mr != dr {
+			t.Fatalf("step %d: memory %+v != durable %+v", i, mr, dr)
+		}
+	}
+}
+
+func TestDurableCompactAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	d := openTest(t, dir, Options{CompactEvery: -1})
+	for i := uint64(0); i < 20; i++ {
+		if _, err := d.Enroll(enr("acme", i, fpByte(byte(i)), "s")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Enroll(enr("acme", 3, fpByte(99), "clone")) // taint id 3
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().Compactions; got != 1 {
+		t.Fatalf("compactions %d", got)
+	}
+	// Post-compaction enrollments land in the new WAL generation.
+	if _, err := d.Enroll(enr("acme", 100, fpByte(7), "late")); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().WALRecords; got != 1 {
+		t.Fatalf("live generation holds %d records, want 1", got)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Old WAL generation must be gone, snapshot present.
+	if _, err := os.Stat(filepath.Join(dir, walName(1))); !os.IsNotExist(err) {
+		t.Fatalf("compacted WAL generation still present: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapName(1))); err != nil {
+		t.Fatalf("snapshot missing: %v", err)
+	}
+
+	// Recovery = snapshot + newer WAL replay.
+	d2 := openTest(t, dir, Options{})
+	st := d2.Stats()
+	if st.Keys != 21 || st.Enrollments != 22 || st.Conflicts != 1 {
+		t.Fatalf("recovered stats %+v", st)
+	}
+	lr, ok := d2.Lookup(Key{Manufacturer: "acme", DieID: 3})
+	if !ok || !lr.Conflict || lr.Count != 2 {
+		t.Fatalf("taint lost through compaction: ok=%v %+v", ok, lr)
+	}
+	if !d2.SeenBefore(Key{Manufacturer: "acme", DieID: 100}) {
+		t.Fatal("post-compaction enrollment lost")
+	}
+}
+
+func TestDurableAutoCompact(t *testing.T) {
+	dir := t.TempDir()
+	d := openTest(t, dir, Options{CompactEvery: 10, NoSync: true})
+	for i := uint64(0); i < 35; i++ {
+		if _, err := d.Enroll(enr("acme", i, Fingerprint{}, "s")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := d.Stats()
+	if st.Compactions < 3 {
+		t.Fatalf("auto-compaction ran %d times over 35 enrolls at CompactEvery=10", st.Compactions)
+	}
+	if st.Keys != 35 {
+		t.Fatalf("keys %d", st.Keys)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2 := openTest(t, dir, Options{})
+	if got := d2.Stats().Keys; got != 35 {
+		t.Fatalf("recovered keys %d, want 35", got)
+	}
+}
+
+func TestDurableRepeatedCompactionGenerations(t *testing.T) {
+	dir := t.TempDir()
+	d := openTest(t, dir, Options{CompactEvery: -1, NoSync: true})
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 5; i++ {
+			if _, err := d.Enroll(enr("acme", uint64(round*5+i), Fingerprint{}, "s")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := d.Compact(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Only the newest snapshot and the live (empty) WAL should remain.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, ent := range entries {
+		names = append(names, ent.Name())
+	}
+	if len(names) != 2 {
+		t.Fatalf("directory holds %v, want newest snapshot + live WAL only", names)
+	}
+	d.Close()
+	d2 := openTest(t, dir, Options{})
+	if got := d2.Stats().Keys; got != 15 {
+		t.Fatalf("recovered keys %d, want 15", got)
+	}
+}
+
+func TestDurableCloseSemantics(t *testing.T) {
+	d := openTest(t, t.TempDir(), Options{})
+	if _, err := d.Enroll(enr("acme", 1, Fingerprint{}, "s")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := d.Enroll(enr("acme", 2, Fingerprint{}, "s")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("enroll after close: %v", err)
+	}
+	if err := d.Compact(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("compact after close: %v", err)
+	}
+	// Reads still work off the in-memory index after close.
+	if !d.SeenBefore(Key{Manufacturer: "acme", DieID: 1}) {
+		t.Fatal("read after close lost the index")
+	}
+}
+
+func TestDurableConcurrentEnrollGroupCommit(t *testing.T) {
+	d := openTest(t, t.TempDir(), Options{})
+	const workers = 8
+	const perWorker = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := d.Enroll(enr("acme", uint64(w*perWorker+i), fpByte(byte(w+1)), "s")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := d.Stats()
+	if st.Keys != workers*perWorker || st.Enrollments != workers*perWorker {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.WALAppends != workers*perWorker {
+		t.Fatalf("WAL appends %d, want %d", st.WALAppends, workers*perWorker)
+	}
+	if st.WALFsyncs == 0 || st.WALFsyncs > st.WALAppends {
+		t.Fatalf("fsyncs %d vs appends %d", st.WALFsyncs, st.WALAppends)
+	}
+	if st.WALFsyncs == st.WALAppends {
+		t.Logf("no fsync batching observed (fsyncs == appends == %d); legal but unexpected under %d workers", st.WALFsyncs, workers)
+	}
+}
+
+func TestDurableOpenRejectsUnwritableDir(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("root ignores directory permissions")
+	}
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o500); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if _, err := Open(filepath.Join(dir, "reg"), Options{}); err == nil {
+		t.Fatal("Open in unwritable parent should fail")
+	}
+}
+
+func TestDurableRejectsOversizedFields(t *testing.T) {
+	d := openTest(t, t.TempDir(), Options{})
+	long := strings.Repeat("x", 256)
+	if _, err := d.Enroll(enr(long, 1, Fingerprint{}, "s")); err == nil {
+		t.Fatal("256-byte manufacturer must be rejected")
+	}
+	if _, err := d.Enroll(enr("acme", 1, Fingerprint{}, long)); err == nil {
+		t.Fatal("256-byte source must be rejected")
+	}
+	// The store stays usable after a rejected append.
+	if _, err := d.Enroll(enr("acme", 1, Fingerprint{}, "s")); err != nil {
+		t.Fatal(err)
+	}
+}

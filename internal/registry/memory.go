@@ -1,0 +1,225 @@
+package registry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultShards is the lock-stripe count used when NewMemory is given 0.
+// 64 stripes keep shard-lock contention negligible at any realistic
+// verifier parallelism while costing ~3 KiB of empty maps.
+const DefaultShards = 64
+
+// Memory is the in-memory sharded enrollment index: N lock-striped
+// shards keyed by a hash of (manufacturer, die id). Reads touch exactly
+// one striped read-lock and allocate nothing, so the hot Lookup path
+// stays sub-microsecond even with millions of identities on file. It is
+// both a complete Store (the batch-local scope: counterfeit.Auditor is
+// built on it) and the runtime index of the durable backend (the fleet
+// scope) — one dedup implementation, two scopes.
+type Memory struct {
+	shards []memShard
+	mask   uint32
+
+	enrollments atomic.Int64
+	lookups     atomic.Int64
+	conflicts   atomic.Int64
+	keys        atomic.Int64
+}
+
+type memShard struct {
+	mu sync.RWMutex
+	m  map[Key]*memEntry
+}
+
+// memEntry is the per-key dedup state. first and fp are immutable once
+// set; count and taint only grow.
+type memEntry struct {
+	first Enrollment  // earliest enrollment (any fingerprint)
+	fp    Fingerprint // first non-zero fingerprint observed
+	count int
+	taint bool // two different non-zero fingerprints seen
+}
+
+// NewMemory returns an empty index with the given stripe count rounded
+// up to a power of two (0 selects DefaultShards).
+func NewMemory(shards int) *Memory {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	m := &Memory{shards: make([]memShard, n), mask: uint32(n - 1)}
+	for i := range m.shards {
+		m.shards[i].m = make(map[Key]*memEntry)
+	}
+	return m
+}
+
+// shardOf picks the stripe for a key with FNV-1a over the manufacturer
+// bytes and the die id — allocation-free and stable for the process
+// lifetime (stripe assignment never touches the durable format).
+func (m *Memory) shardOf(k Key) *memShard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(k.Manufacturer); i++ {
+		h = (h ^ uint32(k.Manufacturer[i])) * prime32
+	}
+	id := k.DieID
+	for i := 0; i < 8; i++ {
+		h = (h ^ uint32(id&0xFF)) * prime32
+		id >>= 8
+	}
+	return &m.shards[h&m.mask]
+}
+
+// Enroll records one sighting. It never fails; the error return exists
+// to satisfy Store (durable backends can fail on I/O).
+func (m *Memory) Enroll(e Enrollment) (EnrollResult, error) {
+	res := m.apply(e)
+	return res, nil
+}
+
+// apply is the shared dedup kernel: both the public Enroll and the
+// durable backend's WAL replay go through it, so batch-local audits,
+// live fleet enrollment, and crash recovery agree on duplicate and
+// conflict semantics by construction.
+func (m *Memory) apply(e Enrollment) EnrollResult {
+	s := m.shardOf(e.Key)
+	s.mu.Lock()
+	ent := s.m[e.Key]
+	if ent == nil {
+		ent = &memEntry{first: e, fp: e.Fingerprint, count: 1}
+		s.m[e.Key] = ent
+		m.keys.Add(1)
+	} else {
+		ent.count++
+		switch {
+		case ent.fp.IsZero():
+			// Adopt the first measurable fingerprint however late it shows.
+			ent.fp = e.Fingerprint
+		case e.Fingerprint.IsZero() || e.Fingerprint == ent.fp:
+			// Unknown or same physical item: no new evidence.
+		case !ent.taint:
+			ent.taint = true
+			m.conflicts.Add(1)
+		}
+	}
+	res := EnrollResult{
+		Count:     ent.count,
+		Duplicate: ent.count > 1,
+		Conflict:  ent.taint,
+		First:     ent.first,
+	}
+	s.mu.Unlock()
+	m.enrollments.Add(1)
+	return res
+}
+
+// restore installs a key's full dedup state verbatim — the snapshot
+// load path. It must only run before the store serves traffic.
+func (m *Memory) restore(k Key, first Enrollment, fp Fingerprint, count int, taint bool) {
+	s := m.shardOf(k)
+	s.mu.Lock()
+	if _, dup := s.m[k]; !dup {
+		m.keys.Add(1)
+	}
+	s.m[k] = &memEntry{first: first, fp: fp, count: count, taint: taint}
+	s.mu.Unlock()
+	m.enrollments.Add(int64(count))
+	if taint {
+		m.conflicts.Add(1)
+	}
+}
+
+// Lookup returns the read-side view of a key. The path is allocation
+// free: one atomic counter bump, one striped RLock, one map probe.
+func (m *Memory) Lookup(k Key) (LookupResult, bool) {
+	m.lookups.Add(1)
+	s := m.shardOf(k)
+	s.mu.RLock()
+	ent := s.m[k]
+	if ent == nil {
+		s.mu.RUnlock()
+		return LookupResult{}, false
+	}
+	res := LookupResult{
+		First:       ent.first,
+		Fingerprint: ent.fp,
+		Count:       ent.count,
+		Conflict:    ent.taint,
+	}
+	s.mu.RUnlock()
+	return res, true
+}
+
+// SeenBefore reports whether the key has any enrollment on file.
+func (m *Memory) SeenBefore(k Key) bool {
+	m.lookups.Add(1)
+	s := m.shardOf(k)
+	s.mu.RLock()
+	_, ok := s.m[k]
+	s.mu.RUnlock()
+	return ok
+}
+
+// Stats snapshots the counters.
+func (m *Memory) Stats() Stats {
+	return Stats{
+		Keys:        m.keys.Load(),
+		Enrollments: m.enrollments.Load(),
+		Lookups:     m.lookups.Load(),
+		Conflicts:   m.conflicts.Load(),
+	}
+}
+
+// Len returns the number of distinct keys on file.
+func (m *Memory) Len() int { return int(m.keys.Load()) }
+
+// Range calls fn for every enrolled key until fn returns false.
+// Iteration order is unspecified; fn must not call back into the same
+// Memory's write path.
+func (m *Memory) Range(fn func(k Key, r LookupResult) bool) {
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		for k, ent := range s.m {
+			r := LookupResult{
+				First:       ent.first,
+				Fingerprint: ent.fp,
+				Count:       ent.count,
+				Conflict:    ent.taint,
+			}
+			if !fn(k, r) {
+				s.mu.RUnlock()
+				return
+			}
+		}
+		s.mu.RUnlock()
+	}
+}
+
+// Duplicates returns every key enrolled more than once, sorted by
+// manufacturer then die id — the batch-audit report order.
+func (m *Memory) Duplicates() []Key {
+	var out []Key
+	m.Range(func(k Key, r LookupResult) bool {
+		if r.Count > 1 {
+			out = append(out, k)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Manufacturer != out[j].Manufacturer {
+			return out[i].Manufacturer < out[j].Manufacturer
+		}
+		return out[i].DieID < out[j].DieID
+	})
+	return out
+}

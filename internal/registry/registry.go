@@ -1,0 +1,163 @@
+// Package registry is Flashmark's fleet-scale provenance layer: a
+// crash-safe, concurrent, sharded enrollment store for verified die
+// identities. It closes the gap THREATMODEL.md attack #7 leaves open
+// when the batch-local Auditor is the only bookkeeping: a counterfeiter
+// who splits replay-imprinted clones across shipments or verification
+// sessions never collides inside one batch, but every clone must carry
+// the victim's signed die id, so a durable ledger spanning batches and
+// process lifetimes catches the collision the moment the second physical
+// chip with that identity appears.
+//
+// Two backends implement the same narrow Store interface and share one
+// dedup implementation:
+//
+//   - Memory: a lock-striped in-memory index. Scoped to a batch it *is*
+//     the old Auditor semantics; the counterfeit package builds its
+//     batch audit on it.
+//   - Durable (Open): Memory as the runtime index, fronted by an
+//     append-only WAL with checksummed, length-prefixed records and
+//     group-commit fsync batching, plus periodic snapshot compaction
+//     with atomic rename. Recovery loads the newest valid snapshot and
+//     replays every WAL generation after it; torn WAL tails are
+//     truncated cleanly, and no acknowledged enrollment is ever lost.
+//
+// Identities are keyed by (manufacturer, die id) — the pair the signed
+// watermark payload binds. Each enrollment may carry a physical
+// fingerprint: a digest of the die's physical identity (in this
+// simulation, part name + fabrication seed, the quantities that
+// generate all of a die's analog microstructure; on real hardware, a
+// measured analog signature the digital interface cannot forge). Two
+// enrollments of the same key with *different* non-zero fingerprints
+// are a conflict: two distinct physical chips claiming one identity,
+// the unambiguous signature of a replay-imprinted clone (or its
+// victim). Equal fingerprints are the same physical item re-screened —
+// a retry, not an attack.
+package registry
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"time"
+)
+
+// Key identifies one die: the (manufacturer, die id) pair bound by the
+// watermark signature.
+type Key struct {
+	Manufacturer string
+	DieID        uint64
+}
+
+// Fingerprint is a digest of a die's physical identity. The zero value
+// means "unknown" and never conflicts with anything: a verifier that
+// cannot measure the physical signature can still count appearances.
+type Fingerprint [32]byte
+
+// IsZero reports whether the fingerprint is the unknown sentinel.
+func (f Fingerprint) IsZero() bool { return f == Fingerprint{} }
+
+// String renders the fingerprint as hex.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// DeviceFingerprint derives the simulation's physical fingerprint from
+// the two quantities that generate a simulated die's entire analog
+// microstructure: the part name and the fabrication seed. It stays
+// stable across wear (verification stresses cells; the identity does
+// not move), which a raw content hash of the chip file would not.
+func DeviceFingerprint(part string, seed uint64) Fingerprint {
+	h := sha256.New()
+	h.Write([]byte("flashmark-fingerprint/v1\x00"))
+	h.Write([]byte(part))
+	h.Write([]byte{0})
+	var s [8]byte
+	binary.LittleEndian.PutUint64(s[:], seed)
+	h.Write(s[:])
+	var f Fingerprint
+	h.Sum(f[:0])
+	return f
+}
+
+// Enrollment is one recorded sighting of a die identity.
+type Enrollment struct {
+	Key         Key
+	Fingerprint Fingerprint
+	// Source labels where the sighting came from (a batch id, a station,
+	// an enrolling manufacturer line). At most 255 bytes.
+	Source string
+	// UnixMicro is the enrollment wall time in microseconds (0 = unset;
+	// the durable backend does not fill it in, callers stamp it).
+	UnixMicro int64
+}
+
+// EnrollResult reports what the store knew about the key at the moment
+// the enrollment was applied.
+type EnrollResult struct {
+	// Count is how many enrollments of this key exist, including this one.
+	Count int
+	// Duplicate is Count > 1: the identity was already on file.
+	Duplicate bool
+	// Conflict is true once the key has been enrolled under two different
+	// non-zero fingerprints — two physical chips claiming one identity.
+	// The flag is sticky: it retroactively taints every holder of the id,
+	// including the first-seen (possibly the genuine victim).
+	Conflict bool
+	// First is the earliest enrollment of the key (this one, if new).
+	First Enrollment
+}
+
+// LookupResult is the read-side view of one enrolled key.
+type LookupResult struct {
+	// First is the earliest enrollment of the key.
+	First Enrollment
+	// Fingerprint is the first non-zero fingerprint enrolled for the key
+	// (zero if every sighting was fingerprint-less).
+	Fingerprint Fingerprint
+	// Count is how many enrollments of the key exist.
+	Count int
+	// Conflict reports the sticky two-fingerprints taint.
+	Conflict bool
+}
+
+// Stats is a point-in-time snapshot of a store's counters. Memory
+// backends leave the WAL/compaction fields zero.
+type Stats struct {
+	// Keys is the number of distinct identities on file.
+	Keys int64
+	// Enrollments counts Enroll calls applied (including duplicates).
+	Enrollments int64
+	// Lookups counts Lookup/SeenBefore calls served.
+	Lookups int64
+	// Conflicts counts keys that have entered the conflicted state.
+	Conflicts int64
+
+	// WALAppends counts records appended to the write-ahead log.
+	WALAppends int64
+	// WALFsyncs counts fsync calls on the log; with group commit this
+	// grows slower than WALAppends under concurrent enrollment.
+	WALFsyncs int64
+	// WALBytes counts bytes appended to the log.
+	WALBytes int64
+	// WALRecords is the record count of the *current* log generation
+	// (reset by compaction).
+	WALRecords int64
+	// Compactions counts completed snapshot compactions.
+	Compactions int64
+	// Recovery is how long Open spent rebuilding state from disk.
+	Recovery time.Duration
+}
+
+// Store is the narrow provenance interface the rest of the system
+// programs against: the counterfeit batch audit, the fmverifyd fleet
+// registry, and tests all use the same four methods.
+type Store interface {
+	// Enroll records one sighting and reports what was known at that
+	// moment. Durable implementations return only after the record is
+	// safely on disk (the acknowledged-enrollment guarantee).
+	Enroll(e Enrollment) (EnrollResult, error)
+	// Lookup returns the read-side view of a key.
+	Lookup(k Key) (LookupResult, bool)
+	// SeenBefore reports whether the key has any enrollment on file.
+	SeenBefore(k Key) bool
+	// Stats returns the store's current counters.
+	Stats() Stats
+}

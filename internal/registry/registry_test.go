@@ -1,0 +1,266 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func enr(mfg string, die uint64, fp Fingerprint, src string) Enrollment {
+	return Enrollment{Key: Key{Manufacturer: mfg, DieID: die}, Fingerprint: fp, Source: src}
+}
+
+func fpByte(b byte) Fingerprint {
+	var f Fingerprint
+	f[0] = b
+	return f
+}
+
+func TestFingerprintZero(t *testing.T) {
+	var z Fingerprint
+	if !z.IsZero() {
+		t.Fatal("zero fingerprint should report IsZero")
+	}
+	if fpByte(1).IsZero() {
+		t.Fatal("non-zero fingerprint should not report IsZero")
+	}
+	if len(z.String()) != 64 {
+		t.Fatalf("hex rendering length %d, want 64", len(z.String()))
+	}
+}
+
+func TestDeviceFingerprintStable(t *testing.T) {
+	a := DeviceFingerprint("MX25L6406E", 42)
+	if a != DeviceFingerprint("MX25L6406E", 42) {
+		t.Fatal("fingerprint must be deterministic")
+	}
+	if a == DeviceFingerprint("MX25L6406E", 43) {
+		t.Fatal("different seeds must fingerprint differently")
+	}
+	if a == DeviceFingerprint("W25Q64", 42) {
+		t.Fatal("different parts must fingerprint differently")
+	}
+	if a.IsZero() {
+		t.Fatal("derived fingerprint must not be the unknown sentinel")
+	}
+}
+
+func TestMemoryEnrollNewAndDuplicate(t *testing.T) {
+	m := NewMemory(0)
+	res, err := m.Enroll(enr("acme", 7, fpByte(1), "line-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 1 || res.Duplicate || res.Conflict {
+		t.Fatalf("first enrollment: %+v", res)
+	}
+	if res.First.Source != "line-a" {
+		t.Fatalf("first source %q", res.First.Source)
+	}
+	res, _ = m.Enroll(enr("acme", 7, fpByte(1), "line-b"))
+	if res.Count != 2 || !res.Duplicate || res.Conflict {
+		t.Fatalf("same-fingerprint repeat: %+v", res)
+	}
+	if res.First.Source != "line-a" {
+		t.Fatalf("first enrollment must be preserved, got %q", res.First.Source)
+	}
+	// Same die id at a different manufacturer is a distinct identity.
+	res, _ = m.Enroll(enr("other", 7, fpByte(9), "line-c"))
+	if res.Duplicate {
+		t.Fatalf("cross-manufacturer id must not collide: %+v", res)
+	}
+}
+
+func TestMemoryConflictSticky(t *testing.T) {
+	m := NewMemory(4)
+	m.Enroll(enr("acme", 7, fpByte(1), "victim"))
+	res, _ := m.Enroll(enr("acme", 7, fpByte(2), "clone"))
+	if !res.Conflict {
+		t.Fatal("second fingerprint on one identity must conflict")
+	}
+	// Sticky: the original holder is now tainted too.
+	lr, ok := m.Lookup(Key{Manufacturer: "acme", DieID: 7})
+	if !ok || !lr.Conflict {
+		t.Fatalf("lookup after conflict: ok=%v %+v", ok, lr)
+	}
+	if lr.Fingerprint != fpByte(1) {
+		t.Fatal("lookup fingerprint must stay the first non-zero one")
+	}
+	// Re-seeing either fingerprint keeps the taint.
+	res, _ = m.Enroll(enr("acme", 7, fpByte(1), "victim-again"))
+	if !res.Conflict {
+		t.Fatal("taint must be sticky")
+	}
+	if got := m.Stats().Conflicts; got != 1 {
+		t.Fatalf("conflicts counter %d, want 1 (per key, not per sighting)", got)
+	}
+}
+
+func TestMemoryZeroFingerprintNeverConflicts(t *testing.T) {
+	m := NewMemory(0)
+	m.Enroll(enr("acme", 1, Fingerprint{}, "blind-station"))
+	res, _ := m.Enroll(enr("acme", 1, Fingerprint{}, "blind-station"))
+	if res.Conflict {
+		t.Fatal("two unknown fingerprints must not conflict")
+	}
+	// Late adoption: the first measurable fingerprint becomes the key's.
+	res, _ = m.Enroll(enr("acme", 1, fpByte(5), "lab"))
+	if res.Conflict {
+		t.Fatal("first non-zero fingerprint must be adopted, not conflicted")
+	}
+	lr, _ := m.Lookup(Key{Manufacturer: "acme", DieID: 1})
+	if lr.Fingerprint != fpByte(5) {
+		t.Fatal("late fingerprint not adopted")
+	}
+	// A *different* one after adoption does conflict.
+	res, _ = m.Enroll(enr("acme", 1, fpByte(6), "lab"))
+	if !res.Conflict {
+		t.Fatal("differing fingerprint after adoption must conflict")
+	}
+	// And an unknown sighting of a conflicted key stays conflicted.
+	res, _ = m.Enroll(enr("acme", 1, Fingerprint{}, "blind-station"))
+	if !res.Conflict {
+		t.Fatal("conflict must survive fingerprint-less sightings")
+	}
+}
+
+func TestMemoryLookupAndSeenBefore(t *testing.T) {
+	m := NewMemory(0)
+	k := Key{Manufacturer: "acme", DieID: 99}
+	if m.SeenBefore(k) {
+		t.Fatal("empty store claims to have seen a key")
+	}
+	if _, ok := m.Lookup(k); ok {
+		t.Fatal("empty store returned a lookup hit")
+	}
+	m.Enroll(enr("acme", 99, fpByte(3), "s"))
+	if !m.SeenBefore(k) {
+		t.Fatal("enrolled key not seen")
+	}
+	lr, ok := m.Lookup(k)
+	if !ok || lr.Count != 1 || lr.Fingerprint != fpByte(3) {
+		t.Fatalf("lookup: ok=%v %+v", ok, lr)
+	}
+	st := m.Stats()
+	if st.Keys != 1 || st.Enrollments != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Lookups == 0 {
+		t.Fatal("lookup counter did not move")
+	}
+	if st.WALAppends != 0 || st.Compactions != 0 {
+		t.Fatalf("memory backend must leave WAL fields zero: %+v", st)
+	}
+}
+
+func TestMemoryLookupAllocFree(t *testing.T) {
+	m := NewMemory(0)
+	for i := uint64(0); i < 1000; i++ {
+		m.Enroll(enr("acme", i, fpByte(byte(i)), "s"))
+	}
+	k := Key{Manufacturer: "acme", DieID: 500}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := m.Lookup(k); !ok {
+			t.Fatal("lookup miss")
+		}
+		if !m.SeenBefore(k) {
+			t.Fatal("seen-before miss")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("hot read path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestMemoryDuplicatesSorted(t *testing.T) {
+	m := NewMemory(8)
+	for _, e := range []Enrollment{
+		enr("zeta", 5, Fingerprint{}, ""),
+		enr("zeta", 5, Fingerprint{}, ""),
+		enr("acme", 9, Fingerprint{}, ""),
+		enr("acme", 9, Fingerprint{}, ""),
+		enr("acme", 2, Fingerprint{}, ""),
+		enr("acme", 2, Fingerprint{}, ""),
+		enr("acme", 1, Fingerprint{}, ""), // singleton, must not appear
+	} {
+		m.Enroll(e)
+	}
+	got := m.Duplicates()
+	want := []Key{{"acme", 2}, {"acme", 9}, {"zeta", 5}}
+	if len(got) != len(want) {
+		t.Fatalf("duplicates %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("duplicates[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMemoryRangeEarlyStop(t *testing.T) {
+	m := NewMemory(4)
+	for i := uint64(0); i < 50; i++ {
+		m.Enroll(enr("acme", i, Fingerprint{}, ""))
+	}
+	if m.Len() != 50 {
+		t.Fatalf("len %d", m.Len())
+	}
+	seen := 0
+	m.Range(func(Key, LookupResult) bool {
+		seen++
+		return seen < 10
+	})
+	if seen != 10 {
+		t.Fatalf("range visited %d after early stop, want 10", seen)
+	}
+}
+
+func TestNewMemoryShardRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, DefaultShards}, {-3, DefaultShards}, {1, 1}, {2, 2}, {3, 4}, {64, 64}, {100, 128},
+	} {
+		m := NewMemory(tc.in)
+		if len(m.shards) != tc.want {
+			t.Errorf("NewMemory(%d) has %d shards, want %d", tc.in, len(m.shards), tc.want)
+		}
+	}
+}
+
+func TestMemoryConcurrentEnroll(t *testing.T) {
+	m := NewMemory(0)
+	const workers = 8
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Every worker enrolls the same id space with its own
+				// fingerprint: each key ends up conflicted exactly once.
+				m.Enroll(enr("acme", uint64(i), fpByte(byte(w+1)), fmt.Sprintf("w%d", w)))
+				m.Lookup(Key{Manufacturer: "acme", DieID: uint64(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := m.Stats()
+	if st.Keys != perWorker {
+		t.Fatalf("keys %d, want %d", st.Keys, perWorker)
+	}
+	if st.Enrollments != workers*perWorker {
+		t.Fatalf("enrollments %d, want %d", st.Enrollments, workers*perWorker)
+	}
+	if st.Conflicts != perWorker {
+		t.Fatalf("conflicts %d, want %d (each key tainted once)", st.Conflicts, perWorker)
+	}
+	for i := 0; i < perWorker; i++ {
+		lr, ok := m.Lookup(Key{Manufacturer: "acme", DieID: uint64(i)})
+		if !ok || lr.Count != workers || !lr.Conflict {
+			t.Fatalf("key %d: ok=%v %+v", i, ok, lr)
+		}
+	}
+}
+
+var _ Store = (*Memory)(nil)
+var _ Store = (*Durable)(nil)

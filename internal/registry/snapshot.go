@@ -1,0 +1,192 @@
+package registry
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot file format:
+//
+//	header  := "FMSNAP1\n" | u64 gen (LE) | u64 keyCount (LE)
+//	body    := keyCount framed records (see wal.go), each payload an
+//	           enrollment followed by u32 count (LE) | u8 flags
+//	trailer := "FMSNPEND"
+//
+// flags bit 0 is the sticky conflict taint. The trailer plus the exact
+// key count make truncation detectable: a snapshot missing either is
+// invalid and never loaded. Compaction writes to a .tmp sibling,
+// fsyncs, atomically renames into place, then fsyncs the directory, so
+// a crash can only ever leave (a) an ignorable .tmp or (b) a complete
+// snapshot — never a half-written one under the final name.
+const (
+	snapMagic   = "FMSNAP1\n"
+	snapTrailer = "FMSNPEND"
+	flagTaint   = 1
+)
+
+// snapEntry is one key's full dedup state, as persisted.
+type snapEntry struct {
+	first Enrollment
+	fp    Fingerprint
+	count int
+	taint bool
+}
+
+// appendSnapEntry encodes one snapshot body payload. The entry's
+// first-nonzero fingerprint rides in the enrollment slot when the first
+// enrollment itself was fingerprint-less, so restore reproduces the
+// in-memory entry exactly.
+func appendSnapEntry(dst []byte, ent snapEntry) ([]byte, error) {
+	dst, err := appendEnrollment(dst, ent.first)
+	if err != nil {
+		return nil, err
+	}
+	dst = append(dst, ent.fp[:]...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(ent.count))
+	var flags byte
+	if ent.taint {
+		flags |= flagTaint
+	}
+	return append(dst, flags), nil
+}
+
+// decodeSnapEntry parses one snapshot body payload.
+func decodeSnapEntry(p []byte) (snapEntry, error) {
+	var ent snapEntry
+	e, n, err := decodeEnrollment(p)
+	if err != nil {
+		return ent, err
+	}
+	rest := p[n:]
+	if len(rest) != 32+4+1 {
+		return ent, fmt.Errorf("registry: snapshot entry has %d trailing bytes, want 37", len(rest))
+	}
+	ent.first = e
+	copy(ent.fp[:], rest)
+	ent.count = int(binary.LittleEndian.Uint32(rest[32:]))
+	if ent.count < 1 {
+		return ent, fmt.Errorf("registry: snapshot entry count %d", ent.count)
+	}
+	ent.taint = rest[36]&flagTaint != 0
+	return ent, nil
+}
+
+// writeSnapshot persists the state covering WAL generations <= gen,
+// using the tmp + fsync + rename + dir-fsync discipline.
+func writeSnapshot(dir string, gen uint64, entries []snapEntry) error {
+	final := filepath.Join(dir, snapName(gen))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	head := make([]byte, 0, len(snapMagic)+16)
+	head = append(head, snapMagic...)
+	head = binary.LittleEndian.AppendUint64(head, gen)
+	head = binary.LittleEndian.AppendUint64(head, uint64(len(entries)))
+	if _, err := w.Write(head); err != nil {
+		f.Close()
+		return err
+	}
+	var scratch, payload []byte
+	for _, ent := range entries {
+		payload, err = appendSnapEntry(payload[:0], ent)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		scratch = appendFrame(scratch[:0], payload)
+		if _, err := w.Write(scratch); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if _, err := w.WriteString(snapTrailer); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// readSnapshot parses a snapshot stream, calling restore for each
+// entry. Any deviation — bad magic, bad frame, short body, missing
+// trailer, count mismatch — fails the whole load: snapshots are valid
+// in full or not at all.
+func readSnapshot(r io.Reader, restore func(snapEntry)) (gen uint64, err error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(snapMagic)+16)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return 0, fmt.Errorf("registry: snapshot header: %w", err)
+	}
+	if string(head[:len(snapMagic)]) != snapMagic {
+		return 0, fmt.Errorf("registry: bad snapshot magic")
+	}
+	gen = binary.LittleEndian.Uint64(head[len(snapMagic):])
+	count := binary.LittleEndian.Uint64(head[len(snapMagic)+8:])
+	var buf []byte
+	// The declared count caps the loop but never a preallocation:
+	// entries materialize one bounded record at a time, so a forged
+	// count cannot commit memory.
+	for i := uint64(0); i < count; i++ {
+		payload, rerr := readFrame(br, buf)
+		if rerr != nil {
+			return 0, fmt.Errorf("registry: snapshot entry %d: unreadable", i)
+		}
+		buf = payload
+		ent, derr := decodeSnapEntry(payload)
+		if derr != nil {
+			return 0, fmt.Errorf("registry: snapshot entry %d: %w", i, derr)
+		}
+		restore(ent)
+	}
+	trailer := make([]byte, len(snapTrailer))
+	if _, err := io.ReadFull(br, trailer); err != nil || string(trailer) != snapTrailer {
+		return 0, fmt.Errorf("registry: snapshot trailer missing")
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return 0, fmt.Errorf("registry: trailing bytes after snapshot trailer")
+	}
+	return gen, nil
+}
+
+// loadSnapshotFile validates and loads one snapshot file into restore.
+func loadSnapshotFile(path string, restore func(snapEntry)) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return readSnapshot(f, restore)
+}
+
+func snapName(gen uint64) string { return fmt.Sprintf("snap-%016d.snap", gen) }
+func walName(gen uint64) string  { return fmt.Sprintf("wal-%016d.log", gen) }
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,266 @@
+package registry
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Record wire format, shared by the WAL and the snapshot body:
+//
+//	frame   := u32 payloadLen (LE) | u32 crc32c(payload) | payload
+//	payload := u8 version
+//	           u8 len(manufacturer) | manufacturer bytes
+//	           u64 dieID (LE)
+//	           32B fingerprint
+//	           u8 len(source) | source bytes
+//	           i64 unixMicro (LE)
+//
+// Snapshot payloads append `u32 count | u8 flags` after the enrollment.
+// Payload length is hard-capped at maxRecordBytes so a forged length
+// header can never commit a large allocation: decoding works in small,
+// bounded buffers no matter what the header claims.
+const (
+	recVersion     = 1
+	frameHeadBytes = 8
+	maxRecordBytes = 4096
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errTorn marks a record that stops cleanly at the tail of a log: a
+// truncated frame, a length beyond the cap, or a checksum mismatch.
+// Recovery truncates the file at the last good offset and continues.
+var errTorn = errors.New("registry: torn log record")
+
+// ErrCorrupt reports damage that power loss cannot explain: torn bytes
+// in the middle of a closed log generation, or an invalid snapshot that
+// was atomically renamed into place. Recovery refuses to guess.
+var ErrCorrupt = errors.New("registry: corrupt store")
+
+// appendEnrollment encodes e onto dst in the payload format.
+func appendEnrollment(dst []byte, e Enrollment) ([]byte, error) {
+	if len(e.Key.Manufacturer) > 255 {
+		return nil, fmt.Errorf("registry: manufacturer exceeds 255 bytes")
+	}
+	if len(e.Source) > 255 {
+		return nil, fmt.Errorf("registry: source label exceeds 255 bytes")
+	}
+	dst = append(dst, recVersion)
+	dst = append(dst, byte(len(e.Key.Manufacturer)))
+	dst = append(dst, e.Key.Manufacturer...)
+	dst = binary.LittleEndian.AppendUint64(dst, e.Key.DieID)
+	dst = append(dst, e.Fingerprint[:]...)
+	dst = append(dst, byte(len(e.Source)))
+	dst = append(dst, e.Source...)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(e.UnixMicro))
+	return dst, nil
+}
+
+// decodeEnrollment parses one enrollment payload, returning the number
+// of bytes consumed (snapshot payloads carry trailing fields).
+func decodeEnrollment(p []byte) (Enrollment, int, error) {
+	var e Enrollment
+	if len(p) < 2 {
+		return e, 0, fmt.Errorf("registry: enrollment record too short")
+	}
+	if p[0] != recVersion {
+		return e, 0, fmt.Errorf("registry: unknown record version %d", p[0])
+	}
+	off := 1
+	mfgLen := int(p[off])
+	off++
+	if len(p) < off+mfgLen+8+32+1 {
+		return e, 0, fmt.Errorf("registry: enrollment record truncated")
+	}
+	e.Key.Manufacturer = string(p[off : off+mfgLen])
+	off += mfgLen
+	e.Key.DieID = binary.LittleEndian.Uint64(p[off:])
+	off += 8
+	copy(e.Fingerprint[:], p[off:])
+	off += 32
+	srcLen := int(p[off])
+	off++
+	if len(p) < off+srcLen+8 {
+		return e, 0, fmt.Errorf("registry: enrollment record truncated")
+	}
+	e.Source = string(p[off : off+srcLen])
+	off += srcLen
+	e.UnixMicro = int64(binary.LittleEndian.Uint64(p[off:]))
+	off += 8
+	return e, off, nil
+}
+
+// appendFrame wraps payload in the length+checksum frame.
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+	return append(dst, payload...)
+}
+
+// readFrame reads one frame from r into buf (reused across calls). A
+// clean EOF at a frame boundary returns io.EOF; anything that stops
+// mid-record — short header, short payload, oversized length, checksum
+// mismatch — returns errTorn.
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var head [frameHeadBytes]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, errTorn
+	}
+	n := binary.LittleEndian.Uint32(head[:4])
+	if n > maxRecordBytes {
+		return nil, errTorn
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, errTorn
+	}
+	if crc32.Checksum(buf, castagnoli) != binary.LittleEndian.Uint32(head[4:]) {
+		return nil, errTorn
+	}
+	return buf, nil
+}
+
+// replayLog reads every valid enrollment record from r, invoking apply
+// for each, and returns the byte offset just past the last good record
+// plus whether the log ended in a torn record.
+func replayLog(r io.Reader, apply func(Enrollment)) (good int64, torn bool, err error) {
+	br := bufio.NewReader(r)
+	var buf []byte
+	for {
+		payload, rerr := readFrame(br, buf)
+		if rerr == io.EOF {
+			return good, false, nil
+		}
+		if rerr != nil {
+			return good, true, nil
+		}
+		buf = payload
+		e, n, derr := decodeEnrollment(payload)
+		if derr != nil || n != len(payload) {
+			// A checksummed frame holding garbage is not a torn write.
+			return good, true, fmt.Errorf("%w: undecodable WAL record at offset %d", ErrCorrupt, good)
+		}
+		apply(e)
+		good += frameHeadBytes + int64(len(payload))
+	}
+}
+
+// walStats aggregates append/fsync counters across WAL generations; the
+// Durable owner shares one instance with every generation it opens.
+type walStats struct {
+	appends atomic.Int64
+	fsyncs  atomic.Int64
+	bytes   atomic.Int64
+}
+
+// walFile is one open WAL generation. Appends are serialized by the
+// owning Durable's mutex (shared via mu); syncTo implements group
+// commit: concurrent enrollers pile up on syncMu and the first one
+// through fsyncs everything flushed so far, so under load the fsync
+// count grows far slower than the append count.
+type walFile struct {
+	mu *sync.Mutex // the owning Durable's write mutex
+	f  *os.File
+	w  *bufio.Writer
+	st *walStats
+
+	writeSeq int64        // records appended (guarded by mu)
+	syncMu   sync.Mutex   // group-commit leader election
+	synced   atomic.Int64 // highest writeSeq known durable
+	scratch  []byte       // frame build buffer (guarded by mu)
+}
+
+// createWAL opens (creating or appending) the WAL generation file.
+func createWAL(path string, mu *sync.Mutex, st *walStats) (*walFile, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &walFile{mu: mu, f: f, w: bufio.NewWriter(f), st: st}, nil
+}
+
+// appendLocked encodes and buffers one record; the caller holds mu.
+// Durability is the caller's next syncTo call.
+func (w *walFile) appendLocked(e Enrollment) (seq int64, err error) {
+	w.scratch = w.scratch[:0]
+	payload, err := appendEnrollment(nil, e)
+	if err != nil {
+		return 0, err
+	}
+	w.scratch = appendFrame(w.scratch, payload)
+	if _, err := w.w.Write(w.scratch); err != nil {
+		return 0, err
+	}
+	w.writeSeq++
+	w.st.appends.Add(1)
+	w.st.bytes.Add(int64(len(w.scratch)))
+	return w.writeSeq, nil
+}
+
+// syncTo blocks until record seq is durable. Group commit: whoever wins
+// syncMu flushes and fsyncs on behalf of everyone queued behind it.
+func (w *walFile) syncTo(seq int64) error {
+	if w.synced.Load() >= seq {
+		return nil
+	}
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	if w.synced.Load() >= seq {
+		return nil
+	}
+	w.mu.Lock()
+	if w.synced.Load() >= seq {
+		// A compaction switchover synced this generation meanwhile.
+		w.mu.Unlock()
+		return nil
+	}
+	target := w.writeSeq
+	err := w.w.Flush()
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.st.fsyncs.Add(1)
+	storeMax(&w.synced, target)
+	return nil
+}
+
+// flushAndSyncLocked makes everything appended so far durable; the
+// caller holds mu (compaction switchover and Close use it).
+func (w *walFile) flushAndSyncLocked() error {
+	target := w.writeSeq
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.st.fsyncs.Add(1)
+	storeMax(&w.synced, target)
+	return nil
+}
+
+func storeMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if cur >= v || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

@@ -35,7 +35,11 @@ type ChipReport struct {
 	SampledDataSegments int            `json:"sampledDataSegments"`
 	Fault               string         `json:"fault,omitempty"`
 	DeviceTimeUs        int64          `json:"deviceTimeUs"`
-	Error               string         `json:"error,omitempty"`
+	// Provenance explains a registry escalation: why a physics-GENUINE
+	// chip was answered DUPLICATE-ID. Only set when the server runs
+	// with a fleet registry; escalated reports are not cached.
+	Provenance string `json:"provenance,omitempty"`
+	Error      string `json:"error,omitempty"`
 }
 
 // PayloadReport is the decoded watermark payload, present when the chip
@@ -202,13 +206,15 @@ func chipKey(raw []byte) string {
 	return hex.EncodeToString(sum[:])
 }
 
-// screenCached serves one chip through the registry cache: a hit skips
+// screenCached serves one chip through the verdict cache: a hit skips
 // parsing and verification entirely, a miss computes and populates.
+// Cached entries hold the physics verdict only — the provenance overlay
+// (applyProvenance/batchProvenance) runs per request on top, and the
+// caller counts the final verdict into the metrics.
 func (s *Server) screenCached(ctx context.Context, raw []byte) ([]byte, counterfeit.Verdict, bool, *httpError) {
 	key := chipKey(raw)
 	if body, verdict, ok := s.cache.Get(key); ok {
 		s.met.cacheHit.Inc()
-		s.countChip(verdict)
 		return body, verdict, true, nil
 	}
 	s.met.cacheMiss.Inc()
@@ -217,7 +223,6 @@ func (s *Server) screenCached(ctx context.Context, raw []byte) ([]byte, counterf
 		return nil, 0, false, herr
 	}
 	s.cache.Put(key, body, verdict)
-	s.countChip(verdict)
 	return body, verdict, false, nil
 }
 
@@ -255,10 +260,18 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, herr.status, herr.msg)
 		return
 	}
-	// A cache hit bypasses admission: it consumes no verification worker.
+	// A cache hit bypasses admission: it consumes no verification
+	// worker. The provenance overlay still applies — escalation depends
+	// on live registry state, which is exactly what the cache omits.
 	key := chipKey(raw)
 	if body, verdict, ok := s.cache.Get(key); ok {
 		s.met.cacheHit.Inc()
+		body, verdict, herr := s.applyProvenance(body, verdict)
+		if herr != nil {
+			s.met.errors.Inc()
+			writeError(w, herr.status, herr.msg)
+			return
+		}
 		s.countChip(verdict)
 		w.Header().Set("X-Cache", "hit")
 		writeJSONBody(w, http.StatusOK, body)
@@ -285,6 +298,13 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, herr.status, herr.msg)
 		return
 	}
+	body, verdict, herr = s.applyProvenance(body, verdict)
+	if herr != nil {
+		s.met.errors.Inc()
+		writeError(w, herr.status, herr.msg)
+		return
+	}
+	s.countChip(verdict)
 	if cached {
 		w.Header().Set("X-Cache", "hit")
 	} else {
@@ -382,18 +402,33 @@ func (s *Server) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "batch verification failed: "+err.Error())
 		return
 	}
+	// Registry post-pass: serial, in input order, after the parallel
+	// physics fan-out — the response stays byte-deterministic no matter
+	// how the fan-out was scheduled.
+	bodies := make([][]byte, len(outcomes))
+	verdicts := make([]counterfeit.Verdict, len(outcomes))
+	failed := make([]bool, len(outcomes))
+	for i, o := range outcomes {
+		bodies[i], verdicts[i], failed[i] = o.body, o.verdict, o.failed
+	}
+	if herr := s.batchProvenance(bodies, verdicts, failed); herr != nil {
+		s.met.errors.Inc()
+		writeError(w, herr.status, herr.msg)
+		return
+	}
 	resp := BatchResponse{
 		Results: make([]json.RawMessage, len(outcomes)),
 		Summary: BatchSummary{Chips: len(outcomes), Verdicts: make(map[string]int)},
 	}
-	for i, o := range outcomes {
-		resp.Results[i] = o.body
-		if o.failed {
+	for i := range outcomes {
+		resp.Results[i] = bodies[i]
+		if failed[i] {
 			resp.Summary.Failed++
 			continue
 		}
-		resp.Summary.Verdicts[o.verdict.String()]++
-		if o.verdict.Accepted() {
+		s.countChip(verdicts[i])
+		resp.Summary.Verdicts[verdicts[i].String()]++
+		if verdicts[i].Accepted() {
 			resp.Summary.Accepted++
 		} else {
 			resp.Summary.Refused++

@@ -1,0 +1,324 @@
+package service
+
+// Provenance: the service-side face of the fleet-scale registry. With
+// Config.Provenance set, fmverifyd keeps a durable ledger of which
+// physical chip (fingerprint) owns each signed die identity, across
+// batches and process restarts:
+//
+//   - POST /v1/enroll screens a chip and, if it verifies GENUINE,
+//     records (manufacturer, die id) -> fingerprint in the registry.
+//   - /v1/verify and /v1/verify/batch escalate a physics-GENUINE chip
+//     to DUPLICATE-ID when its die id is on file under a different
+//     physical fingerprint (or the id is already conflicted) — the
+//     replay-imprint clone caught even when clone and victim never
+//     meet in one batch.
+//   - /v1/verify/batch additionally cross-checks the batch against
+//     itself with the same dedup kernel, scoped to the request.
+//
+// Escalation happens outside the verdict cache: cached entries hold the
+// physics verdict (a pure function of the chip bytes), and the registry
+// overlay is applied per request, serially in input order, so responses
+// stay deterministic for a given registry state.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"github.com/flashmark/flashmark/internal/counterfeit"
+	"github.com/flashmark/flashmark/internal/metrics"
+	"github.com/flashmark/flashmark/internal/registry"
+)
+
+// EnrollReport is the response body of POST /v1/enroll.
+type EnrollReport struct {
+	SHA256       string `json:"sha256"`
+	Manufacturer string `json:"manufacturer"`
+	DieID        uint64 `json:"dieId"`
+	Fingerprint  string `json:"fingerprint"`
+	// Verdict is the screening verdict: GENUINE for a clean enrollment,
+	// DUPLICATE-ID when the identity is now claimed by more than one
+	// physical chip.
+	Verdict  string `json:"verdict"`
+	Accepted bool   `json:"accepted"`
+	// Count is how many enrollments of this identity exist, this one
+	// included; Duplicate is Count > 1 (same physical chip re-enrolled
+	// is a duplicate but not a conflict).
+	Count     int  `json:"count"`
+	Duplicate bool `json:"duplicate"`
+	Conflict  bool `json:"conflict"`
+}
+
+// registerRegistryGauges exposes the provenance store's counters on
+// /metrics; called once at New when a store is configured.
+func registerRegistryGauges(reg *metrics.Registry, store registry.Store) {
+	reg.GaugeFunc("fmregistry_keys", "distinct die identities on file",
+		func() int64 { return store.Stats().Keys })
+	reg.GaugeFunc("fmregistry_enrollments", "enrollments applied, duplicates included",
+		func() int64 { return store.Stats().Enrollments })
+	reg.GaugeFunc("fmregistry_conflicts", "die identities claimed by multiple physical fingerprints",
+		func() int64 { return store.Stats().Conflicts })
+	reg.GaugeFunc("fmregistry_lookups", "registry lookups served",
+		func() int64 { return store.Stats().Lookups })
+	reg.GaugeFunc("fmregistry_wal_appends_total", "records appended to the registry WAL",
+		func() int64 { return store.Stats().WALAppends })
+	reg.GaugeFunc("fmregistry_wal_fsyncs_total", "fsyncs of the registry WAL (group commit batches these)",
+		func() int64 { return store.Stats().WALFsyncs })
+	reg.GaugeFunc("fmregistry_compactions_total", "registry snapshot compactions completed",
+		func() int64 { return store.Stats().Compactions })
+	reg.GaugeFunc("fmregistry_recovery_us", "microseconds the last Open spent rebuilding registry state",
+		func() int64 { return store.Stats().Recovery.Microseconds() })
+}
+
+// chipIdentity extracts the registry key and physical fingerprint from a
+// screened report. Only a physics-accepted chip with a decoded payload
+// has an identity worth checking: every other verdict is already refused.
+func chipIdentity(rep *ChipReport) (registry.Key, registry.Fingerprint, bool) {
+	if rep.Payload == nil || !rep.Accepted {
+		return registry.Key{}, registry.Fingerprint{}, false
+	}
+	k := registry.Key{Manufacturer: rep.Payload.Manufacturer, DieID: rep.Payload.DieID}
+	return k, registry.DeviceFingerprint(rep.Part, rep.Seed), true
+}
+
+// fleetReason consults the fleet registry for a verdict escalation:
+// non-empty when the chip's die id is on file conflicted, or under a
+// different physical fingerprint. The chip that enrolled the id checks
+// back clean (same fingerprint), so re-verifying enrolled stock is safe.
+func (s *Server) fleetReason(k registry.Key, fp registry.Fingerprint) string {
+	lr, ok := s.cfg.Provenance.Lookup(k)
+	if !ok {
+		return ""
+	}
+	if lr.Conflict {
+		return "die id enrolled by multiple physical fingerprints in the fleet registry"
+	}
+	if !lr.Fingerprint.IsZero() && lr.Fingerprint != fp {
+		return "die id already enrolled under a different physical fingerprint"
+	}
+	return ""
+}
+
+// escalate rewrites a physics report as DUPLICATE-ID with the given
+// provenance note, returning the new body and verdict.
+func (s *Server) escalate(rep *ChipReport, reason string) ([]byte, counterfeit.Verdict, *httpError) {
+	rep.Verdict = counterfeit.VerdictDuplicateID.String()
+	rep.Accepted = false
+	rep.Provenance = reason
+	body, err := json.Marshal(rep)
+	if err != nil {
+		return nil, 0, &httpError{http.StatusInternalServerError, "encoding report: " + err.Error()}
+	}
+	s.met.escalations.Inc()
+	return body, counterfeit.VerdictDuplicateID, nil
+}
+
+// applyProvenance overlays the fleet registry on one screened chip:
+// the identity of a physics-GENUINE report is checked against the store
+// and the report escalated to DUPLICATE-ID on a mismatch. No-op without
+// a configured store.
+func (s *Server) applyProvenance(body []byte, verdict counterfeit.Verdict) ([]byte, counterfeit.Verdict, *httpError) {
+	if s.cfg.Provenance == nil || verdict != counterfeit.VerdictGenuine {
+		return body, verdict, nil
+	}
+	var rep ChipReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		return nil, 0, &httpError{http.StatusInternalServerError, "decoding report: " + err.Error()}
+	}
+	k, fp, ok := chipIdentity(&rep)
+	if !ok {
+		return body, verdict, nil
+	}
+	if reason := s.fleetReason(k, fp); reason != "" {
+		return s.escalate(&rep, reason)
+	}
+	return body, verdict, nil
+}
+
+// batchProvenance overlays the registry on a whole batch, serially and
+// in input order so the response bytes are deterministic regardless of
+// how the physics fan-out was scheduled. Two passes: every accepted
+// identity is first enrolled into a request-scoped Memory (the same
+// dedup kernel as the fleet store), then every item whose identity is
+// tainted — against the fleet or within the batch — is escalated. The
+// second pass makes the taint retroactive: the batch's first holder of
+// a duplicated id is flagged too. Identical chip bytes repeated in one
+// batch carry the same fingerprint and do not escalate, so client
+// retries stay safe.
+func (s *Server) batchProvenance(bodies [][]byte, verdicts []counterfeit.Verdict, failed []bool) *httpError {
+	if s.cfg.Provenance == nil {
+		return nil
+	}
+	type item struct {
+		rep    ChipReport
+		key    registry.Key
+		fp     registry.Fingerprint
+		track  bool
+		reason string
+	}
+	items := make([]item, len(bodies))
+	batch := registry.NewMemory(0)
+	for i := range bodies {
+		if failed[i] || verdicts[i] != counterfeit.VerdictGenuine {
+			continue
+		}
+		it := &items[i]
+		if err := json.Unmarshal(bodies[i], &it.rep); err != nil {
+			return &httpError{http.StatusInternalServerError, "decoding report: " + err.Error()}
+		}
+		k, fp, ok := chipIdentity(&it.rep)
+		if !ok {
+			continue
+		}
+		it.key, it.fp, it.track = k, fp, true
+		it.reason = s.fleetReason(k, fp)
+		batch.Enroll(registry.Enrollment{Key: k, Fingerprint: fp, Source: "batch"})
+	}
+	for i := range items {
+		it := &items[i]
+		if !it.track {
+			continue
+		}
+		reason := it.reason
+		if reason == "" {
+			if lr, ok := batch.Lookup(it.key); ok && lr.Conflict {
+				reason = "die id appears on multiple physical chips in this batch"
+			}
+		}
+		if reason == "" {
+			continue
+		}
+		body, verdict, herr := s.escalate(&it.rep, reason)
+		if herr != nil {
+			return herr
+		}
+		bodies[i], verdicts[i] = body, verdict
+	}
+	return nil
+}
+
+// handleEnroll answers POST /v1/enroll: screen the chip, and if it
+// verifies GENUINE, record its identity in the fleet registry. The
+// response reports what the registry knew: a conflict means this
+// physical chip is the second claimant of the die id.
+func (s *Server) handleEnroll(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.met.requests.Inc()
+	defer func() { s.met.latency.ObserveDuration(time.Since(start)) }()
+	if r.Method != http.MethodPost {
+		s.met.errors.Inc()
+		writeError(w, http.StatusMethodNotAllowed, "use POST with a chip file body")
+		return
+	}
+	if s.cfg.Provenance == nil {
+		s.met.errors.Inc()
+		writeError(w, http.StatusNotImplemented, "no fleet registry configured (start fmverifyd with -registry-dir)")
+		return
+	}
+	done, ok := s.beginRequest()
+	if !ok {
+		s.met.errors.Inc()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	defer done()
+	raw, herr := s.readBody(w, r)
+	if herr != nil {
+		s.met.errors.Inc()
+		writeError(w, herr.status, herr.msg)
+		return
+	}
+	release, err := s.gate.acquire(r.Context())
+	if err != nil {
+		if err == errOverloaded {
+			s.met.rejected.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "verification queue is full; retry later")
+			return
+		}
+		s.met.errors.Inc()
+		writeError(w, statusClientClosedRequest, "client canceled while queued")
+		return
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	body, verdict, _, herr := s.screenCached(ctx, raw)
+	if herr != nil {
+		s.met.errors.Inc()
+		writeError(w, herr.status, herr.msg)
+		return
+	}
+	var rep ChipReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		s.met.errors.Inc()
+		writeError(w, http.StatusInternalServerError, "decoding report: "+err.Error())
+		return
+	}
+	k, fp, ok := chipIdentity(&rep)
+	if !ok {
+		s.countChip(verdict)
+		s.met.errors.Inc()
+		writeError(w, http.StatusUnprocessableEntity,
+			"only chips that verify GENUINE can be enrolled; this chip screened "+rep.Verdict)
+		return
+	}
+	source := r.URL.Query().Get("source")
+	if source == "" {
+		source = "fmverifyd"
+	}
+	res, err := s.cfg.Provenance.Enroll(registry.Enrollment{
+		Key:         k,
+		Fingerprint: fp,
+		Source:      source,
+		UnixMicro:   time.Now().UnixMicro(),
+	})
+	if err != nil {
+		s.met.errors.Inc()
+		writeError(w, http.StatusInternalServerError, "enrollment failed: "+err.Error())
+		return
+	}
+	s.met.enrolls.Inc()
+	if res.Duplicate {
+		s.met.enrollDuplicates.Inc()
+	}
+	if res.Conflict {
+		s.met.enrollConflicts.Inc()
+	}
+	out := EnrollReport{
+		SHA256:       rep.SHA256,
+		Manufacturer: k.Manufacturer,
+		DieID:        k.DieID,
+		Fingerprint:  fp.String(),
+		Verdict:      counterfeit.VerdictGenuine.String(),
+		Accepted:     true,
+		Count:        res.Count,
+		Duplicate:    res.Duplicate,
+		Conflict:     res.Conflict,
+	}
+	if res.Conflict {
+		out.Verdict = counterfeit.VerdictDuplicateID.String()
+		out.Accepted = false
+	}
+	s.countChip(verdictFromEnroll(res))
+	respBody, merr := json.Marshal(out)
+	if merr != nil {
+		s.met.errors.Inc()
+		writeError(w, http.StatusInternalServerError, "encoding report: "+merr.Error())
+		return
+	}
+	s.logf("enroll %s/%d (%s) -> count=%d conflict=%v in %v",
+		k.Manufacturer, k.DieID, rep.SHA256[:12], res.Count, res.Conflict,
+		time.Since(start).Round(time.Millisecond))
+	writeJSONBody(w, http.StatusOK, respBody)
+}
+
+// verdictFromEnroll maps an enrollment outcome onto the verdict
+// counters: a conflicted enrollment is a caught DUPLICATE-ID.
+func verdictFromEnroll(res registry.EnrollResult) counterfeit.Verdict {
+	if res.Conflict {
+		return counterfeit.VerdictDuplicateID
+	}
+	return counterfeit.VerdictGenuine
+}

@@ -30,6 +30,7 @@ import (
 	"github.com/flashmark/flashmark/internal/counterfeit"
 	"github.com/flashmark/flashmark/internal/device"
 	"github.com/flashmark/flashmark/internal/metrics"
+	"github.com/flashmark/flashmark/internal/registry"
 )
 
 // Config assembles a Server. The zero value of every field selects a
@@ -62,6 +63,14 @@ type Config struct {
 	// Decorate, when set, wraps every loaded device before verification
 	// — the chaos/testing seam for fault injectors and recorders.
 	Decorate func(device.Device) device.Device
+
+	// Provenance, when set, is the fleet-scale die-identity registry:
+	// POST /v1/enroll records verified identities into it, and the
+	// verify endpoints escalate physics-GENUINE chips to DUPLICATE-ID
+	// when their die id is on file under a different physical
+	// fingerprint (see internal/registry). The server does not close
+	// the store; the owner does.
+	Provenance registry.Store
 
 	// Registry receives the service metrics (nil creates a private one).
 	Registry *metrics.Registry
@@ -114,6 +123,11 @@ type serviceMetrics struct {
 	chips     *metrics.Counter
 	verdicts  map[counterfeit.Verdict]*metrics.Counter
 	latency   *metrics.Histogram
+
+	enrolls          *metrics.Counter
+	enrollDuplicates *metrics.Counter
+	enrollConflicts  *metrics.Counter
+	escalations      *metrics.Counter
 }
 
 func newServiceMetrics(reg *metrics.Registry, g *gate, cache *verdictCache) *serviceMetrics {
@@ -135,6 +149,10 @@ func newServiceMetrics(reg *metrics.Registry, g *gate, cache *verdictCache) *ser
 		name := "fmverifyd_verdict_" + strings.ToLower(strings.ReplaceAll(v.String(), "-", "_")) + "_total"
 		m.verdicts[v] = reg.Counter(name, "chips classified "+v.String())
 	}
+	m.enrolls = reg.Counter("fmverifyd_enroll_total", "identities enrolled into the fleet registry")
+	m.enrollDuplicates = reg.Counter("fmverifyd_enroll_duplicates_total", "enrollments of an identity already on file")
+	m.enrollConflicts = reg.Counter("fmverifyd_enroll_conflicts_total", "enrollments that made an identity conflicted")
+	m.escalations = reg.Counter("fmverifyd_provenance_escalations_total", "physics-GENUINE chips escalated to DUPLICATE-ID by the registry")
 	reg.GaugeFunc("fmverifyd_queue_depth", "admitted requests waiting for a worker", g.queued)
 	reg.GaugeFunc("fmverifyd_inflight", "requests holding a worker slot", g.running)
 	reg.GaugeFunc("fmverifyd_cache_entries", "chip verdicts resident in the registry cache",
@@ -168,9 +186,13 @@ func New(cfg Config) (*Server, error) {
 		draining: make(chan struct{}),
 	}
 	s.met = newServiceMetrics(cfg.Registry, s.gate, s.cache)
+	if cfg.Provenance != nil {
+		registerRegistryGauges(cfg.Registry, cfg.Provenance)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/verify", s.handleVerify)
 	s.mux.HandleFunc("/v1/verify/batch", s.handleVerifyBatch)
+	s.mux.HandleFunc("/v1/enroll", s.handleEnroll)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.Handle("/metrics", cfg.Registry.Handler())

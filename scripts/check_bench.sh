@@ -1,9 +1,8 @@
 #!/usr/bin/env sh
-# Physics bench-regression gate: compares a fresh BENCH_physics.json
-# (schema flashmark-bench-physics/v1, written by `make bench-physics`)
-# against the checked-in baseline scripts/bench_physics_baseline.json.
+# Bench-regression gate. Dispatches on the measured file's schema:
 #
-# Only machine-independent quantities are gated:
+# flashmark-bench-physics/v1 (written by `make bench-physics`), judged
+# against scripts/bench_physics_baseline.json:
 #   - per-bench speedup (reference ns over fast ns) must stay within
 #     ±20% of the baseline ratio: below -20% fails as a fast-path
 #     regression; above +20% only prints a hint to refresh the
@@ -12,15 +11,71 @@
 #     paper-reproduction acceptance floor for the batched physics.
 #   - allocs/op on the steady-state read path must not exceed the
 #     baseline (0: the warm read path never touches the heap).
-# Raw ns/op values are recorded for context but never compared — they
-# track the runner, not the code.
+#
+# flashmark-bench-registry/v1 (written by `make bench-registry`), judged
+# against scripts/bench_registry_baseline.json:
+#   - fleet lookup must be allocation-free (allocs_op == 0) and
+#     sub-microsecond (ns_op <= max_ns_op) at the recorded fleet size
+#     (keys must match, so the gate can't be satisfied by shrinking
+#     the index).
+#   - durable enroll appends/fsync is reported for context only: on a
+#     single-CPU runner RunParallel gives no overlap and the honest
+#     value is 1.0, so group commit is proven by tests, not gated here.
+#
+# Raw ns/op ratios track the runner, not the code, and are never
+# compared across machines; the registry ns_op ceiling is deliberately
+# loose (a paper acceptance bound, not a regression tripwire).
 #
 # Usage: scripts/check_bench.sh [measured.json] [baseline.json]
 set -eu
 
 measured=${1:-BENCH_physics.json}
-baseline=${2:-$(dirname "$0")/bench_physics_baseline.json}
 floor_characterize=3.0
+
+# jfield FILE KEY -> first value of "KEY": in FILE (json.MarshalIndent
+# layout: one field per line). Struct order puts lookup before
+# enroll_durable, so the first ns_op is the lookup's.
+jfield() {
+    awk -v f="\"$2\":" '$1 == f { v = $2; gsub(/[",]/, "", v); print v; exit }' "$1"
+}
+
+schema=$(jfield "$measured" schema || true)
+
+if [ "$schema" = "flashmark-bench-registry/v1" ]; then
+    baseline=${2:-$(dirname "$0")/bench_registry_baseline.json}
+    fail=0
+    max_ns=$(jfield "$baseline" max_ns_op)
+    max_allocs=$(jfield "$baseline" max_allocs_op)
+    want_keys=$(jfield "$baseline" keys)
+    got_ns=$(jfield "$measured" ns_op)
+    got_allocs=$(jfield "$measured" allocs_op)
+    got_keys=$(jfield "$measured" keys)
+    if [ -z "$got_ns" ] || [ -z "$got_allocs" ] || [ -z "$got_keys" ]; then
+        echo "FAIL: $measured has no lookup measurement (run make bench-registry)" >&2
+        exit 1
+    fi
+    echo "registry lookup: ${got_ns} ns/op, ${got_allocs} allocs/op at ${got_keys} keys"
+    if [ "$got_keys" != "$want_keys" ]; then
+        echo "FAIL: lookup measured at ${got_keys} keys, acceptance requires ${want_keys}" >&2
+        fail=1
+    fi
+    if awk -v g="$got_allocs" -v m="$max_allocs" 'BEGIN { exit (g + 0 <= m + 0) ? 1 : 0 }'; then
+        echo "FAIL: fleet lookup allocates (${got_allocs} allocs/op > ${max_allocs})" >&2
+        fail=1
+    fi
+    if awk -v g="$got_ns" -v m="$max_ns" 'BEGIN { exit (g + 0 <= m + 0) ? 1 : 0 }'; then
+        echo "FAIL: fleet lookup ${got_ns} ns/op exceeds the ${max_ns} ns acceptance ceiling" >&2
+        fail=1
+    fi
+    per_fsync=$(jfield "$measured" appends_per_fsync)
+    if [ -n "$per_fsync" ]; then
+        echo "registry enroll: ${per_fsync} appends/fsync (informational; 1.0 on single-CPU runners)"
+    fi
+    [ "$fail" -eq 0 ] && echo "bench gate OK"
+    exit "$fail"
+fi
+
+baseline=${2:-$(dirname "$0")/bench_physics_baseline.json}
 
 # speedups FILE -> lines of "<bench> <speedup>", keyed off the 4-space
 # indentation json.MarshalIndent gives the per-bench objects.

@@ -91,4 +91,74 @@ if ! wait "$daemon"; then
 fi
 trap - EXIT
 
+# ---- Fleet registry: enroll -> restart -> duplicate detection ----
+# A replay-imprint clone: the same signed die id (1001) on a different
+# physical chip (seed 88). Physics alone calls it GENUINE; the durable
+# registry catches it — in a *later process lifetime* than the
+# enrollment, which is the whole point of persistence.
+"$workdir/flashmark" new -chip "$workdir/clone.chip" -part FM-SIM16 -seed 88
+"$workdir/flashmark" imprint -chip "$workdir/clone.chip" -mfg "$mfg" -die 1001 -status accept -key "$key"
+
+regdir="$workdir/registry"
+
+wait_healthy() {
+    i=0
+    until curl -sf "$base/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 50 ]; then
+            echo "FAIL: daemon did not become healthy" >&2
+            cat "$1" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+
+stop_daemon() {
+    kill -TERM "$1"
+    if ! wait "$1"; then
+        echo "FAIL: daemon did not drain cleanly on SIGTERM" >&2
+        cat "$2" >&2
+        exit 1
+    fi
+}
+
+# Lifetime 1: enroll the genuine chip's identity.
+"$workdir/fmverifyd" -addr "$addr" -key "$key" -mfg "$mfg" -registry-dir "$regdir" \
+    >"$workdir/fmverifyd_enroll.log" 2>&1 &
+daemon=$!
+trap 'kill "$daemon" 2>/dev/null || true' EXIT
+wait_healthy "$workdir/fmverifyd_enroll.log"
+curl -sf -X POST --data-binary @"$workdir/genuine.chip" "$base/v1/enroll?source=smoke" \
+    >"$workdir/enroll_genuine.json"
+assert_contains "$workdir/enroll_genuine.json" '"verdict":"GENUINE"'
+assert_contains "$workdir/enroll_genuine.json" '"count":1'
+assert_contains "$workdir/enroll_genuine.json" '"conflict":false'
+stop_daemon "$daemon" "$workdir/fmverifyd_enroll.log"
+trap - EXIT
+
+# Lifetime 2: fresh process, same registry dir. The clone must be
+# escalated to DUPLICATE-ID from recovered state alone.
+"$workdir/fmverifyd" -addr "$addr" -key "$key" -mfg "$mfg" -registry-dir "$regdir" \
+    >"$workdir/fmverifyd_restart.log" 2>&1 &
+daemon=$!
+trap 'kill "$daemon" 2>/dev/null || true' EXIT
+wait_healthy "$workdir/fmverifyd_restart.log"
+curl -sf -X POST --data-binary @"$workdir/clone.chip" "$base/v1/verify" \
+    >"$workdir/verify_clone.json"
+assert_contains "$workdir/verify_clone.json" '"verdict":"DUPLICATE-ID"'
+assert_contains "$workdir/verify_clone.json" '"accepted":false'
+assert_contains "$workdir/verify_clone.json" '"provenance"'
+# The enrolled original still verifies clean after the restart.
+curl -sf -X POST --data-binary @"$workdir/genuine.chip" "$base/v1/verify" \
+    >"$workdir/verify_original_after_restart.json"
+assert_contains "$workdir/verify_original_after_restart.json" '"verdict":"GENUINE"'
+
+curl -sf "$base/metrics" >"$workdir/metrics_registry.txt"
+assert_contains "$workdir/metrics_registry.txt" 'fmregistry_keys 1'
+assert_contains "$workdir/metrics_registry.txt" 'fmverifyd_verdict_duplicate_id_total 1'
+assert_contains "$workdir/metrics_registry.txt" 'fmverifyd_provenance_escalations_total 1'
+stop_daemon "$daemon" "$workdir/fmverifyd_restart.log"
+trap - EXIT
+
 echo "service smoke OK (artifacts in $workdir)"
