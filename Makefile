@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 1x
 
-.PHONY: all build vet test race bench bench-json bench-physics bench-physics-check bench-registry bench-registry-check experiments smoke cover cover-check fmt clean
+.PHONY: all build vet test race bench bench-json bench-physics bench-physics-check bench-registry bench-registry-check loadgen loadgen-check experiments smoke cover cover-check fmt clean
 
 all: build vet test
 
@@ -53,6 +53,20 @@ bench-registry:
 # the scripts/bench_registry_baseline.json ns ceiling at 1M keys.
 bench-registry-check: bench-registry
 	./scripts/check_bench.sh BENCH_registry.json
+
+# Synthetic-fleet load scenario: prove the schedule is reproducible,
+# start fmverifyd, drive it with the fixed Poisson workload (genuine
+# chips, replay-imprint clones, counterfeits), and write
+# loadgen-out/BENCH_service.json (schema flashmark-bench-service/v1)
+# plus a /metrics snapshot and the daemon log.
+loadgen:
+	./scripts/loadgen_slo.sh loadgen-out
+
+# Service SLO gate: the measured verify percentiles, throughput, shed
+# rate, and DUPLICATE-ID detection must stay inside the bands in
+# scripts/bench_service_baseline.json.
+loadgen-check: loadgen
+	./scripts/check_bench.sh loadgen-out/BENCH_service.json
 
 experiments:
 	$(GO) run ./cmd/fmexperiments -run all

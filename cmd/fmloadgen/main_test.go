@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/flashmark/flashmark/internal/counterfeit"
+	"github.com/flashmark/flashmark/internal/registry"
+	"github.com/flashmark/flashmark/internal/service"
+	"github.com/flashmark/flashmark/internal/wmcode"
+)
+
+func TestRunVersion(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "fmloadgen ") {
+		t.Fatalf("banner %q", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("unknown flag must fail")
+	}
+}
+
+func TestRunRequiresTarget(t *testing.T) {
+	var out bytes.Buffer
+	err := run(nil, &out)
+	if err == nil || !strings.Contains(err.Error(), "-target") {
+		t.Fatalf("missing target must fail with a -target hint, got %v", err)
+	}
+}
+
+// TestPlanOnlyIsDeterministic runs the CLI twice with the same seed and
+// no server: the printed schedule digests must match — the acceptance
+// check the loadgen-slo CI job repeats.
+func TestPlanOnlyIsDeterministic(t *testing.T) {
+	digest := func(seed string) string {
+		t.Helper()
+		var out bytes.Buffer
+		if err := run([]string{"-plan-only", "-seed", seed, "-duration", "2s", "-rate", "250"}, &out); err != nil {
+			t.Fatal(err)
+		}
+		line := out.String()
+		i := strings.LastIndex(line, "digest ")
+		if i < 0 {
+			t.Fatalf("no digest in %q", line)
+		}
+		return strings.TrimSpace(line[i+len("digest "):])
+	}
+	a, b := digest("21"), digest("21")
+	if a != b {
+		t.Fatalf("same seed, different digests: %s vs %s", a, b)
+	}
+	if len(a) != 64 {
+		t.Fatalf("digest %q is not a sha256 hex", a)
+	}
+	if c := digest("22"); c == a {
+		t.Fatal("different seed reproduced the digest")
+	}
+}
+
+// TestRunEndToEnd exercises the full CLI path against an in-process
+// service handler and checks the report lands on disk.
+func TestRunEndToEnd(t *testing.T) {
+	srv, err := service.New(service.Config{
+		Verifier:   counterfeit.Verifier{Codec: wmcode.Codec{Key: []byte("loadgen-key")}},
+		Provenance: registry.NewMemory(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	outPath := filepath.Join(t.TempDir(), "BENCH_service.json")
+	var out bytes.Buffer
+	err = run([]string{
+		"-target", ts.URL,
+		"-seed", "5",
+		"-rate", "200",
+		"-duration", "1s",
+		"-fleet-genuine", "3",
+		"-fleet-clones", "2",
+		"-fleet-counterfeits", "2",
+		"-quiet",
+		"-out", outPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep["schema"] != "flashmark-bench-service/v1" {
+		t.Fatalf("schema %v", rep["schema"])
+	}
+	if n, _ := rep["http_errors"].(float64); n != 0 {
+		t.Fatalf("http_errors %v", rep["http_errors"])
+	}
+	if n, _ := rep["chips_verified"].(float64); n <= 0 {
+		t.Fatalf("chips_verified %v", rep["chips_verified"])
+	}
+}

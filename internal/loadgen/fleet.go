@@ -1,0 +1,156 @@
+package loadgen
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+
+	"github.com/flashmark/flashmark/internal/counterfeit"
+	"github.com/flashmark/flashmark/internal/mcu"
+	"github.com/flashmark/flashmark/internal/parallel"
+	"github.com/flashmark/flashmark/internal/rng"
+	"github.com/flashmark/flashmark/internal/wmcode"
+)
+
+// FleetSpec shapes the synthetic chip population. The fleet is laid out
+// as [genuine | clones | counterfeits]: clones are replay-imprinted
+// copies of genuine victims' die ids (the attack the registry exists
+// for), counterfeits are drawn per chip from the cheaper attacker
+// models in internal/counterfeit.
+type FleetSpec struct {
+	// Genuine is the number of manufacturer-watermarked ACCEPT chips
+	// (0 selects 24).
+	Genuine int
+	// Clones is the number of replay-imprint clones; clone i carries
+	// the die id of genuine victim i mod Genuine (0 selects 8; negative
+	// means none).
+	Clones int
+	// Counterfeits is the number of non-clone counterfeits: metadata
+	// forgeries, rebranded blanks, digital clones, recycled chips
+	// (0 selects 8; negative means none).
+	Counterfeits int
+
+	// Part is the catalog NOR part to fabricate (empty selects FM-SIM16).
+	Part string
+	// Key is the watermark HMAC key (empty selects "loadgen-key"); it
+	// must match the target daemon's -key.
+	Key string
+	// Manufacturer is the imprinted manufacturer string (empty selects
+	// the factory default).
+	Manufacturer string
+}
+
+func (f FleetSpec) withDefaults() FleetSpec {
+	if f.Genuine == 0 {
+		f.Genuine = 24
+	}
+	switch {
+	case f.Clones == 0:
+		f.Clones = 8
+	case f.Clones < 0:
+		f.Clones = 0
+	}
+	switch {
+	case f.Counterfeits == 0:
+		f.Counterfeits = 8
+	case f.Counterfeits < 0:
+		f.Counterfeits = 0
+	}
+	if f.Part == "" {
+		f.Part = "FM-SIM16"
+	}
+	if f.Key == "" {
+		f.Key = "loadgen-key"
+	}
+	return f
+}
+
+// Size is the total chip count.
+func (f FleetSpec) Size() int { return f.Genuine + f.Clones + f.Counterfeits }
+
+// Enrollable is how many leading fleet indices carry a signed identity
+// worth enrolling (genuine chips and their clones); enroll operations
+// draw only from this prefix.
+func (f FleetSpec) Enrollable() int { return f.Genuine + f.Clones }
+
+// Chip is one fabricated fleet member.
+type Chip struct {
+	Class counterfeit.ChipClass
+	DieID uint64
+	// Bytes is the serialized chip file exactly as a client uploads it.
+	Bytes []byte
+}
+
+// Fleet is the fabricated population a scenario draws requests from.
+type Fleet struct {
+	Spec  FleetSpec
+	Chips []Chip
+}
+
+// counterfeitClasses are the non-clone attacker models a counterfeit
+// fleet slot is drawn from.
+var counterfeitClasses = []counterfeit.ChipClass{
+	counterfeit.ClassMetadataForgery,
+	counterfeit.ClassUnmarked,
+	counterfeit.ClassDigitalClone,
+	counterfeit.ClassRecycled,
+}
+
+// baseDieID keeps loadgen identities out of the small-integer space
+// tests and smoke scripts use.
+const baseDieID = 0x10_0000
+
+// BuildFleet fabricates the population. Chip i's device seed derives
+// from (seed, i) via the rng splitter, so each chip's bytes are a pure
+// function of the spec and the scenario seed no matter the fabrication
+// order — the fan-out below is safe to parallelize.
+func BuildFleet(spec FleetSpec, seed uint64) (*Fleet, error) {
+	spec = spec.withDefaults()
+	if spec.Genuine <= 0 {
+		return nil, fmt.Errorf("loadgen: fleet needs at least one genuine chip")
+	}
+	part, err := mcu.PartByName(spec.Part)
+	if err != nil {
+		return nil, err
+	}
+	factory := counterfeit.FactoryConfig{
+		Fab:          mcu.Fab(part),
+		Codec:        wmcode.Codec{Key: []byte(spec.Key)},
+		Manufacturer: spec.Manufacturer,
+	}
+	// One child stream per chip for class draws; fabrication seeds come
+	// from the same split so the fleet is order-independent.
+	master := rng.New(seed)
+	n := spec.Size()
+	pool := parallel.Pool{Workers: runtime.GOMAXPROCS(0)}
+	chips, err := parallel.Map(pool, n, func(i int) (Chip, error) {
+		r := master.Split2(0xF1EE7, uint64(i))
+		devSeed := r.Uint64()
+		var class counterfeit.ChipClass
+		var die uint64
+		switch {
+		case i < spec.Genuine:
+			class = counterfeit.ClassGenuineAccept
+			die = baseDieID + uint64(i)
+		case i < spec.Genuine+spec.Clones:
+			class = counterfeit.ClassReplayImprint
+			die = baseDieID + uint64((i-spec.Genuine)%spec.Genuine)
+		default:
+			class = counterfeitClasses[r.Intn(len(counterfeitClasses))]
+			die = baseDieID + uint64(i)
+		}
+		dev, err := counterfeit.Fabricate(class, factory, devSeed, die)
+		if err != nil {
+			return Chip{}, fmt.Errorf("loadgen: fabricating chip %d (%s): %w", i, class, err)
+		}
+		var buf bytes.Buffer
+		if err := dev.Save(&buf); err != nil {
+			return Chip{}, fmt.Errorf("loadgen: serializing chip %d: %w", i, err)
+		}
+		return Chip{Class: class, DieID: die, Bytes: buf.Bytes()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fleet{Spec: spec, Chips: chips}, nil
+}

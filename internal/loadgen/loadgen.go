@@ -1,0 +1,111 @@
+// Package loadgen is the synthetic-fleet load harness for fmverifyd: it
+// models a supply-chain dock interrogating chips at scale and drives a
+// live service over HTTP, the workload the ROADMAP's "millions of
+// chips" claim has to survive.
+//
+// The workload is an open-loop Poisson arrival process: request launch
+// times are drawn from the scenario seed ahead of time and do not slow
+// down when the service does, which is what real dock traffic (and any
+// honest overload measurement) looks like — a closed loop that waits
+// for responses before sending more would flatter a saturated server by
+// throttling the offered load to whatever it can absorb. Concurrency is
+// still bounded (MaxInFlight) so a melting server degrades into counted
+// client-side drops instead of unbounded goroutines.
+//
+// Everything random — arrival times, operation mix, chip selection,
+// batch sizes, the fleet's chip classes — derives from one internal/rng
+// seed, so two runs with the same configuration produce byte-identical
+// request sequences (Plan.Digest pins this). Latency is recorded into
+// internal/metrics histograms, one shard per in-flight slot to keep the
+// hot path contention-free, merged at the end for the report.
+package loadgen
+
+import (
+	"time"
+
+	"github.com/flashmark/flashmark/internal/wallclock"
+)
+
+// Mix is the operation mix as relative weights (they need not sum to 1).
+type Mix struct {
+	// Verify weights POST /v1/verify of a single random fleet chip.
+	Verify float64
+	// Batch weights POST /v1/verify/batch with a drawn batch size.
+	Batch float64
+	// Enroll weights POST /v1/enroll of a random enrollable chip
+	// (genuine or clone) — clones make this a DUPLICATE-ID storm
+	// against the registry.
+	Enroll float64
+}
+
+// Config describes one load scenario. The zero value of most fields
+// selects a usable default; Target must be set for Run.
+type Config struct {
+	// Target is the base URL of a live fmverifyd (e.g. http://127.0.0.1:8900).
+	Target string
+	// Seed is the master scenario seed: the plan, the fleet, and every
+	// stochastic choice derive from it.
+	Seed uint64
+	// Rate is the mean Poisson arrival rate in requests/second
+	// (0 selects 100).
+	Rate float64
+	// Duration is the span arrivals are generated over (0 selects 10s).
+	// The run itself lasts until the last response lands.
+	Duration time.Duration
+	// MaxInFlight bounds open-loop concurrency: arrivals past the cap
+	// are counted as client drops, never queued (0 selects 64).
+	MaxInFlight int
+	// Timeout is the per-request client timeout (0 selects 30s).
+	Timeout time.Duration
+
+	// Fleet shapes the chip population the scenario draws from.
+	Fleet FleetSpec
+	// Mix weights the operation kinds (zero value selects 8:1:1
+	// verify:batch:enroll).
+	Mix Mix
+	// BatchMean is the mean number of chips beyond the first in a batch
+	// request (0 selects 3); BatchMax caps the draw (0 selects 16).
+	BatchMean float64
+	BatchMax  int
+
+	// Now supplies wall time for pacing and latency measurement
+	// (nil selects wallclock.Now).
+	Now func() time.Time
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rate <= 0 {
+		c.Rate = 100
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.Mix.Verify == 0 && c.Mix.Batch == 0 && c.Mix.Enroll == 0 {
+		c.Mix = Mix{Verify: 8, Batch: 1, Enroll: 1}
+	}
+	if c.BatchMean <= 0 {
+		c.BatchMean = 3
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 16
+	}
+	if c.Now == nil {
+		c.Now = wallclock.Now
+	}
+	c.Fleet = c.Fleet.withDefaults()
+	return c
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}

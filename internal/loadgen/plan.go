@@ -1,0 +1,136 @@
+package loadgen
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"github.com/flashmark/flashmark/internal/rng"
+)
+
+// OpKind is the kind of one planned request.
+type OpKind uint8
+
+// Planned operation kinds.
+const (
+	OpVerify OpKind = iota // POST /v1/verify, one chip
+	OpBatch                // POST /v1/verify/batch
+	OpEnroll               // POST /v1/enroll, one enrollable chip
+)
+
+// String names the op kind for reports and logs.
+func (k OpKind) String() string {
+	switch k {
+	case OpVerify:
+		return "verify"
+	case OpBatch:
+		return "batch"
+	case OpEnroll:
+		return "enroll"
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// Request is one planned arrival: what to send and when.
+type Request struct {
+	// At is the arrival offset from scenario start.
+	At time.Duration
+	// Kind selects the endpoint.
+	Kind OpKind
+	// Chips are fleet indices: one for verify/enroll, the batch
+	// composition for batch.
+	Chips []int
+}
+
+// Plan is the full request sequence of a scenario, fixed before the
+// first byte is sent. Replaying a plan against the same fleet bytes
+// reproduces the exact client workload.
+type Plan struct {
+	Requests []Request
+}
+
+// BuildPlan derives the request sequence from the scenario config. It
+// consumes only the config and the seed — never the clock, the fleet
+// bytes, or responses — so two identical configs yield identical plans.
+func BuildPlan(cfg Config) Plan {
+	cfg = cfg.withDefaults()
+	// A dedicated child stream per concern: arrival times, op kinds, and
+	// chip picks stay stable against each other if one consumer's draw
+	// count changes.
+	master := rng.New(cfg.Seed)
+	arrivals := master.Split(0xA221)
+	kinds := master.Split(0x0B5)
+	picks := master.Split(0xC419)
+
+	wVerify := cfg.Mix.Verify
+	wBatch := wVerify + cfg.Mix.Batch
+	wTotal := wBatch + cfg.Mix.Enroll
+	fleetSize := cfg.Fleet.Size()
+	enrollable := cfg.Fleet.Enrollable()
+
+	var p Plan
+	var at time.Duration
+	for {
+		// Poisson process: exponential inter-arrival gaps at rate Rate.
+		at += time.Duration(arrivals.Exp() / cfg.Rate * float64(time.Second))
+		if at >= cfg.Duration {
+			return p
+		}
+		req := Request{At: at}
+		switch draw := kinds.Float64() * wTotal; {
+		case draw < wVerify:
+			req.Kind = OpVerify
+			req.Chips = []int{picks.Intn(fleetSize)}
+		case draw < wBatch:
+			req.Kind = OpBatch
+			n := 1 + int(picks.Exp()*cfg.BatchMean)
+			if n > cfg.BatchMax {
+				n = cfg.BatchMax
+			}
+			req.Chips = make([]int, n)
+			for i := range req.Chips {
+				req.Chips[i] = picks.Intn(fleetSize)
+			}
+		default:
+			req.Kind = OpEnroll
+			req.Chips = []int{picks.Intn(enrollable)}
+		}
+		p.Requests = append(p.Requests, req)
+	}
+}
+
+// Digest is a SHA-256 over the canonical encoding of the request
+// sequence (arrival nanoseconds, kind, chip indices). Two runs with the
+// same digest sent the same requests at the same planned offsets — the
+// reproducibility contract the CI gate checks by building the plan
+// twice.
+func (p Plan) Digest() string {
+	h := sha256.New()
+	h.Write([]byte("flashmark-loadgen-plan/v1\x00"))
+	var buf [8]byte
+	for _, r := range p.Requests {
+		binary.LittleEndian.PutUint64(buf[:], uint64(r.At.Nanoseconds()))
+		h.Write(buf[:])
+		h.Write([]byte{byte(r.Kind)})
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(r.Chips)))
+		h.Write(buf[:])
+		for _, c := range r.Chips {
+			binary.LittleEndian.PutUint64(buf[:], uint64(c))
+			h.Write(buf[:])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Count returns how many planned requests are of kind k.
+func (p Plan) Count(k OpKind) int {
+	n := 0
+	for _, r := range p.Requests {
+		if r.Kind == k {
+			n++
+		}
+	}
+	return n
+}

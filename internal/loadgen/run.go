@@ -1,0 +1,260 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/flashmark/flashmark/internal/metrics"
+)
+
+// chipVerdict is the slice of a service report the client needs for
+// accounting; both ChipReport and EnrollReport decode into it.
+type chipVerdict struct {
+	Verdict  string `json:"verdict"`
+	Conflict bool   `json:"conflict"`
+}
+
+// batchEnvelope is the slice of a batch response the client accounts.
+type batchEnvelope struct {
+	Results []chipVerdict `json:"results"`
+	Summary struct {
+		Chips int `json:"chips"`
+	} `json:"summary"`
+}
+
+// opStats aggregates one operation kind across the run. Latency shards
+// per in-flight slot keep Observe contention-free; Snapshot/Merge folds
+// them for the report.
+type opStats struct {
+	requests atomic.Int64
+	chips    atomic.Int64 // chips covered (batch counts each)
+	shed     atomic.Int64 // 429 responses
+	errors   atomic.Int64 // transport errors and non-200/429 statuses
+	lat      []*metrics.Histogram
+}
+
+func newOpStats(slots int) *opStats {
+	s := &opStats{lat: make([]*metrics.Histogram, slots)}
+	for i := range s.lat {
+		s.lat[i] = metrics.NewHistogram(metrics.LoadLatencyBuckets())
+	}
+	return s
+}
+
+// merged folds the per-slot latency shards into one snapshot.
+func (s *opStats) merged() metrics.HistogramSnapshot {
+	out := s.lat[0].Snapshot()
+	for _, h := range s.lat[1:] {
+		// Shards share one bucket layout; a mismatch is impossible here.
+		if err := out.Merge(h.Snapshot()); err != nil {
+			panic(err)
+		}
+	}
+	return out
+}
+
+// Result is the measured outcome of one scenario run.
+type Result struct {
+	Plan    Plan
+	Elapsed time.Duration
+	// Sent counts requests actually launched; Dropped counts arrivals
+	// refused client-side because MaxInFlight slots were all busy.
+	Sent    int64
+	Dropped int64
+
+	Verify *opStats
+	Batch  *opStats
+	Enroll *opStats
+
+	// DuplicateID counts DUPLICATE-ID verdicts (single verifies, batch
+	// members, and conflicted enrollments) — the registry catching the
+	// clone storm.
+	DuplicateID atomic.Int64
+}
+
+func (r *Result) statsFor(k OpKind) *opStats {
+	switch k {
+	case OpBatch:
+		return r.Batch
+	case OpEnroll:
+		return r.Enroll
+	default:
+		return r.Verify
+	}
+}
+
+// shed sums 429 responses across operation kinds.
+func (r *Result) shed() int64 {
+	return r.Verify.shed.Load() + r.Batch.shed.Load() + r.Enroll.shed.Load()
+}
+
+// httpErrors sums transport and non-200/429 outcomes across kinds.
+func (r *Result) httpErrors() int64 {
+	return r.Verify.errors.Load() + r.Batch.errors.Load() + r.Enroll.errors.Load()
+}
+
+// Run executes the plan against cfg.Target. Arrivals are paced
+// open-loop off the plan's offsets: a request fires at its planned time
+// if an in-flight slot is free and is dropped (counted) otherwise. Run
+// returns once every launched request has completed; ctx cancellation
+// abandons pacing early but still waits for in-flight requests.
+func Run(ctx context.Context, cfg Config, plan Plan, fleet *Fleet) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Target == "" {
+		return nil, fmt.Errorf("loadgen: Config.Target is required")
+	}
+	if len(fleet.Chips) != fleet.Spec.Size() {
+		return nil, fmt.Errorf("loadgen: fleet holds %d chips, spec says %d", len(fleet.Chips), fleet.Spec.Size())
+	}
+	client := &http.Client{
+		Timeout: cfg.Timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.MaxInFlight,
+			MaxIdleConnsPerHost: cfg.MaxInFlight,
+		},
+	}
+	defer client.CloseIdleConnections()
+
+	res := &Result{
+		Plan:   plan,
+		Verify: newOpStats(cfg.MaxInFlight),
+		Batch:  newOpStats(cfg.MaxInFlight),
+		Enroll: newOpStats(cfg.MaxInFlight),
+	}
+	// Slot tokens carry the histogram-shard index.
+	slots := make(chan int, cfg.MaxInFlight)
+	for i := 0; i < cfg.MaxInFlight; i++ {
+		slots <- i
+	}
+	var wg sync.WaitGroup
+	start := cfg.Now()
+pacing:
+	for i := range plan.Requests {
+		req := &plan.Requests[i]
+		if wait := req.At - cfg.Now().Sub(start); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				break pacing
+			}
+		}
+		select {
+		case slot := <-slots:
+			res.Sent++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { slots <- slot }()
+				res.send(ctx, cfg, client, fleet, req, slot)
+			}()
+		default:
+			// Open loop: the arrival happened; the client sheds it
+			// rather than queueing behind the cap.
+			res.Dropped++
+		}
+	}
+	wg.Wait()
+	res.Elapsed = cfg.Now().Sub(start)
+	return res, ctx.Err()
+}
+
+// send issues one planned request and accounts the outcome.
+func (r *Result) send(ctx context.Context, cfg Config, client *http.Client, fleet *Fleet, req *Request, slot int) {
+	st := r.statsFor(req.Kind)
+	st.requests.Add(1)
+
+	var path string
+	var body []byte
+	switch req.Kind {
+	case OpBatch:
+		path = "/v1/verify/batch"
+		var buf bytes.Buffer
+		buf.WriteString(`{"chips":[`)
+		for i, c := range req.Chips {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			buf.Write(fleet.Chips[c].Bytes)
+		}
+		buf.WriteString(`]}`)
+		body = buf.Bytes()
+	case OpEnroll:
+		path = "/v1/enroll?source=loadgen"
+		body = fleet.Chips[req.Chips[0]].Bytes
+	default:
+		path = "/v1/verify"
+		body = fleet.Chips[req.Chips[0]].Bytes
+	}
+
+	t0 := cfg.Now()
+	resp, err := post(ctx, client, cfg.Target+path, body)
+	lat := cfg.Now().Sub(t0)
+	if err != nil {
+		st.errors.Add(1)
+		cfg.logf("loadgen: %s: %v", req.Kind, err)
+		return
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		st.errors.Add(1)
+		return
+	}
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		// Shed by admission control: the latency histogram only holds
+		// served requests, so overload shows up as shed rate, not as a
+		// fake fast percentile.
+		st.shed.Add(1)
+		return
+	case resp.StatusCode != http.StatusOK:
+		st.errors.Add(1)
+		cfg.logf("loadgen: %s -> %d: %s", req.Kind, resp.StatusCode, payload)
+		return
+	}
+	st.lat[slot].ObserveDuration(lat)
+	switch req.Kind {
+	case OpBatch:
+		var env batchEnvelope
+		if err := json.Unmarshal(payload, &env); err != nil {
+			st.errors.Add(1)
+			return
+		}
+		st.chips.Add(int64(env.Summary.Chips))
+		for _, cr := range env.Results {
+			if cr.Verdict == duplicateIDVerdict {
+				r.DuplicateID.Add(1)
+			}
+		}
+	default:
+		var cv chipVerdict
+		if err := json.Unmarshal(payload, &cv); err != nil {
+			st.errors.Add(1)
+			return
+		}
+		st.chips.Add(1)
+		if cv.Verdict == duplicateIDVerdict || cv.Conflict {
+			r.DuplicateID.Add(1)
+		}
+	}
+}
+
+// duplicateIDVerdict mirrors counterfeit.VerdictDuplicateID.String()
+// without importing the package for one constant.
+const duplicateIDVerdict = "DUPLICATE-ID"
+
+func post(ctx context.Context, client *http.Client, url string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return client.Do(req)
+}

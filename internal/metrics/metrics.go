@@ -65,6 +65,16 @@ func DefaultLatencyBuckets() []float64 {
 		0.128, 0.256, 0.512, 1.024, 2.048, 4.096, 8.192, 16.384}
 }
 
+// LoadLatencyBuckets are the finer client-side bounds the load harness
+// uses, in seconds: sub-millisecond resolution at the bottom (cache-hit
+// verifies land there) up to 30s at the top, so p999 estimates stay
+// meaningful across the whole latency range a loaded service produces.
+func LoadLatencyBuckets() []float64 {
+	return []float64{0.0002, 0.0005, 0.001, 0.002, 0.003, 0.005, 0.0075,
+		0.01, 0.015, 0.02, 0.03, 0.05, 0.075, 0.1, 0.15, 0.25, 0.5,
+		0.75, 1, 1.5, 2.5, 5, 10, 30}
+}
+
 // Histogram is a fixed-bucket cumulative histogram (Prometheus
 // semantics: each bucket counts observations <= its upper bound, with an
 // implicit +Inf bucket). Safe for concurrent use.
@@ -126,6 +136,83 @@ func (h *Histogram) Quantile(q float64) float64 {
 		return 0
 	}
 	return h.bounds[len(h.bounds)-1]
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram detached
+// from the live atomics, so client-side aggregators (the load harness
+// keeps one histogram per in-flight slot to avoid write contention) can
+// merge shards and compute quantiles without racing writers.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []int64 // len(Bounds)+1; the last entry is the +Inf bucket
+	Count  int64
+	Sum    float64
+}
+
+// Snapshot copies the histogram's current state. Count is derived from
+// the bucket counts, not the live total, so the snapshot is always
+// internally consistent: concurrent Observes that land mid-copy are
+// either fully in a bucket or fully absent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Sum:    h.Sum(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+		s.Count += s.Counts[i]
+	}
+	return s
+}
+
+// Merge folds other into s. The two snapshots must cover identical
+// bucket bounds; merging differently shaped histograms is a programming
+// error, not a runtime condition, and returns an error rather than a
+// silently skewed distribution.
+func (s *HistogramSnapshot) Merge(other HistogramSnapshot) error {
+	if len(s.Bounds) != len(other.Bounds) {
+		return fmt.Errorf("metrics: merging histograms with %d vs %d buckets",
+			len(s.Bounds), len(other.Bounds))
+	}
+	for i, b := range s.Bounds {
+		if b != other.Bounds[i] {
+			return fmt.Errorf("metrics: merging histograms with mismatched bound %d (%g vs %g)",
+				i, b, other.Bounds[i])
+		}
+	}
+	for i, c := range other.Counts {
+		s.Counts[i] += c
+	}
+	s.Count += other.Count
+	s.Sum += other.Sum
+	return nil
+}
+
+// Quantile returns the same upper-bound q-quantile estimate
+// Histogram.Quantile computes, evaluated on the snapshot.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || q <= 0 || q > 1 {
+		return 0
+	}
+	rank := int64(q*float64(s.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			break
+		}
+	}
+	if len(s.Bounds) == 0 {
+		return 0
+	}
+	return s.Bounds[len(s.Bounds)-1]
 }
 
 // metric is one registered instrument with its render hooks.

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"encoding/json"
+	"math"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -114,6 +115,140 @@ func TestDuplicateRegistrationPanics(t *testing.T) {
 		}
 	}()
 	r.Gauge("dup", "")
+}
+
+func TestHistogramQuantileAtBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	// Observations exactly on an upper bound must land in that bucket
+	// (Prometheus le semantics: bucket counts observations <= bound).
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(4)
+	s := h.Snapshot()
+	want := []int64{1, 1, 1, 0}
+	for i, c := range s.Counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (boundary observation misfiled)", i, c, want[i])
+		}
+	}
+	// Quantile estimates are bucket upper bounds: with one observation
+	// per bucket, rank = round(3q) walks the bounds in order.
+	for _, tc := range []struct{ q, want float64 }{
+		{0.33, 1}, {0.4, 1}, {0.5, 2}, {0.67, 2}, {0.84, 4}, {1, 4},
+	} {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Fatalf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	// A value infinitesimally above a bound belongs to the next bucket.
+	h2 := NewHistogram([]float64{1, 2, 4})
+	h2.Observe(1.0000001)
+	if got := h2.Quantile(1); got != 2 {
+		t.Fatalf("just-above-bound observation: p100 = %g, want 2", got)
+	}
+	// All mass in +Inf clamps to the top finite bound.
+	h3 := NewHistogram([]float64{1, 2, 4})
+	h3.Observe(100)
+	if got := h3.Quantile(0.5); got != 4 {
+		t.Fatalf("+Inf mass: p50 = %g, want top bound 4", got)
+	}
+}
+
+func TestHistogramConcurrentWriters(t *testing.T) {
+	// Hammer one histogram from many writers while readers snapshot and
+	// quantile concurrently; -race must stay quiet and no observation may
+	// be lost or double-counted.
+	h := NewHistogram(LoadLatencyBuckets())
+	const writers, perWriter = 8, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := h.Snapshot()
+				var sum int64
+				for _, c := range s.Counts {
+					sum += c
+				}
+				if sum != s.Count {
+					t.Error("snapshot internally inconsistent")
+					return
+				}
+				_ = s.Quantile(0.99)
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		ww.Add(1)
+		go func(g int) {
+			defer ww.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(float64(g*perWriter+i) * 1e-6)
+			}
+		}(g)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if h.Count() != writers*perWriter {
+		t.Fatalf("count = %d, want %d", h.Count(), writers*perWriter)
+	}
+	s := h.Snapshot()
+	if s.Count != writers*perWriter {
+		t.Fatalf("snapshot count = %d, want %d", s.Count, writers*perWriter)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	bounds := []float64{0.01, 0.1, 1}
+	a := NewHistogram(bounds)
+	b := NewHistogram(bounds)
+	whole := NewHistogram(bounds)
+	samples := []float64{0.005, 0.004, 0.05, 0.2, 0.9, 3, 0.008, 0.06}
+	for i, v := range samples {
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+		whole.Observe(v)
+	}
+	merged := a.Snapshot()
+	if err := merged.Merge(b.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := whole.Snapshot()
+	if merged.Count != want.Count || math.Abs(merged.Sum-want.Sum) > 1e-9 {
+		t.Fatalf("merged count/sum = %d/%g, want %d/%g",
+			merged.Count, merged.Sum, want.Count, want.Sum)
+	}
+	for i := range want.Counts {
+		if merged.Counts[i] != want.Counts[i] {
+			t.Fatalf("merged bucket %d = %d, want %d", i, merged.Counts[i], want.Counts[i])
+		}
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if merged.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("Quantile(%g): merged %g != whole %g", q, merged.Quantile(q), whole.Quantile(q))
+		}
+	}
+	// Mismatched shapes must refuse, not skew.
+	other := NewHistogram([]float64{0.5, 5}).Snapshot()
+	if err := merged.Merge(other); err == nil {
+		t.Fatal("merging mismatched bucket shapes must error")
+	}
+	other2 := NewHistogram([]float64{0.01, 0.2, 1}).Snapshot()
+	if err := merged.Merge(other2); err == nil {
+		t.Fatal("merging mismatched bounds must error")
+	}
 }
 
 func TestConcurrentInstrumentUse(t *testing.T) {

@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/flashmark/flashmark/internal/wallclock"
 )
 
 // Options tunes a durable store. The zero value selects production-sane
@@ -27,6 +29,10 @@ type Options struct {
 	// enrollments are then only as durable as the OS page cache —
 	// useful for bulk loads and tests, never for production.
 	NoSync bool
+	// Now supplies wall time for recovery accounting (nil selects
+	// wallclock.Now); tests inject a fake to make Stats().Recovery
+	// fixture-checkable.
+	Now func() time.Time
 }
 
 func (o Options) withDefaults() Options {
@@ -35,6 +41,9 @@ func (o Options) withDefaults() Options {
 		o.CompactEvery = 65536
 	case o.CompactEvery < 0:
 		o.CompactEvery = 0
+	}
+	if o.Now == nil {
+		o.Now = wallclock.Now
 	}
 	return o
 }
@@ -84,11 +93,11 @@ func Open(dir string, opts Options) (*Durable, error) {
 		return nil, err
 	}
 	d := &Durable{dir: dir, opts: opts, mem: NewMemory(opts.Shards)}
-	start := time.Now()
+	start := opts.Now()
 	if err := d.recover(); err != nil {
 		return nil, err
 	}
-	d.recovery = time.Since(start)
+	d.recovery = opts.Now().Sub(start)
 	return d, nil
 }
 

@@ -239,9 +239,9 @@ func (s *Server) countChip(v counterfeit.Verdict) {
 // handleVerify answers POST /v1/verify: one chip file in, one
 // ChipReport out.
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
+	start := s.cfg.Now()
 	s.met.requests.Inc()
-	defer func() { s.met.latency.ObserveDuration(time.Since(start)) }()
+	defer func() { s.met.latency.ObserveDuration(s.since(start)) }()
 	if r.Method != http.MethodPost {
 		s.met.errors.Inc()
 		writeError(w, http.StatusMethodNotAllowed, "use POST with a chip file body")
@@ -310,7 +310,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	} else {
 		w.Header().Set("X-Cache", "miss")
 	}
-	s.logf("verify %s -> %s in %v", key[:12], verdict, time.Since(start).Round(time.Millisecond))
+	s.logf("verify %s -> %s in %v", key[:12], verdict, s.since(start).Round(time.Millisecond))
 	writeJSONBody(w, http.StatusOK, body)
 }
 
@@ -319,9 +319,9 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 // indexed by input order, so two identical batch requests produce
 // byte-identical response bodies no matter how the fan-out is scheduled.
 func (s *Server) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
+	start := s.cfg.Now()
 	s.met.requests.Inc()
-	defer func() { s.met.latency.ObserveDuration(time.Since(start)) }()
+	defer func() { s.met.latency.ObserveDuration(s.since(start)) }()
 	if r.Method != http.MethodPost {
 		s.met.errors.Inc()
 		writeError(w, http.StatusMethodNotAllowed, "use POST with a JSON batch body")
@@ -442,7 +442,7 @@ func (s *Server) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.logf("batch of %d -> %d accepted, %d refused, %d failed in %v",
 		resp.Summary.Chips, resp.Summary.Accepted, resp.Summary.Refused,
-		resp.Summary.Failed, time.Since(start).Round(time.Millisecond))
+		resp.Summary.Failed, s.since(start).Round(time.Millisecond))
 	writeJSONBody(w, http.StatusOK, body)
 }
 

@@ -203,9 +203,9 @@ func (s *Server) batchProvenance(bodies [][]byte, verdicts []counterfeit.Verdict
 // response reports what the registry knew: a conflict means this
 // physical chip is the second claimant of the die id.
 func (s *Server) handleEnroll(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
+	start := s.cfg.Now()
 	s.met.requests.Inc()
-	defer func() { s.met.latency.ObserveDuration(time.Since(start)) }()
+	defer func() { s.met.latency.ObserveDuration(s.since(start)) }()
 	if r.Method != http.MethodPost {
 		s.met.errors.Inc()
 		writeError(w, http.StatusMethodNotAllowed, "use POST with a chip file body")
@@ -272,7 +272,7 @@ func (s *Server) handleEnroll(w http.ResponseWriter, r *http.Request) {
 		Key:         k,
 		Fingerprint: fp,
 		Source:      source,
-		UnixMicro:   time.Now().UnixMicro(),
+		UnixMicro:   s.cfg.Now().UnixMicro(),
 	})
 	if err != nil {
 		s.met.errors.Inc()
@@ -310,7 +310,7 @@ func (s *Server) handleEnroll(w http.ResponseWriter, r *http.Request) {
 	}
 	s.logf("enroll %s/%d (%s) -> count=%d conflict=%v in %v",
 		k.Manufacturer, k.DieID, rep.SHA256[:12], res.Count, res.Conflict,
-		time.Since(start).Round(time.Millisecond))
+		s.since(start).Round(time.Millisecond))
 	writeJSONBody(w, http.StatusOK, respBody)
 }
 

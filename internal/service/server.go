@@ -31,6 +31,7 @@ import (
 	"github.com/flashmark/flashmark/internal/device"
 	"github.com/flashmark/flashmark/internal/metrics"
 	"github.com/flashmark/flashmark/internal/registry"
+	"github.com/flashmark/flashmark/internal/wallclock"
 )
 
 // Config assembles a Server. The zero value of every field selects a
@@ -75,6 +76,12 @@ type Config struct {
 	// Registry receives the service metrics (nil creates a private one).
 	Registry *metrics.Registry
 
+	// Now supplies wall time for latency accounting and enrollment
+	// timestamps (nil selects wallclock.Now). Injecting a fake makes
+	// the latency histograms and enroll stamps fixture-testable; the
+	// per-request deadline still rides the context machinery.
+	Now func() time.Time
+
 	// Logf, when set, receives one line per completed request.
 	Logf func(format string, args ...any)
 }
@@ -106,6 +113,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Registry == nil {
 		c.Registry = metrics.NewRegistry()
+	}
+	if c.Now == nil {
+		c.Now = wallclock.Now
 	}
 	return c
 }
@@ -203,6 +213,31 @@ func New(cfg Config) (*Server, error) {
 // Registry returns the metrics registry the server reports into.
 func (s *Server) Registry() *metrics.Registry { return s.cfg.Registry }
 
+// Stats is a point-in-time view of the server's admission and drain
+// state. It exists for tests and the load harness, which need to assert
+// "the queue actually emptied" directly rather than scraping and
+// parsing the /metrics text for the same gauges.
+type Stats struct {
+	// Queued counts admitted requests waiting for a worker slot.
+	Queued int64
+	// Running counts requests holding a worker slot.
+	Running int64
+	// Draining reports whether Drain has been called.
+	Draining bool
+	// CacheEntries is the number of resident chip-verdict cache entries.
+	CacheEntries int
+}
+
+// Stats snapshots the admission gate, drain flag, and verdict cache.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Queued:       s.gate.queued(),
+		Running:      s.gate.running(),
+		Draining:     s.Draining(),
+		CacheEntries: s.cache.Len(),
+	}
+}
+
 // Handler returns the service's root handler with panic recovery
 // applied; mount it on an http.Server (or httptest.Server).
 func (s *Server) Handler() http.Handler {
@@ -260,4 +295,10 @@ func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
 		s.cfg.Logf(format, args...)
 	}
+}
+
+// since measures elapsed wall time against the configured clock, so a
+// fixture clock sees exactly the durations the handlers record.
+func (s *Server) since(start time.Time) time.Duration {
+	return s.cfg.Now().Sub(start)
 }

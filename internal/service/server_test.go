@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -526,6 +527,100 @@ func TestNANDChipVerifies(t *testing.T) {
 	if rep.Verdict != "NO-WATERMARK" || rep.Part != "NAND-SIM" {
 		t.Fatalf("NAND blank classified %+v", rep)
 	}
+}
+
+// TestStatsHook pins the drain/queue introspection surface the load
+// harness leans on: idle zeros, Running while a verification is held
+// open, cache growth, and the draining flag.
+func TestStatsHook(t *testing.T) {
+	hold := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	srv, ts := newTestServer(t, Config{
+		Workers: 2,
+		Decorate: func(d device.Device) device.Device {
+			select {
+			case entered <- struct{}{}:
+			default:
+			}
+			<-hold
+			return d
+		},
+	})
+	if st := srv.Stats(); st != (Stats{}) {
+		t.Fatalf("idle stats = %+v, want zero", st)
+	}
+	genuine := chipBytes(t, counterfeit.ClassGenuineAccept, 0x5A, 1801)
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/verify", "application/json", bytes.NewReader(genuine))
+		if resp != nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	<-entered
+	if st := srv.Stats(); st.Running != 1 || st.Queued != 0 || st.Draining {
+		t.Fatalf("in-flight stats = %+v, want Running=1", st)
+	}
+	close(hold)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		st := srv.Stats()
+		return st.Running == 0 && st.CacheEntries == 1
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if !st.Draining || st.Running != 0 || st.Queued != 0 {
+		t.Fatalf("post-drain stats = %+v, want Draining with empty gate", st)
+	}
+}
+
+// TestInjectedClockDrivesLatency proves the wall-clock seam: with a
+// fake Now, the latency histogram records the fixture's durations, not
+// the host's — the point of the check_clock.sh guardrail.
+func TestInjectedClockDrivesLatency(t *testing.T) {
+	const step = 32 * time.Millisecond
+	var mu sync.Mutex
+	now := time.Unix(1_700_000_000, 0)
+	srv, ts := newTestServer(t, Config{
+		Now: func() time.Time {
+			mu.Lock()
+			defer mu.Unlock()
+			now = now.Add(step)
+			return now
+		},
+	})
+	resp := postChip(t, ts.URL+"/v1/verify", chipBytes(t, counterfeit.ClassGenuineAccept, 0x5B, 1802))
+	resp.Body.Close()
+	var snap struct {
+		Count int64   `json:"count"`
+		Sum   float64 `json:"sum"`
+	}
+	vars := metricsVars(t, ts.URL)
+	b, err := json.Marshal(vars["fmverifyd_request_seconds"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Count != 1 {
+		t.Fatalf("latency count = %d, want 1", snap.Count)
+	}
+	// Every observed duration is a whole number of fake-clock steps, and
+	// at least one step long — impossible for a real-time measurement of
+	// this handler, so the fixture clock demonstrably drove it.
+	steps := snap.Sum / step.Seconds()
+	if steps < 1 || math.Abs(steps-math.Round(steps)) > 1e-6 {
+		t.Fatalf("latency sum %gs is not a positive whole number of %v fake steps", snap.Sum, step)
+	}
+	_ = srv
 }
 
 func nandBlank(t *testing.T, seed uint64) []byte {

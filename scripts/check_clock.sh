@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Clock guardrail: no production code under internal/ may read the host
+# wall clock directly. Direct time.Now()/time.Since() calls make service
+# deadlines, latency accounting, and lease-style logic untestable without
+# real sleeps; instead, packages take a Now func in their config
+# defaulting to wallclock.Now (internal/wallclock is the one allowlisted
+# reader). Device-side time is already virtual (internal/vclock) and is
+# not affected by this check.
+#
+# Scope: internal/**/*.go, excluding _test.go files (tests may poll real
+# time for timeouts) and the internal/wallclock seam itself.
+#
+# Usage: scripts/check_clock.sh [root]
+set -eu
+
+root=${1:-.}
+
+violations=$(
+    find "$root/internal" -name '*.go' ! -name '*_test.go' \
+        ! -path "$root/internal/wallclock/*" -print0 |
+        xargs -0 grep -n 'time\.Now()\|time\.Since(' /dev/null |
+        grep -v 'check_clock:allow' || true
+)
+
+if [ -n "$violations" ]; then
+    echo "FAIL: direct wall-clock reads in internal/ (route them through a" >&2
+    echo "config Now func defaulting to wallclock.Now; see internal/wallclock):" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+
+echo "clock guardrail OK (no direct time.Now/time.Since under internal/)"

@@ -1,0 +1,75 @@
+#!/usr/bin/env sh
+# Service-level SLO scenario: build fmverifyd and fmloadgen, prove the
+# load schedule is reproducible (two -plan-only runs must print the same
+# digest), and drive a live daemon with the fixed CI scenario. The
+# measured BENCH_service.json is gated separately by
+# `make loadgen-check` via scripts/check_bench.sh — the same
+# measure-then-gate split the physics and registry benches use.
+#
+# Usage: scripts/loadgen_slo.sh [workdir]
+# Artifacts (BENCH_service.json, /metrics snapshot, daemon log) are left
+# in the workdir (default: ./loadgen-out) for CI upload.
+set -eu
+
+workdir=${1:-loadgen-out}
+addr=127.0.0.1:8932
+base="http://$addr"
+key=loadgen-key
+seed=20260808
+
+# The fixed CI scenario. Offered load is deliberately modest for shared
+# runners: the gate checks SLO bands, not peak throughput (see DESIGN.md
+# "SLO methodology" for how the bands were chosen and re-recorded).
+scenario="-seed $seed -rate 120 -duration 8s -inflight 64 \
+    -fleet-genuine 24 -fleet-clones 8 -fleet-counterfeits 8 -key $key"
+
+mkdir -p "$workdir"
+go build -o "$workdir/fmverifyd" ./cmd/fmverifyd
+go build -o "$workdir/fmloadgen" ./cmd/fmloadgen
+
+"$workdir/fmloadgen" -version
+
+# Reproducibility gate: the schedule is a pure function of the flags, so
+# two plan-only runs must agree on the digest before anything is sent.
+# shellcheck disable=SC2086
+"$workdir/fmloadgen" $scenario -plan-only >"$workdir/plan_a.txt"
+# shellcheck disable=SC2086
+"$workdir/fmloadgen" $scenario -plan-only >"$workdir/plan_b.txt"
+if ! cmp -s "$workdir/plan_a.txt" "$workdir/plan_b.txt"; then
+    echo "FAIL: identical seeds produced different plans" >&2
+    diff "$workdir/plan_a.txt" "$workdir/plan_b.txt" >&2 || true
+    exit 1
+fi
+echo "plan determinism OK: $(cat "$workdir/plan_a.txt")"
+
+"$workdir/fmverifyd" -addr "$addr" -key "$key" -registry-dir "$workdir/registry" \
+    >"$workdir/fmverifyd.log" 2>&1 &
+daemon=$!
+trap 'kill "$daemon" 2>/dev/null || true' EXIT
+
+i=0
+until curl -sf "$base/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "FAIL: daemon did not become healthy" >&2
+        cat "$workdir/fmverifyd.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+# shellcheck disable=SC2086
+"$workdir/fmloadgen" $scenario -target "$base" -out "$workdir/BENCH_service.json"
+
+# Server-side view of the same run, uploaded next to the client report.
+curl -sf "$base/metrics" >"$workdir/metrics.txt"
+
+kill -TERM "$daemon"
+if ! wait "$daemon"; then
+    echo "FAIL: daemon did not drain cleanly after the load run" >&2
+    cat "$workdir/fmverifyd.log" >&2
+    exit 1
+fi
+trap - EXIT
+
+echo "loadgen scenario done (artifacts in $workdir)"
