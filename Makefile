@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 1x
 
-.PHONY: all build vet test race bench bench-json bench-physics bench-physics-check bench-registry bench-registry-check loadgen loadgen-check experiments smoke cover cover-check fmt clean
+.PHONY: all build vet test race bench bench-json bench-physics bench-physics-check bench-registry bench-registry-check bench-hotpath bench-hotpath-check loadgen loadgen-check experiments smoke cover cover-check fmt clean
 
 all: build vet test
 
@@ -53,6 +53,21 @@ bench-registry:
 # the scripts/bench_registry_baseline.json ns ceiling at 1M keys.
 bench-registry-check: bench-registry
 	./scripts/check_bench.sh BENCH_registry.json
+
+# Verify hot-path benchmark: the full /v1/verify request lifecycle
+# (mux -> admission -> body read -> sniff -> load -> physics verify ->
+# encode) measured single-core through the real handler, cache-miss and
+# cache-hit. Writes BENCH_hotpath.json (schema
+# flashmark-bench-hotpath/v1). The package path must precede the
+# -hotjson flag or `go test` stops parsing the package list.
+bench-hotpath:
+	$(GO) test ./internal/service/ -run xxx -bench BenchmarkVerifyHotPath -benchtime 50x -hotjson $(CURDIR)/BENCH_hotpath.json
+
+# Hot-path acceptance gate: allocs/op must stay under the hard ceilings
+# in scripts/bench_hotpath_baseline.json on both paths, and the miss
+# path must clear the loose chips/sec floor.
+bench-hotpath-check: bench-hotpath
+	./scripts/check_bench.sh BENCH_hotpath.json
 
 # Synthetic-fleet load scenario: prove the schedule is reproducible,
 # start fmverifyd, drive it with the fixed Poisson workload (genuine

@@ -32,6 +32,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -69,6 +70,7 @@ func run(args []string, out io.Writer) error {
 		drainFor = fs.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight work on shutdown")
 		regDir   = fs.String("registry-dir", "", "directory for the durable provenance registry (empty disables /v1/enroll and DUPLICATE-ID escalation)")
 		regShard = fs.Int("registry-shards", 0, "registry index lock stripes (0 selects the default)")
+		pprofAt  = fs.String("pprof-addr", "", "separate listen address for net/http/pprof profiling endpoints (empty disables profiling)")
 		version  = fs.Bool("version", false, "print build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -132,6 +134,26 @@ func run(args []string, out io.Writer) error {
 		errc <- httpSrv.ListenAndServe()
 	}()
 
+	// Profiling is opt-in and lives on its own listener so the pprof
+	// surface is never reachable through the service port; bind it to
+	// localhost in production. The handlers are registered explicitly on
+	// a private mux — the service mux never serves DefaultServeMux, so
+	// net/http/pprof's init-time registrations stay unreachable.
+	var pprofSrv *http.Server
+	if *pprofAt != "" {
+		pprofSrv = &http.Server{
+			Addr:              *pprofAt,
+			Handler:           pprofMux(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			logger.Printf("pprof listening on %s", *pprofAt)
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("pprof server: %v", err)
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 	select {
@@ -147,6 +169,9 @@ func run(args []string, out io.Writer) error {
 	defer cancel()
 	drainErr := srv.Drain(ctx)
 	shutErr := httpSrv.Shutdown(ctx)
+	if pprofSrv != nil {
+		_ = pprofSrv.Shutdown(ctx)
+	}
 	if drainErr != nil {
 		return drainErr
 	}
@@ -155,4 +180,16 @@ func run(args []string, out io.Writer) error {
 	}
 	logger.Printf("drained cleanly")
 	return nil
+}
+
+// pprofMux exposes exactly the standard pprof surface on a mux of its
+// own, keeping the daemon's DefaultServeMux untouched.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

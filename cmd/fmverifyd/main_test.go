@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -45,6 +47,27 @@ func TestRunRejectsUnopenableRegistry(t *testing.T) {
 	err := run([]string{"-key", "k", "-registry-dir", blocker}, &out)
 	if err == nil || !strings.Contains(err.Error(), "registry") {
 		t.Fatalf("unopenable registry dir must fail with context, got %v", err)
+	}
+}
+
+func TestPprofMuxSurface(t *testing.T) {
+	mux := pprofMux()
+	// The index and the fixed-name profiles answer; anything outside
+	// /debug/pprof/ does not exist on the profiling listener.
+	for path, want := range map[string]int{
+		"/debug/pprof/":          http.StatusOK,
+		"/debug/pprof/cmdline":   http.StatusOK,
+		"/debug/pprof/symbol":    http.StatusOK,
+		"/debug/pprof/goroutine": http.StatusOK,
+		"/v1/verify":             http.StatusNotFound,
+		"/metrics":               http.StatusNotFound,
+	} {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		if rec.Code != want {
+			t.Errorf("GET %s = %d, want %d", path, rec.Code, want)
+		}
 	}
 }
 

@@ -91,6 +91,8 @@ func (c FactoryConfig) applyFieldUse(dev device.Device, seed uint64) error {
 		return err
 	}
 	used := 0
+	mask := uint64(1)<<uint(geom.WordBits()) - 1
+	data := make([]uint64, geom.WordsPerSegment())
 	for seg := 0; seg < geom.TotalSegments() && used < c.FieldWearSegments; seg++ {
 		if seg == wmSeg {
 			continue
@@ -102,9 +104,9 @@ func (c FactoryConfig) applyFieldUse(dev device.Device, seed uint64) error {
 		// A fixed random pattern per segment: roughly half the cells
 		// live through the full P/E count, the rest see erase-only
 		// stress — the nonuniform wear profile of real firmware/log
-		// storage, and the profile the wear screen must catch.
-		mask := uint64(1)<<uint(geom.WordBits()) - 1
-		data := make([]uint64, geom.WordsPerSegment())
+		// storage, and the profile the wear screen must catch. The
+		// buffer is refilled (every word overwritten) each iteration,
+		// so hoisting it does not change the draw sequence.
 		for i := range data {
 			data[i] = r.Uint64() & mask
 		}

@@ -175,9 +175,18 @@ func RunPopulationContext(ctx context.Context, spec PopulationSpec, cfg FactoryC
 		return nil, nil, fmt.Errorf("counterfeit: parallel population runs cannot use a die-ID auditor (order-dependent); run the audit pass serially")
 	}
 	jobs := populationJobs(spec, seedBase)
+	// Recycle device instances across jobs: Refabricate-capable backends
+	// reset in place instead of reconstructing, and a Result carries only
+	// value data, so a verified chip's device is free for the next job.
+	arenaCfg := cfg
+	var arena *deviceArena
+	if cfg.Fab != nil {
+		arena = newDeviceArena(cfg.Fab)
+		arenaCfg.Fab = arena.Fab
+	}
 	outcomes, err := parallel.MapContext(ctx, parallel.Pool{Workers: workers}, len(jobs), func(i int) (Outcome, error) {
 		j := jobs[i]
-		dev, err := Fabricate(j.class, cfg, j.seed, j.die)
+		dev, err := Fabricate(j.class, arenaCfg, j.seed, j.die)
 		if err != nil {
 			return Outcome{}, fmt.Errorf("counterfeit: fabricating %s chip (die %d): %w", j.class, j.die, err)
 		}
@@ -185,6 +194,7 @@ func RunPopulationContext(ctx context.Context, spec PopulationSpec, cfg FactoryC
 		if err != nil {
 			return Outcome{}, fmt.Errorf("counterfeit: verifying %s chip (die %d): %w", j.class, j.die, err)
 		}
+		arena.Recycle(dev)
 		return Outcome{Class: j.class, Verdict: res.Verdict, Result: res}, nil
 	})
 	if err != nil {

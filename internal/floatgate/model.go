@@ -41,7 +41,7 @@ func (m *Model) Seed() uint64 { return m.seed }
 // Base returns the immutable parameters of the cell at (segment, cell).
 // The mapping is pure: the same chip seed always yields the same cell.
 func (m *Model) Base(segIndex, cellIndex int) CellBase {
-	st := m.root.Split2(uint64(segIndex), uint64(cellIndex))
+	st := m.root.Split2Val(uint64(segIndex), uint64(cellIndex))
 	tau := mathx.Clamp(
 		st.NormalAt(m.params.TauBaseMeanUs, m.params.TauBaseSigmaUs),
 		m.params.TauBaseMinUs, m.params.TauBaseMaxUs,

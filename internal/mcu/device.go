@@ -7,6 +7,7 @@
 package mcu
 
 import (
+	"bytes"
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
@@ -202,7 +203,12 @@ func (d *Device) ChargeHostTransfer(n int) {
 	d.Clock().Advance(d.Ledger().Charge(OpHost, dur))
 }
 
-// chipFile is the on-disk JSON envelope for a chip.
+// chipFile is the on-disk JSON envelope for a chip. The array payload —
+// the dominant field by orders of magnitude — stays a raw JSON string
+// on the decode side: json.RawMessage reuses its backing capacity
+// across Unmarshal calls, which is what lets a pooled Loader parse chip
+// files without reallocating the payload (base64 never contains JSON
+// escapes, so the quoted bytes are decodable in place).
 type chipFile struct {
 	Format   string            `json:"format"`
 	Version  int               `json:"version"`
@@ -210,7 +216,7 @@ type chipFile struct {
 	Seed     uint64            `json:"seed"`
 	Params   *floatgate.Params `json:"params,omitempty"` // overrides catalog params
 	AgeYears float64           `json:"ageYears,omitempty"`
-	Array    string            `json:"array"` // base64 of nor binary encoding
+	Array    json.RawMessage   `json:"array"` // quoted base64 of nor binary encoding
 }
 
 const (
@@ -240,11 +246,56 @@ func (d *Device) Save(w io.Writer) error {
 		Seed:     d.seed,
 		Params:   &params,
 		AgeYears: d.ctl.AgeYears(),
-		Array:    base64.StdEncoding.EncodeToString(raw),
+		Array:    quotedBase64(raw),
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(cf)
+}
+
+// quotedBase64 renders raw as the JSON string token the chip file
+// stores the array payload under (base64 needs no JSON escaping, so
+// quoting is just delimiters).
+func quotedBase64(raw []byte) json.RawMessage {
+	n := base64.StdEncoding.EncodedLen(len(raw))
+	out := make([]byte, n+2)
+	out[0], out[n+1] = '"', '"'
+	base64.StdEncoding.Encode(out[1:n+1], raw)
+	return out
+}
+
+// chipArrayBytes extracts the base64 text from the raw array payload.
+// The fast path slices the quoted token in place; a payload with
+// escapes (never produced by Save) or a non-string value falls back to
+// the strict decoder, whose error the caller wraps as a chip-file
+// decode failure.
+func chipArrayBytes(raw json.RawMessage) ([]byte, error) {
+	if len(raw) >= 2 && raw[0] == '"' && raw[len(raw)-1] == '"' && bytes.IndexByte(raw, '\\') < 0 {
+		return raw[1 : len(raw)-1], nil
+	}
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	var s string
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, err
+	}
+	return []byte(s), nil
+}
+
+// decodeChipArray base64-decodes the array payload into dst's capacity,
+// growing it only when the payload outgrows it.
+func decodeChipArray(b64 []byte, dst []byte) ([]byte, error) {
+	n := base64.StdEncoding.DecodedLen(len(b64))
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	}
+	dst = dst[:n]
+	m, err := base64.StdEncoding.Decode(dst, b64)
+	if err != nil {
+		return nil, err
+	}
+	return dst[:m], nil
 }
 
 // Load reconstructs a chip from Save output. The part is looked up in the
@@ -268,7 +319,11 @@ func Load(r io.Reader) (*Device, error) {
 	if cf.Params != nil {
 		part.Params = *cf.Params
 	}
-	raw, err := base64.StdEncoding.DecodeString(cf.Array)
+	b64, err := chipArrayBytes(cf.Array)
+	if err != nil {
+		return nil, fmt.Errorf("mcu: decoding chip file: %w", err)
+	}
+	raw, err := decodeChipArray(b64, nil)
 	if err != nil {
 		return nil, fmt.Errorf("mcu: decoding array payload: %w", err)
 	}
@@ -297,6 +352,103 @@ func Load(r io.Reader) (*Device, error) {
 		}
 	}
 	return dev, nil
+}
+
+// Loader parses chip files with fully reusable scratch: the JSON
+// envelope (its raw array payload included), the base64-decoded binary
+// form, and the cell array itself are all recycled across Load calls
+// when the geometry repeats — the service hot path, where one catalog
+// part dominates any given dock. The device returned by Load aliases
+// the Loader's array storage, so it is invalidated by the next Load;
+// callers keep a device and its loader together for the request and
+// recycle both when the report is rendered. A Loader is not safe for
+// concurrent use; pool instances instead. The zero value is ready.
+type Loader struct {
+	cf  chipFile
+	bin []byte
+	arr *nor.Array
+}
+
+// Load reconstructs a chip from data (one complete chip file, the
+// bytes Save writes). Identical in behavior to Load(bytes.NewReader(
+// data)) except that trailing data after the JSON object is rejected —
+// which is what the service's former whole-body format sniff already
+// enforced for every request.
+func (l *Loader) Load(data []byte) (*Device, error) {
+	l.cf = chipFile{Array: l.cf.Array[:0]}
+	if err := json.Unmarshal(data, &l.cf); err != nil {
+		return nil, fmt.Errorf("mcu: decoding chip file: %w", err)
+	}
+	cf := &l.cf
+	if cf.Format != chipFormat {
+		return nil, fmt.Errorf("mcu: not a chip file (format %q)", cf.Format)
+	}
+	if cf.Version != chipVersion {
+		return nil, fmt.Errorf("mcu: unsupported chip file version %d", cf.Version)
+	}
+	part, err := PartByName(cf.PartName)
+	if err != nil {
+		return nil, err
+	}
+	if cf.Params != nil {
+		part.Params = *cf.Params
+	}
+	b64, err := chipArrayBytes(cf.Array)
+	if err != nil {
+		return nil, fmt.Errorf("mcu: decoding chip file: %w", err)
+	}
+	bin, err := decodeChipArray(b64, l.bin)
+	if err != nil {
+		return nil, fmt.Errorf("mcu: decoding array payload: %w", err)
+	}
+	l.bin = bin[:0]
+	headGeom, err := nor.ArrayGeometry(bin)
+	if err != nil {
+		return nil, err
+	}
+	if headGeom != part.Geometry {
+		return nil, fmt.Errorf("mcu: chip file geometry %+v does not match part %s", headGeom, part.Name)
+	}
+	arr, err := nor.UnmarshalArrayInto(l.arr, bin)
+	if err != nil {
+		return nil, err
+	}
+	l.arr = arr
+	dev, err := newDeviceWithArray(part, cf.Seed, arr)
+	if err != nil {
+		return nil, err
+	}
+	if cf.AgeYears > 0 {
+		if err := dev.ctl.SetAgeYears(cf.AgeYears); err != nil {
+			return nil, err
+		}
+	}
+	return dev, nil
+}
+
+// LoadDevice reconstructs a chip behind the substrate-neutral device
+// interface (the Loader counterpart of the package-level LoadDevice).
+func (l *Loader) LoadDevice(data []byte) (device.Device, error) {
+	return l.Load(data)
+}
+
+// Refabricate returns the device to the pristine state NewDevice(part,
+// seed) constructs, in place: every cell erased with zero wear, a fresh
+// physics model for the new die identity, and zeroed clock, ledger and
+// controller state — but reusing the cell array, which is the dominant
+// allocation. The selected physics path survives the reset, because fab
+// wrappers like device.WithPhysicsPath run only at construction and a
+// recycling arena never re-invokes them.
+func (d *Device) Refabricate(seed uint64) error {
+	path := d.ctl.PhysicsPath()
+	arr := d.ctl.Array()
+	arr.Reset()
+	nd, err := newDeviceWithArray(d.part, seed, arr)
+	if err != nil {
+		return err
+	}
+	*d = *nd
+	return d.ctl.SetPhysicsPath(path)
 }
 
 // Age advances the chip's unpowered-storage age to the given total years
@@ -428,4 +580,5 @@ var (
 	_ device.PartialProgrammer = (*Device)(nil)
 	_ device.WearInspector     = (*Device)(nil)
 	_ device.PhysicsSelector   = (*Device)(nil)
+	_ device.Refabricator      = (*Device)(nil)
 )

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/flashmark/flashmark/internal/device"
 	"github.com/flashmark/flashmark/internal/flashctl"
 	"github.com/flashmark/flashmark/internal/vclock"
 )
@@ -215,5 +216,154 @@ func TestLedgerClassesAfterActivity(t *testing.T) {
 	l := d.Ledger()
 	if l.Of(vclock.OpErase) == 0 || l.Of(OpHost) == 0 {
 		t.Errorf("ledger missing classes: %s", l)
+	}
+}
+
+// savedBytes serializes a device the way a client uploads it.
+func savedBytes(t *testing.T, d *Device) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLoaderMatchesLoad proves the reusable Loader is equivalent to the
+// one-shot Load: the device a warm (already-populated) Loader produces
+// re-serializes to the same bytes, across chips of different parts and
+// states, and rejects exactly the garbage Load rejects.
+func TestLoaderMatchesLoad(t *testing.T) {
+	worn := newSim(t, 7)
+	ctl := worn.Controller()
+	if err := ctl.Unlock(flashctl.UnlockKey); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.ProgramWord(16, 0x5443); err != nil {
+		t.Fatal(err)
+	}
+	values := make([]uint64, worn.Part().Geometry.WordsPerSegment())
+	if err := ctl.StressSegmentWords(512, values, 1000, false); err != nil {
+		t.Fatal(err)
+	}
+	aged, err := NewDevice(PartSmallSim(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aged.Age(2.5); err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewDevice(PartMSP430F5529(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var l Loader
+	for i, d := range []*Device{worn, aged, big, newSim(t, 3)} {
+		file := savedBytes(t, d)
+		got, err := l.Load(file)
+		if err != nil {
+			t.Fatalf("chip %d: %v", i, err)
+		}
+		want, err := Load(bytes.NewReader(file))
+		if err != nil {
+			t.Fatalf("chip %d: %v", i, err)
+		}
+		if !bytes.Equal(savedBytes(t, got), savedBytes(t, want)) {
+			t.Fatalf("chip %d: Loader device diverges from Load device", i)
+		}
+		if got.AgeYears() != want.AgeYears() {
+			t.Fatalf("chip %d: age %v vs %v", i, got.AgeYears(), want.AgeYears())
+		}
+	}
+	for i, c := range []string{
+		"",
+		"not json",
+		`{"format":"other","version":1}`,
+		`{"format":"flashmark-chip","version":99,"part":"FM-SIM16"}`,
+		`{"format":"flashmark-chip","version":1,"part":"NOPE","array":""}`,
+		`{"format":"flashmark-chip","version":1,"part":"FM-SIM16","array":"!!!"}`,
+		`{"format":"flashmark-chip","version":1,"part":"FM-SIM16","array":""}`,
+	} {
+		if _, err := l.Load([]byte(c)); err == nil {
+			t.Errorf("garbage case %d accepted by warm Loader", i)
+		}
+	}
+	// The loader must still work after rejecting garbage.
+	if _, err := l.Load(savedBytes(t, worn)); err != nil {
+		t.Fatalf("Loader broken after rejections: %v", err)
+	}
+}
+
+// TestLoaderWarmAllocs pins the zero-alloc property the service hot
+// path rests on: reloading same-geometry chip files through a warm
+// Loader does not allocate for the payload, binary form, or cell array.
+func TestLoaderWarmAllocs(t *testing.T) {
+	file := savedBytes(t, newSim(t, 5))
+	var l Loader
+	if _, err := l.Load(file); err != nil {
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(20, func() {
+		if _, err := l.Load(file); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The envelope parse and device construction still allocate a
+	// handful of small objects; the point is the ~100KB payload, the
+	// binary form, and the 768KB cell array are all recycled.
+	if n > 50 {
+		t.Errorf("warm Loader.Load allocates %v times per run, want O(10)", n)
+	}
+}
+
+// TestRefabricateMatchesNewDevice proves in-place refabrication is
+// exactly a fresh construction: same serialized state, same physics,
+// and the physics path survives while everything else resets.
+func TestRefabricateMatchesNewDevice(t *testing.T) {
+	d := newSim(t, 7)
+	ctl := d.Controller()
+	if err := ctl.Unlock(flashctl.UnlockKey); err != nil {
+		t.Fatal(err)
+	}
+	values := make([]uint64, d.Part().Geometry.WordsPerSegment())
+	if err := ctl.StressSegmentWords(512, values, 500, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Age(1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetPhysicsPath(device.PhysicsReference); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Refabricate(42); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewDevice(PartSmallSim(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Seed() != 42 || d.AgeYears() != 0 || d.Clock().Now() != 0 {
+		t.Fatalf("refabricated state not pristine: seed %d age %v clock %v",
+			d.Seed(), d.AgeYears(), d.Clock().Now())
+	}
+	if d.PhysicsPath() != device.PhysicsReference {
+		t.Fatalf("physics path lost across Refabricate: %v", d.PhysicsPath())
+	}
+	if err := d.SetPhysicsPath(device.PhysicsFast); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(savedBytes(t, d), savedBytes(t, fresh)) {
+		t.Fatal("refabricated device serializes differently from a fresh one")
+	}
+	// Same die identity physics: identical tau for identical cells.
+	if got, want := d.Controller().Model().TauAt(1, 0, 0), fresh.Controller().Model().TauAt(1, 0, 0); got != want {
+		t.Fatalf("tau diverged: %v vs %v", got, want)
+	}
+	// And the device still behaves: a full verify-style op sequence works.
+	if err := d.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EraseSegment(0); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,6 +1,7 @@
 package nand
 
 import (
+	"bytes"
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
@@ -372,7 +373,11 @@ func (b blockCells) MaxTauOver(include func(i int) bool, wearOf func(i int) floa
 	return b.d.maxTauOver(b.block, include, wearOf)
 }
 
-// nandChipFile is the on-disk JSON envelope for a NAND chip.
+// nandChipFile is the on-disk JSON envelope for a NAND chip. Array is
+// kept as raw JSON (the quoted base64 text) rather than a string: like
+// mcu's chipFile, RawMessage's append-into-self decode lets a reloading
+// Loader recycle the payload buffer, and base64 text never needs
+// unescaping.
 type nandChipFile struct {
 	Format   string           `json:"format"`
 	Version  int              `json:"version"`
@@ -381,7 +386,7 @@ type nandChipFile struct {
 	Params   floatgate.Params `json:"params"`
 	Seed     uint64           `json:"seed"`
 	NextPage []int            `json:"nextPage"`
-	Array    string           `json:"array"` // base64 of nor binary encoding
+	Array    json.RawMessage  `json:"array"` // quoted base64 of nor binary encoding
 }
 
 const (
@@ -404,11 +409,55 @@ func (a *Adapter) Save(w io.Writer) error {
 		Params:   a.d.params,
 		Seed:     a.d.seed,
 		NextPage: append([]int(nil), a.d.nextPage...),
-		Array:    base64.StdEncoding.EncodeToString(raw),
+		Array:    quotedBase64(raw),
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(cf)
+}
+
+// quotedBase64 renders raw as the JSON string token the chip file
+// embeds: base64 text needs no escaping, so the quotes can be placed
+// directly (mirrors the mcu chip-file helper).
+func quotedBase64(raw []byte) json.RawMessage {
+	n := base64.StdEncoding.EncodedLen(len(raw))
+	out := make([]byte, n+2)
+	out[0], out[n+1] = '"', '"'
+	base64.StdEncoding.Encode(out[1:n+1], raw)
+	return out
+}
+
+// chipArrayBytes extracts the base64 text from the raw array payload.
+// The fast path peels the quotes off an escape-free string token in
+// place; anything else (escapes, or a non-string value whose error
+// surface must match a string unmarshal) goes through encoding/json.
+func chipArrayBytes(raw json.RawMessage) ([]byte, error) {
+	if len(raw) >= 2 && raw[0] == '"' && raw[len(raw)-1] == '"' && bytes.IndexByte(raw, '\\') < 0 {
+		return raw[1 : len(raw)-1], nil
+	}
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	var s string
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, err
+	}
+	return []byte(s), nil
+}
+
+// decodeChipArray base64-decodes the array payload into dst's capacity,
+// allocating only when dst is too small.
+func decodeChipArray(b64 []byte, dst []byte) ([]byte, error) {
+	n := base64.StdEncoding.DecodedLen(len(b64))
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	}
+	dst = dst[:n]
+	m, err := base64.StdEncoding.Decode(dst, b64)
+	if err != nil {
+		return nil, err
+	}
+	return dst[:m], nil
 }
 
 // LoadAdapter reconstructs a NAND chip from Save output.
@@ -427,7 +476,11 @@ func LoadAdapter(r io.Reader) (*Adapter, error) {
 	if err != nil {
 		return nil, err
 	}
-	raw, err := base64.StdEncoding.DecodeString(cf.Array)
+	b64, err := chipArrayBytes(cf.Array)
+	if err != nil {
+		return nil, fmt.Errorf("nand: decoding chip file: %w", err)
+	}
+	raw, err := decodeChipArray(b64, nil)
 	if err != nil {
 		return nil, fmt.Errorf("nand: decoding array payload: %w", err)
 	}
@@ -455,6 +508,85 @@ func LoadAdapter(r io.Reader) (*Adapter, error) {
 	}
 	copy(d.nextPage, cf.NextPage)
 	return Adapt(d), nil
+}
+
+// Loader reconstructs NAND chips from Save output, recycling the JSON
+// envelope, the binary array form, the cell array, and the page-cursor
+// slice across loads — the NAND counterpart of mcu.Loader. The zero
+// value is ready. A Loader is not safe for concurrent use, and the
+// adapter it returns aliases the loader's storage: the next Load
+// invalidates every previously returned adapter.
+type Loader struct {
+	cf       nandChipFile
+	bin      []byte
+	arr      *nor.Array
+	nextPage []int
+}
+
+// Load reconstructs a NAND chip from the serialized chip file. It
+// performs the same validation as LoadAdapter, in the same order,
+// but decodes strictly from the byte slice and reuses the loader's
+// buffers instead of allocating a fresh cell array per call.
+func (l *Loader) Load(data []byte) (*Adapter, error) {
+	// Reset the envelope but keep the Array and NextPage capacity:
+	// RawMessage and slice decoding both append into the existing
+	// backing store.
+	l.cf = nandChipFile{Array: l.cf.Array[:0], NextPage: l.cf.NextPage[:0]}
+	if err := json.Unmarshal(data, &l.cf); err != nil {
+		return nil, fmt.Errorf("nand: decoding chip file: %w", err)
+	}
+	cf := &l.cf
+	if cf.Format != nandChipFormat {
+		return nil, fmt.Errorf("nand: not a NAND chip file (format %q)", cf.Format)
+	}
+	if cf.Version != nandChipVersion {
+		return nil, fmt.Errorf("nand: unsupported chip file version %d", cf.Version)
+	}
+	if err := cf.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cf.Timing.Validate(); err != nil {
+		return nil, err
+	}
+	model, err := floatgate.NewModel(cf.Params, cf.Seed)
+	if err != nil {
+		return nil, err
+	}
+	b64, err := chipArrayBytes(cf.Array)
+	if err != nil {
+		return nil, fmt.Errorf("nand: decoding chip file: %w", err)
+	}
+	bin, err := decodeChipArray(b64, l.bin)
+	if err != nil {
+		return nil, fmt.Errorf("nand: decoding array payload: %w", err)
+	}
+	l.bin = bin[:0]
+	headGeom, err := nor.ArrayGeometry(bin)
+	if err != nil {
+		return nil, err
+	}
+	if want := norGeomFor(cf.Geometry); headGeom != want {
+		return nil, fmt.Errorf("nand: chip file array geometry %+v does not match %+v", headGeom, want)
+	}
+	arr, err := nor.UnmarshalArrayInto(l.arr, bin)
+	if err != nil {
+		return nil, err
+	}
+	l.arr = arr
+	if len(cf.NextPage) != cf.Geometry.Blocks {
+		return nil, fmt.Errorf("nand: chip file has %d page cursors for %d blocks", len(cf.NextPage), cf.Geometry.Blocks)
+	}
+	for block, p := range cf.NextPage {
+		if p < 0 || p > cf.Geometry.PagesPerBlock {
+			return nil, fmt.Errorf("nand: chip file page cursor %d of block %d out of range", p, block)
+		}
+	}
+	if cap(l.nextPage) < cf.Geometry.Blocks {
+		l.nextPage = make([]int, cf.Geometry.Blocks)
+	}
+	next := l.nextPage[:cf.Geometry.Blocks]
+	copy(next, cf.NextPage)
+	return Adapt(newDevice(cf.Geometry, cf.Timing, cf.Params, cf.Seed, model, arr, next)), nil
 }
 
 // Interface conformance (device.Device plus the wear capability; NAND

@@ -118,6 +118,36 @@ type Device struct {
 	envScratch []nandWearGroup
 }
 
+// norGeomFor maps a NAND geometry onto the nor.Array cell store: one
+// "segment" per block, 16-bit words.
+func norGeomFor(geom Geometry) nor.Geometry {
+	return nor.Geometry{
+		Banks:           1,
+		SegmentsPerBank: geom.Blocks,
+		SegmentBytes:    geom.BlockBytes(),
+		WordBytes:       2,
+	}
+}
+
+// newDevice assembles a Device from already-validated parts. Callers
+// own validation and the cell store: NewDevice allocates fresh state,
+// while Loader.Load supplies recycled cells and page cursors.
+func newDevice(geom Geometry, timing Timing, params floatgate.Params, seed uint64,
+	model *floatgate.Model, cells *nor.Array, nextPage []int) *Device {
+	return &Device{
+		geom:     geom,
+		timing:   timing,
+		params:   params,
+		seed:     seed,
+		model:    model,
+		cells:    cells,
+		clock:    &vclock.Clock{},
+		ledger:   &vclock.Ledger{},
+		noise:    rng.New(seed ^ 0x4E414E44),
+		nextPage: nextPage,
+	}
+}
+
 // NewDevice fabricates a NAND chip with the given physics and seed.
 func NewDevice(geom Geometry, timing Timing, params floatgate.Params, seed uint64) (*Device, error) {
 	if err := geom.Validate(); err != nil {
@@ -131,27 +161,11 @@ func NewDevice(geom Geometry, timing Timing, params floatgate.Params, seed uint6
 		return nil, err
 	}
 	// One nor "segment" per block holds the cell state.
-	arr, err := nor.NewArray(nor.Geometry{
-		Banks:           1,
-		SegmentsPerBank: geom.Blocks,
-		SegmentBytes:    geom.BlockBytes(),
-		WordBytes:       2,
-	})
+	arr, err := nor.NewArray(norGeomFor(geom))
 	if err != nil {
 		return nil, err
 	}
-	return &Device{
-		geom:     geom,
-		timing:   timing,
-		params:   params,
-		seed:     seed,
-		model:    model,
-		cells:    arr,
-		clock:    &vclock.Clock{},
-		ledger:   &vclock.Ledger{},
-		noise:    rng.New(seed ^ 0x4E414E44),
-		nextPage: make([]int, geom.Blocks),
-	}, nil
+	return newDevice(geom, timing, params, seed, model, arr, make([]int, geom.Blocks)), nil
 }
 
 // Geometry returns the device geometry.

@@ -448,3 +448,71 @@ func TestNANDTimeAccounting(t *testing.T) {
 		t.Errorf("clock = %v, want %v", d.Clock().Now(), want)
 	}
 }
+
+// TestLoaderMatchesLoadAdapter proves the reusable Loader is equivalent
+// to the one-shot LoadAdapter: identical reconstructed state across
+// chips loaded back to back through one warm Loader, and the garbage
+// LoadAdapter rejects stays rejected.
+func TestLoaderMatchesLoadAdapter(t *testing.T) {
+	imprinted := Adapt(newNAND(t, 21))
+	words := make([]uint64, imprinted.Geometry().WordsPerSegment())
+	for i := range words {
+		words[i] = uint64(i*37) & 0xFFFF
+	}
+	if err := core.ImprintSegment(imprinted, 0, words, core.ImprintOptions{NPE: 60_000, Accelerated: true}); err != nil {
+		t.Fatal(err)
+	}
+	partial := Adapt(newNAND(t, 22))
+	if err := partial.ProgramBlock(0, make([]uint64, partial.d.Geometry().PageBytes/2)); err != nil {
+		t.Fatal(err)
+	}
+	var l Loader
+	for i, a := range []*Adapter{imprinted, partial, Adapt(newNAND(t, 23))} {
+		var buf bytes.Buffer
+		if err := a.Save(&buf); err != nil {
+			t.Fatalf("chip %d: %v", i, err)
+		}
+		got, err := l.Load(buf.Bytes())
+		if err != nil {
+			t.Fatalf("chip %d: %v", i, err)
+		}
+		want, err := LoadAdapter(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("chip %d: %v", i, err)
+		}
+		if got.Seed() != want.Seed() || got.Geometry() != want.Geometry() {
+			t.Fatalf("chip %d: identity diverges", i)
+		}
+		for c := 0; c < got.Geometry().TotalCells(); c++ {
+			if got.d.cells.Margin(c) != want.d.cells.Margin(c) || got.d.cells.Wear(c) != want.d.cells.Wear(c) {
+				t.Fatalf("chip %d: cell %d state diverges", i, c)
+			}
+		}
+		for b := range got.d.nextPage {
+			if got.d.nextPage[b] != want.d.nextPage[b] {
+				t.Fatalf("chip %d: page cursor of block %d diverges: %d vs %d",
+					i, b, got.d.nextPage[b], want.d.nextPage[b])
+			}
+		}
+	}
+	for i, c := range []string{
+		"",
+		"not json",
+		`{"format":"other","version":1}`,
+		`{"format":"flashmark-nand-chip","version":99}`,
+		`{"format":"flashmark-nand-chip","version":1,"geometry":{"Blocks":-1}}`,
+		`{"format":"flashmark-nand-chip","version":1}`,
+	} {
+		if _, err := l.Load([]byte(c)); err == nil {
+			t.Errorf("garbage case %d accepted by warm Loader", i)
+		}
+	}
+	// The loader must still work after rejecting garbage.
+	var buf bytes.Buffer
+	if err := imprinted.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Load(buf.Bytes()); err != nil {
+		t.Fatalf("Loader broken after rejections: %v", err)
+	}
+}

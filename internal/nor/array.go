@@ -1,7 +1,6 @@
 package nor
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -200,30 +199,47 @@ func (a *Array) MarshalBinary() ([]byte, error) {
 	return out, nil
 }
 
-// readArrayHeader consumes the magic, version and geometry fields from r.
-func readArrayHeader(r *bytes.Reader) (Geometry, error) {
-	magic := make([]byte, 4)
-	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != arrayMagic {
-		return Geometry{}, fmt.Errorf("nor: bad array magic")
+// needBytes checks that n more bytes are available at off, reporting
+// the io.ReadFull error contract the former binary.Read decoder had on
+// a bytes.Reader — io.EOF on exhausted input, ErrUnexpectedEOF on a
+// partial field — so wrapped error messages stay stable.
+func needBytes(data []byte, off, n int) error {
+	switch {
+	case len(data)-off >= n:
+		return nil
+	case len(data)-off == 0:
+		return io.EOF
 	}
-	read := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
-	var version uint16
-	if err := read(&version); err != nil {
-		return Geometry{}, fmt.Errorf("nor: truncated header: %w", err)
+	return io.ErrUnexpectedEOF
+}
+
+// decodeArrayHeader parses the magic, version and geometry prefix of a
+// serialized array, returning the geometry and the header length.
+func decodeArrayHeader(data []byte) (Geometry, int, error) {
+	if len(data) < 4 || string(data[:4]) != arrayMagic {
+		return Geometry{}, 0, fmt.Errorf("nor: bad array magic")
 	}
+	off := 4
+	if err := needBytes(data, off, 2); err != nil {
+		return Geometry{}, 0, fmt.Errorf("nor: truncated header: %w", err)
+	}
+	version := binary.LittleEndian.Uint16(data[off:])
+	off += 2
 	if version != arrayVersion {
-		return Geometry{}, fmt.Errorf("nor: unsupported array version %d", version)
+		return Geometry{}, 0, fmt.Errorf("nor: unsupported array version %d", version)
 	}
-	var banks, segs, segBytes, wordBytes uint32
-	for _, v := range []*uint32{&banks, &segs, &segBytes, &wordBytes} {
-		if err := read(v); err != nil {
-			return Geometry{}, fmt.Errorf("nor: truncated geometry: %w", err)
+	var fields [4]uint32
+	for i := range fields {
+		if err := needBytes(data, off, 4); err != nil {
+			return Geometry{}, 0, fmt.Errorf("nor: truncated geometry: %w", err)
 		}
+		fields[i] = binary.LittleEndian.Uint32(data[off:])
+		off += 4
 	}
 	return Geometry{
-		Banks: int(banks), SegmentsPerBank: int(segs),
-		SegmentBytes: int(segBytes), WordBytes: int(wordBytes),
-	}, nil
+		Banks: int(fields[0]), SegmentsPerBank: int(fields[1]),
+		SegmentBytes: int(fields[2]), WordBytes: int(fields[3]),
+	}, off, nil
 }
 
 // ArrayGeometry reads just the serialized array's geometry header without
@@ -233,7 +249,7 @@ func readArrayHeader(r *bytes.Reader) (Geometry, error) {
 // allocation — untrusted input must not command allocations the header
 // alone can rule out.
 func ArrayGeometry(data []byte) (Geometry, error) {
-	geom, err := readArrayHeader(bytes.NewReader(data))
+	geom, _, err := decodeArrayHeader(data)
 	if err != nil {
 		return Geometry{}, err
 	}
@@ -243,41 +259,71 @@ func ArrayGeometry(data []byte) (Geometry, error) {
 	return geom, nil
 }
 
+// Reset returns every cell to the pristine fresh-chip state (margin
+// erased, zero wear) in place, preserving the allocated storage — the
+// in-place counterpart of NewArray for device arenas and reloading
+// loaders.
+func (a *Array) Reset() {
+	for i := range a.margin {
+		a.margin[i] = MarginErased
+	}
+	clear(a.wear)
+}
+
 // UnmarshalArray reconstructs an array from MarshalBinary output.
 func UnmarshalArray(data []byte) (*Array, error) {
-	r := bytes.NewReader(data)
-	geom, err := readArrayHeader(r)
+	return UnmarshalArrayInto(nil, data)
+}
+
+// UnmarshalArrayInto reconstructs an array from MarshalBinary output,
+// reusing dst's cell storage when dst's geometry matches the serialized
+// geometry (dst's previous contents are discarded); otherwise — and
+// when dst is nil — a fresh array is allocated. On error a reused dst
+// is left partially filled; callers must not read it before the next
+// successful load. The decode walks the bytes directly (no reflective
+// binary.Read), which is what makes a warm reload allocation-free.
+func UnmarshalArrayInto(dst *Array, data []byte) (*Array, error) {
+	geom, off, err := decodeArrayHeader(data)
 	if err != nil {
 		return nil, err
 	}
-	read := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
-	a, err := NewArray(geom)
-	if err != nil {
-		return nil, err
+	var a *Array
+	if dst != nil && dst.geom == geom {
+		dst.Reset()
+		a = dst
+	} else {
+		a, err = NewArray(geom)
+		if err != nil {
+			return nil, err
+		}
 	}
-	var count uint64
-	if err := read(&count); err != nil {
+	if err := needBytes(data, off, 8); err != nil {
 		return nil, fmt.Errorf("nor: truncated cell count: %w", err)
 	}
+	count := binary.LittleEndian.Uint64(data[off:])
+	off += 8
 	if count > uint64(geom.TotalCells()) {
 		return nil, fmt.Errorf("nor: cell count %d exceeds array size %d", count, geom.TotalCells())
 	}
 	for n := uint64(0); n < count; n++ {
-		var idx uint64
-		var m float32
-		var w float64
-		if err := read(&idx); err != nil {
+		if err := needBytes(data, off, 8); err != nil {
 			return nil, fmt.Errorf("nor: truncated cell record: %w", err)
 		}
+		idx := binary.LittleEndian.Uint64(data[off:])
+		off += 8
 		if idx >= uint64(geom.TotalCells()) {
 			return nil, fmt.Errorf("nor: cell index %d outside array", idx)
 		}
-		if err := read(&m); err != nil {
+		if err := needBytes(data, off, 4); err != nil {
 			return nil, fmt.Errorf("nor: truncated margin: %w", err)
 		}
-		if err := read(&w); err != nil {
+		m := math.Float32frombits(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if err := needBytes(data, off, 8); err != nil {
 			return nil, fmt.Errorf("nor: truncated wear: %w", err)
 		}
+		w := math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		off += 8
 		if w < 0 {
 			return nil, fmt.Errorf("nor: negative wear %v in serialized cell %d", w, idx)
 		}

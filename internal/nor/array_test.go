@@ -275,3 +275,78 @@ func BenchmarkMarshalWornSegment(b *testing.B) {
 		}
 	}
 }
+
+// TestUnmarshalArrayIntoReuses pins the reuse contract: a matching-
+// geometry destination is recycled in place (same backing storage, no
+// allocation) and decodes to exactly the state a fresh UnmarshalArray
+// produces, even when the destination carries arbitrary prior state.
+func TestUnmarshalArrayIntoReuses(t *testing.T) {
+	a := newSmallArray(t)
+	a.SetMargin(5, -1e39)
+	a.SetMargin(9, 2.5)
+	a.AddWear(5, 40000)
+	a.AddWear(100, 0.05)
+	data, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := UnmarshalArray(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty destination with prior state everywhere the payload does not
+	// touch: reuse must reset it, not merge.
+	dst := newSmallArray(t)
+	dst.SetMargin(7, -3)
+	dst.AddWear(7, 123)
+	got, err := UnmarshalArrayInto(dst, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != dst {
+		t.Fatal("matching geometry did not reuse the destination array")
+	}
+	for i := 0; i < want.Geometry().TotalCells(); i++ {
+		if got.Margin(i) != want.Margin(i) || got.Wear(i) != want.Wear(i) {
+			t.Fatalf("cell %d: reused decode (%v, %v) != fresh decode (%v, %v)",
+				i, got.Margin(i), got.Wear(i), want.Margin(i), want.Wear(i))
+		}
+	}
+	if n := testing.AllocsPerRun(20, func() {
+		if _, err := UnmarshalArrayInto(dst, data); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("warm UnmarshalArrayInto allocates %v times per run, want 0", n)
+	}
+	// Mismatched geometry must fall back to a fresh allocation.
+	other, err := NewArray(Geometry{Banks: 1, SegmentsPerBank: 2, SegmentBytes: 64, WordBytes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := UnmarshalArrayInto(other, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh == other {
+		t.Fatal("mismatched geometry reused the destination array")
+	}
+	if fresh.Geometry() != want.Geometry() {
+		t.Fatalf("fallback geometry %+v, want %+v", fresh.Geometry(), want.Geometry())
+	}
+}
+
+// TestArrayReset pins Reset against NewArray.
+func TestArrayReset(t *testing.T) {
+	a := newSmallArray(t)
+	a.SetMargin(3, -1)
+	a.AddWear(3, 9)
+	a.Reset()
+	fresh := newSmallArray(t)
+	for i := 0; i < a.Geometry().TotalCells(); i++ {
+		if a.Margin(i) != fresh.Margin(i) || a.Wear(i) != fresh.Wear(i) {
+			t.Fatalf("cell %d after Reset: (%v, %v), want fresh (%v, %v)",
+				i, a.Margin(i), a.Wear(i), fresh.Margin(i), fresh.Wear(i))
+		}
+	}
+}

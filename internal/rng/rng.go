@@ -62,6 +62,14 @@ func (r *Stream) Uint64() uint64 {
 // key): per-cell streams remain stable no matter how many other cells
 // exist or in which order they are visited.
 func (r *Stream) Split(key uint64) *Stream {
+	st := r.SplitVal(key)
+	return &st
+}
+
+// SplitVal is Split returning the child stream by value. Per-cell hot
+// paths (one derived stream per cell per segment rebuild) use it so the
+// child lives on the caller's stack instead of the heap.
+func (r *Stream) SplitVal(key uint64) Stream {
 	// Mix the parent state with the key through SplitMix64 so that
 	// nearby keys produce unrelated children.
 	x := r.s0 ^ rotl(r.s2, 23) ^ (key * 0x9e3779b97f4a7c15)
@@ -77,13 +85,18 @@ func (r *Stream) Split(key uint64) *Stream {
 	if st.s0|st.s1|st.s2|st.s3 == 0 {
 		st.s0 = 0x9e3779b97f4a7c15
 	}
-	return &st
+	return st
 }
 
 // Split2 derives a child stream from a pair of keys, convenient for
 // (segment, cell) style addressing.
 func (r *Stream) Split2(a, b uint64) *Stream {
 	return r.Split(a*0x9e3779b97f4a7c15 + b + 0x632be59bd9b4e019)
+}
+
+// Split2Val is Split2 returning the child stream by value.
+func (r *Stream) Split2Val(a, b uint64) Stream {
+	return r.SplitVal(a*0x9e3779b97f4a7c15 + b + 0x632be59bd9b4e019)
 }
 
 // Float64 returns a uniform value in [0, 1) with 53 bits of precision.

@@ -22,8 +22,13 @@ type verdictCache struct {
 }
 
 type cacheEntry struct {
-	key     string
-	body    []byte
+	key  string
+	body []byte
+	// rep is the decoded form of body, kept so the per-request
+	// provenance overlay can inspect a hit without re-unmarshaling it.
+	// Get hands out a value copy; the shared Payload pointer is
+	// read-only by contract (escalation rewrites scalar fields only).
+	rep     ChipReport
 	verdict counterfeit.Verdict
 }
 
@@ -33,23 +38,24 @@ func newVerdictCache(max int) *verdictCache {
 	return &verdictCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
 }
 
-// Get returns the cached response body and verdict for key and marks
-// the entry most recently used.
-func (c *verdictCache) Get(key string) ([]byte, counterfeit.Verdict, bool) {
+// Get returns the cached response body, its decoded report, and the
+// verdict for key, marking the entry most recently used. The report is
+// a value copy the caller may overlay; the body must not be mutated.
+func (c *verdictCache) Get(key string) ([]byte, ChipReport, counterfeit.Verdict, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		return nil, 0, false
+		return nil, ChipReport{}, 0, false
 	}
 	c.ll.MoveToFront(el)
 	e := el.Value.(*cacheEntry)
-	return e.body, e.verdict, true
+	return e.body, e.rep, e.verdict, true
 }
 
 // Put stores the response for key, evicting the least recently used
 // entry when full.
-func (c *verdictCache) Put(key string, body []byte, verdict counterfeit.Verdict) {
+func (c *verdictCache) Put(key string, body []byte, rep ChipReport, verdict counterfeit.Verdict) {
 	if c.max <= 0 {
 		return
 	}
@@ -58,10 +64,10 @@ func (c *verdictCache) Put(key string, body []byte, verdict counterfeit.Verdict)
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		e := el.Value.(*cacheEntry)
-		e.body, e.verdict = body, verdict
+		e.body, e.rep, e.verdict = body, rep, verdict
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body, verdict: verdict})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body, rep: rep, verdict: verdict})
 	for c.ll.Len() > c.max {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)

@@ -1,0 +1,150 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"github.com/flashmark/flashmark/internal/counterfeit"
+	"github.com/flashmark/flashmark/internal/device"
+	"github.com/flashmark/flashmark/internal/registry"
+)
+
+// TestCacheHitBypassesAdmission pins the handler ordering: a cache hit
+// is served before the admission gate, so a saturated verification
+// queue (Workers=1, QueueDepth=0, worker wedged) still answers known
+// chips while refusing unknown ones with 429.
+func TestCacheHitBypassesAdmission(t *testing.T) {
+	var blocking atomic.Bool
+	entered := make(chan struct{})
+	block := make(chan struct{})
+	srv, ts := newTestServer(t, Config{
+		Workers:    1,
+		QueueDepth: -1,
+		Decorate: func(d device.Device) device.Device {
+			if blocking.Load() {
+				entered <- struct{}{}
+				<-block
+			}
+			return d
+		},
+	})
+	_ = srv
+
+	known := chipBytes(t, counterfeit.ClassGenuineAccept, 0xCA, 6001)
+	other := chipBytes(t, counterfeit.ClassGenuineAccept, 0xCB, 6002)
+	third := chipBytes(t, counterfeit.ClassGenuineAccept, 0xCC, 6003)
+
+	// Warm the cache while the worker is free.
+	resp := postChip(t, ts.URL+"/v1/verify", known)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("warmup: status %d, X-Cache %q", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	resp.Body.Close()
+
+	// Wedge the only worker on an uncached chip.
+	blocking.Store(true)
+	wedged := make(chan *http.Response, 1)
+	go func() { wedged <- postChip(t, ts.URL+"/v1/verify", other) }()
+	<-entered
+
+	// An uncached chip now finds the gate full.
+	blocking.Store(false)
+	resp = postChip(t, ts.URL+"/v1/verify", third)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("uncached chip under saturation: status %d, want 429", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// The cached chip is still served, without touching the gate.
+	resp = postChip(t, ts.URL+"/v1/verify", known)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached chip under saturation: status %d, want 200", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("cached chip under saturation: X-Cache %q, want hit", resp.Header.Get("X-Cache"))
+	}
+	if rep := decodeReport(t, resp); rep.Verdict != "GENUINE" {
+		t.Fatalf("cached verdict: %+v", rep)
+	}
+
+	close(block)
+	resp = <-wedged
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("wedged request: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestDrainRefusesCachedRequests pins the other side of the ordering:
+// the drain check runs before the cache lookup, so a draining server
+// refuses even chips it could answer from cache.
+func TestDrainRefusesCachedRequests(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	known := chipBytes(t, counterfeit.ClassGenuineAccept, 0xDA, 6101)
+	resp := postChip(t, ts.URL+"/v1/verify", known)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warmup: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp = postChip(t, ts.URL+"/v1/verify", known)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("cached chip while draining: status %d, want 503", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestEscalatedReportNeverCached looks inside the verdict cache: a chip
+// whose very first screening is escalated by the provenance registry
+// must still be cached with its physics verdict, provenance-free, on
+// both the miss path and subsequent hits.
+func TestEscalatedReportNeverCached(t *testing.T) {
+	store := registry.NewMemory(0)
+	srv, ts := newTestServer(t, Config{Provenance: store})
+	clone := chipBytes(t, counterfeit.ClassGenuineAccept, 0xEA, 6201)
+
+	// Learn the clone's identity, then enroll a different physical chip
+	// under it so the clone escalates from its first screening onward.
+	probe := decodeReport(t, postChip(t, ts.URL+"/v1/verify", clone))
+	if probe.Verdict != "GENUINE" {
+		t.Fatalf("probe: %+v", probe)
+	}
+	srv.cache.mu.Lock()
+	srv.cache.items = map[string]*list.Element{}
+	srv.cache.ll.Init()
+	srv.cache.mu.Unlock()
+	if _, err := store.Enroll(registry.Enrollment{
+		Key:         registry.Key{Manufacturer: probe.Payload.Manufacturer, DieID: probe.Payload.DieID},
+		Fingerprint: registry.DeviceFingerprint("other-part", 999),
+		Source:      "line-b",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, wantCache := range []string{"miss", "hit"} {
+		resp := postChip(t, ts.URL+"/v1/verify", clone)
+		if got := resp.Header.Get("X-Cache"); got != wantCache {
+			t.Fatalf("X-Cache = %q, want %q", got, wantCache)
+		}
+		rep := decodeReport(t, resp)
+		if rep.Verdict != "DUPLICATE-ID" || rep.Provenance == "" {
+			t.Fatalf("%s-path escalation: %+v", wantCache, rep)
+		}
+		body, cachedRep, verdict, ok := srv.cache.Get(chipKey(clone))
+		if !ok {
+			t.Fatalf("%s path: chip not cached", wantCache)
+		}
+		if cachedRep.Verdict != "GENUINE" || verdict != counterfeit.VerdictGenuine {
+			t.Fatalf("%s path: cached verdict %q / %v, want physics GENUINE", wantCache, cachedRep.Verdict, verdict)
+		}
+		if cachedRep.Provenance != "" || strings.Contains(string(body), `"provenance"`) {
+			t.Fatalf("%s path: escalation leaked into the cache: %s", wantCache, body)
+		}
+	}
+}

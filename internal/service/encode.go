@@ -1,0 +1,213 @@
+package service
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"unicode/utf8"
+)
+
+// Append-style JSON encoding for the verify hot path. The service's
+// response surface is pinned byte-for-byte by the golden tests, so the
+// per-report json.Marshal (reflection, intermediate buffers, one []byte
+// per report) is replaced with hand-rolled appenders that reproduce
+// encoding/json's output exactly: the same HTML-escaped strings, the
+// same ES6-style float rendering, the same field order and omitempty
+// behavior as the struct tags, and sorted keys for the one map that
+// crosses the wire (the batch verdict tally). The equivalence property
+// is tested directly against json.Marshal in encode_test.go and
+// end-to-end by the golden suite.
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string token, replicating
+// encoding/json's appendString with escapeHTML=true (the json.Marshal
+// default): short escapes for \" \\ \b \f \n \r \t, \u00XX for other
+// control bytes and for < > &, � for invalid UTF-8 bytes, and
+//  /  escaped for JSONP safety.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, `\ufffd`...)
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// appendJSONFloat appends f the way encoding/json renders a float64:
+// 'f' form by default, switching to 'e' form outside [1e-6, 1e21) with
+// the exponent's leading zero stripped. NaN and infinities are
+// unrepresentable, with the same error text json.Marshal produces.
+func appendJSONFloat(dst []byte, f float64) ([]byte, error) {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return nil, fmt.Errorf("json: unsupported value: %s", strconv.FormatFloat(f, 'g', -1, 64))
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		// clean up e-09 to e-9
+		n := len(dst)
+		if n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst, nil
+}
+
+func appendJSONBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, "true"...)
+	}
+	return append(dst, "false"...)
+}
+
+// appendChipReport appends the JSON encoding of rep, byte-identical to
+// json.Marshal of the struct: field order and omitempty follow the
+// ChipReport/PayloadReport tags.
+func appendChipReport(dst []byte, rep *ChipReport) ([]byte, error) {
+	dst = append(dst, `{"sha256":`...)
+	dst = appendJSONString(dst, rep.SHA256)
+	if rep.Part != "" {
+		dst = append(dst, `,"part":`...)
+		dst = appendJSONString(dst, rep.Part)
+	}
+	if rep.Seed != 0 {
+		dst = append(dst, `,"seed":`...)
+		dst = strconv.AppendUint(dst, rep.Seed, 10)
+	}
+	dst = append(dst, `,"verdict":`...)
+	dst = appendJSONString(dst, rep.Verdict)
+	dst = append(dst, `,"accepted":`...)
+	dst = appendJSONBool(dst, rep.Accepted)
+	if p := rep.Payload; p != nil {
+		dst = append(dst, `,"payload":{"manufacturer":`...)
+		dst = appendJSONString(dst, p.Manufacturer)
+		dst = append(dst, `,"dieId":`...)
+		dst = strconv.AppendUint(dst, p.DieID, 10)
+		dst = append(dst, `,"speedGrade":`...)
+		dst = strconv.AppendUint(dst, uint64(p.SpeedGrade), 10)
+		dst = append(dst, `,"status":`...)
+		dst = appendJSONString(dst, p.Status)
+		dst = append(dst, `,"yearWeek":`...)
+		dst = strconv.AppendUint(dst, uint64(p.YearWeek), 10)
+		dst = append(dst, '}')
+	}
+	dst = append(dst, `,"replicaDisagreement":`...)
+	dst, err := appendJSONFloat(dst, rep.ReplicaDisagreement)
+	if err != nil {
+		return nil, err
+	}
+	dst = append(dst, `,"wornDataSegments":`...)
+	dst = strconv.AppendInt(dst, int64(rep.WornDataSegments), 10)
+	dst = append(dst, `,"sampledDataSegments":`...)
+	dst = strconv.AppendInt(dst, int64(rep.SampledDataSegments), 10)
+	if rep.Fault != "" {
+		dst = append(dst, `,"fault":`...)
+		dst = appendJSONString(dst, rep.Fault)
+	}
+	dst = append(dst, `,"deviceTimeUs":`...)
+	dst = strconv.AppendInt(dst, rep.DeviceTimeUs, 10)
+	if rep.Provenance != "" {
+		dst = append(dst, `,"provenance":`...)
+		dst = appendJSONString(dst, rep.Provenance)
+	}
+	if rep.Error != "" {
+		dst = append(dst, `,"error":`...)
+		dst = appendJSONString(dst, rep.Error)
+	}
+	return append(dst, '}'), nil
+}
+
+// encodeChipReport renders rep as a right-sized body the caller owns
+// (it may outlive the request in the verdict cache).
+func encodeChipReport(rep *ChipReport) ([]byte, error) {
+	return appendChipReport(make([]byte, 0, 384), rep)
+}
+
+// appendBatchResponse appends the batch envelope around the already-
+// encoded per-chip result bodies, byte-identical to json.Marshal of a
+// BatchResponse holding the same results: the result bodies come from
+// appendChipReport and are therefore compact and HTML-escaped already,
+// so embedding them verbatim is exactly what marshaling a RawMessage
+// does, and the verdict tally is written in sorted key order like any
+// Go map.
+func appendBatchResponse(dst []byte, results [][]byte, sum BatchSummary, verdictKeys []string) []byte {
+	dst = append(dst, `{"results":[`...)
+	for i, r := range results {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, r...)
+	}
+	dst = append(dst, `],"summary":{"chips":`...)
+	dst = strconv.AppendInt(dst, int64(sum.Chips), 10)
+	dst = append(dst, `,"accepted":`...)
+	dst = strconv.AppendInt(dst, int64(sum.Accepted), 10)
+	dst = append(dst, `,"refused":`...)
+	dst = strconv.AppendInt(dst, int64(sum.Refused), 10)
+	dst = append(dst, `,"failed":`...)
+	dst = strconv.AppendInt(dst, int64(sum.Failed), 10)
+	dst = append(dst, `,"verdicts":{`...)
+	verdictKeys = verdictKeys[:0]
+	for k := range sum.Verdicts {
+		verdictKeys = append(verdictKeys, k)
+	}
+	sort.Strings(verdictKeys)
+	for i, k := range verdictKeys {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = appendJSONString(dst, k)
+		dst = append(dst, ':')
+		dst = strconv.AppendInt(dst, int64(sum.Verdicts[k]), 10)
+	}
+	return append(dst, `}}}`...)
+}

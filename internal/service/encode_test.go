@@ -1,0 +1,144 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// adversarialStrings covers every escaping branch of appendJSONString:
+// HTML-escaped bytes, short escapes, generic control bytes, invalid
+// UTF-8, the JSONP separators, and plain multi-byte text.
+var adversarialStrings = []string{
+	"",
+	"plain ascii",
+	`quotes " and \ backslash`,
+	"html <tags> & ampersand",
+	"\b\f\n\r\t",
+	"\x00\x01\x1f control",
+	"caf\u00e9 \u65e5\u672c\u8a9e",
+	"invalid \xff\xfe utf8",
+	"separators \u2028 and \u2029",
+	"mixed <\n\xffé\u2028> tail",
+	strings.Repeat("long & repeated <segment>\x07 ", 20),
+}
+
+func TestAppendJSONStringMatchesMarshal(t *testing.T) {
+	for _, s := range adversarialStrings {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := appendJSONString(nil, s)
+		if !bytes.Equal(got, want) {
+			t.Errorf("string %q:\n got %s\nwant %s", s, got, want)
+		}
+	}
+}
+
+func TestAppendJSONFloatMatchesMarshal(t *testing.T) {
+	for _, f := range []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.5, 1.0 / 3.0, 6.25e-7, 1e-7, -1e-7,
+		1e-6, 9.999999e-7, 1e21, 1e20, -1e21, 2.5e-9, 3.14159, 1e300,
+		math.MaxFloat64, math.SmallestNonzeroFloat64, 123456789.123456789,
+	} {
+		want, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := appendJSONFloat(nil, f)
+		if err != nil {
+			t.Fatalf("float %v: %v", f, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("float %v:\n got %s\nwant %s", f, got, want)
+		}
+	}
+	for _, f := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		_, wantErr := json.Marshal(f)
+		_, gotErr := appendJSONFloat(nil, f)
+		if gotErr == nil || wantErr == nil {
+			t.Fatalf("float %v: expected errors, got %v / %v", f, gotErr, wantErr)
+		}
+		if gotErr.Error() != wantErr.Error() {
+			t.Errorf("float %v error:\n got %q\nwant %q", f, gotErr, wantErr)
+		}
+	}
+}
+
+// chipReportCases walks the omitempty lattice plus adversarial content.
+func chipReportCases() []ChipReport {
+	return []ChipReport{
+		{},
+		{SHA256: "abc", Verdict: "GENUINE", Accepted: true},
+		{SHA256: "abc", Part: "FM-SIM16", Seed: 7, Verdict: "GENUINE", Accepted: true,
+			Payload:             &PayloadReport{Manufacturer: "TC", DieID: 42, SpeedGrade: 3, Status: "production", YearWeek: 2413},
+			ReplicaDisagreement: 0.03125, WornDataSegments: 2, SampledDataSegments: 2, DeviceTimeUs: 123456},
+		{SHA256: "abc", Part: "NAND-SIM", Verdict: "NO-WATERMARK", ReplicaDisagreement: 6.25e-7},
+		{SHA256: "abc", Part: "FM-SIM16+faults", Seed: 9, Verdict: "INCONCLUSIVE",
+			Fault: "device: erase at 0x0 timed out: device: injected fault", DeviceTimeUs: -1},
+		{SHA256: "abc", Verdict: "ERROR", Error: `mcu: not a chip file (format "bogus")`},
+		{SHA256: "x", Part: "part <&> \u2028\xff", Verdict: "GENUINE",
+			Payload:    &PayloadReport{Manufacturer: "weird \"quotes\"\n", Status: "<s>"},
+			Provenance: "die id already enrolled under a different physical fingerprint",
+			Error:      "tab\there"},
+	}
+}
+
+func TestAppendChipReportMatchesMarshal(t *testing.T) {
+	for i, rep := range chipReportCases() {
+		want, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := appendChipReport(nil, &rep)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("case %d:\n got %s\nwant %s", i, got, want)
+		}
+	}
+	rep := ChipReport{ReplicaDisagreement: math.NaN()}
+	if _, err := appendChipReport(nil, &rep); err == nil {
+		t.Error("NaN disagreement encoded without error")
+	}
+}
+
+func TestAppendBatchResponseMatchesMarshal(t *testing.T) {
+	var results [][]byte
+	for _, rep := range chipReportCases() {
+		b, err := appendChipReport(nil, &rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, b)
+	}
+	sum := BatchSummary{
+		Chips: len(results), Accepted: 2, Refused: 4, Failed: 1,
+		Verdicts: map[string]int{"GENUINE": 3, "ERROR": 1, "NO-WATERMARK": 1, "INCONCLUSIVE": 1, "DUPLICATE-ID": 2},
+	}
+	resp := BatchResponse{Summary: sum}
+	for _, r := range results {
+		resp.Results = append(resp.Results, json.RawMessage(r))
+	}
+	want, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := appendBatchResponse(nil, results, sum, nil)
+	if !bytes.Equal(got, want) {
+		t.Errorf("batch envelope:\n got %s\nwant %s", got, want)
+	}
+	// Empty tally (every chip failed) still matches.
+	sum = BatchSummary{Chips: 1, Failed: 1, Verdicts: map[string]int{}}
+	want, err = json.Marshal(BatchResponse{Results: []json.RawMessage{results[0]}, Summary: sum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := appendBatchResponse(nil, results[:1], sum, nil); !bytes.Equal(got, want) {
+		t.Errorf("empty tally:\n got %s\nwant %s", got, want)
+	}
+}

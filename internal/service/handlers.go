@@ -1,7 +1,6 @@
 package service
 
 import (
-	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -10,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
 	"github.com/flashmark/flashmark/internal/counterfeit"
@@ -110,45 +110,136 @@ func (s *Server) beginRequest() (done func(), ok bool) {
 	return func() { s.inflight.Done() }, true
 }
 
-// readBody drains the request body under the configured cap.
-func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, *httpError) {
-	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
-	if err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			return nil, &httpError{http.StatusRequestEntityTooLarge,
-				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)}
+// bodyScratch recycles request-body read buffers across requests: the
+// dominant body (one chip file, ~100KB of base64) is read into pooled
+// capacity instead of a fresh io.ReadAll allocation chain per request.
+var bodyScratch = sync.Pool{New: func() any { b := make([]byte, 0, 64<<10); return &b }}
+
+// readBody drains the request body under the configured cap into a
+// pooled buffer. On success the caller owns raw until it calls release
+// (typically deferred to the end of the handler); raw must not be
+// retained past it. Everything handed onward — report bodies, cache
+// entries, batch chip elements — is copied out of raw by construction.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) (raw []byte, release func(), herr *httpError) {
+	bp := bodyScratch.Get().(*[]byte)
+	buf := (*bp)[:0]
+	lr := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
 		}
-		return nil, &httpError{http.StatusBadRequest, "reading request body: " + err.Error()}
+		n, err := lr.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			*bp = buf[:0]
+			bodyScratch.Put(bp)
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				return nil, nil, &httpError{http.StatusRequestEntityTooLarge,
+					fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)}
+			}
+			return nil, nil, &httpError{http.StatusBadRequest, "reading request body: " + err.Error()}
+		}
 	}
-	return raw, nil
+	return buf, func() { *bp = buf[:0]; bodyScratch.Put(bp) }, nil
 }
 
-// parseChip sniffs the chip file's self-describing format field and
+// sniffFormat scans the head of a chip file for the leading
+// {"format":"..."} member without parsing the whole body. Both backends'
+// Save writes the format member first with no escapes, so the fast scan
+// answers for every file the CLI produces; anything else (the member
+// elsewhere, escapes, non-objects) reports !ok and the caller falls back
+// to a full unmarshal for its exact legacy error surface.
+func sniffFormat(raw []byte) ([]byte, bool) {
+	i := 0
+	skipWS := func() {
+		for i < len(raw) && (raw[i] == ' ' || raw[i] == '\t' || raw[i] == '\n' || raw[i] == '\r') {
+			i++
+		}
+	}
+	skipWS()
+	if i >= len(raw) || raw[i] != '{' {
+		return nil, false
+	}
+	i++
+	skipWS()
+	const key = `"format"`
+	if len(raw)-i < len(key) || string(raw[i:i+len(key)]) != key {
+		return nil, false
+	}
+	i += len(key)
+	skipWS()
+	if i >= len(raw) || raw[i] != ':' {
+		return nil, false
+	}
+	i++
+	skipWS()
+	if i >= len(raw) || raw[i] != '"' {
+		return nil, false
+	}
+	i++
+	start := i
+	for ; i < len(raw); i++ {
+		if raw[i] == '\\' {
+			return nil, false
+		}
+		if raw[i] == '"' {
+			return raw[start:i], true
+		}
+	}
+	return nil, false
+}
+
+// chipLoader bundles one reusable loader per backend; the server pools
+// them so a steady request stream reloads chips into recycled arrays.
+// The device a load returns aliases the loader's storage, so a loader
+// checked out of the pool must not be returned until the device is no
+// longer used (screenChip's scope).
+type chipLoader struct {
+	mcu  mcu.Loader
+	nand nand.Loader
+}
+
+// load sniffs the chip file's self-describing format field and
 // dispatches to the matching backend loader, mirroring the flashmark
 // CLI's loader so the service accepts exactly the files the CLI writes.
-func parseChip(raw []byte) (device.Device, error) {
-	var head struct {
-		Format string `json:"format"`
+func (l *chipLoader) load(raw []byte) (device.Device, error) {
+	format, ok := sniffFormat(raw)
+	if !ok {
+		var head struct {
+			Format string `json:"format"`
+		}
+		if err := json.Unmarshal(raw, &head); err != nil {
+			return nil, fmt.Errorf("not a chip file: %w", err)
+		}
+		format = []byte(head.Format)
 	}
-	if err := json.Unmarshal(raw, &head); err != nil {
-		return nil, fmt.Errorf("not a chip file: %w", err)
+	if string(format) == "flashmark-nand-chip" {
+		a, err := l.nand.Load(raw)
+		if err != nil {
+			return nil, err
+		}
+		return a, nil
 	}
-	switch head.Format {
-	case "flashmark-nand-chip":
-		return nand.LoadAdapter(bytes.NewReader(raw))
-	default:
-		return mcu.LoadDevice(bytes.NewReader(raw))
+	d, err := l.mcu.Load(raw)
+	if err != nil {
+		return nil, err
 	}
+	return d, nil
 }
 
 // screenChip runs one chip's bytes through parse -> decorate -> verify
-// and renders the ChipReport. The report bytes plus verdict come back
-// for caching; failures come back as *httpError.
-func (s *Server) screenChip(ctx context.Context, raw []byte, sum string) ([]byte, counterfeit.Verdict, *httpError) {
-	dev, err := parseChip(raw)
+// and renders the ChipReport. The encoded body, its decoded form, and
+// the verdict come back for caching; failures come back as *httpError.
+func (s *Server) screenChip(ctx context.Context, raw []byte, sum string) ([]byte, ChipReport, counterfeit.Verdict, *httpError) {
+	ld := s.loaders.Get().(*chipLoader)
+	defer s.loaders.Put(ld)
+	dev, err := ld.load(raw)
 	if err != nil {
-		return nil, 0, &httpError{http.StatusBadRequest, err.Error()}
+		return nil, ChipReport{}, 0, &httpError{http.StatusBadRequest, err.Error()}
 	}
 	if s.cfg.Decorate != nil {
 		dev = s.cfg.Decorate(dev)
@@ -157,12 +248,12 @@ func (s *Server) screenChip(ctx context.Context, raw []byte, sum string) ([]byte
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			s.met.deadlines.Inc()
-			return nil, 0, &httpError{http.StatusGatewayTimeout, "verification deadline exceeded"}
+			return nil, ChipReport{}, 0, &httpError{http.StatusGatewayTimeout, "verification deadline exceeded"}
 		}
 		if errors.Is(err, context.Canceled) {
-			return nil, 0, &httpError{statusClientClosedRequest, "client canceled the request"}
+			return nil, ChipReport{}, 0, &httpError{statusClientClosedRequest, "client canceled the request"}
 		}
-		return nil, 0, &httpError{http.StatusUnprocessableEntity, "verification failed: " + err.Error()}
+		return nil, ChipReport{}, 0, &httpError{http.StatusUnprocessableEntity, "verification failed: " + err.Error()}
 	}
 	rep := ChipReport{
 		SHA256:              sum,
@@ -187,11 +278,11 @@ func (s *Server) screenChip(ctx context.Context, raw []byte, sum string) ([]byte
 	if res.FaultErr != nil {
 		rep.Fault = res.FaultErr.Error()
 	}
-	body, err := json.Marshal(rep)
+	body, err := encodeChipReport(&rep)
 	if err != nil {
-		return nil, 0, &httpError{http.StatusInternalServerError, "encoding report: " + err.Error()}
+		return nil, ChipReport{}, 0, &httpError{http.StatusInternalServerError, "encoding report: " + err.Error()}
 	}
-	return body, res.Verdict, nil
+	return body, rep, res.Verdict, nil
 }
 
 // statusClientClosedRequest is nginx's conventional code for a request
@@ -208,22 +299,22 @@ func chipKey(raw []byte) string {
 
 // screenCached serves one chip through the verdict cache: a hit skips
 // parsing and verification entirely, a miss computes and populates.
+// key must be chipKey(raw); callers compute it once and reuse it.
 // Cached entries hold the physics verdict only — the provenance overlay
 // (applyProvenance/batchProvenance) runs per request on top, and the
 // caller counts the final verdict into the metrics.
-func (s *Server) screenCached(ctx context.Context, raw []byte) ([]byte, counterfeit.Verdict, bool, *httpError) {
-	key := chipKey(raw)
-	if body, verdict, ok := s.cache.Get(key); ok {
+func (s *Server) screenCached(ctx context.Context, key string, raw []byte) ([]byte, ChipReport, counterfeit.Verdict, bool, *httpError) {
+	if body, rep, verdict, ok := s.cache.Get(key); ok {
 		s.met.cacheHit.Inc()
-		return body, verdict, true, nil
+		return body, rep, verdict, true, nil
 	}
 	s.met.cacheMiss.Inc()
-	body, verdict, herr := s.screenChip(ctx, raw, key)
+	body, rep, verdict, herr := s.screenChip(ctx, raw, key)
 	if herr != nil {
-		return nil, 0, false, herr
+		return nil, ChipReport{}, 0, false, herr
 	}
-	s.cache.Put(key, body, verdict)
-	return body, verdict, false, nil
+	s.cache.Put(key, body, rep, verdict)
+	return body, rep, verdict, false, nil
 }
 
 func (s *Server) countChip(v counterfeit.Verdict) {
@@ -254,19 +345,20 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer done()
-	raw, herr := s.readBody(w, r)
+	raw, release, herr := s.readBody(w, r)
 	if herr != nil {
 		s.met.errors.Inc()
 		writeError(w, herr.status, herr.msg)
 		return
 	}
+	defer release()
 	// A cache hit bypasses admission: it consumes no verification
 	// worker. The provenance overlay still applies — escalation depends
 	// on live registry state, which is exactly what the cache omits.
 	key := chipKey(raw)
-	if body, verdict, ok := s.cache.Get(key); ok {
+	if body, rep, verdict, ok := s.cache.Get(key); ok {
 		s.met.cacheHit.Inc()
-		body, verdict, herr := s.applyProvenance(body, verdict)
+		body, verdict, herr := s.applyProvenance(body, &rep, verdict)
 		if herr != nil {
 			s.met.errors.Inc()
 			writeError(w, herr.status, herr.msg)
@@ -292,13 +384,13 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	body, verdict, cached, herr := s.screenCached(ctx, raw)
+	body, rep, verdict, cached, herr := s.screenCached(ctx, key, raw)
 	if herr != nil {
 		s.met.errors.Inc()
 		writeError(w, herr.status, herr.msg)
 		return
 	}
-	body, verdict, herr = s.applyProvenance(body, verdict)
+	body, verdict, herr = s.applyProvenance(body, &rep, verdict)
 	if herr != nil {
 		s.met.errors.Inc()
 		writeError(w, herr.status, herr.msg)
@@ -334,12 +426,16 @@ func (s *Server) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer done()
-	raw, herr := s.readBody(w, r)
+	raw, release, herr := s.readBody(w, r)
 	if herr != nil {
 		s.met.errors.Inc()
 		writeError(w, herr.status, herr.msg)
 		return
 	}
+	defer release()
+	// Unmarshal copies each chip element out of raw (RawMessage always
+	// appends into its own storage), so the pooled body can be released
+	// when the handler returns.
 	var req BatchRequest
 	if err := json.Unmarshal(raw, &req); err != nil {
 		s.met.errors.Inc()
@@ -371,25 +467,27 @@ func (s *Server) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
 
 	type chipOutcome struct {
 		body    []byte
+		rep     ChipReport
 		verdict counterfeit.Verdict
 		failed  bool
 	}
 	pool := parallel.Pool{Workers: s.cfg.BatchWorkers}
 	outcomes, err := parallel.MapContext(ctx, pool, len(req.Chips), func(i int) (chipOutcome, error) {
-		body, verdict, _, herr := s.screenCached(ctx, req.Chips[i])
+		key := chipKey(req.Chips[i])
+		body, rep, verdict, _, herr := s.screenCached(ctx, key, req.Chips[i])
 		if herr != nil {
 			if herr.status == http.StatusGatewayTimeout || herr.status == statusClientClosedRequest {
 				// A dead context ends the whole batch, not just this chip.
 				return chipOutcome{}, ctx.Err()
 			}
-			rep := ChipReport{SHA256: chipKey(req.Chips[i]), Verdict: "ERROR", Error: herr.msg}
-			eb, merr := json.Marshal(rep)
+			rep := ChipReport{SHA256: key, Verdict: "ERROR", Error: herr.msg}
+			eb, merr := encodeChipReport(&rep)
 			if merr != nil {
 				return chipOutcome{}, merr
 			}
-			return chipOutcome{body: eb, failed: true}, nil
+			return chipOutcome{body: eb, rep: rep, failed: true}, nil
 		}
-		return chipOutcome{body: body, verdict: verdict}, nil
+		return chipOutcome{body: body, rep: rep, verdict: verdict}, nil
 	})
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
@@ -406,43 +504,35 @@ func (s *Server) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
 	// physics fan-out — the response stays byte-deterministic no matter
 	// how the fan-out was scheduled.
 	bodies := make([][]byte, len(outcomes))
+	reps := make([]ChipReport, len(outcomes))
 	verdicts := make([]counterfeit.Verdict, len(outcomes))
 	failed := make([]bool, len(outcomes))
 	for i, o := range outcomes {
-		bodies[i], verdicts[i], failed[i] = o.body, o.verdict, o.failed
+		bodies[i], reps[i], verdicts[i], failed[i] = o.body, o.rep, o.verdict, o.failed
 	}
-	if herr := s.batchProvenance(bodies, verdicts, failed); herr != nil {
+	if herr := s.batchProvenance(bodies, reps, verdicts, failed); herr != nil {
 		s.met.errors.Inc()
 		writeError(w, herr.status, herr.msg)
 		return
 	}
-	resp := BatchResponse{
-		Results: make([]json.RawMessage, len(outcomes)),
-		Summary: BatchSummary{Chips: len(outcomes), Verdicts: make(map[string]int)},
-	}
+	summary := BatchSummary{Chips: len(outcomes), Verdicts: make(map[string]int)}
 	for i := range outcomes {
-		resp.Results[i] = bodies[i]
 		if failed[i] {
-			resp.Summary.Failed++
+			summary.Failed++
 			continue
 		}
 		s.countChip(verdicts[i])
-		resp.Summary.Verdicts[verdicts[i].String()]++
+		summary.Verdicts[verdicts[i].String()]++
 		if verdicts[i].Accepted() {
-			resp.Summary.Accepted++
+			summary.Accepted++
 		} else {
-			resp.Summary.Refused++
+			summary.Refused++
 		}
 	}
-	body, merr := json.Marshal(resp)
-	if merr != nil {
-		s.met.errors.Inc()
-		writeError(w, http.StatusInternalServerError, "encoding batch response: "+merr.Error())
-		return
-	}
+	body := appendBatchResponse(nil, bodies, summary, nil)
 	s.logf("batch of %d -> %d accepted, %d refused, %d failed in %v",
-		resp.Summary.Chips, resp.Summary.Accepted, resp.Summary.Refused,
-		resp.Summary.Failed, s.since(start).Round(time.Millisecond))
+		summary.Chips, summary.Accepted, summary.Refused,
+		summary.Failed, s.since(start).Round(time.Millisecond))
 	writeJSONBody(w, http.StatusOK, body)
 }
 

@@ -1,0 +1,219 @@
+package service
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"github.com/flashmark/flashmark/internal/counterfeit"
+)
+
+// Hot-path benchmark for the full /v1/verify request lifecycle: HTTP
+// mux dispatch, admission, body read, format sniff, chip-file load,
+// device construction, physics verify, and report encode — everything
+// a cache-missing request pays, measured single-core through the real
+// http.Handler. The cache-hit sub-benchmark isolates the service
+// overhead that remains when the physics verdict is already on file.
+//
+// With -hotjson the results are written as BENCH_hotpath.json (schema
+// flashmark-bench-hotpath/v1), which CI gates via scripts/check_bench.sh
+// against scripts/bench_hotpath_baseline.json: a hard allocs/op ceiling
+// on both paths and a chips-verified/sec floor on the miss path.
+//
+// Run: make bench-hotpath
+
+var hotJSON = flag.String("hotjson", "", "write hot-path benchmark results to this JSON file")
+
+type hotPath struct {
+	NsOp        int64   `json:"ns_op"`
+	AllocsOp    float64 `json:"allocs_op"`
+	ChipsPerSec float64 `json:"chips_per_sec"`
+}
+
+type hotReport struct {
+	Schema     string   `json:"schema"`
+	GoMaxProcs int      `json:"go_max_procs"`
+	GoVersion  string   `json:"go_version"`
+	Miss       *hotPath `json:"verify_miss,omitempty"`
+	Hit        *hotPath `json:"verify_hit,omitempty"`
+}
+
+var (
+	hotMu  sync.Mutex
+	hotOut = hotReport{
+		Schema:     "flashmark-bench-hotpath/v1",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+)
+
+func writeHotReport() error {
+	hotMu.Lock()
+	defer hotMu.Unlock()
+	if *hotJSON == "" || (hotOut.Miss == nil && hotOut.Hit == nil) {
+		return nil
+	}
+	data, err := json.MarshalIndent(hotOut, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(*hotJSON, append(data, '\n'), 0o644)
+}
+
+// TestMain flushes the bench report after all benchmarks have finished;
+// it is a no-op for plain test runs.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if err := writeHotReport(); err != nil {
+		os.Stderr.WriteString("hotjson: " + err.Error() + "\n")
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func hotNsOp(b *testing.B) int64 {
+	if b.N == 0 {
+		return 0
+	}
+	return b.Elapsed().Nanoseconds() / int64(b.N)
+}
+
+// hotResponseWriter is a reusable discarding ResponseWriter so the
+// benchmark measures the service, not httptest.ResponseRecorder.
+type hotResponseWriter struct {
+	h      http.Header
+	status int
+	n      int
+}
+
+func (w *hotResponseWriter) Header() http.Header { return w.h }
+
+func (w *hotResponseWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	w.n += len(p)
+	return len(p), nil
+}
+
+func (w *hotResponseWriter) WriteHeader(code int) { w.status = code }
+
+func (w *hotResponseWriter) reset() {
+	w.status = 0
+	w.n = 0
+	clear(w.h)
+}
+
+// hotDriver posts one fixed chip at /v1/verify through the server's
+// real handler chain, reusing the request, body reader, and response
+// writer across calls so only per-request costs are counted.
+type hotDriver struct {
+	handler http.Handler
+	req     *http.Request
+	body    *rewindReader
+	rw      *hotResponseWriter
+}
+
+type rewindReader struct {
+	data []byte
+	off  int
+}
+
+func (r *rewindReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+func (r *rewindReader) Close() error { return nil }
+
+func newHotDriver(b *testing.B, s *Server, chip []byte) *hotDriver {
+	b.Helper()
+	body := &rewindReader{data: chip}
+	req := httptest.NewRequest(http.MethodPost, "/v1/verify", nil)
+	req.Body = body
+	req.ContentLength = int64(len(chip))
+	return &hotDriver{
+		handler: s.Handler(),
+		req:     req,
+		body:    body,
+		rw:      &hotResponseWriter{h: make(http.Header)},
+	}
+}
+
+func (d *hotDriver) verify(b *testing.B) {
+	d.body.off = 0
+	d.rw.reset()
+	d.handler.ServeHTTP(d.rw, d.req)
+	if d.rw.status != http.StatusOK {
+		b.Fatalf("verify status %d", d.rw.status)
+	}
+}
+
+// BenchmarkVerifyHotPath is the headline single-core chips-verified/sec
+// figure. The miss sub-benchmark disables the verdict cache so every
+// request runs the full lifecycle; the hit sub-benchmark serves a warm
+// cache entry, isolating the fixed per-request service overhead.
+func BenchmarkVerifyHotPath(b *testing.B) {
+	chip := chipBytes(b, counterfeit.ClassGenuineAccept, 0xB001, 9001)
+
+	b.Run("miss", func(b *testing.B) {
+		s, err := New(Config{Verifier: testVerifier(), Workers: 1, CacheEntries: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := newHotDriver(b, s, chip)
+		allocs := testing.AllocsPerRun(5, func() { d.verify(b) })
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.verify(b)
+		}
+		b.StopTimer()
+		ns := hotNsOp(b)
+		perSec := 0.0
+		if ns > 0 {
+			perSec = 1e9 / float64(ns)
+		}
+		b.ReportMetric(perSec, "chips/s")
+		hotMu.Lock()
+		hotOut.Miss = &hotPath{NsOp: ns, AllocsOp: allocs, ChipsPerSec: perSec}
+		hotMu.Unlock()
+	})
+
+	b.Run("hit", func(b *testing.B) {
+		s, err := New(Config{Verifier: testVerifier(), Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := newHotDriver(b, s, chip)
+		d.verify(b) // warm the verdict cache
+		allocs := testing.AllocsPerRun(10, func() { d.verify(b) })
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.verify(b)
+		}
+		b.StopTimer()
+		ns := hotNsOp(b)
+		perSec := 0.0
+		if ns > 0 {
+			perSec = 1e9 / float64(ns)
+		}
+		b.ReportMetric(perSec, "chips/s")
+		hotMu.Lock()
+		hotOut.Hit = &hotPath{NsOp: ns, AllocsOp: allocs, ChipsPerSec: perSec}
+		hotMu.Unlock()
+	})
+}

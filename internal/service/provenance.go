@@ -101,12 +101,14 @@ func (s *Server) fleetReason(k registry.Key, fp registry.Fingerprint) string {
 }
 
 // escalate rewrites a physics report as DUPLICATE-ID with the given
-// provenance note, returning the new body and verdict.
+// provenance note, returning the new body and verdict. rep is mutated
+// in place; callers pass a request-local copy (cache hits hand out
+// value copies, so the cached physics report is never touched).
 func (s *Server) escalate(rep *ChipReport, reason string) ([]byte, counterfeit.Verdict, *httpError) {
 	rep.Verdict = counterfeit.VerdictDuplicateID.String()
 	rep.Accepted = false
 	rep.Provenance = reason
-	body, err := json.Marshal(rep)
+	body, err := encodeChipReport(rep)
 	if err != nil {
 		return nil, 0, &httpError{http.StatusInternalServerError, "encoding report: " + err.Error()}
 	}
@@ -116,22 +118,19 @@ func (s *Server) escalate(rep *ChipReport, reason string) ([]byte, counterfeit.V
 
 // applyProvenance overlays the fleet registry on one screened chip:
 // the identity of a physics-GENUINE report is checked against the store
-// and the report escalated to DUPLICATE-ID on a mismatch. No-op without
-// a configured store.
-func (s *Server) applyProvenance(body []byte, verdict counterfeit.Verdict) ([]byte, counterfeit.Verdict, *httpError) {
+// and the report escalated to DUPLICATE-ID on a mismatch. rep is the
+// decoded form of body (threaded from screening or the verdict cache,
+// so no re-unmarshal happens here). No-op without a configured store.
+func (s *Server) applyProvenance(body []byte, rep *ChipReport, verdict counterfeit.Verdict) ([]byte, counterfeit.Verdict, *httpError) {
 	if s.cfg.Provenance == nil || verdict != counterfeit.VerdictGenuine {
 		return body, verdict, nil
 	}
-	var rep ChipReport
-	if err := json.Unmarshal(body, &rep); err != nil {
-		return nil, 0, &httpError{http.StatusInternalServerError, "decoding report: " + err.Error()}
-	}
-	k, fp, ok := chipIdentity(&rep)
+	k, fp, ok := chipIdentity(rep)
 	if !ok {
 		return body, verdict, nil
 	}
 	if reason := s.fleetReason(k, fp); reason != "" {
-		return s.escalate(&rep, reason)
+		return s.escalate(rep, reason)
 	}
 	return body, verdict, nil
 }
@@ -146,12 +145,11 @@ func (s *Server) applyProvenance(body []byte, verdict counterfeit.Verdict) ([]by
 // a duplicated id is flagged too. Identical chip bytes repeated in one
 // batch carry the same fingerprint and do not escalate, so client
 // retries stay safe.
-func (s *Server) batchProvenance(bodies [][]byte, verdicts []counterfeit.Verdict, failed []bool) *httpError {
+func (s *Server) batchProvenance(bodies [][]byte, reps []ChipReport, verdicts []counterfeit.Verdict, failed []bool) *httpError {
 	if s.cfg.Provenance == nil {
 		return nil
 	}
 	type item struct {
-		rep    ChipReport
 		key    registry.Key
 		fp     registry.Fingerprint
 		track  bool
@@ -164,10 +162,7 @@ func (s *Server) batchProvenance(bodies [][]byte, verdicts []counterfeit.Verdict
 			continue
 		}
 		it := &items[i]
-		if err := json.Unmarshal(bodies[i], &it.rep); err != nil {
-			return &httpError{http.StatusInternalServerError, "decoding report: " + err.Error()}
-		}
-		k, fp, ok := chipIdentity(&it.rep)
+		k, fp, ok := chipIdentity(&reps[i])
 		if !ok {
 			continue
 		}
@@ -189,7 +184,7 @@ func (s *Server) batchProvenance(bodies [][]byte, verdicts []counterfeit.Verdict
 		if reason == "" {
 			continue
 		}
-		body, verdict, herr := s.escalate(&it.rep, reason)
+		body, verdict, herr := s.escalate(&reps[i], reason)
 		if herr != nil {
 			return herr
 		}
@@ -223,12 +218,13 @@ func (s *Server) handleEnroll(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer done()
-	raw, herr := s.readBody(w, r)
+	raw, releaseBody, herr := s.readBody(w, r)
 	if herr != nil {
 		s.met.errors.Inc()
 		writeError(w, herr.status, herr.msg)
 		return
 	}
+	defer releaseBody()
 	release, err := s.gate.acquire(r.Context())
 	if err != nil {
 		if err == errOverloaded {
@@ -244,16 +240,10 @@ func (s *Server) handleEnroll(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	body, verdict, _, herr := s.screenCached(ctx, raw)
+	_, rep, verdict, _, herr := s.screenCached(ctx, chipKey(raw), raw)
 	if herr != nil {
 		s.met.errors.Inc()
 		writeError(w, herr.status, herr.msg)
-		return
-	}
-	var rep ChipReport
-	if err := json.Unmarshal(body, &rep); err != nil {
-		s.met.errors.Inc()
-		writeError(w, http.StatusInternalServerError, "decoding report: "+err.Error())
 		return
 	}
 	k, fp, ok := chipIdentity(&rep)

@@ -29,7 +29,7 @@ func testVerifier() counterfeit.Verifier {
 
 // chipBytes fabricates one chip of the given class and serializes it the
 // way a client would upload it.
-func chipBytes(t *testing.T, class counterfeit.ChipClass, seed, die uint64) []byte {
+func chipBytes(t testing.TB, class counterfeit.ChipClass, seed, die uint64) []byte {
 	t.Helper()
 	cfg := counterfeit.FactoryConfig{
 		Fab:   mcu.Fab(mcu.PartSmallSim()),
@@ -623,7 +623,7 @@ func TestInjectedClockDrivesLatency(t *testing.T) {
 	_ = srv
 }
 
-func nandBlank(t *testing.T, seed uint64) []byte {
+func nandBlank(t testing.TB, seed uint64) []byte {
 	t.Helper()
 	dev, err := nand.Open(nand.SmallNAND(), nand.SLCTiming(), floatgate.DefaultParams(), seed)
 	if err != nil {

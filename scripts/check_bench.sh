@@ -32,6 +32,15 @@
 #   - the clone storm must register: duplicate_id_verdicts has a floor,
 #     proving the provenance overlay was live under load, not bypassed.
 #
+# flashmark-bench-hotpath/v1 (written by `make bench-hotpath`), judged
+# against scripts/bench_hotpath_baseline.json:
+#   - allocs/op is a hard ceiling on both the cache-miss and cache-hit
+#     /v1/verify paths: the allocation profile is deterministic, so any
+#     excess is a lifecycle regression (a dropped pool, a reflection
+#     encoder creeping back in), not runner noise.
+#   - chips-verified/sec has a loose floor on the miss path only,
+#     proving the benchmark exercised real verifications.
+#
 # Raw ns/op ratios track the runner, not the code, and are never
 # compared across machines; the registry ns_op ceiling and the service
 # SLO bands are deliberately loose (paper acceptance bounds on shared CI
@@ -82,6 +91,46 @@ if [ "$schema" = "flashmark-bench-registry/v1" ]; then
     if [ -n "$per_fsync" ]; then
         echo "registry enroll: ${per_fsync} appends/fsync (informational; 1.0 on single-CPU runners)"
     fi
+    [ "$fail" -eq 0 ] && echo "bench gate OK"
+    exit "$fail"
+fi
+
+if [ "$schema" = "flashmark-bench-hotpath/v1" ]; then
+    baseline=${2:-$(dirname "$0")/bench_hotpath_baseline.json}
+    fail=0
+
+    # jsection FILE SECTION KEY -> value of "KEY": inside the "SECTION"
+    # object (json.MarshalIndent layout: nested objects, one field per
+    # line, sections closed by an indented brace).
+    jsection() {
+        awk -v s="\"$2\":" -v k="\"$3\":" '
+            $1 == s { inside = 1; next }
+            inside && $1 == k { v = $2; gsub(/[",]/, "", v); print v; exit }
+            inside && /\}/ { inside = 0 }
+        ' "$1"
+    }
+
+    for path in verify_miss verify_hit; do
+        got_allocs=$(jsection "$measured" "$path" allocs_op)
+        max_allocs=$(jsection "$baseline" "$path" max_allocs_op)
+        if [ -z "$got_allocs" ]; then
+            echo "FAIL: $measured has no $path measurement (run make bench-hotpath)" >&2
+            exit 1
+        fi
+        echo "$path: ${got_allocs} allocs/op (max ${max_allocs}), $(jsection "$measured" "$path" chips_per_sec) chips/s"
+        if awk -v g="$got_allocs" -v m="$max_allocs" 'BEGIN { exit (g + 0 <= m + 0) ? 1 : 0 }'; then
+            echo "FAIL: $path ${got_allocs} allocs/op exceeds the hard ceiling ${max_allocs}" >&2
+            fail=1
+        fi
+    done
+
+    got_rate=$(jsection "$measured" verify_miss chips_per_sec)
+    min_rate=$(jsection "$baseline" verify_miss min_chips_per_sec)
+    if awk -v g="$got_rate" -v m="$min_rate" 'BEGIN { exit (g + 0 >= m + 0) ? 1 : 0 }'; then
+        echo "FAIL: miss-path throughput ${got_rate} chips/s is below the ${min_rate} floor" >&2
+        fail=1
+    fi
+
     [ "$fail" -eq 0 ] && echo "bench gate OK"
     exit "$fail"
 fi

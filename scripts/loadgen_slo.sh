@@ -72,4 +72,61 @@ if ! wait "$daemon"; then
 fi
 trap - EXIT
 
+# Overdrive phase: a deliberately under-provisioned daemon (one worker,
+# a queue of two, verdict cache off so every request is a real
+# verification) is offered several times its capacity. The SLO here is
+# about *failure shape*, not throughput: the excess must be shed with
+# 429s (shed_429 > 0), shedding must not corrupt any response
+# (http_errors == 0), and the requests that ARE admitted must stay fast
+# (verify_p99_ms bounded) — a bounded queue keeps latency flat where an
+# unbounded one would let the backlog poison every admitted request.
+od_addr=127.0.0.1:8933
+od_base="http://$od_addr"
+"$workdir/fmverifyd" -addr "$od_addr" -key "$key" -workers 1 -queue 2 -cache -1 \
+    -registry-dir "$workdir/registry-overdrive" \
+    >"$workdir/fmverifyd_overdrive.log" 2>&1 &
+daemon=$!
+trap 'kill "$daemon" 2>/dev/null || true' EXIT
+
+i=0
+until curl -sf "$od_base/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "FAIL: overdrive daemon did not become healthy" >&2
+        cat "$workdir/fmverifyd_overdrive.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+"$workdir/fmloadgen" -seed "$seed" -rate 600 -duration 3s -inflight 128 \
+    -fleet-genuine 24 -fleet-clones 8 -fleet-counterfeits 8 -key "$key" \
+    -target "$od_base" -out "$workdir/BENCH_service_overdrive.json"
+
+awk '
+    function num(s) { gsub(/[^0-9.]/, "", s); return s + 0 }
+    /"shed_429":/      { shed = num($2) }
+    /"http_errors":/   { errs = num($2) }
+    /"verify_p99_ms":/ { p99 = num($2) }
+    END {
+        fail = 0
+        if (shed <= 0) { print "FAIL: overdrive shed no load (shed_429 = " shed ")"; fail = 1 }
+        if (errs != 0) { print "FAIL: overdrive produced " errs " HTTP errors"; fail = 1 }
+        if (p99 <= 0 || p99 >= 1500) { print "FAIL: admitted-request verify_p99_ms = " p99 " (want (0, 1500)): shed load polluted served latency"; fail = 1 }
+        if (fail) { exit 1 }
+        print "overdrive OK: shed_429 = " shed ", http_errors = 0, verify_p99_ms = " p99
+    }
+' "$workdir/BENCH_service_overdrive.json" || {
+    cat "$workdir/BENCH_service_overdrive.json" >&2
+    exit 1
+}
+
+kill -TERM "$daemon"
+if ! wait "$daemon"; then
+    echo "FAIL: overdrive daemon did not drain cleanly" >&2
+    cat "$workdir/fmverifyd_overdrive.log" >&2
+    exit 1
+fi
+trap - EXIT
+
 echo "loadgen scenario done (artifacts in $workdir)"
