@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 1x
 
-.PHONY: all build vet test race bench bench-json bench-physics bench-physics-check bench-registry bench-registry-check bench-hotpath bench-hotpath-check loadgen loadgen-check experiments smoke cover cover-check fmt clean
+.PHONY: all build vet test race bench bench-json bench-physics bench-physics-check bench-registry bench-registry-check bench-hotpath bench-hotpath-check loadgen loadgen-check experiments smoke cluster-smoke cover cover-check fmt clean
 
 all: build vet test
 
@@ -90,6 +90,12 @@ experiments:
 # HTTP, assert verdicts and metrics, check the SIGTERM drain.
 smoke:
 	./scripts/service_smoke.sh smoke-out
+
+# End-to-end smoke of the distributed plane: a replicated registry
+# shard behind fmverifyd -cluster; enroll, SIGKILL the primary, fail
+# over, and catch the clone as DUPLICATE-ID.
+cluster-smoke:
+	./scripts/cluster_smoke.sh cluster-smoke-out
 
 cover:
 	$(GO) test -cover ./...

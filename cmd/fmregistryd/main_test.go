@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunVersion(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "fmregistryd ") {
+		t.Fatalf("banner %q", out.String())
+	}
+}
+
+func TestRunRequiresDir(t *testing.T) {
+	var out bytes.Buffer
+	err := run(nil, &out)
+	if err == nil || !strings.Contains(err.Error(), "-dir") {
+		t.Fatalf("missing dir must fail with a -dir hint, got %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("unknown flag must fail")
+	}
+}
+
+func TestRunRejectsUnknownRole(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-dir", t.TempDir(), "-role", "arbiter"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "arbiter") {
+		t.Fatalf("unknown role must fail naming it, got %v", err)
+	}
+}
+
+func TestRunRejectsFollowerWithFollowerFlag(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-dir", t.TempDir(), "-role", "follower", "-follower", "10.0.0.2:8910"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "follower") {
+		t.Fatalf("follower chaining must be rejected, got %v", err)
+	}
+}
+
+func TestRunRejectsUnopenableDir(t *testing.T) {
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "registry")
+	if err := os.WriteFile(blocker, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-dir", blocker}, &out)
+	if err == nil || !strings.Contains(err.Error(), "registry") {
+		t.Fatalf("unopenable dir must fail with context, got %v", err)
+	}
+}

@@ -12,6 +12,7 @@
 //	fmverifyd -addr :8900 -key secret -mfg TC
 //	fmverifyd -addr :8900 -key secret -workers 8 -queue 128 -timeout 10s
 //	fmverifyd -addr :8900 -key secret -registry-dir /var/lib/fmverifyd/registry
+//	fmverifyd -addr :8900 -key secret -cluster "10.0.0.1:8910,10.0.0.2:8910;10.0.1.1:8910,10.0.1.2:8910"
 //	fmverifyd -version
 //
 // With -registry-dir the daemon keeps a durable fleet-scale provenance
@@ -19,6 +20,12 @@
 // identities, and the verify endpoints escalate a physics-GENUINE chip
 // to DUPLICATE-ID when its die id is already enrolled by a different
 // physical chip — across batches and across restarts.
+//
+// With -cluster the registry lives in a sharded fmregistryd plane
+// instead: die identities are routed to shards by consistent hashing,
+// batch verifies fan lookups out across shards, and the daemon itself
+// stays stateless — any number of fmverifyd replicas can front the same
+// cluster.
 //
 // Endpoints: POST /v1/verify, POST /v1/verify/batch, POST /v1/enroll,
 // GET /healthz, GET /readyz, GET /metrics, GET /debug/vars.
@@ -39,6 +46,7 @@ import (
 	"time"
 
 	"github.com/flashmark/flashmark/internal/buildinfo"
+	"github.com/flashmark/flashmark/internal/cluster"
 	"github.com/flashmark/flashmark/internal/counterfeit"
 	"github.com/flashmark/flashmark/internal/registry"
 	"github.com/flashmark/flashmark/internal/service"
@@ -70,6 +78,7 @@ func run(args []string, out io.Writer) error {
 		drainFor = fs.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight work on shutdown")
 		regDir   = fs.String("registry-dir", "", "directory for the durable provenance registry (empty disables /v1/enroll and DUPLICATE-ID escalation)")
 		regShard = fs.Int("registry-shards", 0, "registry index lock stripes (0 selects the default)")
+		clusterA = fs.String("cluster", "", "sharded registry cluster membership, primary[,follower] per shard joined with ';' (mutually exclusive with -registry-dir)")
 		pprofAt  = fs.String("pprof-addr", "", "separate listen address for net/http/pprof profiling endpoints (empty disables profiling)")
 		version  = fs.Bool("version", false, "print build version and exit")
 	)
@@ -84,6 +93,9 @@ func run(args []string, out io.Writer) error {
 		return errors.New("-key is required (the watermark HMAC key)")
 	}
 
+	if *regDir != "" && *clusterA != "" {
+		return errors.New("-registry-dir and -cluster are mutually exclusive: the registry is either local or sharded")
+	}
 	logger := log.New(os.Stderr, "fmverifyd: ", log.LstdFlags)
 	var store *registry.Durable
 	if *regDir != "" {
@@ -96,6 +108,19 @@ func run(args []string, out io.Writer) error {
 		st := store.Stats()
 		logger.Printf("registry %s: %d identities (%d conflicted) recovered in %v",
 			*regDir, st.Keys, st.Conflicts, st.Recovery.Round(time.Millisecond))
+	}
+	var clusterStore *cluster.Client
+	if *clusterA != "" {
+		spec, err := cluster.ParseSpec(*clusterA)
+		if err != nil {
+			return err
+		}
+		clusterStore, err = cluster.NewClient(spec, cluster.ClientOptions{Logf: logger.Printf})
+		if err != nil {
+			return err
+		}
+		defer clusterStore.Close()
+		logger.Printf("registry cluster: %d shards", clusterStore.Shards())
 	}
 	cfg := service.Config{
 		Verifier: counterfeit.Verifier{
@@ -113,10 +138,13 @@ func run(args []string, out io.Writer) error {
 		CacheEntries:   *cache,
 		Logf:           logger.Printf,
 	}
-	// The nil check matters: assigning a nil *Durable directly would
+	// The nil checks matter: assigning a nil pointer directly would
 	// make the interface non-nil and turn every lookup into a panic.
 	if store != nil {
 		cfg.Provenance = store
+	}
+	if clusterStore != nil {
+		cfg.Provenance = clusterStore
 	}
 	srv, err := service.New(cfg)
 	if err != nil {

@@ -1,0 +1,349 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/flashmark/flashmark/internal/registry"
+)
+
+// ShardSpec is one shard's static membership: a primary and an
+// optional follower.
+type ShardSpec struct {
+	Primary  string
+	Follower string
+}
+
+// ParseSpec parses the -cluster membership string:
+// "primary[,follower]" per shard, shards joined with ";". Example:
+//
+//	127.0.0.1:9001,127.0.0.1:9002;127.0.0.1:9003,127.0.0.1:9004
+func ParseSpec(s string) ([]ShardSpec, error) {
+	var spec []ShardSpec
+	for _, shard := range strings.Split(s, ";") {
+		shard = strings.TrimSpace(shard)
+		if shard == "" {
+			return nil, errors.New("cluster: empty shard in membership spec")
+		}
+		parts := strings.Split(shard, ",")
+		if len(parts) > 2 {
+			return nil, fmt.Errorf("cluster: shard %q has %d members, want primary[,follower]", shard, len(parts))
+		}
+		sp := ShardSpec{Primary: strings.TrimSpace(parts[0])}
+		if sp.Primary == "" {
+			return nil, fmt.Errorf("cluster: shard %q has an empty primary address", shard)
+		}
+		if len(parts) == 2 {
+			sp.Follower = strings.TrimSpace(parts[1])
+			if sp.Follower == "" {
+				return nil, fmt.Errorf("cluster: shard %q has an empty follower address", shard)
+			}
+		}
+		spec = append(spec, sp)
+	}
+	return spec, nil
+}
+
+// ClientOptions tunes the router. The zero value selects defaults.
+type ClientOptions struct {
+	// Timeout bounds one node round trip (0 selects 5s).
+	Timeout time.Duration
+	// Now supplies wall time for deadlines (nil selects wallclock.Now).
+	Now func() time.Time
+	// Dial overrides the transport — the client-side fault-injection
+	// seam (nil selects net.Dial "tcp").
+	Dial func(addr string) (net.Conn, error)
+	// Logf receives failover and degradation log lines (nil discards).
+	Logf func(format string, args ...any)
+}
+
+// Client is the stateless verify tier's view of the cluster: a
+// registry.Store whose keys are spread over N shards by the consistent
+// -hash ring, with deterministic failover per shard.
+//
+// Failover rule: an enrollment that fails at the transport level (the
+// node never answered) pings the shard's follower; if the follower is
+// alive it is promoted, the shard's active node flips, and the
+// enrollment is retried once. An application-level refusal (a fenced
+// primary, a follower answering "not primary") never triggers failover
+// — the node is alive and its refusal is the protocol working.
+//
+// Read-side calls fail over to the standby without promoting (a read
+// cannot establish that the primary is gone for good) and fail open to
+// not-found when the whole shard is unreachable; FailOpens counts those
+// degradations — the partitioned-registry window THREATMODEL.md row 8
+// describes.
+type Client struct {
+	ring   *Ring
+	shards []*shardClient
+	logf   func(format string, args ...any)
+
+	failovers atomic.Int64
+	failopens atomic.Int64
+}
+
+var _ registry.Store = (*Client)(nil)
+
+// NewClient builds a router over the given membership.
+func NewClient(spec []ShardSpec, opts ClientOptions) (*Client, error) {
+	if len(spec) == 0 {
+		return nil, errors.New("cluster: empty membership spec")
+	}
+	ring, err := NewRing(len(spec))
+	if err != nil {
+		return nil, err
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	ropts := registry.RemoteOptions{Timeout: opts.Timeout, Now: opts.Now, Dial: opts.Dial}
+	c := &Client{ring: ring, logf: logf}
+	for i, sp := range spec {
+		sc := &shardClient{
+			index:   i,
+			primary: registry.NewRemote(sp.Primary, ropts),
+			logf:    logf,
+		}
+		if sp.Follower != "" {
+			sc.follower = registry.NewRemote(sp.Follower, ropts)
+		}
+		sc.failovers = &c.failovers
+		c.shards = append(c.shards, sc)
+	}
+	return c, nil
+}
+
+// Shards returns the membership size.
+func (c *Client) Shards() int { return len(c.shards) }
+
+// Failovers counts promotions this router has performed.
+func (c *Client) Failovers() int64 { return c.failovers.Load() }
+
+// FailOpens counts read-side calls that degraded to not-found because
+// a whole shard was unreachable.
+func (c *Client) FailOpens() int64 { return c.failopens.Load() }
+
+// Close drops every pooled connection.
+func (c *Client) Close() error {
+	for _, s := range c.shards {
+		s.primary.Close()
+		if s.follower != nil {
+			s.follower.Close()
+		}
+	}
+	return nil
+}
+
+func (c *Client) shardFor(k registry.Key) *shardClient { return c.shards[c.ring.Shard(k)] }
+
+// Enroll routes the enrollment to its shard, failing over (promote +
+// retry once) if the active node is unreachable.
+func (c *Client) Enroll(e registry.Enrollment) (registry.EnrollResult, error) {
+	return c.shardFor(e.Key).enroll(e)
+}
+
+// Lookup routes the key to its shard, falling back to the standby for
+// reads and failing open to not-found when the shard is unreachable.
+func (c *Client) Lookup(k registry.Key) (registry.LookupResult, bool) {
+	lr, found, err := c.shardFor(k).lookup(k)
+	if err != nil {
+		c.failopens.Add(1)
+		c.logf("shard lookup failed open: %v", err)
+		return registry.LookupResult{}, false
+	}
+	return lr, found
+}
+
+// SeenBefore reports whether the key is on file anywhere reachable.
+func (c *Client) SeenBefore(k registry.Key) bool {
+	_, found := c.Lookup(k)
+	return found
+}
+
+// Stats sums counters across every shard's reachable node.
+func (c *Client) Stats() registry.Stats {
+	var sum registry.Stats
+	for _, s := range c.shards {
+		st, err := s.stats()
+		if err != nil {
+			c.failopens.Add(1)
+			continue
+		}
+		sum.Keys += st.Keys
+		sum.Enrollments += st.Enrollments
+		sum.Lookups += st.Lookups
+		sum.Conflicts += st.Conflicts
+		sum.WALAppends += st.WALAppends
+		sum.WALFsyncs += st.WALFsyncs
+		sum.WALBytes += st.WALBytes
+		sum.WALRecords += st.WALRecords
+		sum.WALSegments += st.WALSegments
+		sum.Compactions += st.Compactions
+		if st.LastCompaction > sum.LastCompaction {
+			sum.LastCompaction = st.LastCompaction
+		}
+		if st.Recovery > sum.Recovery {
+			sum.Recovery = st.Recovery
+		}
+	}
+	return sum
+}
+
+// LookupBatch resolves many keys with one round trip per shard, fanned
+// out concurrently, preserving input order in the returned slices.
+// Unreachable shards fail open: their keys report not-found.
+func (c *Client) LookupBatch(keys []registry.Key) ([]registry.LookupResult, []bool) {
+	results := make([]registry.LookupResult, len(keys))
+	found := make([]bool, len(keys))
+	if len(keys) == 0 {
+		return results, found
+	}
+	byShard := make(map[int][]int)
+	for i, k := range keys {
+		si := c.ring.Shard(k)
+		byShard[si] = append(byShard[si], i)
+	}
+	var wg sync.WaitGroup
+	for si, idxs := range byShard {
+		wg.Add(1)
+		go func(si int, idxs []int) {
+			defer wg.Done()
+			sub := make([]registry.Key, len(idxs))
+			for j, i := range idxs {
+				sub[j] = keys[i]
+			}
+			rs, fs, err := c.shards[si].lookupBatch(sub)
+			if err != nil {
+				c.failopens.Add(int64(len(idxs)))
+				c.logf("shard %d batch lookup failed open for %d keys: %v", si, len(idxs), err)
+				return
+			}
+			for j, i := range idxs {
+				results[i], found[i] = rs[j], fs[j]
+			}
+		}(si, idxs)
+	}
+	wg.Wait()
+	return results, found
+}
+
+// shardClient is one shard's primary/follower pair with the sticky
+// active-node switch.
+type shardClient struct {
+	index    int
+	primary  *registry.Remote
+	follower *registry.Remote
+
+	mu        sync.Mutex   // serializes the failover decision
+	active    atomic.Int32 // 0 primary, 1 follower (sticky once flipped)
+	failovers *atomic.Int64
+	logf      func(format string, args ...any)
+}
+
+func (s *shardClient) remotes() (active, standby *registry.Remote) {
+	if s.active.Load() == 1 {
+		return s.follower, s.primary
+	}
+	return s.primary, s.follower
+}
+
+// enroll writes through the active node, promoting the follower and
+// retrying once when the active node is transport-dead.
+func (s *shardClient) enroll(e registry.Enrollment) (registry.EnrollResult, error) {
+	active, _ := s.remotes()
+	res, err := active.Enroll(e)
+	if err == nil {
+		return res, nil
+	}
+	var oe *registry.OpError
+	if errors.As(err, &oe) {
+		return res, err // the node answered; no failover
+	}
+	if !s.failover(active) {
+		return res, err
+	}
+	active, _ = s.remotes()
+	return active.Enroll(e)
+}
+
+// failover promotes the standby after a transport failure on from.
+// Deterministic and sticky: the first caller to observe the dead node
+// performs the promotion under the shard mutex; everyone else either
+// sees the flipped switch or fails with the original error. Returns
+// whether the caller should retry on the new active node.
+func (s *shardClient) failover(from *registry.Remote) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	active, standby := s.remotes()
+	if active != from {
+		return true // someone already failed over; retry there
+	}
+	if standby == nil {
+		return false
+	}
+	if _, err := standby.Ping(); err != nil {
+		s.logf("shard %d: active node %s unreachable and standby %s unreachable too",
+			s.index, active.Addr(), standby.Addr())
+		return false
+	}
+	if err := standby.Promote(); err != nil {
+		s.logf("shard %d: promoting %s failed: %v", s.index, standby.Addr(), err)
+		return false
+	}
+	s.active.Store(1 - s.active.Load())
+	s.failovers.Add(1)
+	s.logf("shard %d: failed over from %s to %s", s.index, active.Addr(), standby.Addr())
+	return true
+}
+
+// lookup reads through the active node, falling back to the standby
+// without promoting.
+func (s *shardClient) lookup(k registry.Key) (registry.LookupResult, bool, error) {
+	active, standby := s.remotes()
+	lr, found, err := active.LookupErr(k)
+	if err == nil {
+		return lr, found, nil
+	}
+	if standby != nil {
+		if lr, found, err2 := standby.LookupErr(k); err2 == nil {
+			return lr, found, nil
+		}
+	}
+	return registry.LookupResult{}, false, err
+}
+
+// lookupBatch is lookup's bulk twin.
+func (s *shardClient) lookupBatch(keys []registry.Key) ([]registry.LookupResult, []bool, error) {
+	active, standby := s.remotes()
+	rs, fs, err := active.LookupBatch(keys)
+	if err == nil {
+		return rs, fs, nil
+	}
+	if standby != nil {
+		if rs, fs, err2 := standby.LookupBatch(keys); err2 == nil {
+			return rs, fs, nil
+		}
+	}
+	return nil, nil, err
+}
+
+// stats reads through the active node, falling back to the standby.
+func (s *shardClient) stats() (registry.Stats, error) {
+	active, standby := s.remotes()
+	st, err := active.StatsErr()
+	if err == nil {
+		return st, nil
+	}
+	if standby != nil {
+		if st, err2 := standby.StatsErr(); err2 == nil {
+			return st, nil
+		}
+	}
+	return registry.Stats{}, err
+}

@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/flashmark/flashmark/internal/registry"
+)
+
+// startCluster brings up n solo-primary shards and a client routed
+// across them.
+func startCluster(t *testing.T, n int) (*Client, []*testNode) {
+	t.Helper()
+	nodes := make([]*testNode, n)
+	spec := make([]ShardSpec, n)
+	for i := range nodes {
+		nodes[i] = startNode(t, t.TempDir(), NodeConfig{Role: RolePrimary})
+		spec[i] = ShardSpec{Primary: nodes[i].addr}
+	}
+	c, err := NewClient(spec, ClientOptions{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, nodes
+}
+
+func TestClientRoutesAcrossShards(t *testing.T) {
+	c, nodes := startCluster(t, 2)
+	for die := uint64(0); die < 64; die++ {
+		if _, err := c.Enroll(clusterEnr(die, 0xA1, "line")); err != nil {
+			t.Fatalf("enroll %d: %v", die, err)
+		}
+	}
+	s0 := nodes[0].store.Stats().Keys
+	s1 := nodes[1].store.Stats().Keys
+	if s0+s1 != 64 {
+		t.Fatalf("keys split %d + %d, want 64 total", s0, s1)
+	}
+	if s0 == 0 || s1 == 0 {
+		t.Fatalf("one shard holds everything (%d / %d): the ring is not spreading keys", s0, s1)
+	}
+	// Every key resolves through the client regardless of which shard
+	// holds it, and duplicate detection crosses the enroll/lookup paths.
+	for die := uint64(0); die < 64; die++ {
+		k := registry.Key{Manufacturer: "TC", DieID: die}
+		if !c.SeenBefore(k) {
+			t.Fatalf("die %d lost after enrollment", die)
+		}
+		lr, found := c.Lookup(k)
+		if !found || lr.Count != 1 {
+			t.Fatalf("lookup die %d: found=%v %+v", die, found, lr)
+		}
+	}
+	st := c.Stats()
+	if st.Keys != 64 || st.Enrollments != 64 {
+		t.Fatalf("aggregated stats: %+v", st)
+	}
+}
+
+func TestClientDuplicateDetectionAcrossShards(t *testing.T) {
+	c, _ := startCluster(t, 2)
+	if _, err := c.Enroll(clusterEnr(7001, 0xA1, "victim")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Enroll(clusterEnr(7001, 0xB2, "clone"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Duplicate || !res.Conflict {
+		t.Fatalf("clone not flagged through the cluster client: %+v", res)
+	}
+}
+
+func TestClientBatchPreservesOrder(t *testing.T) {
+	c, _ := startCluster(t, 3)
+	dies := []uint64{10, 11, 12, 13, 14, 15, 16, 17}
+	for i, die := range dies {
+		if i%2 == 0 { // enroll only the even slots
+			if _, err := c.Enroll(clusterEnr(die, byte(die), "line")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	keys := make([]registry.Key, len(dies))
+	for i, die := range dies {
+		keys[i] = registry.Key{Manufacturer: "TC", DieID: die}
+	}
+	rs, fs := c.LookupBatch(keys)
+	if len(rs) != len(dies) || len(fs) != len(dies) {
+		t.Fatalf("batch shape: %d results, %d founds", len(rs), len(fs))
+	}
+	for i, die := range dies {
+		wantFound := i%2 == 0
+		if fs[i] != wantFound {
+			t.Fatalf("slot %d (die %d): found=%v, want %v", i, die, fs[i], wantFound)
+		}
+		// The scatter/gather must put each shard's answers back in the
+		// caller's slots: the fingerprint byte identifies the die.
+		if wantFound && rs[i].Fingerprint[0] != byte(die) {
+			t.Fatalf("slot %d holds die %x's state", i, rs[i].Fingerprint[0])
+		}
+		// Batch answers must agree with single lookups.
+		single, ok := c.Lookup(keys[i])
+		if ok != fs[i] || single != rs[i] {
+			t.Fatalf("slot %d: batch %+v/%v vs single %+v/%v", i, rs[i], fs[i], single, ok)
+		}
+	}
+}
+
+func TestClientFailoverPromotesFollower(t *testing.T) {
+	follower := startNode(t, t.TempDir(), NodeConfig{Role: RoleFollower})
+	primary := startNode(t, t.TempDir(), NodeConfig{
+		Role: RolePrimary, FollowerAddr: follower.addr, RequireFollower: true,
+	})
+	waitLink(t, primary.node)
+
+	c, err := NewClient([]ShardSpec{{Primary: primary.addr, Follower: follower.addr}},
+		ClientOptions{Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Enroll(clusterEnr(8001, 0xA1, "victim")); err != nil {
+		t.Fatal(err)
+	}
+	primary.kill()
+
+	// The next write hits the dead primary, pings the follower,
+	// promotes it, and retries — one failover, no error surfaced.
+	res, err := c.Enroll(clusterEnr(8001, 0xB2, "clone"))
+	if err != nil {
+		t.Fatalf("enroll after primary death: %v", err)
+	}
+	if !res.Duplicate || !res.Conflict {
+		t.Fatalf("clone not flagged after failover: %+v", res)
+	}
+	if got := c.Failovers(); got != 1 {
+		t.Fatalf("Failovers() = %d, want 1", got)
+	}
+	if follower.node.Role() != RolePrimary {
+		t.Fatal("follower was not promoted")
+	}
+	// Subsequent traffic sticks to the promoted node without repeating
+	// the failover dance.
+	if _, err := c.Enroll(clusterEnr(8002, 0xC3, "line")); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Failovers(); got != 1 {
+		t.Fatalf("Failovers() after steady state = %d, want 1", got)
+	}
+}
+
+func TestClientReadsFailOpen(t *testing.T) {
+	node := startNode(t, t.TempDir(), NodeConfig{Role: RolePrimary})
+	c, err := NewClient([]ShardSpec{{Primary: node.addr}}, ClientOptions{Timeout: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Enroll(clusterEnr(9001, 0xA1, "line")); err != nil {
+		t.Fatal(err)
+	}
+	node.kill()
+
+	k := registry.Key{Manufacturer: "TC", DieID: 9001}
+	if _, found := c.Lookup(k); found {
+		t.Fatal("lookup against a dead shard claimed to find the key")
+	}
+	if c.SeenBefore(k) {
+		t.Fatal("SeenBefore against a dead shard returned true")
+	}
+	if got := c.FailOpens(); got == 0 {
+		t.Fatal("fail-open reads were not counted")
+	}
+	rs, fs := c.LookupBatch([]registry.Key{k})
+	if fs[0] || rs[0].Count != 0 {
+		t.Fatalf("batch against a dead shard: found=%v %+v", fs[0], rs[0])
+	}
+	// Writes do NOT fail open: the caller must hear about a shard that
+	// cannot record an identity.
+	if _, err := c.Enroll(clusterEnr(9002, 0xB2, "line")); err == nil {
+		t.Fatal("enroll against a dead shard succeeded")
+	}
+}
+
+func TestNewClientValidation(t *testing.T) {
+	if _, err := NewClient(nil, ClientOptions{}); err == nil {
+		t.Fatal("NewClient accepted an empty membership table")
+	}
+}

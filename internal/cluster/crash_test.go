@@ -1,0 +1,270 @@
+package cluster
+
+// Fault matrix for the distributed plane, in the style of
+// internal/registry/crash_test.go: every crash/partition window a
+// deployment can hit — primary killed after or before an ack, promotion
+// racing a live replication stream, the replication link cut mid-frame
+// at seeded byte offsets — and the one invariant that must hold through
+// all of them: no enrolled die id is ever double-accepted. Concretely,
+// if a clone's enrollment for an already-victimized die id comes back
+// as a clean first-enrollment ack, the victim's earlier enrollment must
+// NOT have been acknowledged either — at most one of the two conflicting
+// enrollments ever gets a clean ack, so a fleet auditor who trusts acks
+// never holds two GENUINE certificates for one die id.
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/flashmark/flashmark/internal/registry"
+	"github.com/flashmark/flashmark/internal/rng"
+)
+
+// cleanAck reports whether an enroll outcome is a clean first-enrollment
+// acknowledgement — the only outcome that lets a chip ship as GENUINE.
+func cleanAck(res registry.EnrollResult, err error) bool {
+	return err == nil && !res.Duplicate && !res.Conflict
+}
+
+// TestFaultMatrixPrimaryCrashAfterAck: the victim is acked, the primary
+// dies, the follower is promoted, and the clone must be caught.
+func TestFaultMatrixPrimaryCrashAfterAck(t *testing.T) {
+	follower := startNode(t, t.TempDir(), NodeConfig{Role: RoleFollower})
+	primary := startNode(t, t.TempDir(), NodeConfig{
+		Role: RolePrimary, FollowerAddr: follower.addr, RequireFollower: true,
+	})
+	waitLink(t, primary.node)
+
+	pc := primary.remote()
+	victim, err := pc.Enroll(clusterEnr(1, 0xA1, "victim"))
+	if !cleanAck(victim, err) {
+		t.Fatalf("victim not cleanly acked: %+v %v", victim, err)
+	}
+	primary.kill()
+
+	fc := follower.remote()
+	if err := fc.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	clone, err := fc.Enroll(clusterEnr(1, 0xB2, "clone"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cleanAck(clone, err) {
+		t.Fatal("clone got a clean ack for an acked die id: double acceptance")
+	}
+	if !clone.Conflict {
+		t.Fatalf("clone accepted without a conflict flag: %+v", clone)
+	}
+}
+
+// TestFaultMatrixPrimaryCrashBeforeAck: the primary dies before the
+// victim enrolls. The promoted follower takes the "victim" enrollment
+// cleanly — there is nothing to conflict with — and when the old
+// primary's disk comes back its node must stay fenced rather than
+// rejoin and hand out acks of its own.
+func TestFaultMatrixPrimaryCrashBeforeAck(t *testing.T) {
+	follower := startNode(t, t.TempDir(), NodeConfig{Role: RoleFollower})
+	primaryDir := t.TempDir()
+	primary := startNode(t, primaryDir, NodeConfig{
+		Role: RolePrimary, FollowerAddr: follower.addr, RequireFollower: true,
+	})
+	waitLink(t, primary.node)
+	primary.stop()
+
+	fc := follower.remote()
+	if err := fc.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := fc.Enroll(clusterEnr(2, 0xA1, "victim"))
+	if !cleanAck(res, err) {
+		t.Fatalf("victim at promoted node: %+v %v", res, err)
+	}
+
+	// The old primary restarts pointing at its old follower — which is
+	// now a primary and refuses the OpSync handshake. Enrollments at the
+	// revenant must be refused (fenced), not acked.
+	revenant := startNode(t, primaryDir, NodeConfig{
+		Role: RolePrimary, FollowerAddr: follower.addr, RequireFollower: true,
+	})
+	time.Sleep(100 * time.Millisecond) // give the reconnect loop a few attempts
+	if revenant.node.LinkUp() {
+		t.Fatal("revenant primary linked to a promoted node")
+	}
+	rres, rerr := revenant.remote().Enroll(clusterEnr(2, 0xB2, "clone"))
+	if cleanAck(rres, rerr) {
+		t.Fatal("fenced revenant primary handed out a clean ack")
+	}
+}
+
+// TestFaultMatrixPromotionDuringPartition: the follower is promoted
+// while the old primary still believes its replication link is healthy.
+// The promotion boundary (both sides of the node mutex) must guarantee
+// at most one clean ack for the contested die id.
+func TestFaultMatrixPromotionDuringPartition(t *testing.T) {
+	follower := startNode(t, t.TempDir(), NodeConfig{Role: RoleFollower})
+	primary := startNode(t, t.TempDir(), NodeConfig{
+		Role: RolePrimary, FollowerAddr: follower.addr, RequireFollower: true,
+	})
+	waitLink(t, primary.node)
+
+	fc := follower.remote()
+	if err := fc.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	// Old primary: its follower link is still open, but the promoted
+	// node refuses the replication record, so the enrollment is recorded
+	// locally and NOT acknowledged.
+	vres, verr := primary.remote().Enroll(clusterEnr(3, 0xA1, "victim"))
+	if cleanAck(vres, verr) {
+		t.Fatal("old primary acked an enrollment past the promotion boundary")
+	}
+	// Promoted node: the clone's enrollment is the first replicated-
+	// plane record for this id, so it gets the clean ack — exactly one
+	// side of the partition can win.
+	cres, cerr := fc.Enroll(clusterEnr(3, 0xB2, "clone"))
+	if !cleanAck(cres, cerr) {
+		t.Fatalf("promoted node refused the only acknowledgeable enrollment: %+v %v", cres, cerr)
+	}
+}
+
+// TestFaultMatrixFollowerCrashFencesPrimary: losing the follower mid-
+// stream fences a RequireFollower primary until the follower returns,
+// then resync lifts the fence with states converged.
+func TestFaultMatrixFollowerCrashFencesPrimary(t *testing.T) {
+	followerDir := t.TempDir()
+	follower := startNode(t, followerDir, NodeConfig{Role: RoleFollower})
+	primary := startNode(t, t.TempDir(), NodeConfig{
+		Role: RolePrimary, FollowerAddr: follower.addr, RequireFollower: true,
+	})
+	waitLink(t, primary.node)
+	pc := primary.remote()
+	if res, err := pc.Enroll(clusterEnr(4, 0xA1, "victim")); !cleanAck(res, err) {
+		t.Fatalf("seed enrollment: %+v %v", res, err)
+	}
+	follower.stop()
+
+	// First write discovers the dead link (recorded locally, not acked);
+	// after that the fence refuses outright.
+	if res, err := pc.Enroll(clusterEnr(5, 0xB2, "during-outage")); cleanAck(res, err) {
+		t.Fatal("enrollment acked with the follower dead")
+	}
+	var oe *registry.OpError
+	if _, err := pc.Enroll(clusterEnr(6, 0xC3, "during-outage")); !errors.As(err, &oe) {
+		t.Fatalf("fence not engaged: %v", err)
+	}
+
+	// Follower returns on the same port with its old disk; the sync
+	// handshake ships a snapshot for the missed record and the fence
+	// lifts.
+	fln, err := net.Listen("tcp", follower.addr)
+	if err != nil {
+		t.Skipf("follower port was reclaimed by the OS: %v", err)
+	}
+	fstore, err := registry.Open(followerDir, registry.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fnode, err := NewNode(NodeConfig{Store: fstore, Role: RoleFollower})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go fnode.Serve(fln)
+	t.Cleanup(func() { fnode.Close(); fstore.Close() })
+	waitLink(t, primary.node)
+
+	if res, err := pc.Enroll(clusterEnr(7, 0xD4, "after-recovery")); !cleanAck(res, err) {
+		t.Fatalf("enrollment after follower recovery: %+v %v", res, err)
+	}
+	if got, want := fstore.Stats().Enrollments, primary.store.Stats().Enrollments; got != want {
+		t.Fatalf("states diverged after resync: follower %d, primary %d", got, want)
+	}
+}
+
+// cutConn severs the connection after a seeded number of written bytes,
+// simulating a partition that lands mid-frame in the replication stream.
+type cutConn struct {
+	net.Conn
+	mu      sync.Mutex
+	remain  int
+	severed bool
+}
+
+func (c *cutConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.severed {
+		return 0, io.ErrClosedPipe
+	}
+	if len(p) >= c.remain {
+		n, _ := c.Conn.Write(p[:c.remain])
+		c.severed = true
+		c.Conn.Close()
+		return n, io.ErrClosedPipe
+	}
+	c.remain -= len(p)
+	return c.Conn.Write(p)
+}
+
+// TestFaultMatrixSeededLinkCuts sweeps seeded byte offsets at which the
+// replication link is severed mid-write, then drives the full failover
+// dance and checks the no-double-accept invariant every time. The cut
+// can land before the victim's record reaches the follower (victim
+// unacked, clone wins cleanly at the promoted node) or after (victim
+// acked, clone flagged) — both are legal; two clean acks never are.
+func TestFaultMatrixSeededLinkCuts(t *testing.T) {
+	r := rng.New(20260808)
+	for round := 0; round < 12; round++ {
+		cutAfter := 1 + r.Intn(200)
+		t.Run("", func(t *testing.T) {
+			follower := startNode(t, t.TempDir(), NodeConfig{Role: RoleFollower})
+			var cut *cutConn
+			primary := startNode(t, t.TempDir(), NodeConfig{
+				Role: RolePrimary, FollowerAddr: follower.addr, RequireFollower: true,
+				Dial: func(addr string) (net.Conn, error) {
+					c, err := net.Dial("tcp", addr)
+					if err != nil {
+						return nil, err
+					}
+					cut = &cutConn{Conn: c, remain: cutAfter}
+					return cut, nil
+				},
+			})
+			// The sync handshake itself may eat the budget; if the link
+			// never comes up the primary is simply fenced — also a legal
+			// state with zero acks. Wait briefly, then proceed either way.
+			deadline := time.After(300 * time.Millisecond)
+		wait:
+			for !primary.node.LinkUp() {
+				select {
+				case <-deadline:
+					break wait
+				case <-time.After(5 * time.Millisecond):
+				}
+			}
+
+			victimRes, victimErr := primary.remote().Enroll(clusterEnr(9, 0xA1, "victim"))
+			victimAcked := cleanAck(victimRes, victimErr)
+
+			primary.kill()
+			fc := follower.remote()
+			if err := fc.Promote(); err != nil {
+				t.Fatal(err)
+			}
+			cloneRes, cloneErr := fc.Enroll(clusterEnr(9, 0xB2, "clone"))
+			cloneClean := cleanAck(cloneRes, cloneErr)
+
+			if victimAcked && cloneClean {
+				t.Fatalf("cut after %d bytes: both victim and clone got clean acks (victim %+v, clone %+v)",
+					cutAfter, victimRes, cloneRes)
+			}
+			if victimAcked && !cloneRes.Conflict {
+				t.Fatalf("cut after %d bytes: victim acked but clone not flagged: %+v", cutAfter, cloneRes)
+			}
+		})
+	}
+}

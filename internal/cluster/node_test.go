@@ -1,0 +1,394 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/flashmark/flashmark/internal/registry"
+)
+
+// testNode is one in-process registry node bound to a loopback port.
+type testNode struct {
+	t     *testing.T
+	store *registry.Durable
+	node  *Node
+	addr  string
+	dir   string
+}
+
+// startNode opens (or reopens) a durable store in dir and serves it.
+// cfg.Store is filled in; cfg defaults keep tests snappy.
+func startNode(t *testing.T, dir string, cfg NodeConfig) *testNode {
+	t.Helper()
+	store, err := registry.Open(dir, registry.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Store = store
+	if cfg.ReconnectEvery == 0 {
+		cfg.ReconnectEvery = 20 * time.Millisecond
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	node, err := NewNode(cfg)
+	if err != nil {
+		store.Close()
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		store.Close()
+		t.Fatal(err)
+	}
+	tn := &testNode{t: t, store: store, node: node, addr: ln.Addr().String(), dir: dir}
+	go node.Serve(ln)
+	t.Cleanup(func() { tn.stop() })
+	return tn
+}
+
+// stop shuts the node down gracefully (idempotent).
+func (tn *testNode) stop() {
+	tn.node.Close()
+	tn.store.Close()
+}
+
+// kill tears the node's sockets down without closing the store cleanly,
+// approximating a process crash: every acked enrollment was already
+// fsynced by the store's write path, anything buffered is lost with the
+// process.
+func (tn *testNode) kill() {
+	tn.node.Close()
+}
+
+func (tn *testNode) remote() *registry.Remote {
+	r := registry.NewRemote(tn.addr, registry.RemoteOptions{Timeout: 2 * time.Second})
+	tn.t.Cleanup(func() { r.Close() })
+	return r
+}
+
+func clusterEnr(die uint64, fpb byte, src string) registry.Enrollment {
+	var fp registry.Fingerprint
+	fp[0] = fpb
+	return registry.Enrollment{
+		Key:         registry.Key{Manufacturer: "TC", DieID: die},
+		Fingerprint: fp,
+		Source:      src,
+		UnixMicro:   1722470400000000,
+	}
+}
+
+// waitLink polls until the primary reports its follower link up.
+func waitLink(t *testing.T, n *Node) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for !n.LinkUp() {
+		select {
+		case <-deadline:
+			t.Fatal("follower link never came up")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func TestSoloPrimaryServesStore(t *testing.T) {
+	tn := startNode(t, t.TempDir(), NodeConfig{Role: RolePrimary})
+	rc := tn.remote()
+
+	if role, err := rc.Ping(); err != nil || role != registry.RolePrimaryByte {
+		t.Fatalf("ping: role %c err %v", role, err)
+	}
+	res, err := rc.Enroll(clusterEnr(1001, 0xA1, "dock"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 1 || res.Duplicate || res.Conflict {
+		t.Fatalf("first enrollment: %+v", res)
+	}
+	res, err = rc.Enroll(clusterEnr(1001, 0xB2, "dock"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Duplicate || !res.Conflict {
+		t.Fatalf("conflicting enrollment not flagged: %+v", res)
+	}
+
+	lr, found := rc.Lookup(registry.Key{Manufacturer: "TC", DieID: 1001})
+	if !found || !lr.Conflict || lr.Count != 2 {
+		t.Fatalf("lookup: found=%v %+v", found, lr)
+	}
+	if !rc.SeenBefore(registry.Key{Manufacturer: "TC", DieID: 1001}) {
+		t.Fatal("SeenBefore missed an enrolled key")
+	}
+	if rc.SeenBefore(registry.Key{Manufacturer: "TC", DieID: 9999}) {
+		t.Fatal("SeenBefore invented a key")
+	}
+	st := rc.Stats()
+	if st.Keys != 1 || st.Enrollments != 2 || st.Conflicts != 1 {
+		t.Fatalf("stats over the wire: %+v", st)
+	}
+	if st.WALSegments < 1 {
+		t.Fatalf("WALSegments = %d, want >= 1", st.WALSegments)
+	}
+
+	keys := []registry.Key{
+		{Manufacturer: "TC", DieID: 1001},
+		{Manufacturer: "TC", DieID: 4242},
+	}
+	rs, fs, err := rc.LookupBatch(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fs[0] || fs[1] {
+		t.Fatalf("batch found = %v", fs)
+	}
+	if rs[0].Count != 2 || !rs[0].Conflict {
+		t.Fatalf("batch result = %+v", rs[0])
+	}
+}
+
+func TestFollowerRefusesClientEnroll(t *testing.T) {
+	tn := startNode(t, t.TempDir(), NodeConfig{Role: RoleFollower})
+	rc := tn.remote()
+	if role, err := rc.Ping(); err != nil || role != registry.RoleFollowerByte {
+		t.Fatalf("ping: role %c err %v", role, err)
+	}
+	_, err := rc.Enroll(clusterEnr(1001, 0xA1, "dock"))
+	var oe *registry.OpError
+	if !errors.As(err, &oe) {
+		t.Fatalf("enroll at follower: err = %v, want OpError", err)
+	}
+}
+
+func TestReplicationKeepsFollowerInLockstep(t *testing.T) {
+	follower := startNode(t, t.TempDir(), NodeConfig{Role: RoleFollower})
+	primary := startNode(t, t.TempDir(), NodeConfig{
+		Role: RolePrimary, FollowerAddr: follower.addr, RequireFollower: true,
+	})
+	waitLink(t, primary.node)
+
+	rc := primary.remote()
+	for die := uint64(1); die <= 5; die++ {
+		if _, err := rc.Enroll(clusterEnr(die, byte(die), "line")); err != nil {
+			t.Fatalf("enroll %d: %v", die, err)
+		}
+	}
+	// Synchronous replication: by the time an enrollment is acked, the
+	// follower must already have it — no settling sleep needed.
+	fc := follower.remote()
+	for die := uint64(1); die <= 5; die++ {
+		lr, found := fc.Lookup(registry.Key{Manufacturer: "TC", DieID: die})
+		if !found || lr.Count != 1 {
+			t.Fatalf("follower missing die %d: found=%v %+v", die, found, lr)
+		}
+	}
+	if pos := follower.store.Stats().Enrollments; pos != 5 {
+		t.Fatalf("follower position = %d, want 5", pos)
+	}
+}
+
+func TestRequiredFollowerFencesEnrollments(t *testing.T) {
+	// No follower is listening yet: the primary must refuse writes
+	// rather than let an acked record exist on one disk.
+	spare, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	followerAddr := spare.Addr().String()
+	spare.Close() // free the port; the follower will claim it later
+
+	primary := startNode(t, t.TempDir(), NodeConfig{
+		Role: RolePrimary, FollowerAddr: followerAddr, RequireFollower: true,
+	})
+	rc := primary.remote()
+	if role, err := rc.Ping(); err != nil || role != registry.RoleDegradedByte {
+		t.Fatalf("fenced primary ping: role %c err %v", role, err)
+	}
+	_, err = rc.Enroll(clusterEnr(1001, 0xA1, "dock"))
+	var oe *registry.OpError
+	if !errors.As(err, &oe) {
+		t.Fatalf("fenced enroll: err = %v, want OpError", err)
+	}
+
+	// The follower arrives; the link loop picks it up and the fence lifts.
+	fln, err := net.Listen("tcp", followerAddr)
+	if err != nil {
+		t.Skipf("follower port was reclaimed by the OS: %v", err)
+	}
+	fstore, err := registry.Open(t.TempDir(), registry.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fnode, err := NewNode(NodeConfig{Store: fstore, Role: RoleFollower})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go fnode.Serve(fln)
+	t.Cleanup(func() { fnode.Close(); fstore.Close() })
+
+	waitLink(t, primary.node)
+	if _, err := rc.Enroll(clusterEnr(1001, 0xA1, "dock")); err != nil {
+		t.Fatalf("enroll after fence lifted: %v", err)
+	}
+	if role, err := rc.Ping(); err != nil || role != registry.RolePrimaryByte {
+		t.Fatalf("healthy primary ping: role %c err %v", role, err)
+	}
+}
+
+func TestSnapshotShippingResyncsDivergedFollower(t *testing.T) {
+	// The primary accumulates state solo (follower not required), then
+	// the follower appears at position 0 and must be caught up by a
+	// full snapshot ship before the live stream starts.
+	follower := startNode(t, t.TempDir(), NodeConfig{Role: RoleFollower})
+	primary := startNode(t, t.TempDir(), NodeConfig{
+		Role: RolePrimary, FollowerAddr: follower.addr, RequireFollower: false,
+	})
+	waitLink(t, primary.node)
+
+	rc := primary.remote()
+	for die := uint64(1); die <= 8; die++ {
+		if _, err := rc.Enroll(clusterEnr(die, byte(die), "line")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tear the link and diverge: restart the follower with an empty
+	// store (disk loss) while the primary keeps enrolling.
+	follower.stop()
+	// The first write after the follower dies hits the stale link: it is
+	// recorded locally but the forward fails, so the client sees an
+	// error and the primary drops the link.
+	if _, err := rc.Enroll(clusterEnr(9, 9, "line")); err == nil {
+		t.Fatal("enroll over a dead link reported full acknowledgement")
+	}
+	for die := uint64(10); die <= 12; die++ {
+		if _, err := rc.Enroll(clusterEnr(die, byte(die), "line")); err != nil {
+			t.Fatalf("enroll %d with follower down (not required): %v", die, err)
+		}
+	}
+
+	freshDir := t.TempDir()
+	fstore, err := registry.Open(freshDir, registry.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fln, err := net.Listen("tcp", follower.addr)
+	if err != nil {
+		t.Skipf("follower port was reclaimed by the OS: %v", err)
+	}
+	fnode, err := NewNode(NodeConfig{Store: fstore, Role: RoleFollower})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go fnode.Serve(fln)
+	t.Cleanup(func() { fnode.Close(); fstore.Close() })
+
+	waitLink(t, primary.node)
+	if pos := fstore.Stats().Enrollments; pos != 12 {
+		t.Fatalf("follower position after snapshot ship = %d, want 12", pos)
+	}
+	for die := uint64(1); die <= 12; die++ {
+		lr, found := fstore.Lookup(registry.Key{Manufacturer: "TC", DieID: die})
+		if !found || lr.Count != 1 || lr.Fingerprint[0] != byte(die) {
+			t.Fatalf("follower state for die %d after resync: found=%v %+v", die, found, lr)
+		}
+	}
+	// Live stream resumed after the ship: a new enrollment replicates.
+	if _, err := rc.Enroll(clusterEnr(13, 13, "line")); err != nil {
+		t.Fatal(err)
+	}
+	if !fstore.SeenBefore(registry.Key{Manufacturer: "TC", DieID: 13}) {
+		t.Fatal("live replication did not resume after snapshot ship")
+	}
+}
+
+func TestPromotionFencesOldPrimary(t *testing.T) {
+	follower := startNode(t, t.TempDir(), NodeConfig{Role: RoleFollower})
+	primary := startNode(t, t.TempDir(), NodeConfig{
+		Role: RolePrimary, FollowerAddr: follower.addr, RequireFollower: true,
+	})
+	waitLink(t, primary.node)
+	pc := primary.remote()
+	if _, err := pc.Enroll(clusterEnr(1001, 0xA1, "dock")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A partitioned router promotes the follower while the old primary
+	// still holds a live replication link.
+	fc := follower.remote()
+	if err := fc.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	if follower.node.Role() != RolePrimary {
+		t.Fatal("follower did not promote")
+	}
+	// The promoted node serves enrollments itself...
+	res, err := fc.Enroll(clusterEnr(1001, 0xB2, "dock-b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Conflict {
+		t.Fatalf("clone enrollment at promoted node not flagged: %+v", res)
+	}
+	// ...and the old primary's stream is refused: its next enrollment
+	// fails (recorded locally, never acknowledged) and it fences.
+	if _, err := pc.Enroll(clusterEnr(1002, 0xC3, "dock")); err == nil {
+		t.Fatal("old primary acknowledged an enrollment after losing its follower to promotion")
+	}
+	_, err = pc.Enroll(clusterEnr(1003, 0xC4, "dock"))
+	var oe *registry.OpError
+	if !errors.As(err, &oe) {
+		t.Fatalf("old primary not fenced after refused replication: err = %v", err)
+	}
+	// The reconnect loop cannot re-establish: the promoted node refuses
+	// OpSync, so the fence is permanent until operators intervene.
+	time.Sleep(100 * time.Millisecond)
+	if primary.node.LinkUp() {
+		t.Fatal("old primary re-established a link to a promoted node")
+	}
+}
+
+func TestNodeConfigValidation(t *testing.T) {
+	if _, err := NewNode(NodeConfig{}); err == nil {
+		t.Fatal("NewNode accepted a nil store")
+	}
+	store, err := registry.Open(t.TempDir(), registry.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if _, err := NewNode(NodeConfig{Store: store, Role: RoleFollower, FollowerAddr: "x:1"}); err == nil {
+		t.Fatal("NewNode accepted a follower with a FollowerAddr")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []ShardSpec
+		ok   bool
+	}{
+		{"127.0.0.1:9001", []ShardSpec{{Primary: "127.0.0.1:9001"}}, true},
+		{"a:1,b:2;c:3", []ShardSpec{{Primary: "a:1", Follower: "b:2"}, {Primary: "c:3"}}, true},
+		{" a:1 , b:2 ", []ShardSpec{{Primary: "a:1", Follower: "b:2"}}, true},
+		{"", nil, false},
+		{"a:1;;b:2", nil, false},
+		{"a:1,b:2,c:3", nil, false},
+		{",b:2", nil, false},
+		{"a:1,", nil, false},
+	}
+	for _, tc := range cases {
+		got, err := ParseSpec(tc.in)
+		if tc.ok != (err == nil) {
+			t.Fatalf("ParseSpec(%q): err = %v, want ok=%v", tc.in, err, tc.ok)
+		}
+		if !tc.ok {
+			continue
+		}
+		if fmt.Sprint(got) != fmt.Sprint(tc.want) {
+			t.Fatalf("ParseSpec(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/flashmark/flashmark/internal/registry"
+)
+
+// followerLink is the primary's end of the replication stream: one
+// long-lived connection carrying the OpSync handshake, an optional
+// snapshot ship, and then one OpRepl/OpReplAck round trip per
+// enrollment. The owning Node serializes all use under its mutex.
+type followerLink struct {
+	c       net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	buf     []byte
+	scratch []byte
+}
+
+func newFollowerLink(c net.Conn) *followerLink {
+	return &followerLink{c: c, br: bufio.NewReader(c), bw: bufio.NewWriter(c)}
+}
+
+func (l *followerLink) close() { l.c.Close() }
+
+func (l *followerLink) read() (registry.Op, []byte, error) {
+	op, p, err := registry.ReadMessage(l.br, l.buf)
+	if err != nil {
+		return 0, nil, err
+	}
+	l.buf = p[:0]
+	return op, p, nil
+}
+
+// syncHandshake exchanges replication positions.
+func (l *followerLink) syncHandshake(myPos int64, deadline time.Time) (theirPos int64, err error) {
+	if err := l.c.SetDeadline(deadline); err != nil {
+		return 0, err
+	}
+	if err := registry.WriteMessage(l.bw, registry.OpSync, writeU64(uint64(myPos))); err != nil {
+		return 0, err
+	}
+	if err := l.bw.Flush(); err != nil {
+		return 0, err
+	}
+	op, p, err := l.read()
+	if err != nil {
+		return 0, err
+	}
+	switch {
+	case op == registry.OpSyncOK && len(p) == 8:
+		return int64(binary.LittleEndian.Uint64(p)), nil
+	case op == registry.OpErr:
+		return 0, &registry.OpError{Msg: string(p)}
+	default:
+		return 0, fmt.Errorf("cluster: bad sync response op %#x", byte(op))
+	}
+}
+
+// shipSnapshot streams the primary's full state to the follower, which
+// replaces its contents wholesale and reports its new position.
+func (l *followerLink) shipSnapshot(store *registry.Durable, deadline time.Time) (newPos int64, err error) {
+	if err := l.c.SetDeadline(deadline); err != nil {
+		return 0, err
+	}
+	state := snapshotState(store)
+	if err := registry.WriteMessage(l.bw, registry.OpSnapBegin, writeU64(uint64(len(state)))); err != nil {
+		return 0, err
+	}
+	for _, r := range state {
+		l.scratch, err = registry.AppendWireState(l.scratch[:0], r)
+		if err != nil {
+			return 0, err
+		}
+		if err := registry.WriteMessage(l.bw, registry.OpSnapChunk, l.scratch); err != nil {
+			return 0, err
+		}
+	}
+	if err := registry.WriteMessage(l.bw, registry.OpSnapEnd, nil); err != nil {
+		return 0, err
+	}
+	if err := l.bw.Flush(); err != nil {
+		return 0, err
+	}
+	op, p, err := l.read()
+	if err != nil {
+		return 0, err
+	}
+	switch {
+	case op == registry.OpOK && len(p) == 8:
+		return int64(binary.LittleEndian.Uint64(p)), nil
+	case op == registry.OpErr:
+		return 0, &registry.OpError{Msg: string(p)}
+	default:
+		return 0, fmt.Errorf("cluster: bad snapshot response op %#x", byte(op))
+	}
+}
+
+// forward replicates one enrollment and waits for the follower's
+// fsynced acknowledgment.
+func (l *followerLink) forward(e registry.Enrollment, deadline time.Time) error {
+	var err error
+	l.scratch, err = registry.AppendWireEnrollment(l.scratch[:0], e)
+	if err != nil {
+		return err
+	}
+	if err := l.c.SetDeadline(deadline); err != nil {
+		return err
+	}
+	if err := registry.WriteMessage(l.bw, registry.OpRepl, l.scratch); err != nil {
+		return err
+	}
+	if err := l.bw.Flush(); err != nil {
+		return err
+	}
+	op, p, err := l.read()
+	if err != nil {
+		return err
+	}
+	switch op {
+	case registry.OpReplAck:
+		return nil
+	case registry.OpErr:
+		return &registry.OpError{Msg: string(p)}
+	default:
+		return fmt.Errorf("cluster: bad replication ack op %#x", byte(op))
+	}
+}

@@ -1,0 +1,229 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+
+	"github.com/flashmark/flashmark/internal/registry"
+)
+
+// handleConn speaks the wire protocol on one accepted connection until
+// the peer hangs up or sends something unspeakable. One connection may
+// carry any mix of client requests and (toward a follower) the
+// replication stream — the opcodes disambiguate.
+func (n *Node) handleConn(c net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		n.connsMu.Lock()
+		delete(n.conns, c)
+		n.connsMu.Unlock()
+		c.Close()
+	}()
+	br := bufio.NewReader(c)
+	bw := bufio.NewWriter(c)
+	var buf, scratch []byte
+	for {
+		op, payload, err := registry.ReadMessage(br, buf)
+		if err != nil {
+			if err != io.EOF && !n.closed.Load() {
+				n.cfg.Logf("connection from %s: %v", c.RemoteAddr(), err)
+			}
+			return
+		}
+		buf = payload[:0]
+		scratch, err = n.serveOp(br, bw, op, payload, scratch[:0])
+		if err != nil {
+			if !n.closed.Load() {
+				n.cfg.Logf("connection from %s: %v", c.RemoteAddr(), err)
+			}
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// serveOp answers one request, buffering the response onto bw. It
+// returns the scratch buffer for reuse; a returned error tears the
+// connection down.
+func (n *Node) serveOp(br *bufio.Reader, bw *bufio.Writer, op registry.Op, payload, scratch []byte) ([]byte, error) {
+	switch op {
+	case registry.OpPing:
+		return scratch, registry.WriteMessage(bw, registry.OpOK, []byte{n.roleByte()})
+
+	case registry.OpEnroll:
+		if n.Role() != RolePrimary {
+			return scratch, writeErr(bw, "node is a follower; enroll at the shard primary")
+		}
+		e, err := registry.DecodeWireEnrollment(payload)
+		if err != nil {
+			return scratch, writeErr(bw, err.Error())
+		}
+		res, err := n.enroll(e)
+		if err != nil {
+			return scratch, writeErr(bw, err.Error())
+		}
+		scratch, err = registry.AppendWireEnrollResult(scratch, res)
+		if err != nil {
+			return scratch, writeErr(bw, err.Error())
+		}
+		return scratch, registry.WriteMessage(bw, registry.OpOK, scratch)
+
+	case registry.OpLookup:
+		k, _, err := registry.DecodeWireKey(payload)
+		if err != nil {
+			return scratch, writeErr(bw, err.Error())
+		}
+		lr, found := n.cfg.Store.Lookup(k)
+		if !found {
+			return scratch, registry.WriteMessage(bw, registry.OpOK, []byte{0})
+		}
+		scratch = append(scratch, 1)
+		scratch, err = registry.AppendWireState(scratch, lr)
+		if err != nil {
+			return scratch, writeErr(bw, err.Error())
+		}
+		return scratch, registry.WriteMessage(bw, registry.OpOK, scratch)
+
+	case registry.OpSeen:
+		k, _, err := registry.DecodeWireKey(payload)
+		if err != nil {
+			return scratch, writeErr(bw, err.Error())
+		}
+		var seen byte
+		if n.cfg.Store.SeenBefore(k) {
+			seen = 1
+		}
+		return scratch, registry.WriteMessage(bw, registry.OpOK, []byte{seen})
+
+	case registry.OpStats:
+		scratch = registry.AppendWireStats(scratch, n.cfg.Store.Stats())
+		return scratch, registry.WriteMessage(bw, registry.OpOK, scratch)
+
+	case registry.OpLookupBatch:
+		return n.serveLookupBatch(bw, payload, scratch)
+
+	case registry.OpPromote:
+		n.promote()
+		return scratch, registry.WriteMessage(bw, registry.OpOK, nil)
+
+	case registry.OpSync:
+		if len(payload) != 8 {
+			return scratch, writeErr(bw, "bad sync payload")
+		}
+		if n.Role() != RoleFollower {
+			return scratch, writeErr(bw, "not a follower; sync refused")
+		}
+		pos := n.cfg.Store.Stats().Enrollments
+		return scratch, registry.WriteMessage(bw, registry.OpSyncOK, writeU64(uint64(pos)))
+
+	case registry.OpSnapBegin:
+		return scratch, n.receiveSnapshot(br, bw, payload)
+
+	case registry.OpRepl:
+		e, err := registry.DecodeWireEnrollment(payload)
+		if err != nil {
+			return scratch, writeErr(bw, err.Error())
+		}
+		pos, err := n.applyRepl(e)
+		if err != nil {
+			return scratch, writeErr(bw, err.Error())
+		}
+		return scratch, registry.WriteMessage(bw, registry.OpReplAck, writeU64(uint64(pos)))
+
+	default:
+		return scratch, fmt.Errorf("cluster: unknown op %#x", byte(op))
+	}
+}
+
+// serveLookupBatch answers one OpLookupBatch: u32 n | n keys in, u32 n |
+// per key (u8 found | framed state) out. States are length-prefixed
+// inside the payload so the client can skip past them without decoding.
+func (n *Node) serveLookupBatch(bw *bufio.Writer, payload, scratch []byte) ([]byte, error) {
+	if len(payload) < 4 {
+		return scratch, writeErr(bw, "short batch payload")
+	}
+	count := int(binary.LittleEndian.Uint32(payload))
+	off := 4
+	scratch = binary.LittleEndian.AppendUint32(scratch, uint32(count))
+	var ent []byte
+	for i := 0; i < count; i++ {
+		k, used, err := registry.DecodeWireKey(payload[off:])
+		if err != nil {
+			return scratch, writeErr(bw, err.Error())
+		}
+		off += used
+		lr, found := n.cfg.Store.Lookup(k)
+		if !found {
+			scratch = append(scratch, 0)
+			continue
+		}
+		scratch = append(scratch, 1)
+		ent, err = registry.AppendWireState(ent[:0], lr)
+		if err != nil {
+			return scratch, writeErr(bw, err.Error())
+		}
+		scratch = binary.LittleEndian.AppendUint32(scratch, uint32(len(ent)))
+		scratch = append(scratch, ent...)
+	}
+	if off != len(payload) {
+		return scratch, writeErr(bw, "trailing bytes in batch payload")
+	}
+	return scratch, registry.WriteMessage(bw, registry.OpOK, scratch)
+}
+
+// receiveSnapshot is the follower side of snapshot shipping: read the
+// declared number of state chunks, then the end marker, then replace
+// the local store's contents wholesale and report the new position.
+// The declared count caps the loop, never a preallocation.
+func (n *Node) receiveSnapshot(br *bufio.Reader, bw *bufio.Writer, payload []byte) error {
+	if len(payload) != 8 {
+		return writeErr(bw, "bad snapshot header")
+	}
+	if n.Role() != RoleFollower {
+		return writeErr(bw, "not a follower; snapshot refused")
+	}
+	count := binary.LittleEndian.Uint64(payload)
+	capHint := count
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	state := make([]registry.LookupResult, 0, capHint)
+	var buf []byte
+	for i := uint64(0); i < count; i++ {
+		op, p, err := registry.ReadMessage(br, buf)
+		if err != nil {
+			return fmt.Errorf("cluster: snapshot chunk %d: %w", i, err)
+		}
+		buf = p[:0]
+		if op != registry.OpSnapChunk {
+			return fmt.Errorf("cluster: snapshot chunk %d: unexpected op %#x", i, byte(op))
+		}
+		lr, err := registry.DecodeWireState(p)
+		if err != nil {
+			return fmt.Errorf("cluster: snapshot chunk %d: %w", i, err)
+		}
+		state = append(state, lr)
+	}
+	op, _, err := registry.ReadMessage(br, buf)
+	if err != nil {
+		return fmt.Errorf("cluster: snapshot end: %w", err)
+	}
+	if op != registry.OpSnapEnd {
+		return fmt.Errorf("cluster: snapshot end: unexpected op %#x", byte(op))
+	}
+	pos, err := n.importState(state)
+	if err != nil {
+		return writeErr(bw, err.Error())
+	}
+	n.cfg.Logf("imported snapshot: %d keys, position %d", len(state), pos)
+	return registry.WriteMessage(bw, registry.OpOK, writeU64(uint64(pos)))
+}
+
+func writeErr(bw *bufio.Writer, msg string) error {
+	return registry.WriteMessage(bw, registry.OpErr, []byte(msg))
+}

@@ -224,17 +224,32 @@ const (
 	chipVersion = 1
 )
 
-// saveScratch recycles the array-encoding buffer across Save calls
-// (fmverifyd snapshots registries in a loop; the raw encoding of a big
-// part is the dominant transient).
-var saveScratch = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+// saveState recycles every per-Save transient: the binary array
+// encoding, the quoted-base64 token (the file's dominant field), and
+// the JSON envelope buffer with its pinned encoder — the encoder's
+// internal indent scratch only amortizes when the encoder itself is
+// reused (fmverifyd snapshots registries in a loop; these buffers are
+// the save path's entire allocation profile).
+type saveState struct {
+	raw []byte
+	b64 []byte
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var savePool = sync.Pool{New: func() any {
+	s := &saveState{raw: make([]byte, 0, 4096)}
+	s.enc = json.NewEncoder(&s.buf)
+	s.enc.SetIndent("", "  ")
+	return s
+}}
 
 // Save writes the chip state (part, seed, cell margins and wear) to w.
 func (d *Device) Save(w io.Writer) error {
-	bp := saveScratch.Get().(*[]byte)
-	raw, err := d.ctl.Array().AppendBinary((*bp)[:0])
-	*bp = raw[:0]
-	defer saveScratch.Put(bp)
+	s := savePool.Get().(*saveState)
+	defer savePool.Put(s)
+	raw, err := d.ctl.Array().AppendBinary(s.raw[:0])
+	s.raw = raw[:0]
 	if err != nil {
 		return fmt.Errorf("mcu: serializing array: %w", err)
 	}
@@ -246,22 +261,28 @@ func (d *Device) Save(w io.Writer) error {
 		Seed:     d.seed,
 		Params:   &params,
 		AgeYears: d.ctl.AgeYears(),
-		Array:    quotedBase64(raw),
+		Array:    s.quotedBase64(raw),
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(cf)
+	s.buf.Reset()
+	if err := s.enc.Encode(cf); err != nil {
+		return err
+	}
+	_, err = w.Write(s.buf.Bytes())
+	return err
 }
 
 // quotedBase64 renders raw as the JSON string token the chip file
 // stores the array payload under (base64 needs no JSON escaping, so
-// quoting is just delimiters).
-func quotedBase64(raw []byte) json.RawMessage {
+// quoting is just delimiters), reusing the state's token buffer.
+func (s *saveState) quotedBase64(raw []byte) json.RawMessage {
 	n := base64.StdEncoding.EncodedLen(len(raw))
-	out := make([]byte, n+2)
+	if cap(s.b64) < n+2 {
+		s.b64 = make([]byte, n+2)
+	}
+	out := s.b64[:n+2]
 	out[0], out[n+1] = '"', '"'
 	base64.StdEncoding.Encode(out[1:n+1], raw)
-	return out
+	return json.RawMessage(out)
 }
 
 // chipArrayBytes extracts the base64 text from the raw array payload.

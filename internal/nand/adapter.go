@@ -394,10 +394,30 @@ const (
 	nandChipVersion = 1
 )
 
+// saveState recycles every per-Save transient — the binary array
+// encoding, the quoted-base64 token, and the JSON envelope buffer with
+// its pinned encoder — mirroring the mcu chip-file save pool.
+type saveState struct {
+	raw []byte
+	b64 []byte
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var savePool = sync.Pool{New: func() any {
+	s := &saveState{raw: make([]byte, 0, 4096)}
+	s.enc = json.NewEncoder(&s.buf)
+	s.enc.SetIndent("", "  ")
+	return s
+}}
+
 // Save writes the chip state (geometry, timing, physics, seed, cell
 // margins and wear) to w.
 func (a *Adapter) Save(w io.Writer) error {
-	raw, err := a.d.cells.MarshalBinary()
+	s := savePool.Get().(*saveState)
+	defer savePool.Put(s)
+	raw, err := a.d.cells.AppendBinary(s.raw[:0])
+	s.raw = raw[:0]
 	if err != nil {
 		return fmt.Errorf("nand: serializing array: %w", err)
 	}
@@ -408,23 +428,32 @@ func (a *Adapter) Save(w io.Writer) error {
 		Timing:   a.d.timing,
 		Params:   a.d.params,
 		Seed:     a.d.seed,
-		NextPage: append([]int(nil), a.d.nextPage...),
-		Array:    quotedBase64(raw),
+		// Marshaled synchronously below, so the live cursor slice can be
+		// referenced without a defensive copy.
+		NextPage: a.d.nextPage,
+		Array:    s.quotedBase64(raw),
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(cf)
+	s.buf.Reset()
+	if err := s.enc.Encode(cf); err != nil {
+		return err
+	}
+	_, err = w.Write(s.buf.Bytes())
+	return err
 }
 
 // quotedBase64 renders raw as the JSON string token the chip file
 // embeds: base64 text needs no escaping, so the quotes can be placed
-// directly (mirrors the mcu chip-file helper).
-func quotedBase64(raw []byte) json.RawMessage {
+// directly (mirrors the mcu chip-file helper), reusing the state's
+// token buffer.
+func (s *saveState) quotedBase64(raw []byte) json.RawMessage {
 	n := base64.StdEncoding.EncodedLen(len(raw))
-	out := make([]byte, n+2)
+	if cap(s.b64) < n+2 {
+		s.b64 = make([]byte, n+2)
+	}
+	out := s.b64[:n+2]
 	out[0], out[n+1] = '"', '"'
 	base64.StdEncoding.Encode(out[1:n+1], raw)
-	return out
+	return json.RawMessage(out)
 }
 
 // chipArrayBytes extracts the base64 text from the raw array payload.

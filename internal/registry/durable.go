@@ -71,7 +71,10 @@ var ErrClosed = errors.New("registry: store is closed")
 type Durable struct {
 	dir  string
 	opts Options
-	mem  *Memory
+	// mem is the live read index. It is an atomic pointer because
+	// snapshot shipping (ImportState) swaps the whole index while
+	// lock-free readers are in flight.
+	mem atomic.Pointer[Memory]
 
 	mu         sync.Mutex // orders WAL appends with index application
 	wal        *walFile
@@ -83,8 +86,16 @@ type Durable struct {
 	compacting  atomic.Bool
 	walStats    walStats
 	compactions atomic.Int64
-	recovery    time.Duration
+	// walSegments counts WAL generation files on disk; lastCompaction
+	// is the newest on-disk snapshot generation. Both are surfaced in
+	// Stats so fmregistryd can export them as gauges.
+	walSegments    atomic.Int64
+	lastCompaction atomic.Uint64
+	recovery       time.Duration
 }
+
+// index returns the live read index.
+func (d *Durable) index() *Memory { return d.mem.Load() }
 
 // Open creates or recovers a durable store in dir.
 func Open(dir string, opts Options) (*Durable, error) {
@@ -92,7 +103,8 @@ func Open(dir string, opts Options) (*Durable, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	d := &Durable{dir: dir, opts: opts, mem: NewMemory(opts.Shards)}
+	d := &Durable{dir: dir, opts: opts}
+	d.mem.Store(NewMemory(opts.Shards))
 	start := opts.Now()
 	if err := d.recover(); err != nil {
 		return nil, err
@@ -149,7 +161,7 @@ func (d *Durable) recover() error {
 	if len(snapGens) > 0 {
 		best := snapGens[len(snapGens)-1]
 		_, err := loadSnapshotFile(filepath.Join(d.dir, snapName(best)), func(ent snapEntry) {
-			d.mem.restore(ent.first.Key, ent.first, ent.fp, ent.count, ent.taint)
+			d.index().restore(ent.first.Key, ent.first, ent.fp, ent.count, ent.taint)
 		})
 		if err != nil {
 			// An atomically renamed snapshot is complete by construction;
@@ -158,6 +170,7 @@ func (d *Durable) recover() error {
 		}
 		snapGen = best
 	}
+	d.lastCompaction.Store(snapGen)
 	live := snapGen + 1
 	for _, gen := range walGens {
 		if gen <= snapGen {
@@ -181,6 +194,11 @@ func (d *Durable) recover() error {
 	}
 	d.wal = wal
 	d.gen = live
+	segments := int64(len(walGens))
+	if len(walGens) == 0 || walGens[len(walGens)-1] < live {
+		segments++ // createWAL just opened a generation scanDir never saw
+	}
+	d.walSegments.Store(segments)
 	// Everything replayed is on disk already; start the durability
 	// cursor at the replayed record count.
 	d.wal.writeSeq = d.walRecords
@@ -198,7 +216,7 @@ func (d *Durable) replayWALFile(path string, isLast bool) (records int64, err er
 		return 0, err
 	}
 	good, torn, replayErr := replayLog(f, func(e Enrollment) {
-		d.mem.apply(e)
+		d.index().apply(e)
 		records++
 	})
 	f.Close()
@@ -235,7 +253,7 @@ func (d *Durable) Enroll(e Enrollment) (EnrollResult, error) {
 		d.mu.Unlock()
 		return EnrollResult{}, err
 	}
-	res := d.mem.apply(e)
+	res := d.index().apply(e)
 	d.walRecords++
 	needCompact := d.opts.CompactEvery > 0 && d.walRecords >= int64(d.opts.CompactEvery)
 	d.mu.Unlock()
@@ -257,14 +275,18 @@ func (d *Durable) Enroll(e Enrollment) (EnrollResult, error) {
 }
 
 // Lookup reads the in-memory index; it never touches the log.
-func (d *Durable) Lookup(k Key) (LookupResult, bool) { return d.mem.Lookup(k) }
+func (d *Durable) Lookup(k Key) (LookupResult, bool) { return d.index().Lookup(k) }
 
 // SeenBefore reads the in-memory index; it never touches the log.
-func (d *Durable) SeenBefore(k Key) bool { return d.mem.SeenBefore(k) }
+func (d *Durable) SeenBefore(k Key) bool { return d.index().SeenBefore(k) }
+
+// Range calls fn for every enrolled key until fn returns false — the
+// sending half of snapshot shipping. Iteration order is unspecified.
+func (d *Durable) Range(fn func(k Key, r LookupResult) bool) { d.index().Range(fn) }
 
 // Stats merges the index counters with the durability counters.
 func (d *Durable) Stats() Stats {
-	s := d.mem.Stats()
+	s := d.index().Stats()
 	s.WALAppends = d.walStats.appends.Load()
 	s.WALFsyncs = d.walStats.fsyncs.Load()
 	s.WALBytes = d.walStats.bytes.Load()
@@ -272,6 +294,8 @@ func (d *Durable) Stats() Stats {
 	s.WALRecords = d.walRecords
 	d.mu.Unlock()
 	s.Compactions = d.compactions.Load()
+	s.WALSegments = d.walSegments.Load()
+	s.LastCompaction = d.lastCompaction.Load()
 	s.Recovery = d.recovery
 	return s
 }
@@ -304,8 +328,9 @@ func (d *Durable) Compact() error {
 	d.wal = newWal
 	d.gen = oldGen + 1
 	d.walRecords = 0
-	state := make([]snapEntry, 0, d.mem.Len())
-	d.mem.Range(func(k Key, r LookupResult) bool {
+	d.walSegments.Add(1)
+	state := make([]snapEntry, 0, d.index().Len())
+	d.index().Range(func(k Key, r LookupResult) bool {
 		state = append(state, snapEntry{first: r.First, fp: r.Fingerprint, count: r.Count, taint: r.Conflict})
 		return true
 	})
@@ -317,8 +342,30 @@ func (d *Durable) Compact() error {
 		return err
 	}
 	d.compactions.Add(1)
+	d.lastCompaction.Store(oldGen)
 	d.removeObsolete(oldGen)
 	return nil
+}
+
+// ImportState atomically replaces the store's entire contents with a
+// shipped state — the receiving half of snapshot shipping during
+// replica resync. The swap is visible to readers immediately; a
+// compaction then persists the new state and retires every WAL record
+// of the old one. Until that compaction lands, a crash recovers the
+// *old* contents, which is safe: nothing imported has been
+// acknowledged to the shipping primary yet, so it resyncs again.
+func (d *Durable) ImportState(state []LookupResult) error {
+	if d.closed.Load() {
+		return ErrClosed
+	}
+	fresh := NewMemory(d.opts.Shards)
+	for _, r := range state {
+		fresh.restore(r.First.Key, r.First, r.Fingerprint, r.Count, r.Conflict)
+	}
+	d.mu.Lock()
+	d.mem.Store(fresh)
+	d.mu.Unlock()
+	return d.Compact()
 }
 
 // removeObsolete best-effort deletes WAL generations <= gen and
@@ -338,6 +385,13 @@ func (d *Durable) removeObsolete(gen uint64) {
 			os.Remove(filepath.Join(d.dir, snapName(g)))
 		}
 	}
+	var remaining int64
+	for _, g := range walGens {
+		if g > gen {
+			remaining++
+		}
+	}
+	d.walSegments.Store(remaining)
 }
 
 // Close flushes and syncs the live WAL generation and releases the

@@ -140,8 +140,16 @@ type Stats struct {
 	// WALRecords is the record count of the *current* log generation
 	// (reset by compaction).
 	WALRecords int64
+	// WALSegments is the number of WAL generation files currently on
+	// disk (the live generation plus any a failed compaction left
+	// behind) — a growing value with Compactions flat is the operator
+	// signal that compaction is failing while enrollment stays durable.
+	WALSegments int64
 	// Compactions counts completed snapshot compactions.
 	Compactions int64
+	// LastCompaction is the generation of the newest on-disk snapshot
+	// (0 when the store has never compacted).
+	LastCompaction uint64
 	// Recovery is how long Open spent rebuilding state from disk.
 	Recovery time.Duration
 }

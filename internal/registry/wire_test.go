@@ -1,0 +1,193 @@
+package registry
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func wireEnr(mfg string, die uint64, fpb byte, src string) Enrollment {
+	var fp Fingerprint
+	if fpb != 0 {
+		fp[0] = fpb
+	}
+	return Enrollment{
+		Key:         Key{Manufacturer: mfg, DieID: die},
+		Fingerprint: fp,
+		Source:      src,
+		UnixMicro:   1722470400123456,
+	}
+}
+
+func TestWireMessageRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 4096)}
+	for i, p := range payloads {
+		if err := WriteMessage(bw, Op(i+1), p); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(&buf)
+	var scratch []byte
+	for i, want := range payloads {
+		op, got, err := ReadMessage(br, scratch)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if op != Op(i+1) {
+			t.Fatalf("message %d: op = %#x, want %#x", i, byte(op), i+1)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("message %d: payload mismatch", i)
+		}
+		scratch = got[:0]
+	}
+	if _, _, err := ReadMessage(br, scratch); err != io.EOF {
+		t.Fatalf("after last message: err = %v, want io.EOF", err)
+	}
+}
+
+func TestWireMessageRejectsOversized(t *testing.T) {
+	var bw bufio.Writer
+	if err := WriteMessage(&bw, OpPing, make([]byte, MaxWireMessage+1)); err == nil {
+		t.Fatal("WriteMessage accepted an oversized payload")
+	}
+	// A forged length header must fail before committing an allocation.
+	frame := []byte{0xFF, 0xFF, 0xFF, 0xFF, byte(OpPing)}
+	if _, _, err := ReadMessage(bufio.NewReader(bytes.NewReader(frame)), nil); err == nil {
+		t.Fatal("ReadMessage accepted a forged oversized length")
+	}
+}
+
+func TestWireMessageTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	if err := WriteMessage(bw, OpEnroll, []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	bw.Flush()
+	whole := buf.Bytes()
+	for _, cut := range []int{1, 4, 7, len(whole) - 1} {
+		if _, _, err := ReadMessage(bufio.NewReader(bytes.NewReader(whole[:cut])), nil); err == nil {
+			t.Fatalf("ReadMessage accepted a message truncated to %d bytes", cut)
+		}
+	}
+}
+
+func TestWireEnrollmentRoundTrip(t *testing.T) {
+	for _, e := range []Enrollment{
+		wireEnr("TC", 0x1001, 7, "dock-4"),
+		wireEnr("", 0, 0, ""),
+		wireEnr(strings.Repeat("m", 255), ^uint64(0), 0xFF, strings.Repeat("s", 255)),
+	} {
+		p, err := AppendWireEnrollment(nil, e)
+		if err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		got, err := DecodeWireEnrollment(p)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got != e {
+			t.Fatalf("round trip: got %+v, want %+v", got, e)
+		}
+		if _, err := DecodeWireEnrollment(append(p, 0)); err == nil {
+			t.Fatal("DecodeWireEnrollment accepted trailing bytes")
+		}
+	}
+}
+
+func TestWireKeyRoundTrip(t *testing.T) {
+	keys := []Key{
+		{Manufacturer: "TC", DieID: 0x1001},
+		{Manufacturer: "", DieID: 0},
+		{Manufacturer: strings.Repeat("x", 255), DieID: ^uint64(0)},
+	}
+	var p []byte
+	for _, k := range keys {
+		var err error
+		if p, err = AppendWireKey(p, k); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	off := 0
+	for i, want := range keys {
+		k, n, err := DecodeWireKey(p[off:])
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if k != want {
+			t.Fatalf("key %d: got %+v, want %+v", i, k, want)
+		}
+		off += n
+	}
+	if off != len(p) {
+		t.Fatalf("consumed %d of %d bytes", off, len(p))
+	}
+}
+
+func TestWireEnrollResultRoundTrip(t *testing.T) {
+	for _, r := range []EnrollResult{
+		{Count: 1, First: wireEnr("TC", 1, 3, "line-a")},
+		{Count: 4, Duplicate: true, Conflict: true, First: wireEnr("TC", 2, 9, "")},
+	} {
+		p, err := AppendWireEnrollResult(nil, r)
+		if err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		got, err := DecodeWireEnrollResult(p)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got != r {
+			t.Fatalf("round trip: got %+v, want %+v", got, r)
+		}
+	}
+}
+
+func TestWireStateRoundTrip(t *testing.T) {
+	var fp Fingerprint
+	fp[0], fp[31] = 0xA5, 0x5A
+	for _, r := range []LookupResult{
+		{First: wireEnr("TC", 1, 3, "line-a"), Fingerprint: fp, Count: 1},
+		{First: wireEnr("TC", 2, 0, ""), Fingerprint: fp, Count: 12, Conflict: true},
+	} {
+		p, err := AppendWireState(nil, r)
+		if err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		got, err := DecodeWireState(p)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got != r {
+			t.Fatalf("round trip: got %+v, want %+v", got, r)
+		}
+	}
+}
+
+func TestWireStatsRoundTrip(t *testing.T) {
+	s := Stats{
+		Keys: 1, Enrollments: 2, Lookups: 3, Conflicts: 4,
+		WALAppends: 5, WALFsyncs: 6, WALBytes: 7, WALRecords: 8,
+		WALSegments: 9, Compactions: 10, LastCompaction: 11,
+		Recovery: 1234 * time.Microsecond,
+	}
+	got, err := DecodeWireStats(AppendWireStats(nil, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatalf("round trip: got %+v, want %+v", got, s)
+	}
+	if _, err := DecodeWireStats(make([]byte, 17)); err == nil {
+		t.Fatal("DecodeWireStats accepted a short payload")
+	}
+}

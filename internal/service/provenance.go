@@ -67,8 +67,22 @@ func registerRegistryGauges(reg *metrics.Registry, store registry.Store) {
 		func() int64 { return store.Stats().WALFsyncs })
 	reg.GaugeFunc("fmregistry_compactions_total", "registry snapshot compactions completed",
 		func() int64 { return store.Stats().Compactions })
+	reg.GaugeFunc("fmregistry_wal_segments", "WAL generation files on disk (growth with flat compactions means compaction is failing)",
+		func() int64 { return store.Stats().WALSegments })
+	reg.GaugeFunc("fmregistry_last_compaction_gen", "generation of the newest on-disk snapshot (0 = never compacted)",
+		func() int64 { return int64(store.Stats().LastCompaction) })
 	reg.GaugeFunc("fmregistry_recovery_us", "microseconds the last Open spent rebuilding registry state",
 		func() int64 { return store.Stats().Recovery.Microseconds() })
+}
+
+// BatchLookuper is the bulk read-side a distributed provenance backend
+// offers: resolve many keys with one round trip per shard instead of a
+// round trip per key. found[i] reports whether keys[i] is on file.
+// Implementations fail open (not-found) for unreachable shards, like
+// Store.Lookup. The batch verify path type-asserts for it; single-node
+// backends don't need it.
+type BatchLookuper interface {
+	LookupBatch(keys []registry.Key) (results []registry.LookupResult, found []bool)
 }
 
 // chipIdentity extracts the registry key and physical fingerprint from a
@@ -88,6 +102,15 @@ func chipIdentity(rep *ChipReport) (registry.Key, registry.Fingerprint, bool) {
 // back clean (same fingerprint), so re-verifying enrolled stock is safe.
 func (s *Server) fleetReason(k registry.Key, fp registry.Fingerprint) string {
 	lr, ok := s.cfg.Provenance.Lookup(k)
+	return fleetReasonFrom(lr, ok, fp)
+}
+
+// fleetReasonFrom is fleetReason's pure half: the escalation decision
+// for one already-fetched registry view. The batch path runs it over
+// prefetched per-shard bulk lookups; the strings are shared with the
+// single-lookup path, which is what keeps cluster-path batch responses
+// byte-identical to single-node ones.
+func fleetReasonFrom(lr registry.LookupResult, ok bool, fp registry.Fingerprint) string {
 	if !ok {
 		return ""
 	}
@@ -157,6 +180,7 @@ func (s *Server) batchProvenance(bodies [][]byte, reps []ChipReport, verdicts []
 	}
 	items := make([]item, len(bodies))
 	batch := registry.NewMemory(0)
+	var tracked []int
 	for i := range bodies {
 		if failed[i] || verdicts[i] != counterfeit.VerdictGenuine {
 			continue
@@ -167,8 +191,27 @@ func (s *Server) batchProvenance(bodies [][]byte, reps []ChipReport, verdicts []
 			continue
 		}
 		it.key, it.fp, it.track = k, fp, true
-		it.reason = s.fleetReason(k, fp)
+		tracked = append(tracked, i)
 		batch.Enroll(registry.Enrollment{Key: k, Fingerprint: fp, Source: "batch"})
+	}
+	// Fleet lookups: one bulk fan-out across the registry shards when
+	// the backend supports it, else one lookup per identity. Either way
+	// the escalation decision (fleetReasonFrom) and hence the response
+	// bytes are identical — the registry is not mutated by this pass,
+	// so fetch order cannot change any answer.
+	if bl, ok := s.cfg.Provenance.(BatchLookuper); ok && len(tracked) > 0 {
+		keys := make([]registry.Key, len(tracked))
+		for j, i := range tracked {
+			keys[j] = items[i].key
+		}
+		results, found := bl.LookupBatch(keys)
+		for j, i := range tracked {
+			items[i].reason = fleetReasonFrom(results[j], found[j], items[i].fp)
+		}
+	} else {
+		for _, i := range tracked {
+			items[i].reason = s.fleetReason(items[i].key, items[i].fp)
+		}
 	}
 	for i := range items {
 		it := &items[i]

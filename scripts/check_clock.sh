@@ -7,8 +7,10 @@
 # reader). Device-side time is already virtual (internal/vclock) and is
 # not affected by this check.
 #
-# Scope: internal/**/*.go, excluding _test.go files (tests may poll real
-# time for timeouts) and the internal/wallclock seam itself.
+# Scope: internal/**/*.go plus the long-running daemons under cmd/
+# (fmverifyd, fmregistryd — their deadline and replication timing must
+# stay fixture-testable too), excluding _test.go files (tests may poll
+# real time for timeouts) and the internal/wallclock seam itself.
 #
 # Usage: scripts/check_clock.sh [root]
 set -eu
@@ -16,7 +18,8 @@ set -eu
 root=${1:-.}
 
 violations=$(
-    find "$root/internal" -name '*.go' ! -name '*_test.go' \
+    find "$root/internal" "$root/cmd/fmverifyd" "$root/cmd/fmregistryd" \
+        -name '*.go' ! -name '*_test.go' \
         ! -path "$root/internal/wallclock/*" -print0 |
         xargs -0 grep -n 'time\.Now()\|time\.Since(' /dev/null |
         grep -v 'check_clock:allow' || true
@@ -29,4 +32,4 @@ if [ -n "$violations" ]; then
     exit 1
 fi
 
-echo "clock guardrail OK (no direct time.Now/time.Since under internal/)"
+echo "clock guardrail OK (no direct time.Now/time.Since under internal/ or the daemons)"

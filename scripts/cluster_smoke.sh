@@ -1,0 +1,128 @@
+#!/usr/bin/env sh
+# End-to-end smoke of the distributed verification plane: one registry
+# shard as a replicated primary/follower pair behind a stateless
+# fmverifyd in -cluster mode. The scenario is the failover story told
+# start to finish: enroll a genuine identity through the cluster, kill
+# the shard primary outright (SIGKILL — no drain), and screen a
+# replay-imprint clone of the enrolled die. The verify client must fail
+# over (promote the follower) transparently and the clone must still
+# come back DUPLICATE-ID — the enrollment survived the crash because it
+# was synchronously replicated before it was ever acknowledged.
+#
+# Usage: scripts/cluster_smoke.sh [workdir]
+# Artifacts (chip files, responses, daemon logs) are left in the
+# workdir (default: ./cluster-smoke-out) for CI upload.
+set -eu
+
+workdir=${1:-cluster-smoke-out}
+primary_addr=127.0.0.1:8940
+follower_addr=127.0.0.1:8941
+verify_addr=127.0.0.1:8942
+base="http://$verify_addr"
+key=cluster-smoke-key
+mfg=TC
+
+mkdir -p "$workdir"
+go build -o "$workdir/fmregistryd" ./cmd/fmregistryd
+go build -o "$workdir/fmverifyd" ./cmd/fmverifyd
+go build -o "$workdir/flashmark" ./cmd/flashmark
+
+"$workdir/fmregistryd" -version
+
+# A genuine chip and its replay-imprint clone: same signed die id, a
+# different physical die. Physics calls both GENUINE; only registry
+# provenance can tell them apart.
+"$workdir/flashmark" new -chip "$workdir/genuine.chip" -part FM-SIM16 -seed 42
+"$workdir/flashmark" imprint -chip "$workdir/genuine.chip" -mfg "$mfg" -die 1001 -status accept -key "$key"
+"$workdir/flashmark" new -chip "$workdir/clone.chip" -part FM-SIM16 -seed 88
+"$workdir/flashmark" imprint -chip "$workdir/clone.chip" -mfg "$mfg" -die 1001 -status accept -key "$key"
+
+# The shard: follower first (it must be listening before the primary's
+# sync handshake can land), then a primary that refuses enrollments
+# unless every record is replicated (-require-follower).
+"$workdir/fmregistryd" -addr "$follower_addr" -dir "$workdir/follower" -role follower \
+    >"$workdir/fmregistryd_follower.log" 2>&1 &
+follower=$!
+"$workdir/fmregistryd" -addr "$primary_addr" -dir "$workdir/primary" \
+    -follower "$follower_addr" -require-follower \
+    >"$workdir/fmregistryd_primary.log" 2>&1 &
+primary=$!
+"$workdir/fmverifyd" -addr "$verify_addr" -key "$key" -mfg "$mfg" \
+    -cluster "$primary_addr,$follower_addr" \
+    >"$workdir/fmverifyd.log" 2>&1 &
+daemon=$!
+trap 'kill "$daemon" "$primary" "$follower" 2>/dev/null || true' EXIT
+
+i=0
+until curl -sf "$base/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "FAIL: cluster stack did not become healthy" >&2
+        cat "$workdir/fmverifyd.log" "$workdir/fmregistryd_primary.log" "$workdir/fmregistryd_follower.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+assert_contains() {
+    if ! grep -q "$2" "$1"; then
+        echo "FAIL: $1 does not contain $2" >&2
+        cat "$1" >&2
+        exit 1
+    fi
+}
+
+# Enroll through the cluster. The primary fsyncs, replicates, and only
+# then acks — retry briefly in case the replication link is still in
+# its first handshake.
+i=0
+until curl -sf -X POST --data-binary @"$workdir/genuine.chip" "$base/v1/enroll?source=cluster-smoke" \
+    >"$workdir/enroll_genuine.json" 2>/dev/null && grep -q '"accepted":true' "$workdir/enroll_genuine.json"; do
+    i=$((i + 1))
+    if [ "$i" -gt 25 ]; then
+        echo "FAIL: enrollment through the cluster never succeeded" >&2
+        cat "$workdir/enroll_genuine.json" "$workdir/fmregistryd_primary.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+assert_contains "$workdir/enroll_genuine.json" '"verdict":"GENUINE"'
+assert_contains "$workdir/enroll_genuine.json" '"count":1'
+echo "enrolled die 1001 through the replicated shard"
+
+# Kill the primary without ceremony: the next registry operation from
+# the verify tier must fail over to the follower and promote it.
+kill -KILL "$primary"
+wait "$primary" 2>/dev/null || true
+echo "shard primary killed"
+
+curl -sf -X POST --data-binary @"$workdir/clone.chip" "$base/v1/verify" \
+    >"$workdir/verify_clone.json"
+assert_contains "$workdir/verify_clone.json" '"verdict":"DUPLICATE-ID"'
+assert_contains "$workdir/verify_clone.json" '"accepted":false'
+echo "clone caught after failover: DUPLICATE-ID"
+
+# The genuine chip itself still verifies (same fingerprint => no
+# escalation) against the promoted follower.
+curl -sf -X POST --data-binary @"$workdir/genuine.chip" "$base/v1/verify" \
+    >"$workdir/verify_genuine.json"
+assert_contains "$workdir/verify_genuine.json" '"verdict":"GENUINE"'
+
+# And a second enrollment of the clone's identity at the promoted node
+# is flagged as a conflict, not accepted as a fresh identity.
+curl -sf -X POST --data-binary @"$workdir/clone.chip" "$base/v1/enroll?source=cluster-smoke" \
+    >"$workdir/enroll_clone.json"
+assert_contains "$workdir/enroll_clone.json" '"conflict":true'
+echo "clone enrollment flagged as conflict at the promoted follower"
+
+kill -TERM "$daemon"
+if ! wait "$daemon"; then
+    echo "FAIL: fmverifyd did not drain cleanly" >&2
+    cat "$workdir/fmverifyd.log" >&2
+    exit 1
+fi
+kill -TERM "$follower"
+wait "$follower" || true
+trap - EXIT
+
+echo "cluster smoke done (artifacts in $workdir)"

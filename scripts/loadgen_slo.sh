@@ -129,4 +129,80 @@ if ! wait "$daemon"; then
 fi
 trap - EXIT
 
+# Cluster phase: the same clone storm through the distributed plane.
+# Two fmregistryd shard primaries hold the fleet between them (die ids
+# route by consistent hash, so victim and clone always share a shard
+# while the fleet as a whole spans both), and a stateless fmverifyd
+# fronts them with -cluster. The SLO is the detection floor: sharding
+# the registry must not lose a single DUPLICATE-ID escalation, and both
+# shards must end up holding keys — otherwise the ring routed everything
+# to one node and the phase silently degenerated to single-node.
+go build -o "$workdir/fmregistryd" ./cmd/fmregistryd
+
+shard_a=127.0.0.1:8934
+shard_b=127.0.0.1:8935
+shard_a_metrics=127.0.0.1:8936
+shard_b_metrics=127.0.0.1:8937
+cl_addr=127.0.0.1:8938
+cl_base="http://$cl_addr"
+
+"$workdir/fmregistryd" -addr "$shard_a" -dir "$workdir/shard-a" \
+    -metrics-addr "$shard_a_metrics" >"$workdir/fmregistryd_a.log" 2>&1 &
+shard_a_pid=$!
+"$workdir/fmregistryd" -addr "$shard_b" -dir "$workdir/shard-b" \
+    -metrics-addr "$shard_b_metrics" >"$workdir/fmregistryd_b.log" 2>&1 &
+shard_b_pid=$!
+"$workdir/fmverifyd" -addr "$cl_addr" -key "$key" -cluster "$shard_a;$shard_b" \
+    >"$workdir/fmverifyd_cluster.log" 2>&1 &
+daemon=$!
+trap 'kill "$daemon" "$shard_a_pid" "$shard_b_pid" 2>/dev/null || true' EXIT
+
+i=0
+until curl -sf "$cl_base/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "FAIL: cluster-mode daemon did not become healthy" >&2
+        cat "$workdir/fmverifyd_cluster.log" "$workdir/fmregistryd_a.log" "$workdir/fmregistryd_b.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+# shellcheck disable=SC2086
+"$workdir/fmloadgen" $scenario -target "$cl_base" -out "$workdir/BENCH_service_cluster.json"
+
+awk '
+    function num(s) { gsub(/[^0-9.]/, "", s); return s + 0 }
+    /"duplicate_id_verdicts":/ { dups = num($2) }
+    /"http_errors":/           { errs = num($2) }
+    END {
+        fail = 0
+        if (dups < 1) { print "FAIL: cluster phase detected no duplicate ids (duplicate_id_verdicts = " dups ")"; fail = 1 }
+        if (errs != 0) { print "FAIL: cluster phase produced " errs " HTTP errors"; fail = 1 }
+        if (fail) { exit 1 }
+        print "cluster detection OK: duplicate_id_verdicts = " dups ", http_errors = 0"
+    }
+' "$workdir/BENCH_service_cluster.json" || {
+    cat "$workdir/BENCH_service_cluster.json" >&2
+    exit 1
+}
+
+keys_a=$(curl -sf "http://$shard_a_metrics/metrics" | awk '/^fmregistry_keys/ { print $2 }')
+keys_b=$(curl -sf "http://$shard_b_metrics/metrics" | awk '/^fmregistry_keys/ { print $2 }')
+if [ "${keys_a:-0}" -lt 1 ] || [ "${keys_b:-0}" -lt 1 ]; then
+    echo "FAIL: fleet did not spread across shards (shard A keys = ${keys_a:-0}, shard B keys = ${keys_b:-0})" >&2
+    exit 1
+fi
+echo "cluster sharding OK: shard A holds $keys_a keys, shard B holds $keys_b"
+
+kill -TERM "$daemon"
+if ! wait "$daemon"; then
+    echo "FAIL: cluster-mode daemon did not drain cleanly" >&2
+    cat "$workdir/fmverifyd_cluster.log" >&2
+    exit 1
+fi
+kill -TERM "$shard_a_pid" "$shard_b_pid"
+wait "$shard_a_pid" "$shard_b_pid" || true
+trap - EXIT
+
 echo "loadgen scenario done (artifacts in $workdir)"
