@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 1x
 
-.PHONY: all build vet test race bench bench-json bench-physics bench-physics-check bench-registry bench-registry-check bench-hotpath bench-hotpath-check loadgen loadgen-check experiments smoke cluster-smoke cover cover-check fmt clean
+.PHONY: all build vet test race bench bench-json bench-physics bench-physics-check bench-registry bench-registry-check bench-hotpath bench-hotpath-check loadgen loadgen-check experiments smoke cluster-smoke scenarios-check cover cover-check fmt clean
 
 all: build vet test
 
@@ -96,6 +96,13 @@ smoke:
 # over, and catch the clone as DUPLICATE-ID.
 cluster-smoke:
 	./scripts/cluster_smoke.sh cluster-smoke-out
+
+# Scenario determinism gate: replay the embedded supply-chain corpus
+# twice (parallel workers, then -workers 1), byte-diff every transcript
+# against its committed golden and the two runs against each other.
+# Catches any wall-clock, map-order, or cross-scenario state leak.
+scenarios-check:
+	./scripts/scenarios_check.sh scenarios-out
 
 cover:
 	$(GO) test -cover ./...

@@ -1,0 +1,255 @@
+// Command fmscenario runs temporal supply-chain scenarios: declarative
+// YAML timelines (internal/scenario) whose steps fabricate, age, clone,
+// enroll, and verify chips against a live in-process fmverifyd over the
+// virtual clock.
+//
+// By default it replays the embedded corpus (internal/scenario/corpus)
+// and byte-diffs every transcript against its committed golden:
+//
+//	fmscenario                 # run the corpus, diff against goldens
+//	fmscenario -run clone      # only scenarios matching the regexp
+//	fmscenario -out DIR        # also write transcripts to DIR
+//
+// A directory of scenario files can be run instead; golden comparison
+// is then opt-in:
+//
+//	fmscenario -dir ./scenarios                  # just run them
+//	fmscenario -dir ./scenarios -golden ./gold   # and diff transcripts
+//	fmscenario -dir ./scenarios -golden ./gold -update   # rewrite goldens
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/flashmark/flashmark/internal/scenario"
+	"github.com/flashmark/flashmark/internal/scenario/corpus"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fmscenario:", err)
+		os.Exit(1)
+	}
+}
+
+// source is one scenario to execute, already parsed.
+type source struct {
+	sc *scenario.Scenario
+	// golden returns the committed transcript to diff against, or nil
+	// when no golden exists for this scenario.
+	golden func() ([]byte, error)
+}
+
+type outcome struct {
+	name  string
+	steps int
+	err   error
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fmscenario", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		dir     = fs.String("dir", "", "run *.yaml scenarios from this directory instead of the embedded corpus")
+		runRe   = fs.String("run", "", "only run scenarios whose name matches this regexp")
+		outDir  = fs.String("out", "", "write each transcript to this directory as <name>.json")
+		golden  = fs.String("golden", "", "diff transcripts against <dir>/<name>.json (embedded goldens when running the embedded corpus)")
+		update  = fs.Bool("update", false, "rewrite the -golden directory from this run instead of diffing")
+		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "scenarios to run concurrently")
+		verbose = fs.Bool("v", false, "log every step as it executes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workers < 1 {
+		return fmt.Errorf("-workers must be at least 1")
+	}
+	if *update && *golden == "" {
+		return fmt.Errorf("-update requires -golden DIR (the embedded goldens are updated by " +
+			"go test ./internal/scenario/corpus -run TestCorpusGolden -update)")
+	}
+	var filter *regexp.Regexp
+	if *runRe != "" {
+		re, err := regexp.Compile(*runRe)
+		if err != nil {
+			return fmt.Errorf("bad -run regexp: %w", err)
+		}
+		filter = re
+	}
+
+	sources, err := loadSources(*dir, *golden, filter)
+	if err != nil {
+		return err
+	}
+	if len(sources) == 0 {
+		return fmt.Errorf("no scenarios to run")
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	if *update {
+		if err := os.MkdirAll(*golden, 0o755); err != nil {
+			return err
+		}
+	}
+
+	var mu sync.Mutex // serializes output and result collection
+	results := make([]outcome, 0, len(sources))
+	sem := make(chan struct{}, *workers)
+	var wg sync.WaitGroup
+	for _, src := range sources {
+		wg.Add(1)
+		go func(src source) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			oc := execute(src, *outDir, *golden, *update, *verbose, out, &mu)
+			mu.Lock()
+			results = append(results, oc)
+			mu.Unlock()
+		}(src)
+	}
+	wg.Wait()
+
+	sort.Slice(results, func(i, j int) bool { return results[i].name < results[j].name })
+	failed := 0
+	for _, r := range results {
+		if r.err != nil {
+			failed++
+			fmt.Fprintf(out, "FAIL  %-36s %v\n", r.name, r.err)
+		} else {
+			fmt.Fprintf(out, "ok    %-36s %d steps\n", r.name, r.steps)
+		}
+	}
+	fmt.Fprintf(out, "%d scenarios, %d failed\n", len(results), failed)
+	if failed > 0 {
+		return fmt.Errorf("%d of %d scenarios failed", failed, len(results))
+	}
+	return nil
+}
+
+// loadSources parses every selected scenario up front, so a syntax
+// error anywhere aborts before any world is built.
+func loadSources(dir, goldenDir string, filter *regexp.Regexp) ([]source, error) {
+	var files []struct {
+		name string
+		read func() ([]byte, error)
+	}
+	if dir == "" {
+		for _, name := range corpus.Names() {
+			name := name
+			files = append(files, struct {
+				name string
+				read func() ([]byte, error)
+			}{name, func() ([]byte, error) { return corpus.Source(name) }})
+		}
+	} else {
+		names, err := filepath.Glob(filepath.Join(dir, "*.yaml"))
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(names)
+		for _, path := range names {
+			path := path
+			files = append(files, struct {
+				name string
+				read func() ([]byte, error)
+			}{filepath.Base(path), func() ([]byte, error) { return os.ReadFile(path) }})
+		}
+	}
+	var sources []source
+	for _, f := range files {
+		data, err := f.read()
+		if err != nil {
+			return nil, err
+		}
+		sc, err := scenario.Parse(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", f.name, err)
+		}
+		if filter != nil && !filter.MatchString(sc.Name) {
+			continue
+		}
+		src := source{sc: sc}
+		switch {
+		case goldenDir != "":
+			name := sc.Name
+			src.golden = func() ([]byte, error) {
+				return os.ReadFile(filepath.Join(goldenDir, name+".json"))
+			}
+		case dir == "":
+			name := sc.Name
+			src.golden = func() ([]byte, error) { return corpus.Golden(name) }
+		}
+		sources = append(sources, src)
+	}
+	return sources, nil
+}
+
+func execute(src source, outDir, goldenDir string, update, verbose bool, out io.Writer, mu *sync.Mutex) outcome {
+	oc := outcome{name: src.sc.Name}
+	opts := scenario.RunOptions{}
+	if verbose {
+		opts.Logf = func(format string, args ...any) {
+			mu.Lock()
+			fmt.Fprintf(out, format+"\n", args...)
+			mu.Unlock()
+		}
+	}
+	tr, err := scenario.Run(src.sc, opts)
+	if err != nil {
+		oc.err = err
+		return oc
+	}
+	oc.steps = len(tr.Steps)
+	enc, err := tr.Encode()
+	if err != nil {
+		oc.err = err
+		return oc
+	}
+	if outDir != "" {
+		if err := os.WriteFile(filepath.Join(outDir, src.sc.Name+".json"), enc, 0o644); err != nil {
+			oc.err = err
+			return oc
+		}
+	}
+	if update {
+		oc.err = os.WriteFile(filepath.Join(goldenDir, src.sc.Name+".json"), enc, 0o644)
+		return oc
+	}
+	if src.golden != nil {
+		want, err := src.golden()
+		if err != nil {
+			oc.err = fmt.Errorf("reading golden: %w", err)
+			return oc
+		}
+		if !bytes.Equal(enc, want) {
+			oc.err = fmt.Errorf("transcript diverged from golden (%s)", firstDiff(enc, want))
+		}
+	}
+	return oc
+}
+
+// firstDiff locates the first differing line, for a readable failure.
+func firstDiff(got, want []byte) string {
+	g := strings.Split(string(got), "\n")
+	w := strings.Split(string(want), "\n")
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if g[i] != w[i] {
+			return fmt.Sprintf("line %d: got %q, want %q", i+1, strings.TrimSpace(g[i]), strings.TrimSpace(w[i]))
+		}
+	}
+	return fmt.Sprintf("got %d lines, want %d", len(g), len(w))
+}

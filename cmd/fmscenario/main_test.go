@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCorpusScenarioAgainstEmbeddedGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays a scenario")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-run", "^supplychain-fault$"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "ok    supplychain-fault") || !strings.Contains(s, "1 scenarios, 0 failed") {
+		t.Errorf("unexpected output:\n%s", s)
+	}
+}
+
+func TestDirModeWithGoldenRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays a scenario twice")
+	}
+	dir := t.TempDir()
+	goldenDir := filepath.Join(dir, "golden")
+	outDir := filepath.Join(dir, "out")
+	src := `name: tiny
+seed: 7
+steps:
+  - at: 0s
+    name: fab
+    fabricate: {chip: c, class: unmarked}
+  - at: 1h
+    name: check
+    verify:
+      chip: c
+      expect: {verdict: NO-WATERMARK, accepted: false}
+`
+	if err := os.WriteFile(filepath.Join(dir, "tiny.yaml"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{"-dir", dir, "-golden", goldenDir, "-update"}, &out); err != nil {
+		t.Fatalf("update run: %v\n%s", err, out.String())
+	}
+	if _, err := os.Stat(filepath.Join(goldenDir, "tiny.json")); err != nil {
+		t.Fatalf("golden not written: %v", err)
+	}
+
+	out.Reset()
+	if err := run([]string{"-dir", dir, "-golden", goldenDir, "-out", outDir}, &out); err != nil {
+		t.Fatalf("verify run: %v\n%s", err, out.String())
+	}
+	got, err := os.ReadFile(filepath.Join(outDir, "tiny.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join(goldenDir, "tiny.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("-out transcript differs from the golden the same run passed against")
+	}
+}
+
+// TestGoldenDivergenceAndRunFailure pins the two FAIL shapes: a stale
+// golden reports the first differing line, and a scenario whose own
+// expectation fails reports the step error — both through the summary
+// line and a non-nil run error.
+func TestGoldenDivergenceAndRunFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays scenarios")
+	}
+	dir := t.TempDir()
+	goldenDir := filepath.Join(dir, "golden")
+	if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := `name: tiny
+seed: 7
+steps:
+  - at: 0s
+    name: fab
+    fabricate: {chip: c, class: unmarked}
+`
+	if err := os.WriteFile(filepath.Join(dir, "tiny.yaml"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(goldenDir, "tiny.json"), []byte("{\n  \"stale\": true\n}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-dir", dir, "-golden", goldenDir, "-v"}, &out)
+	if err == nil {
+		t.Fatalf("stale golden passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "diverged") || !strings.Contains(out.String(), "line ") {
+		t.Errorf("divergence not located:\n%s", out.String())
+	}
+
+	doomed := `name: doomed
+seed: 7
+steps:
+  - at: 0s
+    name: fab
+    fabricate: {chip: c, class: unmarked}
+  - at: 1h
+    name: check
+    verify: {chip: c, expect: {verdict: GENUINE}}
+`
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, "doomed.yaml"), []byte(doomed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-dir", dir2}, &out); err == nil {
+		t.Fatalf("failing scenario passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL  doomed") {
+		t.Errorf("failure not reported:\n%s", out.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-run", "("}, &out); err == nil {
+		t.Error("bad regexp accepted")
+	}
+	if err := run([]string{"-update"}, &out); err == nil {
+		t.Error("-update without -golden accepted")
+	}
+	if err := run([]string{"-run", "matches-nothing-at-all"}, &out); err == nil {
+		t.Error("empty selection should fail")
+	}
+}

@@ -1,27 +1,24 @@
-// Command fmsupplychain simulates a mixed chip population flowing through
-// a system integrator's incoming inspection: genuine dice, re-entered
-// rejects, recycled parts, metadata forgeries, digital clones, tampered
-// rejects, rebranded blanks — and prints the resulting verdicts and the
-// confusion matrix (experiment TAB-SUPPLY, driven by §I's threat list).
+// Command fmsupplychain narrates the paper's supply-chain stories. It
+// is a thin presentation layer over internal/scenario: each flow is a
+// committed YAML timeline in internal/scenario/corpus, replayed here
+// against a live in-process fmverifyd and rendered as a readable
+// inspection log.
 //
-// With -crossbatch it instead runs the cross-batch replay-clone demo: a
-// clone shipped in a different batch than its victim slips past the
-// batch-local audit but is caught (with its victim retroactively
-// tainted) by the fleet-scale registry (internal/registry).
+//	fmsupplychain              # the basic incoming-inspection flow
+//	fmsupplychain -crossbatch  # cross-batch clone audit with a registry
+//	fmsupplychain -fault       # the misbehaving-silicon lane
+//	fmsupplychain -scenario X  # any other corpus scenario by name
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"time"
 
-	"github.com/flashmark/flashmark/internal/buildinfo"
-	"github.com/flashmark/flashmark/internal/counterfeit"
-	"github.com/flashmark/flashmark/internal/mcu"
-	"github.com/flashmark/flashmark/internal/registry"
-	"github.com/flashmark/flashmark/internal/wmcode"
+	"github.com/flashmark/flashmark/internal/scenario"
+	"github.com/flashmark/flashmark/internal/scenario/corpus"
 )
 
 func main() {
@@ -33,156 +30,110 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fmsupplychain", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		perClass = fs.Int("n", 3, "chips per counterfeit class")
-		genuine  = fs.Int("genuine", 6, "genuine ACCEPT chips")
-		seed     = fs.Uint64("seed", 0xBA5E, "population seed")
-		partName = fs.String("part", "FM-SIM16", "simulated part")
-		npe      = fs.Int("npe", 80_000, "manufacturer imprint cycles")
-		recycle  = fs.Bool("recycling-screen", true, "enable the data-segment wear screen")
-		workers  = fs.Int("workers", 4, "chips verified in parallel")
-		cross    = fs.Bool("crossbatch", false, "run the cross-batch replay-clone demo instead: batch-local audit vs fleet registry")
-		version  = fs.Bool("version", false, "print build version and exit")
+		crossbatch = fs.Bool("crossbatch", false, "run the cross-batch clone audit (registry-backed)")
+		fault      = fs.Bool("fault", false, "run the misbehaving-silicon flow (fault injection)")
+		name       = fs.String("scenario", "", "run this corpus scenario instead of a built-in flow")
+		verbose    = fs.Bool("v", false, "log every step as it executes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *version {
-		fmt.Fprintln(out, buildinfo.String("fmsupplychain"))
-		return nil
+	which := "supplychain-basic"
+	switch {
+	case *name != "":
+		which = *name
+	case *crossbatch:
+		which = "supplychain-crossbatch"
+	case *fault:
+		which = "supplychain-fault"
 	}
-	part, err := mcu.PartByName(*partName)
+
+	src, err := corpus.Source(which + ".yaml")
+	if err != nil {
+		return fmt.Errorf("no corpus scenario %q (see internal/scenario/corpus)", which)
+	}
+	sc, err := scenario.Parse(src)
 	if err != nil {
 		return err
 	}
-	key := []byte("trusted-chipmaker-signing-key")
-	factory := counterfeit.FactoryConfig{
-		Fab:          mcu.Fab(part),
-		Codec:        wmcode.Codec{Key: key},
-		Manufacturer: "TC",
-		NPE:          *npe,
+	fmt.Fprintf(out, "replaying scenario %s (%d steps, registry %s, backend %s)\n",
+		sc.Name, len(sc.Steps), sc.Registry, sc.Config.Backend)
+	opts := scenario.RunOptions{}
+	if *verbose {
+		opts.Logf = func(format string, a ...any) { fmt.Fprintf(out, format+"\n", a...) }
 	}
-	verifier := &counterfeit.Verifier{
-		Codec:          wmcode.Codec{Key: key},
-		Manufacturer:   "TC",
-		TPEW:           25 * time.Microsecond,
-		CheckRecycling: *recycle,
-	}
-	if *cross {
-		return runCrossBatch(out, factory, verifier)
-	}
-	spec := counterfeit.PopulationSpec{
-		counterfeit.ClassGenuineAccept:   *genuine,
-		counterfeit.ClassGenuineReject:   *perClass,
-		counterfeit.ClassRecycled:        *perClass,
-		counterfeit.ClassMetadataForgery: *perClass,
-		counterfeit.ClassDigitalClone:    *perClass,
-		counterfeit.ClassTopUpTamper:     *perClass,
-		counterfeit.ClassUnmarked:        *perClass,
-	}
-	fmt.Fprintf(out, "fabricating and verifying %d chips (%d workers)...\n\n", total(spec), *workers)
-	matrix, outcomes, err := counterfeit.RunPopulationParallel(spec, factory, verifier, *seed, *workers)
+	tr, err := scenario.Run(sc, opts)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "%-20s %-16s %s\n", "ground truth", "verdict", "decision")
-	for _, o := range outcomes {
-		decision := "REFUSE"
-		if o.Verdict.Accepted() {
-			decision = "accept"
-		}
-		fmt.Fprintf(out, "%-20s %-16s %s\n", o.Class, o.Verdict, decision)
-	}
-	fmt.Fprintf(out, "\nconfusion matrix:\n%s\n", matrix)
-	fmt.Fprintf(out, "correct accept/refuse rate: %.1f%%\n", 100*matrix.CorrectAcceptRate())
-	fmt.Fprintf(out, "false accepts: %d   false rejects: %d\n", matrix.FalseAccepts(), matrix.FalseRejects())
+	narrate(out, tr)
 	return nil
 }
 
-func total(spec counterfeit.PopulationSpec) int {
-	n := 0
-	for _, c := range spec {
-		n += c
-	}
-	return n
-}
-
-// runCrossBatch demonstrates the attack the fleet registry exists for: a
-// replay-imprinted clone shipped in a different procurement batch than
-// its victim. Physics calls both GENUINE; the batch-local audit sees
-// each batch clean because the duplicate ids never meet; the fleet
-// registry — the same dedup kernel spanning both batches — catches the
-// collision and retroactively taints the victim.
-func runCrossBatch(out io.Writer, factory counterfeit.FactoryConfig, verifier *counterfeit.Verifier) error {
-	type shipment struct {
-		label string
-		class counterfeit.ChipClass
-		seed  uint64
-		die   uint64
-	}
-	batches := [][]shipment{
-		{{"victim", counterfeit.ClassGenuineAccept, 0xB1A, 101},
-			{"clean", counterfeit.ClassGenuineAccept, 0xB1B, 102}},
-		{{"clone", counterfeit.ClassReplayImprint, 0xB2A, 101},
-			{"clean", counterfeit.ClassGenuineAccept, 0xB2B, 103}},
-	}
-	type row struct {
-		batch    int
-		label    string
-		physics  counterfeit.Verdict
-		batchDup bool
-		key      registry.Key
-	}
-	fleet := registry.NewMemory(0)
-	var rows []row
-	fmt.Fprintf(out, "two procurement batches, verified independently:\n\n")
-	for bi, batch := range batches {
-		audit := counterfeit.NewAuditor() // batch-local scope, as before
-		for _, sh := range batch {
-			dev, err := counterfeit.Fabricate(sh.class, factory, sh.seed, sh.die)
-			if err != nil {
-				return err
-			}
-			res, err := verifier.Verify(dev)
-			if err != nil {
-				return err
-			}
-			r := row{batch: bi + 1, label: sh.label, physics: res.Verdict}
-			if res.Verdict.Accepted() {
-				r.key = registry.Key{Manufacturer: res.Payload.Manufacturer, DieID: res.Payload.DieID}
-				r.batchDup = audit.Record(r.key.Manufacturer, r.key.DieID)
-				if _, err := fleet.Enroll(registry.Enrollment{
-					Key:         r.key,
-					Fingerprint: registry.DeviceFingerprint(dev.PartName(), dev.Seed()),
-					Source:      fmt.Sprintf("batch-%d", bi+1),
-				}); err != nil {
-					return err
+// narrate renders the transcript as an inspection log: one line per
+// step, with verdicts and registry findings pulled out of the raw
+// step results.
+func narrate(out io.Writer, tr *scenario.Transcript) {
+	accepted, refused := 0, 0
+	for _, st := range tr.Steps {
+		var r struct {
+			Chip   string `json:"chip"`
+			Class  string `json:"class"`
+			Of     string `json:"of"`
+			Report *struct {
+				Verdict    string `json:"verdict"`
+				Accepted   bool   `json:"accepted"`
+				Provenance string `json:"provenance"`
+				Fault      string `json:"fault"`
+				Conflict   bool   `json:"conflict"`
+				Count      int    `json:"count"`
+			} `json:"report"`
+			Registry *struct {
+				Keys        int64 `json:"keys"`
+				Enrollments int64 `json:"enrollments"`
+				Conflicts   int64 `json:"conflicts"`
+			} `json:"registry"`
+		}
+		_ = json.Unmarshal(st.Result, &r)
+		line := fmt.Sprintf("t=%-10s %-10s %-28s", st.At, st.Verb, st.Name)
+		switch st.Verb {
+		case "fabricate":
+			line += fmt.Sprintf("chip %s (%s)", r.Chip, r.Class)
+		case "clone":
+			line += fmt.Sprintf("chip %s cloned from %s", r.Chip, r.Of)
+		case "verify":
+			if rep := r.Report; rep != nil {
+				line += fmt.Sprintf("chip %s -> %s", r.Chip, rep.Verdict)
+				if rep.Accepted {
+					accepted++
+				} else {
+					refused++
+				}
+				if rep.Provenance != "" {
+					line += fmt.Sprintf(" (escalated: %s)", rep.Provenance)
+				}
+				if rep.Fault != "" {
+					line += fmt.Sprintf(" (fault: %s)", rep.Fault)
 				}
 			}
-			rows = append(rows, r)
+		case "enroll":
+			if rep := r.Report; rep != nil {
+				line += fmt.Sprintf("chip %s -> %s (count %d)", r.Chip, rep.Verdict, rep.Count)
+				if rep.Conflict {
+					line += " CONFLICT"
+				}
+			}
+		case "expect":
+			if r.Registry != nil {
+				line += fmt.Sprintf("registry: %d keys, %d enrollments, %d conflicts",
+					r.Registry.Keys, r.Registry.Enrollments, r.Registry.Conflicts)
+			} else {
+				line += "metrics ok"
+			}
 		}
+		fmt.Fprintln(out, line)
 	}
-	fmt.Fprintf(out, "%-6s %-8s %-10s %-12s %s\n", "batch", "chip", "physics", "batch-audit", "fleet registry")
-	batchFlagged, fleetFlagged := 0, 0
-	for _, r := range rows {
-		batchVerdict, fleetVerdict := "unique", "unique"
-		if r.batchDup {
-			batchVerdict = "DUPLICATE-ID"
-			batchFlagged++
-		}
-		if lr, ok := fleet.Lookup(r.key); ok && lr.Conflict {
-			fleetVerdict = "DUPLICATE-ID"
-			fleetFlagged++
-		}
-		if r.physics != counterfeit.VerdictGenuine {
-			batchVerdict, fleetVerdict = "-", "-"
-		}
-		fmt.Fprintf(out, "%-6d %-8s %-10s %-12s %s\n", r.batch, r.label, r.physics, batchVerdict, fleetVerdict)
-	}
-	fmt.Fprintf(out, "\nbatch-local audit flagged %d chips; fleet registry flagged %d (clone and its victim)\n",
-		batchFlagged, fleetFlagged)
-	if fleetFlagged < 2 {
-		return fmt.Errorf("cross-batch demo expected the fleet registry to flag clone and victim, flagged %d", fleetFlagged)
-	}
-	return nil
+	fmt.Fprintf(out, "inspection complete: %d accepted, %d refused, all expectations held\n", accepted, refused)
 }

@@ -8,22 +8,22 @@ import (
 
 type sink struct{ bytes.Buffer }
 
-func TestSupplyChainScenario(t *testing.T) {
+func TestSupplyChainBasic(t *testing.T) {
 	if testing.Short() {
-		t.Skip("population scenario is slow")
+		t.Skip("replays a full scenario")
 	}
 	var out sink
-	err := run([]string{"-n", "1", "-genuine", "2", "-npe", "80000"}, &out)
-	if err != nil {
+	if err := run(nil, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
 	for _, want := range []string{
-		"fabricating and verifying 8 chips",
+		"replaying scenario supplychain-basic",
 		"genuine-accept",
-		"confusion matrix:",
-		"correct accept/refuse rate: 100.0%",
-		"false accepts: 0   false rejects: 0",
+		"RECYCLED",
+		"NO-WATERMARK",
+		"TAMPERED",
+		"all expectations held",
 	} {
 		if !strings.Contains(s, want) {
 			t.Errorf("output missing %q:\n%s", want, s)
@@ -33,7 +33,7 @@ func TestSupplyChainScenario(t *testing.T) {
 
 func TestSupplyChainCrossBatch(t *testing.T) {
 	if testing.Short() {
-		t.Skip("crossbatch demo imprints four chips")
+		t.Skip("replays a registry-backed scenario")
 	}
 	var out sink
 	if err := run([]string{"-crossbatch"}, &out); err != nil {
@@ -41,10 +41,32 @@ func TestSupplyChainCrossBatch(t *testing.T) {
 	}
 	s := out.String()
 	for _, want := range []string{
-		"batch-local audit flagged 0 chips; fleet registry flagged 2",
-		"clone",
-		"victim",
+		"replaying scenario supplychain-crossbatch",
+		"cloned from victim",
 		"DUPLICATE-ID",
+		"escalated",
+		"CONFLICT",
+		"1 keys, 2 enrollments, 1 conflicts",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSupplyChainFault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays a fault-injection scenario")
+	}
+	var out sink
+	if err := run([]string{"-fault"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"replaying scenario supplychain-fault",
+		"INCONCLUSIVE",
+		"fault:",
 	} {
 		if !strings.Contains(s, want) {
 			t.Errorf("output missing %q:\n%s", want, s)
@@ -54,8 +76,8 @@ func TestSupplyChainCrossBatch(t *testing.T) {
 
 func TestSupplyChainBadFlags(t *testing.T) {
 	var out sink
-	if err := run([]string{"-part", "Z80"}, &out); err == nil {
-		t.Error("unknown part accepted")
+	if err := run([]string{"-scenario", "no-such-scenario"}, &out); err == nil {
+		t.Error("unknown scenario accepted")
 	}
 	if err := run([]string{"-bogus"}, &out); err == nil {
 		t.Error("unknown flag accepted")

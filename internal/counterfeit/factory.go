@@ -123,6 +123,22 @@ func (c FactoryConfig) applyFieldUse(dev device.Device, seed uint64) error {
 	return nil
 }
 
+// Imprint performs the manufacturer-side die-sort imprint on an existing
+// device: the scenario-engine seam for watermarking a chip fabricated
+// earlier (Fabricate bundles fabrication and imprint in one call).
+func (c FactoryConfig) Imprint(dev device.Device, dieID uint64, status wmcode.Status) error {
+	_, err := c.withDefaults().imprintWatermark(dev, dieID, status)
+	return err
+}
+
+// ApplyFieldUse simulates a first product life on an existing device:
+// heavy P/E cycling on the chip's data segments. It is the wear half of
+// ClassRecycled, exposed so temporal scenarios can stress a chip at a
+// chosen instant of its history.
+func (c FactoryConfig) ApplyFieldUse(dev device.Device, seed uint64) error {
+	return c.withDefaults().applyFieldUse(dev, seed)
+}
+
 // Fabricate manufactures one chip of the given ground-truth class. The
 // seed determines the die's physical identity; dieID goes into genuine
 // watermarks.

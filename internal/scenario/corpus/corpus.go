@@ -1,0 +1,48 @@
+// Package corpus embeds the committed temporal scenario suite: the
+// declarative supply-chain attack timelines that exercise the full
+// stack — fabrication, aging, cloning, enrollment, restart windows —
+// over the virtual clock. Each scenario pairs with a golden transcript
+// under golden/; `make scenarios-check` (and TestCorpusGolden) replays
+// the suite and byte-diffs the transcripts.
+package corpus
+
+import (
+	"embed"
+	"io/fs"
+	"sort"
+	"strings"
+)
+
+//go:embed *.yaml
+var scenarioFS embed.FS
+
+//go:embed golden/*.json
+var goldenFS embed.FS
+
+// Names lists the embedded scenario files (sorted, with extension).
+func Names() []string {
+	entries, err := fs.ReadDir(scenarioFS, ".")
+	if err != nil {
+		// The embed is build-time static; a read failure is a broken build.
+		panic("corpus: reading embedded scenarios: " + err.Error())
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".yaml") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Source returns the raw YAML of one embedded scenario file.
+func Source(name string) ([]byte, error) {
+	return scenarioFS.ReadFile(name)
+}
+
+// Golden returns the committed golden transcript for the scenario of
+// the given name (the scenario's name: field, no extension).
+func Golden(scenarioName string) ([]byte, error) {
+	return goldenFS.ReadFile("golden/" + scenarioName + ".json")
+}

@@ -1,0 +1,76 @@
+package corpus
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/flashmark/flashmark/internal/scenario"
+)
+
+var update = flag.Bool("update", false, "rewrite golden transcripts from this run")
+
+// TestCorpusGolden replays every committed scenario in parallel and
+// byte-diffs its transcript against the committed golden. Each subtest
+// also runs its scenario twice: the two transcripts must be identical,
+// which — together with t.Parallel() across the whole corpus — proves
+// transcripts do not depend on scheduling or worker count.
+func TestCorpusGolden(t *testing.T) {
+	names := Names()
+	if len(names) < 12 {
+		t.Fatalf("corpus has %d scenarios, want at least 12", len(names))
+	}
+	for _, name := range names {
+		t.Run(strings.TrimSuffix(name, ".yaml"), func(t *testing.T) {
+			t.Parallel()
+			src, err := Source(name)
+			if err != nil {
+				t.Fatalf("reading %s: %v", name, err)
+			}
+			sc, err := scenario.Parse(src)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", name, err)
+			}
+			first := runEncoded(t, sc)
+			second := runEncoded(t, sc)
+			if !bytes.Equal(first, second) {
+				t.Fatalf("scenario %s is not deterministic: two runs produced different transcripts", sc.Name)
+			}
+
+			goldenPath := filepath.Join("golden", sc.Name+".json")
+			if *update {
+				if err := os.MkdirAll("golden", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath, first, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("no golden for %s (run with -update to create): %v", sc.Name, err)
+			}
+			if !bytes.Equal(first, want) {
+				t.Errorf("transcript for %s diverged from golden %s\n(regenerate with: go test ./internal/scenario/corpus -run TestCorpusGolden -update)",
+					sc.Name, goldenPath)
+			}
+		})
+	}
+}
+
+func runEncoded(t *testing.T, sc *scenario.Scenario) []byte {
+	t.Helper()
+	tr, err := scenario.Run(sc, scenario.RunOptions{WorkDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

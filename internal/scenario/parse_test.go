@@ -1,0 +1,200 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const tinyValid = `# a comment
+name: tiny
+seed: 0xABC
+registry: durable
+config:
+  part: FM-SIM16
+  recycling-screen: false
+steps:
+  - at: 0s
+    name: fab
+    fabricate: {chip: c1, class: genuine-accept, die: 0x42}
+  - at: 1h30m
+    name: check
+    verify:
+      chip: c1
+      expect: {verdict: GENUINE, accepted: true}
+`
+
+func TestParseValid(t *testing.T) {
+	sc, err := Parse([]byte(tinyValid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "tiny" || sc.Seed != 0xABC || sc.Registry != RegistryDurable {
+		t.Errorf("header decoded wrong: %+v", sc)
+	}
+	if sc.Config.RecyclingScreen {
+		t.Error("recycling-screen: false not applied")
+	}
+	if len(sc.Steps) != 2 {
+		t.Fatalf("got %d steps", len(sc.Steps))
+	}
+	if sc.Steps[0].Verb != VerbFabricate || sc.Steps[0].Fabricate.Die != 0x42 {
+		t.Errorf("step 0 decoded wrong: %+v", sc.Steps[0])
+	}
+	if sc.Steps[1].At != 90*time.Minute {
+		t.Errorf("at: 1h30m decoded as %v", sc.Steps[1].At)
+	}
+	x := sc.Steps[1].Verify.Expect
+	if x == nil || x.Verdict != "GENUINE" || x.Accepted == nil || !*x.Accepted {
+		t.Errorf("verify expect decoded wrong: %+v", x)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	sc, err := Parse([]byte("name: d\nsteps:\n  - at: 0s\n    name: a\n    fabricate: {chip: c, class: unmarked}\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Registry != RegistryNone || sc.Shards != 2 {
+		t.Errorf("registry defaults wrong: %s/%d", sc.Registry, sc.Shards)
+	}
+	cfg := sc.Config
+	if cfg.Backend != "nor" || cfg.Part != "FM-SIM16" || cfg.Key != "scenario-key" ||
+		cfg.Manufacturer != "TC" || !cfg.RecyclingScreen {
+		t.Errorf("config defaults wrong: %+v", cfg)
+	}
+}
+
+func TestParseRejections(t *testing.T) {
+	cases := map[string]struct {
+		doc     string
+		wantErr string
+	}{
+		"empty":                   {"", "empty"},
+		"no name":                 {"steps: []\n", "name"},
+		"no steps":                {"name: x\n", "steps"},
+		"empty steps":             {"name: x\nsteps: []\n", "no steps"},
+		"unknown key":             {"name: x\nbogus: 1\nsteps: []\n", "bogus"},
+		"bad registry":            {"name: x\nregistry: etcd\nsteps:\n  - at: 0s\n    name: a\n    fabricate: {chip: c, class: unmarked}\n", "registry"},
+		"bad backend":             {"name: x\nconfig: {backend: dram}\nsteps:\n  - at: 0s\n    name: a\n    fabricate: {chip: c, class: unmarked}\n", "backend"},
+		"bad class":               {"name: x\nsteps:\n  - at: 0s\n    name: a\n    fabricate: {chip: c, class: shiny}\n", "class"},
+		"out of order":            {"name: x\nsteps:\n  - at: 1h\n    name: a\n    fabricate: {chip: c, class: unmarked}\n  - at: 1s\n    name: b\n    verify: {chip: c}\n", "non-decreasing"},
+		"negative at":             {"name: x\nsteps:\n  - at: -5s\n    name: a\n    fabricate: {chip: c, class: unmarked}\n", "negative at:"},
+		"beyond horizon":          {"name: x\nsteps:\n  - at: 900000h\n    name: a\n    fabricate: {chip: c, class: unmarked}\n", "horizon"},
+		"dup step name":           {"name: x\nsteps:\n  - at: 0s\n    name: a\n    fabricate: {chip: c, class: unmarked}\n  - at: 0s\n    name: a\n    verify: {chip: c}\n", "duplicate"},
+		"no verb":                 {"name: x\nsteps:\n  - at: 0s\n    name: a\n", "exactly one verb"},
+		"two verbs":               {"name: x\nsteps:\n  - at: 0s\n    name: a\n    fabricate: {chip: c, class: unmarked}\n    verify: {chip: c}\n", "exactly one verb"},
+		"unknown verb":            {"name: x\nsteps:\n  - at: 0s\n    name: a\n    teleport: {chip: c}\n", "teleport"},
+		"verify before fab":       {"name: x\nsteps:\n  - at: 0s\n    name: a\n    verify: {chip: ghost}\n", "not fabricated"},
+		"clone unknown victim":    {"name: x\nsteps:\n  - at: 0s\n    name: a\n    clone: {chip: c, of: ghost}\n", "not fabricated"},
+		"refabricate":             {"name: x\nsteps:\n  - at: 0s\n    name: a\n    fabricate: {chip: c, class: unmarked}\n  - at: 0s\n    name: b\n    fabricate: {chip: c, class: unmarked}\n", "already exists"},
+		"enroll without registry": {"name: x\nsteps:\n  - at: 0s\n    name: a\n    fabricate: {chip: c, class: genuine-accept}\n  - at: 0s\n    name: b\n    enroll: {chip: c}\n", "requires a registry"},
+		"restart without durable": {"name: x\nsteps:\n  - at: 0s\n    name: a\n    restart-registry: {}\n", "durable"},
+		"bad imprint status":      {"name: x\nsteps:\n  - at: 0s\n    name: a\n    fabricate: {chip: c, class: unmarked}\n  - at: 0s\n    name: b\n    imprint: {chip: c, status: maybe}\n", "accept or reject"},
+		"empty expect":            {"name: x\nsteps:\n  - at: 0s\n    name: a\n    expect: {}\n", "asserts nothing"},
+		"fault prob":              {"name: x\nconfig: {fault: {erase-timeout: 1.5}}\nsteps:\n  - at: 0s\n    name: a\n    fabricate: {chip: c, class: unmarked}\n", "[0,1]"},
+		"tab indent":              {"name: x\nsteps:\n\t- at: 0s\n", "tab"},
+		"anchor":                  {"name: &x y\nsteps: []\n", "anchor"},
+		"multi-doc":               {"---\nname: x\n---\n", "document"},
+		"dup yaml key":            {"name: x\nname: y\nsteps: []\n", "duplicate mapping key"},
+	}
+	for label, tc := range cases {
+		t.Run(label, func(t *testing.T) {
+			_, err := Parse([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("accepted %q", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("rejected for the wrong reason: %v (want substring %q)", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestParseTypeErrors sweeps wrongly-typed values through every
+// decoder: each document must be rejected (the reason substring is the
+// decoders' business; here only the rejection itself is pinned).
+func TestParseTypeErrors(t *testing.T) {
+	step := func(body string) string {
+		return "name: x\nsteps:\n  - at: 0s\n    name: a\n" + body
+	}
+	fab := "  - at: 0s\n    name: f\n    fabricate: {chip: c, class: unmarked}\n"
+	cases := map[string]string{
+		"name not scalar":     "name: [a]\nsteps: []\n",
+		"seed not number":     "name: x\nseed: pretty\nsteps: []\n",
+		"seed not scalar":     "name: x\nseed: [1]\nsteps: []\n",
+		"shards not number":   "name: x\nregistry: cluster\nshards: many\nsteps: []\n",
+		"steps not sequence":  "name: x\nsteps: {a: 1}\n",
+		"step not mapping":    "name: x\nsteps:\n  - 5\n",
+		"config not mapping":  "name: x\nconfig: 5\nsteps: []\n",
+		"config key typed":    "name: x\nconfig: {key: [1]}\nsteps: []\n",
+		"config npe bad":      "name: x\nconfig: {npe: soft}\nsteps: []\n",
+		"recycling not bool":  "name: x\nconfig: {recycling-screen: sure}\nsteps: []\n",
+		"fault not mapping":   "name: x\nconfig: {fault: 7}\nsteps: []\n",
+		"fault prob string":   "name: x\nconfig: {fault: {erase-timeout: likely}}\nsteps: []\n",
+		"at not duration":     "name: x\nsteps:\n  - at: noon\n    name: a\n" + "    fabricate: {chip: c, class: unmarked}\n",
+		"at not scalar":       "name: x\nsteps:\n  - at: [0s]\n    name: a\n",
+		"fab die bad hex":     step("    fabricate: {chip: c, class: unmarked, die: 0xZZ}\n"),
+		"fab seed bad":        step("    fabricate: {chip: c, class: unmarked, seed: lucky}\n"),
+		"fab not mapping":     step("    fabricate: 5\n"),
+		"fab unknown key":     step("    fabricate: {chip: c, class: unmarked, color: red}\n"),
+		"imprint die missing": step(fab + "  - at: 0s\n    name: b\n    imprint: {chip: c}\n"),
+		"age years string":    step(fab + "  - at: 0s\n    name: b\n    age: {chip: c, years: old}\n"),
+		"age years negative":  step(fab + "  - at: 0s\n    name: b\n    age: {chip: c, years: -1}\n"),
+		"stress cycles typed": step(fab + "  - at: 0s\n    name: b\n    stress: {chip: c, cycles: many}\n"),
+		"stress negative":     step(fab + "  - at: 0s\n    name: b\n    stress: {chip: c, cycles: -4}\n"),
+		"clone seed typed":    step(fab + "  - at: 0s\n    name: b\n    clone: {chip: d, of: c, seed: [1]}\n"),
+		"clone self":          step(fab + "  - at: 0s\n    name: b\n    clone: {chip: c, of: c}\n"),
+		"verify accepted":     step(fab + "  - at: 0s\n    name: b\n    verify: {chip: c, expect: {accepted: maybe}}\n"),
+		"verify expect typed": step(fab + "  - at: 0s\n    name: b\n    verify: {chip: c, expect: 5}\n"),
+		"enroll count typed":  "name: x\nregistry: durable\nsteps:\n" + fab + "  - at: 0s\n    name: b\n    enroll: {chip: c, expect: {count: few}}\n",
+		"enroll dup typed":    "name: x\nregistry: durable\nsteps:\n" + fab + "  - at: 0s\n    name: b\n    enroll: {chip: c, expect: {duplicate: 3}}\n",
+		"metrics not mapping": step("    expect:\n      metrics: [a]\n"),
+		"metric value typed":  step("    expect:\n      metrics:\n        m: lots\n"),
+		"registry keys typed": step("    expect:\n      registry: {keys: some}\n"),
+		"registry not map":    step("    expect:\n      registry: 9\n"),
+	}
+	for label, doc := range cases {
+		t.Run(label, func(t *testing.T) {
+			if _, err := Parse([]byte(doc)); err == nil {
+				t.Fatalf("accepted %q", doc)
+			}
+		})
+	}
+}
+
+func TestParseFlowAndQuoting(t *testing.T) {
+	doc := "name: q\nsteps:\n" +
+		"  - {at: 0s, name: a, fabricate: {chip: c, class: unmarked, seed: 0xDEAD}}\n" +
+		"  - at: 1s\n    name: \"b.with-punct_ok\"\n    verify: {chip: c, expect: {verdict: \"NO-WATERMARK\"}}\n"
+	sc, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Steps[0].Fabricate.Seed == nil || *sc.Steps[0].Fabricate.Seed != 0xDEAD {
+		t.Errorf("pinned seed decoded wrong: %+v", sc.Steps[0].Fabricate)
+	}
+	if sc.Steps[1].Name != "b.with-punct_ok" {
+		t.Errorf("quoted name decoded as %q", sc.Steps[1].Name)
+	}
+	if sc.Steps[1].Verify.Expect.Verdict != "NO-WATERMARK" {
+		t.Errorf("quoted verdict decoded as %q", sc.Steps[1].Verify.Expect.Verdict)
+	}
+}
+
+func TestParseChipCap(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("name: many\nsteps:\n")
+	for i := 0; i <= MaxChips; i++ {
+		b.WriteString("  - at: 0s\n    name: s")
+		b.WriteByte(byte('a' + i%26))
+		b.WriteByte(byte('a' + (i/26)%26))
+		b.WriteString("\n    fabricate: {chip: c")
+		b.WriteByte(byte('a' + i%26))
+		b.WriteByte(byte('a' + (i/26)%26))
+		b.WriteString(", class: unmarked}\n")
+	}
+	if _, err := Parse([]byte(b.String())); err == nil {
+		t.Fatalf("accepted %d chips (cap %d)", MaxChips+1, MaxChips)
+	}
+}

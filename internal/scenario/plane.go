@@ -1,0 +1,172 @@
+package scenario
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/flashmark/flashmark/internal/cluster"
+	"github.com/flashmark/flashmark/internal/registry"
+)
+
+// provPlane is the provenance backing a scenario's daemon: a restartable
+// single-node store or an in-process sharded cluster. Both faces hand
+// the engine a registry.Store to wire into service.Config.Provenance.
+type provPlane interface {
+	store() registry.Store
+	// restart closes and reopens the underlying durable state — the
+	// registry-restart window. Only the durable plane supports it.
+	restart() error
+	close() error
+}
+
+// durablePlane is a registry.Durable behind a swap lock, so the
+// restart-registry verb can close the store and recover it from disk
+// while the daemon keeps holding the same registry.Store value (and the
+// /metrics gauges registered against it stay live).
+type durablePlane struct {
+	dir  string
+	opts registry.Options
+	mu   sync.RWMutex
+	cur  *registry.Durable
+}
+
+func openDurablePlane(dir string, opts registry.Options) (*durablePlane, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	d, err := registry.Open(dir, opts)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: opening registry %s: %w", dir, err)
+	}
+	return &durablePlane{dir: dir, opts: opts, cur: d}, nil
+}
+
+func (p *durablePlane) store() registry.Store { return p }
+
+func (p *durablePlane) restart() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.cur.Close(); err != nil {
+		return fmt.Errorf("scenario: closing registry for restart: %w", err)
+	}
+	d, err := registry.Open(p.dir, p.opts)
+	if err != nil {
+		return fmt.Errorf("scenario: reopening registry: %w", err)
+	}
+	p.cur = d
+	return nil
+}
+
+func (p *durablePlane) close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cur.Close()
+}
+
+// registry.Store delegation under the swap lock.
+
+func (p *durablePlane) Enroll(e registry.Enrollment) (registry.EnrollResult, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.cur.Enroll(e)
+}
+
+func (p *durablePlane) Lookup(k registry.Key) (registry.LookupResult, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.cur.Lookup(k)
+}
+
+func (p *durablePlane) SeenBefore(k registry.Key) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.cur.SeenBefore(k)
+}
+
+func (p *durablePlane) Stats() registry.Stats {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.cur.Stats()
+}
+
+// clusterPlane is an in-process fmregistryd plane: N solo-primary shard
+// nodes on loopback listeners, fronted by the same cluster.Client the
+// fmverifyd -cluster flag builds. Node-internal deadlines run on the
+// host clock (they guard sockets, not scenario semantics); everything
+// the transcript records stays a pure function of the scenario.
+type clusterPlane struct {
+	nodes  []*cluster.Node
+	stores []*registry.Durable
+	client *cluster.Client
+	served sync.WaitGroup
+}
+
+func openClusterPlane(dir string, shards int, opts registry.Options) (*clusterPlane, error) {
+	p := &clusterPlane{}
+	var spec []cluster.ShardSpec
+	for i := 0; i < shards; i++ {
+		shardDir := filepath.Join(dir, fmt.Sprintf("shard-%d", i))
+		if err := os.MkdirAll(shardDir, 0o755); err != nil {
+			p.close()
+			return nil, err
+		}
+		store, err := registry.Open(shardDir, opts)
+		if err != nil {
+			p.close()
+			return nil, fmt.Errorf("scenario: opening shard %d: %w", i, err)
+		}
+		p.stores = append(p.stores, store)
+		node, err := cluster.NewNode(cluster.NodeConfig{Store: store, Role: cluster.RolePrimary})
+		if err != nil {
+			p.close()
+			return nil, fmt.Errorf("scenario: shard %d node: %w", i, err)
+		}
+		p.nodes = append(p.nodes, node)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			p.close()
+			return nil, fmt.Errorf("scenario: shard %d listener: %w", i, err)
+		}
+		spec = append(spec, cluster.ShardSpec{Primary: ln.Addr().String()})
+		p.served.Add(1)
+		go func(n *cluster.Node, ln net.Listener) {
+			defer p.served.Done()
+			_ = n.Serve(ln)
+		}(node, ln)
+	}
+	client, err := cluster.NewClient(spec, cluster.ClientOptions{})
+	if err != nil {
+		p.close()
+		return nil, err
+	}
+	p.client = client
+	return p, nil
+}
+
+func (p *clusterPlane) store() registry.Store { return p.client }
+
+func (p *clusterPlane) restart() error {
+	return fmt.Errorf("scenario: restart-registry is not supported on the cluster plane")
+}
+
+func (p *clusterPlane) close() error {
+	var firstErr error
+	if p.client != nil {
+		firstErr = p.client.Close()
+	}
+	for _, n := range p.nodes {
+		if err := n.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	p.served.Wait()
+	for _, s := range p.stores {
+		if err := s.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,867 @@
+package scenario
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"time"
+)
+
+// Spec-level limits. MaxSteps bounds hostile inputs (the fuzz target);
+// MaxAt keeps every `at:` offset far from the time.Duration overflow
+// horizon (~292 years) so timeline arithmetic can never wrap.
+const (
+	// MaxSteps caps the step count of one scenario.
+	MaxSteps = 512
+	// MaxChips caps distinct chips one scenario may define.
+	MaxChips = 64
+	// MaxAt is the latest step offset a scenario may use: 100 years.
+	MaxAt = 100 * 365 * 24 * time.Hour
+)
+
+// RegistryMode selects the provenance plane a scenario runs against.
+type RegistryMode string
+
+// Registry modes.
+const (
+	// RegistryNone runs fmverifyd without a fleet registry: /v1/enroll
+	// and DUPLICATE-ID escalation are unavailable.
+	RegistryNone RegistryMode = "none"
+	// RegistryDurable runs a single-node crash-safe registry.Durable in
+	// the scenario work directory; restart-registry closes and reopens
+	// it mid-scenario.
+	RegistryDurable RegistryMode = "durable"
+	// RegistryCluster runs a sharded in-process fmregistryd plane
+	// (solo-primary nodes) behind cluster.Client, the -cluster path.
+	RegistryCluster RegistryMode = "cluster"
+)
+
+// Verb names one scenario step kind.
+type Verb string
+
+// Step verbs.
+const (
+	VerbFabricate       Verb = "fabricate"
+	VerbImprint         Verb = "imprint"
+	VerbAge             Verb = "age"
+	VerbStress          Verb = "stress"
+	VerbClone           Verb = "clone"
+	VerbEnroll          Verb = "enroll"
+	VerbVerify          Verb = "verify"
+	VerbRestartRegistry Verb = "restart-registry"
+	VerbExpect          Verb = "expect"
+)
+
+// Scenario is one parsed, validated scenario document.
+type Scenario struct {
+	// Name identifies the scenario; transcripts and golden files carry it.
+	Name string
+	// Seed is the scenario master seed: every derived chip seed and
+	// fault stream splits from it, so a scenario is a pure function of
+	// its document.
+	Seed uint64
+	// Registry selects the provenance plane (default none).
+	Registry RegistryMode
+	// Shards is the cluster shard count (cluster mode only; default 2).
+	Shards int
+	// Config tunes the world the steps run in.
+	Config WorldConfig
+	// Steps execute in order; At offsets are non-decreasing.
+	Steps []Step
+}
+
+// WorldConfig shapes the fabrication factory and the in-process
+// verification daemon.
+type WorldConfig struct {
+	// Backend selects the substrate: "nor" (default) or "nand".
+	Backend string
+	// Part is the catalog NOR part (default FM-SIM16; NOR backend only).
+	Part string
+	// Key is the watermark HMAC key (default "scenario-key").
+	Key string
+	// Manufacturer is the imprinted manufacturer string (default "TC").
+	Manufacturer string
+	// NPE is the imprint stress count (0 selects the factory default).
+	NPE int
+	// RecyclingScreen enables the data-segment wear screen (default true).
+	RecyclingScreen bool
+	// Fault, when set, wraps every device the daemon loads in a seeded
+	// fault injector — the misbehaving-silicon lane.
+	Fault *FaultSpec
+}
+
+// FaultSpec is the scenario-level device fault injection policy,
+// mirroring device.FaultConfig.
+type FaultSpec struct {
+	Seed         uint64
+	EraseTimeout float64
+	ReadBitFlip  float64
+	ProgramError float64
+}
+
+// Step is one timed action.
+type Step struct {
+	// At is the step's offset on the scenario timeline. The engine
+	// advances the virtual clock to exactly this instant before
+	// executing the step.
+	At time.Duration
+	// Name uniquely identifies the step within the scenario.
+	Name string
+	// Verb says which of the payload fields below is set.
+	Verb Verb
+
+	Fabricate       *FabricateStep
+	Imprint         *ImprintStep
+	Age             *AgeStep
+	Stress          *StressStep
+	Clone           *CloneStep
+	Enroll          *EnrollStep
+	Verify          *VerifyStep
+	RestartRegistry *RestartStep
+	Expect          *ExpectStep
+}
+
+// FabricateStep manufactures a chip of a ground-truth class.
+type FabricateStep struct {
+	// Chip names the new chip.
+	Chip string
+	// Class is the counterfeit.ChipClass name (genuine-accept, recycled,
+	// replay-imprint, ...).
+	Class string
+	// Die is the die id carried by genuine watermarks.
+	Die uint64
+	// Seed, when non-nil, pins the device seed; otherwise it derives
+	// from the scenario seed and the chip name.
+	Seed *uint64
+}
+
+// ImprintStep runs the manufacturer die-sort imprint on an existing chip.
+type ImprintStep struct {
+	Chip string
+	Die  uint64
+	// Status is "accept" or "reject".
+	Status string
+}
+
+// AgeStep advances a chip's unpowered storage age (retention drift).
+type AgeStep struct {
+	Chip string
+	// Years is the chip's new total storage age (monotone).
+	Years float64
+}
+
+// StressStep applies first-life field wear to a chip's data segments.
+type StressStep struct {
+	Chip string
+	// Cycles is the P/E count per worn segment (0 selects the factory
+	// default).
+	Cycles int
+	// Segments is how many data segments wear out (0 selects the
+	// factory default).
+	Segments int
+}
+
+// CloneStep fabricates a replay-imprint clone of an existing chip: a
+// fresh die carrying a bit-exact copy of the victim's watermark.
+type CloneStep struct {
+	// Chip names the new clone.
+	Chip string
+	// Of names the victim whose die id the clone carries.
+	Of string
+	// Seed optionally pins the clone's device seed.
+	Seed *uint64
+}
+
+// EnrollStep POSTs the chip to /v1/enroll on the live daemon.
+type EnrollStep struct {
+	Chip   string
+	Expect *EnrollExpect
+}
+
+// EnrollExpect asserts on the enroll report.
+type EnrollExpect struct {
+	Verdict   string
+	Duplicate *bool
+	Conflict  *bool
+	Count     *int
+}
+
+// VerifyStep POSTs the chip to /v1/verify on the live daemon.
+type VerifyStep struct {
+	Chip   string
+	Expect *VerifyExpect
+}
+
+// VerifyExpect asserts on the verify report.
+type VerifyExpect struct {
+	// Verdict is the expected verdict string ("GENUINE", "DUPLICATE-ID", ...).
+	Verdict string
+	// Accepted asserts the accept/refuse decision.
+	Accepted *bool
+	// Escalated asserts whether the fleet registry escalated the
+	// physics verdict (the report carries a provenance reason).
+	Escalated *bool
+	// Fault asserts whether the report carries a device fault.
+	Fault *bool
+}
+
+// RestartStep closes the durable registry and reopens it from disk —
+// the registry-restart window, without SIGSTOP theatrics.
+type RestartStep struct{}
+
+// ExpectStep asserts on daemon /metrics counters and registry stats.
+type ExpectStep struct {
+	// Metrics maps /metrics series names to required exact values.
+	Metrics map[string]int64
+	// Registry asserts on the provenance store's Stats.
+	Registry *RegistryExpect
+}
+
+// RegistryExpect asserts on registry.Stats fields.
+type RegistryExpect struct {
+	Keys        *int64
+	Conflicts   *int64
+	Enrollments *int64
+}
+
+var nameRe = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]*$`)
+
+// Parse decodes and validates one scenario document.
+func Parse(data []byte) (*Scenario, error) {
+	root, err := parseYAML(data)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	sc, err := decodeScenario(root)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := sc.validate(); err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	return sc, nil
+}
+
+func decodeScenario(root *node) (*Scenario, error) {
+	if err := root.checkKeys("scenario", "name", "seed", "registry", "shards", "config", "steps"); err != nil {
+		return nil, err
+	}
+	sc := &Scenario{
+		Registry: RegistryNone,
+		Shards:   2,
+		Config: WorldConfig{
+			Backend:         "nor",
+			Part:            "FM-SIM16",
+			Key:             "scenario-key",
+			Manufacturer:    "TC",
+			RecyclingScreen: true,
+		},
+	}
+	n := root.get("name")
+	if n == nil {
+		return nil, errAt(root.line, "scenario needs a name")
+	}
+	var err error
+	if sc.Name, err = n.asString("name"); err != nil {
+		return nil, err
+	}
+	if n := root.get("seed"); n != nil {
+		if sc.Seed, err = n.asUint64("seed"); err != nil {
+			return nil, err
+		}
+	}
+	if n := root.get("registry"); n != nil {
+		s, err := n.asString("registry")
+		if err != nil {
+			return nil, err
+		}
+		sc.Registry = RegistryMode(s)
+	}
+	if n := root.get("shards"); n != nil {
+		if sc.Shards, err = n.asInt("shards"); err != nil {
+			return nil, err
+		}
+	}
+	if n := root.get("config"); n != nil {
+		if err := decodeConfig(n, &sc.Config); err != nil {
+			return nil, err
+		}
+	}
+	stepsNode := root.get("steps")
+	if stepsNode == nil {
+		return nil, errAt(root.line, "scenario needs steps")
+	}
+	if err := stepsNode.expect(kindSequence, "steps"); err != nil {
+		return nil, err
+	}
+	if len(stepsNode.items) > MaxSteps {
+		return nil, errAt(stepsNode.line, "scenario has %d steps (cap %d)", len(stepsNode.items), MaxSteps)
+	}
+	for _, item := range stepsNode.items {
+		step, err := decodeStep(item)
+		if err != nil {
+			return nil, err
+		}
+		sc.Steps = append(sc.Steps, step)
+	}
+	return sc, nil
+}
+
+func decodeConfig(n *node, cfg *WorldConfig) error {
+	if err := n.expect(kindMapping, "config"); err != nil {
+		return err
+	}
+	if err := n.checkKeys("config", "backend", "part", "key", "manufacturer",
+		"npe", "recycling-screen", "fault"); err != nil {
+		return err
+	}
+	var err error
+	if c := n.get("backend"); c != nil {
+		if cfg.Backend, err = c.asString("backend"); err != nil {
+			return err
+		}
+	}
+	if c := n.get("part"); c != nil {
+		if cfg.Part, err = c.asString("part"); err != nil {
+			return err
+		}
+	}
+	if c := n.get("key"); c != nil {
+		if cfg.Key, err = c.asString("key"); err != nil {
+			return err
+		}
+	}
+	if c := n.get("manufacturer"); c != nil {
+		if cfg.Manufacturer, err = c.asString("manufacturer"); err != nil {
+			return err
+		}
+	}
+	if c := n.get("npe"); c != nil {
+		if cfg.NPE, err = c.asInt("npe"); err != nil {
+			return err
+		}
+	}
+	if c := n.get("recycling-screen"); c != nil {
+		if cfg.RecyclingScreen, err = c.asBool("recycling-screen"); err != nil {
+			return err
+		}
+	}
+	if c := n.get("fault"); c != nil {
+		if err := c.expect(kindMapping, "fault"); err != nil {
+			return err
+		}
+		if err := c.checkKeys("fault", "seed", "erase-timeout", "read-bit-flip", "program-error"); err != nil {
+			return err
+		}
+		f := &FaultSpec{}
+		if v := c.get("seed"); v != nil {
+			if f.Seed, err = v.asUint64("fault.seed"); err != nil {
+				return err
+			}
+		}
+		if v := c.get("erase-timeout"); v != nil {
+			if f.EraseTimeout, err = v.asFloat("fault.erase-timeout"); err != nil {
+				return err
+			}
+		}
+		if v := c.get("read-bit-flip"); v != nil {
+			if f.ReadBitFlip, err = v.asFloat("fault.read-bit-flip"); err != nil {
+				return err
+			}
+		}
+		if v := c.get("program-error"); v != nil {
+			if f.ProgramError, err = v.asFloat("fault.program-error"); err != nil {
+				return err
+			}
+		}
+		cfg.Fault = f
+	}
+	return nil
+}
+
+// verbKeys are the step keys that carry a verb payload.
+var verbKeys = []string{
+	string(VerbFabricate), string(VerbImprint), string(VerbAge),
+	string(VerbStress), string(VerbClone), string(VerbEnroll),
+	string(VerbVerify), string(VerbRestartRegistry), string(VerbExpect),
+}
+
+func decodeStep(n *node) (Step, error) {
+	var st Step
+	if err := n.expect(kindMapping, "step"); err != nil {
+		return st, err
+	}
+	allowed := append([]string{"at", "name"}, verbKeys...)
+	if err := n.checkKeys("step", allowed...); err != nil {
+		return st, err
+	}
+	atNode := n.get("at")
+	if atNode == nil {
+		return st, errAt(n.line, "step needs an at: offset")
+	}
+	atStr, err := atNode.asString("at")
+	if err != nil {
+		return st, err
+	}
+	at, err := time.ParseDuration(atStr)
+	if err != nil {
+		return st, errAt(atNode.line, "bad at: offset %q: %v", atStr, err)
+	}
+	st.At = at
+	nameNode := n.get("name")
+	if nameNode == nil {
+		return st, errAt(n.line, "step needs a name")
+	}
+	if st.Name, err = nameNode.asString("name"); err != nil {
+		return st, err
+	}
+	var verbs []string
+	for _, k := range n.keys {
+		for _, v := range verbKeys {
+			if k == v {
+				verbs = append(verbs, k)
+			}
+		}
+	}
+	if len(verbs) != 1 {
+		return st, errAt(n.line, "step %q must carry exactly one verb, has %d", st.Name, len(verbs))
+	}
+	st.Verb = Verb(verbs[0])
+	body := n.get(verbs[0])
+	if err := body.expect(kindMapping, string(st.Verb)); err != nil {
+		return st, err
+	}
+	switch st.Verb {
+	case VerbFabricate:
+		st.Fabricate, err = decodeFabricate(body)
+	case VerbImprint:
+		st.Imprint, err = decodeImprint(body)
+	case VerbAge:
+		st.Age, err = decodeAge(body)
+	case VerbStress:
+		st.Stress, err = decodeStress(body)
+	case VerbClone:
+		st.Clone, err = decodeClone(body)
+	case VerbEnroll:
+		st.Enroll, err = decodeEnroll(body)
+	case VerbVerify:
+		st.Verify, err = decodeVerify(body)
+	case VerbRestartRegistry:
+		if kerr := body.checkKeys("restart-registry"); kerr != nil {
+			return st, kerr
+		}
+		st.RestartRegistry = &RestartStep{}
+	case VerbExpect:
+		st.Expect, err = decodeExpect(body)
+	}
+	return st, err
+}
+
+func chipRef(n *node, what string) (string, error) {
+	c := n.get("chip")
+	if c == nil {
+		return "", errAt(n.line, "%s needs a chip", what)
+	}
+	return c.asString(what + ".chip")
+}
+
+func decodeFabricate(n *node) (*FabricateStep, error) {
+	if err := n.checkKeys("fabricate", "chip", "class", "die", "seed"); err != nil {
+		return nil, err
+	}
+	f := &FabricateStep{}
+	var err error
+	if f.Chip, err = chipRef(n, "fabricate"); err != nil {
+		return nil, err
+	}
+	cl := n.get("class")
+	if cl == nil {
+		return nil, errAt(n.line, "fabricate needs a class")
+	}
+	if f.Class, err = cl.asString("fabricate.class"); err != nil {
+		return nil, err
+	}
+	if d := n.get("die"); d != nil {
+		if f.Die, err = d.asUint64("fabricate.die"); err != nil {
+			return nil, err
+		}
+	}
+	if s := n.get("seed"); s != nil {
+		v, err := s.asUint64("fabricate.seed")
+		if err != nil {
+			return nil, err
+		}
+		f.Seed = &v
+	}
+	return f, nil
+}
+
+func decodeImprint(n *node) (*ImprintStep, error) {
+	if err := n.checkKeys("imprint", "chip", "die", "status"); err != nil {
+		return nil, err
+	}
+	im := &ImprintStep{Status: "accept"}
+	var err error
+	if im.Chip, err = chipRef(n, "imprint"); err != nil {
+		return nil, err
+	}
+	if d := n.get("die"); d != nil {
+		if im.Die, err = d.asUint64("imprint.die"); err != nil {
+			return nil, err
+		}
+	}
+	if s := n.get("status"); s != nil {
+		if im.Status, err = s.asString("imprint.status"); err != nil {
+			return nil, err
+		}
+	}
+	return im, nil
+}
+
+func decodeAge(n *node) (*AgeStep, error) {
+	if err := n.checkKeys("age", "chip", "years"); err != nil {
+		return nil, err
+	}
+	a := &AgeStep{}
+	var err error
+	if a.Chip, err = chipRef(n, "age"); err != nil {
+		return nil, err
+	}
+	y := n.get("years")
+	if y == nil {
+		return nil, errAt(n.line, "age needs years")
+	}
+	if a.Years, err = y.asFloat("age.years"); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func decodeStress(n *node) (*StressStep, error) {
+	if err := n.checkKeys("stress", "chip", "cycles", "segments"); err != nil {
+		return nil, err
+	}
+	s := &StressStep{}
+	var err error
+	if s.Chip, err = chipRef(n, "stress"); err != nil {
+		return nil, err
+	}
+	if c := n.get("cycles"); c != nil {
+		if s.Cycles, err = c.asInt("stress.cycles"); err != nil {
+			return nil, err
+		}
+	}
+	if c := n.get("segments"); c != nil {
+		if s.Segments, err = c.asInt("stress.segments"); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func decodeClone(n *node) (*CloneStep, error) {
+	if err := n.checkKeys("clone", "chip", "of", "seed"); err != nil {
+		return nil, err
+	}
+	c := &CloneStep{}
+	var err error
+	if c.Chip, err = chipRef(n, "clone"); err != nil {
+		return nil, err
+	}
+	of := n.get("of")
+	if of == nil {
+		return nil, errAt(n.line, "clone needs of: the victim chip")
+	}
+	if c.Of, err = of.asString("clone.of"); err != nil {
+		return nil, err
+	}
+	if s := n.get("seed"); s != nil {
+		v, err := s.asUint64("clone.seed")
+		if err != nil {
+			return nil, err
+		}
+		c.Seed = &v
+	}
+	return c, nil
+}
+
+func decodeEnroll(n *node) (*EnrollStep, error) {
+	if err := n.checkKeys("enroll", "chip", "expect"); err != nil {
+		return nil, err
+	}
+	e := &EnrollStep{}
+	var err error
+	if e.Chip, err = chipRef(n, "enroll"); err != nil {
+		return nil, err
+	}
+	if x := n.get("expect"); x != nil {
+		if err := x.expect(kindMapping, "enroll.expect"); err != nil {
+			return nil, err
+		}
+		if err := x.checkKeys("enroll.expect", "verdict", "duplicate", "conflict", "count"); err != nil {
+			return nil, err
+		}
+		ex := &EnrollExpect{}
+		if v := x.get("verdict"); v != nil {
+			if ex.Verdict, err = v.asString("enroll.expect.verdict"); err != nil {
+				return nil, err
+			}
+		}
+		if v := x.get("duplicate"); v != nil {
+			b, err := v.asBool("enroll.expect.duplicate")
+			if err != nil {
+				return nil, err
+			}
+			ex.Duplicate = &b
+		}
+		if v := x.get("conflict"); v != nil {
+			b, err := v.asBool("enroll.expect.conflict")
+			if err != nil {
+				return nil, err
+			}
+			ex.Conflict = &b
+		}
+		if v := x.get("count"); v != nil {
+			c, err := v.asInt("enroll.expect.count")
+			if err != nil {
+				return nil, err
+			}
+			ex.Count = &c
+		}
+		e.Expect = ex
+	}
+	return e, nil
+}
+
+func decodeVerify(n *node) (*VerifyStep, error) {
+	if err := n.checkKeys("verify", "chip", "expect"); err != nil {
+		return nil, err
+	}
+	v := &VerifyStep{}
+	var err error
+	if v.Chip, err = chipRef(n, "verify"); err != nil {
+		return nil, err
+	}
+	if x := n.get("expect"); x != nil {
+		if err := x.expect(kindMapping, "verify.expect"); err != nil {
+			return nil, err
+		}
+		if err := x.checkKeys("verify.expect", "verdict", "accepted", "escalated", "fault"); err != nil {
+			return nil, err
+		}
+		ex := &VerifyExpect{}
+		if c := x.get("verdict"); c != nil {
+			if ex.Verdict, err = c.asString("verify.expect.verdict"); err != nil {
+				return nil, err
+			}
+		}
+		if c := x.get("accepted"); c != nil {
+			b, err := c.asBool("verify.expect.accepted")
+			if err != nil {
+				return nil, err
+			}
+			ex.Accepted = &b
+		}
+		if c := x.get("escalated"); c != nil {
+			b, err := c.asBool("verify.expect.escalated")
+			if err != nil {
+				return nil, err
+			}
+			ex.Escalated = &b
+		}
+		if c := x.get("fault"); c != nil {
+			b, err := c.asBool("verify.expect.fault")
+			if err != nil {
+				return nil, err
+			}
+			ex.Fault = &b
+		}
+		v.Expect = ex
+	}
+	return v, nil
+}
+
+func decodeExpect(n *node) (*ExpectStep, error) {
+	if err := n.checkKeys("expect", "metrics", "registry"); err != nil {
+		return nil, err
+	}
+	e := &ExpectStep{}
+	if m := n.get("metrics"); m != nil {
+		if err := m.expect(kindMapping, "expect.metrics"); err != nil {
+			return nil, err
+		}
+		e.Metrics = make(map[string]int64, len(m.keys))
+		for _, k := range m.keys {
+			v, err := m.fields[k].asInt64("expect.metrics." + k)
+			if err != nil {
+				return nil, err
+			}
+			e.Metrics[k] = v
+		}
+	}
+	if r := n.get("registry"); r != nil {
+		if err := r.expect(kindMapping, "expect.registry"); err != nil {
+			return nil, err
+		}
+		if err := r.checkKeys("expect.registry", "keys", "conflicts", "enrollments"); err != nil {
+			return nil, err
+		}
+		re := &RegistryExpect{}
+		for _, f := range []struct {
+			key string
+			dst **int64
+		}{{"keys", &re.Keys}, {"conflicts", &re.Conflicts}, {"enrollments", &re.Enrollments}} {
+			if v := r.get(f.key); v != nil {
+				x, err := v.asInt64("expect.registry." + f.key)
+				if err != nil {
+					return nil, err
+				}
+				*f.dst = &x
+			}
+		}
+		e.Registry = re
+	}
+	if e.Metrics == nil && e.Registry == nil {
+		return nil, errAt(n.line, "expect step asserts nothing")
+	}
+	return e, nil
+}
+
+// validate enforces the structural rules the engine relies on:
+// identifier discipline, forward-only time, chip dataflow, and mode
+// compatibility — everything checkable without running the world.
+func (sc *Scenario) validate() error {
+	if !nameRe.MatchString(sc.Name) {
+		return fmt.Errorf("invalid scenario name %q", sc.Name)
+	}
+	switch sc.Registry {
+	case RegistryNone, RegistryDurable, RegistryCluster:
+	default:
+		return fmt.Errorf("unknown registry mode %q (have none, durable, cluster)", sc.Registry)
+	}
+	if sc.Shards < 1 || sc.Shards > 8 {
+		return fmt.Errorf("shards must be in [1,8], got %d", sc.Shards)
+	}
+	switch sc.Config.Backend {
+	case "nor", "nand":
+	default:
+		return fmt.Errorf("unknown backend %q (have nor, nand)", sc.Config.Backend)
+	}
+	if sc.Config.NPE < 0 {
+		return fmt.Errorf("npe must be non-negative")
+	}
+	if f := sc.Config.Fault; f != nil {
+		for _, p := range []struct {
+			name string
+			v    float64
+		}{{"erase-timeout", f.EraseTimeout}, {"read-bit-flip", f.ReadBitFlip}, {"program-error", f.ProgramError}} {
+			if p.v < 0 || p.v > 1 {
+				return fmt.Errorf("fault.%s probability %v outside [0,1]", p.name, p.v)
+			}
+		}
+	}
+	if len(sc.Steps) == 0 {
+		return fmt.Errorf("scenario has no steps")
+	}
+	if !sort.SliceIsSorted(sc.Steps, func(i, j int) bool { return sc.Steps[i].At < sc.Steps[j].At }) {
+		return fmt.Errorf("step at: offsets must be non-decreasing (virtual time is forward-only)")
+	}
+	names := make(map[string]bool, len(sc.Steps))
+	chips := make(map[string]bool)
+	for i := range sc.Steps {
+		st := &sc.Steps[i]
+		if !nameRe.MatchString(st.Name) {
+			return fmt.Errorf("step %d: invalid name %q", i, st.Name)
+		}
+		if names[st.Name] {
+			return fmt.Errorf("duplicate step name %q", st.Name)
+		}
+		names[st.Name] = true
+		if st.At < 0 {
+			return fmt.Errorf("step %q: negative at: offset %v", st.Name, st.At)
+		}
+		if st.At > MaxAt {
+			return fmt.Errorf("step %q: at: offset %v exceeds the %v horizon", st.Name, st.At, MaxAt)
+		}
+		if err := sc.validateStep(st, chips); err != nil {
+			return fmt.Errorf("step %q: %w", st.Name, err)
+		}
+	}
+	return nil
+}
+
+func (sc *Scenario) validateStep(st *Step, chips map[string]bool) error {
+	defined := func(chip string) error {
+		if !nameRe.MatchString(chip) {
+			return fmt.Errorf("invalid chip name %q", chip)
+		}
+		if !chips[chip] {
+			return fmt.Errorf("chip %q not fabricated yet", chip)
+		}
+		return nil
+	}
+	fresh := func(chip string) error {
+		if !nameRe.MatchString(chip) {
+			return fmt.Errorf("invalid chip name %q", chip)
+		}
+		if chips[chip] {
+			return fmt.Errorf("chip %q already exists", chip)
+		}
+		if len(chips) >= MaxChips {
+			return fmt.Errorf("scenario defines more than %d chips", MaxChips)
+		}
+		chips[chip] = true
+		return nil
+	}
+	needRegistry := func(what string) error {
+		if sc.Registry == RegistryNone {
+			return fmt.Errorf("%s requires a registry (set registry: durable or cluster)", what)
+		}
+		return nil
+	}
+	switch st.Verb {
+	case VerbFabricate:
+		if _, err := classByName(st.Fabricate.Class); err != nil {
+			return err
+		}
+		return fresh(st.Fabricate.Chip)
+	case VerbImprint:
+		if st.Imprint.Status != "accept" && st.Imprint.Status != "reject" {
+			return fmt.Errorf("imprint status %q (want accept or reject)", st.Imprint.Status)
+		}
+		return defined(st.Imprint.Chip)
+	case VerbAge:
+		if st.Age.Years <= 0 {
+			return fmt.Errorf("age years must be positive, got %v", st.Age.Years)
+		}
+		return defined(st.Age.Chip)
+	case VerbStress:
+		if st.Stress.Cycles < 0 || st.Stress.Segments < 0 {
+			return fmt.Errorf("stress cycles/segments must be non-negative")
+		}
+		return defined(st.Stress.Chip)
+	case VerbClone:
+		if err := defined(st.Clone.Of); err != nil {
+			return err
+		}
+		return fresh(st.Clone.Chip)
+	case VerbEnroll:
+		if err := needRegistry("enroll"); err != nil {
+			return err
+		}
+		return defined(st.Enroll.Chip)
+	case VerbVerify:
+		return defined(st.Verify.Chip)
+	case VerbRestartRegistry:
+		if sc.Registry != RegistryDurable {
+			return fmt.Errorf("restart-registry requires registry: durable")
+		}
+		return nil
+	case VerbExpect:
+		if st.Expect.Registry != nil {
+			return needRegistry("expect.registry")
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown verb %q", st.Verb)
+}

@@ -1,0 +1,106 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// TranscriptFormat versions the canonical transcript schema. Bump it
+// whenever a field changes meaning; golden files carry it so a stale
+// corpus fails loudly instead of diffing confusingly.
+const TranscriptFormat = "flashmark-scenario-transcript/v1"
+
+// Transcript is the canonical record of one scenario run: every step's
+// verb-specific result in execution order. Given one scenario document,
+// the transcript is byte-identical across runs, platforms, and worker
+// counts — that invariant is what lets whole suites golden-diff.
+type Transcript struct {
+	Format   string       `json:"format"`
+	Scenario string       `json:"scenario"`
+	Seed     string       `json:"seed"`
+	Registry string       `json:"registry"`
+	Backend  string       `json:"backend"`
+	Steps    []StepRecord `json:"steps"`
+}
+
+// StepRecord is one executed step.
+type StepRecord struct {
+	Step int    `json:"step"`
+	Name string `json:"name"`
+	// At is the step's declared offset; Clock is the virtual-clock
+	// reading at execution. They are always equal — recording both makes
+	// the exact-instant contract visible in every golden file.
+	At     string          `json:"at"`
+	Clock  string          `json:"clock"`
+	Verb   string          `json:"verb"`
+	Result json.RawMessage `json:"result"`
+}
+
+// chipResult records a chip-mutating verb: which chip, what changed,
+// and the SHA-256 of its serialized state afterwards — the digest ties
+// the transcript to the exact bytes a verify step would upload.
+type chipResult struct {
+	Chip   string  `json:"chip"`
+	Class  string  `json:"class,omitempty"`
+	Part   string  `json:"part,omitempty"`
+	Die    *uint64 `json:"die,omitempty"`
+	Seed   string  `json:"seed,omitempty"`
+	Of     string  `json:"of,omitempty"`
+	Status string  `json:"status,omitempty"`
+	Years  float64 `json:"years,omitempty"`
+	Cycles int     `json:"cycles,omitempty"`
+	SHA256 string  `json:"sha256"`
+}
+
+// httpResult records a verify or enroll round trip: the HTTP status and
+// the daemon's raw JSON response, embedded compact and verbatim.
+type httpResult struct {
+	Chip   string          `json:"chip"`
+	Status int             `json:"status"`
+	Report json.RawMessage `json:"report"`
+}
+
+// expectResult records what an expect step actually observed. Metric
+// keys marshal sorted (encoding/json orders map keys), so the record is
+// canonical.
+type expectResult struct {
+	Metrics  map[string]int64 `json:"metrics,omitempty"`
+	Registry *registrySnap    `json:"registry,omitempty"`
+}
+
+// registrySnap is the registry-stats view recorded by expect and
+// restart-registry steps.
+type registrySnap struct {
+	Keys        int64 `json:"keys"`
+	Enrollments int64 `json:"enrollments"`
+	Conflicts   int64 `json:"conflicts"`
+}
+
+// Encode renders the transcript as indented canonical JSON with a
+// trailing newline — the byte stream golden files commit.
+func (t *Transcript) Encode() ([]byte, error) {
+	out, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: encoding transcript: %w", err)
+	}
+	return append(out, '\n'), nil
+}
+
+// marshalResult compacts a verb result into the transcript's RawMessage.
+func marshalResult(v any) (json.RawMessage, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: encoding step result: %w", err)
+	}
+	return b, nil
+}
+
+// compactJSON canonicalizes a daemon response body for embedding.
+func compactJSON(body []byte) (json.RawMessage, error) {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, bytes.TrimSpace(body)); err != nil {
+		return nil, fmt.Errorf("scenario: daemon answered invalid JSON: %w", err)
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,86 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestYAMLShapes drives parseYAML directly over the structural corners
+// the scenario documents themselves don't reach: dangling sequence
+// items, quoted keys, flow sequences, and the indentation errors.
+func TestYAMLShapes(t *testing.T) {
+	t.Run("item body on following lines", func(t *testing.T) {
+		root, err := parseYAML([]byte("steps:\n  -\n    at: 0s\n    name: a\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := root.fields["steps"]
+		if seq.kind != kindSequence || len(seq.items) != 1 {
+			t.Fatalf("got %s with %d items", seq.kind, len(seq.items))
+		}
+		if seq.items[0].fields["name"].scalar != "a" {
+			t.Fatalf("item decoded wrong: %+v", seq.items[0])
+		}
+	})
+	t.Run("flow sequence scalars", func(t *testing.T) {
+		root, err := parseYAML([]byte("xs: [1, two, \"three four\"]\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs := root.fields["xs"]
+		if len(xs.items) != 3 || xs.items[2].scalar != "three four" || !xs.items[2].quoted {
+			t.Fatalf("flow sequence decoded wrong: %+v", xs)
+		}
+	})
+	t.Run("quoted keys block and flow", func(t *testing.T) {
+		root, err := parseYAML([]byte("\"a b\": 1\nm: {\"c d\": 2}\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if root.fields["a b"] == nil || root.fields["m"].fields["c d"] == nil {
+			t.Fatalf("quoted keys lost: %+v", root.keys)
+		}
+	})
+	t.Run("empty flow collections", func(t *testing.T) {
+		root, err := parseYAML([]byte("m: {}\ns: []\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if root.fields["m"].kind != kindMapping || root.fields["s"].kind != kindSequence {
+			t.Fatal("empty flow collections decoded wrong")
+		}
+	})
+
+	rejects := map[string]struct{ doc, want string }{
+		"empty trailing item": {"xs:\n  -\n", "empty sequence item"},
+		"item inside mapping": {"a: 1\n- b\n", "sequence item inside a mapping"},
+		"no colon":            {"just words\n", "key: value"},
+		"empty key":           {": v\n", "empty mapping key"},
+		"over-indent":         {"a: 1\n    b: 2\n", "indentation"},
+		"unterminated quote":  {"a: \"open\n", "unterminated"},
+		"flow trailing junk":  {"a: {b: 1} extra\n", "trailing"},
+		"unclosed flow":       {"a: {b: 1\n", ""},
+		"long line":           {"a: " + strings.Repeat("x", maxLineBytes+1) + "\n", "line"},
+		"value anchor":        {"a: &x\n", "anchor"},
+		"value alias":         {"a: *x\n", "anchor"},
+	}
+	for label, tc := range rejects {
+		t.Run(label, func(t *testing.T) {
+			_, err := parseYAML([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("accepted %q", tc.doc)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("rejected for the wrong reason: %v (want %q)", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestNodeKindString pins the kind names used in decode error messages.
+func TestNodeKindString(t *testing.T) {
+	if kindScalar.String() != "scalar" || kindMapping.String() != "mapping" ||
+		kindSequence.String() != "sequence" || nodeKind(9).String() != "invalid" {
+		t.Fatal("nodeKind names drifted")
+	}
+}

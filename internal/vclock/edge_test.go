@@ -1,0 +1,118 @@
+package vclock
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestClockZeroAdvance(t *testing.T) {
+	var c Clock
+	c.Advance(0)
+	if c.Now() != 0 {
+		t.Fatalf("zero advance moved the clock to %v", c.Now())
+	}
+	c.Advance(time.Hour)
+	c.Advance(0)
+	if c.Now() != time.Hour {
+		t.Fatalf("zero advance moved the clock to %v", c.Now())
+	}
+}
+
+func TestClockAdvanceToHorizon(t *testing.T) {
+	var c Clock
+	// The full int64 range in one step is legal...
+	c.Advance(time.Duration(math.MaxInt64))
+	if c.Now() != time.Duration(math.MaxInt64) {
+		t.Fatalf("clock at %v, want the horizon", c.Now())
+	}
+	// ...and so is holding position there.
+	c.Advance(0)
+	if c.Now() != time.Duration(math.MaxInt64) {
+		t.Fatalf("zero advance at the horizon moved the clock to %v", c.Now())
+	}
+}
+
+func TestClockOverflowPanics(t *testing.T) {
+	cases := []struct {
+		name  string
+		start time.Duration
+		step  time.Duration
+	}{
+		{"one past the horizon", math.MaxInt64, 1},
+		{"large on large", math.MaxInt64 / 2, math.MaxInt64/2 + 2},
+		{"max on one", 1, math.MaxInt64},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var c Clock
+			c.Advance(tc.start)
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("overflowing advance did not panic (clock now %v)", c.Now())
+				}
+				if !strings.Contains(r.(string), "overflow") {
+					t.Fatalf("panic for the wrong reason: %v", r)
+				}
+			}()
+			c.Advance(tc.step)
+		})
+	}
+}
+
+// TestClockOverflowAdjacentSum checks the guard rejects exactly the
+// first overflowing sum and accepts exactly the last legal one.
+func TestClockOverflowAdjacentSum(t *testing.T) {
+	var c Clock
+	c.Advance(time.Duration(math.MaxInt64) - time.Nanosecond)
+	c.Advance(time.Nanosecond) // lands exactly on MaxInt64: legal
+	if c.Now() != time.Duration(math.MaxInt64) {
+		t.Fatalf("clock at %v", c.Now())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("advance past the horizon did not panic")
+		}
+	}()
+	c.Advance(time.Nanosecond)
+}
+
+// TestTraceZeroDurationAtSharedInstant pins the VCD export of
+// zero-duration events: the pulse is widened to 1 ns so the signal
+// still blips, and two events at the same instant keep a single
+// timestamp record.
+func TestTraceZeroDurationAtSharedInstant(t *testing.T) {
+	tr := NewTrace(0)
+	tr.Record(OpRead, 0x10, 5*time.Nanosecond, 0)
+	tr.Record(OpProgram, 0x20, 5*time.Nanosecond, 0)
+	var b strings.Builder
+	if err := tr.WriteVCD(&b, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "#5\n") != 1 {
+		t.Errorf("shared instant emitted more than one #5 record:\n%s", out)
+	}
+	if !strings.Contains(out, "#6") {
+		t.Errorf("zero-duration pulses were not widened to 1ns:\n%s", out)
+	}
+}
+
+// TestTraceTextZeroAndHugeOffsets checks the text renderer handles a
+// zero-duration event at t=0 and an event near the duration horizon.
+func TestTraceTextZeroAndHugeOffsets(t *testing.T) {
+	tr := NewTrace(0)
+	tr.Record(OpOverhead, -1, 0, 0)
+	huge := time.Duration(math.MaxInt64) - time.Hour
+	tr.Record(OpErase, 0, huge, time.Minute)
+	var b strings.Builder
+	if err := tr.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "0s") || !strings.Contains(out, huge.String()) {
+		t.Errorf("unexpected text trace:\n%s", out)
+	}
+}

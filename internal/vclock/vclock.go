@@ -12,6 +12,7 @@ package vclock
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"time"
@@ -27,9 +28,14 @@ func (c *Clock) Now() time.Duration { return c.now }
 
 // Advance moves virtual time forward by d. Negative advances are a
 // programming error and panic: simulated hardware time never runs backward.
+// Advances that would overflow the int64 nanosecond counter panic too —
+// silent wraparound would send time backward, the same invariant violation.
 func (c *Clock) Advance(d time.Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("vclock: negative advance %v", d))
+	}
+	if c.now > math.MaxInt64-d {
+		panic(fmt.Sprintf("vclock: advance %v overflows clock at %v", d, c.now))
 	}
 	c.now += d
 }

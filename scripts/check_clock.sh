@@ -32,4 +32,25 @@ if [ -n "$violations" ]; then
     exit 1
 fi
 
-echo "clock guardrail OK (no direct time.Now/time.Since under internal/ or the daemons)"
+# Sleeping is the write-side twin of reading the clock: a time.Sleep in
+# production code stalls real wall time where the scenario engine
+# (internal/scenario) needs every delay to be a virtual-clock advance,
+# and it turns any test touching that path into a real-time wait.
+# Back-off and delay logic must take its pauses from an injected timer
+# or the vclock timeline, never the scheduler.
+sleeps=$(
+    find "$root/internal" "$root/cmd/fmverifyd" "$root/cmd/fmregistryd" \
+        -name '*.go' ! -name '*_test.go' \
+        ! -path "$root/internal/wallclock/*" -print0 |
+        xargs -0 grep -n 'time\.Sleep(' /dev/null |
+        grep -v 'check_clock:allow' || true
+)
+
+if [ -n "$sleeps" ]; then
+    echo "FAIL: time.Sleep in internal/ production code (delays must come" >&2
+    echo "from an injected timer or the virtual clock, not the scheduler):" >&2
+    echo "$sleeps" >&2
+    exit 1
+fi
+
+echo "clock guardrail OK (no direct time.Now/time.Since/time.Sleep under internal/ or the daemons)"

@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# Scenario determinism gate: replay the embedded corpus twice and demand
+# byte-identical transcripts.
+#
+# Each fmscenario run already byte-diffs every transcript against its
+# committed golden (internal/scenario/corpus/golden), so a single green
+# run proves the corpus still produces exactly the recorded timelines.
+# Running it twice — once at the default worker count, once serialized
+# with -workers 1 — and diffing the two -out directories additionally
+# proves the engine is deterministic under scheduling: no hidden wall
+# clock, map-iteration order, or cross-scenario state can leak into a
+# transcript, or the byte diff catches it.
+#
+# Usage: scripts/scenarios_check.sh [outdir]
+#
+# Artifacts left in outdir for CI upload: both transcript sets
+# (run_parallel/, run_serial/) and the per-run logs.
+set -eu
+
+out=${1:-scenarios-out}
+mkdir -p "$out"
+rm -rf "$out/run_parallel" "$out/run_serial"
+
+echo "== build fmscenario"
+go build -o "$out/fmscenario" ./cmd/fmscenario
+
+echo "== run 1: embedded corpus vs goldens (parallel workers)"
+"$out/fmscenario" -out "$out/run_parallel" | tee "$out/run_parallel.log"
+
+echo "== run 2: embedded corpus vs goldens (-workers 1)"
+"$out/fmscenario" -workers 1 -out "$out/run_serial" | tee "$out/run_serial.log"
+
+echo "== byte-diff the two transcript sets"
+if ! diff -r "$out/run_parallel" "$out/run_serial"; then
+    echo "FAIL: transcripts differ between parallel and serial runs" >&2
+    exit 1
+fi
+
+count=$(ls "$out/run_parallel" | wc -l)
+echo "scenarios gate OK ($count transcripts byte-identical across runs and golden-clean)"
