@@ -6,6 +6,7 @@
 //
 //	flashmark new -chip die1.chip -part MSP430F5438 -seed 42
 //	flashmark new -chip nand1.chip -backend nand -seed 7
+//	flashmark new -chip rram1.chip -backend reram -seed 9
 //	flashmark imprint -chip die1.chip -mfg TC -die 1001 -status accept -npe 80000 -key secret
 //	flashmark extract -chip die1.chip -tpew 25us
 //	flashmark verify -chip die1.chip -mfg TC -key secret
@@ -17,9 +18,10 @@
 // and analog state, so repeated invocations behave like repeated bench
 // sessions with one physical chip. Chip files self-describe their
 // backend ("flashmark-chip" for NOR parts, "flashmark-nand-chip" for the
-// NAND adapter), so every command after `new` works on either substrate
-// unchanged; capabilities a backend lacks (wear maps, aging, VCD traces)
-// fail with an explicit message instead of silently degrading.
+// NAND adapter, "flashmark-reram-chip" for the ReRAM backend), so every
+// command after `new` works on any substrate unchanged; capabilities a
+// backend lacks (wear maps, aging, VCD traces) fail with an explicit
+// message instead of silently degrading.
 package main
 
 import (
@@ -40,6 +42,7 @@ import (
 	"github.com/flashmark/flashmark/internal/floatgate"
 	"github.com/flashmark/flashmark/internal/mcu"
 	"github.com/flashmark/flashmark/internal/nand"
+	"github.com/flashmark/flashmark/internal/reram"
 	"github.com/flashmark/flashmark/internal/vclock"
 	"github.com/flashmark/flashmark/internal/wmcode"
 )
@@ -273,6 +276,8 @@ func loadChip(path string) (device.Device, error) {
 	switch head.Format {
 	case "flashmark-nand-chip":
 		return nand.LoadAdapter(bytes.NewReader(raw))
+	case reram.ChipFormat:
+		return reram.Load(bytes.NewReader(raw))
 	default:
 		return mcu.LoadDevice(bytes.NewReader(raw))
 	}
@@ -293,7 +298,7 @@ func saveChip(dev device.Device, path string) error {
 func cmdNew(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("new", flag.ContinueOnError)
 	chip := fs.String("chip", "", "chip file to create (required)")
-	backend := fs.String("backend", "nor", "flash substrate: nor or nand")
+	backend := fs.String("backend", "nor", "flash substrate: nor, nand or reram")
 	partName := fs.String("part", "FM-SIM16", "part name (NOR backend)")
 	seed := fs.Uint64("seed", 1, "die physical identity seed")
 	if err := fs.Parse(args); err != nil {
@@ -319,8 +324,14 @@ func cmdNew(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+	case "reram":
+		var err error
+		dev, err = reram.Open(reram.DefaultGeometry(), reram.OxRAMTiming(), reram.DefaultParams(), *seed)
+		if err != nil {
+			return err
+		}
 	default:
-		return fmt.Errorf("new: unknown backend %q (have nor, nand)", *backend)
+		return fmt.Errorf("new: unknown backend %q (have nor, nand, reram)", *backend)
 	}
 	if err := saveChip(dev, *chip); err != nil {
 		return err

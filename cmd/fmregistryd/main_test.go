@@ -2,10 +2,17 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
+
+	"github.com/flashmark/flashmark/internal/registry"
 )
 
 func TestRunVersion(t *testing.T) {
@@ -59,5 +66,80 @@ func TestRunRejectsUnopenableDir(t *testing.T) {
 	err := run([]string{"-dir", blocker}, &out)
 	if err == nil || !strings.Contains(err.Error(), "registry") {
 		t.Fatalf("unopenable dir must fail with context, got %v", err)
+	}
+}
+
+// freePort reserves a loopback port long enough to hand its address to
+// a daemon under test.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestRunLifecycle boots the daemon for real — wire listener, metrics
+// listener, one enrollment over the wire protocol — then delivers
+// SIGTERM and requires a clean (nil-error) shutdown.
+func TestRunLifecycle(t *testing.T) {
+	addr := freePort(t)
+	maddr := freePort(t)
+	done := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		done <- run([]string{"-addr", addr, "-dir", t.TempDir(), "-metrics-addr", maddr}, &out)
+	}()
+
+	rc := registry.NewRemote(addr, registry.RemoteOptions{Timeout: time.Second})
+	defer rc.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := rc.Ping(); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never answered a ping")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	res, err := rc.Enroll(registry.Enrollment{
+		Key:       registry.Key{Manufacturer: "TC", DieID: 4242},
+		Source:    "lifecycle-test",
+		UnixMicro: 1722470400000000,
+	})
+	if err != nil || res.Count != 1 {
+		t.Fatalf("enroll over the wire: %+v err %v", res, err)
+	}
+
+	mresp, err := http.Get("http://" + maddr + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics listener: %v", err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(body), "fmregistry_keys 1") {
+		t.Fatalf("metrics missing the enrolled key:\n%s", body)
+	}
+	if hresp, err := http.Get("http://" + maddr + "/healthz"); err != nil || hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", hresp, err)
+	} else {
+		hresp.Body.Close()
+	}
+
+	time.Sleep(200 * time.Millisecond) // signal handler is installed after the listeners
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v on SIGTERM", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down on SIGTERM")
 	}
 }

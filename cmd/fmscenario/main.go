@@ -1,7 +1,7 @@
 // Command fmscenario runs temporal supply-chain scenarios: declarative
 // YAML timelines (internal/scenario) whose steps fabricate, age, clone,
-// enroll, and verify chips against a live in-process fmverifyd over the
-// virtual clock.
+// enroll, verify, and challenge chips against a live in-process
+// fmverifyd over the virtual clock.
 //
 // By default it replays the embedded corpus (internal/scenario/corpus)
 // and byte-diffs every transcript against its committed golden:

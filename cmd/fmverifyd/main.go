@@ -12,6 +12,7 @@
 //	fmverifyd -addr :8900 -key secret -mfg TC
 //	fmverifyd -addr :8900 -key secret -workers 8 -queue 128 -timeout 10s
 //	fmverifyd -addr :8900 -key secret -registry-dir /var/lib/fmverifyd/registry
+//	fmverifyd -addr :8900 -key secret -registry-dir /var/lib/fmverifyd/registry -challenge
 //	fmverifyd -addr :8900 -key secret -cluster "10.0.0.1:8910,10.0.0.2:8910;10.0.1.1:8910,10.0.1.2:8910"
 //	fmverifyd -version
 //
@@ -27,8 +28,16 @@
 // stays stateless — any number of fmverifyd replicas can front the same
 // cluster.
 //
+// With -challenge (requires a registry) the daemon additionally runs
+// the challenge-response plane (internal/challenge): enrollment records
+// each chip's response fingerprint, and POST /v1/challenge escalates a
+// chip whose die answers the challenge differently than enrolled — the
+// second identity axis that catches replay-imprint clones physics
+// verification alone cannot.
+//
 // Endpoints: POST /v1/verify, POST /v1/verify/batch, POST /v1/enroll,
-// GET /healthz, GET /readyz, GET /metrics, GET /debug/vars.
+// POST /v1/challenge, GET /healthz, GET /readyz, GET /metrics,
+// GET /debug/vars.
 package main
 
 import (
@@ -46,6 +55,7 @@ import (
 	"time"
 
 	"github.com/flashmark/flashmark/internal/buildinfo"
+	"github.com/flashmark/flashmark/internal/challenge"
 	"github.com/flashmark/flashmark/internal/cluster"
 	"github.com/flashmark/flashmark/internal/counterfeit"
 	"github.com/flashmark/flashmark/internal/registry"
@@ -79,6 +89,8 @@ func run(args []string, out io.Writer) error {
 		regDir   = fs.String("registry-dir", "", "directory for the durable provenance registry (empty disables /v1/enroll and DUPLICATE-ID escalation)")
 		regShard = fs.Int("registry-shards", 0, "registry index lock stripes (0 selects the default)")
 		clusterA = fs.String("cluster", "", "sharded registry cluster membership, primary[,follower] per shard joined with ';' (mutually exclusive with -registry-dir)")
+		chal     = fs.Bool("challenge", false, "enable the /v1/challenge challenge-response plane (requires a registry)")
+		chalN    = fs.Uint64("challenge-nonce", 0, "challenge nonce selecting the probed cell population (0 selects the default)")
 		pprofAt  = fs.String("pprof-addr", "", "separate listen address for net/http/pprof profiling endpoints (empty disables profiling)")
 		version  = fs.Bool("version", false, "print build version and exit")
 	)
@@ -145,6 +157,14 @@ func run(args []string, out io.Writer) error {
 	}
 	if clusterStore != nil {
 		cfg.Provenance = clusterStore
+	}
+	if *chal {
+		if cfg.Provenance == nil {
+			return errors.New("-challenge requires a registry (-registry-dir or -cluster): response fingerprints are enrolled into it")
+		}
+		cfg.Challenge = &challenge.Policy{Nonce: *chalN}
+	} else if *chalN != 0 {
+		return errors.New("-challenge-nonce has no effect without -challenge")
 	}
 	srv, err := service.New(cfg)
 	if err != nil {

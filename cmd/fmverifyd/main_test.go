@@ -2,12 +2,15 @@ package main
 
 import (
 	"bytes"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 func TestRunVersion(t *testing.T) {
@@ -82,5 +85,105 @@ func TestRunRejectsCorruptRegistry(t *testing.T) {
 	err := run([]string{"-key", "k", "-registry-dir", dir}, &out)
 	if err == nil || !strings.Contains(err.Error(), "corrupt") {
 		t.Fatalf("corrupt registry must fail loudly, got %v", err)
+	}
+}
+
+func TestRunFlagConflicts(t *testing.T) {
+	cases := map[string]struct {
+		args []string
+		want string
+	}{
+		"registry-and-cluster": {
+			[]string{"-key", "k", "-registry-dir", "x", "-cluster", "127.0.0.1:1"},
+			"mutually exclusive",
+		},
+		"challenge-without-registry": {
+			[]string{"-key", "k", "-challenge"},
+			"-challenge requires a registry",
+		},
+		"nonce-without-challenge": {
+			[]string{"-key", "k", "-challenge-nonce", "7"},
+			"no effect without -challenge",
+		},
+		"bad-cluster-spec": {
+			[]string{"-key", "k", "-cluster", ";;;"},
+			"cluster",
+		},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run(tc.args, &out)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// freePort reserves a loopback port long enough to hand its address to
+// the daemon under test.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestRunLifecycle boots the daemon for real — service listener with a
+// durable registry and the challenge plane, plus the pprof listener —
+// then delivers SIGTERM and requires a clean drain.
+func TestRunLifecycle(t *testing.T) {
+	addr := freePort(t)
+	paddr := freePort(t)
+	done := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		done <- run([]string{
+			"-addr", addr, "-key", "lifecycle-key",
+			"-registry-dir", t.TempDir(), "-challenge", "-challenge-nonce", "7",
+			"-pprof-addr", paddr,
+		}, &out)
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never became healthy")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// The challenge plane is routed (405 for GET, not 404).
+	resp, err := http.Get("http://" + addr + "/v1/challenge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/challenge = %d, want %d", resp.StatusCode, http.StatusMethodNotAllowed)
+	}
+
+	time.Sleep(200 * time.Millisecond) // signal handler is installed after the listeners
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v on SIGTERM", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain on SIGTERM")
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"github.com/flashmark/flashmark/internal/floatgate"
 	"github.com/flashmark/flashmark/internal/mcu"
 	"github.com/flashmark/flashmark/internal/nand"
+	"github.com/flashmark/flashmark/internal/reram"
 )
 
 // TestConformance runs the backend contract suite over every shipped
@@ -26,6 +27,8 @@ func TestConformance(t *testing.T) {
 	}
 
 	devicetest.Run(t, "NAND-SIM", nand.Fab(nand.SmallNAND(), nand.SLCTiming(), floatgate.DefaultParams()))
+
+	devicetest.Run(t, "RERAM-CB16", reram.DefaultFab())
 
 	base := mcu.Fab(mcu.PartSmallSim())
 	devicetest.Run(t, "FM-SIM16+faults-off", func(seed uint64) (device.Device, error) {
@@ -48,5 +51,20 @@ func TestConformance(t *testing.T) {
 			return nil, err
 		}
 		return device.Record(device.InjectFaults(d, device.FaultConfig{Seed: seed})), nil
+	})
+	reramFab := reram.DefaultFab()
+	devicetest.Run(t, "RERAM-CB16+faults-off", func(seed uint64) (device.Device, error) {
+		d, err := reramFab(seed)
+		if err != nil {
+			return nil, err
+		}
+		return device.InjectFaults(d, device.FaultConfig{Seed: seed}), nil
+	})
+	devicetest.Run(t, "RERAM-CB16+recorder", func(seed uint64) (device.Device, error) {
+		d, err := reramFab(seed)
+		if err != nil {
+			return nil, err
+		}
+		return device.Record(d), nil
 	})
 }

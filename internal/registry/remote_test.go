@@ -1,0 +1,270 @@
+package registry_test
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/flashmark/flashmark/internal/cluster"
+	"github.com/flashmark/flashmark/internal/registry"
+)
+
+// These tests live in an external test package so they can stand up a
+// real fmregistryd-style node (internal/cluster serves the wire
+// protocol) and drive the Remote client against it over loopback —
+// the registry-side half of what cluster's own tests exercise from
+// the node side.
+
+// startWireNode serves a fresh durable store on a loopback port.
+func startWireNode(t *testing.T, cfg cluster.NodeConfig) (string, *registry.Durable) {
+	t.Helper()
+	store, err := registry.Open(t.TempDir(), registry.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Store = store
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	node, err := cluster.NewNode(cfg)
+	if err != nil {
+		store.Close()
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		store.Close()
+		t.Fatal(err)
+	}
+	go node.Serve(ln)
+	t.Cleanup(func() {
+		node.Close()
+		store.Close()
+	})
+	return ln.Addr().String(), store
+}
+
+func remoteEnr(die uint64, fpb byte) registry.Enrollment {
+	var fp registry.Fingerprint
+	fp[0] = fpb
+	return registry.Enrollment{
+		Key:         registry.Key{Manufacturer: "TC", DieID: die},
+		Fingerprint: fp,
+		Source:      "remote-test",
+		UnixMicro:   1722470400000000,
+	}
+}
+
+// TestRemoteRoundTrips drives every read and write verb of the wire
+// client against a live solo primary.
+func TestRemoteRoundTrips(t *testing.T) {
+	addr, _ := startWireNode(t, cluster.NodeConfig{Role: cluster.RolePrimary})
+	r := registry.NewRemote(addr, registry.RemoteOptions{Timeout: 2 * time.Second})
+	defer r.Close()
+
+	if got := r.Addr(); got != addr {
+		t.Fatalf("Addr = %q, want %q", got, addr)
+	}
+	role, err := r.Ping()
+	if err != nil || role != registry.RolePrimaryByte {
+		t.Fatalf("ping: role %c err %v", role, err)
+	}
+
+	res, err := r.Enroll(remoteEnr(7001, 0xA1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 1 || res.Duplicate || res.Conflict {
+		t.Fatalf("first enrollment: %+v", res)
+	}
+	// A second sighting under a different fingerprint: duplicate and
+	// sticky conflict.
+	res, err = r.Enroll(remoteEnr(7001, 0xB2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 2 || !res.Duplicate || !res.Conflict {
+		t.Fatalf("conflicting enrollment: %+v", res)
+	}
+
+	key := registry.Key{Manufacturer: "TC", DieID: 7001}
+	lr, found, err := r.LookupErr(key)
+	if err != nil || !found {
+		t.Fatalf("LookupErr: found %v err %v", found, err)
+	}
+	if lr.Count != 2 || !lr.Conflict || lr.Fingerprint[0] != 0xA1 {
+		t.Fatalf("lookup state: %+v", lr)
+	}
+	if _, found, err := r.LookupErr(registry.Key{Manufacturer: "TC", DieID: 9999}); err != nil || found {
+		t.Fatalf("LookupErr miss: found %v err %v", found, err)
+	}
+	if lr, found := r.Lookup(key); !found || lr.Count != 2 {
+		t.Fatalf("Lookup: found %v state %+v", found, lr)
+	}
+	if !r.SeenBefore(key) {
+		t.Fatal("SeenBefore(enrolled) = false")
+	}
+	if r.SeenBefore(registry.Key{Manufacturer: "TC", DieID: 9999}) {
+		t.Fatal("SeenBefore(unknown) = true")
+	}
+
+	s, err := r.StatsErr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Keys != 1 || s.Enrollments != 2 || s.Conflicts != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s := r.Stats(); s.Keys != 1 {
+		t.Fatalf("Stats: %+v", s)
+	}
+
+	keys := []registry.Key{key, {Manufacturer: "TC", DieID: 9999}, key}
+	results, hits, err := r.LookupBatch(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hits[0] || hits[1] || !hits[2] {
+		t.Fatalf("batch hits: %v", hits)
+	}
+	if results[0].Count != 2 || results[2].Count != 2 {
+		t.Fatalf("batch results: %+v", results)
+	}
+
+	if err := r.Promote(); err != nil { // idempotent on a primary
+		t.Fatalf("promote: %v", err)
+	}
+	if n := r.Errors(); n != 0 {
+		t.Fatalf("Errors = %d after an error-free run", n)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+// TestRemoteFailOpen points the client at a dead port: reads fail open
+// (not found / zero) while counting the degradations, and the
+// error-bearing variants surface the transport failure.
+func TestRemoteFailOpen(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+
+	r := registry.NewRemote(dead, registry.RemoteOptions{Timeout: 200 * time.Millisecond})
+	defer r.Close()
+	key := registry.Key{Manufacturer: "TC", DieID: 1}
+	if _, found := r.Lookup(key); found {
+		t.Fatal("Lookup against a dead node reported found")
+	}
+	if r.SeenBefore(key) {
+		t.Fatal("SeenBefore against a dead node reported true")
+	}
+	if s := r.Stats(); s != (registry.Stats{}) {
+		t.Fatalf("Stats against a dead node: %+v", s)
+	}
+	if got := r.Errors(); got != 3 {
+		t.Fatalf("Errors = %d, want 3", got)
+	}
+	if _, _, err := r.LookupErr(key); err == nil {
+		t.Fatal("LookupErr against a dead node returned no error")
+	}
+	if _, err := r.Enroll(remoteEnr(1, 1)); err == nil {
+		t.Fatal("Enroll against a dead node returned no error")
+	}
+}
+
+// TestRemoteOpError checks an application-level refusal travels back
+// as *OpError, distinct from transport failures: enrolling on a fenced
+// primary (required follower link down) is refused by the node.
+func TestRemoteOpError(t *testing.T) {
+	addr, _ := startWireNode(t, cluster.NodeConfig{
+		Role:            cluster.RolePrimary,
+		FollowerAddr:    "127.0.0.1:1", // never up
+		RequireFollower: true,
+		ReconnectEvery:  10 * time.Millisecond,
+	})
+	r := registry.NewRemote(addr, registry.RemoteOptions{Timeout: 2 * time.Second})
+	defer r.Close()
+	_, err := r.Enroll(remoteEnr(42, 0x42))
+	var oe *registry.OpError
+	if !errors.As(err, &oe) {
+		t.Fatalf("error = %v (%T), want *registry.OpError", err, err)
+	}
+	if !strings.Contains(oe.Error(), "registry: remote:") {
+		t.Fatalf("OpError text: %q", oe.Error())
+	}
+	// The refusal was processed, not degraded transport: reads count no
+	// fail-opens against this node.
+	if r.SeenBefore(registry.Key{Manufacturer: "TC", DieID: 42}) {
+		t.Fatal("fenced enrollment landed anyway")
+	}
+	if got := r.Errors(); got != 0 {
+		t.Fatalf("Errors = %d after an application-level refusal", got)
+	}
+}
+
+// TestRangeAndImportState pins snapshot shipping's two halves on the
+// durable store directly: Range enumerates every enrolled key (with
+// early stop), and ImportState atomically replaces a second store's
+// contents with the shipped state.
+func TestRangeAndImportState(t *testing.T) {
+	src, err := registry.Open(t.TempDir(), registry.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	for die := uint64(1); die <= 3; die++ {
+		if _, err := src.Enroll(remoteEnr(die, byte(die))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var state []registry.LookupResult
+	src.Range(func(k registry.Key, lr registry.LookupResult) bool {
+		state = append(state, lr)
+		return true
+	})
+	if len(state) != 3 {
+		t.Fatalf("Range yielded %d entries, want 3", len(state))
+	}
+	stopped := 0
+	src.Range(func(k registry.Key, lr registry.LookupResult) bool {
+		stopped++
+		return false
+	})
+	if stopped != 1 {
+		t.Fatalf("Range ignored the early stop (saw %d entries)", stopped)
+	}
+
+	dst, err := registry.Open(t.TempDir(), registry.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if _, err := dst.Enroll(remoteEnr(99, 0x99)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.ImportState(state); err != nil {
+		t.Fatal(err)
+	}
+	if s := dst.Stats(); s.Keys != 3 {
+		t.Fatalf("imported store has %d keys, want 3", s.Keys)
+	}
+	if dst.SeenBefore(registry.Key{Manufacturer: "TC", DieID: 99}) {
+		t.Fatal("pre-import key survived ImportState")
+	}
+	for die := uint64(1); die <= 3; die++ {
+		lr, found := dst.Lookup(registry.Key{Manufacturer: "TC", DieID: die})
+		if !found || lr.Fingerprint[0] != byte(die) {
+			t.Fatalf("die %d after import: found %v state %+v", die, found, lr)
+		}
+	}
+}

@@ -16,12 +16,14 @@ import (
 	"strings"
 	"time"
 
+	"github.com/flashmark/flashmark/internal/challenge"
 	"github.com/flashmark/flashmark/internal/counterfeit"
 	"github.com/flashmark/flashmark/internal/device"
 	"github.com/flashmark/flashmark/internal/floatgate"
 	"github.com/flashmark/flashmark/internal/mcu"
 	"github.com/flashmark/flashmark/internal/nand"
 	"github.com/flashmark/flashmark/internal/registry"
+	"github.com/flashmark/flashmark/internal/reram"
 	"github.com/flashmark/flashmark/internal/rng"
 	"github.com/flashmark/flashmark/internal/service"
 	"github.com/flashmark/flashmark/internal/vclock"
@@ -142,6 +144,8 @@ func (w *world) start(workDir string) error {
 		fab = mcu.Fab(part)
 	case "nand":
 		fab = nand.Fab(nand.SmallNAND(), nand.SLCTiming(), floatgate.DefaultParams())
+	case "reram":
+		fab = reram.DefaultFab()
 	default:
 		return fmt.Errorf("scenario: unknown backend %q", cfg.Backend)
 	}
@@ -191,6 +195,15 @@ func (w *world) start(workDir string) error {
 	if w.plane != nil {
 		svcCfg.Provenance = w.plane.store()
 	}
+	if cfg.Challenge {
+		// The nonce splits from the scenario seed so every scenario
+		// probes its own cell population; a zero draw falls back to the
+		// policy default nonce — still a pure function of the document.
+		svcCfg.Challenge = &challenge.Policy{
+			Nonce: rng.New(w.sc.Seed).Split(0x43525021).Uint64(),
+		}
+	}
+	svcCfg.OmitDeviceFingerprint = !cfg.OracleFingerprint
 	srv, err := service.New(svcCfg)
 	if err != nil {
 		w.stopPlane()
@@ -281,6 +294,8 @@ func (w *world) execute(st *Step) (json.RawMessage, error) {
 		return w.execEnroll(st.Enroll)
 	case VerbVerify:
 		return w.execVerify(st.Verify)
+	case VerbChallenge:
+		return w.execChallenge(st.Challenge)
 	case VerbRestartRegistry:
 		return w.execRestart()
 	case VerbExpect:
@@ -508,6 +523,44 @@ func (w *world) execEnroll(e *EnrollStep) (json.RawMessage, error) {
 		return nil, err
 	}
 	return marshalResult(httpResult{Chip: e.Chip, Status: status, Report: raw})
+}
+
+func (w *world) execChallenge(ch *ChallengeStep) (json.RawMessage, error) {
+	c, err := w.chip(ch.Chip)
+	if err != nil {
+		return nil, err
+	}
+	body, err := c.chipBytes()
+	if err != nil {
+		return nil, err
+	}
+	status, respBody, err := w.post("/v1/challenge", body)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("challenge %q: HTTP %d: %s", ch.Chip, status, strings.TrimSpace(string(respBody)))
+	}
+	var rep service.ChallengeReport
+	if err := json.Unmarshal(respBody, &rep); err != nil {
+		return nil, fmt.Errorf("challenge %q: decoding report: %w", ch.Chip, err)
+	}
+	if x := ch.Expect; x != nil {
+		if x.Verdict != "" && rep.Verdict != x.Verdict {
+			return nil, fmt.Errorf("challenge %q: verdict %s, want %s", ch.Chip, rep.Verdict, x.Verdict)
+		}
+		if x.Enrolled != nil && rep.Enrolled != *x.Enrolled {
+			return nil, fmt.Errorf("challenge %q: enrolled=%v, want %v", ch.Chip, rep.Enrolled, *x.Enrolled)
+		}
+		if x.Match != nil && rep.Match != *x.Match {
+			return nil, fmt.Errorf("challenge %q: match=%v, want %v", ch.Chip, rep.Match, *x.Match)
+		}
+	}
+	raw, err := compactJSON(respBody)
+	if err != nil {
+		return nil, err
+	}
+	return marshalResult(httpResult{Chip: ch.Chip, Status: status, Report: raw})
 }
 
 func (w *world) execRestart() (json.RawMessage, error) {

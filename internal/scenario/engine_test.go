@@ -355,3 +355,107 @@ func mustMarshal(t *testing.T, v any) json.RawMessage {
 	}
 	return b
 }
+
+// TestRunChallengePlane runs the challenge-response axis end to end on
+// the ReRAM backend: with the oracle fingerprint withheld, a replayed
+// clone passes physics verification and only the challenge verb
+// separates it from the enrolled original. Also exercises challenging
+// a chip that was never enrolled.
+func TestRunChallengePlane(t *testing.T) {
+	doc := `name: challenge
+seed: 0xC4A1
+registry: durable
+config:
+  backend: reram
+  challenge: true
+  oracle-fingerprint: false
+steps:
+  - at: 0s
+    name: fab-orig
+    fabricate: {chip: orig, class: genuine-accept, die: 0xD1}
+  - at: 0s
+    name: fab-stray
+    fabricate: {chip: stray, class: genuine-accept, die: 0xD2}
+  - at: 1h
+    name: challenge-unenrolled
+    challenge: {chip: stray, expect: {verdict: GENUINE, enrolled: false}}
+  - at: 2h
+    name: enroll-orig
+    enroll: {chip: orig, expect: {count: 1, conflict: false}}
+  - at: 3h
+    name: clone-orig
+    clone: {chip: fake, of: orig}
+  - at: 4h
+    name: verify-fake-physics-pass
+    verify: {chip: fake, expect: {verdict: GENUINE, accepted: true, escalated: false}}
+  - at: 4h
+    name: challenge-fake
+    challenge: {chip: fake, expect: {verdict: DUPLICATE-ID, enrolled: true, match: false}}
+  - at: 5h
+    name: challenge-orig
+    challenge: {chip: orig, expect: {verdict: GENUINE, enrolled: true, match: true}}
+  - at: 6h
+    name: audit
+    expect:
+      metrics:
+        fmverifyd_challenge_total: 3
+        fmverifyd_challenge_matches_total: 1
+        fmverifyd_challenge_mismatches_total: 1
+        fmverifyd_challenge_unenrolled_total: 1
+`
+	sc, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Run(sc, RunOptions{WorkDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, st := range tr.Steps {
+		if st.Verb == "challenge" {
+			seen++
+		}
+	}
+	if seen != 3 {
+		t.Fatalf("transcript has %d challenge steps, want 3", seen)
+	}
+}
+
+// TestRunChallengeExpectMismatch drives the challenge verb into each
+// assertion failure: wrong verdict, wrong enrollment state, wrong
+// match bit.
+func TestRunChallengeExpectMismatch(t *testing.T) {
+	base := `name: x
+registry: durable
+config:
+  challenge: true
+steps:
+  - at: 0s
+    name: fab
+    fabricate: {chip: c, class: genuine-accept, die: 0xE7}
+  - at: 1h
+    name: enroll
+    enroll: {chip: c}
+  - at: 2h
+    name: doomed
+    challenge: {chip: c, expect: {%s}}
+`
+	cases := map[string]struct{ expect, want string }{
+		"verdict":  {"verdict: TAMPERED", "verdict"},
+		"enrolled": {"enrolled: false", "enrolled"},
+		"match":    {"match: false", "match"},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			sc, err := Parse([]byte(strings.Replace(base, "%s", tc.expect, 1)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = Run(sc, RunOptions{WorkDir: t.TempDir()})
+			if err == nil || !strings.Contains(err.Error(), "doomed") || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want step doomed failing on %s", err, tc.want)
+			}
+		})
+	}
+}

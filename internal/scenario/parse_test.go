@@ -63,6 +63,9 @@ func TestParseDefaults(t *testing.T) {
 		cfg.Manufacturer != "TC" || !cfg.RecyclingScreen {
 		t.Errorf("config defaults wrong: %+v", cfg)
 	}
+	if cfg.Challenge || !cfg.OracleFingerprint {
+		t.Errorf("challenge defaults wrong: %+v", cfg)
+	}
 }
 
 func TestParseRejections(t *testing.T) {
@@ -70,33 +73,35 @@ func TestParseRejections(t *testing.T) {
 		doc     string
 		wantErr string
 	}{
-		"empty":                   {"", "empty"},
-		"no name":                 {"steps: []\n", "name"},
-		"no steps":                {"name: x\n", "steps"},
-		"empty steps":             {"name: x\nsteps: []\n", "no steps"},
-		"unknown key":             {"name: x\nbogus: 1\nsteps: []\n", "bogus"},
-		"bad registry":            {"name: x\nregistry: etcd\nsteps:\n  - at: 0s\n    name: a\n    fabricate: {chip: c, class: unmarked}\n", "registry"},
-		"bad backend":             {"name: x\nconfig: {backend: dram}\nsteps:\n  - at: 0s\n    name: a\n    fabricate: {chip: c, class: unmarked}\n", "backend"},
-		"bad class":               {"name: x\nsteps:\n  - at: 0s\n    name: a\n    fabricate: {chip: c, class: shiny}\n", "class"},
-		"out of order":            {"name: x\nsteps:\n  - at: 1h\n    name: a\n    fabricate: {chip: c, class: unmarked}\n  - at: 1s\n    name: b\n    verify: {chip: c}\n", "non-decreasing"},
-		"negative at":             {"name: x\nsteps:\n  - at: -5s\n    name: a\n    fabricate: {chip: c, class: unmarked}\n", "negative at:"},
-		"beyond horizon":          {"name: x\nsteps:\n  - at: 900000h\n    name: a\n    fabricate: {chip: c, class: unmarked}\n", "horizon"},
-		"dup step name":           {"name: x\nsteps:\n  - at: 0s\n    name: a\n    fabricate: {chip: c, class: unmarked}\n  - at: 0s\n    name: a\n    verify: {chip: c}\n", "duplicate"},
-		"no verb":                 {"name: x\nsteps:\n  - at: 0s\n    name: a\n", "exactly one verb"},
-		"two verbs":               {"name: x\nsteps:\n  - at: 0s\n    name: a\n    fabricate: {chip: c, class: unmarked}\n    verify: {chip: c}\n", "exactly one verb"},
-		"unknown verb":            {"name: x\nsteps:\n  - at: 0s\n    name: a\n    teleport: {chip: c}\n", "teleport"},
-		"verify before fab":       {"name: x\nsteps:\n  - at: 0s\n    name: a\n    verify: {chip: ghost}\n", "not fabricated"},
-		"clone unknown victim":    {"name: x\nsteps:\n  - at: 0s\n    name: a\n    clone: {chip: c, of: ghost}\n", "not fabricated"},
-		"refabricate":             {"name: x\nsteps:\n  - at: 0s\n    name: a\n    fabricate: {chip: c, class: unmarked}\n  - at: 0s\n    name: b\n    fabricate: {chip: c, class: unmarked}\n", "already exists"},
-		"enroll without registry": {"name: x\nsteps:\n  - at: 0s\n    name: a\n    fabricate: {chip: c, class: genuine-accept}\n  - at: 0s\n    name: b\n    enroll: {chip: c}\n", "requires a registry"},
-		"restart without durable": {"name: x\nsteps:\n  - at: 0s\n    name: a\n    restart-registry: {}\n", "durable"},
-		"bad imprint status":      {"name: x\nsteps:\n  - at: 0s\n    name: a\n    fabricate: {chip: c, class: unmarked}\n  - at: 0s\n    name: b\n    imprint: {chip: c, status: maybe}\n", "accept or reject"},
-		"empty expect":            {"name: x\nsteps:\n  - at: 0s\n    name: a\n    expect: {}\n", "asserts nothing"},
-		"fault prob":              {"name: x\nconfig: {fault: {erase-timeout: 1.5}}\nsteps:\n  - at: 0s\n    name: a\n    fabricate: {chip: c, class: unmarked}\n", "[0,1]"},
-		"tab indent":              {"name: x\nsteps:\n\t- at: 0s\n", "tab"},
-		"anchor":                  {"name: &x y\nsteps: []\n", "anchor"},
-		"multi-doc":               {"---\nname: x\n---\n", "document"},
-		"dup yaml key":            {"name: x\nname: y\nsteps: []\n", "duplicate mapping key"},
+		"empty":                            {"", "empty"},
+		"no name":                          {"steps: []\n", "name"},
+		"no steps":                         {"name: x\n", "steps"},
+		"empty steps":                      {"name: x\nsteps: []\n", "no steps"},
+		"unknown key":                      {"name: x\nbogus: 1\nsteps: []\n", "bogus"},
+		"bad registry":                     {"name: x\nregistry: etcd\nsteps:\n  - at: 0s\n    name: a\n    fabricate: {chip: c, class: unmarked}\n", "registry"},
+		"bad backend":                      {"name: x\nconfig: {backend: dram}\nsteps:\n  - at: 0s\n    name: a\n    fabricate: {chip: c, class: unmarked}\n", "backend"},
+		"bad class":                        {"name: x\nsteps:\n  - at: 0s\n    name: a\n    fabricate: {chip: c, class: shiny}\n", "class"},
+		"out of order":                     {"name: x\nsteps:\n  - at: 1h\n    name: a\n    fabricate: {chip: c, class: unmarked}\n  - at: 1s\n    name: b\n    verify: {chip: c}\n", "non-decreasing"},
+		"negative at":                      {"name: x\nsteps:\n  - at: -5s\n    name: a\n    fabricate: {chip: c, class: unmarked}\n", "negative at:"},
+		"beyond horizon":                   {"name: x\nsteps:\n  - at: 900000h\n    name: a\n    fabricate: {chip: c, class: unmarked}\n", "horizon"},
+		"dup step name":                    {"name: x\nsteps:\n  - at: 0s\n    name: a\n    fabricate: {chip: c, class: unmarked}\n  - at: 0s\n    name: a\n    verify: {chip: c}\n", "duplicate"},
+		"no verb":                          {"name: x\nsteps:\n  - at: 0s\n    name: a\n", "exactly one verb"},
+		"two verbs":                        {"name: x\nsteps:\n  - at: 0s\n    name: a\n    fabricate: {chip: c, class: unmarked}\n    verify: {chip: c}\n", "exactly one verb"},
+		"unknown verb":                     {"name: x\nsteps:\n  - at: 0s\n    name: a\n    teleport: {chip: c}\n", "teleport"},
+		"verify before fab":                {"name: x\nsteps:\n  - at: 0s\n    name: a\n    verify: {chip: ghost}\n", "not fabricated"},
+		"clone unknown victim":             {"name: x\nsteps:\n  - at: 0s\n    name: a\n    clone: {chip: c, of: ghost}\n", "not fabricated"},
+		"refabricate":                      {"name: x\nsteps:\n  - at: 0s\n    name: a\n    fabricate: {chip: c, class: unmarked}\n  - at: 0s\n    name: b\n    fabricate: {chip: c, class: unmarked}\n", "already exists"},
+		"enroll without registry":          {"name: x\nsteps:\n  - at: 0s\n    name: a\n    fabricate: {chip: c, class: genuine-accept}\n  - at: 0s\n    name: b\n    enroll: {chip: c}\n", "requires a registry"},
+		"restart without durable":          {"name: x\nsteps:\n  - at: 0s\n    name: a\n    restart-registry: {}\n", "durable"},
+		"challenge plane without registry": {"name: x\nconfig: {challenge: true}\nsteps:\n  - at: 0s\n    name: a\n    fabricate: {chip: c, class: unmarked}\n", "requires a registry"},
+		"challenge verb without plane":     {"name: x\nregistry: durable\nsteps:\n  - at: 0s\n    name: a\n    fabricate: {chip: c, class: genuine-accept}\n  - at: 0s\n    name: b\n    challenge: {chip: c}\n", "config.challenge"},
+		"bad imprint status":               {"name: x\nsteps:\n  - at: 0s\n    name: a\n    fabricate: {chip: c, class: unmarked}\n  - at: 0s\n    name: b\n    imprint: {chip: c, status: maybe}\n", "accept or reject"},
+		"empty expect":                     {"name: x\nsteps:\n  - at: 0s\n    name: a\n    expect: {}\n", "asserts nothing"},
+		"fault prob":                       {"name: x\nconfig: {fault: {erase-timeout: 1.5}}\nsteps:\n  - at: 0s\n    name: a\n    fabricate: {chip: c, class: unmarked}\n", "[0,1]"},
+		"tab indent":                       {"name: x\nsteps:\n\t- at: 0s\n", "tab"},
+		"anchor":                           {"name: &x y\nsteps: []\n", "anchor"},
+		"multi-doc":                        {"---\nname: x\n---\n", "document"},
+		"dup yaml key":                     {"name: x\nname: y\nsteps: []\n", "duplicate mapping key"},
 	}
 	for label, tc := range cases {
 		t.Run(label, func(t *testing.T) {

@@ -48,6 +48,7 @@ const (
 	VerbClone           Verb = "clone"
 	VerbEnroll          Verb = "enroll"
 	VerbVerify          Verb = "verify"
+	VerbChallenge       Verb = "challenge"
 	VerbRestartRegistry Verb = "restart-registry"
 	VerbExpect          Verb = "expect"
 )
@@ -73,7 +74,7 @@ type Scenario struct {
 // WorldConfig shapes the fabrication factory and the in-process
 // verification daemon.
 type WorldConfig struct {
-	// Backend selects the substrate: "nor" (default) or "nand".
+	// Backend selects the substrate: "nor" (default), "nand" or "reram".
 	Backend string
 	// Part is the catalog NOR part (default FM-SIM16; NOR backend only).
 	Part string
@@ -85,6 +86,17 @@ type WorldConfig struct {
 	NPE int
 	// RecyclingScreen enables the data-segment wear screen (default true).
 	RecyclingScreen bool
+	// Challenge enables the daemon's challenge-response plane (the
+	// /v1/challenge endpoint and enroll-time response fingerprinting).
+	// Requires a registry. The challenge nonce derives from the scenario
+	// seed, so interrogations are pure functions of the document.
+	Challenge bool
+	// OracleFingerprint controls whether enrollment records the
+	// simulator's oracle device fingerprint (default true). Setting it
+	// false models the honest-hardware regime where no such oracle
+	// exists — then only the challenge axis separates a replay clone
+	// from its victim.
+	OracleFingerprint bool
 	// Fault, when set, wraps every device the daemon loads in a seeded
 	// fault injector — the misbehaving-silicon lane.
 	Fault *FaultSpec
@@ -117,6 +129,7 @@ type Step struct {
 	Clone           *CloneStep
 	Enroll          *EnrollStep
 	Verify          *VerifyStep
+	Challenge       *ChallengeStep
 	RestartRegistry *RestartStep
 	Expect          *ExpectStep
 }
@@ -205,6 +218,22 @@ type VerifyExpect struct {
 	Fault *bool
 }
 
+// ChallengeStep POSTs the chip to /v1/challenge on the live daemon.
+type ChallengeStep struct {
+	Chip   string
+	Expect *ChallengeExpect
+}
+
+// ChallengeExpect asserts on the challenge report.
+type ChallengeExpect struct {
+	// Verdict is the expected verdict string ("GENUINE", "DUPLICATE-ID").
+	Verdict string
+	// Enrolled asserts whether a response fingerprint was on record.
+	Enrolled *bool
+	// Match asserts whether the chip reproduced the enrolled response.
+	Match *bool
+}
+
 // RestartStep closes the durable registry and reopens it from disk —
 // the registry-restart window, without SIGSTOP theatrics.
 type RestartStep struct{}
@@ -250,11 +279,12 @@ func decodeScenario(root *node) (*Scenario, error) {
 		Registry: RegistryNone,
 		Shards:   2,
 		Config: WorldConfig{
-			Backend:         "nor",
-			Part:            "FM-SIM16",
-			Key:             "scenario-key",
-			Manufacturer:    "TC",
-			RecyclingScreen: true,
+			Backend:           "nor",
+			Part:              "FM-SIM16",
+			Key:               "scenario-key",
+			Manufacturer:      "TC",
+			RecyclingScreen:   true,
+			OracleFingerprint: true,
 		},
 	}
 	n := root.get("name")
@@ -312,7 +342,7 @@ func decodeConfig(n *node, cfg *WorldConfig) error {
 		return err
 	}
 	if err := n.checkKeys("config", "backend", "part", "key", "manufacturer",
-		"npe", "recycling-screen", "fault"); err != nil {
+		"npe", "recycling-screen", "challenge", "oracle-fingerprint", "fault"); err != nil {
 		return err
 	}
 	var err error
@@ -343,6 +373,16 @@ func decodeConfig(n *node, cfg *WorldConfig) error {
 	}
 	if c := n.get("recycling-screen"); c != nil {
 		if cfg.RecyclingScreen, err = c.asBool("recycling-screen"); err != nil {
+			return err
+		}
+	}
+	if c := n.get("challenge"); c != nil {
+		if cfg.Challenge, err = c.asBool("challenge"); err != nil {
+			return err
+		}
+	}
+	if c := n.get("oracle-fingerprint"); c != nil {
+		if cfg.OracleFingerprint, err = c.asBool("oracle-fingerprint"); err != nil {
 			return err
 		}
 	}
@@ -383,7 +423,8 @@ func decodeConfig(n *node, cfg *WorldConfig) error {
 var verbKeys = []string{
 	string(VerbFabricate), string(VerbImprint), string(VerbAge),
 	string(VerbStress), string(VerbClone), string(VerbEnroll),
-	string(VerbVerify), string(VerbRestartRegistry), string(VerbExpect),
+	string(VerbVerify), string(VerbChallenge), string(VerbRestartRegistry),
+	string(VerbExpect),
 }
 
 func decodeStep(n *node) (Step, error) {
@@ -446,6 +487,8 @@ func decodeStep(n *node) (Step, error) {
 		st.Enroll, err = decodeEnroll(body)
 	case VerbVerify:
 		st.Verify, err = decodeVerify(body)
+	case VerbChallenge:
+		st.Challenge, err = decodeChallenge(body)
 	case VerbRestartRegistry:
 		if kerr := body.checkKeys("restart-registry"); kerr != nil {
 			return st, kerr
@@ -681,6 +724,47 @@ func decodeVerify(n *node) (*VerifyStep, error) {
 	return v, nil
 }
 
+func decodeChallenge(n *node) (*ChallengeStep, error) {
+	if err := n.checkKeys("challenge", "chip", "expect"); err != nil {
+		return nil, err
+	}
+	c := &ChallengeStep{}
+	var err error
+	if c.Chip, err = chipRef(n, "challenge"); err != nil {
+		return nil, err
+	}
+	if x := n.get("expect"); x != nil {
+		if err := x.expect(kindMapping, "challenge.expect"); err != nil {
+			return nil, err
+		}
+		if err := x.checkKeys("challenge.expect", "verdict", "enrolled", "match"); err != nil {
+			return nil, err
+		}
+		ex := &ChallengeExpect{}
+		if v := x.get("verdict"); v != nil {
+			if ex.Verdict, err = v.asString("challenge.expect.verdict"); err != nil {
+				return nil, err
+			}
+		}
+		if v := x.get("enrolled"); v != nil {
+			b, err := v.asBool("challenge.expect.enrolled")
+			if err != nil {
+				return nil, err
+			}
+			ex.Enrolled = &b
+		}
+		if v := x.get("match"); v != nil {
+			b, err := v.asBool("challenge.expect.match")
+			if err != nil {
+				return nil, err
+			}
+			ex.Match = &b
+		}
+		c.Expect = ex
+	}
+	return c, nil
+}
+
 func decodeExpect(n *node) (*ExpectStep, error) {
 	if err := n.checkKeys("expect", "metrics", "registry"); err != nil {
 		return nil, err
@@ -743,9 +827,12 @@ func (sc *Scenario) validate() error {
 		return fmt.Errorf("shards must be in [1,8], got %d", sc.Shards)
 	}
 	switch sc.Config.Backend {
-	case "nor", "nand":
+	case "nor", "nand", "reram":
 	default:
-		return fmt.Errorf("unknown backend %q (have nor, nand)", sc.Config.Backend)
+		return fmt.Errorf("unknown backend %q (have nor, nand, reram)", sc.Config.Backend)
+	}
+	if sc.Config.Challenge && sc.Registry == RegistryNone {
+		return fmt.Errorf("config.challenge requires a registry (set registry: durable or cluster)")
 	}
 	if sc.Config.NPE < 0 {
 		return fmt.Errorf("npe must be non-negative")
@@ -852,6 +939,11 @@ func (sc *Scenario) validateStep(st *Step, chips map[string]bool) error {
 		return defined(st.Enroll.Chip)
 	case VerbVerify:
 		return defined(st.Verify.Chip)
+	case VerbChallenge:
+		if !sc.Config.Challenge {
+			return fmt.Errorf("challenge requires config.challenge: true")
+		}
+		return defined(st.Challenge.Chip)
 	case VerbRestartRegistry:
 		if sc.Registry != RegistryDurable {
 			return fmt.Errorf("restart-registry requires registry: durable")

@@ -1,0 +1,275 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/flashmark/flashmark/internal/challenge"
+	"github.com/flashmark/flashmark/internal/cluster"
+	"github.com/flashmark/flashmark/internal/counterfeit"
+	"github.com/flashmark/flashmark/internal/device"
+	"github.com/flashmark/flashmark/internal/registry"
+)
+
+func decodeChallengeReport(t *testing.T, resp *http.Response) ChallengeReport {
+	t.Helper()
+	defer resp.Body.Close()
+	var rep ChallengeReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestChallengeRequiresRegistry(t *testing.T) {
+	_, err := New(Config{Verifier: testVerifier(), Challenge: &challenge.Policy{}})
+	if err == nil {
+		t.Fatal("a challenge plane without a registry was accepted")
+	}
+	_, err = New(Config{
+		Verifier:   testVerifier(),
+		Provenance: registry.NewMemory(0),
+		Challenge:  &challenge.Policy{Reads: 4},
+	})
+	if err == nil {
+		t.Fatal("an invalid challenge policy was accepted")
+	}
+}
+
+func TestChallengeWithoutPlane(t *testing.T) {
+	_, ts := newTestServer(t, Config{Provenance: registry.NewMemory(0)})
+	resp := postChip(t, ts.URL+"/v1/challenge", chipBytes(t, counterfeit.ClassGenuineAccept, 0xA1, 1001))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("challenge without plane: status %d, want 501", resp.StatusCode)
+	}
+}
+
+func TestChallengeRejectsNonGenuine(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Provenance: registry.NewMemory(0),
+		Challenge:  &challenge.Policy{},
+	})
+	resp := postChip(t, ts.URL+"/v1/challenge", chipBytes(t, counterfeit.ClassUnmarked, 0xA2, 1002))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("challenge of unmarked chip: status %d, want 422", resp.StatusCode)
+	}
+	resp = postChip(t, ts.URL+"/v1/challenge", []byte("not a chip"))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("challenge of garbage: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestChallengeCatchesCloneAfterPhysicsPass is the acceptance scenario
+// for the second identity axis: in the honest-hardware regime (no
+// simulator fingerprints in the registry), a replay clone of an
+// enrolled chip passes /v1/verify — and is then escalated by
+// /v1/challenge, because its die answers the challenge with its own
+// process variation, not the victim's.
+func TestChallengeCatchesCloneAfterPhysicsPass(t *testing.T) {
+	store := registry.NewMemory(0)
+	_, ts := newTestServer(t, Config{
+		Provenance:            store,
+		Challenge:             &challenge.Policy{},
+		OmitDeviceFingerprint: true,
+	})
+	victim := chipBytes(t, counterfeit.ClassGenuineAccept, 0xA1, 8001)
+	clone := chipBytes(t, counterfeit.ClassGenuineAccept, 0xB7, 8001)
+	stranger := chipBytes(t, counterfeit.ClassGenuineAccept, 0xC3, 8002)
+
+	er := decodeEnrollReport(t, postChip(t, ts.URL+"/v1/enroll?source=line-a", victim))
+	if !er.Accepted || er.Conflict || er.ChallengeConflict {
+		t.Fatalf("victim enrollment: %+v", er)
+	}
+	if er.ChallengeFingerprint == "" {
+		t.Fatal("enrollment with a challenge plane must report the response fingerprint")
+	}
+
+	// The physics axis clears the clone: zero fingerprints never
+	// conflict, so the registry has nothing to escalate on.
+	rep := decodeReport(t, postChip(t, ts.URL+"/v1/verify", clone))
+	if rep.Verdict != "GENUINE" {
+		t.Fatalf("clone physics verify: %+v", rep)
+	}
+
+	// The challenge axis catches it.
+	cr := decodeChallengeReport(t, postChip(t, ts.URL+"/v1/challenge", clone))
+	if cr.Verdict != "DUPLICATE-ID" || cr.Accepted || !cr.Enrolled || cr.Match {
+		t.Fatalf("clone challenge: %+v", cr)
+	}
+	if cr.Provenance == "" {
+		t.Fatal("escalated challenge report must carry the provenance reason")
+	}
+	if cr.DieID != 8001 || cr.Bits == 0 || cr.Fingerprint == "" {
+		t.Fatalf("challenge report identity: %+v", cr)
+	}
+
+	// The victim itself reproduces its enrolled response.
+	cr = decodeChallengeReport(t, postChip(t, ts.URL+"/v1/challenge", victim))
+	if cr.Verdict != "GENUINE" || !cr.Accepted || !cr.Enrolled || !cr.Match {
+		t.Fatalf("victim challenge: %+v", cr)
+	}
+
+	// A genuine chip never enrolled answers GENUINE with enrolled=false.
+	cr = decodeChallengeReport(t, postChip(t, ts.URL+"/v1/challenge", stranger))
+	if cr.Verdict != "GENUINE" || cr.Enrolled || cr.Match {
+		t.Fatalf("unenrolled challenge: %+v", cr)
+	}
+
+	// Enrolling the clone conflicts on the challenge axis alone.
+	er = decodeEnrollReport(t, postChip(t, ts.URL+"/v1/enroll", clone))
+	if !er.ChallengeConflict || er.Conflict || er.Accepted || er.Verdict != "DUPLICATE-ID" {
+		t.Fatalf("clone enrollment: %+v", er)
+	}
+
+	vars := metricsVars(t, ts.URL)
+	for name, want := range map[string]int{
+		"fmverifyd_challenge_total":            3,
+		"fmverifyd_challenge_matches_total":    1,
+		"fmverifyd_challenge_mismatches_total": 1,
+		"fmverifyd_challenge_unenrolled_total": 1,
+		"fmverifyd_enroll_conflicts_total":     1,
+	} {
+		if got := counterValue(t, vars, name); got != want {
+			t.Fatalf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := counterValue(t, vars, "fmverifyd_provenance_escalations_total"); got != 1 {
+		t.Fatalf("escalations = %d, want 1 (the challenge mismatch)", got)
+	}
+}
+
+// TestChallengeAdmissionAndDrain pins that /v1/challenge rides the same
+// admission gate and drain machinery as /v1/verify: a saturated gate
+// answers 429 with Retry-After, and a draining server refuses with 503
+// while letting the in-flight challenge finish.
+func TestChallengeAdmissionAndDrain(t *testing.T) {
+	gate := make(chan struct{})
+	srv, ts := newTestServer(t, Config{
+		Workers:      1,
+		QueueDepth:   -1,
+		CacheEntries: -1,
+		Provenance:   registry.NewMemory(0),
+		Challenge:    &challenge.Policy{},
+		Decorate: func(d device.Device) device.Device {
+			return &blockingDevice{Device: d, gate: gate}
+		},
+	})
+	chip := chipBytes(t, counterfeit.ClassGenuineAccept, 0xF1, 8501)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	code := make(chan int, 1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Post(ts.URL+"/v1/challenge", "application/json", bytes.NewReader(chip))
+		if err != nil {
+			code <- -1
+			return
+		}
+		resp.Body.Close()
+		code <- resp.StatusCode
+	}()
+	waitFor(t, func() bool { return srv.gate.pending.Load() == 1 })
+
+	resp := postChip(t, ts.URL+"/v1/challenge", chip)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated gate answered %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 must carry Retry-After")
+	}
+
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- srv.Drain(context.Background()) }()
+	waitFor(t, srv.Draining)
+	resp = postChip(t, ts.URL+"/v1/challenge", chip)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("challenge during drain: %d, want 503", resp.StatusCode)
+	}
+
+	close(gate)
+	wg.Wait()
+	if got := <-code; got != http.StatusOK {
+		t.Fatalf("in-flight challenge dropped with status %d", got)
+	}
+	if err := <-drainErr; err != nil {
+		t.Fatalf("drain under load failed: %v", err)
+	}
+}
+
+// TestClusterChallengeByteIdentical pins the distributed face of the
+// challenge plane: enrollment and challenge served through a sharded
+// cluster registry answer byte-for-byte what a single local registry
+// answers — the derived challenge keys ride the shard ring like any
+// other key.
+func TestClusterChallengeByteIdentical(t *testing.T) {
+	pol := &challenge.Policy{}
+	localCfg := Config{
+		Provenance:            registry.NewMemory(0),
+		Challenge:             pol,
+		OmitDeviceFingerprint: true,
+	}
+	_, localTS := newTestServer(t, localCfg)
+
+	clusterClient, err := cluster.NewClient(
+		[]cluster.ShardSpec{{Primary: startShard(t)}, {Primary: startShard(t)}},
+		cluster.ClientOptions{Timeout: 2 * time.Second},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { clusterClient.Close() })
+	clusterCfg := localCfg
+	clusterCfg.Provenance = clusterClient
+	_, clusterTS := newTestServer(t, clusterCfg)
+
+	victim := chipBytes(t, counterfeit.ClassGenuineAccept, 0xA1, 9001)
+	clone := chipBytes(t, counterfeit.ClassGenuineAccept, 0xE2, 9001)
+
+	for _, url := range []string{localTS.URL, clusterTS.URL} {
+		resp := postChip(t, url+"/v1/enroll?source=line-a", victim)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("enroll via %s: status %d", url, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	// The clone passes physics verification on both planes, then is
+	// escalated by the challenge on both, byte-identically.
+	for _, chip := range [][]byte{clone, victim} {
+		localVerify := readAll(t, postChip(t, localTS.URL+"/v1/verify", chip))
+		clusterVerify := readAll(t, postChip(t, clusterTS.URL+"/v1/verify", chip))
+		if !bytes.Equal(localVerify, clusterVerify) {
+			t.Fatalf("verify diverged:\nlocal:   %s\ncluster: %s", localVerify, clusterVerify)
+		}
+		localCh := readAll(t, postChip(t, localTS.URL+"/v1/challenge", chip))
+		clusterCh := readAll(t, postChip(t, clusterTS.URL+"/v1/challenge", chip))
+		if !bytes.Equal(localCh, clusterCh) {
+			t.Fatalf("challenge diverged:\nlocal:   %s\ncluster: %s", localCh, clusterCh)
+		}
+	}
+
+	var cr ChallengeReport
+	if err := json.Unmarshal(readAll(t, postChip(t, clusterTS.URL+"/v1/challenge", clone)), &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Verdict != "DUPLICATE-ID" || cr.Match {
+		t.Fatalf("clone challenge through the cluster: %+v", cr)
+	}
+	if err := json.Unmarshal(readAll(t, postChip(t, clusterTS.URL+"/v1/challenge", victim)), &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Verdict != "GENUINE" || !cr.Match {
+		t.Fatalf("victim challenge through the cluster: %+v", cr)
+	}
+}

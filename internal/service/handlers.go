@@ -17,6 +17,7 @@ import (
 	"github.com/flashmark/flashmark/internal/mcu"
 	"github.com/flashmark/flashmark/internal/nand"
 	"github.com/flashmark/flashmark/internal/parallel"
+	"github.com/flashmark/flashmark/internal/reram"
 )
 
 // ChipReport is the verdict JSON for one screened chip. Fields are
@@ -199,8 +200,9 @@ func sniffFormat(raw []byte) ([]byte, bool) {
 // checked out of the pool must not be returned until the device is no
 // longer used (screenChip's scope).
 type chipLoader struct {
-	mcu  mcu.Loader
-	nand nand.Loader
+	mcu   mcu.Loader
+	nand  nand.Loader
+	reram reram.Loader
 }
 
 // load sniffs the chip file's self-describing format field and
@@ -223,6 +225,13 @@ func (l *chipLoader) load(raw []byte) (device.Device, error) {
 			return nil, err
 		}
 		return a, nil
+	}
+	if string(format) == reram.ChipFormat {
+		d, err := l.reram.Load(raw)
+		if err != nil {
+			return nil, err
+		}
+		return d, nil
 	}
 	d, err := l.mcu.Load(raw)
 	if err != nil {

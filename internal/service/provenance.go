@@ -48,6 +48,13 @@ type EnrollReport struct {
 	Count     int  `json:"count"`
 	Duplicate bool `json:"duplicate"`
 	Conflict  bool `json:"conflict"`
+	// ChallengeFingerprint is the chip's challenge-response fingerprint,
+	// recorded beside the identity when the server runs a challenge
+	// plane. ChallengeConflict reports that the registry now holds a
+	// different response fingerprint for this die id — a second physical
+	// chip claiming it, caught on the challenge axis at enrollment.
+	ChallengeFingerprint string `json:"challengeFingerprint,omitempty"`
+	ChallengeConflict    bool   `json:"challengeConflict,omitempty"`
 }
 
 // registerRegistryGauges exposes the provenance store's counters on
@@ -301,6 +308,12 @@ func (s *Server) handleEnroll(w http.ResponseWriter, r *http.Request) {
 	if source == "" {
 		source = "fmverifyd"
 	}
+	// In the honest-hardware regime the registry holds no simulator
+	// identity: zero fingerprints never conflict, so only the challenge
+	// axis can tell two claimants of one die id apart.
+	if s.cfg.OmitDeviceFingerprint {
+		fp = registry.Fingerprint{}
+	}
 	res, err := s.cfg.Provenance.Enroll(registry.Enrollment{
 		Key:         k,
 		Fingerprint: fp,
@@ -329,6 +342,20 @@ func (s *Server) handleEnroll(w http.ResponseWriter, r *http.Request) {
 		Count:        res.Count,
 		Duplicate:    res.Duplicate,
 		Conflict:     res.Conflict,
+	}
+	if s.cfg.Challenge != nil {
+		resp, chRes, herr := s.enrollChallenge(k, source, raw)
+		if herr != nil {
+			s.met.errors.Inc()
+			writeError(w, herr.status, herr.msg)
+			return
+		}
+		out.ChallengeFingerprint = resp.Fingerprint.String()
+		out.ChallengeConflict = chRes.Conflict
+		if chRes.Conflict {
+			s.met.enrollConflicts.Inc()
+			res.Conflict = true
+		}
 	}
 	if res.Conflict {
 		out.Verdict = counterfeit.VerdictDuplicateID.String()

@@ -12,6 +12,8 @@
 //
 //	POST /v1/verify        one chip file -> one verdict JSON
 //	POST /v1/verify/batch  {"chips":[...]} -> per-chip verdicts + summary
+//	POST /v1/enroll        record a GENUINE chip's identity in the registry
+//	POST /v1/challenge     challenge-response screen against the enrolled fingerprint
 //	GET  /healthz          liveness (200 while the process serves)
 //	GET  /readyz           readiness (503 once draining)
 //	GET  /metrics          Prometheus text exposition
@@ -27,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/flashmark/flashmark/internal/challenge"
 	"github.com/flashmark/flashmark/internal/counterfeit"
 	"github.com/flashmark/flashmark/internal/device"
 	"github.com/flashmark/flashmark/internal/metrics"
@@ -72,6 +75,20 @@ type Config struct {
 	// fingerprint (see internal/registry). The server does not close
 	// the store; the owner does.
 	Provenance registry.Store
+
+	// Challenge, when set, enables POST /v1/challenge: the second,
+	// independent physical-identity axis. Enrollment interrogates the
+	// chip with this policy and records the response fingerprint; the
+	// challenge endpoint re-interrogates and escalates on a mismatch.
+	// Requires Provenance (the fingerprints live in the registry).
+	Challenge *challenge.Policy
+
+	// OmitDeviceFingerprint, when set, enrolls identities with a zero
+	// physical fingerprint. The fleet registry then cannot distinguish
+	// two chips claiming one die id by simulator identity — the
+	// honest-hardware regime, where only observable physics (the
+	// challenge-response axis) separates a clone from its victim.
+	OmitDeviceFingerprint bool
 
 	// Registry receives the service metrics (nil creates a private one).
 	Registry *metrics.Registry
@@ -138,6 +155,11 @@ type serviceMetrics struct {
 	enrollDuplicates *metrics.Counter
 	enrollConflicts  *metrics.Counter
 	escalations      *metrics.Counter
+
+	challenges          *metrics.Counter
+	challengeMatches    *metrics.Counter
+	challengeMismatches *metrics.Counter
+	challengeUnenrolled *metrics.Counter
 }
 
 func newServiceMetrics(reg *metrics.Registry, g *gate, cache *verdictCache) *serviceMetrics {
@@ -163,6 +185,10 @@ func newServiceMetrics(reg *metrics.Registry, g *gate, cache *verdictCache) *ser
 	m.enrollDuplicates = reg.Counter("fmverifyd_enroll_duplicates_total", "enrollments of an identity already on file")
 	m.enrollConflicts = reg.Counter("fmverifyd_enroll_conflicts_total", "enrollments that made an identity conflicted")
 	m.escalations = reg.Counter("fmverifyd_provenance_escalations_total", "physics-GENUINE chips escalated to DUPLICATE-ID by the registry")
+	m.challenges = reg.Counter("fmverifyd_challenge_total", "challenge-response interrogations completed")
+	m.challengeMatches = reg.Counter("fmverifyd_challenge_matches_total", "challenges answered with the enrolled response fingerprint")
+	m.challengeMismatches = reg.Counter("fmverifyd_challenge_mismatches_total", "challenges answered with a fingerprint other than the enrolled one")
+	m.challengeUnenrolled = reg.Counter("fmverifyd_challenge_unenrolled_total", "challenges of identities with no enrolled response fingerprint")
 	reg.GaugeFunc("fmverifyd_queue_depth", "admitted requests waiting for a worker", g.queued)
 	reg.GaugeFunc("fmverifyd_inflight", "requests holding a worker slot", g.running)
 	reg.GaugeFunc("fmverifyd_cache_entries", "chip verdicts resident in the registry cache",
@@ -192,6 +218,14 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Verifier.Audit != nil {
 		return nil, fmt.Errorf("service: verifier must not carry an Auditor (requests are stateless and concurrent)")
 	}
+	if cfg.Challenge != nil {
+		if cfg.Provenance == nil {
+			return nil, fmt.Errorf("service: the challenge-response plane requires a fleet registry (Config.Provenance)")
+		}
+		if err := cfg.Challenge.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:      cfg,
@@ -208,6 +242,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/verify", s.handleVerify)
 	s.mux.HandleFunc("/v1/verify/batch", s.handleVerifyBatch)
 	s.mux.HandleFunc("/v1/enroll", s.handleEnroll)
+	s.mux.HandleFunc("/v1/challenge", s.handleChallenge)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.Handle("/metrics", cfg.Registry.Handler())

@@ -161,4 +161,44 @@ assert_contains "$workdir/metrics_registry.txt" 'fmverifyd_provenance_escalation
 stop_daemon "$daemon" "$workdir/fmverifyd_restart.log"
 trap - EXIT
 
+# ---- Challenge-response plane, on the ReRAM substrate ----
+# Two ReRAM dies carry the same signed die id (2002): the original and
+# a replay clone. With -challenge, enrollment records the original's
+# response fingerprint; the clone then answers the challenge with its
+# own process variation and is escalated to DUPLICATE-ID while the
+# original reproduces its enrolled response.
+"$workdir/flashmark" new -chip "$workdir/rram.chip" -backend reram -seed 31
+"$workdir/flashmark" imprint -chip "$workdir/rram.chip" -mfg "$mfg" -die 2002 -status accept -key "$key"
+"$workdir/flashmark" new -chip "$workdir/rram_clone.chip" -backend reram -seed 32
+"$workdir/flashmark" imprint -chip "$workdir/rram_clone.chip" -mfg "$mfg" -die 2002 -status accept -key "$key"
+
+"$workdir/fmverifyd" -addr "$addr" -key "$key" -mfg "$mfg" \
+    -registry-dir "$workdir/registry-challenge" -challenge \
+    >"$workdir/fmverifyd_challenge.log" 2>&1 &
+daemon=$!
+trap 'kill "$daemon" 2>/dev/null || true' EXIT
+wait_healthy "$workdir/fmverifyd_challenge.log"
+
+curl -sf -X POST --data-binary @"$workdir/rram.chip" "$base/v1/enroll?source=smoke" \
+    >"$workdir/enroll_rram.json"
+assert_contains "$workdir/enroll_rram.json" '"verdict":"GENUINE"'
+assert_contains "$workdir/enroll_rram.json" '"challengeFingerprint"'
+
+curl -sf -X POST --data-binary @"$workdir/rram.chip" "$base/v1/challenge" \
+    >"$workdir/challenge_rram.json"
+assert_contains "$workdir/challenge_rram.json" '"verdict":"GENUINE"'
+assert_contains "$workdir/challenge_rram.json" '"match":true'
+
+curl -sf -X POST --data-binary @"$workdir/rram_clone.chip" "$base/v1/challenge" \
+    >"$workdir/challenge_clone.json"
+assert_contains "$workdir/challenge_clone.json" '"verdict":"DUPLICATE-ID"'
+assert_contains "$workdir/challenge_clone.json" '"match":false'
+
+curl -sf "$base/metrics" >"$workdir/metrics_challenge.txt"
+assert_contains "$workdir/metrics_challenge.txt" 'fmverifyd_challenge_total 2'
+assert_contains "$workdir/metrics_challenge.txt" 'fmverifyd_challenge_matches_total 1'
+assert_contains "$workdir/metrics_challenge.txt" 'fmverifyd_challenge_mismatches_total 1'
+stop_daemon "$daemon" "$workdir/fmverifyd_challenge.log"
+trap - EXIT
+
 echo "service smoke OK (artifacts in $workdir)"
